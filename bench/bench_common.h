@@ -1,0 +1,97 @@
+// Shared configuration for the reproduction benches.
+//
+// The paper's evaluation runs on Futian district (Shenzhen): ~28k vehicles,
+// 100 edge servers, 20 regions, 10-minute rounds. The benches reproduce the
+// same pipeline on the procedural city at a scale that completes in seconds
+// per figure; the shapes under study (who wins, where crossovers fall) are
+// scale-stable (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/interval.h"
+#include "core/fds.h"
+#include "core/sensor_model.h"
+#include "sim/pipeline.h"
+#include "sim/runner.h"
+
+namespace avcp::bench {
+
+/// Paper-shaped pipeline configuration (Futian box proportions).
+inline sim::PipelineConfig paper_config(sim::CoefficientKind kind,
+                                        bool small = false) {
+  sim::PipelineConfig config;
+  if (small) {
+    config.city.rows = 10;
+    config.city.cols = 14;
+    config.traces.num_vehicles = 150;
+    config.traces.duration_s = 2 * 3600.0;
+    config.num_servers = 48;
+    config.num_regions = 8;
+  } else {
+    config.city.rows = 18;
+    config.city.cols = 24;
+    config.traces.num_vehicles = 400;
+    config.traces.duration_s = 3 * 3600.0;
+    config.num_servers = 100;  // paper: 100 edge servers
+    config.num_regions = 20;   // paper: 20 regions
+  }
+  config.city.seed = 2022;
+  config.traces.seed = 2023;
+  config.coefficient = kind;
+  config.td_window_s = 600.0;  // paper: 10-minute TD windows
+  config.beta_lo = 2.0;
+  config.beta_hi = 3.5;
+  return config;
+}
+
+/// The paper's 8-decision game over trace-derived region specs.
+inline core::MultiRegionGame make_paper_game(
+    const sim::PipelineArtifacts& artifacts, double step_size = 0.5) {
+  core::GameConfig config;
+  config.lattice = core::DecisionLattice(3);
+  const auto tables = core::paper_decision_tables(config.lattice);
+  config.utility = tables.utility;
+  config.privacy = tables.privacy;
+  config.step_size = step_size;
+  return core::MultiRegionGame(std::move(config), artifacts.region_specs);
+}
+
+/// FDS options used across benches (Lambda and interior margin).
+inline core::FdsOptions bench_fds_options() {
+  core::FdsOptions options;
+  options.max_step = 0.1;
+  return options;
+}
+
+/// Desired fields = eps-box around the equilibrium reached from `start`
+/// under a constant reference ratio (§V-C methodology; see EXPERIMENTS.md).
+inline core::DesiredFields attainable_fields(const core::MultiRegionGame& game,
+                                             const core::GameState& start,
+                                             double x_ref, double eps,
+                                             int rounds = 3000) {
+  core::GameState eq = start;
+  const std::vector<double> x(game.num_regions(), x_ref);
+  for (int t = 0; t < rounds; ++t) game.replicator_step(eq, x);
+  core::DesiredFields fields(game.num_regions(), game.num_decisions());
+  for (core::RegionId i = 0; i < game.num_regions(); ++i) {
+    for (core::DecisionId k = 0; k < game.num_decisions(); ++k) {
+      fields.set_target(i, k,
+                        Interval{std::max(0.0, eq.p[i][k] - eps),
+                                 std::min(1.0, eq.p[i][k] + eps)});
+    }
+  }
+  return fields;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void print_rule() {
+  std::printf("%s\n", std::string(72, '-').c_str());
+}
+
+}  // namespace avcp::bench

@@ -1,0 +1,135 @@
+// Reproduces Fig. 8: Algorithm-1 clustering of the road segments into 20
+// regions under BC and TD coefficients — (a)/(b) region maps, (c) per-region
+// coefficient distributions (mean + 95% interval) with the BC-vs-TD
+// within-region standard-deviation comparison, (d)/(e) region graphs with
+// node sizes and gamma edge weights.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "cluster/quality.h"
+#include "common/heatmap.h"
+#include "common/stats.h"
+
+using namespace avcp;
+
+namespace {
+
+constexpr std::size_t kGridRows = 18;
+constexpr std::size_t kGridCols = 40;
+
+void report_for(sim::CoefficientKind kind, const char* name,
+                double* avg_sd_out, double* rel_sd_out) {
+  auto config = bench::paper_config(kind);
+  const auto artifacts = sim::build_pipeline(config);
+  const auto& graph = artifacts.graph;
+  const auto& clustering = artifacts.clustering;
+
+  std::vector<PointM> nodes;
+  for (std::size_t v = 0; v < graph.num_intersections(); ++v) {
+    nodes.push_back(graph.intersection(static_cast<roadnet::NodeId>(v)));
+  }
+  const spatial::BBoxM bounds = spatial::BBoxM::around(nodes);
+
+  bench::print_header(std::string("Fig. 8: location clustering (") + name +
+                      "), 20 regions, digits = region id mod 10");
+  {
+    HeatGrid grid(kGridRows, kGridCols, -1.0);
+    for (roadnet::SegmentId s = 0; s < graph.num_segments(); ++s) {
+      const PointM mid = graph.segment_midpoint(s);
+      const auto r = static_cast<std::size_t>(
+          (mid.y - bounds.min.y) / bounds.height() * (kGridRows - 1));
+      const auto c = static_cast<std::size_t>(
+          (mid.x - bounds.min.x) / bounds.width() * (kGridCols - 1));
+      grid.at(std::min(r, kGridRows - 1), std::min(c, kGridCols - 1)) =
+          clustering.region_of[s];
+    }
+    std::printf("%s", grid.render_labels().c_str());
+  }
+
+  bench::print_header(std::string("Fig. 8(c): coefficient (") + name +
+                      ") distribution per region");
+  std::printf("%-8s %8s %12s %12s %23s\n", "Region", "Size", "MeanCoeff",
+              "StdDev", "95% interval");
+  bench::print_rule();
+  const auto means = clustering.region_means(artifacts.coefficients);
+  const auto sds = clustering.region_stddevs(artifacts.coefficients);
+  double sd_sum = 0.0;
+  for (cluster::RegionId i = 0; i < clustering.num_regions(); ++i) {
+    std::vector<double> values;
+    for (const roadnet::SegmentId s : clustering.members[i]) {
+      values.push_back(artifacts.coefficients[s]);
+    }
+    const auto [lo, hi] = central_interval(values, 0.95);
+    std::printf("%-8u %8zu %12.5g %12.5g   [%9.4g, %9.4g]\n", i,
+                clustering.members[i].size(), means[i], sds[i], lo, hi);
+    sd_sum += sds[i];
+  }
+  const double avg_sd = sd_sum / static_cast<double>(clustering.num_regions());
+  const double global_mean = mean(artifacts.coefficients);
+  std::printf("average within-region std dev (%s): %.6g  "
+              "(relative to global mean: %.3f)\n",
+              name, avg_sd, avg_sd / global_mean);
+  *avg_sd_out = avg_sd;
+  *rel_sd_out = avg_sd / global_mean;
+
+  // Quality vs a topology-blind baseline: the objective Algorithm 1
+  // minimises is the within-region variance.
+  const auto q_ours =
+      cluster::evaluate_clustering(clustering, artifacts.coefficients);
+  const auto q_base = cluster::evaluate_clustering(
+      cluster::round_robin_clustering(graph.num_segments(),
+                                      clustering.num_regions()),
+      artifacts.coefficients);
+  std::printf("variance explained by regions: %.1f%% (Algorithm 1) vs "
+              "%.1f%% (round-robin baseline); mean |w - beta| %.4g vs %.4g\n",
+              100.0 * q_ours.explained, 100.0 * q_base.explained,
+              q_ours.mean_abs_error, q_base.mean_abs_error);
+
+  bench::print_header(std::string("Fig. 8(d/e): region graph (") + name +
+                      ")");
+  const auto& rg = artifacts.region_graph;
+  std::printf("nodes: %zu, edges: %zu\n", rg.num_regions(), rg.num_edges());
+  std::printf("%-8s %8s %12s %s\n", "Region", "Size", "gamma_ii",
+              "top neighbours (j: gamma_ij)");
+  bench::print_rule();
+  for (cluster::RegionId i = 0; i < rg.num_regions(); ++i) {
+    std::printf("%-8u %8zu %12.4f  ", i, clustering.members[i].size(),
+                rg.gamma(i, i));
+    // Top three neighbours by weight.
+    std::vector<std::pair<double, cluster::RegionId>> nbrs;
+    for (const cluster::RegionId j : rg.neighbors(i)) {
+      nbrs.emplace_back(rg.gamma(i, j), j);
+    }
+    std::sort(nbrs.rbegin(), nbrs.rend());
+    for (std::size_t n = 0; n < std::min<std::size_t>(3, nbrs.size()); ++n) {
+      std::printf("%u:%.4f ", nbrs[n].second, nbrs[n].first);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  double bc_sd = 0.0;
+  double td_sd = 0.0;
+  double bc_rel = 0.0;
+  double td_rel = 0.0;
+  report_for(sim::CoefficientKind::kBetweenness, "BC", &bc_sd, &bc_rel);
+  report_for(sim::CoefficientKind::kTrafficDensity, "TD", &td_sd, &td_rel);
+
+  bench::print_header("Fig. 8 cross-check: BC vs TD within-region spread");
+  // The paper reports average std devs 17.08 (BC) vs 30.31 (TD) on its own
+  // coefficient scales. The unit-free comparison is the within-region sd
+  // relative to the global coefficient mean: TD is noisier than BC because
+  // clustering sees a temporal average while each segment's instantaneous
+  // TD fluctuates through the day.
+  std::printf("relative within-region spread: BC %.3f vs TD %.3f — TD %s\n"
+              "(paper: TD spread exceeds BC spread, 30.31 vs 17.08)\n",
+              bc_rel, td_rel,
+              td_rel > bc_rel ? "is noisier, as in the paper"
+                              : "does NOT exceed BC here");
+  return 0;
+}

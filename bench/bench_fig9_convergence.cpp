@@ -1,0 +1,79 @@
+// Reproduces Fig. 9: convergence time of FDS as the acceptable error eps of
+// the desired decision field grows from 0.01 to 0.05, for utility
+// coefficients derived from (a) betweenness centrality and (b) traffic
+// density — together with the relaxed-problem lower bound (Prop. 4.1 /
+// Eq. (22)) and the resulting approximation ratios (paper: within 1.15 for
+// BC, 1.08 for TD).
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/lower_bound.h"
+
+using namespace avcp;
+
+namespace {
+
+void run_for(sim::CoefficientKind kind, const char* name) {
+  auto config = bench::paper_config(kind);
+  const auto artifacts = sim::build_pipeline(config);
+  // Decision revision speed calibrated so the population moves on the
+  // same timescale as the paper's (big early steps, eps-sensitive tail).
+  const auto game = bench::make_paper_game(artifacts, /*step_size=*/2.0);
+
+  const std::vector<double> x0(game.num_regions(), 0.2);
+  auto fds_opts = bench::bench_fds_options();
+  fds_opts.max_step = 0.2;
+
+  bench::print_header(std::string("Fig. 9: convergence time of FDS (") +
+                      name + " coefficients)");
+  std::printf("desired field: eps-box around the x_ref = 0.75 equilibrium "
+              "(see EXPERIMENTS.md);\nstart: uniform decisions, x = 0.2; "
+              "Lambda = %.2f, %zu regions x %zu decisions\n",
+              fds_opts.max_step, game.num_regions(), game.num_decisions());
+  std::printf("%-8s %14s %14s %12s\n", "eps", "FDS rounds", "lower bound",
+              "approx ratio");
+  bench::print_rule();
+
+  double worst_ratio = 1.0;
+  for (const double eps : {0.01, 0.02, 0.03, 0.04, 0.05}) {
+    const auto fields =
+        bench::attainable_fields(game, game.uniform_state(), 0.75, eps);
+    core::FdsController controller(game, fields, fds_opts);
+    sim::RunOptions options;
+    options.max_rounds = 5000;
+    options.record_trajectory = false;
+    const auto run = sim::run_mean_field(game, controller,
+                                         game.uniform_state(), x0, &fields,
+                                         options);
+
+    core::LowerBoundOptions lb_options;
+    lb_options.max_step = fds_opts.max_step;
+    const auto bound = core::convergence_lower_bound(
+        game, game.uniform_state(), fields, x0, lb_options);
+
+    if (!run.converged) {
+      std::printf("%-8.2f %14s %14zu %12s\n", eps, "(no conv)", bound.rounds,
+                  "-");
+      continue;
+    }
+    const double ratio =
+        bound.rounds > 0
+            ? static_cast<double>(run.rounds) / static_cast<double>(bound.rounds)
+            : 1.0;
+    worst_ratio = std::max(worst_ratio, ratio);
+    std::printf("%-8.2f %14zu %14zu %12.2f\n", eps, run.rounds, bound.rounds,
+                ratio);
+  }
+  std::printf("worst approximation ratio (%s): %.2f (paper: <= %.2f)\n", name,
+              worst_ratio,
+              kind == sim::CoefficientKind::kBetweenness ? 1.15 : 1.08);
+}
+
+}  // namespace
+
+int main() {
+  run_for(sim::CoefficientKind::kBetweenness, "BC");
+  run_for(sim::CoefficientKind::kTrafficDensity, "TD");
+  return 0;
+}

@@ -1,0 +1,181 @@
+// Micro-benchmarks (google-benchmark) for the core computational kernels:
+// replicator rounds, the FDS feasible-set solver, Brandes betweenness,
+// Algorithm-1 clustering, the edge-server data plane, and trace generation.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/lower_bound.h"
+#include "core/rate_model.h"
+#include "core/sensor_model.h"
+#include "perception/data_plane.h"
+#include "roadnet/betweenness.h"
+#include "roadnet/builders.h"
+#include "spatial/grid_index.h"
+#include "trace/generator.h"
+
+namespace {
+
+using namespace avcp;
+
+core::MultiRegionGame make_chain(std::size_t regions) {
+  core::GameConfig config;
+  config.lattice = core::DecisionLattice(3);
+  const auto tables = core::paper_decision_tables(config.lattice);
+  config.utility = tables.utility;
+  config.privacy = tables.privacy;
+  config.step_size = 0.5;
+  std::vector<core::RegionSpec> specs(regions);
+  for (std::size_t i = 0; i < regions; ++i) {
+    specs[i].beta = 2.5;
+    specs[i].gamma_self = 1.0;
+    if (i > 0) specs[i].neighbors.emplace_back(i - 1, 0.3);
+    if (i + 1 < regions) specs[i].neighbors.emplace_back(i + 1, 0.3);
+  }
+  return core::MultiRegionGame(std::move(config), std::move(specs));
+}
+
+void BM_ReplicatorStep(benchmark::State& state) {
+  const auto game = make_chain(static_cast<std::size_t>(state.range(0)));
+  auto game_state = game.uniform_state();
+  const std::vector<double> x(game.num_regions(), 0.5);
+  for (auto _ : state) {
+    game.replicator_step(game_state, x);
+    benchmark::DoNotOptimize(game_state);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(game.num_regions()));
+}
+BENCHMARK(BM_ReplicatorStep)->Arg(4)->Arg(20)->Arg(100);
+
+void BM_RateFamily(benchmark::State& state) {
+  const auto game = make_chain(20);
+  const auto game_state = game.uniform_state();
+  const std::vector<double> x(20, 0.5);
+  for (auto _ : state) {
+    for (core::DecisionId k = 0; k < 8; ++k) {
+      benchmark::DoNotOptimize(
+          core::rate_family(game, game_state, x, 10, k));
+    }
+  }
+}
+BENCHMARK(BM_RateFamily);
+
+void BM_FdsRound(benchmark::State& state) {
+  const auto game = make_chain(static_cast<std::size_t>(state.range(0)));
+  core::DesiredFields fields(game.num_regions(), 8);
+  for (core::RegionId i = 0; i < game.num_regions(); ++i) {
+    fields.set_target(i, 0, Interval{0.9, 1.0});
+  }
+  core::FdsController controller(game, fields);
+  const auto game_state = game.uniform_state();
+  std::vector<double> x(game.num_regions(), 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(controller.next_x(game_state, x));
+  }
+}
+BENCHMARK(BM_FdsRound)->Arg(4)->Arg(20);
+
+void BM_LowerBound(benchmark::State& state) {
+  const auto game = make_chain(20);
+  core::DesiredFields fields(20, 8);
+  for (core::RegionId i = 0; i < 20; ++i) {
+    fields.set_target(i, 0, Interval{0.9, 1.0});
+  }
+  const auto game_state = game.uniform_state();
+  const std::vector<double> x(20, 0.2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::convergence_lower_bound(game, game_state, fields, x));
+  }
+}
+BENCHMARK(BM_LowerBound);
+
+void BM_BrandesBetweenness(benchmark::State& state) {
+  roadnet::CityParams params;
+  params.rows = static_cast<std::uint32_t>(state.range(0));
+  params.cols = static_cast<std::uint32_t>(state.range(0));
+  const auto graph = roadnet::build_city(params);
+  roadnet::BetweennessOptions opts;
+  opts.num_threads = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(roadnet::segment_betweenness(graph, opts));
+  }
+  state.SetLabel(std::to_string(graph.num_segments()) + " segments, " +
+                 std::to_string(state.range(1)) + " threads");
+}
+BENCHMARK(BM_BrandesBetweenness)
+    ->Args({8, 1})
+    ->Args({16, 1})
+    ->Args({16, 4})
+    ->Args({16, 8});
+
+void BM_Clustering(benchmark::State& state) {
+  roadnet::CityParams params;
+  params.rows = 16;
+  params.cols = 16;
+  const auto graph = roadnet::build_city(params);
+  const auto coeffs = roadnet::segment_betweenness(graph);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cluster::cluster_segments(graph, coeffs, {20}));
+  }
+}
+BENCHMARK(BM_Clustering);
+
+void BM_DataPlaneRound(benchmark::State& state) {
+  const core::DecisionLattice lattice(3);
+  Rng rng(5);
+  const std::vector<double> privacy = {1.0, 0.5, 0.1};
+  const auto universe =
+      perception::DataUniverse::synthetic(3, 30, privacy, rng);
+  perception::EdgeServerDataPlane plane(lattice, universe);
+
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<perception::Vehicle> vehicles(n);
+  for (auto& v : vehicles) {
+    v.decision = static_cast<core::DecisionId>(rng.uniform_int(0, 7));
+    for (perception::ItemId id = 0; id < universe.size(); ++id) {
+      if (rng.bernoulli(0.3)) v.collected.push_back(id);
+      if (rng.bernoulli(0.2)) v.desired.push_back(id);
+    }
+    if (v.desired.empty()) v.desired.push_back(0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plane.run_round(vehicles, 0.5));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DataPlaneRound)->Arg(20)->Arg(100);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  roadnet::CityParams city;
+  city.rows = 10;
+  city.cols = 12;
+  const auto graph = roadnet::build_city(city);
+  trace::TraceParams params;
+  params.num_vehicles = 50;
+  params.duration_s = 1800.0;
+  const trace::TraceGenerator generator(graph, params);
+  for (auto _ : state) {
+    std::size_t count = 0;
+    generator.generate([&count](const trace::GpsFix&) { ++count; });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_TraceGeneration);
+
+void BM_GridIndexNearest(benchmark::State& state) {
+  Rng rng(9);
+  std::vector<PointM> points(10000);
+  for (auto& p : points) {
+    p = PointM{rng.uniform(0.0, 10000.0), rng.uniform(0.0, 10000.0)};
+  }
+  const spatial::GridIndex index(points);
+  for (auto _ : state) {
+    const PointM q{rng.uniform(0.0, 10000.0), rng.uniform(0.0, 10000.0)};
+    benchmark::DoNotOptimize(index.nearest(q));
+  }
+}
+BENCHMARK(BM_GridIndexNearest);
+
+}  // namespace

@@ -1,0 +1,111 @@
+// Privacy audit: the paper's headline trade-off — "minimize vehicles'
+// information disclosure without compromising their perception accuracy" —
+// measured end-to-end on the data plane. Three cloud policies shape the
+// same fleet toward different desired decision fields; for each we audit
+// what a passive eavesdropper at the edge server observes (the §II threat
+// model) against the perception utility vehicles actually obtain.
+//
+//   build/examples/privacy_audit
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/interval.h"
+#include "core/fds.h"
+#include "core/game.h"
+#include "core/sensor_model.h"
+#include "system/system.h"
+
+using namespace avcp;
+
+namespace {
+
+core::MultiRegionGame make_game() {
+  core::GameConfig config;
+  config.lattice = core::DecisionLattice(3);
+  const auto tables = core::paper_decision_tables(config.lattice);
+  config.utility = tables.utility;
+  config.privacy = tables.privacy;
+  config.step_size = 0.5;
+  core::RegionSpec region;
+  region.beta = 4.0;
+  region.gamma_self = 1.0;
+  return core::MultiRegionGame(std::move(config), {region});
+}
+
+struct AuditRow {
+  std::string policy;
+  double mean_utility = 0.0;
+  double exposed_privacy = 0.0;
+  double p_dominant = 0.0;
+  std::string dominant;
+};
+
+AuditRow audit(const core::MultiRegionGame& game, const std::string& name,
+               core::DecisionId target_decision) {
+  system::SystemParams params;
+  params.vehicles_per_region = 300;
+  params.seed = 12;
+  system::CooperativePerceptionSystem plant(game, params);
+  plant.init_from(game.uniform_state());
+
+  core::DesiredFields desired(1, game.num_decisions());
+  desired.set_target(0, target_decision, Interval{0.8, 1.0});
+  core::FdsOptions options;
+  options.max_step = 0.15;
+  core::FdsController controller(game, desired, options);
+
+  // Shape, then audit over a settled window.
+  for (int t = 0; t < 120; ++t) plant.run_round(controller);
+  AuditRow row;
+  row.policy = name;
+  const int window = 20;
+  for (int t = 0; t < window; ++t) {
+    const auto report = plant.run_round(controller);
+    row.mean_utility += report.mean_utility[0];
+    row.exposed_privacy += report.exposed_privacy[0];
+  }
+  row.mean_utility /= window;
+  row.exposed_privacy /= window;
+  const auto state = plant.empirical_state();
+  core::DecisionId top = 0;
+  for (core::DecisionId k = 1; k < game.num_decisions(); ++k) {
+    if (state.p[0][k] > state.p[0][top]) top = k;
+  }
+  row.p_dominant = state.p[0][top];
+  row.dominant = game.lattice().label(top);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  const auto game = make_game();
+  std::printf("auditing three shaped regimes (300 vehicles, passive "
+              "eavesdropper at the edge server)...\n\n");
+  const std::vector<AuditRow> rows = {
+      audit(game, "full sharing (P1 >= 80%)", 0),
+      audit(game, "radar only   (P7 >= 80%)", 6),
+      audit(game, "no sharing   (P8 >= 80%)", 7),
+  };
+  std::printf("%-28s %12s %18s %s\n", "policy", "utility", "exposed privacy",
+              "dominant decision");
+  std::printf("%s\n", std::string(78, '-').c_str());
+  for (const AuditRow& row : rows) {
+    std::printf("%-28s %12.3f %18.3f %s (%.0f%%)\n", row.policy.c_str(),
+                row.mean_utility, row.exposed_privacy, row.dominant.c_str(),
+                100.0 * row.p_dominant);
+  }
+  std::printf("\nThe knob the paper's policy exposes: each step down the "
+              "lattice trades\nperception utility for eavesdropper "
+              "exposure; the cloud picks the operating\npoint per region "
+              "via the desired decision field.\n");
+
+  // Sanity for scripted runs: utility and exposure must both be monotone
+  // along the three regimes.
+  const bool monotone = rows[0].mean_utility > rows[1].mean_utility &&
+                        rows[1].mean_utility > rows[2].mean_utility &&
+                        rows[0].exposed_privacy > rows[1].exposed_privacy &&
+                        rows[1].exposed_privacy >= rows[2].exposed_privacy;
+  return monotone ? 0 : 1;
+}

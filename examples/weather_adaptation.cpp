@@ -1,0 +1,101 @@
+// Weather adaptation (paper §V-C): the cloud changes the desired decision
+// field when conditions change — on a sunny day camera data is less
+// critical, while fog/rain/snow raise the value of radar — and FDS re-shapes
+// the vehicles' data-sharing decisions to the new field.
+//
+//   build/examples/weather_adaptation
+#include <cstdio>
+#include <vector>
+
+#include "common/interval.h"
+#include "core/fds.h"
+#include "core/game.h"
+#include "core/sensor_model.h"
+#include "sim/runner.h"
+
+using namespace avcp;
+
+namespace {
+
+/// Desired field = eps-box around the equilibrium under x_ref (the paper's
+/// acceptable-error methodology).
+core::DesiredFields field_for_ratio(const core::MultiRegionGame& game,
+                                    const core::GameState& start, double x_ref,
+                                    double eps) {
+  core::GameState eq = start;
+  const std::vector<double> x(game.num_regions(), x_ref);
+  for (int t = 0; t < 4000; ++t) game.replicator_step(eq, x);
+  core::DesiredFields fields(game.num_regions(), game.num_decisions());
+  for (core::RegionId i = 0; i < game.num_regions(); ++i) {
+    for (core::DecisionId k = 0; k < game.num_decisions(); ++k) {
+      fields.set_target(i, k,
+                        Interval{std::max(0.0, eq.p[i][k] - eps),
+                                 std::min(1.0, eq.p[i][k] + eps)});
+    }
+  }
+  return fields;
+}
+
+void print_mix(const core::MultiRegionGame& game, const core::GameState& state,
+               const char* label) {
+  std::printf("%-18s", label);
+  for (core::DecisionId k = 0; k < game.num_decisions(); ++k) {
+    if (state.p[0][k] >= 0.005) {
+      std::printf("  %s=%.0f%%", game.lattice().label(k).c_str(),
+                  100.0 * state.p[0][k]);
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  // Two coupled regions (e.g. a commercial core and its feeder roads).
+  core::GameConfig config;
+  config.lattice = core::DecisionLattice(3);
+  const auto tables = core::paper_decision_tables(config.lattice);
+  config.utility = tables.utility;
+  config.privacy = tables.privacy;
+  config.step_size = 0.5;
+  std::vector<core::RegionSpec> regions(2);
+  regions[0].beta = 3.0;
+  regions[0].gamma_self = 1.0;
+  regions[0].neighbors.emplace_back(1, 0.3);
+  regions[1].beta = 2.2;
+  regions[1].gamma_self = 0.8;
+  regions[1].neighbors.emplace_back(0, 0.3);
+  const core::MultiRegionGame game(std::move(config), regions);
+
+  core::FdsOptions fds_options;
+  fds_options.max_step = 0.1;
+  sim::RunOptions options;
+  options.max_rounds = 3000;
+  options.record_trajectory = false;
+
+  // --- Sunny morning: rich sharing is cheap and useful. ------------------
+  const auto sunny = field_for_ratio(game, game.uniform_state(), 0.85, 0.05);
+  core::FdsController sunny_controller(game, sunny, fds_options);
+  auto run = sim::run_mean_field(game, sunny_controller, game.uniform_state(),
+                                 {0.3, 0.3}, &sunny, options);
+  std::printf("sunny field %s after %zu rounds\n",
+              run.converged ? "reached" : "NOT reached", run.rounds);
+  print_mix(game, run.final_state, "  sunny mix:");
+
+  // --- Fog rolls in: the cloud publishes a privacy-lean field. -----------
+  // Vehicles entering the area bring fresh default decisions, restoring
+  // diversity to the (near-pure) population.
+  core::GameState reseeded = run.final_state;
+  for (auto& row : reseeded.p) {
+    for (double& v : row) v = 0.8 * v + 0.2 / 8.0;
+  }
+  const auto foggy = field_for_ratio(game, reseeded, 0.05, 0.05);
+  core::FdsController foggy_controller(game, foggy, fds_options);
+  const auto run2 = sim::run_mean_field(game, foggy_controller, reseeded,
+                                        run.final_x, &foggy, options);
+  std::printf("foggy field %s after %zu rounds\n",
+              run2.converged ? "reached" : "NOT reached", run2.rounds);
+  print_mix(game, run2.final_state, "  foggy mix:");
+
+  return (run.converged && run2.converged) ? 0 : 1;
+}

@@ -1,0 +1,71 @@
+#include "cluster/quality.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.h"
+#include "common/stats.h"
+
+namespace avcp::cluster {
+
+ClusterQuality evaluate_clustering(const Clustering& clustering,
+                                   std::span<const double> coeffs) {
+  AVCP_EXPECT(clustering.region_of.size() == coeffs.size());
+  AVCP_EXPECT(!coeffs.empty());
+
+  ClusterQuality quality;
+
+  RunningStats global;
+  for (const double c : coeffs) global.add(c);
+  const double global_mean = global.mean();
+  for (const double c : coeffs) {
+    quality.total_ss += (c - global_mean) * (c - global_mean);
+  }
+
+  const auto means = clustering.region_means(coeffs);
+  for (RegionId r = 0; r < clustering.num_regions(); ++r) {
+    double lo = 0.0;
+    double hi = 0.0;
+    bool first = true;
+    for (const roadnet::SegmentId s : clustering.members[r]) {
+      const double dev = coeffs[s] - means[r];
+      quality.within_ss += dev * dev;
+      quality.mean_abs_error += std::abs(dev);
+      if (first) {
+        lo = coeffs[s];
+        hi = coeffs[s];
+        first = false;
+      } else {
+        lo = std::min(lo, coeffs[s]);
+        hi = std::max(hi, coeffs[s]);
+      }
+    }
+    if (!first) quality.max_range = std::max(quality.max_range, hi - lo);
+  }
+  quality.mean_abs_error /= static_cast<double>(coeffs.size());
+  quality.explained =
+      quality.total_ss > 0.0 ? 1.0 - quality.within_ss / quality.total_ss
+                             : 0.0;
+  return quality;
+}
+
+Clustering round_robin_clustering(std::size_t num_segments,
+                                  std::uint32_t num_regions) {
+  AVCP_EXPECT(num_regions >= 1);
+  AVCP_EXPECT(num_segments >= num_regions);
+  Clustering clustering;
+  clustering.region_of.resize(num_segments);
+  clustering.members.assign(num_regions, {});
+  clustering.seeds.assign(num_regions, 0);
+  for (std::size_t s = 0; s < num_segments; ++s) {
+    const auto r = static_cast<RegionId>(s % num_regions);
+    clustering.region_of[s] = r;
+    clustering.members[r].push_back(static_cast<roadnet::SegmentId>(s));
+  }
+  for (RegionId r = 0; r < num_regions; ++r) {
+    clustering.seeds[r] = clustering.members[r].front();
+  }
+  return clustering;
+}
+
+}  // namespace avcp::cluster

@@ -1,0 +1,44 @@
+// Clustering-quality metrics for Algorithm 1.
+//
+// The algorithm's objective is to "minimize the variance of node utility
+// coefficients in each cluster so that the error caused by approximation
+// can be minimized" (paper §IV-A Step 2). These metrics quantify how well a
+// clustering meets that objective and what the constant-beta approximation
+// costs, and back both the Fig. 8 reporting and regression tests that
+// Algorithm 1 beats naive baselines.
+#pragma once
+
+#include <span>
+
+#include "cluster/region_clustering.h"
+
+namespace avcp::cluster {
+
+/// Quality summary of one clustering against per-segment coefficients.
+struct ClusterQuality {
+  /// Sum over regions of within-region squared deviations from the region
+  /// mean (the quantity Algorithm 1 minimises; lower is better).
+  double within_ss = 0.0;
+  /// Total squared deviation from the global mean (clustering-independent).
+  double total_ss = 0.0;
+  /// Fraction of variance explained by the region structure:
+  /// 1 - within_ss / total_ss, in [0, 1] (0 when total_ss == 0).
+  double explained = 0.0;
+  /// Mean absolute approximation error |w(u) - beta_region(u)| — the error
+  /// introduced by replacing each segment's coefficient with its region
+  /// constant in the game.
+  double mean_abs_error = 0.0;
+  /// Largest within-region coefficient range (h_high - h_low).
+  double max_range = 0.0;
+};
+
+/// Computes quality metrics; coeffs must be indexable by SegmentId.
+ClusterQuality evaluate_clustering(const Clustering& clustering,
+                                   std::span<const double> coeffs);
+
+/// Baseline for comparison: a round-robin assignment of segments to
+/// `num_regions` regions, ignoring both topology and coefficients.
+Clustering round_robin_clustering(std::size_t num_segments,
+                                  std::uint32_t num_regions);
+
+}  // namespace avcp::cluster

@@ -1,0 +1,252 @@
+#include "cluster/region_clustering.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <queue>
+
+#include "common/contracts.h"
+#include "common/stats.h"
+
+namespace avcp::cluster {
+
+using roadnet::RoadGraph;
+using roadnet::SegmentId;
+
+std::vector<double> Clustering::region_means(
+    std::span<const double> coeffs) const {
+  std::vector<double> means(members.size(), 0.0);
+  for (std::size_t r = 0; r < members.size(); ++r) {
+    RunningStats stats;
+    for (const SegmentId s : members[r]) stats.add(coeffs[s]);
+    means[r] = stats.mean();
+  }
+  return means;
+}
+
+std::vector<double> Clustering::region_stddevs(
+    std::span<const double> coeffs) const {
+  std::vector<double> devs(members.size(), 0.0);
+  for (std::size_t r = 0; r < members.size(); ++r) {
+    RunningStats stats;
+    for (const SegmentId s : members[r]) stats.add(coeffs[s]);
+    devs[r] = stats.stddev();
+  }
+  return devs;
+}
+
+std::vector<SegmentId> spread_seeds(const RoadGraph& g,
+                                    std::uint32_t num_seeds) {
+  AVCP_EXPECT(g.finalized());
+  AVCP_EXPECT(num_seeds >= 1);
+  AVCP_EXPECT(num_seeds <= g.num_segments());
+
+  const std::size_t m = g.num_segments();
+  std::vector<SegmentId> seeds;
+  seeds.reserve(num_seeds);
+  // min_dist[s] = hop distance from s to the closest chosen seed.
+  std::vector<std::uint32_t> min_dist(m,
+                                      std::numeric_limits<std::uint32_t>::max());
+
+  const auto relax_from = [&](SegmentId seed) {
+    std::queue<SegmentId> frontier;
+    min_dist[seed] = 0;
+    frontier.push(seed);
+    while (!frontier.empty()) {
+      const SegmentId v = frontier.front();
+      frontier.pop();
+      for (const SegmentId w : g.segment_neighbors(v)) {
+        if (min_dist[v] + 1 < min_dist[w]) {
+          min_dist[w] = min_dist[v] + 1;
+          frontier.push(w);
+        }
+      }
+    }
+  };
+
+  seeds.push_back(0);
+  relax_from(0);
+  while (seeds.size() < num_seeds) {
+    SegmentId farthest = 0;
+    std::uint32_t best = 0;
+    for (std::size_t s = 0; s < m; ++s) {
+      if (min_dist[s] > best &&
+          min_dist[s] != std::numeric_limits<std::uint32_t>::max()) {
+        best = min_dist[s];
+        farthest = static_cast<SegmentId>(s);
+      }
+    }
+    // Disconnected component: any still-unreached segment becomes a seed.
+    if (best == 0) {
+      bool found = false;
+      for (std::size_t s = 0; s < m; ++s) {
+        if (min_dist[s] == std::numeric_limits<std::uint32_t>::max()) {
+          farthest = static_cast<SegmentId>(s);
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        // Fully covered at distance 0 — pick any segment not already a seed.
+        for (std::size_t s = 0; s < m; ++s) {
+          if (std::find(seeds.begin(), seeds.end(), static_cast<SegmentId>(s)) ==
+              seeds.end()) {
+            farthest = static_cast<SegmentId>(s);
+            break;
+          }
+        }
+      }
+    }
+    seeds.push_back(farthest);
+    relax_from(farthest);
+  }
+  return seeds;
+}
+
+namespace {
+
+/// Growth state of one region during Algorithm 1.
+struct RegionState {
+  std::deque<SegmentId> queue;
+  double low = 0.0;
+  double high = 0.0;
+  bool exhausted = false;  // queue drained with no admissible neighbour left
+};
+
+}  // namespace
+
+Clustering cluster_segments(const RoadGraph& g, std::span<const double> coeffs,
+                            const ClusteringOptions& opts) {
+  AVCP_EXPECT(g.finalized());
+  AVCP_EXPECT(coeffs.size() == g.num_segments());
+  AVCP_EXPECT(opts.num_regions >= 1);
+  AVCP_EXPECT(opts.num_regions <= g.num_segments());
+
+  const std::size_t m = g.num_segments();
+  const std::uint32_t num_regions = opts.num_regions;
+
+  Clustering result;
+  result.region_of.assign(m, kUnassigned);
+  result.members.assign(num_regions, {});
+  result.seeds = spread_seeds(g, num_regions);
+
+  std::vector<RegionState> regions(num_regions);
+  std::size_t assigned = 0;
+
+  const auto assign = [&](SegmentId s, RegionId r) {
+    result.region_of[s] = r;
+    result.members[r].push_back(s);
+    regions[r].queue.push_back(s);
+    regions[r].low = std::min(regions[r].low, coeffs[s]);
+    regions[r].high = std::max(regions[r].high, coeffs[s]);
+    ++assigned;
+  };
+
+  for (RegionId r = 0; r < num_regions; ++r) {
+    const SegmentId seed = result.seeds[r];
+    regions[r].low = coeffs[seed];
+    regions[r].high = coeffs[seed];
+    result.region_of[seed] = r;
+    result.members[r].push_back(seed);
+    regions[r].queue.push_back(seed);
+    ++assigned;
+  }
+
+  // Main loop: each live region takes one growth step per sweep (Algorithm 1
+  // lines 5-15), so regions grow at comparable rates.
+  bool progress = true;
+  while (assigned < m && progress) {
+    progress = false;
+    for (RegionId r = 0; r < num_regions; ++r) {
+      RegionState& region = regions[r];
+      if (region.exhausted) continue;
+
+      bool grew = false;
+      while (!region.queue.empty() && !grew) {
+        const SegmentId front = region.queue.front();
+        // In-range unassigned neighbours of the front node: take them all
+        // (lines 8-11).
+        bool any_in_range = false;
+        for (const SegmentId nbr : g.segment_neighbors(front)) {
+          if (result.region_of[nbr] != kUnassigned) continue;
+          if (coeffs[nbr] >= region.low && coeffs[nbr] <= region.high) {
+            assign(nbr, r);
+            any_in_range = true;
+            grew = true;
+          }
+        }
+        if (any_in_range) {
+          region.queue.pop_front();
+          break;
+        }
+        // No in-range neighbour: admit the unassigned neighbour that widens
+        // [low, high] least (lines 12-15).
+        SegmentId best = roadnet::kInvalidSegment;
+        double best_widening = std::numeric_limits<double>::infinity();
+        for (const SegmentId nbr : g.segment_neighbors(front)) {
+          if (result.region_of[nbr] != kUnassigned) continue;
+          const double widening =
+              std::min(std::abs(coeffs[nbr] - region.low),
+                       std::abs(coeffs[nbr] - region.high));
+          if (widening < best_widening) {
+            best_widening = widening;
+            best = nbr;
+          }
+        }
+        if (best != roadnet::kInvalidSegment) {
+          assign(best, r);
+          grew = true;
+        } else {
+          // Front node fully surrounded by assigned segments; discard it.
+          region.queue.pop_front();
+        }
+      }
+      if (grew) {
+        progress = true;
+      } else if (region.queue.empty()) {
+        region.exhausted = true;
+      }
+    }
+  }
+
+  // Fallback: segments unreachable from any seed frontier (disconnected
+  // pockets). Attach each to the adjacent assigned region that widens its
+  // range least, sweeping until stable.
+  while (assigned < m) {
+    bool attached = false;
+    for (std::size_t s = 0; s < m; ++s) {
+      if (result.region_of[s] != kUnassigned) continue;
+      RegionId best_region = kUnassigned;
+      double best_widening = std::numeric_limits<double>::infinity();
+      for (const SegmentId nbr :
+           g.segment_neighbors(static_cast<SegmentId>(s))) {
+        const RegionId r = result.region_of[nbr];
+        if (r == kUnassigned) continue;
+        const double widening = std::min(std::abs(coeffs[s] - regions[r].low),
+                                         std::abs(coeffs[s] - regions[r].high));
+        if (widening < best_widening) {
+          best_widening = widening;
+          best_region = r;
+        }
+      }
+      if (best_region != kUnassigned) {
+        assign(static_cast<SegmentId>(s), best_region);
+        attached = true;
+      }
+    }
+    if (!attached) {
+      // Isolated component with no seed: give everything left to region 0.
+      for (std::size_t s = 0; s < m; ++s) {
+        if (result.region_of[s] == kUnassigned) {
+          assign(static_cast<SegmentId>(s), 0);
+        }
+      }
+    }
+  }
+
+  AVCP_ENSURE(assigned == m);
+  return result;
+}
+
+}  // namespace avcp::cluster

@@ -1,0 +1,61 @@
+// Road-segment clustering — Algorithm 1 of the paper.
+//
+// Clusters the road segments into M regions of similar utility coefficient
+// (betweenness centrality or traffic density), growing each region by BFS
+// from an evenly-spread seed and always preferring neighbours whose
+// coefficient falls inside the region's current [low, high] range; when no
+// such neighbour exists the region admits the neighbour that widens the
+// range least. The goal is minimal within-region coefficient variance so
+// that approximating every segment in a region by one constant beta_i is
+// sound (paper §IV-A Step 2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "roadnet/road_graph.h"
+
+namespace avcp::cluster {
+
+using RegionId = std::uint32_t;
+
+inline constexpr RegionId kUnassigned = ~RegionId{0};
+
+/// Result of Algorithm 1.
+struct Clustering {
+  /// region_of[segment] in [0, num_regions).
+  std::vector<RegionId> region_of;
+  /// members[region] — the segments of each region.
+  std::vector<std::vector<roadnet::SegmentId>> members;
+  /// Seed segment of each region.
+  std::vector<roadnet::SegmentId> seeds;
+
+  std::size_t num_regions() const noexcept { return members.size(); }
+
+  /// Mean coefficient per region — the approximated beta_i of §IV-A.
+  std::vector<double> region_means(std::span<const double> coeffs) const;
+
+  /// Within-region sample standard deviation per region.
+  std::vector<double> region_stddevs(std::span<const double> coeffs) const;
+};
+
+struct ClusteringOptions {
+  std::uint32_t num_regions = 20;  // paper clusters Futian into 20 regions
+};
+
+/// Seeds spread over the network by farthest-point sampling on segment-graph
+/// hop distance ("evenly distributed", Algorithm 1 line 1). Deterministic:
+/// the first seed is segment 0.
+std::vector<roadnet::SegmentId> spread_seeds(const roadnet::RoadGraph& g,
+                                             std::uint32_t num_seeds);
+
+/// Runs Algorithm 1. `coeffs` holds one utility coefficient per segment
+/// (w(u) in the pseudo-code). Every segment ends up in exactly one region;
+/// disconnected leftovers are attached to the adjacent region that widens
+/// its coefficient range least (nearest region by hops for isolated ones).
+Clustering cluster_segments(const roadnet::RoadGraph& g,
+                            std::span<const double> coeffs,
+                            const ClusteringOptions& opts = {});
+
+}  // namespace avcp::cluster

@@ -1,0 +1,126 @@
+#include "cluster/region_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/contracts.h"
+
+namespace avcp::cluster {
+
+RegionGraph::RegionGraph(std::size_t num_regions)
+    : num_regions_(num_regions),
+      gamma_(num_regions * num_regions, 0.0),
+      neighbor_lists_(num_regions) {
+  AVCP_EXPECT(num_regions >= 1);
+}
+
+double RegionGraph::gamma(RegionId i, RegionId j) const {
+  AVCP_EXPECT(i < num_regions_ && j < num_regions_);
+  return gamma_[static_cast<std::size_t>(i) * num_regions_ + j];
+}
+
+std::span<const RegionId> RegionGraph::neighbors(RegionId i) const {
+  AVCP_EXPECT(finalized_);
+  AVCP_EXPECT(i < num_regions_);
+  return neighbor_lists_[i];
+}
+
+std::size_t RegionGraph::num_edges() const noexcept {
+  std::size_t edges = 0;
+  for (std::size_t i = 0; i < num_regions_; ++i) {
+    for (std::size_t j = i + 1; j < num_regions_; ++j) {
+      if (gamma_[i * num_regions_ + j] > 0.0) ++edges;
+    }
+  }
+  return edges;
+}
+
+void RegionGraph::rescale_max(double target_max) {
+  AVCP_EXPECT(target_max > 0.0);
+  const double current = *std::max_element(gamma_.begin(), gamma_.end());
+  if (current <= 0.0) return;
+  const double scale = target_max / current;
+  for (double& g : gamma_) g *= scale;
+}
+
+void RegionGraph::accumulate(RegionId i, RegionId j, double weight) {
+  AVCP_EXPECT(i < num_regions_ && j < num_regions_);
+  AVCP_EXPECT(weight >= 0.0);
+  gamma_[static_cast<std::size_t>(i) * num_regions_ + j] += weight;
+  if (i != j) {
+    gamma_[static_cast<std::size_t>(j) * num_regions_ + i] += weight;
+  }
+}
+
+void RegionGraph::finalize(double normalizer) {
+  AVCP_EXPECT(normalizer > 0.0);
+  for (double& g : gamma_) g /= normalizer;
+  for (std::size_t i = 0; i < num_regions_; ++i) {
+    neighbor_lists_[i].clear();
+    for (std::size_t j = 0; j < num_regions_; ++j) {
+      if (i != j && gamma_[i * num_regions_ + j] > 0.0) {
+        neighbor_lists_[i].push_back(static_cast<RegionId>(j));
+      }
+    }
+  }
+  finalized_ = true;
+}
+
+RegionGraph build_region_graph(std::span<const trace::GpsFix> fixes,
+                               const RegionGraphInputs& inputs) {
+  AVCP_EXPECT(inputs.num_regions >= 1);
+  AVCP_EXPECT(inputs.num_cells >= 1);
+  AVCP_EXPECT(inputs.window_s > 0.0);
+  AVCP_EXPECT(inputs.duration_s > 0.0);
+
+  RegionGraph graph(inputs.num_regions);
+
+  // Bucket fixes by window; within a window count, per cell, the vehicles
+  // present in each region (a vehicle contributes at most one presence per
+  // window — its first fix).
+  const auto num_windows = static_cast<std::size_t>(
+      std::ceil(inputs.duration_s / inputs.window_s));
+
+  // window -> (cell -> per-region vehicle counts). A std::map keeps memory
+  // proportional to occupied (window, cell) pairs only.
+  std::map<std::pair<std::size_t, spatial::ServerId>, std::vector<double>>
+      presence;
+  std::map<std::pair<std::size_t, trace::VehicleId>, bool> seen;
+
+  for (const trace::GpsFix& fix : fixes) {
+    AVCP_EXPECT(fix.segment < inputs.region_of_segment.size());
+    const auto window = static_cast<std::size_t>(fix.time_s / inputs.window_s);
+    if (window >= num_windows) continue;
+    auto [it, inserted] = seen.try_emplace({window, fix.vehicle}, true);
+    if (!inserted) continue;  // vehicle already counted in this window
+
+    const RegionId region = inputs.region_of_segment[fix.segment];
+    const spatial::ServerId cell = inputs.cell_of_segment[fix.segment];
+    auto& counts =
+        presence
+            .try_emplace({window, cell},
+                         std::vector<double>(inputs.num_regions, 0.0))
+            .first->second;
+    counts[region] += 1.0;
+  }
+
+  for (const auto& [key, counts] : presence) {
+    for (std::size_t i = 0; i < inputs.num_regions; ++i) {
+      if (counts[i] <= 0.0) continue;
+      // Inner-region pairs: n * (n - 1) / 2.
+      graph.accumulate(static_cast<RegionId>(i), static_cast<RegionId>(i),
+                       counts[i] * (counts[i] - 1.0) / 2.0);
+      for (std::size_t j = i + 1; j < inputs.num_regions; ++j) {
+        if (counts[j] <= 0.0) continue;
+        graph.accumulate(static_cast<RegionId>(i), static_cast<RegionId>(j),
+                         counts[i] * counts[j]);
+      }
+    }
+  }
+
+  graph.finalize(inputs.duration_s);
+  return graph;
+}
+
+}  // namespace avcp::cluster

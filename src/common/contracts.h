@@ -1,0 +1,40 @@
+// Lightweight precondition / postcondition contracts.
+//
+// Library code validates its inputs with AVCP_EXPECT and its own invariants
+// with AVCP_ENSURE. Violations throw avcp::ContractViolation, which carries
+// the failing expression and source location; callers that cannot recover
+// should let the exception propagate to main.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace avcp {
+
+/// Thrown when a precondition (Expect) or invariant (Ensure) fails.
+class ContractViolation : public std::logic_error {
+ public:
+  ContractViolation(const char* kind, const char* expr, const char* file,
+                    int line);
+};
+
+namespace detail {
+[[noreturn]] void contract_fail(const char* kind, const char* expr,
+                                const char* file, int line);
+}  // namespace detail
+
+}  // namespace avcp
+
+/// Precondition check: validates arguments at a public API boundary.
+#define AVCP_EXPECT(cond)                                                \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::avcp::detail::contract_fail("Expect", #cond, __FILE__, __LINE__); \
+  } while (false)
+
+/// Postcondition / invariant check inside an implementation.
+#define AVCP_ENSURE(cond)                                                \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::avcp::detail::contract_fail("Ensure", #cond, __FILE__, __LINE__); \
+  } while (false)

@@ -1,0 +1,41 @@
+// Minimal CSV reading/writing for trace files and experiment outputs.
+//
+// The dialect is deliberately simple (comma separator, double-quote quoting,
+// no embedded newlines) — enough for GPS trace interchange and for the bench
+// harnesses to emit machine-readable series alongside their human-readable
+// tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace avcp {
+
+/// Splits one CSV line into fields, honouring double-quote quoting with
+/// doubled-quote escapes ("" -> ").
+std::vector<std::string> parse_csv_line(std::string_view line);
+
+/// Quotes a field if it contains a comma, quote, or leading/trailing space.
+std::string csv_escape(std::string_view field);
+
+/// Joins fields into one CSV line (no trailing newline).
+std::string join_csv_line(const std::vector<std::string>& fields);
+
+/// Incremental CSV writer over any std::ostream.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  /// Writes one row; fields are escaped as needed.
+  void write_row(const std::vector<std::string>& fields);
+
+ private:
+  std::ostream& out_;
+};
+
+/// Reads an entire CSV document from a stream. Empty lines are skipped.
+std::vector<std::vector<std::string>> read_csv(std::istream& in);
+
+}  // namespace avcp

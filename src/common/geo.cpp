@@ -1,0 +1,61 @@
+#include "common/geo.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/contracts.h"
+
+namespace avcp {
+
+namespace {
+constexpr double kEarthRadiusM = 6371008.8;
+
+double deg2rad(double d) noexcept { return d * std::numbers::pi / 180.0; }
+}  // namespace
+
+double distance_m(const PointM& a, const PointM& b) noexcept {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+GeoBox::GeoBox(LatLon south_west, LatLon north_east)
+    : sw_(south_west), ne_(north_east) {
+  AVCP_EXPECT(ne_.lat > sw_.lat);
+  AVCP_EXPECT(ne_.lon > sw_.lon);
+  const double mid_lat = deg2rad((sw_.lat + ne_.lat) / 2.0);
+  meters_per_deg_lat_ = kEarthRadiusM * std::numbers::pi / 180.0;
+  meters_per_deg_lon_ = meters_per_deg_lat_ * std::cos(mid_lat);
+  width_m_ = (ne_.lon - sw_.lon) * meters_per_deg_lon_;
+  height_m_ = (ne_.lat - sw_.lat) * meters_per_deg_lat_;
+}
+
+GeoBox GeoBox::futian() {
+  return GeoBox(LatLon{22.50, 113.98}, LatLon{22.59, 114.10});
+}
+
+PointM GeoBox::to_meters(const LatLon& p) const noexcept {
+  return PointM{(p.lon - sw_.lon) * meters_per_deg_lon_,
+                (p.lat - sw_.lat) * meters_per_deg_lat_};
+}
+
+LatLon GeoBox::to_latlon(const PointM& p) const noexcept {
+  return LatLon{sw_.lat + p.y / meters_per_deg_lat_,
+                sw_.lon + p.x / meters_per_deg_lon_};
+}
+
+bool GeoBox::contains(const LatLon& p) const noexcept {
+  return p.lat >= sw_.lat && p.lat <= ne_.lat && p.lon >= sw_.lon &&
+         p.lon <= ne_.lon;
+}
+
+double haversine_m(const LatLon& a, const LatLon& b) noexcept {
+  const double lat1 = deg2rad(a.lat);
+  const double lat2 = deg2rad(b.lat);
+  const double dlat = lat2 - lat1;
+  const double dlon = deg2rad(b.lon - a.lon);
+  const double s = std::sin(dlat / 2.0);
+  const double t = std::sin(dlon / 2.0);
+  const double h = s * s + std::cos(lat1) * std::cos(lat2) * t * t;
+  return 2.0 * kEarthRadiusM * std::asin(std::sqrt(h));
+}
+
+}  // namespace avcp

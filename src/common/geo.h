@@ -1,0 +1,68 @@
+// Geographic primitives for the Futian-district bounding box workloads.
+//
+// The paper crops the target area to the box (22.50 N, 113.98 E) x
+// (22.59 N, 114.10 E). At city scale an equirectangular projection around
+// the box centre is accurate to well under a metre, which is all the
+// simulation needs (sensor ranges are tens of metres).
+#pragma once
+
+namespace avcp {
+
+/// WGS-84 latitude/longitude in degrees.
+struct LatLon {
+  double lat = 0.0;
+  double lon = 0.0;
+
+  friend bool operator==(const LatLon&, const LatLon&) = default;
+};
+
+/// Planar position in metres (local tangent-plane coordinates).
+struct PointM {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const PointM&, const PointM&) = default;
+};
+
+/// Euclidean distance between planar points, metres.
+double distance_m(const PointM& a, const PointM& b) noexcept;
+
+/// Geographic bounding box with an equirectangular projection to metres.
+class GeoBox {
+ public:
+  /// Builds the box from its south-west and north-east corners.
+  GeoBox(LatLon south_west, LatLon north_east);
+
+  /// The Futian-district box used throughout the paper's evaluation.
+  static GeoBox futian();
+
+  LatLon south_west() const noexcept { return sw_; }
+  LatLon north_east() const noexcept { return ne_; }
+
+  /// Box extent in metres.
+  double width_m() const noexcept { return width_m_; }
+  double height_m() const noexcept { return height_m_; }
+
+  /// Projects a geographic coordinate to local metres (SW corner = origin).
+  PointM to_meters(const LatLon& p) const noexcept;
+
+  /// Inverse projection.
+  LatLon to_latlon(const PointM& p) const noexcept;
+
+  /// True if the coordinate lies inside the box (inclusive).
+  bool contains(const LatLon& p) const noexcept;
+
+ private:
+  LatLon sw_;
+  LatLon ne_;
+  double meters_per_deg_lat_;
+  double meters_per_deg_lon_;
+  double width_m_;
+  double height_m_;
+};
+
+/// Great-circle (haversine) distance in metres; used to cross-check the
+/// planar projection in tests.
+double haversine_m(const LatLon& a, const LatLon& b) noexcept;
+
+}  // namespace avcp

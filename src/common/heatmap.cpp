@@ -1,0 +1,76 @@
+#include "common/heatmap.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.h"
+
+namespace avcp {
+
+HeatGrid::HeatGrid(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), cells_(rows * cols, fill) {
+  AVCP_EXPECT(rows > 0 && cols > 0);
+}
+
+double& HeatGrid::at(std::size_t r, std::size_t c) {
+  AVCP_EXPECT(r < rows_ && c < cols_);
+  return cells_[r * cols_ + c];
+}
+
+double HeatGrid::at(std::size_t r, std::size_t c) const {
+  AVCP_EXPECT(r < rows_ && c < cols_);
+  return cells_[r * cols_ + c];
+}
+
+void HeatGrid::splat(double u_norm, double v_norm, double value) {
+  const auto clamp_idx = [](double t, std::size_t n) {
+    auto idx = static_cast<std::ptrdiff_t>(t * static_cast<double>(n));
+    idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                     static_cast<std::ptrdiff_t>(n) - 1);
+    return static_cast<std::size_t>(idx);
+  };
+  cells_[clamp_idx(v_norm, rows_) * cols_ + clamp_idx(u_norm, cols_)] += value;
+}
+
+std::string HeatGrid::render_ascii() const {
+  static constexpr char kRamp[] = " .:-=+*#%@";
+  constexpr int kLevels = 10;
+  const auto [lo_it, hi_it] = std::minmax_element(cells_.begin(), cells_.end());
+  const double lo = *lo_it;
+  const double range = *hi_it - lo;
+  std::string out;
+  out.reserve((cols_ + 1) * rows_);
+  for (std::size_t r = rows_; r-- > 0;) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const double v = cells_[r * cols_ + c];
+      int level = 0;
+      if (range > 0.0) {
+        level = static_cast<int>((v - lo) / range * (kLevels - 1) + 0.5);
+        level = std::clamp(level, 0, kLevels - 1);
+      }
+      out.push_back(kRamp[level]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string HeatGrid::render_labels() const {
+  std::string out;
+  out.reserve((cols_ + 1) * rows_);
+  for (std::size_t r = rows_; r-- > 0;) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const double v = cells_[r * cols_ + c];
+      if (v < 0.0) {
+        out.push_back('.');
+      } else {
+        const auto label = static_cast<long long>(std::llround(v)) % 10;
+        out.push_back(static_cast<char>('0' + label));
+      }
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace avcp

@@ -1,0 +1,44 @@
+// ASCII heat-map rendering.
+//
+// The paper's Fig. 7(b)/(c) and Fig. 8(a)/(b) are spatial heat maps; the
+// bench harnesses reproduce them as terminal-friendly ASCII grids so the
+// "figure" can be inspected without a plotting stack.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace avcp {
+
+/// A dense row-major grid of doubles with render helpers.
+class HeatGrid {
+ public:
+  /// Creates a rows x cols grid filled with `fill`.
+  HeatGrid(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  /// Accumulates `v` into the cell covering normalised coordinates
+  /// (u, v) in [0,1]^2; out-of-range points are clamped to the border.
+  void splat(double u_norm, double v_norm, double value);
+
+  /// Renders with a 10-level density ramp (" .:-=+*#%@"), min-max scaled.
+  /// Row 0 is rendered at the bottom (map orientation: north up).
+  std::string render_ascii() const;
+
+  /// Renders integer labels 0..9 for categorical data (e.g. region ids
+  /// mod 10); negative cells render as '.'.
+  std::string render_labels() const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> cells_;
+};
+
+}  // namespace avcp

@@ -1,0 +1,139 @@
+#include "common/interval.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.h"
+
+namespace avcp {
+
+double Interval::nearest(double x) const noexcept {
+  if (x < lo) return lo;
+  if (x > hi) return hi;
+  return x;
+}
+
+Interval Interval::intersect(const Interval& a, const Interval& b) noexcept {
+  return Interval{std::max(a.lo, b.lo), std::min(a.hi, b.hi)};
+}
+
+bool Interval::touches(const Interval& a, const Interval& b) noexcept {
+  if (a.empty() || b.empty()) return false;
+  return a.lo <= b.hi && b.lo <= a.hi;
+}
+
+IntervalSet::IntervalSet(const Interval& iv) {
+  if (!iv.empty()) parts_.push_back(iv);
+}
+
+IntervalSet IntervalSet::whole(double lo, double hi) {
+  return IntervalSet(Interval{lo, hi});
+}
+
+void IntervalSet::add(const Interval& iv) {
+  if (iv.empty()) return;
+  Interval merged = iv;
+  std::vector<Interval> out;
+  out.reserve(parts_.size() + 1);
+  bool placed = false;
+  for (const Interval& p : parts_) {
+    if (Interval::touches(p, merged)) {
+      merged.lo = std::min(merged.lo, p.lo);
+      merged.hi = std::max(merged.hi, p.hi);
+    } else if (p.hi < merged.lo) {
+      out.push_back(p);
+    } else {
+      if (!placed) {
+        out.push_back(merged);
+        placed = true;
+      }
+      out.push_back(p);
+    }
+  }
+  if (!placed) out.push_back(merged);
+  parts_ = std::move(out);
+}
+
+IntervalSet IntervalSet::unite(const IntervalSet& a, const IntervalSet& b) {
+  IntervalSet out = a;
+  for (const Interval& p : b.parts_) out.add(p);
+  return out;
+}
+
+IntervalSet IntervalSet::intersect(const IntervalSet& a,
+                                   const IntervalSet& b) {
+  IntervalSet out;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.parts_.size() && j < b.parts_.size()) {
+    const Interval& pa = a.parts_[i];
+    const Interval& pb = b.parts_[j];
+    const Interval iv = Interval::intersect(pa, pb);
+    if (!iv.empty()) out.parts_.push_back(iv);
+    if (pa.hi < pb.hi) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;
+}
+
+bool IntervalSet::contains(double x, double tol) const noexcept {
+  for (const Interval& p : parts_) {
+    if (x >= p.lo - tol && x <= p.hi + tol) return true;
+    if (p.lo - tol > x) break;
+  }
+  return false;
+}
+
+std::optional<double> IntervalSet::nearest(double x) const noexcept {
+  if (parts_.empty()) return std::nullopt;
+  double best = parts_.front().nearest(x);
+  double best_dist = std::abs(best - x);
+  for (const Interval& p : parts_) {
+    const double cand = p.nearest(x);
+    const double dist = std::abs(cand - x);
+    if (dist < best_dist) {
+      best = cand;
+      best_dist = dist;
+    }
+  }
+  return best;
+}
+
+double IntervalSet::min() const {
+  AVCP_EXPECT(!parts_.empty());
+  return parts_.front().lo;
+}
+
+double IntervalSet::max() const {
+  AVCP_EXPECT(!parts_.empty());
+  return parts_.back().hi;
+}
+
+double IntervalSet::measure() const noexcept {
+  double total = 0.0;
+  for (const Interval& p : parts_) total += p.width();
+  return total;
+}
+
+Interval solve_affine_ge(double a, double b, const Interval& domain,
+                         double tol) noexcept {
+  if (domain.empty()) return Interval::empty_interval();
+  if (std::abs(a) <= tol) {
+    return b >= -tol ? domain : Interval::empty_interval();
+  }
+  const double root = -b / a;
+  if (a > 0.0) {
+    return Interval::intersect(domain, Interval{root, domain.hi});
+  }
+  return Interval::intersect(domain, Interval{domain.lo, root});
+}
+
+Interval solve_affine_le(double a, double b, const Interval& domain,
+                         double tol) noexcept {
+  return solve_affine_ge(-a, -b, domain, tol);
+}
+
+}  // namespace avcp

@@ -1,0 +1,57 @@
+// Minimal leveled logger.
+//
+// The simulators and FDS controller emit progress at Info/Debug; tests run
+// with the logger silenced. A global level keeps the dependency surface at
+// zero — no external logging framework is needed for a research library.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace avcp {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+
+/// Current global log threshold.
+LogLevel log_level() noexcept;
+
+namespace detail {
+void log_write(LogLevel level, std::string_view component,
+               std::string_view message);
+}  // namespace detail
+
+/// Stream-style log statement builder:
+///   AVCP_LOG(kInfo, "fds") << "round " << t << " converged";
+class LogStatement {
+ public:
+  LogStatement(LogLevel level, std::string_view component) noexcept
+      : level_(level), component_(component) {}
+
+  ~LogStatement() {
+    if (level_ >= log_level()) {
+      detail::log_write(level_, component_, stream_.str());
+    }
+  }
+
+  LogStatement(const LogStatement&) = delete;
+  LogStatement& operator=(const LogStatement&) = delete;
+
+  template <typename T>
+  LogStatement& operator<<(const T& value) {
+    if (level_ >= log_level()) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace avcp
+
+#define AVCP_LOG(level, component) \
+  ::avcp::LogStatement(::avcp::LogLevel::level, component)

@@ -1,0 +1,123 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/contracts.h"
+
+namespace avcp {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) s = splitmix64(sm);
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>((*this)());  // full range
+  // Lemire's unbiased bounded sampling.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * range;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < range) {
+    const std::uint64_t threshold = (0 - range) % range;
+    while (low < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * range;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return lo + static_cast<std::int64_t>(m >> 64);
+}
+
+bool Rng::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Rng::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::normal(double mean, double sd) noexcept {
+  return mean + sd * normal();
+}
+
+double Rng::exponential(double rate) noexcept {
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return -std::log(u) / rate;
+}
+
+std::size_t Rng::weighted_index(std::span<const double> weights) {
+  AVCP_EXPECT(!weights.empty());
+  double total = 0.0;
+  for (const double w : weights) {
+    AVCP_EXPECT(w >= 0.0);
+    total += w;
+  }
+  AVCP_EXPECT(total > 0.0);
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  // Floating point slack: fall back to the last positive weight.
+  for (std::size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::split() noexcept {
+  return Rng((*this)());
+}
+
+}  // namespace avcp

@@ -1,0 +1,81 @@
+// Deterministic random number generation.
+//
+// All stochastic components of the library (trace generation, the
+// probabilistic sharing ratio in the data plane, agent revision protocols)
+// draw from avcp::Rng so that every experiment is reproducible from a single
+// 64-bit seed. The engine is xoshiro256++, seeded through splitmix64 as its
+// authors recommend.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace avcp {
+
+/// splitmix64 step; used for seed expansion and as a cheap hash.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256++ pseudo-random engine. Satisfies UniformRandomBitGenerator,
+/// so it can also drive <random> distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Constructs the engine from a single seed (expanded via splitmix64).
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  /// Next raw 64-bit value.
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0, 1]).
+  bool bernoulli(double p) noexcept;
+
+  /// Standard normal sample (Box-Muller, cached second value).
+  double normal() noexcept;
+
+  /// Normal sample with the given mean and standard deviation (sd >= 0).
+  double normal(double mean, double sd) noexcept;
+
+  /// Exponential sample with the given rate (> 0).
+  double exponential(double rate) noexcept;
+
+  /// Samples an index in [0, weights.size()) with probability proportional
+  /// to weights[i]. Weights must be non-negative with a positive sum.
+  std::size_t weighted_index(std::span<const double> weights);
+
+  /// Fisher-Yates shuffle of a vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j =
+          static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child engine; used to give each simulated
+  /// vehicle / region its own stream without cross-coupling.
+  Rng split() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace avcp

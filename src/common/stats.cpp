@@ -1,0 +1,89 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.h"
+
+namespace avcp {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double mean(std::span<const double> xs) noexcept {
+  RunningStats s;
+  for (const double x : xs) s.add(x);
+  return s.mean();
+}
+
+double stddev(std::span<const double> xs) noexcept {
+  RunningStats s;
+  for (const double x : xs) s.add(x);
+  return s.stddev();
+}
+
+double percentile(std::span<const double> xs, double q) {
+  AVCP_EXPECT(!xs.empty());
+  AVCP_EXPECT(q >= 0.0 && q <= 100.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto idx = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(idx);
+  if (idx + 1 >= sorted.size()) return sorted.back();
+  return sorted[idx] * (1.0 - frac) + sorted[idx + 1] * frac;
+}
+
+std::pair<double, double> central_interval(std::span<const double> xs,
+                                           double coverage) {
+  AVCP_EXPECT(coverage > 0.0 && coverage <= 1.0);
+  const double tail = (1.0 - coverage) / 2.0 * 100.0;
+  return {percentile(xs, tail), percentile(xs, 100.0 - tail)};
+}
+
+std::vector<std::size_t> histogram(std::span<const double> xs, double lo,
+                                   double hi, std::size_t bins) {
+  AVCP_EXPECT(bins > 0);
+  AVCP_EXPECT(hi > lo);
+  std::vector<std::size_t> counts(bins, 0);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (const double x : xs) {
+    auto idx = static_cast<std::ptrdiff_t>((x - lo) / width);
+    idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                     static_cast<std::ptrdiff_t>(bins) - 1);
+    ++counts[static_cast<std::size_t>(idx)];
+  }
+  return counts;
+}
+
+std::vector<double> minmax_normalize(std::span<const double> xs) {
+  std::vector<double> out(xs.begin(), xs.end());
+  if (out.empty()) return out;
+  const auto [lo_it, hi_it] = std::minmax_element(out.begin(), out.end());
+  const double lo = *lo_it;
+  const double hi = *hi_it;
+  const double range = hi - lo;
+  for (double& x : out) x = range > 0.0 ? (x - lo) / range : 0.0;
+  return out;
+}
+
+}  // namespace avcp

@@ -1,0 +1,55 @@
+// Descriptive statistics used across the evaluation harnesses
+// (per-region coefficient spreads of Fig. 8, convergence-time summaries of
+// Fig. 9, trajectory deltas of Fig. 10).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace avcp {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean of a sample; 0 for an empty sample.
+double mean(std::span<const double> xs) noexcept;
+
+/// Sample standard deviation (n-1); 0 for fewer than two samples.
+double stddev(std::span<const double> xs) noexcept;
+
+/// Linear-interpolated percentile; `q` in [0, 100]. Requires non-empty xs.
+double percentile(std::span<const double> xs, double q);
+
+/// Symmetric central interval covering `coverage` (e.g. 0.95) of the sample:
+/// [percentile((1-c)/2), percentile(1-(1-c)/2)]. Requires non-empty xs.
+std::pair<double, double> central_interval(std::span<const double> xs,
+                                           double coverage);
+
+/// Equal-width histogram over [lo, hi] with `bins` buckets; values outside
+/// the range are clamped into the edge buckets.
+std::vector<std::size_t> histogram(std::span<const double> xs, double lo,
+                                   double hi, std::size_t bins);
+
+/// Normalises values to [0, 1] by min-max scaling; constant input maps to 0.
+std::vector<double> minmax_normalize(std::span<const double> xs);
+
+}  // namespace avcp

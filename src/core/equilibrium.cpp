@@ -1,0 +1,98 @@
+#include "core/equilibrium.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.h"
+
+namespace avcp::core {
+
+InvasionReport test_pure_invasion(const MultiRegionGame& game,
+                                  const GameState& state,
+                                  std::span<const double> x, RegionId i,
+                                  DecisionId resident, double tol) {
+  AVCP_EXPECT(i < game.num_regions());
+  AVCP_EXPECT(resident < game.num_decisions());
+
+  GameState pure = state;
+  std::fill(pure.p[i].begin(), pure.p[i].end(), 0.0);
+  pure.p[i][resident] = 1.0;
+
+  const double resident_fitness = game.fitness(pure, x, i, resident);
+  InvasionReport report;
+  report.best_invader = resident;
+  report.invader_advantage = 0.0;
+  for (DecisionId k = 0; k < game.num_decisions(); ++k) {
+    if (k == resident) continue;
+    // A rare mutant's fitness against the resident monoculture.
+    const double advantage = game.fitness(pure, x, i, k) - resident_fitness;
+    if (advantage > report.invader_advantage + tol) {
+      report.invader_advantage = advantage;
+      report.best_invader = k;
+      report.stable = false;
+    }
+  }
+  return report;
+}
+
+std::vector<DecisionId> stable_pure_decisions(const MultiRegionGame& game,
+                                              const GameState& state,
+                                              std::span<const double> x,
+                                              RegionId i, double tol) {
+  std::vector<DecisionId> stable;
+  for (DecisionId k = 0; k < game.num_decisions(); ++k) {
+    if (test_pure_invasion(game, state, x, i, k, tol).stable) {
+      stable.push_back(k);
+    }
+  }
+  return stable;
+}
+
+LimitResult long_run_limit(const MultiRegionGame& game, GameState start,
+                           std::span<const double> x,
+                           const LimitOptions& options) {
+  AVCP_EXPECT(start.p.size() == game.num_regions());
+  LimitResult result;
+  result.state = std::move(start);
+  std::size_t quiet_rounds = 0;
+  for (std::size_t t = 0; t < options.max_rounds; ++t) {
+    const GameState previous = result.state;
+    game.replicator_step(result.state, x);
+    ++result.rounds;
+    double motion = 0.0;
+    for (std::size_t i = 0; i < result.state.p.size(); ++i) {
+      for (std::size_t k = 0; k < result.state.p[i].size(); ++k) {
+        motion = std::max(motion,
+                          std::abs(result.state.p[i][k] - previous.p[i][k]));
+      }
+    }
+    if (motion < options.motion_tol) {
+      if (++quiet_rounds >= options.patience) {
+        result.settled = true;
+        break;
+      }
+    } else {
+      quiet_rounds = 0;
+    }
+  }
+  return result;
+}
+
+std::vector<EquilibriumMapEntry> equilibrium_map(
+    const MultiRegionGame& game, std::size_t steps,
+    const LimitOptions& options) {
+  AVCP_EXPECT(steps >= 2);
+  std::vector<EquilibriumMapEntry> entries;
+  entries.reserve(steps);
+  for (std::size_t s = 0; s < steps; ++s) {
+    const double ratio =
+        static_cast<double>(s) / static_cast<double>(steps - 1);
+    const std::vector<double> x(game.num_regions(), ratio);
+    auto limit = long_run_limit(game, game.uniform_state(), x, options);
+    entries.push_back(
+        EquilibriumMapEntry{ratio, std::move(limit.state), limit.settled});
+  }
+  return entries;
+}
+
+}  // namespace avcp::core

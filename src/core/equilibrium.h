@@ -1,0 +1,87 @@
+// Equilibrium analysis of the data-sharing game.
+//
+// The lattice game has coordination structure: several monomorphic states
+// (everyone at one decision) are simultaneously stable, and which one the
+// population reaches depends on the sharing ratios and the initial mix.
+// These tools answer the questions the FDS controller (and anyone choosing
+// desired decision fields) needs:
+//
+//  * is a given pure state invasion-proof at ratio vector x?
+//  * which pure states are stable at x?
+//  * what long-run state does the population reach from a given start
+//    ("the equilibrium map" x -> limit state)?
+//
+// The paper implicitly relies on these properties when it picks desired
+// fields its controller can reach; DESIGN.md discusses how we make that
+// explicit.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/game.h"
+
+namespace avcp::core {
+
+/// Result of an invasion test of a pure state.
+struct InvasionReport {
+  bool stable = true;
+  /// The most profitable invading decision when unstable.
+  DecisionId best_invader = 0;
+  /// Fitness advantage of the best invader over the resident (<= 0 when
+  /// stable).
+  double invader_advantage = 0.0;
+};
+
+/// Tests whether "everyone in region i plays `resident`" resists invasion
+/// by every other decision, holding the rest of the state fixed: a resident
+/// is stable iff no rare mutant earns strictly higher fitness.
+InvasionReport test_pure_invasion(const MultiRegionGame& game,
+                                  const GameState& state,
+                                  std::span<const double> x, RegionId i,
+                                  DecisionId resident, double tol = 1e-9);
+
+/// All decisions that are invasion-proof residents of region i at ratio x,
+/// assuming every *other* region holds the distribution in `state`.
+std::vector<DecisionId> stable_pure_decisions(const MultiRegionGame& game,
+                                              const GameState& state,
+                                              std::span<const double> x,
+                                              RegionId i, double tol = 1e-9);
+
+/// Options for the long-run limit search.
+struct LimitOptions {
+  std::size_t max_rounds = 20000;
+  /// Convergence: max |p^{t+1} - p^t| below this for `patience` rounds.
+  double motion_tol = 1e-10;
+  std::size_t patience = 50;
+};
+
+/// Runs the replicator dynamics at constant x until motion stops (or the
+/// round cap); returns the reached state and whether it settled.
+struct LimitResult {
+  GameState state;
+  bool settled = false;
+  std::size_t rounds = 0;
+};
+
+LimitResult long_run_limit(const MultiRegionGame& game, GameState start,
+                           std::span<const double> x,
+                           const LimitOptions& options = {});
+
+/// One row of the equilibrium map: the long-run limit from the uniform
+/// state at a constant scalar ratio.
+struct EquilibriumMapEntry {
+  double x = 0.0;
+  GameState limit;
+  bool settled = false;
+};
+
+/// Sweeps scalar ratios over [0, 1] (inclusive, `steps` samples >= 2) and
+/// records the long-run limit from the uniform state at each — the object
+/// behind Fig. 10's contrast between x = 0.2 and x = 1.0.
+std::vector<EquilibriumMapEntry> equilibrium_map(
+    const MultiRegionGame& game, std::size_t steps,
+    const LimitOptions& options = {});
+
+}  // namespace avcp::core

@@ -1,0 +1,140 @@
+#include "core/game.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.h"
+
+namespace avcp::core {
+
+void check_distribution(std::span<const double> p, double tol) {
+  double sum = 0.0;
+  for (const double v : p) {
+    AVCP_EXPECT(v >= -tol);
+    sum += v;
+  }
+  AVCP_EXPECT(std::abs(sum - 1.0) <= tol * static_cast<double>(p.size() + 1));
+}
+
+MultiRegionGame::MultiRegionGame(GameConfig config,
+                                 std::vector<RegionSpec> regions)
+    : config_(std::move(config)), regions_(std::move(regions)) {
+  AVCP_EXPECT(!regions_.empty());
+  AVCP_EXPECT(config_.utility.size() == config_.lattice.num_decisions());
+  AVCP_EXPECT(config_.privacy.size() == config_.lattice.num_decisions());
+  AVCP_EXPECT(config_.step_size > 0.0);
+  AVCP_EXPECT(config_.mutation >= 0.0 && config_.mutation < 1.0);
+  AVCP_EXPECT(config_.min_growth_factor >= 0.0 &&
+              config_.min_growth_factor < 1.0);
+  for (const RegionSpec& spec : regions_) {
+    AVCP_EXPECT(spec.beta >= 0.0);
+    AVCP_EXPECT(spec.gamma_self >= 0.0);
+    for (const auto& [j, gamma] : spec.neighbors) {
+      AVCP_EXPECT(j < regions_.size());
+      AVCP_EXPECT(gamma >= 0.0);
+    }
+  }
+}
+
+const RegionSpec& MultiRegionGame::region(RegionId i) const {
+  AVCP_EXPECT(i < regions_.size());
+  return regions_[i];
+}
+
+double MultiRegionGame::pooled_utility(std::span<const double> p,
+                                       DecisionId k) const {
+  double pooled = 0.0;
+  for (const DecisionId l : config_.lattice.accessible(k, config_.access)) {
+    pooled += p[l] * config_.utility[l];
+  }
+  return pooled;
+}
+
+double MultiRegionGame::fitness(const GameState& state,
+                                std::span<const double> x, RegionId i,
+                                DecisionId k) const {
+  AVCP_EXPECT(i < regions_.size());
+  AVCP_EXPECT(x.size() == regions_.size());
+  AVCP_EXPECT(state.p.size() == regions_.size());
+  const RegionSpec& spec = regions_[i];
+  double gain = x[i] * spec.gamma_self * pooled_utility(state.p[i], k);
+  for (const auto& [j, gamma] : spec.neighbors) {
+    gain += x[j] * gamma * pooled_utility(state.p[j], k);
+  }
+  return spec.beta * gain - config_.privacy[k];
+}
+
+std::vector<double> MultiRegionGame::region_fitness(const GameState& state,
+                                                    std::span<const double> x,
+                                                    RegionId i) const {
+  std::vector<double> q(num_decisions());
+  for (DecisionId k = 0; k < q.size(); ++k) {
+    q[k] = fitness(state, x, i, k);
+  }
+  return q;
+}
+
+double MultiRegionGame::average_fitness(const GameState& state,
+                                        std::span<const double> x,
+                                        RegionId i) const {
+  const auto q = region_fitness(state, x, i);
+  double avg = 0.0;
+  for (DecisionId k = 0; k < q.size(); ++k) {
+    avg += state.p[i][k] * q[k];
+  }
+  return avg;
+}
+
+void MultiRegionGame::replicator_step(GameState& state,
+                                      std::span<const double> x) const {
+  AVCP_EXPECT(state.p.size() == regions_.size());
+  const std::size_t k = num_decisions();
+  const double eta = config_.step_size;
+  const double mu = config_.mutation;
+
+  // Synchronous update: all growth rates are computed against the old state.
+  std::vector<std::vector<double>> next(state.p.size());
+  for (RegionId i = 0; i < regions_.size(); ++i) {
+    const auto q = region_fitness(state, x, i);
+    double qbar = 0.0;
+    for (DecisionId d = 0; d < k; ++d) qbar += state.p[i][d] * q[d];
+
+    auto& row = next[static_cast<std::size_t>(i)];
+    row.resize(k);
+    double sum = 0.0;
+    for (DecisionId d = 0; d < k; ++d) {
+      const double factor = 1.0 + eta * (q[d] - qbar);
+      row[d] = state.p[i][d] * std::max(factor, config_.min_growth_factor);
+      sum += row[d];
+    }
+    if (sum <= 0.0) {
+      // Degenerate step (all factors clamped): keep the old distribution.
+      row = state.p[i];
+      sum = 1.0;
+    }
+    for (DecisionId d = 0; d < k; ++d) {
+      row[d] = row[d] / sum;
+      if (mu > 0.0) {
+        row[d] = (1.0 - mu) * row[d] + mu / static_cast<double>(k);
+      }
+    }
+  }
+  state.p = std::move(next);
+}
+
+GameState MultiRegionGame::uniform_state() const {
+  GameState state;
+  const double v = 1.0 / static_cast<double>(num_decisions());
+  state.p.assign(num_regions(), std::vector<double>(num_decisions(), v));
+  return state;
+}
+
+GameState MultiRegionGame::broadcast_state(std::span<const double> p) const {
+  AVCP_EXPECT(p.size() == num_decisions());
+  check_distribution(p);
+  GameState state;
+  state.p.assign(num_regions(), std::vector<double>(p.begin(), p.end()));
+  return state;
+}
+
+}  // namespace avcp::core

@@ -1,0 +1,88 @@
+// The data-sharing decision lattice (paper §III, Fig. 2).
+//
+// With N sensor types each decision is a subset of sensor types to share;
+// there are K = 2^N decisions. Decisions are numbered exactly as in the
+// paper: by decreasing subset size, then lexicographically with the first
+// sensor most significant — for the canonical [camera, lidar, radar] order
+// this yields P1 = {cam,lid,rad}, P2 = {cam,lid}, P3 = {cam,rad},
+// P4 = {lid,rad}, P5 = {cam}, P6 = {lid}, P7 = {rad}, P8 = {}.
+//
+// The paper's order relation: k "precedes" l (k ⪯ l) iff P^l ⊆ P^k, i.e. l
+// shares a subset of what k shares. The lattice-based policy grants a
+// vehicle with decision k access (with probability x) to data shared by
+// vehicles whose decision l satisfies P^l ⊆ P^k — sharing more earns access
+// to more (see DESIGN.md §2 on the paper's subscript typo in Eq. (4)).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace avcp::core {
+
+/// Index of a decision within a lattice, 0-based: decision 0 shares all
+/// sensors (the paper's P^1), decision K-1 shares none (P^K).
+using DecisionId = std::uint32_t;
+
+/// Bitmask of shared sensor types; sensor 0 occupies the most significant
+/// of the N used bits so that mask order matches the paper's numbering.
+using SensorMask = std::uint32_t;
+
+/// Whether a decision can access data of same-decision vehicles.
+/// Eq. (1) uses the strict subset, Eq. (4) the non-strict one; the library
+/// defaults to non-strict (peers with identical decisions share).
+enum class AccessRule : std::uint8_t { kSubsetOrEqual = 0, kStrictSubset = 1 };
+
+class DecisionLattice {
+ public:
+  /// Builds the full lattice over `num_sensors` sensor types (1..16).
+  explicit DecisionLattice(std::size_t num_sensors);
+
+  std::size_t num_sensors() const noexcept { return num_sensors_; }
+  std::size_t num_decisions() const noexcept { return masks_.size(); }
+
+  /// The sensor subset shared under decision k.
+  SensorMask mask(DecisionId k) const;
+
+  /// The decision sharing exactly `mask`.
+  DecisionId decision_of(SensorMask mask) const;
+
+  /// Bit of sensor `s` (0-based in declaration order) within masks.
+  SensorMask sensor_bit(std::size_t s) const;
+
+  /// True if decision k shares sensor s.
+  bool shares(DecisionId k, std::size_t s) const;
+
+  /// Number of sensors shared under decision k.
+  std::size_t cardinality(DecisionId k) const;
+
+  /// The paper's k ⪯ l: P^l ⊆ P^k.
+  bool preceq(DecisionId k, DecisionId l) const;
+
+  /// The paper's k ≺ l: P^l ⊊ P^k (l is a successor of k).
+  bool precedes(DecisionId k, DecisionId l) const;
+
+  /// Decisions whose shared data a decision-k vehicle may access under the
+  /// lattice policy: { l : P^l ⊆ P^k } (or strict, per rule). Precomputed;
+  /// sorted ascending.
+  std::span<const DecisionId> accessible(DecisionId k, AccessRule rule) const;
+
+  /// Cover edges of the Hasse diagram (Fig. 2): (k, l) where P^l is P^k
+  /// minus exactly one sensor.
+  std::vector<std::pair<DecisionId, DecisionId>> hasse_edges() const;
+
+  /// Human-readable label, e.g. "P3{cam,rad}" with default sensor names or
+  /// the provided ones.
+  std::string label(DecisionId k,
+                    std::span<const std::string> sensor_names = {}) const;
+
+ private:
+  std::size_t num_sensors_;
+  std::vector<SensorMask> masks_;       // decision -> mask, paper order
+  std::vector<DecisionId> of_mask_;     // mask -> decision
+  std::vector<std::vector<DecisionId>> accessible_eq_;
+  std::vector<std::vector<DecisionId>> accessible_strict_;
+};
+
+}  // namespace avcp::core

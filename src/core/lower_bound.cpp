@@ -1,0 +1,104 @@
+#include "core/lower_bound.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.h"
+
+namespace avcp::core {
+
+namespace {
+
+/// Fhat_k = max f_l over decisions accessible from k (ceiling of the pooled
+/// utility A, since the p-weights sum to at most 1).
+std::vector<double> pool_ceilings(const MultiRegionGame& game) {
+  std::vector<double> ceilings(game.num_decisions(), 0.0);
+  const auto& config = game.config();
+  for (DecisionId k = 0; k < game.num_decisions(); ++k) {
+    for (const DecisionId l : config.lattice.accessible(k, config.access)) {
+      ceilings[k] = std::max(ceilings[k], config.utility[l]);
+    }
+  }
+  return ceilings;
+}
+
+}  // namespace
+
+LowerBoundResult convergence_lower_bound(const MultiRegionGame& game,
+                                         const GameState& initial,
+                                         const DesiredFields& desired,
+                                         std::span<const double> x0,
+                                         const LowerBoundOptions& opts) {
+  AVCP_EXPECT(initial.p.size() == game.num_regions());
+  AVCP_EXPECT(x0.size() == game.num_regions());
+  AVCP_EXPECT(desired.num_regions() == game.num_regions());
+  AVCP_EXPECT(opts.max_step > 0.0);
+
+  const auto ceilings = pool_ceilings(game);
+  const double f_max = *std::max_element(game.config().utility.begin(),
+                                         game.config().utility.end());
+  const double g_max = *std::max_element(game.config().privacy.begin(),
+                                         game.config().privacy.end());
+  const double eta = game.config().step_size;
+
+  LowerBoundResult result;
+  for (RegionId i = 0; i < game.num_regions(); ++i) {
+    const RegionSpec& spec = game.region(i);
+
+    // Strongest coupling reachable by round t: every ratio (own and
+    // neighbours') is Lambda-bounded per Eq. (13).
+    const auto coupling_at = [&](std::size_t t) {
+      const double ramp = static_cast<double>(t + 1) * opts.max_step;
+      double coupling =
+          spec.gamma_self * std::min(1.0, x0[i] + ramp);
+      for (const auto& [j, gamma] : spec.neighbors) {
+        coupling += gamma * std::min(1.0, x0[j] + ramp);
+      }
+      return coupling;
+    };
+
+    for (DecisionId k = 0; k < game.num_decisions(); ++k) {
+      const Interval& target = desired.target(i, k);
+      double p = initial.p[i][k];
+      if (target.contains(p)) continue;
+
+      const bool going_up = p < target.lo;
+      const double g_k = game.config().privacy[k];
+      std::size_t rounds = 0;
+      bool reached = false;
+      while (rounds < opts.max_rounds) {
+        const double coupling = coupling_at(rounds);
+        double rate;  // ceiling on |q_k - qbar|
+        if (going_up) {
+          rate = spec.beta * ceilings[k] * coupling +
+                 std::max(0.0, g_max - g_k);
+        } else {
+          rate = g_k + spec.beta * f_max * coupling;
+        }
+        const double delta = eta * p * (1.0 - p) * rate;
+        if (delta <= 0.0) break;  // cannot move: p in {0, 1} or zero rate
+        p = going_up ? std::min(1.0, p + delta) : std::max(0.0, p - delta);
+        ++rounds;
+        if (going_up ? p >= target.lo : p <= target.hi) {
+          reached = true;
+          break;
+        }
+      }
+      if (!reached) {
+        result.reachable = false;
+        result.rounds = std::max(result.rounds, opts.max_rounds);
+        result.binding_region = i;
+        result.binding_decision = k;
+        continue;
+      }
+      if (rounds > result.rounds) {
+        result.rounds = rounds;
+        result.binding_region = i;
+        result.binding_decision = k;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace avcp::core

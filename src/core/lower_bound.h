@@ -1,0 +1,69 @@
+// Lower bound on the optimal convergence time (paper Prop. 4.1 / Eq. (22)).
+//
+// Proposition 4.1 bounds each per-round change Delta p_{i,k}. We use a
+// tightened (still sound) form of those bounds. Writing U_k for decision
+// k's utility gain and C_i(t) for the strongest coupling reachable by round
+// t under the Lambda-smoothness of Eq. (13),
+//
+//   C_i(t) = gamma_ii * x_i^max(t) + sum_j gamma_ji * x_j^max(t),
+//   x_j^max(t) = min(1, x_j^0 + (t+1) * Lambda),
+//   0 <= U_k <= beta_i * Fhat_k * C_i(t),   Fhat_k = max_{l in acc(k)} f_l,
+//
+// the fitness gap obeys
+//
+//   q_k - qbar = (1-p) q_k - sum_{l != k} p_l q_l
+//     <=  (1-p) (beta_i Fhat_k C_i(t) + g_max - g_k)          [q_l >= -g_max]
+//     >= -(1-p) (g_k + beta_i f_max C_i(t)),                  [q_l <= b f C]
+//
+// so |Delta p| <= eta p (1-p) R with the respective rate ceilings R. The
+// (1-p) logistic factor and the max-f (rather than sum-f) pool ceiling make
+// the relaxation considerably tighter than the paper's literal Eq. (20)/(21)
+// while remaining valid upper bounds on the true motion.
+//
+// Relaxing the coupling across regions and decisions decouples the problem
+// into one-dimensional reachability questions with monotone rates, for
+// which the greedy "move at the maximal admissible rate" schedule is
+// optimal. The bound is the max over components of the first round the
+// component can be inside its target — the denominator of the paper's
+// approximation ratios (Fig. 9). It remains a *relaxation*: the true
+// optimum (and hence FDS) can exceed it by the slack between the rate
+// ceilings and the fitness gaps the dynamics actually realise
+// (EXPERIMENTS.md quantifies this for the reproduced instances).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/fds.h"
+#include "core/game.h"
+
+namespace avcp::core {
+
+struct LowerBoundOptions {
+  /// Lambda of Eq. (13) — must match the FDS run being compared against.
+  double max_step = 0.05;
+  /// Cap on the search; components needing more are reported unreachable.
+  std::size_t max_rounds = 100000;
+};
+
+struct LowerBoundResult {
+  /// Lower bound on rounds until every component can be inside its target.
+  std::size_t rounds = 0;
+  /// False if some component can never reach its target under the relaxed
+  /// dynamics (e.g. an extinct decision with a positive target).
+  bool reachable = true;
+  /// The binding component (argmax of per-component rounds).
+  RegionId binding_region = 0;
+  DecisionId binding_decision = 0;
+};
+
+/// Computes the relaxed-problem lower bound from the initial state and
+/// ratio vector x0.
+LowerBoundResult convergence_lower_bound(const MultiRegionGame& game,
+                                         const GameState& initial,
+                                         const DesiredFields& desired,
+                                         std::span<const double> x0,
+                                         const LowerBoundOptions& opts = {});
+
+}  // namespace avcp::core

@@ -1,0 +1,118 @@
+#include "core/rate_model.h"
+
+#include <cmath>
+
+#include "common/contracts.h"
+
+namespace avcp::core {
+
+double CaseInfo::limit(double p_current) const noexcept {
+  switch (kind) {
+    case CaseKind::kConvergeOne:
+      return 1.0;
+    case CaseKind::kConvergeZero:
+      return 0.0;
+    case CaseKind::kUnstableInterior:
+      return p_current >= rest_point ? 1.0 : 0.0;
+    case CaseKind::kStableInterior:
+      return rest_point;
+    case CaseKind::kNeutral:
+      return p_current;
+  }
+  return p_current;
+}
+
+CaseInfo classify_case(const AffineRate& rate, double tol) noexcept {
+  const double r0 = rate(0.0);  // alpha2
+  const double r1 = rate(1.0);  // alpha1 + alpha2
+  CaseInfo info;
+  if (std::abs(r0) <= tol && std::abs(r1) <= tol) {
+    info.kind = CaseKind::kNeutral;
+    return info;
+  }
+  if (r0 >= -tol && r1 >= -tol) {
+    info.kind = CaseKind::kConvergeOne;  // Case 1
+    return info;
+  }
+  if (r0 <= tol && r1 <= tol) {
+    info.kind = CaseKind::kConvergeZero;  // Case 2
+    return info;
+  }
+  const double root = rate.rest_point();
+  if (r0 <= tol && r1 >= -tol) {
+    info.kind = CaseKind::kUnstableInterior;  // Case 3 (rate increasing)
+    info.rest_point = root;
+    return info;
+  }
+  info.kind = CaseKind::kStableInterior;  // Case 4 (rate decreasing, ESS)
+  info.rest_point = root;
+  return info;
+}
+
+double growth_rate_at(const MultiRegionGame& game, const GameState& state,
+                      std::span<const double> x, RegionId i, DecisionId k,
+                      double p_new) {
+  AVCP_EXPECT(p_new >= 0.0 && p_new <= 1.0);
+  AVCP_EXPECT(i < game.num_regions());
+  AVCP_EXPECT(k < game.num_decisions());
+
+  const std::size_t num_k = game.num_decisions();
+  const double p_cur = state.p[i][k];
+  const double remainder_cur = 1.0 - p_cur;
+  const double remainder_new = 1.0 - p_new;
+
+  // Hypothetical region-i distribution with p_{i,k} = p_new and the other
+  // groups rescaled proportionally (uniformly if currently extinct).
+  GameState probe = state;
+  auto& row = probe.p[i];
+  constexpr double kEps = 1e-12;
+  if (remainder_cur > kEps) {
+    const double scale = remainder_new / remainder_cur;
+    for (DecisionId d = 0; d < num_k; ++d) {
+      if (d != k) row[d] *= scale;
+    }
+  } else {
+    const double share =
+        num_k > 1 ? remainder_new / static_cast<double>(num_k - 1) : 0.0;
+    for (DecisionId d = 0; d < num_k; ++d) {
+      if (d != k) row[d] = share;
+    }
+  }
+  row[k] = p_new;
+
+  const double q_k = game.fitness(probe, x, i, k);
+  const double qbar = game.average_fitness(probe, x, i);
+  return q_k - qbar;
+}
+
+AffineRate affine_rate(const MultiRegionGame& game, const GameState& state,
+                       std::span<const double> x, RegionId i, DecisionId k) {
+  // The true growth rate along the rescaling path is r(p) = (1-p) s(p) with
+  // s affine, so two probes recover s exactly:
+  //   s(0)   = r(0) / (1-0)   = r(0)
+  //   s(1/2) = r(1/2) / (1/2) = 2 r(1/2)
+  const double s0 = growth_rate_at(game, state, x, i, k, 0.0);
+  const double s_half = 2.0 * growth_rate_at(game, state, x, i, k, 0.5);
+  return AffineRate{2.0 * (s_half - s0), s0};
+}
+
+RateFamily rate_family(const MultiRegionGame& game, const GameState& state,
+                       std::span<const double> x, RegionId i, DecisionId k) {
+  AVCP_EXPECT(x.size() == game.num_regions());
+  std::vector<double> x_lo(x.begin(), x.end());
+  std::vector<double> x_hi(x.begin(), x.end());
+  x_lo[i] = 0.0;
+  x_hi[i] = 1.0;
+
+  const AffineRate at0 = affine_rate(game, state, x_lo, i, k);
+  const AffineRate at1 = affine_rate(game, state, x_hi, i, k);
+
+  RateFamily family;
+  family.a1_const = at0.alpha1;
+  family.a1_slope = at1.alpha1 - at0.alpha1;
+  family.a2_const = at0.alpha2;
+  family.a2_slope = at1.alpha2 - at0.alpha2;
+  return family;
+}
+
+}  // namespace avcp::core

@@ -1,0 +1,83 @@
+#include "core/sensor_model.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/contracts.h"
+
+namespace avcp::core {
+
+std::span<const std::string> perception_factor_names() {
+  static const std::string kNames[kNumPerceptionFactors] = {
+      "Range",
+      "Resolution",
+      "Distance Accuracy",
+      "Velocity",
+      "Color perception",
+      "Object detection",
+      "Object classification",
+      "Lane detection",
+      "Obstacle edge detection",
+      "Illumination conditions",
+      "Weather conditions",
+  };
+  return kNames;
+}
+
+double SensorProfile::utility_sum() const noexcept {
+  return std::accumulate(factor_scores.begin(), factor_scores.end(), 0.0);
+}
+
+std::vector<SensorProfile> paper_sensors() {
+  // Columns of Table III: camera, LiDAR, radar.
+  return {
+      SensorProfile{"camera",
+                    {0.5, 1.0, 0.5, 0.5, 1.0, 0.5, 1.0, 1.0, 1.0, 0.0, 0.0},
+                    1.0},
+      SensorProfile{"lidar",
+                    {0.5, 0.5, 1.0, 0.0, 0.0, 1.0, 0.5, 0.0, 1.0, 1.0, 0.5},
+                    0.5},
+      SensorProfile{"radar",
+                    {1.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0, 1.0},
+                    0.1},
+  };
+}
+
+DecisionTables make_decision_tables(const DecisionLattice& lattice,
+                                    std::span<const SensorProfile> sensors) {
+  AVCP_EXPECT(sensors.size() == lattice.num_sensors());
+  const std::size_t k = lattice.num_decisions();
+
+  DecisionTables tables;
+  tables.raw_utility.resize(k, 0.0);
+  tables.raw_privacy.resize(k, 0.0);
+  for (DecisionId d = 0; d < k; ++d) {
+    for (std::size_t s = 0; s < sensors.size(); ++s) {
+      if (lattice.shares(d, s)) {
+        tables.raw_utility[d] += sensors[s].utility_sum();
+        tables.raw_privacy[d] += sensors[s].privacy_cost;
+      }
+    }
+  }
+
+  const double max_utility =
+      *std::max_element(tables.raw_utility.begin(), tables.raw_utility.end());
+  const double max_privacy =
+      *std::max_element(tables.raw_privacy.begin(), tables.raw_privacy.end());
+  tables.utility.resize(k);
+  tables.privacy.resize(k);
+  for (DecisionId d = 0; d < k; ++d) {
+    tables.utility[d] =
+        max_utility > 0.0 ? tables.raw_utility[d] / max_utility : 0.0;
+    tables.privacy[d] =
+        max_privacy > 0.0 ? tables.raw_privacy[d] / max_privacy : 0.0;
+  }
+  return tables;
+}
+
+DecisionTables paper_decision_tables(const DecisionLattice& lattice) {
+  const auto sensors = paper_sensors();
+  return make_decision_tables(lattice, sensors);
+}
+
+}  // namespace avcp::core

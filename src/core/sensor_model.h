@@ -1,0 +1,59 @@
+// Sensor capability and privacy model (paper Tables II and III).
+//
+// Table III scores each sensor's contribution to 11 perception factors at
+// three levels (1 = competently, 0.5 = reasonably well, 0 = doesn't operate
+// well), following the sensor-fusion survey the paper cites. A decision's
+// *utility* is the summed contribution of its shared sensors; its *privacy
+// cost* is the summed sensitivity of its shared sensors (camera 1.0,
+// LiDAR 0.5, radar 0.1). Both are then min-max normalised to [0, 1] for use
+// in the fitness function (Eq. (1)/(4)).
+#pragma once
+
+#include <array>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/lattice.h"
+
+namespace avcp::core {
+
+/// Number of perception factors in Table III.
+inline constexpr std::size_t kNumPerceptionFactors = 11;
+
+/// Factor names, in Table III order.
+std::span<const std::string> perception_factor_names();
+
+/// Per-sensor scores over the 11 factors.
+struct SensorProfile {
+  std::string name;
+  std::array<double, kNumPerceptionFactors> factor_scores{};
+  double privacy_cost = 0.0;
+
+  /// Sum contribution to the 11 factors (Table III bottom row).
+  double utility_sum() const noexcept;
+};
+
+/// The paper's three sensors with Table III scores and §V-C privacy costs
+/// (camera 1.0, LiDAR 0.5, radar 0.1), in lattice declaration order
+/// [camera, lidar, radar].
+std::vector<SensorProfile> paper_sensors();
+
+/// Per-decision utility f_k and privacy cost g_k.
+struct DecisionTables {
+  std::vector<double> utility;       // normalised f_k in [0, 1]
+  std::vector<double> privacy;       // normalised g_k in [0, 1]
+  std::vector<double> raw_utility;   // Table II "Utility" column
+  std::vector<double> raw_privacy;   // Table II "Privacy cost" column
+};
+
+/// Builds Table II for an arbitrary lattice: raw values are additive over
+/// shared sensors; normalised values divide by the maxima (attained by the
+/// share-everything decision P^1).
+DecisionTables make_decision_tables(const DecisionLattice& lattice,
+                                    std::span<const SensorProfile> sensors);
+
+/// Convenience: the paper's exact 8-decision tables.
+DecisionTables paper_decision_tables(const DecisionLattice& lattice);
+
+}  // namespace avcp::core

@@ -1,0 +1,133 @@
+#include "perception/data_plane.h"
+
+#include <algorithm>
+
+#include "common/contracts.h"
+#include "common/stats.h"
+
+namespace avcp::perception {
+
+double RoundOutcome::mean_utility() const {
+  return mean(std::span<const double>(utility));
+}
+
+double RoundOutcome::mean_privacy() const {
+  return mean(std::span<const double>(privacy));
+}
+
+EdgeServerDataPlane::EdgeServerDataPlane(const core::DecisionLattice& lattice,
+                                         const DataUniverse& universe,
+                                         core::AccessRule access,
+                                         std::uint64_t seed)
+    : lattice_(lattice), universe_(universe), access_(access), rng_(seed) {
+  AVCP_EXPECT(universe.num_sensors() == lattice.num_sensors());
+}
+
+ItemSet EdgeServerDataPlane::shared_items(const Vehicle& v) const {
+  AVCP_EXPECT(v.decision < lattice_.num_decisions());
+  AVCP_EXPECT(is_sorted_unique(v.collected));
+  ItemSet shared;
+  for (const ItemId id : v.collected) {
+    if (lattice_.shares(v.decision, universe_.item(id).sensor)) {
+      shared.push_back(id);
+    }
+  }
+  return shared;
+}
+
+RoundOutcome EdgeServerDataPlane::run_round(std::span<const Vehicle> vehicles,
+                                            double sharing_ratio) {
+  return run_round_with_server(vehicles, sharing_ratio, ItemSet{});
+}
+
+EdgeServerDataPlane::DirectionalOutcome EdgeServerDataPlane::run_directional(
+    std::span<const Vehicle> senders, std::span<const Vehicle> receivers,
+    double sharing_ratio) {
+  AVCP_EXPECT(sharing_ratio >= 0.0 && sharing_ratio <= 1.0);
+  std::vector<ItemSet> uploads(senders.size());
+  for (std::size_t b = 0; b < senders.size(); ++b) {
+    uploads[b] = shared_items(senders[b]);
+  }
+
+  DirectionalOutcome outcome;
+  outcome.marginal_utility.resize(receivers.size(), 0.0);
+  for (std::size_t a = 0; a < receivers.size(); ++a) {
+    const Vehicle& receiver = receivers[a];
+    AVCP_EXPECT(is_sorted_unique(receiver.collected));
+    ItemSet received;
+    for (std::size_t b = 0; b < senders.size(); ++b) {
+      const bool readable =
+          access_ == core::AccessRule::kSubsetOrEqual
+              ? lattice_.preceq(receiver.decision, senders[b].decision)
+              : lattice_.precedes(receiver.decision, senders[b].decision);
+      if (!readable) continue;
+      if (!rng_.bernoulli(sharing_ratio)) continue;
+      outcome.deliveries += uploads[b].size();
+      received.insert(received.end(), uploads[b].begin(), uploads[b].end());
+    }
+    std::sort(received.begin(), received.end());
+    received.erase(std::unique(received.begin(), received.end()),
+                   received.end());
+    received = set_difference(received, receiver.collected);
+    if (!received.empty() && !receiver.desired.empty()) {
+      const UtilityMeasure f(universe_, receiver.desired);
+      outcome.marginal_utility[a] = f(received);
+    }
+  }
+  return outcome;
+}
+
+RoundOutcome EdgeServerDataPlane::run_round_with_server(
+    std::span<const Vehicle> vehicles, double sharing_ratio,
+    const ItemSet& server_items) {
+  AVCP_EXPECT(sharing_ratio >= 0.0 && sharing_ratio <= 1.0);
+  AVCP_EXPECT(is_sorted_unique(server_items));
+
+  const std::size_t n = vehicles.size();
+  RoundOutcome outcome;
+  outcome.utility.resize(n, 0.0);
+  outcome.privacy.resize(n, 0.0);
+
+  // Upload phase (framework step 4): decision-filtered collected data.
+  std::vector<ItemSet> uploads(n);
+  ItemSet server_view;
+  for (std::size_t a = 0; a < n; ++a) {
+    uploads[a] = shared_items(vehicles[a]);
+    server_view = set_union(server_view, uploads[a]);
+    outcome.privacy[a] = privacy_cost(universe_, uploads[a]);
+  }
+  outcome.exposed_items = server_view.size();
+  outcome.exposed_privacy = privacy_cost(universe_, server_view);
+
+  // Distribution phase (step 5): b's upload reaches a with probability x
+  // iff a's decision shares at least b's sensor types.
+  for (std::size_t a = 0; a < n; ++a) {
+    // Gather all accepted uploads first, then sort/deduplicate once — a
+    // per-sender set_union would make large cells quadratic in fleet size.
+    ItemSet received = set_union(vehicles[a].collected, server_items);
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a == b) continue;
+      if (!((access_ == core::AccessRule::kSubsetOrEqual &&
+             lattice_.preceq(vehicles[a].decision, vehicles[b].decision)) ||
+            (access_ == core::AccessRule::kStrictSubset &&
+             lattice_.precedes(vehicles[a].decision, vehicles[b].decision)))) {
+        continue;
+      }
+      if (!rng_.bernoulli(sharing_ratio)) continue;
+      outcome.deliveries += uploads[b].size();
+      received.insert(received.end(), uploads[b].begin(), uploads[b].end());
+    }
+    std::sort(received.begin(), received.end());
+    received.erase(std::unique(received.begin(), received.end()),
+                   received.end());
+    if (!vehicles[a].desired.empty()) {
+      const UtilityMeasure f(universe_, vehicles[a].desired);
+      outcome.utility[a] = f(received);
+    } else {
+      outcome.utility[a] = 0.0;  // nothing desired: utility trivially zero
+    }
+  }
+  return outcome;
+}
+
+}  // namespace avcp::perception

@@ -1,0 +1,93 @@
+// Edge-server data plane executing the lattice-based sharing policy
+// (paper §II framework steps S2/4/5 and §III policy implementation).
+//
+// Each round, every vehicle uploads the part of its collected data selected
+// by its decision; the edge server then distributes vehicle b's upload to
+// vehicle a with probability x iff a's decision precedes b's in the lattice
+// (P^{k_b} ⊆ P^{k_a}). The outcome records each vehicle's realised utility
+// h_a = f_a(own ∪ received), privacy cost c_a = g(shared), and the
+// passive-eavesdropper exposure (everything visible at the server — the
+// paper's threat model).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/lattice.h"
+#include "perception/measure.h"
+
+namespace avcp::perception {
+
+/// A participating vehicle within one edge-server cell.
+struct Vehicle {
+  core::DecisionId decision = 0;
+  ItemSet collected;  // S_a
+  ItemSet desired;    // D_a
+};
+
+/// Result of one data-sharing round in one cell.
+struct RoundOutcome {
+  std::vector<double> utility;  // h_a per vehicle, in [0, 1]
+  std::vector<double> privacy;  // c_a per vehicle, in [0, 1]
+  /// Unique items uploaded to the server this round (eavesdropper view).
+  std::size_t exposed_items = 0;
+  /// Privacy mass of the exposed items, normalised like g.
+  double exposed_privacy = 0.0;
+  /// Item deliveries performed (sum over receivers of received items).
+  std::size_t deliveries = 0;
+
+  /// Population averages.
+  double mean_utility() const;
+  double mean_privacy() const;
+};
+
+class EdgeServerDataPlane {
+ public:
+  /// `lattice` and `universe` must outlive the plane.
+  EdgeServerDataPlane(const core::DecisionLattice& lattice,
+                      const DataUniverse& universe,
+                      core::AccessRule access = core::AccessRule::kSubsetOrEqual,
+                      std::uint64_t seed = 1);
+
+  /// Runs one upload/distribute round at the given sharing ratio x.
+  RoundOutcome run_round(std::span<const Vehicle> vehicles, double sharing_ratio);
+
+  /// Like run_round, but the edge server additionally contributes its own
+  /// perception `server_items` (the paper's §VII second future-work item:
+  /// roadside infrastructure perceives its surroundings and distributes the
+  /// result to bypassing vehicles). Server items reach every vehicle
+  /// unconditionally — infrastructure data carries no passenger privacy
+  /// cost and is outside the lattice incentive loop.
+  RoundOutcome run_round_with_server(std::span<const Vehicle> vehicles,
+                                     double sharing_ratio,
+                                     const ItemSet& server_items);
+
+  /// The items vehicle would upload under its decision (S_a ∩ P^{k_a}).
+  ItemSet shared_items(const Vehicle& v) const;
+
+  /// Result of a directional (cross-cell) round: senders upload, receivers
+  /// receive; nothing flows the other way.
+  struct DirectionalOutcome {
+    /// Marginal utility per receiver: f_a of the newly received items
+    /// (already-held items excluded), in [0, 1].
+    std::vector<double> marginal_utility;
+    std::size_t deliveries = 0;
+  };
+
+  /// One direction of the paper's inter-region exchange (Fig. 5, Eq. (4)'s
+  /// x_j * gamma_ji term): vehicles of a *neighbouring* cell act as senders
+  /// and this cell's vehicles as receivers, at the sender cell's sharing
+  /// ratio. Lattice admissibility applies as usual.
+  DirectionalOutcome run_directional(std::span<const Vehicle> senders,
+                                     std::span<const Vehicle> receivers,
+                                     double sharing_ratio);
+
+ private:
+  const core::DecisionLattice& lattice_;
+  const DataUniverse& universe_;
+  core::AccessRule access_;
+  Rng rng_;
+};
+
+}  // namespace avcp::perception

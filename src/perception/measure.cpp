@@ -1,0 +1,121 @@
+#include "perception/measure.h"
+
+#include <algorithm>
+
+#include "common/contracts.h"
+
+namespace avcp::perception {
+
+ItemSet set_union(const ItemSet& a, const ItemSet& b) {
+  ItemSet out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+ItemSet set_intersect(const ItemSet& a, const ItemSet& b) {
+  ItemSet out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+ItemSet set_difference(const ItemSet& a, const ItemSet& b) {
+  ItemSet out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+bool set_contains(const ItemSet& a, ItemId id) noexcept {
+  return std::binary_search(a.begin(), a.end(), id);
+}
+
+bool is_sorted_unique(const ItemSet& a) noexcept {
+  return std::adjacent_find(a.begin(), a.end(),
+                            [](ItemId x, ItemId y) { return x >= y; }) ==
+         a.end();
+}
+
+DataUniverse::DataUniverse(std::size_t num_sensors)
+    : num_sensors_(num_sensors) {
+  AVCP_EXPECT(num_sensors >= 1);
+}
+
+ItemId DataUniverse::add_item(std::size_t sensor, double utility_weight,
+                              double privacy_weight) {
+  AVCP_EXPECT(sensor < num_sensors_);
+  AVCP_EXPECT(utility_weight > 0.0);
+  AVCP_EXPECT(privacy_weight >= 0.0);
+  items_.push_back(DataItem{sensor, utility_weight, privacy_weight});
+  total_privacy_ += privacy_weight;
+  return static_cast<ItemId>(items_.size() - 1);
+}
+
+const DataItem& DataUniverse::item(ItemId id) const {
+  AVCP_EXPECT(id < items_.size());
+  return items_[id];
+}
+
+ItemSet DataUniverse::items_of_sensor(std::size_t sensor) const {
+  AVCP_EXPECT(sensor < num_sensors_);
+  ItemSet out;
+  for (ItemId id = 0; id < items_.size(); ++id) {
+    if (items_[id].sensor == sensor) out.push_back(id);
+  }
+  return out;
+}
+
+double DataUniverse::utility_weight(const ItemSet& s) const {
+  double total = 0.0;
+  for (const ItemId id : s) total += item(id).utility_weight;
+  return total;
+}
+
+double DataUniverse::privacy_weight(const ItemSet& s) const {
+  double total = 0.0;
+  for (const ItemId id : s) total += item(id).privacy_weight;
+  return total;
+}
+
+DataUniverse DataUniverse::synthetic(std::size_t num_sensors,
+                                     std::size_t items_per_sensor,
+                                     std::span<const double> sensor_privacy,
+                                     Rng& rng) {
+  AVCP_EXPECT(sensor_privacy.size() == num_sensors);
+  AVCP_EXPECT(items_per_sensor >= 1);
+  DataUniverse universe(num_sensors);
+  for (std::size_t s = 0; s < num_sensors; ++s) {
+    for (std::size_t i = 0; i < items_per_sensor; ++i) {
+      // Mild weight heterogeneity so sets of equal size differ in value.
+      const double utility = rng.uniform(0.5, 1.5);
+      const double privacy = sensor_privacy[s] * rng.uniform(0.5, 1.5);
+      universe.add_item(s, utility, privacy);
+    }
+  }
+  return universe;
+}
+
+UtilityMeasure::UtilityMeasure(const DataUniverse& universe, ItemSet desired)
+    : universe_(&universe), desired_(std::move(desired)) {
+  AVCP_EXPECT(is_sorted_unique(desired_));
+  AVCP_EXPECT(!desired_.empty());
+  desired_weight_ = universe.utility_weight(desired_);
+  AVCP_EXPECT(desired_weight_ > 0.0);
+}
+
+double UtilityMeasure::operator()(const ItemSet& s) const {
+  AVCP_EXPECT(is_sorted_unique(s));
+  const ItemSet relevant = set_intersect(s, desired_);
+  return universe_->utility_weight(relevant) / desired_weight_;
+}
+
+double privacy_cost(const DataUniverse& universe, const ItemSet& shared) {
+  AVCP_EXPECT(is_sorted_unique(shared));
+  const double total = universe.total_privacy_weight();
+  if (total <= 0.0) return 0.0;
+  return universe.privacy_weight(shared) / total;
+}
+
+}  // namespace avcp::perception

@@ -1,0 +1,89 @@
+#include "perception/scheduler.h"
+
+#include <algorithm>
+
+#include "common/contracts.h"
+
+namespace avcp::perception {
+
+DistributionScheduler::DistributionScheduler(
+    const core::DecisionLattice& lattice, const DataUniverse& universe,
+    core::AccessRule access)
+    : lattice_(lattice), universe_(universe), access_(access) {}
+
+ItemSet DistributionScheduler::admissible_pool(
+    std::span<const SenderUpload> uploads,
+    const DistributionRequest& receiver) const {
+  AVCP_EXPECT(receiver.decision < lattice_.num_decisions());
+  AVCP_EXPECT(is_sorted_unique(receiver.already_held));
+  ItemSet pool;
+  for (const SenderUpload& upload : uploads) {
+    AVCP_EXPECT(is_sorted_unique(upload.items));
+    const bool readable =
+        access_ == core::AccessRule::kSubsetOrEqual
+            ? lattice_.preceq(receiver.decision, upload.decision)
+            : lattice_.precedes(receiver.decision, upload.decision);
+    if (!readable) continue;
+    pool.insert(pool.end(), upload.items.begin(), upload.items.end());
+  }
+  std::sort(pool.begin(), pool.end());
+  pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
+  return set_difference(pool, receiver.already_held);
+}
+
+DistributionPlan DistributionScheduler::plan(
+    std::span<const SenderUpload> uploads,
+    std::span<const DistributionRequest> receivers,
+    std::optional<std::size_t> server_budget_items) const {
+  DistributionPlan result;
+  result.deliveries.resize(receivers.size());
+
+  // Candidate deliveries: (utility weight, receiver, item), desired-only —
+  // undesired items contribute nothing under Property 3.1(a).
+  struct Candidate {
+    double weight;
+    std::size_t receiver;
+    ItemId item;
+  };
+  std::vector<Candidate> candidates;
+  std::vector<std::size_t> remaining(receivers.size());
+  for (std::size_t r = 0; r < receivers.size(); ++r) {
+    AVCP_EXPECT(is_sorted_unique(receivers[r].desired));
+    remaining[r] = receivers[r].budget_items;
+    const ItemSet pool = admissible_pool(uploads, receivers[r]);
+    for (const ItemId id : set_intersect(pool, receivers[r].desired)) {
+      candidates.push_back(
+          Candidate{universe_.item(id).utility_weight, r, id});
+    }
+  }
+  // Highest utility weight first; deterministic tie-break.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              if (a.receiver != b.receiver) return a.receiver < b.receiver;
+              return a.item < b.item;
+            });
+
+  std::size_t server_remaining =
+      server_budget_items.value_or(~std::size_t{0});
+  for (const Candidate& c : candidates) {
+    if (server_remaining == 0) {
+      ++result.dropped_items;
+      continue;
+    }
+    if (remaining[c.receiver] == 0) {
+      ++result.dropped_items;
+      continue;
+    }
+    result.deliveries[c.receiver].push_back(c.item);
+    result.total_utility_weight += c.weight;
+    --remaining[c.receiver];
+    if (server_budget_items.has_value()) --server_remaining;
+  }
+  for (ItemSet& delivery : result.deliveries) {
+    std::sort(delivery.begin(), delivery.end());
+  }
+  return result;
+}
+
+}  // namespace avcp::perception

@@ -1,0 +1,76 @@
+// Time-efficient edge-to-vehicle distribution (paper §VII, second
+// future-work item): vehicles pass an edge server at speed, so each has a
+// bounded connection window — the server cannot push every admissible item
+// and must schedule what it sends.
+//
+// With the additive utility measure of Property 3.1, each delivered item
+// contributes its utility weight independently, so the scheduling problem
+// is a unit-size knapsack per receiver (and a shared-downlink knapsack when
+// the server's total egress is also capped): exact optimality is reached by
+// a weight-greedy order, which DistributionScheduler implements and the
+// tests verify against brute force.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/lattice.h"
+#include "perception/measure.h"
+
+namespace avcp::perception {
+
+/// One vehicle's upload visible at the server this round.
+struct SenderUpload {
+  core::DecisionId decision = 0;  // governs who may read it
+  ItemSet items;                  // decision-filtered shared data
+};
+
+/// One receiver's distribution request.
+struct DistributionRequest {
+  core::DecisionId decision = 0;  // lattice admissibility
+  ItemSet desired;                // D_a: only desired items carry utility
+  ItemSet already_held;           // own collection; never re-sent
+  /// Connection window: max items deliverable to this vehicle this round.
+  std::size_t budget_items = ~std::size_t{0};
+};
+
+/// Planned deliveries.
+struct DistributionPlan {
+  /// deliveries[r]: sorted unique items sent to receiver r.
+  std::vector<ItemSet> deliveries;
+  /// Sum over receivers of the delivered utility weight (unnormalised).
+  double total_utility_weight = 0.0;
+  /// Items that were admissible and desired somewhere but cut by budgets.
+  std::size_t dropped_items = 0;
+};
+
+class DistributionScheduler {
+ public:
+  /// `lattice` and `universe` must outlive the scheduler.
+  DistributionScheduler(const core::DecisionLattice& lattice,
+                        const DataUniverse& universe,
+                        core::AccessRule access = core::AccessRule::kSubsetOrEqual);
+
+  /// Plans one round. Per-receiver budgets always apply; when
+  /// `server_budget_items` is set, the total number of delivered items
+  /// across receivers is additionally capped and allocated globally by
+  /// marginal utility weight (ties broken toward lower receiver index,
+  /// then lower item id, for determinism).
+  DistributionPlan plan(std::span<const SenderUpload> uploads,
+                        std::span<const DistributionRequest> receivers,
+                        std::optional<std::size_t> server_budget_items =
+                            std::nullopt) const;
+
+  /// The admissible pool for one receiver: union of uploads it may read,
+  /// minus what it already holds.
+  ItemSet admissible_pool(std::span<const SenderUpload> uploads,
+                          const DistributionRequest& receiver) const;
+
+ private:
+  const core::DecisionLattice& lattice_;
+  const DataUniverse& universe_;
+  core::AccessRule access_;
+};
+
+}  // namespace avcp::perception

@@ -1,0 +1,181 @@
+#include "roadnet/betweenness.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <thread>
+
+#include "common/contracts.h"
+
+namespace avcp::roadnet {
+
+namespace {
+
+double edge_weight(const RoadGraph& g, SegmentId s, PathMetric metric) {
+  switch (metric) {
+    case PathMetric::kHops:
+      return 1.0;
+    case PathMetric::kDistance:
+      return g.segment(s).length_m;
+    case PathMetric::kTravelTime:
+      return g.segment(s).travel_time_s();
+  }
+  return 1.0;
+}
+
+/// One Brandes accumulation pass from `source`, adding each segment's
+/// pair-dependency into `centrality`.
+void accumulate_from_source(const RoadGraph& g, NodeId source,
+                            PathMetric metric,
+                            std::vector<double>& centrality) {
+  const std::size_t n = g.num_intersections();
+  std::vector<double> dist(n, std::numeric_limits<double>::infinity());
+  std::vector<double> sigma(n, 0.0);  // shortest-path counts
+  std::vector<double> delta(n, 0.0);  // dependencies
+  std::vector<std::vector<Hop>> preds(n);
+  std::vector<NodeId> order;  // nodes in nondecreasing distance
+  order.reserve(n);
+
+  dist[source] = 0.0;
+  sigma[source] = 1.0;
+
+  if (metric == PathMetric::kHops) {
+    std::queue<NodeId> frontier;
+    frontier.push(source);
+    while (!frontier.empty()) {
+      const NodeId v = frontier.front();
+      frontier.pop();
+      order.push_back(v);
+      for (const Hop& hop : g.neighbors(v)) {
+        const NodeId w = hop.node;
+        if (dist[w] == std::numeric_limits<double>::infinity()) {
+          dist[w] = dist[v] + 1.0;
+          frontier.push(w);
+        }
+        if (dist[w] == dist[v] + 1.0) {
+          sigma[w] += sigma[v];
+          preds[w].push_back(Hop{hop.segment, v});
+        }
+      }
+    }
+  } else {
+    using Entry = std::pair<double, NodeId>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    std::vector<bool> settled(n, false);
+    heap.emplace(0.0, source);
+    constexpr double kTieTol = 1e-9;
+    while (!heap.empty()) {
+      const auto [d, v] = heap.top();
+      heap.pop();
+      if (settled[v]) continue;
+      settled[v] = true;
+      order.push_back(v);
+      for (const Hop& hop : g.neighbors(v)) {
+        const NodeId w = hop.node;
+        const double nd = d + edge_weight(g, hop.segment, metric);
+        if (nd < dist[w] - kTieTol) {
+          dist[w] = nd;
+          sigma[w] = sigma[v];
+          preds[w].assign(1, Hop{hop.segment, v});
+          heap.emplace(nd, w);
+        } else if (std::abs(nd - dist[w]) <= kTieTol && !settled[w]) {
+          sigma[w] += sigma[v];
+          preds[w].push_back(Hop{hop.segment, v});
+        }
+      }
+    }
+  }
+
+  // Back-propagate dependencies in reverse settle order.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId w = *it;
+    for (const Hop& pred : preds[w]) {
+      const double share = sigma[pred.node] / sigma[w] * (1.0 + delta[w]);
+      centrality[pred.segment] += share;
+      delta[pred.node] += share;
+    }
+  }
+}
+
+std::vector<double> betweenness_from_sources(
+    const RoadGraph& g, std::span<const NodeId> sources, double scale,
+    const BetweennessOptions& opts) {
+  std::size_t num_threads = opts.num_threads;
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  num_threads = std::min(num_threads, std::max<std::size_t>(1, sources.size()));
+
+  std::vector<double> centrality(g.num_segments(), 0.0);
+  if (num_threads <= 1) {
+    for (const NodeId s : sources) {
+      accumulate_from_source(g, s, opts.metric, centrality);
+    }
+  } else {
+    // Strided source partition; per-thread accumulators reduced in thread
+    // order, so results are reproducible for a fixed thread count.
+    std::vector<std::vector<double>> partials(
+        num_threads, std::vector<double>(g.num_segments(), 0.0));
+    std::vector<std::thread> workers;
+    workers.reserve(num_threads);
+    for (std::size_t t = 0; t < num_threads; ++t) {
+      workers.emplace_back([&, t]() {
+        for (std::size_t s = t; s < sources.size(); s += num_threads) {
+          accumulate_from_source(g, sources[s], opts.metric, partials[t]);
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+    for (const auto& partial : partials) {
+      for (std::size_t i = 0; i < centrality.size(); ++i) {
+        centrality[i] += partial[i];
+      }
+    }
+  }
+  // Undirected graph: each pair (s, t) is visited from both endpoints.
+  double norm = 2.0;
+  if (opts.normalize) {
+    const auto n = static_cast<double>(g.num_intersections());
+    if (n > 2.0) norm *= (n - 1.0) * (n - 2.0);
+  }
+  for (double& c : centrality) c = c * scale / norm;
+  return centrality;
+}
+
+}  // namespace
+
+std::vector<double> segment_betweenness(const RoadGraph& g,
+                                        const BetweennessOptions& opts) {
+  AVCP_EXPECT(g.finalized());
+  std::vector<NodeId> sources(g.num_intersections());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    sources[i] = static_cast<NodeId>(i);
+  }
+  return betweenness_from_sources(g, sources, 1.0, opts);
+}
+
+std::vector<double> sampled_segment_betweenness(
+    const RoadGraph& g, std::size_t num_sources, Rng& rng,
+    const BetweennessOptions& opts) {
+  AVCP_EXPECT(g.finalized());
+  AVCP_EXPECT(num_sources >= 1);
+  const std::size_t n = g.num_intersections();
+  num_sources = std::min(num_sources, n);
+
+  // Sample sources without replacement (partial Fisher-Yates).
+  std::vector<NodeId> pool(n);
+  for (std::size_t i = 0; i < n; ++i) pool[i] = static_cast<NodeId>(i);
+  for (std::size_t i = 0; i < num_sources; ++i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(i),
+                        static_cast<std::int64_t>(n) - 1));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(num_sources);
+
+  const double scale =
+      static_cast<double>(n) / static_cast<double>(num_sources);
+  return betweenness_from_sources(g, pool, scale, opts);
+}
+
+}  // namespace avcp::roadnet

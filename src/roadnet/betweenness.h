@@ -1,0 +1,48 @@
+// Betweenness centrality of road segments (Eq. (2) of the paper).
+//
+// The paper measures the importance of a road segment by the fraction of
+// shortest paths that traverse it. On the intersection graph this is the
+// classical *edge* betweenness, computed here with Brandes' accumulation
+// (O(N*M) unweighted, O(N*(M + N log N)) weighted). An optional sampled
+// variant trades exactness for speed on large networks, normalising by the
+// sampled source count so values stay comparable to the exact ones.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "roadnet/road_graph.h"
+
+namespace avcp::roadnet {
+
+/// How path length is measured when counting shortest paths.
+enum class PathMetric : std::uint8_t {
+  kHops = 0,        // unweighted BFS
+  kDistance = 1,    // segment length, Dijkstra
+  kTravelTime = 2,  // length / speed, Dijkstra
+};
+
+struct BetweennessOptions {
+  PathMetric metric = PathMetric::kHops;
+  /// Normalise by (N-1)(N-2) as in Eq. (2) so values are comparable across
+  /// network sizes. When false, raw pair counts are returned.
+  bool normalize = true;
+  /// Worker threads for the per-source accumulation passes (Brandes is
+  /// embarrassingly parallel across sources). 0 = hardware concurrency.
+  /// Results are bit-reproducible for a fixed thread count; across
+  /// different counts they agree to floating-point reduction order.
+  std::size_t num_threads = 1;
+};
+
+/// Exact per-segment betweenness centrality.
+std::vector<double> segment_betweenness(const RoadGraph& g,
+                                        const BetweennessOptions& opts = {});
+
+/// Approximate betweenness from `num_sources` sampled BFS/Dijkstra roots,
+/// rescaled to estimate the exact value. Requires num_sources >= 1.
+std::vector<double> sampled_segment_betweenness(
+    const RoadGraph& g, std::size_t num_sources, Rng& rng,
+    const BetweennessOptions& opts = {});
+
+}  // namespace avcp::roadnet

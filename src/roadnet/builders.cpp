@@ -1,0 +1,201 @@
+#include "roadnet/builders.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/contracts.h"
+
+namespace avcp::roadnet {
+
+namespace {
+
+/// Union-find used to guarantee pruning keeps the network connected.
+class DisjointSet {
+ public:
+  explicit DisjointSet(std::size_t n) : parent_(n), rank_(n, 0) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  bool unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (rank_[a] < rank_[b]) std::swap(a, b);
+    parent_[b] = a;
+    if (rank_[a] == rank_[b]) ++rank_[a];
+    return true;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::uint8_t> rank_;
+};
+
+RoadClass classify_line(std::uint32_t index, const CityParams& p) {
+  if (p.arterial_period > 0 && index % p.arterial_period == 0) {
+    return RoadClass::kArterial;
+  }
+  if (p.collector_period > 0 && index % p.collector_period == 0) {
+    return RoadClass::kCollector;
+  }
+  return RoadClass::kLocal;
+}
+
+/// The class of a grid edge is the best (smallest enum) of the classes of
+/// the row/column line it lies on.
+RoadClass edge_class(RoadClass line_cls) { return line_cls; }
+
+struct CandidateEdge {
+  NodeId a;
+  NodeId b;
+  RoadClass cls;
+};
+
+}  // namespace
+
+RoadGraph build_city(const CityParams& p) {
+  AVCP_EXPECT(p.rows >= 2 && p.cols >= 2);
+  AVCP_EXPECT(p.spacing_m > 0.0);
+  AVCP_EXPECT(p.local_prune_frac >= 0.0 && p.local_prune_frac < 1.0);
+
+  Rng rng(p.seed);
+  RoadGraph g;
+
+  // Intersections on a jittered grid.
+  std::vector<NodeId> ids(static_cast<std::size_t>(p.rows) * p.cols);
+  for (std::uint32_t r = 0; r < p.rows; ++r) {
+    for (std::uint32_t c = 0; c < p.cols; ++c) {
+      const double jx = p.jitter_frac * p.spacing_m * rng.uniform(-1.0, 1.0);
+      const double jy = p.jitter_frac * p.spacing_m * rng.uniform(-1.0, 1.0);
+      const PointM pos{c * p.spacing_m + jx, r * p.spacing_m + jy};
+      ids[static_cast<std::size_t>(r) * p.cols + c] = g.add_intersection(pos);
+    }
+  }
+  const auto node_at = [&](std::uint32_t r, std::uint32_t c) {
+    return ids[static_cast<std::size_t>(r) * p.cols + c];
+  };
+
+  // Candidate edges: horizontal edges inherit the row class, vertical edges
+  // the column class.
+  std::vector<CandidateEdge> candidates;
+  candidates.reserve(2 * static_cast<std::size_t>(p.rows) * p.cols);
+  for (std::uint32_t r = 0; r < p.rows; ++r) {
+    const RoadClass row_cls = classify_line(r, p);
+    for (std::uint32_t c = 0; c + 1 < p.cols; ++c) {
+      candidates.push_back(
+          {node_at(r, c), node_at(r, c + 1), edge_class(row_cls)});
+    }
+  }
+  for (std::uint32_t c = 0; c < p.cols; ++c) {
+    const RoadClass col_cls = classify_line(c, p);
+    for (std::uint32_t r = 0; r + 1 < p.rows; ++r) {
+      candidates.push_back(
+          {node_at(r, c), node_at(r + 1, c), edge_class(col_cls)});
+    }
+  }
+
+  // Prune local edges. A spanning structure over all candidates is fixed
+  // first so connectivity survives; arterials and collectors always stay.
+  std::vector<std::size_t> order(candidates.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.shuffle(order);
+
+  DisjointSet components(ids.size());
+  std::vector<bool> keep(candidates.size(), false);
+
+  // Pass 1: non-local edges are always kept.
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (candidates[i].cls != RoadClass::kLocal) {
+      keep[i] = true;
+      components.unite(candidates[i].a, candidates[i].b);
+    }
+  }
+  // Pass 2: local edges — keep those needed for connectivity, then keep the
+  // remainder with probability (1 - prune_frac).
+  for (const std::size_t i : order) {
+    if (candidates[i].cls != RoadClass::kLocal) continue;
+    if (components.unite(candidates[i].a, candidates[i].b)) {
+      keep[i] = true;
+    } else if (!rng.bernoulli(p.local_prune_frac)) {
+      keep[i] = true;
+    }
+  }
+
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (keep[i]) {
+      g.add_segment(candidates[i].a, candidates[i].b, candidates[i].cls);
+    }
+  }
+
+  g.finalize();
+  AVCP_ENSURE(g.is_connected());
+  return g;
+}
+
+RoadGraph make_grid(std::uint32_t rows, std::uint32_t cols, double spacing_m) {
+  AVCP_EXPECT(rows >= 1 && cols >= 1);
+  RoadGraph g;
+  std::vector<NodeId> ids(static_cast<std::size_t>(rows) * cols);
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      ids[static_cast<std::size_t>(r) * cols + c] =
+          g.add_intersection(PointM{c * spacing_m, r * spacing_m});
+    }
+  }
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      const NodeId here = ids[static_cast<std::size_t>(r) * cols + c];
+      if (c + 1 < cols) {
+        g.add_segment(here, ids[static_cast<std::size_t>(r) * cols + c + 1],
+                      RoadClass::kLocal);
+      }
+      if (r + 1 < rows) {
+        g.add_segment(here, ids[(static_cast<std::size_t>(r) + 1) * cols + c],
+                      RoadClass::kLocal);
+      }
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+RoadGraph make_line(std::uint32_t n, double spacing_m) {
+  AVCP_EXPECT(n >= 2);
+  RoadGraph g;
+  NodeId prev = g.add_intersection(PointM{0.0, 0.0});
+  for (std::uint32_t i = 1; i < n; ++i) {
+    const NodeId next = g.add_intersection(PointM{i * spacing_m, 0.0});
+    g.add_segment(prev, next, RoadClass::kLocal);
+    prev = next;
+  }
+  g.finalize();
+  return g;
+}
+
+RoadGraph make_ring(std::uint32_t n, double radius_m) {
+  AVCP_EXPECT(n >= 3);
+  RoadGraph g;
+  std::vector<NodeId> ids(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const double angle = 2.0 * std::numbers::pi * i / n;
+    ids[i] = g.add_intersection(
+        PointM{radius_m * std::cos(angle), radius_m * std::sin(angle)});
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    g.add_segment(ids[i], ids[(i + 1) % n], RoadClass::kLocal);
+  }
+  g.finalize();
+  return g;
+}
+
+}  // namespace avcp::roadnet

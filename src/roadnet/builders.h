@@ -1,0 +1,51 @@
+// Road-network construction.
+//
+// CityBuilder substitutes for the paper's OpenStreetMap extract of Futian
+// district (see DESIGN.md section 1): it lays a jittered street grid over
+// the bounding box with an arterial/collector/local hierarchy and prunes a
+// fraction of local streets, which yields the heavy-tailed betweenness and
+// traffic-density distributions the clustering stage (Fig. 8) relies on.
+// The small make_* helpers build canonical graphs for tests.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "roadnet/road_graph.h"
+
+namespace avcp::roadnet {
+
+/// Parameters of the procedural city.
+struct CityParams {
+  /// Grid dimensions (intersections). 24x32 at Futian scale gives ~1.4k
+  /// segments; raise for larger studies.
+  std::uint32_t rows = 24;
+  std::uint32_t cols = 32;
+  /// Spacing between adjacent intersections, metres.
+  double spacing_m = 320.0;
+  /// Every k-th row/column is an arterial (k = arterial_period).
+  std::uint32_t arterial_period = 8;
+  /// Every k-th row/column is a collector (applied after arterials).
+  std::uint32_t collector_period = 4;
+  /// Positional jitter as a fraction of spacing (0 disables).
+  double jitter_frac = 0.18;
+  /// Fraction of *local* segments removed (connectivity is preserved).
+  double local_prune_frac = 0.22;
+  /// RNG seed for jitter and pruning.
+  std::uint64_t seed = 42;
+};
+
+/// Builds a finalized, connected procedural city.
+RoadGraph build_city(const CityParams& params);
+
+/// Rectangular grid without hierarchy or jitter; all segments kLocal.
+RoadGraph make_grid(std::uint32_t rows, std::uint32_t cols,
+                    double spacing_m = 100.0);
+
+/// Simple path graph with n intersections (n - 1 segments).
+RoadGraph make_line(std::uint32_t n, double spacing_m = 100.0);
+
+/// Cycle graph with n intersections (n segments). Requires n >= 3.
+RoadGraph make_ring(std::uint32_t n, double radius_m = 100.0);
+
+}  // namespace avcp::roadnet

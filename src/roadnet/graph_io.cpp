@@ -1,0 +1,96 @@
+#include "roadnet/graph_io.h"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "common/contracts.h"
+#include "common/csv.h"
+
+namespace avcp::roadnet {
+
+namespace {
+
+double parse_double(const std::string& s) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(s.data(), s.data() + s.size(), value);
+  AVCP_EXPECT(ec == std::errc{} && ptr == s.data() + s.size());
+  return value;
+}
+
+std::uint32_t parse_u32(const std::string& s) {
+  std::uint32_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(s.data(), s.data() + s.size(), value);
+  AVCP_EXPECT(ec == std::errc{} && ptr == s.data() + s.size());
+  return value;
+}
+
+}  // namespace
+
+const char* road_class_name(RoadClass cls) noexcept {
+  switch (cls) {
+    case RoadClass::kArterial:
+      return "arterial";
+    case RoadClass::kCollector:
+      return "collector";
+    case RoadClass::kLocal:
+      return "local";
+  }
+  return "local";
+}
+
+RoadClass parse_road_class(std::string_view name) {
+  if (name == "arterial") return RoadClass::kArterial;
+  if (name == "collector") return RoadClass::kCollector;
+  AVCP_EXPECT(name == "local");
+  return RoadClass::kLocal;
+}
+
+void write_graph_csv(std::ostream& out, const RoadGraph& graph) {
+  AVCP_EXPECT(graph.finalized());
+  CsvWriter writer(out);
+  writer.write_row({"section", "id", "x_or_from", "y_or_to", "class",
+                    "speed_mps"});
+  for (NodeId v = 0; v < graph.num_intersections(); ++v) {
+    const PointM& p = graph.intersection(v);
+    writer.write_row({"node", std::to_string(v), std::to_string(p.x),
+                      std::to_string(p.y), "", ""});
+  }
+  for (SegmentId s = 0; s < graph.num_segments(); ++s) {
+    const RoadSegment& seg = graph.segment(s);
+    writer.write_row({"segment", std::to_string(s), std::to_string(seg.from),
+                      std::to_string(seg.to), road_class_name(seg.cls),
+                      std::to_string(seg.speed_mps)});
+  }
+}
+
+RoadGraph read_graph_csv(std::istream& in) {
+  const auto rows = read_csv(in);
+  AVCP_EXPECT(!rows.empty());
+  RoadGraph graph;
+  for (std::size_t r = 1; r < rows.size(); ++r) {  // row 0 is the header
+    const auto& row = rows[r];
+    AVCP_EXPECT(row.size() == 6);
+    if (row[0] == "node") {
+      // Ids must be dense and in order so segment endpoints resolve.
+      const NodeId id = parse_u32(row[1]);
+      AVCP_EXPECT(id == graph.num_intersections());
+      graph.add_intersection(PointM{parse_double(row[2]), parse_double(row[3])});
+    } else {
+      AVCP_EXPECT(row[0] == "segment");
+      const NodeId from = parse_u32(row[2]);
+      const NodeId to = parse_u32(row[3]);
+      AVCP_EXPECT(from < graph.num_intersections());
+      AVCP_EXPECT(to < graph.num_intersections());
+      graph.add_segment(from, to, parse_road_class(row[4]),
+                        parse_double(row[5]));
+    }
+  }
+  graph.finalize();
+  return graph;
+}
+
+}  // namespace avcp::roadnet

@@ -1,0 +1,32 @@
+// Road-network CSV interchange.
+//
+// Two-section format so a network survives round trips and external tools
+// (QGIS, pandas) can consume it:
+//
+//   section,id,x_or_from,y_or_to,class,speed_mps
+//   node,<id>,<x_m>,<y_m>,,
+//   segment,<id>,<from>,<to>,<arterial|collector|local>,<speed>
+//
+// Lengths are recomputed from node positions on load, so files cannot
+// introduce inconsistent geometry.
+#pragma once
+
+#include <iosfwd>
+#include <string_view>
+
+#include "roadnet/road_graph.h"
+
+namespace avcp::roadnet {
+
+/// Writes a finalized graph.
+void write_graph_csv(std::ostream& out, const RoadGraph& graph);
+
+/// Reads and finalizes a graph; throws ContractViolation on malformed rows,
+/// unknown classes, or dangling segment endpoints.
+RoadGraph read_graph_csv(std::istream& in);
+
+/// Name <-> enum helpers for the class column.
+const char* road_class_name(RoadClass cls) noexcept;
+RoadClass parse_road_class(std::string_view name);
+
+}  // namespace avcp::roadnet

@@ -1,0 +1,158 @@
+#include "roadnet/road_graph.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/contracts.h"
+
+namespace avcp::roadnet {
+
+double default_speed_mps(RoadClass cls) noexcept {
+  switch (cls) {
+    case RoadClass::kArterial:
+      return 16.7;  // ~60 km/h
+    case RoadClass::kCollector:
+      return 11.1;  // ~40 km/h
+    case RoadClass::kLocal:
+      return 8.3;  // ~30 km/h
+  }
+  return 8.3;
+}
+
+NodeId RoadGraph::add_intersection(PointM pos) {
+  AVCP_EXPECT(!finalized_);
+  positions_.push_back(pos);
+  return static_cast<NodeId>(positions_.size() - 1);
+}
+
+SegmentId RoadGraph::add_segment(NodeId from, NodeId to, RoadClass cls,
+                                 double speed_mps) {
+  AVCP_EXPECT(!finalized_);
+  AVCP_EXPECT(from < positions_.size());
+  AVCP_EXPECT(to < positions_.size());
+  AVCP_EXPECT(from != to);
+  RoadSegment seg;
+  seg.from = from;
+  seg.to = to;
+  seg.cls = cls;
+  seg.length_m = distance_m(positions_[from], positions_[to]);
+  seg.speed_mps = speed_mps > 0.0 ? speed_mps : default_speed_mps(cls);
+  segments_.push_back(seg);
+  return static_cast<SegmentId>(segments_.size() - 1);
+}
+
+void RoadGraph::finalize() {
+  AVCP_EXPECT(!finalized_);
+  const std::size_t n = positions_.size();
+  const std::size_t m = segments_.size();
+
+  // Node -> hop CSR.
+  std::vector<std::uint32_t> degree(n, 0);
+  for (const RoadSegment& s : segments_) {
+    ++degree[s.from];
+    ++degree[s.to];
+  }
+  node_offsets_.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    node_offsets_[i + 1] = node_offsets_[i] + degree[i];
+  }
+  node_adjacency_.resize(node_offsets_[n]);
+  std::vector<std::uint32_t> cursor(node_offsets_.begin(),
+                                    node_offsets_.end() - 1);
+  for (std::size_t s = 0; s < m; ++s) {
+    const auto sid = static_cast<SegmentId>(s);
+    const RoadSegment& seg = segments_[s];
+    node_adjacency_[cursor[seg.from]++] = Hop{sid, seg.to};
+    node_adjacency_[cursor[seg.to]++] = Hop{sid, seg.from};
+  }
+
+  // Segment -> segment CSR via shared endpoints.
+  std::vector<std::vector<SegmentId>> seg_nbrs(m);
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto begin = node_offsets_[v];
+    const auto end = node_offsets_[v + 1];
+    for (auto i = begin; i < end; ++i) {
+      for (auto j = begin; j < end; ++j) {
+        if (i == j) continue;
+        seg_nbrs[node_adjacency_[i].segment].push_back(
+            node_adjacency_[j].segment);
+      }
+    }
+  }
+  seg_offsets_.assign(m + 1, 0);
+  for (std::size_t s = 0; s < m; ++s) {
+    auto& nbrs = seg_nbrs[s];
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+    seg_offsets_[s + 1] =
+        seg_offsets_[s] + static_cast<std::uint32_t>(nbrs.size());
+  }
+  seg_adjacency_.resize(seg_offsets_[m]);
+  for (std::size_t s = 0; s < m; ++s) {
+    std::copy(seg_nbrs[s].begin(), seg_nbrs[s].end(),
+              seg_adjacency_.begin() + seg_offsets_[s]);
+  }
+
+  finalized_ = true;
+}
+
+const PointM& RoadGraph::intersection(NodeId id) const {
+  AVCP_EXPECT(id < positions_.size());
+  return positions_[id];
+}
+
+const RoadSegment& RoadGraph::segment(SegmentId id) const {
+  AVCP_EXPECT(id < segments_.size());
+  return segments_[id];
+}
+
+PointM RoadGraph::segment_midpoint(SegmentId id) const {
+  const RoadSegment& s = segment(id);
+  const PointM& a = positions_[s.from];
+  const PointM& b = positions_[s.to];
+  return PointM{(a.x + b.x) / 2.0, (a.y + b.y) / 2.0};
+}
+
+std::span<const Hop> RoadGraph::neighbors(NodeId node) const {
+  AVCP_EXPECT(finalized_);
+  AVCP_EXPECT(node < positions_.size());
+  return {node_adjacency_.data() + node_offsets_[node],
+          node_adjacency_.data() + node_offsets_[node + 1]};
+}
+
+std::span<const SegmentId> RoadGraph::segment_neighbors(SegmentId seg) const {
+  AVCP_EXPECT(finalized_);
+  AVCP_EXPECT(seg < segments_.size());
+  return {seg_adjacency_.data() + seg_offsets_[seg],
+          seg_adjacency_.data() + seg_offsets_[seg + 1]};
+}
+
+NodeId RoadGraph::other_end(SegmentId seg, NodeId node) const {
+  const RoadSegment& s = segment(seg);
+  AVCP_EXPECT(s.from == node || s.to == node);
+  return s.from == node ? s.to : s.from;
+}
+
+bool RoadGraph::is_connected() const {
+  AVCP_EXPECT(finalized_);
+  if (positions_.empty()) return true;
+  std::vector<bool> seen(positions_.size(), false);
+  std::queue<NodeId> frontier;
+  frontier.push(0);
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    for (const Hop& hop : neighbors(v)) {
+      if (!seen[hop.node]) {
+        seen[hop.node] = true;
+        ++visited;
+        frontier.push(hop.node);
+      }
+    }
+  }
+  return visited == positions_.size();
+}
+
+}  // namespace avcp::roadnet

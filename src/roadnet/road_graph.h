@@ -1,0 +1,102 @@
+// Road-network graph.
+//
+// The network is modelled as intersections (nodes) joined by road segments
+// (undirected edges). The paper's analyses operate on *segments*: Eq. (2)
+// assigns betweenness centrality to segments, Eq. (3) counts vehicles per
+// segment, and Algorithm 1 clusters segments. RoadGraph therefore exposes
+// both views: node adjacency for routing and a segment adjacency (two
+// segments are neighbours when they share an intersection) for clustering.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/geo.h"
+
+namespace avcp::roadnet {
+
+using NodeId = std::uint32_t;
+using SegmentId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = ~NodeId{0};
+inline constexpr SegmentId kInvalidSegment = ~SegmentId{0};
+
+/// Functional class of a road segment; drives speed and trip attraction.
+enum class RoadClass : std::uint8_t { kArterial = 0, kCollector = 1, kLocal = 2 };
+
+/// Default free-flow speed per class, metres/second.
+double default_speed_mps(RoadClass cls) noexcept;
+
+/// A road segment joining two intersections.
+struct RoadSegment {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  double length_m = 0.0;
+  double speed_mps = 0.0;
+  RoadClass cls = RoadClass::kLocal;
+
+  /// Free-flow traversal time in seconds.
+  double travel_time_s() const noexcept { return length_m / speed_mps; }
+};
+
+/// Outgoing adjacency entry: the segment and the intersection it leads to.
+struct Hop {
+  SegmentId segment = kInvalidSegment;
+  NodeId node = kInvalidNode;
+};
+
+/// An undirected road network. Build with add_* calls, then finalize() to
+/// freeze the topology into CSR adjacency before querying neighbours.
+class RoadGraph {
+ public:
+  /// Adds an intersection at the given planar position.
+  NodeId add_intersection(PointM pos);
+
+  /// Adds a segment between two existing intersections. Length is the
+  /// Euclidean distance between the endpoints; speed defaults per class.
+  SegmentId add_segment(NodeId from, NodeId to, RoadClass cls,
+                        double speed_mps = 0.0);
+
+  /// Freezes topology and builds adjacency indexes. Must be called once
+  /// after construction and before any neighbour query.
+  void finalize();
+
+  bool finalized() const noexcept { return finalized_; }
+
+  std::size_t num_intersections() const noexcept { return positions_.size(); }
+  std::size_t num_segments() const noexcept { return segments_.size(); }
+
+  const PointM& intersection(NodeId id) const;
+  const RoadSegment& segment(SegmentId id) const;
+
+  /// Midpoint of a segment (used to locate a segment in space).
+  PointM segment_midpoint(SegmentId id) const;
+
+  /// Segments incident to `node`, with the far endpoint of each.
+  std::span<const Hop> neighbors(NodeId node) const;
+
+  /// Segments sharing an intersection with `seg` (excluding seg itself).
+  std::span<const SegmentId> segment_neighbors(SegmentId seg) const;
+
+  /// For a segment incident to `node`, the endpoint that is not `node`.
+  NodeId other_end(SegmentId seg, NodeId node) const;
+
+  /// True if every intersection is reachable from intersection 0.
+  bool is_connected() const;
+
+ private:
+  std::vector<PointM> positions_;
+  std::vector<RoadSegment> segments_;
+  bool finalized_ = false;
+
+  // CSR adjacency: node -> hops.
+  std::vector<std::uint32_t> node_offsets_;
+  std::vector<Hop> node_adjacency_;
+
+  // CSR adjacency: segment -> neighbouring segments.
+  std::vector<std::uint32_t> seg_offsets_;
+  std::vector<SegmentId> seg_adjacency_;
+};
+
+}  // namespace avcp::roadnet

@@ -1,0 +1,89 @@
+#include "roadnet/shortest_path.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/contracts.h"
+
+namespace avcp::roadnet {
+
+namespace {
+
+double hop_cost(const RoadGraph& g, SegmentId s, PathMetric metric) {
+  switch (metric) {
+    case PathMetric::kHops:
+      return 1.0;
+    case PathMetric::kDistance:
+      return g.segment(s).length_m;
+    case PathMetric::kTravelTime:
+      return g.segment(s).travel_time_s();
+  }
+  return 1.0;
+}
+
+struct SearchResult {
+  std::vector<double> dist;
+  std::vector<Hop> parent;  // parent[v] = {segment into v, previous node}
+};
+
+SearchResult dijkstra(const RoadGraph& g, NodeId from, PathMetric metric) {
+  AVCP_EXPECT(g.finalized());
+  AVCP_EXPECT(from < g.num_intersections());
+  const std::size_t n = g.num_intersections();
+  SearchResult res;
+  res.dist.assign(n, std::numeric_limits<double>::infinity());
+  res.parent.assign(n, Hop{});
+  res.dist[from] = 0.0;
+
+  using Entry = std::pair<double, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  heap.emplace(0.0, from);
+  std::vector<bool> settled(n, false);
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (settled[v]) continue;
+    settled[v] = true;
+    for (const Hop& hop : g.neighbors(v)) {
+      const double nd = d + hop_cost(g, hop.segment, metric);
+      if (nd < res.dist[hop.node]) {
+        res.dist[hop.node] = nd;
+        res.parent[hop.node] = Hop{hop.segment, v};
+        heap.emplace(nd, hop.node);
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace
+
+std::optional<Route> shortest_path(const RoadGraph& g, NodeId from, NodeId to,
+                                   PathMetric metric) {
+  AVCP_EXPECT(to < g.num_intersections());
+  const SearchResult res = dijkstra(g, from, metric);
+  if (res.dist[to] == std::numeric_limits<double>::infinity()) {
+    return std::nullopt;
+  }
+  Route route;
+  route.cost = res.dist[to];
+  NodeId cursor = to;
+  route.nodes.push_back(cursor);
+  while (cursor != from) {
+    const Hop& hop = res.parent[cursor];
+    route.segments.push_back(hop.segment);
+    cursor = hop.node;
+    route.nodes.push_back(cursor);
+  }
+  std::reverse(route.nodes.begin(), route.nodes.end());
+  std::reverse(route.segments.begin(), route.segments.end());
+  return route;
+}
+
+std::vector<double> shortest_costs(const RoadGraph& g, NodeId from,
+                                   PathMetric metric) {
+  return dijkstra(g, from, metric).dist;
+}
+
+}  // namespace avcp::roadnet

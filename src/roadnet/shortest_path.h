@@ -1,0 +1,34 @@
+// Shortest-path routing over the road network.
+//
+// Used by the trace generator (vehicles drive shortest-travel-time routes
+// between sampled origin/destination intersections) and by tests as the
+// brute-force oracle for betweenness centrality.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "roadnet/betweenness.h"
+#include "roadnet/road_graph.h"
+
+namespace avcp::roadnet {
+
+/// A route: the intersections visited and the segments traversed
+/// (segments.size() == nodes.size() - 1).
+struct Route {
+  std::vector<NodeId> nodes;
+  std::vector<SegmentId> segments;
+  double cost = 0.0;  // total metric cost (hops, metres, or seconds)
+
+  bool empty() const noexcept { return nodes.empty(); }
+};
+
+/// Single-pair shortest path; nullopt when `to` is unreachable from `from`.
+std::optional<Route> shortest_path(const RoadGraph& g, NodeId from, NodeId to,
+                                   PathMetric metric = PathMetric::kTravelTime);
+
+/// Single-source costs to every intersection (infinity if unreachable).
+std::vector<double> shortest_costs(const RoadGraph& g, NodeId from,
+                                   PathMetric metric = PathMetric::kTravelTime);
+
+}  // namespace avcp::roadnet

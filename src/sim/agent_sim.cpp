@@ -1,0 +1,85 @@
+#include "sim/agent_sim.h"
+
+#include <algorithm>
+
+#include "common/contracts.h"
+
+namespace avcp::sim {
+
+AgentBasedSim::AgentBasedSim(const core::MultiRegionGame& game,
+                             AgentSimParams params)
+    : game_(game), params_(params), rng_(params.seed) {
+  AVCP_EXPECT(params_.vehicles_per_region >= 2);
+  AVCP_EXPECT(params_.revision_rate >= 0.0 && params_.revision_rate <= 1.0);
+  AVCP_EXPECT(params_.imitation_scale > 0.0);
+  AVCP_EXPECT(params_.defector_fraction >= 0.0 &&
+              params_.defector_fraction <= 1.0);
+  decisions_.assign(game.num_regions(),
+                    std::vector<core::DecisionId>(params_.vehicles_per_region, 0));
+  defector_.assign(game.num_regions(),
+                   std::vector<bool>(params_.vehicles_per_region, false));
+  for (auto& region : defector_) {
+    for (std::size_t v = 0; v < region.size(); ++v) {
+      region[v] = rng_.bernoulli(params_.defector_fraction);
+    }
+  }
+}
+
+void AgentBasedSim::init_from(const core::GameState& state) {
+  AVCP_EXPECT(state.p.size() == game_.num_regions());
+  for (std::size_t i = 0; i < decisions_.size(); ++i) {
+    core::check_distribution(state.p[i]);
+    for (auto& decision : decisions_[i]) {
+      decision = static_cast<core::DecisionId>(rng_.weighted_index(state.p[i]));
+    }
+  }
+}
+
+void AgentBasedSim::step(std::span<const double> x) {
+  AVCP_EXPECT(x.size() == game_.num_regions());
+  const core::GameState snapshot = empirical_state();
+
+  // Per-region fitness of every decision against the snapshot.
+  std::vector<std::vector<double>> q(game_.num_regions());
+  for (core::RegionId i = 0; i < game_.num_regions(); ++i) {
+    q[i] = game_.region_fitness(snapshot, x, i);
+  }
+
+  for (std::size_t i = 0; i < decisions_.size(); ++i) {
+    auto& region = decisions_[i];
+    const std::vector<core::DecisionId> before = region;  // revise vs snapshot
+    for (std::size_t v = 0; v < region.size(); ++v) {
+      if (defector_[i][v]) continue;
+      if (!rng_.bernoulli(params_.revision_rate)) continue;
+      // Sample a distinct peer uniformly.
+      auto peer = static_cast<std::size_t>(rng_.uniform_int(
+          0, static_cast<std::int64_t>(region.size()) - 2));
+      if (peer >= v) ++peer;
+      const core::DecisionId mine = before[v];
+      const core::DecisionId theirs = before[peer];
+      if (mine == theirs) continue;
+      const double gain = q[i][theirs] - q[i][mine];
+      if (gain <= 0.0) continue;
+      const double p_imitate =
+          std::min(1.0, params_.imitation_scale * gain);
+      if (rng_.bernoulli(p_imitate)) region[v] = theirs;
+    }
+  }
+}
+
+core::GameState AgentBasedSim::empirical_state() const {
+  core::GameState state;
+  state.p.assign(game_.num_regions(),
+                 std::vector<double>(game_.num_decisions(), 0.0));
+  for (std::size_t i = 0; i < decisions_.size(); ++i) {
+    for (const core::DecisionId d : decisions_[i]) {
+      state.p[i][d] += 1.0;
+    }
+    for (double& v : state.p[i]) {
+      v /= static_cast<double>(decisions_[i].size());
+    }
+  }
+  return state;
+}
+
+}  // namespace avcp::sim

@@ -1,0 +1,64 @@
+// Agent-based micro-simulation of decision revision.
+//
+// Where runner.h evolves the mean-field distributions directly, this
+// simulator tracks N individual vehicles per region, each holding one
+// data-sharing decision. Every round a revising vehicle samples a random
+// peer of its own region and imitates the peer's decision with probability
+// proportional to the positive fitness difference — pairwise proportional
+// imitation, whose large-population limit is exactly the replicator
+// dynamics of Eq. (5). Tests use it to validate the mean-field model; the
+// benches use it for failure-injection ablations (defector vehicles that
+// never revise).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/game.h"
+
+namespace avcp::sim {
+
+struct AgentSimParams {
+  std::size_t vehicles_per_region = 500;
+  /// Probability a vehicle revises its decision each round.
+  double revision_rate = 1.0;
+  /// Imitation probability = clamp(scale * (q_peer - q_self), 0, 1).
+  /// Matches the mean-field step when scale equals the game's step_size.
+  double imitation_scale = 1.0;
+  /// Fraction of vehicles that never revise (failure injection; 0 = none).
+  double defector_fraction = 0.0;
+  std::uint64_t seed = 99;
+};
+
+class AgentBasedSim {
+ public:
+  /// `game` must outlive the simulator.
+  AgentBasedSim(const core::MultiRegionGame& game, AgentSimParams params);
+
+  /// Draws every vehicle's decision i.i.d. from `state`'s per-region
+  /// distribution.
+  void init_from(const core::GameState& state);
+
+  /// One revision round at sharing ratios x. Fitness is computed from the
+  /// empirical distribution at the start of the round (synchronous).
+  void step(std::span<const double> x);
+
+  /// Empirical per-region decision distribution.
+  core::GameState empirical_state() const;
+
+  std::size_t vehicles_per_region() const noexcept {
+    return params_.vehicles_per_region;
+  }
+
+ private:
+  const core::MultiRegionGame& game_;
+  AgentSimParams params_;
+  Rng rng_;
+  /// decisions_[i][v] = decision of vehicle v in region i.
+  std::vector<std::vector<core::DecisionId>> decisions_;
+  /// defector_[i][v] = true if the vehicle never revises.
+  std::vector<std::vector<bool>> defector_;
+};
+
+}  // namespace avcp::sim

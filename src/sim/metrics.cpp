@@ -1,0 +1,49 @@
+#include "sim/metrics.h"
+
+#include <ostream>
+#include <string>
+
+#include "common/contracts.h"
+#include "common/csv.h"
+
+namespace avcp::sim {
+
+void write_trajectory_csv(std::ostream& out, const RunResult& result) {
+  AVCP_EXPECT(!result.trajectory.empty());
+  CsvWriter writer(out);
+  writer.write_row({"round", "region", "decision", "proportion"});
+  for (std::size_t t = 0; t < result.trajectory.size(); ++t) {
+    const core::GameState& state = result.trajectory[t];
+    for (std::size_t i = 0; i < state.p.size(); ++i) {
+      for (std::size_t k = 0; k < state.p[i].size(); ++k) {
+        writer.write_row({std::to_string(t), std::to_string(i),
+                          std::to_string(k), std::to_string(state.p[i][k])});
+      }
+    }
+  }
+}
+
+void write_ratio_csv(std::ostream& out, const RunResult& result) {
+  AVCP_EXPECT(!result.x_history.empty());
+  CsvWriter writer(out);
+  writer.write_row({"round", "region", "x"});
+  for (std::size_t t = 0; t < result.x_history.size(); ++t) {
+    for (std::size_t i = 0; i < result.x_history[t].size(); ++i) {
+      writer.write_row({std::to_string(t + 1), std::to_string(i),
+                        std::to_string(result.x_history[t][i])});
+    }
+  }
+}
+
+void write_state_csv(std::ostream& out, const core::GameState& state) {
+  CsvWriter writer(out);
+  writer.write_row({"region", "decision", "proportion"});
+  for (std::size_t i = 0; i < state.p.size(); ++i) {
+    for (std::size_t k = 0; k < state.p[i].size(); ++k) {
+      writer.write_row({std::to_string(i), std::to_string(k),
+                        std::to_string(state.p[i][k])});
+    }
+  }
+}
+
+}  // namespace avcp::sim

@@ -1,0 +1,28 @@
+// Experiment-series export.
+//
+// Bench binaries print human-readable tables; downstream analysis wants the
+// raw series. These helpers dump simulation results as CSV so any plotting
+// stack can regenerate the paper's figures from our runs.
+#pragma once
+
+#include <iosfwd>
+
+#include "core/game.h"
+#include "sim/runner.h"
+
+namespace avcp::sim {
+
+/// Writes a recorded trajectory as long-format CSV:
+///   round,region,decision,proportion
+/// Requires the run to have been recorded (RunOptions::record_trajectory).
+void write_trajectory_csv(std::ostream& out, const RunResult& result);
+
+/// Writes the applied sharing ratios:
+///   round,region,x
+void write_ratio_csv(std::ostream& out, const RunResult& result);
+
+/// Writes one state snapshot:
+///   region,decision,proportion
+void write_state_csv(std::ostream& out, const core::GameState& state);
+
+}  // namespace avcp::sim

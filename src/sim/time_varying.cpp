@@ -1,0 +1,129 @@
+#include "sim/time_varying.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.h"
+
+namespace avcp::sim {
+
+const std::vector<double>& BetaSchedule::at_round(std::size_t t) const {
+  AVCP_EXPECT(!epochs.empty());
+  AVCP_EXPECT(rounds_per_epoch > 0);
+  const std::size_t epoch = std::min(t / rounds_per_epoch, epochs.size() - 1);
+  return epochs[epoch];
+}
+
+BetaSchedule beta_schedule_from_density(
+    const trace::TrafficDensityAccumulator& density,
+    const cluster::Clustering& clustering, std::size_t windows_per_epoch,
+    double beta_lo, double beta_hi, std::size_t rounds_per_epoch) {
+  AVCP_EXPECT(windows_per_epoch >= 1);
+  AVCP_EXPECT(beta_hi >= beta_lo);
+  AVCP_EXPECT(rounds_per_epoch >= 1);
+  AVCP_EXPECT(density.num_windows() >= windows_per_epoch);
+
+  const std::size_t num_regions = clustering.num_regions();
+  const std::size_t num_epochs = density.num_windows() / windows_per_epoch;
+
+  // Raw per-epoch, per-region mean densities.
+  std::vector<std::vector<double>> raw(num_epochs,
+                                       std::vector<double>(num_regions, 0.0));
+  for (std::size_t e = 0; e < num_epochs; ++e) {
+    for (cluster::RegionId r = 0; r < num_regions; ++r) {
+      double total = 0.0;
+      for (std::size_t w = 0; w < windows_per_epoch; ++w) {
+        for (const roadnet::SegmentId s : clustering.members[r]) {
+          total += density.density(e * windows_per_epoch + w, s);
+        }
+      }
+      raw[e][r] = total / (static_cast<double>(windows_per_epoch) *
+                           static_cast<double>(clustering.members[r].size()));
+    }
+  }
+
+  // One min-max mapping across the whole schedule.
+  double lo = raw[0][0];
+  double hi = raw[0][0];
+  for (const auto& epoch : raw) {
+    for (const double v : epoch) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  const double range = hi - lo;
+  BetaSchedule schedule;
+  schedule.rounds_per_epoch = rounds_per_epoch;
+  schedule.epochs = std::move(raw);
+  for (auto& epoch : schedule.epochs) {
+    for (double& v : epoch) {
+      const double normalized = range > 0.0 ? (v - lo) / range : 0.0;
+      v = beta_lo + (beta_hi - beta_lo) * normalized;
+    }
+  }
+  return schedule;
+}
+
+core::MultiRegionGame with_betas(const core::MultiRegionGame& game,
+                                 std::span<const double> betas) {
+  AVCP_EXPECT(betas.size() == game.num_regions());
+  core::GameConfig config = game.config();
+  std::vector<core::RegionSpec> specs(game.regions().begin(),
+                                      game.regions().end());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    specs[i].beta = betas[i];
+  }
+  return core::MultiRegionGame(std::move(config), std::move(specs));
+}
+
+std::vector<EpochOutcome> run_time_varying(const core::MultiRegionGame& base,
+                                           const BetaSchedule& schedule,
+                                           const FieldFactory& field_factory,
+                                           core::GameState initial,
+                                           std::vector<double> x0,
+                                           const TimeVaryingOptions& options) {
+  AVCP_EXPECT(!schedule.epochs.empty());
+  AVCP_EXPECT(options.reseed_mix >= 0.0 && options.reseed_mix < 1.0);
+  for (const auto& epoch : schedule.epochs) {
+    AVCP_EXPECT(epoch.size() == base.num_regions());
+  }
+
+  std::vector<EpochOutcome> outcomes;
+  outcomes.reserve(schedule.num_epochs());
+  core::GameState state = std::move(initial);
+  std::vector<double> x = std::move(x0);
+  const double uniform = 1.0 / static_cast<double>(base.num_decisions());
+
+  for (std::size_t e = 0; e < schedule.num_epochs(); ++e) {
+    const auto epoch_game = with_betas(base, schedule.epochs[e]);
+
+    // Fresh vehicles restore a sliver of decision diversity at the switch.
+    if (e > 0 && options.reseed_mix > 0.0) {
+      for (auto& row : state.p) {
+        for (double& v : row) {
+          v = (1.0 - options.reseed_mix) * v + options.reseed_mix * uniform;
+        }
+      }
+    }
+
+    const core::DesiredFields fields = field_factory(epoch_game, state);
+    core::FdsController controller(epoch_game, fields, options.fds);
+
+    EpochOutcome outcome;
+    outcome.rounds_to_converge = schedule.rounds_per_epoch;
+    for (std::size_t t = 0; t < schedule.rounds_per_epoch; ++t) {
+      x = controller.next_x(state, x);
+      epoch_game.replicator_step(state, x);
+      if (!outcome.converged &&
+          fields.satisfied(state, options.satisfy_tol)) {
+        outcome.converged = true;
+        outcome.rounds_to_converge = t + 1;
+      }
+    }
+    outcome.state_at_end = state;
+    outcomes.push_back(std::move(outcome));
+  }
+  return outcomes;
+}
+
+}  // namespace avcp::sim

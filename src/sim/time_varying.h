@@ -1,0 +1,78 @@
+// Time-varying utility coefficients (paper §VII, third future-work item:
+// "how vehicles might change their decision from peak hours to off-peak
+// hours").
+//
+// The paper's evaluation freezes each region's utility coefficient beta_i
+// at its daily average. Here beta follows a schedule of epochs (e.g. one
+// per hour, derived from windowed traffic density), the desired decision
+// field is re-derived per epoch, and FDS re-shapes the persistent
+// population after every switch. The per-epoch re-convergence time is the
+// quantity of interest.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "cluster/region_clustering.h"
+#include "core/fds.h"
+#include "core/game.h"
+#include "trace/density.h"
+
+namespace avcp::sim {
+
+/// Piecewise-constant per-region betas.
+struct BetaSchedule {
+  /// epochs[e][i] = beta of region i during epoch e. Must be non-empty
+  /// with uniform region counts.
+  std::vector<std::vector<double>> epochs;
+  /// Policy rounds spent in each epoch.
+  std::size_t rounds_per_epoch = 60;
+
+  std::size_t num_epochs() const noexcept { return epochs.size(); }
+
+  /// Betas active at round t (the last epoch persists past the schedule).
+  const std::vector<double>& at_round(std::size_t t) const;
+};
+
+/// Derives an epoch schedule from windowed traffic density: consecutive
+/// groups of `windows_per_epoch` TD windows are averaged per region and
+/// min-max mapped into [beta_lo, beta_hi] (one mapping across the whole
+/// schedule, so epochs remain comparable).
+BetaSchedule beta_schedule_from_density(
+    const trace::TrafficDensityAccumulator& density,
+    const cluster::Clustering& clustering, std::size_t windows_per_epoch,
+    double beta_lo, double beta_hi, std::size_t rounds_per_epoch);
+
+/// Rebuilds a game with the same tables/topology but new betas.
+core::MultiRegionGame with_betas(const core::MultiRegionGame& game,
+                                 std::span<const double> betas);
+
+/// Chooses the desired decision field for an epoch, given that epoch's game
+/// and the population state at the switch.
+using FieldFactory = std::function<core::DesiredFields(
+    const core::MultiRegionGame& epoch_game, const core::GameState& state)>;
+
+struct TimeVaryingOptions {
+  core::FdsOptions fds;
+  /// Diversity re-injected at each epoch switch (vehicles entering the area
+  /// carry fresh default decisions): p <- (1-mix)*p + mix*uniform.
+  double reseed_mix = 0.1;
+  double satisfy_tol = 1e-9;
+};
+
+struct EpochOutcome {
+  std::size_t rounds_to_converge = 0;  // rounds_per_epoch when unconverged
+  bool converged = false;
+  core::GameState state_at_end;
+};
+
+/// Runs FDS across the schedule with a persistent population. Returns one
+/// outcome per epoch.
+std::vector<EpochOutcome> run_time_varying(const core::MultiRegionGame& base,
+                                           const BetaSchedule& schedule,
+                                           const FieldFactory& field_factory,
+                                           core::GameState initial,
+                                           std::vector<double> x0,
+                                           const TimeVaryingOptions& options);
+
+}  // namespace avcp::sim

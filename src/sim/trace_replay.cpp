@@ -1,0 +1,139 @@
+#include "sim/trace_replay.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/contracts.h"
+
+namespace avcp::sim {
+
+TraceDrivenSim::TraceDrivenSim(const core::MultiRegionGame& game,
+                               std::span<const trace::GpsFix> fixes,
+                               std::span<const cluster::RegionId> region_of_segment,
+                               std::size_t num_vehicles,
+                               double trace_duration_s,
+                               TraceReplayParams params)
+    : game_(game), params_(params), rng_(params.seed) {
+  AVCP_EXPECT(params_.round_s > 0.0);
+  AVCP_EXPECT(trace_duration_s > 0.0);
+  AVCP_EXPECT(num_vehicles >= 1);
+  AVCP_EXPECT(params_.revision_rate >= 0.0 && params_.revision_rate <= 1.0);
+  AVCP_EXPECT(params_.imitation_scale > 0.0);
+
+  const auto num_rounds = static_cast<std::size_t>(
+      std::ceil(trace_duration_s / params_.round_s));
+  AVCP_EXPECT(num_rounds >= 1);
+
+  // Count fixes per (round, vehicle, region); the modal region wins.
+  // round -> vehicle -> (region -> fix count).
+  std::vector<std::map<trace::VehicleId, std::map<core::RegionId, std::size_t>>>
+      tally(num_rounds);
+  for (const trace::GpsFix& fix : fixes) {
+    AVCP_EXPECT(fix.vehicle < num_vehicles);
+    AVCP_EXPECT(fix.segment < region_of_segment.size());
+    const auto round = static_cast<std::size_t>(fix.time_s / params_.round_s);
+    if (round >= num_rounds) continue;
+    const core::RegionId region = region_of_segment[fix.segment];
+    AVCP_EXPECT(region < game.num_regions());
+    ++tally[round][fix.vehicle][region];
+  }
+
+  presence_.resize(num_rounds);
+  for (std::size_t r = 0; r < num_rounds; ++r) {
+    for (const auto& [vehicle, regions] : tally[r]) {
+      core::RegionId modal = 0;
+      std::size_t best = 0;
+      for (const auto& [region, count] : regions) {
+        if (count > best) {
+          best = count;
+          modal = region;
+        }
+      }
+      presence_[r].emplace_back(vehicle, modal);
+    }
+  }
+
+  decisions_.assign(num_vehicles, 0);
+  state_ = game.uniform_state();
+}
+
+void TraceDrivenSim::init_from(const core::GameState& state) {
+  AVCP_EXPECT(state.p.size() == game_.num_regions());
+  for (const auto& row : state.p) core::check_distribution(row);
+  for (auto& decision : decisions_) {
+    decision = static_cast<core::DecisionId>(rng_.weighted_index(state.p[0]));
+  }
+  state_ = game_.uniform_state();
+  if (!presence_.empty()) refresh_state(presence_.front());
+  round_ = 0;
+}
+
+std::size_t TraceDrivenSim::present_vehicles(std::size_t round) const {
+  AVCP_EXPECT(round < presence_.size());
+  return presence_[round].size();
+}
+
+void TraceDrivenSim::refresh_state(
+    const std::vector<std::pair<trace::VehicleId, core::RegionId>>& present) {
+  const std::size_t k = game_.num_decisions();
+  std::vector<std::vector<double>> counts(game_.num_regions(),
+                                          std::vector<double>(k, 0.0));
+  std::vector<double> totals(game_.num_regions(), 0.0);
+  for (const auto& [vehicle, region] : present) {
+    counts[region][decisions_[vehicle]] += 1.0;
+    totals[region] += 1.0;
+  }
+  for (core::RegionId i = 0; i < game_.num_regions(); ++i) {
+    if (totals[i] <= 0.0) continue;  // dormant region keeps its distribution
+    for (std::size_t d = 0; d < k; ++d) {
+      state_.p[i][d] = counts[i][d] / totals[i];
+    }
+  }
+}
+
+void TraceDrivenSim::step(std::span<const double> x) {
+  AVCP_EXPECT(x.size() == game_.num_regions());
+  const auto& present =
+      presence_[std::min(round_, presence_.size() - 1)];
+  refresh_state(present);
+
+  // Fitness of every decision in every region against the snapshot.
+  std::vector<std::vector<double>> q(game_.num_regions());
+  for (core::RegionId i = 0; i < game_.num_regions(); ++i) {
+    q[i] = game_.region_fitness(state_, x, i);
+  }
+
+  // Group present vehicles by region for peer sampling.
+  std::vector<std::vector<trace::VehicleId>> by_region(game_.num_regions());
+  for (const auto& [vehicle, region] : present) {
+    by_region[region].push_back(vehicle);
+  }
+
+  // Pairwise proportional imitation against the start-of-round snapshot.
+  const std::vector<core::DecisionId> before = decisions_;
+  for (const auto& [vehicle, region] : present) {
+    const auto& peers = by_region[region];
+    if (peers.size() < 2) continue;
+    if (!rng_.bernoulli(params_.revision_rate)) continue;
+    trace::VehicleId peer = vehicle;
+    for (int attempt = 0; attempt < 8 && peer == vehicle; ++attempt) {
+      peer = peers[static_cast<std::size_t>(rng_.uniform_int(
+          0, static_cast<std::int64_t>(peers.size()) - 1))];
+    }
+    if (peer == vehicle) continue;
+    const core::DecisionId mine = before[vehicle];
+    const core::DecisionId theirs = before[peer];
+    if (mine == theirs) continue;
+    const double gain = q[region][theirs] - q[region][mine];
+    if (gain <= 0.0) continue;
+    if (rng_.bernoulli(std::min(1.0, params_.imitation_scale * gain))) {
+      decisions_[vehicle] = theirs;
+    }
+  }
+
+  refresh_state(present);
+  ++round_;
+}
+
+}  // namespace avcp::sim

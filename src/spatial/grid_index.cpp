@@ -1,0 +1,140 @@
+#include "spatial/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/contracts.h"
+
+namespace avcp::spatial {
+
+BBoxM BBoxM::around(const std::vector<PointM>& points) {
+  AVCP_EXPECT(!points.empty());
+  BBoxM box{points.front(), points.front()};
+  for (const PointM& p : points) {
+    box.min.x = std::min(box.min.x, p.x);
+    box.min.y = std::min(box.min.y, p.y);
+    box.max.x = std::max(box.max.x, p.x);
+    box.max.y = std::max(box.max.y, p.y);
+  }
+  return box;
+}
+
+BBoxM BBoxM::expanded(double margin) const noexcept {
+  return BBoxM{PointM{min.x - margin, min.y - margin},
+               PointM{max.x + margin, max.y + margin}};
+}
+
+GridIndex::GridIndex(std::vector<PointM> points) : points_(std::move(points)) {
+  AVCP_EXPECT(!points_.empty());
+  bounds_ = BBoxM::around(points_).expanded(1.0);
+  const double extent = std::max(bounds_.width(), bounds_.height());
+  const auto side = static_cast<std::size_t>(
+      std::max(1.0, std::floor(std::sqrt(static_cast<double>(points_.size())))));
+  cell_size_ = std::max(extent / static_cast<double>(side), 1e-6);
+  cols_ = static_cast<std::size_t>(bounds_.width() / cell_size_) + 1;
+  rows_ = static_cast<std::size_t>(bounds_.height() / cell_size_) + 1;
+
+  const std::size_t num_cells = cols_ * rows_;
+  std::vector<std::uint32_t> counts(num_cells, 0);
+  for (const PointM& p : points_) {
+    ++counts[cell_row(p.y) * cols_ + cell_col(p.x)];
+  }
+  offsets_.assign(num_cells + 1, 0);
+  for (std::size_t i = 0; i < num_cells; ++i) {
+    offsets_[i + 1] = offsets_[i] + counts[i];
+  }
+  bucket_items_.resize(points_.size());
+  std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const std::size_t cell =
+        cell_row(points_[i].y) * cols_ + cell_col(points_[i].x);
+    bucket_items_[cursor[cell]++] = static_cast<std::uint32_t>(i);
+  }
+}
+
+std::size_t GridIndex::cell_col(double x) const noexcept {
+  const auto c = static_cast<std::ptrdiff_t>((x - bounds_.min.x) / cell_size_);
+  return static_cast<std::size_t>(
+      std::clamp<std::ptrdiff_t>(c, 0, static_cast<std::ptrdiff_t>(cols_) - 1));
+}
+
+std::size_t GridIndex::cell_row(double y) const noexcept {
+  const auto r = static_cast<std::ptrdiff_t>((y - bounds_.min.y) / cell_size_);
+  return static_cast<std::size_t>(
+      std::clamp<std::ptrdiff_t>(r, 0, static_cast<std::ptrdiff_t>(rows_) - 1));
+}
+
+std::size_t GridIndex::nearest(const PointM& q) const {
+  const auto qc = static_cast<std::ptrdiff_t>(cell_col(q.x));
+  const auto qr = static_cast<std::ptrdiff_t>(cell_row(q.y));
+  std::size_t best = points_.size();
+  double best_dist = std::numeric_limits<double>::infinity();
+
+  const auto scan_cell = [&](std::ptrdiff_t r, std::ptrdiff_t c) {
+    if (r < 0 || c < 0 || r >= static_cast<std::ptrdiff_t>(rows_) ||
+        c >= static_cast<std::ptrdiff_t>(cols_)) {
+      return;
+    }
+    const std::size_t cell = static_cast<std::size_t>(r) * cols_ +
+                             static_cast<std::size_t>(c);
+    for (auto i = offsets_[cell]; i < offsets_[cell + 1]; ++i) {
+      const std::uint32_t idx = bucket_items_[i];
+      const double d = distance_m(points_[idx], q);
+      if (d < best_dist || (d == best_dist && idx < best)) {
+        best_dist = d;
+        best = idx;
+      }
+    }
+  };
+
+  const auto max_ring =
+      static_cast<std::ptrdiff_t>(std::max(rows_, cols_));
+  for (std::ptrdiff_t ring = 0; ring <= max_ring; ++ring) {
+    // Once a candidate exists, a ring whose nearest possible distance
+    // exceeds it cannot improve the answer.
+    if (best < points_.size() &&
+        static_cast<double>(ring - 1) * cell_size_ > best_dist) {
+      break;
+    }
+    if (ring == 0) {
+      scan_cell(qr, qc);
+      continue;
+    }
+    for (std::ptrdiff_t c = qc - ring; c <= qc + ring; ++c) {
+      scan_cell(qr - ring, c);
+      scan_cell(qr + ring, c);
+    }
+    for (std::ptrdiff_t r = qr - ring + 1; r <= qr + ring - 1; ++r) {
+      scan_cell(r, qc - ring);
+      scan_cell(r, qc + ring);
+    }
+  }
+  AVCP_ENSURE(best < points_.size());
+  return best;
+}
+
+std::vector<std::size_t> GridIndex::within(const PointM& q,
+                                           double radius) const {
+  AVCP_EXPECT(radius >= 0.0);
+  std::vector<std::size_t> result;
+  const auto r_lo = cell_row(q.y - radius);
+  const auto r_hi = cell_row(q.y + radius);
+  const auto c_lo = cell_col(q.x - radius);
+  const auto c_hi = cell_col(q.x + radius);
+  for (std::size_t r = r_lo; r <= r_hi; ++r) {
+    for (std::size_t c = c_lo; c <= c_hi; ++c) {
+      const std::size_t cell = r * cols_ + c;
+      for (auto i = offsets_[cell]; i < offsets_[cell + 1]; ++i) {
+        const std::uint32_t idx = bucket_items_[i];
+        if (distance_m(points_[idx], q) <= radius) {
+          result.push_back(idx);
+        }
+      }
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace avcp::spatial

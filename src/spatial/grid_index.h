@@ -1,0 +1,62 @@
+// Uniform-grid spatial index over planar points.
+//
+// Supports exact nearest-neighbour queries via expanding ring search; this
+// backs the Voronoi partition (vehicle -> nearest edge server) that Section
+// III of the paper uses to scope data sharing to one cell per server.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geo.h"
+
+namespace avcp::spatial {
+
+/// Axis-aligned bounding box in metres.
+struct BBoxM {
+  PointM min;
+  PointM max;
+
+  double width() const noexcept { return max.x - min.x; }
+  double height() const noexcept { return max.y - min.y; }
+  bool contains(const PointM& p) const noexcept {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+
+  /// Smallest box containing all points; requires a non-empty set.
+  static BBoxM around(const std::vector<PointM>& points);
+
+  /// Returns this box expanded by `margin` metres on every side.
+  BBoxM expanded(double margin) const noexcept;
+};
+
+class GridIndex {
+ public:
+  /// Indexes `points` (copied). The grid resolution defaults to roughly one
+  /// point per cell. Requires a non-empty point set.
+  explicit GridIndex(std::vector<PointM> points);
+
+  std::size_t size() const noexcept { return points_.size(); }
+  const PointM& point(std::size_t i) const { return points_[i]; }
+
+  /// Index of the point nearest to `q` (exact; ties broken by lower index).
+  std::size_t nearest(const PointM& q) const;
+
+  /// Indices of all points within `radius` metres of `q`.
+  std::vector<std::size_t> within(const PointM& q, double radius) const;
+
+ private:
+  std::vector<PointM> points_;
+  BBoxM bounds_;
+  double cell_size_ = 1.0;
+  std::size_t cols_ = 1;
+  std::size_t rows_ = 1;
+  // CSR buckets: cell -> point indices.
+  std::vector<std::uint32_t> offsets_;
+  std::vector<std::uint32_t> bucket_items_;
+
+  std::size_t cell_col(double x) const noexcept;
+  std::size_t cell_row(double y) const noexcept;
+};
+
+}  // namespace avcp::spatial

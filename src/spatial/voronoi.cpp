@@ -1,0 +1,50 @@
+#include "spatial/voronoi.h"
+
+#include <cmath>
+
+#include "common/contracts.h"
+
+namespace avcp::spatial {
+
+std::vector<PointM> deploy_grid(const BBoxM& area, std::size_t count) {
+  AVCP_EXPECT(count >= 1);
+  AVCP_EXPECT(area.width() > 0.0 && area.height() > 0.0);
+
+  // Pick the grid shape closest to square whose area covers `count`.
+  const double aspect = area.width() / area.height();
+  auto cols = static_cast<std::size_t>(
+      std::max(1.0, std::round(std::sqrt(static_cast<double>(count) * aspect))));
+  auto rows = (count + cols - 1) / cols;
+
+  std::vector<PointM> sites;
+  sites.reserve(count);
+  const double tile_w = area.width() / static_cast<double>(cols);
+  const double tile_h = area.height() / static_cast<double>(rows);
+  for (std::size_t r = 0; r < rows && sites.size() < count; ++r) {
+    for (std::size_t c = 0; c < cols && sites.size() < count; ++c) {
+      sites.push_back(PointM{
+          area.min.x + (static_cast<double>(c) + 0.5) * tile_w,
+          area.min.y + (static_cast<double>(r) + 0.5) * tile_h});
+    }
+  }
+  return sites;
+}
+
+VoronoiPartition::VoronoiPartition(std::vector<PointM> sites)
+    : index_(std::move(sites)) {}
+
+ServerId VoronoiPartition::cell_of(const PointM& p) const {
+  return static_cast<ServerId>(index_.nearest(p));
+}
+
+std::vector<ServerId> VoronoiPartition::assign_segments(
+    const roadnet::RoadGraph& g) const {
+  AVCP_EXPECT(g.finalized());
+  std::vector<ServerId> cells(g.num_segments());
+  for (std::size_t s = 0; s < g.num_segments(); ++s) {
+    cells[s] = cell_of(g.segment_midpoint(static_cast<roadnet::SegmentId>(s)));
+  }
+  return cells;
+}
+
+}  // namespace avcp::spatial

@@ -1,0 +1,43 @@
+// Edge-server deployment and Voronoi cell assignment (paper §III).
+//
+// Each vehicle uploads to its nearest edge server, so the fixed server
+// locations induce a Voronoi partition of the target area. The paper
+// deploys 100 servers "evenly" over the Futian box; deploy_grid reproduces
+// that layout for an arbitrary count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "roadnet/road_graph.h"
+#include "spatial/grid_index.h"
+
+namespace avcp::spatial {
+
+using ServerId = std::uint32_t;
+
+/// Places `count` servers on the most-square grid covering `area`, centred
+/// within their grid tiles (row-major order).
+std::vector<PointM> deploy_grid(const BBoxM& area, std::size_t count);
+
+/// Nearest-site Voronoi partition over a set of edge-server positions.
+class VoronoiPartition {
+ public:
+  /// Requires at least one site.
+  explicit VoronoiPartition(std::vector<PointM> sites);
+
+  std::size_t num_cells() const noexcept { return index_.size(); }
+  const PointM& site(ServerId id) const { return index_.point(id); }
+
+  /// The cell (server) owning a planar point.
+  ServerId cell_of(const PointM& p) const;
+
+  /// The cell owning each road segment (by midpoint); indexable by
+  /// SegmentId.
+  std::vector<ServerId> assign_segments(const roadnet::RoadGraph& g) const;
+
+ private:
+  GridIndex index_;
+};
+
+}  // namespace avcp::spatial

@@ -1,0 +1,276 @@
+#include "system/system.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.h"
+
+namespace avcp::system {
+
+namespace {
+
+perception::DataUniverse make_universe(const core::MultiRegionGame& game,
+                                       std::size_t items_per_sensor,
+                                       std::size_t vehicles_per_region,
+                                       Rng& rng) {
+  if (items_per_sensor == 0) items_per_sensor = vehicles_per_region;
+  // Sensor privacy weights proportional to the per-decision privacy of the
+  // singleton decisions, recovering the paper's camera > lidar > radar
+  // sensitivity ordering from whatever tables the game carries.
+  const auto& lattice = game.lattice();
+  std::vector<double> sensor_privacy(lattice.num_sensors(), 0.0);
+  for (std::size_t s = 0; s < lattice.num_sensors(); ++s) {
+    const core::DecisionId singleton =
+        lattice.decision_of(lattice.sensor_bit(s));
+    sensor_privacy[s] = std::max(1e-3, game.config().privacy[singleton]);
+  }
+  return perception::DataUniverse::synthetic(lattice.num_sensors(),
+                                             items_per_sensor, sensor_privacy,
+                                             rng);
+}
+
+}  // namespace
+
+CooperativePerceptionSystem::CooperativePerceptionSystem(
+    const core::MultiRegionGame& game, SystemParams params)
+    : game_(game),
+      params_(params),
+      rng_(params.seed),
+      universe_(make_universe(game, params.items_per_sensor,
+                              params.vehicles_per_region, rng_)) {
+  AVCP_EXPECT(params_.vehicles_per_region >= 2);
+  AVCP_EXPECT(params_.cells_per_region >= 1);
+  AVCP_EXPECT(params_.vehicles_per_region >= 2 * params_.cells_per_region);
+  AVCP_EXPECT(params_.collect_fraction > 0.0 && params_.collect_fraction <= 1.0);
+  AVCP_EXPECT(params_.desire_fraction > 0.0 && params_.desire_fraction <= 1.0);
+  AVCP_EXPECT(params_.revision_rate >= 0.0 && params_.revision_rate <= 1.0);
+  AVCP_EXPECT(params_.imitation_scale > 0.0);
+
+  decisions_.assign(game.num_regions(),
+                    std::vector<core::DecisionId>(params_.vehicles_per_region, 0));
+  planes_.reserve(game.num_regions());
+  for (core::RegionId i = 0; i < game.num_regions(); ++i) {
+    planes_.emplace_back(game.lattice(), universe_, game.config().access,
+                         rng_());
+  }
+  x_.assign(game.num_regions(), 0.5);
+  realized_.assign(game.num_regions(),
+                   std::vector<double>(game.num_decisions(), 0.0));
+}
+
+core::GameState CooperativePerceptionSystem::empirical_state() const {
+  core::GameState state;
+  state.p.assign(game_.num_regions(),
+                 std::vector<double>(game_.num_decisions(), 0.0));
+  for (core::RegionId i = 0; i < game_.num_regions(); ++i) {
+    for (const core::DecisionId d : decisions_[i]) {
+      state.p[i][d] += 1.0;
+    }
+    for (double& v : state.p[i]) {
+      v /= static_cast<double>(decisions_[i].size());
+    }
+  }
+  return state;
+}
+
+void CooperativePerceptionSystem::init_from(const core::GameState& state) {
+  AVCP_EXPECT(state.p.size() == game_.num_regions());
+  for (core::RegionId i = 0; i < game_.num_regions(); ++i) {
+    core::check_distribution(state.p[i]);
+    for (auto& decision : decisions_[i]) {
+      decision = static_cast<core::DecisionId>(rng_.weighted_index(state.p[i]));
+    }
+  }
+}
+
+perception::ItemSet CooperativePerceptionSystem::sample_items(double fraction) {
+  perception::ItemSet items;
+  for (perception::ItemId id = 0; id < universe_.size(); ++id) {
+    if (rng_.bernoulli(fraction)) items.push_back(id);
+  }
+  if (items.empty()) {
+    items.push_back(static_cast<perception::ItemId>(rng_.uniform_int(
+        0, static_cast<std::int64_t>(universe_.size()) - 1)));
+  }
+  return items;
+}
+
+RoundReport CooperativePerceptionSystem::run_round(
+    core::Controller& controller) {
+  // --- S1: edge servers report, the cloud computes the ratios. -----------
+  const core::GameState observed = empirical_state();
+  x_ = controller.next_x(observed, x_);
+  AVCP_ENSURE(x_.size() == game_.num_regions());
+
+  RoundReport report;
+  report.x = x_;
+  report.mean_utility.resize(game_.num_regions(), 0.0);
+  report.mean_privacy.resize(game_.num_regions(), 0.0);
+  report.exposed_privacy.resize(game_.num_regions(), 0.0);
+
+  // --- S2: per edge server, run the data plane and measure fitness. ------
+  const std::size_t exchanges = std::max<std::size_t>(1, params_.exchanges_per_round);
+  std::vector<std::vector<double>> round_fitness(game_.num_regions());
+  std::vector<std::vector<perception::Vehicle>> last_vehicles(
+      game_.num_regions());
+  for (core::RegionId i = 0; i < game_.num_regions(); ++i) {
+    auto& fleet = decisions_[i];
+
+    // Realized fitness: beta-weighted measured utility minus measured
+    // privacy cost, averaged over the round's repeated exchanges (§II: the
+    // upload/distribute steps repeat several times before the next policy).
+    // The realized privacy cost is the fraction of the vehicle's *own*
+    // private-data mass it exposed — the scale-free analogue of Table II's
+    // g_k (its expectation over random collections equals the normalised
+    // g_k exactly), bounded in [0, 1] regardless of universe sparsity.
+    const double beta = game_.region(i).beta;
+
+    std::vector<double> fitness(fleet.size(), 0.0);
+    const std::size_t cells = params_.cells_per_region;
+    for (std::size_t e = 0; e < exchanges; ++e) {
+      std::vector<perception::Vehicle> vehicles(fleet.size());
+      for (std::size_t v = 0; v < fleet.size(); ++v) {
+        vehicles[v].decision = fleet[v];
+        vehicles[v].desired = sample_items(params_.desire_fraction);
+      }
+      if (params_.disjoint_collections) {
+        // Deal each item to at most one vehicle (pairwise-disjoint
+        // collections, the paper's Property 3.1(d) regime). With
+        // n * collect_fraction >= 1 every item is observed by someone,
+        // which is the realistic street scene.
+        const double fleet_coverage = std::min(
+            1.0, params_.collect_fraction * static_cast<double>(fleet.size()));
+        for (perception::ItemId id = 0; id < universe_.size(); ++id) {
+          if (!rng_.bernoulli(fleet_coverage)) continue;
+          const auto owner = static_cast<std::size_t>(rng_.uniform_int(
+              0, static_cast<std::int64_t>(fleet.size()) - 1));
+          vehicles[owner].collected.push_back(id);
+        }
+      } else {
+        for (std::size_t v = 0; v < fleet.size(); ++v) {
+          vehicles[v].collected = sample_items(params_.collect_fraction);
+        }
+      }
+      // Data exchange is scoped per Voronoi cell (Fig. 5): vehicles are
+      // spread round-robin over this round's cells.
+      double util_sum = 0.0;
+      double priv_sum = 0.0;
+      double exposed_sum = 0.0;
+      for (std::size_t c = 0; c < cells; ++c) {
+        std::vector<perception::Vehicle> cell_vehicles;
+        std::vector<std::size_t> cell_index;
+        for (std::size_t v = c; v < fleet.size(); v += cells) {
+          cell_vehicles.push_back(vehicles[v]);
+          cell_index.push_back(v);
+        }
+        if (cell_vehicles.empty()) continue;
+        const auto outcome = planes_[i].run_round(cell_vehicles, x_[i]);
+        exposed_sum += outcome.exposed_privacy;
+        for (std::size_t j = 0; j < cell_vehicles.size(); ++j) {
+          const std::size_t v = cell_index[j];
+          util_sum += outcome.utility[j];
+          priv_sum += outcome.privacy[j];
+          const double own_mass =
+              universe_.privacy_weight(vehicles[v].collected);
+          const double exposed_fraction =
+              own_mass > 0.0
+                  ? outcome.privacy[j] * universe_.total_privacy_weight() /
+                        own_mass
+                  : 0.0;
+          fitness[v] += beta * outcome.utility[j] - exposed_fraction;
+        }
+      }
+      report.mean_utility[i] += util_sum / static_cast<double>(fleet.size());
+      report.mean_privacy[i] += priv_sum / static_cast<double>(fleet.size());
+      report.exposed_privacy[i] += exposed_sum;
+      if (e + 1 == exchanges) last_vehicles[i] = std::move(vehicles);
+    }
+    const double inv = 1.0 / static_cast<double>(exchanges);
+    report.mean_utility[i] *= inv;
+    report.mean_privacy[i] *= inv;
+    report.exposed_privacy[i] *= inv;
+    for (double& f : fitness) f *= inv;
+    round_fitness[i] = std::move(fitness);
+  }
+
+  // --- Inter-region exchange (Fig. 5, Eq. (4)'s x_j * gamma_ji term):
+  // vehicles of a neighbouring region act as senders at the sender region's
+  // ratio; gamma scales how many of them this region's vehicles meet.
+  if (params_.inter_region_exchange) {
+    for (core::RegionId i = 0; i < game_.num_regions(); ++i) {
+      const double beta = game_.region(i).beta;
+      for (const auto& [j, gamma] : game_.region(i).neighbors) {
+        const auto& sender_fleet = last_vehicles[j];
+        const auto k = static_cast<std::size_t>(std::min<double>(
+            static_cast<double>(sender_fleet.size()),
+            std::round(gamma * static_cast<double>(sender_fleet.size()))));
+        if (k == 0) continue;
+        std::vector<perception::Vehicle> senders;
+        senders.reserve(k);
+        for (std::size_t n = 0; n < k; ++n) {
+          senders.push_back(sender_fleet[static_cast<std::size_t>(
+              rng_.uniform_int(0,
+                               static_cast<std::int64_t>(sender_fleet.size()) -
+                                   1))]);
+        }
+        const auto outcome =
+            planes_[i].run_directional(senders, last_vehicles[i], x_[j]);
+        for (std::size_t v = 0; v < last_vehicles[i].size(); ++v) {
+          round_fitness[i][v] += beta * outcome.marginal_utility[v];
+        }
+      }
+    }
+  }
+
+  // --- Decision revision by realized fitness. -----------------------------
+  for (core::RegionId i = 0; i < game_.num_regions(); ++i) {
+    auto& fleet = decisions_[i];
+    const auto& fitness = round_fitness[i];
+
+    auto& per_decision = realized_[i];
+    std::fill(per_decision.begin(), per_decision.end(), 0.0);
+    std::vector<double> counts(game_.num_decisions(), 0.0);
+    for (std::size_t v = 0; v < fleet.size(); ++v) {
+      per_decision[fleet[v]] += fitness[v];
+      counts[fleet[v]] += 1.0;
+    }
+    for (core::DecisionId d = 0; d < game_.num_decisions(); ++d) {
+      if (counts[d] > 0.0) per_decision[d] /= counts[d];
+    }
+
+    const std::vector<core::DecisionId> before = fleet;
+    for (std::size_t v = 0; v < fleet.size(); ++v) {
+      if (!rng_.bernoulli(params_.revision_rate)) continue;
+      auto peer = static_cast<std::size_t>(rng_.uniform_int(
+          0, static_cast<std::int64_t>(fleet.size()) - 2));
+      if (peer >= v) ++peer;
+      if (before[peer] == before[v]) continue;
+      const double gain = fitness[peer] - fitness[v];
+      if (gain <= 0.0) continue;
+      if (rng_.bernoulli(std::min(1.0, params_.imitation_scale * gain))) {
+        fleet[v] = before[peer];
+      }
+    }
+  }
+
+  report.state = empirical_state();
+  return report;
+}
+
+std::size_t CooperativePerceptionSystem::run_until(
+    core::Controller& controller, const core::DesiredFields& desired,
+    double tol, std::size_t max_rounds) {
+  for (std::size_t t = 0; t < max_rounds; ++t) {
+    run_round(controller);
+    if (desired.satisfied(empirical_state(), tol)) return t + 1;
+  }
+  return max_rounds;
+}
+
+std::span<const double> CooperativePerceptionSystem::realized_fitness(
+    core::RegionId i) const {
+  AVCP_EXPECT(i < realized_.size());
+  return realized_[i];
+}
+
+}  // namespace avcp::system

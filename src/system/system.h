@@ -1,0 +1,138 @@
+// The full cooperative-perception system of the paper's framework (Fig. 1):
+// cloud server, edge servers, and vehicles wired together per round.
+//
+//   S1 (steps 1-2): edge servers report their vehicles' decisions to the
+//       cloud; the cloud's controller (FDS or a baseline) computes the
+//       per-region sharing ratios x.
+//   S2 (steps 3-5): each edge server forwards its ratio, vehicles upload
+//       their decision-filtered sensor data, and the server distributes it
+//       under the lattice policy (perception::EdgeServerDataPlane).
+//
+// Vehicles then revise decisions by *realized* fitness — the measured
+// utility of the data they actually received minus the measured privacy
+// cost of what they uploaded — via pairwise proportional imitation. Nothing
+// in the plant evaluates Eq. (4); the analytic game is used only by the
+// cloud's model-based controller. This closes the loop the paper's
+// analysis abstracts: tests verify the realized per-decision fitness
+// ranking agrees with the analytic one and that FDS still shapes the
+// population when driving the measured plant.
+//
+// Data exchange is scoped per Voronoi cell within a region
+// (SystemParams::cells_per_region, the Fig. 5 structure) while the ratio x
+// is regional. The inter-region term of Eq. (4) is realized by directional
+// cross-region rounds: gamma_ji of the neighbouring fleet acts as senders
+// at the sender region's ratio (SystemParams::inter_region_exchange).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/fds.h"
+#include "core/game.h"
+#include "perception/data_plane.h"
+#include "perception/measure.h"
+
+namespace avcp::system {
+
+struct SystemParams {
+  std::size_t vehicles_per_region = 60;
+  /// Items each sensor type contributes to the shared universe. 0 = auto:
+  /// one item per vehicle per sensor type, so that (with disjoint dealing)
+  /// every vehicle holds data of every type in expectation — the paper's
+  /// setting, where each vehicle's S_a is non-trivial every round. A
+  /// too-sparse universe creates data-less vehicles that enjoy pool access
+  /// without ever paying privacy cost, which distorts the game.
+  std::size_t items_per_sensor = 0;
+  /// Probability a vehicle collects / desires a given universe item each
+  /// round (fresh draws every round: the street scene changes).
+  double collect_fraction = 0.5;
+  double desire_fraction = 0.3;
+  /// The paper assumes shared data from different vehicles is pairwise
+  /// disjoint (§IV-A, before Eq. (4)); when true each universe item is
+  /// collected by at most one vehicle per round (dealt uniformly). Set
+  /// false to let collections overlap independently — the saturation that
+  /// results is exactly the deviation from Property 3.1(d) additivity.
+  bool disjoint_collections = true;
+  /// Voronoi cells per region: data exchange happens within a cell (the
+  /// paper's Fig. 5 — sharing is scoped to one edge server), while the
+  /// sharing ratio x is set per region. More cells fragment the pools.
+  std::size_t cells_per_region = 1;
+  /// When true (default), vehicles additionally receive data from sampled
+  /// neighbouring-region senders at the sender region's ratio — Eq. (4)'s
+  /// inter-region term, with gamma_ji scaling how many senders they meet.
+  bool inter_region_exchange = true;
+  /// Upload/distribute repetitions per policy round ("the data exchange in
+  /// steps 4 and 5 is repeated multiple times before the next updated
+  /// policy arrives", §II). Fitness averages over the repetitions.
+  std::size_t exchanges_per_round = 1;
+  /// Decision-revision parameters (pairwise proportional imitation).
+  double revision_rate = 0.8;
+  double imitation_scale = 1.0;
+  std::uint64_t seed = 2024;
+};
+
+/// Per-round measurements.
+struct RoundReport {
+  std::vector<double> x;              // ratios applied (per region)
+  std::vector<double> mean_utility;   // realized, per region
+  std::vector<double> mean_privacy;   // realized, per region
+  std::vector<double> exposed_privacy;  // eavesdropper view, per region
+  core::GameState state;              // decision distribution after revision
+};
+
+class CooperativePerceptionSystem {
+ public:
+  /// `game` carries the lattice, the per-decision tables, and the region
+  /// betas the cloud's model uses; it must outlive the system. The data
+  /// universe is generated internally from the lattice's sensor count.
+  CooperativePerceptionSystem(const core::MultiRegionGame& game,
+                              SystemParams params);
+
+  std::size_t num_regions() const noexcept { return game_.num_regions(); }
+
+  /// Decision distribution per region among the fleet (what edge servers
+  /// report to the cloud in step S1-1).
+  core::GameState empirical_state() const;
+
+  /// Seeds every vehicle's decision i.i.d. from `state`'s region rows.
+  void init_from(const core::GameState& state);
+
+  /// One full framework round with the given cloud controller.
+  RoundReport run_round(core::Controller& controller);
+
+  /// Convenience loop: runs rounds until `desired` is satisfied within
+  /// `tol` (checked on the empirical state) or `max_rounds` elapse; returns
+  /// rounds executed, or max_rounds when unconverged.
+  std::size_t run_until(core::Controller& controller,
+                        const core::DesiredFields& desired, double tol,
+                        std::size_t max_rounds);
+
+  /// Realized mean fitness of each decision in a region from the most
+  /// recent round (NaN-free: decisions with no vehicles report 0).
+  std::span<const double> realized_fitness(core::RegionId i) const;
+
+  const perception::DataUniverse& universe() const noexcept {
+    return universe_;
+  }
+
+  const std::vector<double>& current_x() const noexcept { return x_; }
+
+ private:
+  const core::MultiRegionGame& game_;
+  SystemParams params_;
+  Rng rng_;
+  perception::DataUniverse universe_;
+  /// decisions_[region][vehicle].
+  std::vector<std::vector<core::DecisionId>> decisions_;
+  /// One data plane per edge server (distinct RNG streams).
+  std::vector<perception::EdgeServerDataPlane> planes_;
+  std::vector<double> x_;
+  /// realized_[region][decision] from the last round.
+  std::vector<std::vector<double>> realized_;
+
+  /// Draws a fresh random item subset of the universe.
+  perception::ItemSet sample_items(double fraction);
+};
+
+}  // namespace avcp::system

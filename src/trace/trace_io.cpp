@@ -1,0 +1,65 @@
+#include "trace/trace_io.h"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "common/contracts.h"
+#include "common/csv.h"
+
+namespace avcp::trace {
+
+namespace {
+
+double parse_double(const std::string& s) {
+  double value = 0.0;
+  const auto* begin = s.data();
+  const auto* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  AVCP_EXPECT(ec == std::errc{} && ptr == end);
+  return value;
+}
+
+std::uint32_t parse_u32(const std::string& s) {
+  std::uint32_t value = 0;
+  const auto* begin = s.data();
+  const auto* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  AVCP_EXPECT(ec == std::errc{} && ptr == end);
+  return value;
+}
+
+}  // namespace
+
+void write_trace_csv(std::ostream& out, const std::vector<GpsFix>& fixes) {
+  CsvWriter writer(out);
+  writer.write_row({"vehicle", "time_s", "x_m", "y_m", "speed_mps", "segment"});
+  for (const GpsFix& fix : fixes) {
+    writer.write_row({std::to_string(fix.vehicle), std::to_string(fix.time_s),
+                      std::to_string(fix.pos.x), std::to_string(fix.pos.y),
+                      std::to_string(fix.speed_mps),
+                      std::to_string(fix.segment)});
+  }
+}
+
+std::vector<GpsFix> read_trace_csv(std::istream& in) {
+  const auto rows = read_csv(in);
+  std::vector<GpsFix> fixes;
+  if (rows.empty()) return fixes;
+  fixes.reserve(rows.size() - 1);
+  for (std::size_t i = 1; i < rows.size(); ++i) {  // row 0 is the header
+    const auto& row = rows[i];
+    AVCP_EXPECT(row.size() == 6);
+    GpsFix fix;
+    fix.vehicle = parse_u32(row[0]);
+    fix.time_s = parse_double(row[1]);
+    fix.pos = PointM{parse_double(row[2]), parse_double(row[3])};
+    fix.speed_mps = parse_double(row[4]);
+    fix.segment = parse_u32(row[5]);
+    fixes.push_back(fix);
+  }
+  return fixes;
+}
+
+}  // namespace avcp::trace

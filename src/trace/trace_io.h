@@ -1,0 +1,22 @@
+// CSV interchange for vehicle traces.
+//
+// Format (one fix per row, header included):
+//   vehicle,time_s,x_m,y_m,speed_mps,segment
+// Matches the information content of the Shenzhen dataset rows (id,
+// timestamp, GPS position, velocity) plus the matched segment.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "trace/types.h"
+
+namespace avcp::trace {
+
+/// Writes fixes with a header row.
+void write_trace_csv(std::ostream& out, const std::vector<GpsFix>& fixes);
+
+/// Reads fixes; throws ContractViolation on malformed rows.
+std::vector<GpsFix> read_trace_csv(std::istream& in);
+
+}  // namespace avcp::trace

@@ -1,0 +1,28 @@
+// Vehicle trace types.
+//
+// A trace is a stream of GPS fixes, one per vehicle per reporting interval
+// (the paper's vehicles report every 10 seconds). Fixes carry the road
+// segment the vehicle occupies so downstream consumers (traffic density,
+// region assignment, data-sharing frequency) need no map matching; the
+// spatial library still provides snapping for externally-loaded traces.
+#pragma once
+
+#include <cstdint>
+
+#include "common/geo.h"
+#include "roadnet/road_graph.h"
+
+namespace avcp::trace {
+
+using VehicleId = std::uint32_t;
+
+/// One GPS report.
+struct GpsFix {
+  VehicleId vehicle = 0;
+  double time_s = 0.0;
+  PointM pos;
+  double speed_mps = 0.0;
+  roadnet::SegmentId segment = roadnet::kInvalidSegment;
+};
+
+}  // namespace avcp::trace

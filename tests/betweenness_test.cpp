@@ -1,0 +1,295 @@
+#include "roadnet/betweenness.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "common/rng.h"
+#include "roadnet/builders.h"
+
+namespace avcp::roadnet {
+namespace {
+
+/// Brute-force oracle: enumerates every shortest path (by hops) of every
+/// ordered pair via DFS over the BFS predecessor DAG, splitting one unit of
+/// pair weight equally across the pair's shortest paths. Matches Brandes'
+/// definition exactly on small graphs.
+std::vector<double> brute_force_betweenness(const RoadGraph& g,
+                                            bool normalize) {
+  const std::size_t n = g.num_intersections();
+  std::vector<double> centrality(g.num_segments(), 0.0);
+
+  for (NodeId s = 0; s < n; ++s) {
+    // BFS for distances and predecessor segments.
+    std::vector<double> dist(n, std::numeric_limits<double>::infinity());
+    std::vector<std::vector<Hop>> preds(n);
+    std::queue<NodeId> frontier;
+    dist[s] = 0.0;
+    frontier.push(s);
+    while (!frontier.empty()) {
+      const NodeId v = frontier.front();
+      frontier.pop();
+      for (const Hop& hop : g.neighbors(v)) {
+        if (dist[hop.node] == std::numeric_limits<double>::infinity()) {
+          dist[hop.node] = dist[v] + 1.0;
+          frontier.push(hop.node);
+        }
+        if (dist[hop.node] == dist[v] + 1.0) {
+          preds[hop.node].push_back(Hop{hop.segment, v});
+        }
+      }
+    }
+    for (NodeId t = 0; t < n; ++t) {
+      if (t == s || dist[t] == std::numeric_limits<double>::infinity()) {
+        continue;
+      }
+      // Enumerate all shortest s->t paths.
+      std::vector<std::vector<SegmentId>> paths;
+      std::vector<SegmentId> current;
+      const std::function<void(NodeId)> walk = [&](NodeId v) {
+        if (v == s) {
+          paths.push_back(current);
+          return;
+        }
+        for (const Hop& pred : preds[v]) {
+          current.push_back(pred.segment);
+          walk(pred.node);
+          current.pop_back();
+        }
+      };
+      walk(t);
+      const double share = 1.0 / static_cast<double>(paths.size());
+      for (const auto& path : paths) {
+        for (const SegmentId seg : path) centrality[seg] += share;
+      }
+    }
+  }
+  double norm = 2.0;  // ordered pairs counted twice
+  if (normalize && n > 2) {
+    norm *= static_cast<double>((n - 1) * (n - 2));
+  }
+  for (double& c : centrality) c /= norm;
+  return centrality;
+}
+
+TEST(Betweenness, LineGraphClosedForm) {
+  const std::uint32_t n = 6;
+  const RoadGraph g = make_line(n);
+  const auto bc = segment_betweenness(g);
+  ASSERT_EQ(bc.size(), n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const double expected = static_cast<double>((i + 1) * (n - 1 - i)) /
+                            static_cast<double>((n - 1) * (n - 2));
+    EXPECT_NEAR(bc[i], expected, 1e-12) << "edge " << i;
+  }
+}
+
+TEST(Betweenness, MiddleOfLineIsMostCentral) {
+  const RoadGraph g = make_line(9);
+  const auto bc = segment_betweenness(g);
+  for (std::size_t i = 0; i + 1 < bc.size(); ++i) {
+    if (i < bc.size() / 2) {
+      EXPECT_LE(bc[i], bc[i + 1]);
+    } else {
+      EXPECT_GE(bc[i], bc[i + 1]);
+    }
+  }
+}
+
+TEST(Betweenness, RingIsUniform) {
+  const RoadGraph g = make_ring(8);
+  const auto bc = segment_betweenness(g);
+  for (std::size_t i = 1; i < bc.size(); ++i) {
+    EXPECT_NEAR(bc[i], bc[0], 1e-12);
+  }
+  EXPECT_GT(bc[0], 0.0);
+}
+
+TEST(Betweenness, MatchesBruteForceOnGrid) {
+  const RoadGraph g = make_grid(3, 3);
+  const auto fast = segment_betweenness(g);
+  const auto oracle = brute_force_betweenness(g, /*normalize=*/true);
+  ASSERT_EQ(fast.size(), oracle.size());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_NEAR(fast[i], oracle[i], 1e-9) << "segment " << i;
+  }
+}
+
+TEST(Betweenness, MatchesBruteForceUnnormalized) {
+  const RoadGraph g = make_grid(2, 4);
+  BetweennessOptions opts;
+  opts.normalize = false;
+  const auto fast = segment_betweenness(g, opts);
+  const auto oracle = brute_force_betweenness(g, /*normalize=*/false);
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_NEAR(fast[i], oracle[i], 1e-9) << "segment " << i;
+  }
+}
+
+// Sweep over procedurally-built cities: Brandes must agree with the oracle
+// for each seed (structure varies with pruning).
+class BetweennessCitySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BetweennessCitySweep, MatchesBruteForceOnPrunedCity) {
+  CityParams params;
+  params.rows = 4;
+  params.cols = 4;
+  params.arterial_period = 3;
+  params.collector_period = 2;
+  params.seed = GetParam();
+  const RoadGraph g = build_city(params);
+  const auto fast = segment_betweenness(g);
+  const auto oracle = brute_force_betweenness(g, /*normalize=*/true);
+  ASSERT_EQ(fast.size(), oracle.size());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_NEAR(fast[i], oracle[i], 1e-9) << "segment " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BetweennessCitySweep,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(Betweenness, WeightedMetricChangesRanking) {
+  // Two routes between the same endpoints: a short slow local detour and a
+  // long fast arterial. Hop metric favours the direct edge; travel time can
+  // favour the arterial chain.
+  RoadGraph g;
+  const NodeId a = g.add_intersection(PointM{0.0, 0.0});
+  const NodeId b = g.add_intersection(PointM{1000.0, 0.0});
+  const NodeId m = g.add_intersection(PointM{500.0, 200.0});
+  // Direct local edge: 1000 m at 2 m/s -> 500 s.
+  const SegmentId direct = g.add_segment(a, b, RoadClass::kLocal, 2.0);
+  // Two-hop arterial: ~1077 m at 30 m/s -> ~36 s.
+  g.add_segment(a, m, RoadClass::kArterial, 30.0);
+  g.add_segment(m, b, RoadClass::kArterial, 30.0);
+  g.finalize();
+
+  BetweennessOptions hops;
+  hops.metric = PathMetric::kHops;
+  hops.normalize = false;
+  const auto bc_hops = segment_betweenness(g, hops);
+
+  BetweennessOptions time;
+  time.metric = PathMetric::kTravelTime;
+  time.normalize = false;
+  const auto bc_time = segment_betweenness(g, time);
+
+  // Under hops the direct edge carries the a-b pair; under travel time it
+  // carries nothing.
+  EXPECT_GT(bc_hops[direct], 0.0);
+  EXPECT_NEAR(bc_time[direct], 0.0, 1e-12);
+}
+
+TEST(Betweenness, SampledApproximatesExact) {
+  CityParams params;
+  params.rows = 8;
+  params.cols = 8;
+  params.seed = 3;
+  const RoadGraph g = build_city(params);
+  const auto exact = segment_betweenness(g);
+  Rng rng(17);
+  const auto sampled =
+      sampled_segment_betweenness(g, g.num_intersections() / 2, rng);
+  ASSERT_EQ(exact.size(), sampled.size());
+  // Average absolute error should be small relative to the max value.
+  double max_exact = 0.0;
+  double total_err = 0.0;
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    max_exact = std::max(max_exact, exact[i]);
+    total_err += std::abs(exact[i] - sampled[i]);
+  }
+  EXPECT_LT(total_err / static_cast<double>(exact.size()), 0.25 * max_exact);
+}
+
+// Sampling-error sweep: the sampled estimator's mean absolute error decays
+// as the number of BFS roots grows.
+class SampledConvergenceSweep : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(SampledConvergenceSweep, ErrorShrinksWithMoreSources) {
+  CityParams params;
+  params.rows = 8;
+  params.cols = 8;
+  params.seed = GetParam();
+  const RoadGraph g = build_city(params);
+  const auto exact = segment_betweenness(g);
+  const auto mean_abs_error = [&](std::size_t sources, std::uint64_t seed) {
+    Rng rng(seed);
+    const auto approx = sampled_segment_betweenness(g, sources, rng);
+    double err = 0.0;
+    for (std::size_t i = 0; i < exact.size(); ++i) {
+      err += std::abs(exact[i] - approx[i]);
+    }
+    return err / static_cast<double>(exact.size());
+  };
+  // Average each error level over a few sampling seeds to damp noise.
+  double coarse = 0.0;
+  double fine = 0.0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    coarse += mean_abs_error(g.num_intersections() / 8, seed);
+    fine += mean_abs_error(g.num_intersections() * 3 / 4, seed);
+  }
+  EXPECT_LT(fine, coarse);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cities, SampledConvergenceSweep,
+                         ::testing::Values<std::uint64_t>(2, 5, 9));
+
+TEST(Betweenness, ParallelMatchesSerial) {
+  CityParams params;
+  params.rows = 10;
+  params.cols = 10;
+  params.seed = 6;
+  const RoadGraph g = build_city(params);
+  const auto serial = segment_betweenness(g);
+  for (const std::size_t threads : {2u, 4u, 7u}) {
+    BetweennessOptions opts;
+    opts.num_threads = threads;
+    const auto parallel = segment_betweenness(g, opts);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_NEAR(parallel[i], serial[i], 1e-9)
+          << "threads=" << threads << " segment=" << i;
+    }
+  }
+}
+
+TEST(Betweenness, ParallelIsReproducibleForFixedThreadCount) {
+  const RoadGraph g = make_grid(6, 6);
+  BetweennessOptions opts;
+  opts.num_threads = 3;
+  const auto a = segment_betweenness(g, opts);
+  const auto b = segment_betweenness(g, opts);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]);  // bit-identical
+  }
+}
+
+TEST(Betweenness, MoreThreadsThanSourcesIsSafe) {
+  const RoadGraph g = make_line(3);
+  BetweennessOptions opts;
+  opts.num_threads = 64;
+  const auto bc = segment_betweenness(g, opts);
+  const auto serial = segment_betweenness(g);
+  for (std::size_t i = 0; i < bc.size(); ++i) {
+    EXPECT_NEAR(bc[i], serial[i], 1e-12);
+  }
+}
+
+TEST(Betweenness, SampledWithAllSourcesIsExact) {
+  const RoadGraph g = make_grid(3, 4);
+  const auto exact = segment_betweenness(g);
+  Rng rng(5);
+  const auto sampled =
+      sampled_segment_betweenness(g, g.num_intersections(), rng);
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    EXPECT_NEAR(exact[i], sampled[i], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace avcp::roadnet

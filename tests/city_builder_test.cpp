@@ -1,0 +1,138 @@
+#include "roadnet/builders.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "common/contracts.h"
+
+namespace avcp::roadnet {
+namespace {
+
+CityParams small_city(std::uint64_t seed = 42) {
+  CityParams params;
+  params.rows = 8;
+  params.cols = 10;
+  params.seed = seed;
+  params.arterial_period = 4;
+  params.collector_period = 2;
+  return params;
+}
+
+TEST(CityBuilder, ProducesConnectedNetwork) {
+  const RoadGraph g = build_city(small_city());
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.num_intersections(), 80u);
+  EXPECT_GT(g.num_segments(), 80u);  // more edges than a spanning tree
+}
+
+TEST(CityBuilder, DeterministicForSameSeed) {
+  const RoadGraph a = build_city(small_city(7));
+  const RoadGraph b = build_city(small_city(7));
+  ASSERT_EQ(a.num_segments(), b.num_segments());
+  for (SegmentId s = 0; s < a.num_segments(); ++s) {
+    EXPECT_EQ(a.segment(s).from, b.segment(s).from);
+    EXPECT_EQ(a.segment(s).to, b.segment(s).to);
+    EXPECT_EQ(a.segment(s).cls, b.segment(s).cls);
+  }
+}
+
+TEST(CityBuilder, DifferentSeedsDiffer) {
+  const RoadGraph a = build_city(small_city(1));
+  const RoadGraph b = build_city(small_city(2));
+  bool differs = a.num_segments() != b.num_segments();
+  if (!differs) {
+    for (SegmentId s = 0; s < a.num_segments(); ++s) {
+      if (a.intersection(a.segment(s).from).x !=
+          b.intersection(b.segment(s).from).x) {
+        differs = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(CityBuilder, ContainsAllThreeRoadClasses) {
+  const RoadGraph g = build_city(small_city());
+  std::array<std::size_t, 3> counts{};
+  for (SegmentId s = 0; s < g.num_segments(); ++s) {
+    ++counts[static_cast<std::size_t>(g.segment(s).cls)];
+  }
+  EXPECT_GT(counts[0], 0u) << "no arterials";
+  EXPECT_GT(counts[1], 0u) << "no collectors";
+  EXPECT_GT(counts[2], 0u) << "no locals";
+  // Locals dominate a street grid.
+  EXPECT_GT(counts[2], counts[0]);
+}
+
+TEST(CityBuilder, PruningRemovesOnlyLocals) {
+  CityParams with = small_city();
+  with.local_prune_frac = 0.5;
+  with.jitter_frac = 0.0;
+  CityParams without = small_city();
+  without.local_prune_frac = 0.0;
+  without.jitter_frac = 0.0;
+  const RoadGraph pruned = build_city(with);
+  const RoadGraph full = build_city(without);
+  EXPECT_LT(pruned.num_segments(), full.num_segments());
+
+  std::array<std::size_t, 3> pruned_counts{};
+  std::array<std::size_t, 3> full_counts{};
+  for (SegmentId s = 0; s < pruned.num_segments(); ++s) {
+    ++pruned_counts[static_cast<std::size_t>(pruned.segment(s).cls)];
+  }
+  for (SegmentId s = 0; s < full.num_segments(); ++s) {
+    ++full_counts[static_cast<std::size_t>(full.segment(s).cls)];
+  }
+  EXPECT_EQ(pruned_counts[0], full_counts[0]);  // arterials intact
+  EXPECT_EQ(pruned_counts[1], full_counts[1]);  // collectors intact
+  EXPECT_LT(pruned_counts[2], full_counts[2]);  // locals pruned
+}
+
+TEST(CityBuilder, HeavyPruningStaysConnected) {
+  CityParams params = small_city(11);
+  params.local_prune_frac = 0.9;
+  const RoadGraph g = build_city(params);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(CityBuilder, ArterialSpeedsExceedLocalSpeeds) {
+  const RoadGraph g = build_city(small_city());
+  for (SegmentId s = 0; s < g.num_segments(); ++s) {
+    const RoadSegment& seg = g.segment(s);
+    if (seg.cls == RoadClass::kArterial) {
+      EXPECT_GT(seg.speed_mps, default_speed_mps(RoadClass::kLocal));
+    }
+  }
+}
+
+TEST(CityBuilder, JitterPerturbsPositionsWithinBounds) {
+  CityParams params = small_city();
+  params.jitter_frac = 0.2;
+  const RoadGraph g = build_city(params);
+  // All intersections stay within jitter of the nominal grid.
+  const double max_offset = params.jitter_frac * params.spacing_m;
+  for (NodeId v = 0; v < g.num_intersections(); ++v) {
+    const PointM p = g.intersection(v);
+    const double nominal_x =
+        std::round(p.x / params.spacing_m) * params.spacing_m;
+    const double nominal_y =
+        std::round(p.y / params.spacing_m) * params.spacing_m;
+    EXPECT_LE(std::abs(p.x - nominal_x), max_offset + 1e-9);
+    EXPECT_LE(std::abs(p.y - nominal_y), max_offset + 1e-9);
+  }
+}
+
+TEST(CityBuilder, RejectsDegenerateParams) {
+  CityParams params = small_city();
+  params.rows = 1;
+  EXPECT_THROW(build_city(params), ContractViolation);
+  params = small_city();
+  params.local_prune_frac = 1.0;
+  EXPECT_THROW(build_city(params), ContractViolation);
+}
+
+}  // namespace
+}  // namespace avcp::roadnet

@@ -1,0 +1,186 @@
+#include "cluster/region_clustering.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/contracts.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "roadnet/betweenness.h"
+#include "roadnet/builders.h"
+
+namespace avcp::cluster {
+namespace {
+
+using roadnet::RoadGraph;
+using roadnet::SegmentId;
+
+std::vector<double> random_coeffs(const RoadGraph& g, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> coeffs(g.num_segments());
+  for (double& c : coeffs) c = rng.uniform(0.0, 100.0);
+  return coeffs;
+}
+
+TEST(SpreadSeeds, CorrectCountAndDistinct) {
+  const RoadGraph g = roadnet::make_grid(5, 5);
+  const auto seeds = spread_seeds(g, 6);
+  EXPECT_EQ(seeds.size(), 6u);
+  const std::set<SegmentId> unique(seeds.begin(), seeds.end());
+  EXPECT_EQ(unique.size(), 6u);
+}
+
+TEST(SpreadSeeds, TwoSeedsOnLineAreFarApart) {
+  const RoadGraph g = roadnet::make_line(20);
+  const auto seeds = spread_seeds(g, 2);
+  ASSERT_EQ(seeds.size(), 2u);
+  EXPECT_EQ(seeds[0], 0u);
+  // Farthest segment from segment 0 is the other end of the line.
+  EXPECT_EQ(seeds[1], g.num_segments() - 1);
+}
+
+TEST(SpreadSeeds, RejectsTooMany) {
+  const RoadGraph g = roadnet::make_line(4);
+  EXPECT_THROW(spread_seeds(g, 10), ContractViolation);
+}
+
+TEST(Clustering, EverySegmentAssignedExactlyOnce) {
+  const RoadGraph g = roadnet::make_grid(8, 8);
+  const auto coeffs = random_coeffs(g, 3);
+  const auto clustering = cluster_segments(g, coeffs, {5});
+
+  EXPECT_EQ(clustering.num_regions(), 5u);
+  EXPECT_EQ(clustering.region_of.size(), g.num_segments());
+  std::size_t total = 0;
+  std::vector<bool> seen(g.num_segments(), false);
+  for (RegionId r = 0; r < clustering.num_regions(); ++r) {
+    for (const SegmentId s : clustering.members[r]) {
+      EXPECT_FALSE(seen[s]) << "segment " << s << " in two regions";
+      seen[s] = true;
+      EXPECT_EQ(clustering.region_of[s], r);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, g.num_segments());
+}
+
+TEST(Clustering, NoRegionIsEmpty) {
+  const RoadGraph g = roadnet::make_grid(6, 6);
+  const auto coeffs = random_coeffs(g, 9);
+  const auto clustering = cluster_segments(g, coeffs, {4});
+  for (RegionId r = 0; r < clustering.num_regions(); ++r) {
+    EXPECT_FALSE(clustering.members[r].empty()) << "region " << r;
+  }
+}
+
+TEST(Clustering, SingleRegionTakesAll) {
+  const RoadGraph g = roadnet::make_line(10);
+  const auto coeffs = random_coeffs(g, 1);
+  const auto clustering = cluster_segments(g, coeffs, {1});
+  EXPECT_EQ(clustering.members[0].size(), g.num_segments());
+}
+
+TEST(Clustering, RegionsEqualSegmentsGivesSingletons) {
+  const RoadGraph g = roadnet::make_line(6);
+  const auto coeffs = random_coeffs(g, 2);
+  const auto clustering = cluster_segments(
+      g, coeffs, {static_cast<std::uint32_t>(g.num_segments())});
+  for (RegionId r = 0; r < clustering.num_regions(); ++r) {
+    EXPECT_EQ(clustering.members[r].size(), 1u);
+  }
+}
+
+TEST(Clustering, SeparatesTwoCoefficientBands) {
+  // A line whose left half has low coefficients and right half high; two
+  // regions should split close to the boundary.
+  const RoadGraph g = roadnet::make_line(21);  // 20 segments
+  std::vector<double> coeffs(g.num_segments());
+  for (std::size_t s = 0; s < coeffs.size(); ++s) {
+    coeffs[s] = s < 10 ? 1.0 : 100.0;
+  }
+  const auto clustering = cluster_segments(g, coeffs, {2});
+  // Within-region spread must be far below the global spread.
+  const auto devs = clustering.region_stddevs(coeffs);
+  const double global_dev = stddev(coeffs);
+  for (const double d : devs) {
+    EXPECT_LT(d, global_dev * 0.5);
+  }
+}
+
+TEST(Clustering, WithinRegionSpreadBelowGlobalSpread) {
+  // Smoothly varying coefficients over a grid: clustering should localise.
+  const RoadGraph g = roadnet::make_grid(8, 8);
+  std::vector<double> coeffs(g.num_segments());
+  for (SegmentId s = 0; s < g.num_segments(); ++s) {
+    coeffs[s] = g.segment_midpoint(s).x + g.segment_midpoint(s).y;
+  }
+  const auto clustering = cluster_segments(g, coeffs, {6});
+  const auto devs = clustering.region_stddevs(coeffs);
+  const double global_dev = stddev(coeffs);
+  const double avg_dev = mean(devs);
+  EXPECT_LT(avg_dev, global_dev * 0.8);
+}
+
+TEST(Clustering, RegionMeans) {
+  const RoadGraph g = roadnet::make_line(5);  // 4 segments
+  const std::vector<double> coeffs = {2.0, 2.0, 10.0, 10.0};
+  const auto clustering = cluster_segments(g, coeffs, {2});
+  const auto means = clustering.region_means(coeffs);
+  ASSERT_EQ(means.size(), 2u);
+  std::vector<double> sorted = means;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_NEAR(sorted[0], 2.0, 1e-9);
+  EXPECT_NEAR(sorted[1], 10.0, 1e-9);
+}
+
+TEST(Clustering, DeterministicForSameInputs) {
+  const RoadGraph g = roadnet::make_grid(7, 7);
+  const auto coeffs = random_coeffs(g, 4);
+  const auto a = cluster_segments(g, coeffs, {5});
+  const auto b = cluster_segments(g, coeffs, {5});
+  EXPECT_EQ(a.region_of, b.region_of);
+}
+
+TEST(Clustering, MismatchedCoefficientsRejected) {
+  const RoadGraph g = roadnet::make_line(5);
+  const std::vector<double> coeffs = {1.0, 2.0};  // wrong size
+  EXPECT_THROW(cluster_segments(g, coeffs, {2}), ContractViolation);
+}
+
+// Sweep: the partition invariants hold across seeds, sizes, and both
+// coefficient kinds on procedural cities.
+class ClusteringSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint32_t>> {
+};
+
+TEST_P(ClusteringSweep, PartitionInvariants) {
+  const auto [seed, num_regions] = GetParam();
+  roadnet::CityParams params;
+  params.rows = 6;
+  params.cols = 8;
+  params.seed = seed;
+  const RoadGraph g = roadnet::build_city(params);
+  const auto coeffs = roadnet::segment_betweenness(g);
+  const auto clustering = cluster_segments(g, coeffs, {num_regions});
+
+  EXPECT_EQ(clustering.num_regions(), num_regions);
+  std::size_t total = 0;
+  for (RegionId r = 0; r < num_regions; ++r) {
+    EXPECT_FALSE(clustering.members[r].empty());
+    total += clustering.members[r].size();
+  }
+  EXPECT_EQ(total, g.num_segments());
+  for (const RegionId r : clustering.region_of) {
+    EXPECT_LT(r, num_regions);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndSizes, ClusteringSweep,
+    ::testing::Combine(::testing::Values<std::uint64_t>(1, 2, 3),
+                       ::testing::Values<std::uint32_t>(2, 5, 12)));
+
+}  // namespace
+}  // namespace avcp::cluster

@@ -1,0 +1,53 @@
+#include "common/contracts.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace avcp {
+namespace {
+
+TEST(Contracts, ExpectPassesOnTrue) {
+  EXPECT_NO_THROW(AVCP_EXPECT(1 + 1 == 2));
+}
+
+TEST(Contracts, ExpectThrowsOnFalse) {
+  EXPECT_THROW(AVCP_EXPECT(1 + 1 == 3), ContractViolation);
+}
+
+TEST(Contracts, EnsureThrowsOnFalse) {
+  EXPECT_THROW(AVCP_ENSURE(false), ContractViolation);
+}
+
+TEST(Contracts, MessageCarriesExpressionAndLocation) {
+  try {
+    AVCP_EXPECT(2 < 1);
+    FAIL() << "expected throw";
+  } catch (const ContractViolation& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("2 < 1"), std::string::npos);
+    EXPECT_NE(msg.find("contracts_test.cpp"), std::string::npos);
+    EXPECT_NE(msg.find("Expect"), std::string::npos);
+  }
+}
+
+TEST(Contracts, EnsureMessageSaysEnsure) {
+  try {
+    AVCP_ENSURE(false);
+    FAIL() << "expected throw";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("Ensure"), std::string::npos);
+  }
+}
+
+TEST(Contracts, ViolationIsLogicError) {
+  try {
+    AVCP_EXPECT(false);
+    FAIL() << "expected throw";
+  } catch (const std::logic_error&) {
+    SUCCEED();
+  }
+}
+
+}  // namespace
+}  // namespace avcp

@@ -1,0 +1,82 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace avcp {
+namespace {
+
+TEST(Csv, ParseSimpleLine) {
+  const auto fields = parse_csv_line("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(Csv, ParseEmptyFields) {
+  const auto fields = parse_csv_line("a,,c,");
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(Csv, ParseQuotedComma) {
+  const auto fields = parse_csv_line(R"(a,"b,c",d)");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "b,c");
+}
+
+TEST(Csv, ParseEscapedQuote) {
+  const auto fields = parse_csv_line(R"("say ""hi""")");
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], R"(say "hi")");
+}
+
+TEST(Csv, ParseStripsCarriageReturn) {
+  const auto fields = parse_csv_line("a,b\r");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[1], "b");
+}
+
+TEST(Csv, EscapePlainFieldUnchanged) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+}
+
+TEST(Csv, EscapeQuotesCommaAndQuote) {
+  EXPECT_EQ(csv_escape("a,b"), R"("a,b")");
+  EXPECT_EQ(csv_escape(R"(say "hi")"), R"("say ""hi""")");
+}
+
+TEST(Csv, EscapeLeadingSpace) {
+  EXPECT_EQ(csv_escape(" x"), "\" x\"");
+}
+
+TEST(Csv, RoundTripThroughWriterAndReader) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row({"id", "name"});
+  writer.write_row({"1", "al,ice"});
+  writer.write_row({"2", R"(b"ob)"});
+
+  std::istringstream in(out.str());
+  const auto rows = read_csv(in);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[1][1], "al,ice");
+  EXPECT_EQ(rows[2][1], R"(b"ob)");
+}
+
+TEST(Csv, ReadSkipsEmptyLines) {
+  std::istringstream in("a,b\n\n\nc,d\n");
+  const auto rows = read_csv(in);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][0], "c");
+}
+
+TEST(Csv, JoinLine) {
+  EXPECT_EQ(join_csv_line({"a", "b,c", "d"}), R"(a,"b,c",d)");
+}
+
+}  // namespace
+}  // namespace avcp

@@ -1,0 +1,76 @@
+#include "common/geo.h"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.h"
+
+namespace avcp {
+namespace {
+
+TEST(Geo, PlanarDistance) {
+  EXPECT_DOUBLE_EQ(distance_m(PointM{0.0, 0.0}, PointM{3.0, 4.0}), 5.0);
+}
+
+TEST(GeoBox, FutianDimensionsAreCityScale) {
+  const GeoBox box = GeoBox::futian();
+  // 0.12 deg of longitude at ~22.5N is ~12.3 km; 0.09 deg latitude ~10 km.
+  EXPECT_NEAR(box.width_m(), 12300.0, 300.0);
+  EXPECT_NEAR(box.height_m(), 10000.0, 100.0);
+}
+
+TEST(GeoBox, CornersProjectToExtent) {
+  const GeoBox box = GeoBox::futian();
+  const PointM sw = box.to_meters(box.south_west());
+  EXPECT_NEAR(sw.x, 0.0, 1e-9);
+  EXPECT_NEAR(sw.y, 0.0, 1e-9);
+  const PointM ne = box.to_meters(box.north_east());
+  EXPECT_NEAR(ne.x, box.width_m(), 1e-6);
+  EXPECT_NEAR(ne.y, box.height_m(), 1e-6);
+}
+
+TEST(GeoBox, ProjectionRoundTrips) {
+  const GeoBox box = GeoBox::futian();
+  const LatLon p{22.55, 114.02};
+  const LatLon back = box.to_latlon(box.to_meters(p));
+  EXPECT_NEAR(back.lat, p.lat, 1e-12);
+  EXPECT_NEAR(back.lon, p.lon, 1e-12);
+}
+
+TEST(GeoBox, ContainsIsInclusive) {
+  const GeoBox box = GeoBox::futian();
+  EXPECT_TRUE(box.contains(box.south_west()));
+  EXPECT_TRUE(box.contains(box.north_east()));
+  EXPECT_TRUE(box.contains(LatLon{22.55, 114.0}));
+  EXPECT_FALSE(box.contains(LatLon{22.4, 114.0}));
+  EXPECT_FALSE(box.contains(LatLon{22.55, 115.0}));
+}
+
+TEST(GeoBox, RejectsInvertedCorners) {
+  EXPECT_THROW(GeoBox(LatLon{23.0, 114.0}, LatLon{22.0, 115.0}),
+               ContractViolation);
+  EXPECT_THROW(GeoBox(LatLon{22.0, 115.0}, LatLon{23.0, 114.0}),
+               ContractViolation);
+}
+
+TEST(GeoBox, PlanarDistanceMatchesHaversineAtCityScale) {
+  const GeoBox box = GeoBox::futian();
+  const LatLon a{22.52, 114.00};
+  const LatLon b{22.57, 114.08};
+  const double planar = distance_m(box.to_meters(a), box.to_meters(b));
+  const double sphere = haversine_m(a, b);
+  // Equirectangular error across ~10 km should be far below 0.1%.
+  EXPECT_NEAR(planar, sphere, sphere * 0.001);
+}
+
+TEST(Geo, HaversineKnownDistance) {
+  // One degree of latitude is ~111.2 km everywhere.
+  const double d = haversine_m(LatLon{0.0, 0.0}, LatLon{1.0, 0.0});
+  EXPECT_NEAR(d, 111195.0, 100.0);
+}
+
+TEST(Geo, HaversineZeroForSamePoint) {
+  EXPECT_DOUBLE_EQ(haversine_m(LatLon{22.5, 114.0}, LatLon{22.5, 114.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace avcp

@@ -1,0 +1,109 @@
+#include "roadnet/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/contracts.h"
+#include "roadnet/betweenness.h"
+#include "roadnet/builders.h"
+
+namespace avcp::roadnet {
+namespace {
+
+TEST(GraphIo, ClassNamesRoundTrip) {
+  for (const RoadClass cls :
+       {RoadClass::kArterial, RoadClass::kCollector, RoadClass::kLocal}) {
+    EXPECT_EQ(parse_road_class(road_class_name(cls)), cls);
+  }
+}
+
+TEST(GraphIo, UnknownClassRejected) {
+  EXPECT_THROW(parse_road_class("freeway"), ContractViolation);
+}
+
+TEST(GraphIo, RoundTripPreservesTopologyAndAttributes) {
+  CityParams params;
+  params.rows = 5;
+  params.cols = 6;
+  params.seed = 13;
+  const RoadGraph original = build_city(params);
+
+  std::ostringstream out;
+  write_graph_csv(out, original);
+  std::istringstream in(out.str());
+  const RoadGraph loaded = read_graph_csv(in);
+
+  ASSERT_EQ(loaded.num_intersections(), original.num_intersections());
+  ASSERT_EQ(loaded.num_segments(), original.num_segments());
+  for (NodeId v = 0; v < original.num_intersections(); ++v) {
+    EXPECT_NEAR(loaded.intersection(v).x, original.intersection(v).x, 1e-4);
+    EXPECT_NEAR(loaded.intersection(v).y, original.intersection(v).y, 1e-4);
+  }
+  for (SegmentId s = 0; s < original.num_segments(); ++s) {
+    EXPECT_EQ(loaded.segment(s).from, original.segment(s).from);
+    EXPECT_EQ(loaded.segment(s).to, original.segment(s).to);
+    EXPECT_EQ(loaded.segment(s).cls, original.segment(s).cls);
+    EXPECT_NEAR(loaded.segment(s).speed_mps, original.segment(s).speed_mps,
+                1e-6);
+    EXPECT_NEAR(loaded.segment(s).length_m, original.segment(s).length_m,
+                1e-3);
+  }
+}
+
+TEST(GraphIo, RoundTripPreservesBetweenness) {
+  const RoadGraph original = make_grid(4, 5);
+  std::ostringstream out;
+  write_graph_csv(out, original);
+  std::istringstream in(out.str());
+  const RoadGraph loaded = read_graph_csv(in);
+
+  const auto bc_original = segment_betweenness(original);
+  const auto bc_loaded = segment_betweenness(loaded);
+  ASSERT_EQ(bc_original.size(), bc_loaded.size());
+  for (std::size_t s = 0; s < bc_original.size(); ++s) {
+    EXPECT_NEAR(bc_original[s], bc_loaded[s], 1e-12);
+  }
+}
+
+TEST(GraphIo, LoadedGraphIsFinalized) {
+  const RoadGraph original = make_line(4);
+  std::ostringstream out;
+  write_graph_csv(out, original);
+  std::istringstream in(out.str());
+  const RoadGraph loaded = read_graph_csv(in);
+  EXPECT_TRUE(loaded.finalized());
+  EXPECT_TRUE(loaded.is_connected());
+}
+
+TEST(GraphIo, WriteRequiresFinalizedGraph) {
+  RoadGraph g;
+  g.add_intersection(PointM{0.0, 0.0});
+  std::ostringstream out;
+  EXPECT_THROW(write_graph_csv(out, g), ContractViolation);
+}
+
+TEST(GraphIo, DanglingSegmentRejected) {
+  std::istringstream in(
+      "section,id,x_or_from,y_or_to,class,speed_mps\n"
+      "node,0,0.0,0.0,,\n"
+      "segment,0,0,5,local,8.3\n");  // node 5 doesn't exist
+  EXPECT_THROW(read_graph_csv(in), ContractViolation);
+}
+
+TEST(GraphIo, OutOfOrderNodeIdsRejected) {
+  std::istringstream in(
+      "section,id,x_or_from,y_or_to,class,speed_mps\n"
+      "node,1,0.0,0.0,,\n");
+  EXPECT_THROW(read_graph_csv(in), ContractViolation);
+}
+
+TEST(GraphIo, MalformedRowRejected) {
+  std::istringstream in(
+      "section,id,x_or_from,y_or_to,class,speed_mps\n"
+      "node,0,abc,0.0,,\n");
+  EXPECT_THROW(read_graph_csv(in), ContractViolation);
+}
+
+}  // namespace
+}  // namespace avcp::roadnet

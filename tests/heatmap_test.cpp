@@ -1,0 +1,90 @@
+#include "common/heatmap.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/contracts.h"
+
+namespace avcp {
+namespace {
+
+TEST(HeatGrid, ConstructionAndAccess) {
+  HeatGrid grid(3, 4, 1.5);
+  EXPECT_EQ(grid.rows(), 3u);
+  EXPECT_EQ(grid.cols(), 4u);
+  EXPECT_EQ(grid.at(2, 3), 1.5);
+  grid.at(1, 2) = 9.0;
+  EXPECT_EQ(grid.at(1, 2), 9.0);
+}
+
+TEST(HeatGrid, RejectsZeroSize) {
+  EXPECT_THROW(HeatGrid(0, 3), ContractViolation);
+  EXPECT_THROW(HeatGrid(3, 0), ContractViolation);
+}
+
+TEST(HeatGrid, OutOfRangeAccessThrows) {
+  HeatGrid grid(2, 2);
+  EXPECT_THROW(grid.at(2, 0), ContractViolation);
+  EXPECT_THROW(grid.at(0, 2), ContractViolation);
+}
+
+TEST(HeatGrid, SplatAccumulates) {
+  HeatGrid grid(2, 2);
+  grid.splat(0.25, 0.25, 1.0);
+  grid.splat(0.25, 0.25, 2.0);
+  EXPECT_EQ(grid.at(0, 0), 3.0);
+  EXPECT_EQ(grid.at(1, 1), 0.0);
+}
+
+TEST(HeatGrid, SplatClampsOutOfRange) {
+  HeatGrid grid(2, 2);
+  grid.splat(-5.0, 2.0, 1.0);  // clamps to col 0, row 1
+  EXPECT_EQ(grid.at(1, 0), 1.0);
+}
+
+TEST(HeatGrid, RenderAsciiShape) {
+  HeatGrid grid(3, 5);
+  const std::string out = grid.render_ascii();
+  // 3 lines of 5 chars plus newline each.
+  EXPECT_EQ(out.size(), 3u * 6u);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+}
+
+TEST(HeatGrid, RenderAsciiUsesFullRamp) {
+  HeatGrid grid(1, 2);
+  grid.at(0, 0) = 0.0;
+  grid.at(0, 1) = 10.0;
+  const std::string out = grid.render_ascii();
+  EXPECT_EQ(out[0], ' ');  // min maps to lightest
+  EXPECT_EQ(out[1], '@');  // max maps to darkest
+}
+
+TEST(HeatGrid, RenderAsciiConstantGridIsBlank) {
+  HeatGrid grid(2, 2, 5.0);
+  const std::string out = grid.render_ascii();
+  EXPECT_EQ(std::count(out.begin(), out.end(), ' '), 4);
+}
+
+TEST(HeatGrid, RenderAsciiNorthUp) {
+  HeatGrid grid(2, 1);
+  grid.at(1, 0) = 10.0;  // top row (higher y)
+  const std::string out = grid.render_ascii();
+  // First rendered line is row 1 (north); should be the dark cell.
+  EXPECT_EQ(out[0], '@');
+  EXPECT_EQ(out[2], ' ');
+}
+
+TEST(HeatGrid, RenderLabels) {
+  HeatGrid grid(1, 3);
+  grid.at(0, 0) = 4.0;
+  grid.at(0, 1) = 13.0;  // mod 10 -> 3
+  grid.at(0, 2) = -1.0;  // negative -> '.'
+  const std::string out = grid.render_labels();
+  EXPECT_EQ(out[0], '4');
+  EXPECT_EQ(out[1], '3');
+  EXPECT_EQ(out[2], '.');
+}
+
+}  // namespace
+}  // namespace avcp

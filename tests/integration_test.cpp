@@ -1,0 +1,188 @@
+// End-to-end integration: trace-driven pipeline -> multi-region game ->
+// FDS shaping, mirroring the paper's full evaluation loop at small scale.
+//
+// Desired decision fields follow the paper's §V-C methodology: a field is a
+// target distribution with an acceptable error eps. Targets must be
+// *attainable* for the region game at hand (the paper chooses such fields);
+// we derive them from the equilibrium reached under a reference sharing
+// ratio, then require FDS — starting from a different ratio — to steer the
+// population into the eps-box.
+#include <gtest/gtest.h>
+
+#include "common/interval.h"
+#include "core/fds.h"
+#include "core/lower_bound.h"
+#include "core/sensor_model.h"
+#include "sim/pipeline.h"
+#include "sim/runner.h"
+
+namespace avcp {
+namespace {
+
+sim::PipelineConfig tiny_config(sim::CoefficientKind kind) {
+  sim::PipelineConfig config;
+  config.city.rows = 6;
+  config.city.cols = 8;
+  config.city.seed = 31;
+  config.traces.num_vehicles = 50;
+  config.traces.duration_s = 1200.0;
+  config.traces.seed = 32;
+  config.num_servers = 24;
+  config.num_regions = 4;
+  config.coefficient = kind;
+  config.beta_lo = 3.0;  // strong incentives keep the test fast
+  config.beta_hi = 4.0;
+  return config;
+}
+
+core::MultiRegionGame make_game(const sim::PipelineArtifacts& artifacts) {
+  core::GameConfig game_config;
+  game_config.lattice = core::DecisionLattice(3);
+  const auto tables = core::paper_decision_tables(game_config.lattice);
+  game_config.utility = tables.utility;
+  game_config.privacy = tables.privacy;
+  game_config.step_size = 0.5;
+  return core::MultiRegionGame(std::move(game_config), artifacts.region_specs);
+}
+
+core::FdsOptions fds_options() {
+  core::FdsOptions options;
+  options.max_step = 0.1;
+  return options;
+}
+
+/// Desired fields = eps-box around the equilibrium reached from `start`
+/// under the constant ratio x_ref.
+core::DesiredFields attainable_fields(const core::MultiRegionGame& game,
+                                      const core::GameState& start,
+                                      double x_ref, double eps,
+                                      int rounds = 2000) {
+  core::GameState eq = start;
+  const std::vector<double> x(game.num_regions(), x_ref);
+  for (int t = 0; t < rounds; ++t) game.replicator_step(eq, x);
+  core::DesiredFields fields(game.num_regions(), game.num_decisions());
+  for (core::RegionId i = 0; i < game.num_regions(); ++i) {
+    for (core::DecisionId k = 0; k < game.num_decisions(); ++k) {
+      fields.set_target(i, k,
+                        Interval{std::max(0.0, eq.p[i][k] - eps),
+                                 std::min(1.0, eq.p[i][k] + eps)});
+    }
+  }
+  return fields;
+}
+
+class EndToEnd : public ::testing::TestWithParam<sim::CoefficientKind> {};
+
+TEST_P(EndToEnd, FdsReachesAttainableFieldAndBeatsLowerBound) {
+  const auto artifacts = sim::build_pipeline(tiny_config(GetParam()));
+  const auto game = make_game(artifacts);
+
+  const auto fields =
+      attainable_fields(game, game.uniform_state(), /*x_ref=*/0.75,
+                        /*eps=*/0.05);
+  core::FdsController controller(game, fields, fds_options());
+
+  const std::vector<double> x0(game.num_regions(), 0.2);
+  sim::RunOptions options;
+  options.max_rounds = 2000;
+  options.record_trajectory = false;
+  const auto result = sim::run_mean_field(game, controller,
+                                          game.uniform_state(), x0, &fields,
+                                          options);
+  EXPECT_TRUE(result.converged) << "rounds=" << result.rounds;
+
+  // The relaxed lower bound must hold for the same instance.
+  core::LowerBoundOptions lb_options;
+  lb_options.max_step = fds_options().max_step;
+  const auto bound = core::convergence_lower_bound(game, game.uniform_state(),
+                                                   fields, x0, lb_options);
+  EXPECT_TRUE(bound.reachable);
+  EXPECT_LE(bound.rounds, result.rounds);
+}
+
+TEST_P(EndToEnd, LowSharingRatioSuppressesSharingHighRatioPromotesIt) {
+  // The Fig. 10 shape on a trace-derived game: under a near-zero ratio the
+  // privacy-cheap decisions dominate; under x = 1.0 high-sharing decisions
+  // hold a clear majority.
+  const auto artifacts = sim::build_pipeline(tiny_config(GetParam()));
+  const auto game = make_game(artifacts);
+
+  core::FixedRatioController low(0.05);
+  sim::RunOptions options;
+  options.max_rounds = 1500;
+  options.record_trajectory = false;
+  const auto low_run = sim::run_mean_field(
+      game, low, game.uniform_state(),
+      std::vector<double>(game.num_regions(), 0.05), nullptr, options);
+
+  core::FixedRatioController high(1.0);
+  const auto high_run = sim::run_mean_field(
+      game, high, game.uniform_state(),
+      std::vector<double>(game.num_regions(), 1.0), nullptr, options);
+
+  for (core::RegionId i = 0; i < game.num_regions(); ++i) {
+    // Low ratio: low-privacy decisions (P7 radar-only + P8 none) dominate.
+    const double low_share = low_run.final_state.p[i][6] +
+                             low_run.final_state.p[i][7];
+    EXPECT_GT(low_share, 0.8) << "region " << i;
+    // High ratio shifts clear probability mass toward richer sharing in
+    // regions with meaningful local coupling (beta * gamma_ii); regions
+    // whose vehicles rarely meet cannot sustain costly sharing at any
+    // ratio, which is itself part of the model's economics.
+    const auto& spec = game.region(i);
+    if (spec.beta * spec.gamma_self < 1.5) continue;
+    double high_sharing = 0.0;
+    double low_sharing = 0.0;
+    for (core::DecisionId k = 0; k < 4; ++k) {
+      high_sharing += high_run.final_state.p[i][k];
+      low_sharing += low_run.final_state.p[i][k];
+    }
+    EXPECT_GT(high_sharing, low_sharing + 0.5) << "region " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothCoefficients, EndToEnd,
+    ::testing::Values(sim::CoefficientKind::kBetweenness,
+                      sim::CoefficientKind::kTrafficDensity));
+
+TEST(EndToEnd, WeatherSwitchReShapesDecisions) {
+  // The weather-adaptation scenario of §V-C: converge to a "sunny" field
+  // (rich sharing, high reference ratio), then switch the desired field to
+  // a privacy-lean "foggy" one (low reference ratio) and require FDS to
+  // re-converge.
+  const auto artifacts =
+      sim::build_pipeline(tiny_config(sim::CoefficientKind::kBetweenness));
+  const auto game = make_game(artifacts);
+
+  const auto sunny =
+      attainable_fields(game, game.uniform_state(), /*x_ref=*/0.85,
+                        /*eps=*/0.05);
+  core::FdsController sunny_controller(game, sunny, fds_options());
+  sim::RunOptions options;
+  options.max_rounds = 2000;
+  options.record_trajectory = false;
+  auto run1 = sim::run_mean_field(
+      game, sunny_controller, game.uniform_state(),
+      std::vector<double>(game.num_regions(), 0.4), &sunny, options);
+  ASSERT_TRUE(run1.converged) << "rounds=" << run1.rounds;
+
+  // Fog rolls in. Vehicles re-enter the area with fresh defaults, so the
+  // population regains some diversity (a pure state cannot move under
+  // replicator dynamics).
+  core::GameState reseeded = run1.final_state;
+  for (auto& row : reseeded.p) {
+    for (double& v : row) v = 0.8 * v + 0.2 / 8.0;
+  }
+  const auto foggy = attainable_fields(game, reseeded, /*x_ref=*/0.05,
+                                       /*eps=*/0.05, /*rounds=*/5000);
+  core::FdsController foggy_controller(game, foggy, fds_options());
+  sim::RunOptions long_options = options;
+  long_options.max_rounds = 5000;
+  const auto run2 = sim::run_mean_field(game, foggy_controller, reseeded,
+                                        run1.final_x, &foggy, long_options);
+  EXPECT_TRUE(run2.converged) << "rounds=" << run2.rounds;
+}
+
+}  // namespace
+}  // namespace avcp

@@ -1,0 +1,245 @@
+#include "common/interval.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/contracts.h"
+#include "common/rng.h"
+
+namespace avcp {
+namespace {
+
+TEST(Interval, DefaultIsEmpty) {
+  EXPECT_TRUE(Interval{}.empty());
+  EXPECT_EQ(Interval{}.width(), 0.0);
+}
+
+TEST(Interval, PointContainsItself) {
+  const auto p = Interval::point(0.5);
+  EXPECT_FALSE(p.empty());
+  EXPECT_TRUE(p.contains(0.5));
+  EXPECT_FALSE(p.contains(0.5001));
+  EXPECT_EQ(p.width(), 0.0);
+}
+
+TEST(Interval, ContainsEndpoints) {
+  const Interval iv{0.2, 0.8};
+  EXPECT_TRUE(iv.contains(0.2));
+  EXPECT_TRUE(iv.contains(0.8));
+  EXPECT_FALSE(iv.contains(0.19));
+  EXPECT_FALSE(iv.contains(0.81));
+}
+
+TEST(Interval, NearestClampsToEndpoints) {
+  const Interval iv{0.2, 0.8};
+  EXPECT_EQ(iv.nearest(0.0), 0.2);
+  EXPECT_EQ(iv.nearest(1.0), 0.8);
+  EXPECT_EQ(iv.nearest(0.5), 0.5);
+}
+
+TEST(Interval, IntersectOverlap) {
+  const auto iv = Interval::intersect({0.0, 0.5}, {0.3, 1.0});
+  EXPECT_EQ(iv.lo, 0.3);
+  EXPECT_EQ(iv.hi, 0.5);
+}
+
+TEST(Interval, IntersectDisjointIsEmpty) {
+  EXPECT_TRUE(Interval::intersect({0.0, 0.2}, {0.3, 1.0}).empty());
+}
+
+TEST(Interval, TouchesAtSinglePoint) {
+  EXPECT_TRUE(Interval::touches({0.0, 0.5}, {0.5, 1.0}));
+  EXPECT_FALSE(Interval::touches({0.0, 0.4}, {0.5, 1.0}));
+  EXPECT_FALSE(Interval::touches(Interval::empty_interval(), {0.0, 1.0}));
+}
+
+TEST(IntervalSet, EmptyByDefault) {
+  IntervalSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_FALSE(set.contains(0.5));
+  EXPECT_FALSE(set.nearest(0.5).has_value());
+}
+
+TEST(IntervalSet, AddMergesTouching) {
+  IntervalSet set;
+  set.add({0.0, 0.3});
+  set.add({0.3, 0.6});
+  EXPECT_EQ(set.parts().size(), 1u);
+  EXPECT_EQ(set.parts()[0], (Interval{0.0, 0.6}));
+}
+
+TEST(IntervalSet, AddKeepsDisjointSorted) {
+  IntervalSet set;
+  set.add({0.7, 0.9});
+  set.add({0.0, 0.2});
+  set.add({0.4, 0.5});
+  ASSERT_EQ(set.parts().size(), 3u);
+  EXPECT_EQ(set.parts()[0].lo, 0.0);
+  EXPECT_EQ(set.parts()[1].lo, 0.4);
+  EXPECT_EQ(set.parts()[2].lo, 0.7);
+}
+
+TEST(IntervalSet, AddBridgingIntervalMergesAll) {
+  IntervalSet set;
+  set.add({0.0, 0.2});
+  set.add({0.5, 0.7});
+  set.add({0.1, 0.6});  // spans the gap
+  ASSERT_EQ(set.parts().size(), 1u);
+  EXPECT_EQ(set.parts()[0], (Interval{0.0, 0.7}));
+}
+
+TEST(IntervalSet, AddIgnoresEmpty) {
+  IntervalSet set;
+  set.add(Interval::empty_interval());
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(IntervalSet, UniteAndIntersect) {
+  IntervalSet a;
+  a.add({0.0, 0.4});
+  a.add({0.6, 1.0});
+  IntervalSet b;
+  b.add({0.3, 0.7});
+
+  const auto u = IntervalSet::unite(a, b);
+  ASSERT_EQ(u.parts().size(), 1u);
+  EXPECT_EQ(u.parts()[0], (Interval{0.0, 1.0}));
+
+  const auto i = IntervalSet::intersect(a, b);
+  ASSERT_EQ(i.parts().size(), 2u);
+  EXPECT_EQ(i.parts()[0], (Interval{0.3, 0.4}));
+  EXPECT_EQ(i.parts()[1], (Interval{0.6, 0.7}));
+}
+
+TEST(IntervalSet, IntersectWithEmptyIsEmpty) {
+  IntervalSet a(Interval{0.0, 1.0});
+  const IntervalSet empty;
+  EXPECT_TRUE(IntervalSet::intersect(a, empty).empty());
+  EXPECT_TRUE(IntervalSet::intersect(empty, a).empty());
+}
+
+TEST(IntervalSet, ContainsWithTolerance) {
+  IntervalSet set(Interval{0.2, 0.4});
+  EXPECT_FALSE(set.contains(0.41));
+  EXPECT_TRUE(set.contains(0.41, 0.02));
+}
+
+TEST(IntervalSet, NearestPicksClosestPart) {
+  IntervalSet set;
+  set.add({0.0, 0.1});
+  set.add({0.8, 1.0});
+  EXPECT_EQ(set.nearest(0.2).value(), 0.1);
+  EXPECT_EQ(set.nearest(0.7).value(), 0.8);
+  EXPECT_EQ(set.nearest(0.9).value(), 0.9);
+}
+
+TEST(IntervalSet, MinMaxMeasure) {
+  IntervalSet set;
+  set.add({0.1, 0.3});
+  set.add({0.6, 0.7});
+  EXPECT_EQ(set.min(), 0.1);
+  EXPECT_EQ(set.max(), 0.7);
+  EXPECT_NEAR(set.measure(), 0.3, 1e-12);
+}
+
+TEST(IntervalSet, MinOnEmptyThrows) {
+  const IntervalSet set;
+  EXPECT_THROW(set.min(), ContractViolation);
+  EXPECT_THROW(set.max(), ContractViolation);
+}
+
+TEST(SolveAffine, PositiveSlope) {
+  // 2x - 1 >= 0  =>  x >= 0.5
+  const auto iv = solve_affine_ge(2.0, -1.0, {0.0, 1.0});
+  EXPECT_NEAR(iv.lo, 0.5, 1e-12);
+  EXPECT_NEAR(iv.hi, 1.0, 1e-12);
+}
+
+TEST(SolveAffine, NegativeSlope) {
+  // -x + 0.25 >= 0  =>  x <= 0.25
+  const auto iv = solve_affine_ge(-1.0, 0.25, {0.0, 1.0});
+  EXPECT_NEAR(iv.lo, 0.0, 1e-12);
+  EXPECT_NEAR(iv.hi, 0.25, 1e-12);
+}
+
+TEST(SolveAffine, ZeroSlopeFeasible) {
+  EXPECT_EQ(solve_affine_ge(0.0, 1.0, {0.0, 1.0}), (Interval{0.0, 1.0}));
+}
+
+TEST(SolveAffine, ZeroSlopeInfeasible) {
+  EXPECT_TRUE(solve_affine_ge(0.0, -1.0, {0.0, 1.0}).empty());
+}
+
+TEST(SolveAffine, LeIsComplementaryToGe) {
+  const auto ge = solve_affine_ge(3.0, -1.5, {0.0, 1.0});
+  const auto le = solve_affine_le(3.0, -1.5, {0.0, 1.0});
+  EXPECT_NEAR(ge.lo, le.hi, 1e-12);  // both include the root
+}
+
+TEST(SolveAffine, EmptyDomainStaysEmpty) {
+  EXPECT_TRUE(solve_affine_ge(1.0, 0.0, Interval::empty_interval()).empty());
+}
+
+// Property sweep: solutions of a*x+b >= 0 agree with direct evaluation on a
+// dense sample of the domain, over a grid of slopes and intercepts.
+class SolveAffineSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(SolveAffineSweep, MatchesDirectEvaluation) {
+  const auto [a, b] = GetParam();
+  const Interval domain{0.0, 1.0};
+  const Interval ge = solve_affine_ge(a, b, domain);
+  const Interval le = solve_affine_le(a, b, domain);
+  for (int i = 0; i <= 100; ++i) {
+    const double x = i / 100.0;
+    const double v = a * x + b;
+    constexpr double kBoundary = 1e-9;
+    if (std::abs(v) > kBoundary) {
+      EXPECT_EQ(ge.contains(x), v > 0.0) << "a=" << a << " b=" << b
+                                         << " x=" << x;
+      EXPECT_EQ(le.contains(x), v < 0.0) << "a=" << a << " b=" << b
+                                         << " x=" << x;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GridOfCoefficients, SolveAffineSweep,
+    ::testing::Combine(::testing::Values(-2.0, -0.5, 0.0, 0.5, 2.0),
+                       ::testing::Values(-1.0, -0.3, 0.0, 0.3, 1.0)));
+
+// Property sweep: IntervalSet union/intersection agree with pointwise
+// membership on randomly generated interval sets.
+class IntervalSetAlgebraSweep : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(IntervalSetAlgebraSweep, PointwiseSemantics) {
+  Rng rng(GetParam());
+  IntervalSet a;
+  IntervalSet b;
+  for (int i = 0; i < 4; ++i) {
+    const double lo_a = rng.uniform();
+    const double lo_b = rng.uniform();
+    a.add({lo_a, lo_a + rng.uniform() * 0.3});
+    b.add({lo_b, lo_b + rng.uniform() * 0.3});
+  }
+  const auto u = IntervalSet::unite(a, b);
+  const auto n = IntervalSet::intersect(a, b);
+  for (int i = 0; i <= 200; ++i) {
+    const double x = i / 200.0 * 1.3;
+    EXPECT_EQ(u.contains(x), a.contains(x) || b.contains(x)) << "x=" << x;
+    EXPECT_EQ(n.contains(x), a.contains(x) && b.contains(x)) << "x=" << x;
+  }
+  // Invariant: parts are sorted and disjoint.
+  for (std::size_t i = 1; i < u.parts().size(); ++i) {
+    EXPECT_GT(u.parts()[i].lo, u.parts()[i - 1].hi);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSets, IntervalSetAlgebraSweep,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace avcp

@@ -1,0 +1,204 @@
+#include "core/lattice.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/contracts.h"
+
+namespace avcp::core {
+namespace {
+
+TEST(Lattice, PaperNumberingForThreeSensors) {
+  // Sensor order [camera, lidar, radar]; camera occupies the most
+  // significant bit, so the paper's P1..P8 masks are:
+  const DecisionLattice lattice(3);
+  ASSERT_EQ(lattice.num_decisions(), 8u);
+  EXPECT_EQ(lattice.mask(0), 0b111u);  // P1 {cam,lid,rad}
+  EXPECT_EQ(lattice.mask(1), 0b110u);  // P2 {cam,lid}
+  EXPECT_EQ(lattice.mask(2), 0b101u);  // P3 {cam,rad}
+  EXPECT_EQ(lattice.mask(3), 0b011u);  // P4 {lid,rad}
+  EXPECT_EQ(lattice.mask(4), 0b100u);  // P5 {cam}
+  EXPECT_EQ(lattice.mask(5), 0b010u);  // P6 {lid}
+  EXPECT_EQ(lattice.mask(6), 0b001u);  // P7 {rad}
+  EXPECT_EQ(lattice.mask(7), 0b000u);  // P8 {}
+}
+
+TEST(Lattice, DecisionOfIsInverseOfMask) {
+  const DecisionLattice lattice(3);
+  for (DecisionId k = 0; k < lattice.num_decisions(); ++k) {
+    EXPECT_EQ(lattice.decision_of(lattice.mask(k)), k);
+  }
+}
+
+TEST(Lattice, SharesMatchesPaperTable) {
+  const DecisionLattice lattice(3);
+  // P3 = {camera, radar}: shares sensor 0 and 2, not 1.
+  EXPECT_TRUE(lattice.shares(2, 0));
+  EXPECT_FALSE(lattice.shares(2, 1));
+  EXPECT_TRUE(lattice.shares(2, 2));
+  // P8 shares nothing.
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_FALSE(lattice.shares(7, s));
+  }
+}
+
+TEST(Lattice, CardinalityDecreasesAlongNumbering) {
+  const DecisionLattice lattice(3);
+  EXPECT_EQ(lattice.cardinality(0), 3u);
+  EXPECT_EQ(lattice.cardinality(1), 2u);
+  EXPECT_EQ(lattice.cardinality(4), 1u);
+  EXPECT_EQ(lattice.cardinality(7), 0u);
+  for (DecisionId k = 1; k < lattice.num_decisions(); ++k) {
+    EXPECT_LE(lattice.cardinality(k), lattice.cardinality(k - 1));
+  }
+}
+
+TEST(Lattice, PreceqSemantics) {
+  const DecisionLattice lattice(3);
+  // P1 precedes everything (every P^l is a subset of Omega).
+  for (DecisionId l = 0; l < 8; ++l) {
+    EXPECT_TRUE(lattice.preceq(0, l));
+  }
+  // Everything precedes P8 (empty set is a subset of all).
+  for (DecisionId k = 0; k < 8; ++k) {
+    EXPECT_TRUE(lattice.preceq(k, 7));
+  }
+  // P2 {cam,lid} vs P3 {cam,rad}: incomparable.
+  EXPECT_FALSE(lattice.preceq(1, 2));
+  EXPECT_FALSE(lattice.preceq(2, 1));
+  // P2 {cam,lid} precedes P5 {cam} and P6 {lid} but not P7 {rad}.
+  EXPECT_TRUE(lattice.preceq(1, 4));
+  EXPECT_TRUE(lattice.preceq(1, 5));
+  EXPECT_FALSE(lattice.preceq(1, 6));
+}
+
+TEST(Lattice, PrecedesIsStrict) {
+  const DecisionLattice lattice(3);
+  for (DecisionId k = 0; k < 8; ++k) {
+    EXPECT_TRUE(lattice.preceq(k, k));
+    EXPECT_FALSE(lattice.precedes(k, k));
+  }
+  EXPECT_TRUE(lattice.precedes(0, 1));
+  EXPECT_FALSE(lattice.precedes(1, 0));
+}
+
+TEST(Lattice, AccessibleSetsOfExtremes) {
+  const DecisionLattice lattice(3);
+  // Sharing everything grants access to every group.
+  EXPECT_EQ(lattice.accessible(0, AccessRule::kSubsetOrEqual).size(), 8u);
+  EXPECT_EQ(lattice.accessible(0, AccessRule::kStrictSubset).size(), 7u);
+  // Sharing nothing only accesses the (worthless) empty-share group.
+  const auto none = lattice.accessible(7, AccessRule::kSubsetOrEqual);
+  ASSERT_EQ(none.size(), 1u);
+  EXPECT_EQ(none[0], 7u);
+  EXPECT_TRUE(lattice.accessible(7, AccessRule::kStrictSubset).empty());
+}
+
+TEST(Lattice, AccessibleMatchesPreceq) {
+  const DecisionLattice lattice(3);
+  for (DecisionId k = 0; k < 8; ++k) {
+    const auto acc = lattice.accessible(k, AccessRule::kSubsetOrEqual);
+    const std::set<DecisionId> acc_set(acc.begin(), acc.end());
+    for (DecisionId l = 0; l < 8; ++l) {
+      EXPECT_EQ(acc_set.contains(l), lattice.preceq(k, l))
+          << "k=" << k << " l=" << l;
+    }
+  }
+}
+
+TEST(Lattice, HasseEdgesMatchFigure2) {
+  const DecisionLattice lattice(3);
+  const auto edges = lattice.hasse_edges();
+  // Fig. 2's DAG of the boolean lattice B_3: 3 * 2^2 = 12 cover edges.
+  EXPECT_EQ(edges.size(), 12u);
+  // Spot-check: P1 covers P2, P3, P4.
+  std::set<std::pair<DecisionId, DecisionId>> edge_set(edges.begin(),
+                                                       edges.end());
+  EXPECT_TRUE(edge_set.contains({0, 1}));
+  EXPECT_TRUE(edge_set.contains({0, 2}));
+  EXPECT_TRUE(edge_set.contains({0, 3}));
+  // P5 {cam} covers only P8.
+  EXPECT_TRUE(edge_set.contains({4, 7}));
+  EXPECT_FALSE(edge_set.contains({4, 5}));
+  // Every edge removes exactly one sensor.
+  for (const auto& [k, l] : edges) {
+    EXPECT_EQ(lattice.cardinality(k), lattice.cardinality(l) + 1);
+    EXPECT_TRUE(lattice.precedes(k, l));
+  }
+}
+
+TEST(Lattice, Labels) {
+  const DecisionLattice lattice(3);
+  EXPECT_EQ(lattice.label(0), "P1{cam,lid,rad}");
+  EXPECT_EQ(lattice.label(2), "P3{cam,rad}");
+  EXPECT_EQ(lattice.label(7), "P8{}");
+  const std::vector<std::string> names = {"C", "L", "R"};
+  EXPECT_EQ(lattice.label(1, names), "P2{C,L}");
+}
+
+TEST(Lattice, RejectsBadSensorCounts) {
+  EXPECT_THROW(DecisionLattice(0), ContractViolation);
+  EXPECT_THROW(DecisionLattice(17), ContractViolation);
+}
+
+// Partial-order axioms over lattices of different sensor counts.
+class LatticeOrderSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LatticeOrderSweep, PreceqIsAPartialOrder) {
+  const DecisionLattice lattice(GetParam());
+  const auto n = static_cast<DecisionId>(lattice.num_decisions());
+  for (DecisionId a = 0; a < n; ++a) {
+    EXPECT_TRUE(lattice.preceq(a, a));  // reflexive
+    for (DecisionId b = 0; b < n; ++b) {
+      if (lattice.preceq(a, b) && lattice.preceq(b, a)) {
+        EXPECT_EQ(a, b);  // antisymmetric
+      }
+      for (DecisionId c = 0; c < n; ++c) {
+        if (lattice.preceq(a, b) && lattice.preceq(b, c)) {
+          EXPECT_TRUE(lattice.preceq(a, c));  // transitive
+        }
+      }
+    }
+  }
+}
+
+TEST_P(LatticeOrderSweep, ExtremesAreSharedAllAndNone) {
+  const DecisionLattice lattice(GetParam());
+  const auto n = lattice.num_sensors();
+  EXPECT_EQ(lattice.cardinality(0), n);  // P1 shares everything
+  EXPECT_EQ(lattice.cardinality(static_cast<DecisionId>(
+                lattice.num_decisions() - 1)),
+            0u);  // PK shares nothing
+}
+
+TEST_P(LatticeOrderSweep, AccessibleIsMonotoneInSharing) {
+  // If P^a superset P^b then a's accessible set contains b's.
+  const DecisionLattice lattice(GetParam());
+  const auto n = static_cast<DecisionId>(lattice.num_decisions());
+  for (DecisionId a = 0; a < n; ++a) {
+    for (DecisionId b = 0; b < n; ++b) {
+      if (!lattice.preceq(a, b)) continue;  // P^b subset of P^a
+      const auto acc_a = lattice.accessible(a, AccessRule::kSubsetOrEqual);
+      const auto acc_b = lattice.accessible(b, AccessRule::kSubsetOrEqual);
+      const std::set<DecisionId> set_a(acc_a.begin(), acc_a.end());
+      for (const DecisionId l : acc_b) {
+        EXPECT_TRUE(set_a.contains(l));
+      }
+    }
+  }
+}
+
+TEST_P(LatticeOrderSweep, HasseEdgeCountIsNTimesHalfK) {
+  const DecisionLattice lattice(GetParam());
+  const std::size_t n = lattice.num_sensors();
+  const std::size_t k = lattice.num_decisions();
+  EXPECT_EQ(lattice.hasse_edges().size(), n * k / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(SensorCounts, LatticeOrderSweep,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace avcp::core

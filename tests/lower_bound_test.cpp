@@ -1,0 +1,138 @@
+#include "core/lower_bound.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/runner.h"
+#include "test_support.h"
+
+namespace avcp::core {
+namespace {
+
+using testing::make_chain_game;
+using testing::make_single_region_game;
+
+TEST(LowerBound, ZeroWhenAlreadyInsideTargets) {
+  const auto game = make_single_region_game();
+  const DesiredFields fields(1, 8);  // unconstrained
+  const auto result = convergence_lower_bound(game, game.uniform_state(),
+                                              fields, std::vector<double>{0.5});
+  EXPECT_TRUE(result.reachable);
+  EXPECT_EQ(result.rounds, 0u);
+}
+
+TEST(LowerBound, PositiveForUnmetTarget) {
+  const auto game = make_single_region_game(/*beta=*/4.0);
+  DesiredFields fields(1, 8);
+  fields.set_target(0, 0, Interval{0.9, 1.0});
+  const auto result = convergence_lower_bound(game, game.uniform_state(),
+                                              fields, std::vector<double>{0.1});
+  EXPECT_TRUE(result.reachable);
+  EXPECT_GT(result.rounds, 0u);
+  EXPECT_EQ(result.binding_region, 0u);
+  EXPECT_EQ(result.binding_decision, 0u);
+}
+
+TEST(LowerBound, UnreachableForExtinctDecisionWithPositiveTarget) {
+  const auto game = make_single_region_game();
+  std::vector<double> p(8, 0.0);
+  p[7] = 1.0;  // decision 0 extinct
+  const GameState state = game.broadcast_state(p);
+  DesiredFields fields(1, 8);
+  fields.set_target(0, 0, Interval{0.5, 1.0});
+  const auto result =
+      convergence_lower_bound(game, state, fields, std::vector<double>{0.5});
+  EXPECT_FALSE(result.reachable);
+}
+
+TEST(LowerBound, WiderTargetNeverIncreasesBound) {
+  const auto game = make_single_region_game(/*beta=*/3.0);
+  const std::vector<double> x0 = {0.2};
+  std::size_t previous = ~std::size_t{0};
+  for (const double eps : {0.01, 0.02, 0.05, 0.1}) {
+    DesiredFields fields(1, 8);
+    fields.set_target(0, 0, Interval{0.9 - eps, 1.0});
+    const auto result =
+        convergence_lower_bound(game, game.uniform_state(), fields, x0);
+    EXPECT_TRUE(result.reachable);
+    EXPECT_LE(result.rounds, previous) << "eps=" << eps;
+    previous = result.rounds;
+  }
+}
+
+TEST(LowerBound, LargerStepBoundNeverIncreasesBound) {
+  const auto game = make_single_region_game(/*beta=*/3.0);
+  DesiredFields fields(1, 8);
+  fields.set_target(0, 0, Interval{0.9, 1.0});
+  std::size_t previous = ~std::size_t{0};
+  for (const double lambda : {0.01, 0.05, 0.2, 1.0}) {
+    LowerBoundOptions opts;
+    opts.max_step = lambda;
+    const auto result = convergence_lower_bound(
+        game, game.uniform_state(), fields, std::vector<double>{0.1}, opts);
+    EXPECT_TRUE(result.reachable);
+    EXPECT_LE(result.rounds, previous) << "lambda=" << lambda;
+    previous = result.rounds;
+  }
+}
+
+// Soundness sweep: the relaxed bound must never exceed the rounds FDS
+// actually needs, across random targets and parameters.
+class LowerBoundSoundnessSweep
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LowerBoundSoundnessSweep, BoundNeverExceedsFdsRounds) {
+  Rng rng(GetParam());
+  const double beta = rng.uniform(2.5, 4.5);
+  const auto game = make_single_region_game(beta);
+
+  DesiredFields fields(1, 8);
+  const bool want_sharing = rng.bernoulli(0.5);
+  const double threshold = rng.uniform(0.8, 0.95);
+  if (want_sharing) {
+    fields.set_target(0, 0, Interval{threshold, 1.0});
+  } else {
+    fields.set_target(0, 7, Interval{threshold, 1.0});
+  }
+  const std::vector<double> x0 = {rng.uniform(0.1, 0.9)};
+
+  FdsController controller(game, fields);
+  sim::RunOptions options;
+  options.max_rounds = 1500;
+  options.record_trajectory = false;
+  const auto run = sim::run_mean_field(game, controller, game.uniform_state(),
+                                       x0, &fields, options);
+  if (!run.converged) {
+    GTEST_SKIP() << "FDS did not converge for this instance";
+  }
+
+  const auto bound =
+      convergence_lower_bound(game, game.uniform_state(), fields, x0);
+  EXPECT_TRUE(bound.reachable);
+  EXPECT_LE(bound.rounds, run.rounds)
+      << "beta=" << beta << " sharing=" << want_sharing
+      << " threshold=" << threshold;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, LowerBoundSoundnessSweep,
+                         ::testing::Range<std::uint64_t>(1, 31));
+
+TEST(LowerBound, MultiRegionTakesWorstComponent) {
+  const auto game = make_chain_game(3, /*beta_lo=*/2.0, /*beta_hi=*/4.0);
+  DesiredFields fields(3, 8);
+  for (RegionId i = 0; i < 3; ++i) {
+    fields.set_target(i, 0, Interval{0.9, 1.0});
+  }
+  const auto all = convergence_lower_bound(game, game.uniform_state(), fields,
+                                           std::vector<double>{0.1, 0.1, 0.1});
+
+  // Constraining only the easiest region cannot give a larger bound.
+  DesiredFields single(3, 8);
+  single.set_target(all.binding_region, 0, Interval{0.9, 1.0});
+  const auto one = convergence_lower_bound(game, game.uniform_state(), single,
+                                           std::vector<double>{0.1, 0.1, 0.1});
+  EXPECT_EQ(one.rounds, all.rounds);
+}
+
+}  // namespace
+}  // namespace avcp::core

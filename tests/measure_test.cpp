@@ -1,0 +1,181 @@
+#include "perception/measure.h"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.h"
+#include "common/rng.h"
+
+namespace avcp::perception {
+namespace {
+
+TEST(SetAlgebra, UnionIntersectDifference) {
+  const ItemSet a = {1, 3, 5, 7};
+  const ItemSet b = {3, 4, 7, 9};
+  EXPECT_EQ(set_union(a, b), (ItemSet{1, 3, 4, 5, 7, 9}));
+  EXPECT_EQ(set_intersect(a, b), (ItemSet{3, 7}));
+  EXPECT_EQ(set_difference(a, b), (ItemSet{1, 5}));
+}
+
+TEST(SetAlgebra, EmptyOperands) {
+  const ItemSet a = {1, 2};
+  EXPECT_EQ(set_union(a, {}), a);
+  EXPECT_TRUE(set_intersect(a, {}).empty());
+  EXPECT_EQ(set_difference(a, {}), a);
+  EXPECT_TRUE(set_difference({}, a).empty());
+}
+
+TEST(SetAlgebra, ContainsAndSortedness) {
+  const ItemSet a = {2, 4, 6};
+  EXPECT_TRUE(set_contains(a, 4));
+  EXPECT_FALSE(set_contains(a, 5));
+  EXPECT_TRUE(is_sorted_unique(a));
+  EXPECT_FALSE(is_sorted_unique(ItemSet{2, 2, 3}));
+  EXPECT_FALSE(is_sorted_unique(ItemSet{3, 2}));
+}
+
+TEST(DataUniverse, AddAndQuery) {
+  DataUniverse universe(2);
+  const ItemId a = universe.add_item(0, 1.0, 0.5);
+  const ItemId b = universe.add_item(1, 2.0, 0.1);
+  EXPECT_EQ(universe.size(), 2u);
+  EXPECT_EQ(universe.item(a).sensor, 0u);
+  EXPECT_EQ(universe.item(b).sensor, 1u);
+  EXPECT_DOUBLE_EQ(universe.total_privacy_weight(), 0.6);
+  EXPECT_EQ(universe.items_of_sensor(0), (ItemSet{a}));
+}
+
+TEST(DataUniverse, RejectsBadItems) {
+  DataUniverse universe(1);
+  EXPECT_THROW(universe.add_item(1, 1.0, 0.0), ContractViolation);
+  EXPECT_THROW(universe.add_item(0, 0.0, 0.0), ContractViolation);
+  EXPECT_THROW(universe.add_item(0, 1.0, -0.1), ContractViolation);
+}
+
+TEST(DataUniverse, SyntheticGeneratesPerSensorItems) {
+  Rng rng(3);
+  const std::vector<double> privacy = {1.0, 0.5, 0.1};
+  const auto universe = DataUniverse::synthetic(3, 10, privacy, rng);
+  EXPECT_EQ(universe.size(), 30u);
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(universe.items_of_sensor(s).size(), 10u);
+  }
+  // Camera items carry substantially more privacy mass than radar items.
+  const double cam = universe.privacy_weight(universe.items_of_sensor(0));
+  const double rad = universe.privacy_weight(universe.items_of_sensor(2));
+  EXPECT_GT(cam, rad * 3.0);
+}
+
+class MeasureFixture : public ::testing::Test {
+ protected:
+  MeasureFixture() : universe_(2) {
+    // Four items: ids 0..3. Desired = {0, 1}.
+    universe_.add_item(0, 2.0, 1.0);  // 0
+    universe_.add_item(0, 1.0, 0.5);  // 1
+    universe_.add_item(1, 4.0, 0.1);  // 2
+    universe_.add_item(1, 1.0, 0.4);  // 3
+  }
+  DataUniverse universe_;
+};
+
+TEST_F(MeasureFixture, Property31a_OnlyDesiredPartCounts) {
+  const UtilityMeasure f(universe_, {0, 1});
+  // f(S) == f(S ∩ D): adding undesired items changes nothing.
+  EXPECT_DOUBLE_EQ(f(ItemSet{0, 2, 3}), f(ItemSet{0}));
+}
+
+TEST_F(MeasureFixture, Property31b_FullCoverageIsOne) {
+  const UtilityMeasure f(universe_, {0, 1});
+  EXPECT_DOUBLE_EQ(f(ItemSet{0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(f(ItemSet{0, 1, 2, 3}), 1.0);
+}
+
+TEST_F(MeasureFixture, Property31c_DisjointIsZero) {
+  const UtilityMeasure f(universe_, {0, 1});
+  EXPECT_DOUBLE_EQ(f(ItemSet{2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(f(ItemSet{}), 0.0);
+}
+
+TEST_F(MeasureFixture, Property31d_CountableAdditivity) {
+  const UtilityMeasure f(universe_, {0, 1});
+  // Disjoint sets: f(A ∪ B) = f(A) + f(B).
+  const ItemSet a = {0};
+  const ItemSet b = {1, 2};
+  EXPECT_DOUBLE_EQ(f(set_union(a, b)), f(a) + f(b));
+}
+
+TEST_F(MeasureFixture, WeightsDriveThePartialValue) {
+  const UtilityMeasure f(universe_, {0, 1});
+  // Item 0 weighs 2, item 1 weighs 1: f({0}) = 2/3.
+  EXPECT_NEAR(f(ItemSet{0}), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(f(ItemSet{1}), 1.0 / 3.0, 1e-12);
+}
+
+TEST_F(MeasureFixture, MonotoneUnderInclusion) {
+  const UtilityMeasure f(universe_, {0, 1, 2});
+  EXPECT_LE(f(ItemSet{0}), f(ItemSet{0, 2}));
+  EXPECT_LE(f(ItemSet{0, 2}), f(ItemSet{0, 1, 2}));
+}
+
+TEST_F(MeasureFixture, PrivacyCostNormalised) {
+  // Total privacy = 2.0. Sharing everything costs 1.
+  EXPECT_DOUBLE_EQ(privacy_cost(universe_, {0, 1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(privacy_cost(universe_, {}), 0.0);
+  EXPECT_DOUBLE_EQ(privacy_cost(universe_, {0}), 0.5);
+  EXPECT_NEAR(privacy_cost(universe_, {2}), 0.05, 1e-12);
+}
+
+TEST_F(MeasureFixture, PrivacyCostAdditiveOnDisjoint) {
+  EXPECT_DOUBLE_EQ(privacy_cost(universe_, set_union({0}, {2})),
+                   privacy_cost(universe_, {0}) + privacy_cost(universe_, {2}));
+}
+
+TEST(Measure, RejectsEmptyDesiredSet) {
+  DataUniverse universe(1);
+  universe.add_item(0, 1.0, 0.0);
+  EXPECT_THROW(UtilityMeasure(universe, {}), ContractViolation);
+}
+
+TEST(Measure, RejectsUnsortedSets) {
+  DataUniverse universe(1);
+  universe.add_item(0, 1.0, 0.0);
+  universe.add_item(0, 1.0, 0.0);
+  const UtilityMeasure f(universe, {0});
+  EXPECT_THROW(f(ItemSet{1, 0}), ContractViolation);
+}
+
+// Additivity sweep over random universes and random disjoint partitions.
+class AdditivitySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AdditivitySweep, RandomDisjointPartitions) {
+  Rng rng(GetParam());
+  const std::vector<double> privacy = {1.0, 0.5, 0.1};
+  const auto universe = DataUniverse::synthetic(3, 20, privacy, rng);
+
+  // Random desired set.
+  ItemSet desired;
+  for (ItemId id = 0; id < universe.size(); ++id) {
+    if (rng.bernoulli(0.4)) desired.push_back(id);
+  }
+  if (desired.empty()) desired.push_back(0);
+  const UtilityMeasure f(universe, desired);
+
+  // Random 3-way partition of a random subset.
+  ItemSet parts[3];
+  for (ItemId id = 0; id < universe.size(); ++id) {
+    const auto bucket = rng.uniform_int(0, 3);  // 3 = excluded
+    if (bucket < 3) parts[bucket].push_back(id);
+  }
+  const ItemSet all = set_union(set_union(parts[0], parts[1]), parts[2]);
+  EXPECT_NEAR(f(all), f(parts[0]) + f(parts[1]) + f(parts[2]), 1e-12);
+  EXPECT_NEAR(privacy_cost(universe, all),
+              privacy_cost(universe, parts[0]) +
+                  privacy_cost(universe, parts[1]) +
+                  privacy_cost(universe, parts[2]),
+              1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomUniverses, AdditivitySweep,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace avcp::perception

@@ -1,0 +1,96 @@
+#include "sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/contracts.h"
+#include "common/csv.h"
+#include "test_support.h"
+
+namespace avcp::sim {
+namespace {
+
+using core::testing::make_single_region_game;
+
+RunResult small_run() {
+  const auto game = make_single_region_game();
+  core::FixedRatioController controller(0.4);
+  RunOptions options;
+  options.max_rounds = 3;
+  return run_mean_field(game, controller, game.uniform_state(), {0.4},
+                        nullptr, options);
+}
+
+TEST(Metrics, TrajectoryCsvShape) {
+  const auto result = small_run();
+  std::ostringstream out;
+  write_trajectory_csv(out, result);
+  std::istringstream in(out.str());
+  const auto rows = read_csv(in);
+  // Header + (initial + 3 rounds) * 1 region * 8 decisions.
+  ASSERT_EQ(rows.size(), 1u + 4u * 8u);
+  EXPECT_EQ(rows[0],
+            (std::vector<std::string>{"round", "region", "decision",
+                                      "proportion"}));
+  // First data row: round 0, region 0, decision 0, proportion 1/8.
+  EXPECT_EQ(rows[1][0], "0");
+  EXPECT_NEAR(std::stod(rows[1][3]), 0.125, 1e-9);
+}
+
+TEST(Metrics, TrajectoryProportionsSumToOnePerRoundRegion) {
+  const auto result = small_run();
+  std::ostringstream out;
+  write_trajectory_csv(out, result);
+  std::istringstream in(out.str());
+  const auto rows = read_csv(in);
+  std::map<std::string, double> sums;
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    sums[rows[r][0] + ":" + rows[r][1]] += std::stod(rows[r][3]);
+  }
+  for (const auto& [key, sum] : sums) {
+    EXPECT_NEAR(sum, 1.0, 1e-4) << key;  // std::to_string keeps 6 decimals
+  }
+}
+
+TEST(Metrics, RatioCsvShape) {
+  const auto result = small_run();
+  std::ostringstream out;
+  write_ratio_csv(out, result);
+  std::istringstream in(out.str());
+  const auto rows = read_csv(in);
+  ASSERT_EQ(rows.size(), 1u + 3u);  // header + 3 rounds * 1 region
+  EXPECT_EQ(rows[1][0], "1");
+  EXPECT_NEAR(std::stod(rows[1][2]), 0.4, 1e-9);
+}
+
+TEST(Metrics, StateCsvRoundTripsValues) {
+  const auto game = make_single_region_game();
+  std::vector<double> p(8, 0.0);
+  p[0] = 0.75;
+  p[7] = 0.25;
+  const auto state = game.broadcast_state(p);
+  std::ostringstream out;
+  write_state_csv(out, state);
+  std::istringstream in(out.str());
+  const auto rows = read_csv(in);
+  ASSERT_EQ(rows.size(), 9u);
+  EXPECT_NEAR(std::stod(rows[1][2]), 0.75, 1e-9);
+  EXPECT_NEAR(std::stod(rows[8][2]), 0.25, 1e-9);
+}
+
+TEST(Metrics, UnrecordedRunRejected) {
+  const auto game = make_single_region_game();
+  core::FixedRatioController controller(0.4);
+  RunOptions options;
+  options.max_rounds = 2;
+  options.record_trajectory = false;
+  const auto result = run_mean_field(game, controller, game.uniform_state(),
+                                     {0.4}, nullptr, options);
+  std::ostringstream out;
+  EXPECT_THROW(write_trajectory_csv(out, result), ContractViolation);
+  EXPECT_THROW(write_ratio_csv(out, result), ContractViolation);
+}
+
+}  // namespace
+}  // namespace avcp::sim

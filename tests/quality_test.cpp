@@ -1,0 +1,115 @@
+#include "cluster/quality.h"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.h"
+#include "common/rng.h"
+#include "roadnet/betweenness.h"
+#include "roadnet/builders.h"
+
+namespace avcp::cluster {
+namespace {
+
+TEST(Quality, PerfectClusteringExplainsEverything) {
+  // Two regions of constant coefficient: within-SS = 0, explained = 1.
+  Clustering clustering;
+  clustering.region_of = {0, 0, 1, 1};
+  clustering.members = {{0, 1}, {2, 3}};
+  clustering.seeds = {0, 2};
+  const std::vector<double> coeffs = {2.0, 2.0, 9.0, 9.0};
+  const auto q = evaluate_clustering(clustering, coeffs);
+  EXPECT_NEAR(q.within_ss, 0.0, 1e-12);
+  EXPECT_NEAR(q.explained, 1.0, 1e-12);
+  EXPECT_NEAR(q.mean_abs_error, 0.0, 1e-12);
+  EXPECT_NEAR(q.max_range, 0.0, 1e-12);
+}
+
+TEST(Quality, SingleRegionExplainsNothing) {
+  Clustering clustering;
+  clustering.region_of = {0, 0, 0, 0};
+  clustering.members = {{0, 1, 2, 3}};
+  clustering.seeds = {0};
+  const std::vector<double> coeffs = {1.0, 2.0, 3.0, 4.0};
+  const auto q = evaluate_clustering(clustering, coeffs);
+  EXPECT_NEAR(q.explained, 0.0, 1e-12);
+  EXPECT_NEAR(q.within_ss, q.total_ss, 1e-12);
+  EXPECT_NEAR(q.max_range, 3.0, 1e-12);
+}
+
+TEST(Quality, HandComputedValues) {
+  Clustering clustering;
+  clustering.region_of = {0, 0, 1, 1};
+  clustering.members = {{0, 1}, {2, 3}};
+  clustering.seeds = {0, 2};
+  const std::vector<double> coeffs = {1.0, 3.0, 10.0, 14.0};
+  const auto q = evaluate_clustering(clustering, coeffs);
+  // Region means: 2 and 12; within-SS = 1+1+4+4 = 10.
+  EXPECT_NEAR(q.within_ss, 10.0, 1e-12);
+  // Global mean 7; total-SS = 36+16+9+49 = 110.
+  EXPECT_NEAR(q.total_ss, 110.0, 1e-12);
+  EXPECT_NEAR(q.explained, 1.0 - 10.0 / 110.0, 1e-12);
+  // Mean abs error = (1+1+2+2)/4 = 1.5.
+  EXPECT_NEAR(q.mean_abs_error, 1.5, 1e-12);
+  EXPECT_NEAR(q.max_range, 4.0, 1e-12);
+}
+
+TEST(Quality, MismatchedSizesRejected) {
+  Clustering clustering;
+  clustering.region_of = {0, 0};
+  clustering.members = {{0, 1}};
+  clustering.seeds = {0};
+  const std::vector<double> coeffs = {1.0};
+  EXPECT_THROW(evaluate_clustering(clustering, coeffs), ContractViolation);
+}
+
+TEST(Quality, RoundRobinBaselineShape) {
+  const auto clustering = round_robin_clustering(10, 3);
+  EXPECT_EQ(clustering.num_regions(), 3u);
+  EXPECT_EQ(clustering.members[0].size(), 4u);  // 0, 3, 6, 9
+  EXPECT_EQ(clustering.members[1].size(), 3u);
+  EXPECT_EQ(clustering.members[2].size(), 3u);
+  for (std::size_t s = 0; s < 10; ++s) {
+    EXPECT_EQ(clustering.region_of[s], s % 3);
+  }
+}
+
+TEST(Quality, Algorithm1BeatsRoundRobinOnStructuredCoefficients) {
+  // The regression Algorithm 1 must keep winning: on a city with spatially
+  // correlated coefficients, its within-cluster variance beats a
+  // topology-blind round-robin split.
+  roadnet::CityParams params;
+  params.rows = 8;
+  params.cols = 10;
+  params.seed = 5;
+  const auto graph = roadnet::build_city(params);
+  const auto coeffs = roadnet::segment_betweenness(graph);
+
+  const auto ours = cluster_segments(graph, coeffs, {8});
+  const auto baseline = round_robin_clustering(graph.num_segments(), 8);
+
+  const auto q_ours = evaluate_clustering(ours, coeffs);
+  const auto q_base = evaluate_clustering(baseline, coeffs);
+  EXPECT_LT(q_ours.within_ss, q_base.within_ss * 0.8);
+  EXPECT_GT(q_ours.explained, q_base.explained);
+}
+
+TEST(Quality, MoreRegionsNeverExplainLess) {
+  roadnet::CityParams params;
+  params.rows = 6;
+  params.cols = 8;
+  params.seed = 7;
+  const auto graph = roadnet::build_city(params);
+  const auto coeffs = roadnet::segment_betweenness(graph);
+  double previous = -1.0;
+  for (const std::uint32_t m : {2u, 4u, 8u, 16u}) {
+    const auto clustering = cluster_segments(graph, coeffs, {m});
+    const auto q = evaluate_clustering(clustering, coeffs);
+    // Heuristic growth is not strictly monotone, but more regions should
+    // never lose much explanatory power.
+    EXPECT_GT(q.explained, previous - 0.05) << "m=" << m;
+    previous = std::max(previous, q.explained);
+  }
+}
+
+}  // namespace
+}  // namespace avcp::cluster

@@ -1,0 +1,160 @@
+#include "roadnet/road_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/contracts.h"
+#include "roadnet/builders.h"
+
+namespace avcp::roadnet {
+namespace {
+
+TEST(RoadGraph, AddAndQuery) {
+  RoadGraph g;
+  const NodeId a = g.add_intersection(PointM{0.0, 0.0});
+  const NodeId b = g.add_intersection(PointM{100.0, 0.0});
+  const SegmentId s = g.add_segment(a, b, RoadClass::kArterial);
+  g.finalize();
+
+  EXPECT_EQ(g.num_intersections(), 2u);
+  EXPECT_EQ(g.num_segments(), 1u);
+  EXPECT_DOUBLE_EQ(g.segment(s).length_m, 100.0);
+  EXPECT_EQ(g.segment(s).cls, RoadClass::kArterial);
+  EXPECT_DOUBLE_EQ(g.segment(s).speed_mps, default_speed_mps(RoadClass::kArterial));
+}
+
+TEST(RoadGraph, CustomSpeedOverridesDefault) {
+  RoadGraph g;
+  const NodeId a = g.add_intersection(PointM{0.0, 0.0});
+  const NodeId b = g.add_intersection(PointM{50.0, 0.0});
+  const SegmentId s = g.add_segment(a, b, RoadClass::kLocal, 20.0);
+  g.finalize();
+  EXPECT_DOUBLE_EQ(g.segment(s).speed_mps, 20.0);
+  EXPECT_DOUBLE_EQ(g.segment(s).travel_time_s(), 2.5);
+}
+
+TEST(RoadGraph, SelfLoopRejected) {
+  RoadGraph g;
+  const NodeId a = g.add_intersection(PointM{0.0, 0.0});
+  EXPECT_THROW(g.add_segment(a, a, RoadClass::kLocal), ContractViolation);
+}
+
+TEST(RoadGraph, MutationAfterFinalizeRejected) {
+  RoadGraph g;
+  g.add_intersection(PointM{0.0, 0.0});
+  g.finalize();
+  EXPECT_THROW(g.add_intersection(PointM{1.0, 1.0}), ContractViolation);
+}
+
+TEST(RoadGraph, NeighborsBeforeFinalizeRejected) {
+  RoadGraph g;
+  const NodeId a = g.add_intersection(PointM{0.0, 0.0});
+  const NodeId b = g.add_intersection(PointM{1.0, 0.0});
+  g.add_segment(a, b, RoadClass::kLocal);
+  EXPECT_THROW(g.neighbors(a), ContractViolation);
+}
+
+TEST(RoadGraph, NodeAdjacency) {
+  // Star: center 0 connected to 1, 2, 3.
+  RoadGraph g;
+  const NodeId center = g.add_intersection(PointM{0.0, 0.0});
+  for (int i = 0; i < 3; ++i) {
+    const NodeId leaf = g.add_intersection(PointM{10.0 * (i + 1), 0.0});
+    g.add_segment(center, leaf, RoadClass::kLocal);
+  }
+  g.finalize();
+  EXPECT_EQ(g.neighbors(center).size(), 3u);
+  EXPECT_EQ(g.neighbors(1).size(), 1u);
+  EXPECT_EQ(g.neighbors(1)[0].node, center);
+}
+
+TEST(RoadGraph, SegmentNeighborsShareEndpoint) {
+  const RoadGraph g = make_line(4);  // segments 0-1-2 in a path
+  auto n0 = g.segment_neighbors(0);
+  ASSERT_EQ(n0.size(), 1u);
+  EXPECT_EQ(n0[0], 1u);
+  auto n1 = g.segment_neighbors(1);
+  ASSERT_EQ(n1.size(), 2u);
+  EXPECT_EQ(n1[0], 0u);
+  EXPECT_EQ(n1[1], 2u);
+}
+
+TEST(RoadGraph, SegmentNeighborsInStarAreComplete) {
+  RoadGraph g;
+  const NodeId center = g.add_intersection(PointM{0.0, 0.0});
+  for (int i = 0; i < 4; ++i) {
+    const NodeId leaf = g.add_intersection(PointM{10.0 * (i + 1), 5.0});
+    g.add_segment(center, leaf, RoadClass::kLocal);
+  }
+  g.finalize();
+  // Every pair of the 4 spokes shares the hub.
+  for (SegmentId s = 0; s < 4; ++s) {
+    EXPECT_EQ(g.segment_neighbors(s).size(), 3u);
+  }
+}
+
+TEST(RoadGraph, OtherEnd) {
+  const RoadGraph g = make_line(3);
+  const RoadSegment& s = g.segment(0);
+  EXPECT_EQ(g.other_end(0, s.from), s.to);
+  EXPECT_EQ(g.other_end(0, s.to), s.from);
+  EXPECT_THROW(g.other_end(0, 2), ContractViolation);
+}
+
+TEST(RoadGraph, SegmentMidpoint) {
+  RoadGraph g;
+  const NodeId a = g.add_intersection(PointM{0.0, 0.0});
+  const NodeId b = g.add_intersection(PointM{10.0, 20.0});
+  g.add_segment(a, b, RoadClass::kLocal);
+  g.finalize();
+  const PointM mid = g.segment_midpoint(0);
+  EXPECT_DOUBLE_EQ(mid.x, 5.0);
+  EXPECT_DOUBLE_EQ(mid.y, 10.0);
+}
+
+TEST(RoadGraph, ConnectivityDetection) {
+  RoadGraph g;
+  const NodeId a = g.add_intersection(PointM{0.0, 0.0});
+  const NodeId b = g.add_intersection(PointM{1.0, 0.0});
+  g.add_intersection(PointM{2.0, 0.0});  // isolated
+  g.add_segment(a, b, RoadClass::kLocal);
+  g.finalize();
+  EXPECT_FALSE(g.is_connected());
+}
+
+TEST(Builders, GridCounts) {
+  const RoadGraph g = make_grid(3, 4);
+  EXPECT_EQ(g.num_intersections(), 12u);
+  // Horizontal: 3 rows * 3 = 9; vertical: 2 * 4 = 8.
+  EXPECT_EQ(g.num_segments(), 17u);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Builders, LineCounts) {
+  const RoadGraph g = make_line(5);
+  EXPECT_EQ(g.num_intersections(), 5u);
+  EXPECT_EQ(g.num_segments(), 4u);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Builders, RingCounts) {
+  const RoadGraph g = make_ring(6);
+  EXPECT_EQ(g.num_intersections(), 6u);
+  EXPECT_EQ(g.num_segments(), 6u);
+  EXPECT_TRUE(g.is_connected());
+  // Every node has degree 2; every segment has exactly 2 neighbours.
+  for (NodeId v = 0; v < 6; ++v) {
+    EXPECT_EQ(g.neighbors(v).size(), 2u);
+  }
+  for (SegmentId s = 0; s < 6; ++s) {
+    EXPECT_EQ(g.segment_neighbors(s).size(), 2u);
+  }
+}
+
+TEST(Builders, RingRequiresThreeNodes) {
+  EXPECT_THROW(make_ring(2), ContractViolation);
+}
+
+}  // namespace
+}  // namespace avcp::roadnet

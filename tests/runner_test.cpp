@@ -1,0 +1,97 @@
+#include "sim/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "common/interval.h"
+#include "test_support.h"
+
+namespace avcp::sim {
+namespace {
+
+using core::testing::make_single_region_game;
+
+TEST(Runner, RecordsTrajectoryIncludingInitialState) {
+  const auto game = make_single_region_game();
+  core::FixedRatioController controller(0.5);
+  RunOptions options;
+  options.max_rounds = 10;
+  const auto result = run_mean_field(game, controller, game.uniform_state(),
+                                     {0.5}, nullptr, options);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.rounds, 10u);
+  EXPECT_EQ(result.trajectory.size(), 11u);  // initial + 10 rounds
+  EXPECT_EQ(result.x_history.size(), 10u);
+}
+
+TEST(Runner, NoTrajectoryWhenDisabled) {
+  const auto game = make_single_region_game();
+  core::FixedRatioController controller(0.5);
+  RunOptions options;
+  options.max_rounds = 5;
+  options.record_trajectory = false;
+  const auto result = run_mean_field(game, controller, game.uniform_state(),
+                                     {0.5}, nullptr, options);
+  EXPECT_TRUE(result.trajectory.empty());
+  EXPECT_TRUE(result.x_history.empty());
+  EXPECT_EQ(result.final_state.p.size(), 1u);
+}
+
+TEST(Runner, StopsImmediatelyWhenAlreadyConverged) {
+  const auto game = make_single_region_game();
+  core::FixedRatioController controller(0.5);
+  const core::DesiredFields fields(1, 8);  // always satisfied
+  const auto result = run_mean_field(game, controller, game.uniform_state(),
+                                     {0.5}, &fields, {});
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.rounds, 0u);
+}
+
+TEST(Runner, StopsWhenTargetReached) {
+  const auto game = make_single_region_game();  // x=0 drives to P8
+  core::FixedRatioController controller(0.0);
+  core::DesiredFields fields(1, 8);
+  fields.set_target(0, 7, avcp::Interval{0.5, 1.0});
+  RunOptions options;
+  options.max_rounds = 2000;
+  const auto result = run_mean_field(game, controller, game.uniform_state(),
+                                     {0.0}, &fields, options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_GT(result.rounds, 0u);
+  EXPECT_LT(result.rounds, 2000u);
+  EXPECT_GE(result.final_state.p[0][7], 0.5);
+  // Trajectory length matches rounds executed.
+  EXPECT_EQ(result.trajectory.size(), result.rounds + 1);
+}
+
+TEST(Runner, ProportionDeltasShrinkAsDynamicsSettle) {
+  const auto game = make_single_region_game();
+  core::FixedRatioController controller(0.0);
+  RunOptions options;
+  options.max_rounds = 300;
+  const auto result = run_mean_field(game, controller, game.uniform_state(),
+                                     {0.0}, nullptr, options);
+  const auto deltas = result.proportion_deltas();
+  ASSERT_EQ(deltas.size(), 300u);
+  // Early movement clearly exceeds late movement once converged.
+  EXPECT_GT(deltas[2], deltas.back() * 10.0);
+  EXPECT_LT(deltas.back(), 1e-3);
+}
+
+TEST(Runner, ProportionDeltasEmptyWithoutTrajectory) {
+  RunResult result;
+  EXPECT_TRUE(result.proportion_deltas().empty());
+}
+
+TEST(Runner, FinalXReflectsController) {
+  const auto game = make_single_region_game();
+  core::FixedRatioController controller(0.77);
+  RunOptions options;
+  options.max_rounds = 3;
+  const auto result = run_mean_field(game, controller, game.uniform_state(),
+                                     {0.1}, nullptr, options);
+  ASSERT_EQ(result.final_x.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.final_x[0], 0.77);
+}
+
+}  // namespace
+}  // namespace avcp::sim

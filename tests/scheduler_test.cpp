@@ -1,0 +1,187 @@
+#include "perception/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "core/sensor_model.h"
+
+namespace avcp::perception {
+namespace {
+
+using core::DecisionLattice;
+
+/// Universe with 3 items per sensor; ids 0..8; distinct utility weights so
+/// ordering is unambiguous: item id i has weight 1 + i.
+DataUniverse weighted_universe() {
+  DataUniverse universe(3);
+  ItemId next = 0;
+  for (std::size_t s = 0; s < 3; ++s) {
+    for (int i = 0; i < 3; ++i) {
+      universe.add_item(s, 1.0 + static_cast<double>(next), 0.1);
+      ++next;
+    }
+  }
+  return universe;
+}
+
+TEST(Scheduler, AdmissiblePoolHonoursLattice) {
+  const DecisionLattice lattice(3);
+  const auto universe = weighted_universe();
+  const DistributionScheduler scheduler(lattice, universe);
+
+  // Sender shares lidar-only (P6, index 5) items {3, 4}.
+  const std::vector<SenderUpload> uploads = {{5, {3, 4}}};
+  // P2 {cam,lid} may read P6.
+  DistributionRequest p2;
+  p2.decision = 1;
+  EXPECT_EQ(scheduler.admissible_pool(uploads, p2), (ItemSet{3, 4}));
+  // P7 {rad} may not.
+  DistributionRequest p7;
+  p7.decision = 6;
+  EXPECT_TRUE(scheduler.admissible_pool(uploads, p7).empty());
+}
+
+TEST(Scheduler, AlreadyHeldItemsNeverResent) {
+  const DecisionLattice lattice(3);
+  const auto universe = weighted_universe();
+  const DistributionScheduler scheduler(lattice, universe);
+  const std::vector<SenderUpload> uploads = {{0, {0, 1, 2}}};
+  DistributionRequest receiver;
+  receiver.decision = 0;
+  receiver.already_held = {1};
+  EXPECT_EQ(scheduler.admissible_pool(uploads, receiver), (ItemSet{0, 2}));
+}
+
+TEST(Scheduler, OnlyDesiredItemsAreDelivered) {
+  const DecisionLattice lattice(3);
+  const auto universe = weighted_universe();
+  const DistributionScheduler scheduler(lattice, universe);
+  const std::vector<SenderUpload> uploads = {{0, {0, 1, 2, 3}}};
+  DistributionRequest receiver;
+  receiver.decision = 0;
+  receiver.desired = {1, 3};
+  const auto plan = scheduler.plan(uploads, {&receiver, 1});
+  EXPECT_EQ(plan.deliveries[0], (ItemSet{1, 3}));
+}
+
+TEST(Scheduler, PerReceiverBudgetKeepsHighestWeights) {
+  const DecisionLattice lattice(3);
+  const auto universe = weighted_universe();
+  const DistributionScheduler scheduler(lattice, universe);
+  const std::vector<SenderUpload> uploads = {{0, {0, 1, 2, 3, 4}}};
+  DistributionRequest receiver;
+  receiver.decision = 0;
+  receiver.desired = {0, 1, 2, 3, 4};
+  receiver.budget_items = 2;
+  const auto plan = scheduler.plan(uploads, {&receiver, 1});
+  // Weights are 1+id: items 4 and 3 win.
+  EXPECT_EQ(plan.deliveries[0], (ItemSet{3, 4}));
+  EXPECT_EQ(plan.dropped_items, 3u);
+  EXPECT_DOUBLE_EQ(plan.total_utility_weight, 5.0 + 4.0);
+}
+
+TEST(Scheduler, ServerBudgetAllocatedGlobally) {
+  const DecisionLattice lattice(3);
+  const auto universe = weighted_universe();
+  const DistributionScheduler scheduler(lattice, universe);
+  const std::vector<SenderUpload> uploads = {{0, {0, 1, 2, 3, 4, 5, 6, 7, 8}}};
+  // Receiver 0 desires low-weight items, receiver 1 the high-weight ones.
+  std::vector<DistributionRequest> receivers(2);
+  receivers[0].decision = 0;
+  receivers[0].desired = {0, 1, 2};
+  receivers[1].decision = 0;
+  receivers[1].desired = {6, 7, 8};
+  const auto plan = scheduler.plan(uploads, receivers, 3u);
+  // The three heaviest admissible desired items all belong to receiver 1.
+  EXPECT_TRUE(plan.deliveries[0].empty());
+  EXPECT_EQ(plan.deliveries[1], (ItemSet{6, 7, 8}));
+  EXPECT_EQ(plan.dropped_items, 3u);
+}
+
+TEST(Scheduler, UnlimitedBudgetsDeliverEverythingAdmissibleDesired) {
+  const DecisionLattice lattice(3);
+  const auto universe = weighted_universe();
+  const DistributionScheduler scheduler(lattice, universe);
+  const std::vector<SenderUpload> uploads = {{0, {0, 1, 2}}, {6, {6, 7}}};
+  DistributionRequest receiver;
+  receiver.decision = 0;  // reads everyone
+  receiver.desired = {0, 2, 6, 7, 8};
+  const auto plan = scheduler.plan(uploads, {&receiver, 1});
+  EXPECT_EQ(plan.deliveries[0], (ItemSet{0, 2, 6, 7}));
+  EXPECT_EQ(plan.dropped_items, 0u);
+}
+
+TEST(Scheduler, UtilityMonotoneInBudget) {
+  const DecisionLattice lattice(3);
+  const auto universe = weighted_universe();
+  const DistributionScheduler scheduler(lattice, universe);
+  const std::vector<SenderUpload> uploads = {{0, {0, 1, 2, 3, 4, 5}}};
+  DistributionRequest receiver;
+  receiver.decision = 0;
+  receiver.desired = {0, 1, 2, 3, 4, 5};
+  double previous = -1.0;
+  for (const std::size_t budget : {0u, 1u, 2u, 4u, 6u, 10u}) {
+    receiver.budget_items = budget;
+    const auto plan = scheduler.plan(uploads, {&receiver, 1});
+    EXPECT_GE(plan.total_utility_weight, previous);
+    previous = plan.total_utility_weight;
+  }
+}
+
+// Optimality sweep: with additive utilities and unit item sizes, the greedy
+// plan must match the brute-force optimum (top-B weights) for the shared
+// downlink knapsack on random instances.
+class SchedulerOptimalitySweep
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SchedulerOptimalitySweep, GreedyMatchesBruteForceOptimum) {
+  Rng rng(GetParam());
+  DataUniverse universe(3);
+  for (int i = 0; i < 12; ++i) {
+    universe.add_item(static_cast<std::size_t>(rng.uniform_int(0, 2)),
+                      rng.uniform(0.5, 3.0), 0.1);
+  }
+  const DecisionLattice lattice(3);
+  const DistributionScheduler scheduler(lattice, universe);
+
+  // One P1 sender sharing a random subset; 3 receivers with random desires
+  // and decisions; shared server budget.
+  SenderUpload upload;
+  upload.decision = 0;
+  for (ItemId id = 0; id < universe.size(); ++id) {
+    if (rng.bernoulli(0.7)) upload.items.push_back(id);
+  }
+  std::vector<DistributionRequest> receivers(3);
+  for (auto& r : receivers) {
+    r.decision = static_cast<core::DecisionId>(rng.uniform_int(0, 7));
+    for (ItemId id = 0; id < universe.size(); ++id) {
+      if (rng.bernoulli(0.5)) r.desired.push_back(id);
+    }
+  }
+  const std::size_t budget = static_cast<std::size_t>(rng.uniform_int(1, 6));
+  const auto plan =
+      scheduler.plan({&upload, 1}, receivers, budget);
+
+  // Brute-force optimum: all candidate (receiver, item) weights, top-B sum.
+  std::vector<double> weights;
+  for (std::size_t r = 0; r < receivers.size(); ++r) {
+    const auto pool = scheduler.admissible_pool({&upload, 1}, receivers[r]);
+    for (const ItemId id : set_intersect(pool, receivers[r].desired)) {
+      weights.push_back(universe.item(id).utility_weight);
+    }
+  }
+  std::sort(weights.rbegin(), weights.rend());
+  double best = 0.0;
+  for (std::size_t i = 0; i < std::min(budget, weights.size()); ++i) {
+    best += weights[i];
+  }
+  EXPECT_NEAR(plan.total_utility_weight, best, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, SchedulerOptimalitySweep,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace avcp::perception

@@ -1,0 +1,125 @@
+#include "core/sensor_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.h"
+
+namespace avcp::core {
+namespace {
+
+TEST(SensorModel, TableIIIColumnSums) {
+  // The paper's bottom row: camera 7, LiDAR 6, radar 7.
+  const auto sensors = paper_sensors();
+  ASSERT_EQ(sensors.size(), 3u);
+  EXPECT_DOUBLE_EQ(sensors[0].utility_sum(), 7.0);
+  EXPECT_DOUBLE_EQ(sensors[1].utility_sum(), 6.0);
+  EXPECT_DOUBLE_EQ(sensors[2].utility_sum(), 7.0);
+}
+
+TEST(SensorModel, TableIIIPrivacyRanking) {
+  const auto sensors = paper_sensors();
+  EXPECT_DOUBLE_EQ(sensors[0].privacy_cost, 1.0);  // camera most sensitive
+  EXPECT_DOUBLE_EQ(sensors[1].privacy_cost, 0.5);  // lidar moderate
+  EXPECT_DOUBLE_EQ(sensors[2].privacy_cost, 0.1);  // radar least
+}
+
+TEST(SensorModel, TableIIISpotValues) {
+  const auto sensors = paper_sensors();
+  const auto names = perception_factor_names();
+  ASSERT_EQ(names.size(), kNumPerceptionFactors);
+  // "Color perception": camera 1, lidar 0, radar 0.
+  EXPECT_EQ(names[4], "Color perception");
+  EXPECT_DOUBLE_EQ(sensors[0].factor_scores[4], 1.0);
+  EXPECT_DOUBLE_EQ(sensors[1].factor_scores[4], 0.0);
+  EXPECT_DOUBLE_EQ(sensors[2].factor_scores[4], 0.0);
+  // "Weather conditions": camera 0, lidar 0.5, radar 1.
+  EXPECT_EQ(names[10], "Weather conditions");
+  EXPECT_DOUBLE_EQ(sensors[0].factor_scores[10], 0.0);
+  EXPECT_DOUBLE_EQ(sensors[1].factor_scores[10], 0.5);
+  EXPECT_DOUBLE_EQ(sensors[2].factor_scores[10], 1.0);
+}
+
+TEST(SensorModel, TableIIRawUtilityColumn) {
+  const DecisionLattice lattice(3);
+  const auto tables = paper_decision_tables(lattice);
+  const std::vector<double> expected = {20.0, 13.0, 14.0, 13.0,
+                                        7.0,  6.0,  7.0,  0.0};
+  ASSERT_EQ(tables.raw_utility.size(), expected.size());
+  for (std::size_t k = 0; k < expected.size(); ++k) {
+    EXPECT_DOUBLE_EQ(tables.raw_utility[k], expected[k]) << "P" << k + 1;
+  }
+}
+
+TEST(SensorModel, TableIIRawPrivacyColumn) {
+  const DecisionLattice lattice(3);
+  const auto tables = paper_decision_tables(lattice);
+  const std::vector<double> expected = {1.6, 1.5, 1.1, 0.6, 1.0, 0.5, 0.1, 0.0};
+  ASSERT_EQ(tables.raw_privacy.size(), expected.size());
+  for (std::size_t k = 0; k < expected.size(); ++k) {
+    EXPECT_NEAR(tables.raw_privacy[k], expected[k], 1e-12) << "P" << k + 1;
+  }
+}
+
+TEST(SensorModel, NormalizedColumnsInUnitRangeWithExtremes) {
+  const DecisionLattice lattice(3);
+  const auto tables = paper_decision_tables(lattice);
+  for (std::size_t k = 0; k < tables.utility.size(); ++k) {
+    EXPECT_GE(tables.utility[k], 0.0);
+    EXPECT_LE(tables.utility[k], 1.0);
+    EXPECT_GE(tables.privacy[k], 0.0);
+    EXPECT_LE(tables.privacy[k], 1.0);
+  }
+  // P1 attains both maxima; P8 both zeros.
+  EXPECT_DOUBLE_EQ(tables.utility[0], 1.0);
+  EXPECT_DOUBLE_EQ(tables.privacy[0], 1.0);
+  EXPECT_DOUBLE_EQ(tables.utility[7], 0.0);
+  EXPECT_DOUBLE_EQ(tables.privacy[7], 0.0);
+}
+
+TEST(SensorModel, NormalizationPreservesRatios) {
+  const DecisionLattice lattice(3);
+  const auto tables = paper_decision_tables(lattice);
+  EXPECT_NEAR(tables.utility[1], 13.0 / 20.0, 1e-12);
+  EXPECT_NEAR(tables.privacy[3], 0.6 / 1.6, 1e-12);
+}
+
+TEST(SensorModel, UtilityAndPrivacyAreAdditiveOverSensors) {
+  const DecisionLattice lattice(3);
+  const auto sensors = paper_sensors();
+  const auto tables = make_decision_tables(lattice, sensors);
+  for (DecisionId k = 0; k < lattice.num_decisions(); ++k) {
+    double expected_u = 0.0;
+    double expected_p = 0.0;
+    for (std::size_t s = 0; s < sensors.size(); ++s) {
+      if (lattice.shares(k, s)) {
+        expected_u += sensors[s].utility_sum();
+        expected_p += sensors[s].privacy_cost;
+      }
+    }
+    EXPECT_NEAR(tables.raw_utility[k], expected_u, 1e-12);
+    EXPECT_NEAR(tables.raw_privacy[k], expected_p, 1e-12);
+  }
+}
+
+TEST(SensorModel, CustomSensorSetWorks) {
+  // Four sensors: extend with an ultrasonic sensor.
+  const DecisionLattice lattice(4);
+  auto sensors = paper_sensors();
+  sensors.push_back(SensorProfile{
+      "ultrasonic", {1.0, 0.0, 1.0, 0.5, 0.0, 0.5, 0.0, 0.0, 0.5, 1.0, 1.0},
+      0.05});
+  const auto tables = make_decision_tables(lattice, sensors);
+  ASSERT_EQ(tables.utility.size(), 16u);
+  // Decision 0 shares all 4 sensors.
+  EXPECT_DOUBLE_EQ(tables.raw_utility[0], 7.0 + 6.0 + 7.0 + 5.5);
+  EXPECT_NEAR(tables.raw_privacy[0], 1.6 + 0.05, 1e-12);
+}
+
+TEST(SensorModel, MismatchedSensorCountRejected) {
+  const DecisionLattice lattice(4);
+  EXPECT_THROW(make_decision_tables(lattice, paper_sensors()),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace avcp::core

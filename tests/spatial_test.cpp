@@ -1,0 +1,159 @@
+#include "spatial/grid_index.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/contracts.h"
+#include "common/rng.h"
+#include "roadnet/builders.h"
+#include "spatial/voronoi.h"
+
+namespace avcp::spatial {
+namespace {
+
+TEST(BBox, AroundPoints) {
+  const std::vector<PointM> pts = {{1.0, 5.0}, {-2.0, 3.0}, {4.0, -1.0}};
+  const BBoxM box = BBoxM::around(pts);
+  EXPECT_EQ(box.min.x, -2.0);
+  EXPECT_EQ(box.min.y, -1.0);
+  EXPECT_EQ(box.max.x, 4.0);
+  EXPECT_EQ(box.max.y, 5.0);
+  EXPECT_EQ(box.width(), 6.0);
+  EXPECT_EQ(box.height(), 6.0);
+}
+
+TEST(BBox, AroundEmptyThrows) {
+  EXPECT_THROW(BBoxM::around({}), ContractViolation);
+}
+
+TEST(BBox, ExpandedAndContains) {
+  const BBoxM box{{0.0, 0.0}, {10.0, 10.0}};
+  EXPECT_TRUE(box.contains({5.0, 5.0}));
+  EXPECT_TRUE(box.contains({0.0, 10.0}));
+  EXPECT_FALSE(box.contains({-0.1, 5.0}));
+  const BBoxM bigger = box.expanded(1.0);
+  EXPECT_TRUE(bigger.contains({-0.5, 10.5}));
+}
+
+TEST(GridIndex, NearestOfSinglePoint) {
+  const GridIndex index({{3.0, 4.0}});
+  EXPECT_EQ(index.nearest({100.0, -100.0}), 0u);
+}
+
+TEST(GridIndex, NearestPrefersLowerIndexOnTie) {
+  const GridIndex index({{0.0, 0.0}, {2.0, 0.0}});
+  EXPECT_EQ(index.nearest({1.0, 0.0}), 0u);
+}
+
+TEST(GridIndex, RejectsEmpty) {
+  EXPECT_THROW(GridIndex({}), ContractViolation);
+}
+
+TEST(GridIndex, WithinRadius) {
+  const GridIndex index({{0.0, 0.0}, {5.0, 0.0}, {20.0, 0.0}});
+  const auto hits = index.within({0.0, 0.0}, 6.0);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0], 0u);
+  EXPECT_EQ(hits[1], 1u);
+}
+
+TEST(GridIndex, WithinZeroRadiusFindsExactPoint) {
+  const GridIndex index({{1.0, 1.0}, {2.0, 2.0}});
+  const auto hits = index.within({2.0, 2.0}, 0.0);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 1u);
+}
+
+// Property sweep: GridIndex::nearest agrees with linear scan on random
+// point clouds and random queries (including queries far outside the
+// bounds).
+class GridIndexSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GridIndexSweep, NearestMatchesBruteForce) {
+  Rng rng(GetParam());
+  const std::size_t n = 50 + static_cast<std::size_t>(rng.uniform_int(0, 200));
+  std::vector<PointM> points(n);
+  for (auto& p : points) {
+    p = PointM{rng.uniform(-1000.0, 1000.0), rng.uniform(-500.0, 500.0)};
+  }
+  const GridIndex index(points);
+  for (int q = 0; q < 50; ++q) {
+    const PointM query{rng.uniform(-2000.0, 2000.0),
+                       rng.uniform(-1000.0, 1000.0)};
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (const PointM& point : points) {
+      best_dist = std::min(best_dist, distance_m(point, query));
+    }
+    const std::size_t got = index.nearest(query);
+    // Same distance (could be a tie at different index).
+    EXPECT_NEAR(distance_m(points[got], query), best_dist, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomClouds, GridIndexSweep,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+TEST(DeployGrid, ExactCount) {
+  const BBoxM area{{0.0, 0.0}, {1000.0, 800.0}};
+  for (const std::size_t count : {1u, 7u, 10u, 100u}) {
+    const auto sites = deploy_grid(area, count);
+    EXPECT_EQ(sites.size(), count);
+    for (const PointM& s : sites) {
+      EXPECT_TRUE(area.contains(s));
+    }
+  }
+}
+
+TEST(DeployGrid, HundredServersFormTenByTenOnSquare) {
+  const BBoxM area{{0.0, 0.0}, {1000.0, 1000.0}};
+  const auto sites = deploy_grid(area, 100);
+  ASSERT_EQ(sites.size(), 100u);
+  // First row should be at y = 50 with x = 50, 150, ..., 950.
+  EXPECT_NEAR(sites[0].x, 50.0, 1e-9);
+  EXPECT_NEAR(sites[0].y, 50.0, 1e-9);
+  EXPECT_NEAR(sites[1].x, 150.0, 1e-9);
+  EXPECT_NEAR(sites[99].x, 950.0, 1e-9);
+  EXPECT_NEAR(sites[99].y, 950.0, 1e-9);
+}
+
+TEST(Voronoi, CellOfMatchesNearestSite) {
+  Rng rng(77);
+  std::vector<PointM> sites(20);
+  for (auto& s : sites) {
+    s = PointM{rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0)};
+  }
+  const VoronoiPartition voronoi(sites);
+  for (int q = 0; q < 100; ++q) {
+    const PointM p{rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0)};
+    const ServerId cell = voronoi.cell_of(p);
+    const double d_cell = distance_m(sites[cell], p);
+    for (const PointM& s : sites) {
+      EXPECT_LE(d_cell, distance_m(s, p) + 1e-9);
+    }
+  }
+}
+
+TEST(Voronoi, AssignSegmentsUsesMidpoints) {
+  const auto g = roadnet::make_grid(3, 3, 100.0);
+  // Two sites: far left and far right.
+  const VoronoiPartition voronoi({PointM{-1000.0, 100.0}, PointM{1200.0, 100.0}});
+  const auto cells = voronoi.assign_segments(g);
+  ASSERT_EQ(cells.size(), g.num_segments());
+  // The bisector sits at x = 100; exact ties resolve to the lower index.
+  for (roadnet::SegmentId s = 0; s < g.num_segments(); ++s) {
+    const PointM mid = g.segment_midpoint(s);
+    EXPECT_EQ(cells[s], mid.x <= 100.0 ? 0u : 1u) << "segment " << s;
+  }
+}
+
+TEST(Voronoi, SingleSiteOwnsEverything) {
+  const auto g = roadnet::make_grid(2, 2, 100.0);
+  const VoronoiPartition voronoi({PointM{50.0, 50.0}});
+  for (const ServerId c : voronoi.assign_segments(g)) {
+    EXPECT_EQ(c, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace avcp::spatial

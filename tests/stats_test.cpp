@@ -1,0 +1,126 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/contracts.h"
+#include "common/rng.h"
+
+namespace avcp {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 3.5);
+  EXPECT_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> xs = {1.0, 2.0, 4.0, 8.0};
+  RunningStats s;
+  for (const double x : xs) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.75);
+  // Sample variance: sum((x - 3.75)^2) / 3 = (7.5625+3.0625+0.0625+18.0625)/3
+  EXPECT_NEAR(s.variance(), 28.75 / 3.0, 1e-12);
+  EXPECT_EQ(s.min(), 1.0);
+  EXPECT_EQ(s.max(), 8.0);
+}
+
+TEST(RunningStats, TracksMinMaxThroughNegatives) {
+  RunningStats s;
+  s.add(-2.0);
+  s.add(5.0);
+  s.add(-7.0);
+  EXPECT_EQ(s.min(), -7.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(Stats, MeanOfEmptyIsZero) {
+  EXPECT_EQ(mean({}), 0.0);
+  EXPECT_EQ(stddev({}), 0.0);
+}
+
+TEST(Stats, MeanSimple) {
+  const std::vector<double> xs = {2.0, 4.0, 6.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 4.0);
+}
+
+TEST(Stats, StddevOfConstantIsZero) {
+  const std::vector<double> xs = {5.0, 5.0, 5.0};
+  EXPECT_EQ(stddev(xs), 0.0);
+}
+
+TEST(Percentile, EndpointsAndMedian) {
+  const std::vector<double> xs = {3.0, 1.0, 2.0, 5.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 3.0);
+}
+
+TEST(Percentile, Interpolates) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 2.5);
+}
+
+TEST(Percentile, RejectsEmptyAndBadQ) {
+  const std::vector<double> xs = {1.0};
+  EXPECT_THROW(percentile({}, 50.0), ContractViolation);
+  EXPECT_THROW(percentile(xs, -1.0), ContractViolation);
+  EXPECT_THROW(percentile(xs, 101.0), ContractViolation);
+}
+
+TEST(CentralInterval, CoversExpectedMass) {
+  Rng rng(5);
+  std::vector<double> xs(20000);
+  for (double& x : xs) x = rng.normal();
+  const auto [lo, hi] = central_interval(xs, 0.95);
+  EXPECT_NEAR(lo, -1.96, 0.08);
+  EXPECT_NEAR(hi, 1.96, 0.08);
+}
+
+TEST(Histogram, CountsAndClamping) {
+  const std::vector<double> xs = {-1.0, 0.1, 0.5, 0.9, 2.0};
+  const auto h = histogram(xs, 0.0, 1.0, 2);
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0], 2u);  // -1.0 clamped in, 0.1
+  EXPECT_EQ(h[1], 3u);  // 0.5, 0.9, 2.0 clamped in
+}
+
+TEST(Histogram, RejectsZeroBins) {
+  const std::vector<double> xs = {0.5};
+  EXPECT_THROW(histogram(xs, 0.0, 1.0, 0), ContractViolation);
+}
+
+TEST(MinmaxNormalize, MapsToUnitRange) {
+  const std::vector<double> xs = {10.0, 20.0, 15.0};
+  const auto n = minmax_normalize(xs);
+  EXPECT_DOUBLE_EQ(n[0], 0.0);
+  EXPECT_DOUBLE_EQ(n[1], 1.0);
+  EXPECT_DOUBLE_EQ(n[2], 0.5);
+}
+
+TEST(MinmaxNormalize, ConstantInputMapsToZero) {
+  const std::vector<double> xs = {7.0, 7.0};
+  const auto n = minmax_normalize(xs);
+  EXPECT_EQ(n[0], 0.0);
+  EXPECT_EQ(n[1], 0.0);
+}
+
+TEST(MinmaxNormalize, EmptyStaysEmpty) {
+  EXPECT_TRUE(minmax_normalize({}).empty());
+}
+
+}  // namespace
+}  // namespace avcp

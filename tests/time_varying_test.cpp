@@ -1,0 +1,148 @@
+#include "sim/time_varying.h"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.h"
+#include "test_support.h"
+
+namespace avcp::sim {
+namespace {
+
+using core::testing::make_chain_game;
+using core::testing::make_single_region_game;
+
+TEST(BetaSchedule, AtRoundSelectsEpochAndClamps) {
+  BetaSchedule schedule;
+  schedule.epochs = {{1.0}, {2.0}, {3.0}};
+  schedule.rounds_per_epoch = 10;
+  EXPECT_DOUBLE_EQ(schedule.at_round(0)[0], 1.0);
+  EXPECT_DOUBLE_EQ(schedule.at_round(9)[0], 1.0);
+  EXPECT_DOUBLE_EQ(schedule.at_round(10)[0], 2.0);
+  EXPECT_DOUBLE_EQ(schedule.at_round(25)[0], 3.0);
+  EXPECT_DOUBLE_EQ(schedule.at_round(9999)[0], 3.0);  // clamps to last
+}
+
+TEST(BetaSchedule, FromDensityMapsPeakAndOffPeak) {
+  // 1 segment -> region 0; 4 windows of 100 s: quiet, quiet, busy, busy.
+  trace::TrafficDensityAccumulator density(1, 100.0, 400.0);
+  density.add({1, 10.0, {}, 0.0, 0});                      // window 0: 1
+  density.add({1, 110.0, {}, 0.0, 0});                     // window 1: 1
+  for (trace::VehicleId v = 0; v < 10; ++v) {
+    density.add({v, 210.0 + v * 0.1, {}, 0.0, 0});         // window 2: 10
+    density.add({v, 310.0 + v * 0.1, {}, 0.0, 0});         // window 3: 10
+  }
+  cluster::Clustering clustering;
+  clustering.region_of = {0};
+  clustering.members = {{0}};
+  clustering.seeds = {0};
+
+  const auto schedule = beta_schedule_from_density(
+      density, clustering, /*windows_per_epoch=*/2, 1.0, 3.0,
+      /*rounds_per_epoch=*/5);
+  ASSERT_EQ(schedule.num_epochs(), 2u);
+  EXPECT_NEAR(schedule.epochs[0][0], 1.0, 1e-9);  // off-peak -> beta_lo
+  EXPECT_NEAR(schedule.epochs[1][0], 3.0, 1e-9);  // peak -> beta_hi
+}
+
+TEST(BetaSchedule, FromDensityRejectsBadInputs) {
+  trace::TrafficDensityAccumulator density(1, 100.0, 100.0);
+  cluster::Clustering clustering;
+  clustering.region_of = {0};
+  clustering.members = {{0}};
+  clustering.seeds = {0};
+  EXPECT_THROW(
+      beta_schedule_from_density(density, clustering, 5, 1.0, 2.0, 10),
+      ContractViolation);
+}
+
+TEST(WithBetas, ReplacesBetasKeepsTopology) {
+  const auto base = make_chain_game(3, /*beta_lo=*/1.0, /*beta_hi=*/2.0);
+  const std::vector<double> betas = {5.0, 6.0, 7.0};
+  const auto updated = with_betas(base, betas);
+  ASSERT_EQ(updated.num_regions(), 3u);
+  for (core::RegionId i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(updated.region(i).beta, betas[i]);
+    EXPECT_EQ(updated.region(i).neighbors.size(),
+              base.region(i).neighbors.size());
+    EXPECT_DOUBLE_EQ(updated.region(i).gamma_self, base.region(i).gamma_self);
+  }
+  EXPECT_EQ(updated.num_decisions(), base.num_decisions());
+}
+
+TEST(WithBetas, RejectsWrongSize) {
+  const auto base = make_chain_game(3);
+  const std::vector<double> betas = {1.0};
+  EXPECT_THROW(with_betas(base, betas), ContractViolation);
+}
+
+TEST(TimeVarying, ReconvergesAfterEveryEpochSwitch) {
+  // Peak (high beta, sharing-friendly) and off-peak (low beta) alternate;
+  // the desired field per epoch is the epoch game's own attainable
+  // equilibrium at a reference ratio, and FDS must land in it each time.
+  const auto base = make_single_region_game(/*beta=*/2.0);
+  BetaSchedule schedule;
+  schedule.epochs = {{4.0}, {1.2}, {4.0}};
+  schedule.rounds_per_epoch = 400;
+
+  const FieldFactory factory = [](const core::MultiRegionGame& epoch_game,
+                                  const core::GameState& state) {
+    core::GameState eq = state;
+    const std::vector<double> x_ref(epoch_game.num_regions(), 0.75);
+    for (int t = 0; t < 3000; ++t) epoch_game.replicator_step(eq, x_ref);
+    core::DesiredFields fields(epoch_game.num_regions(),
+                               epoch_game.num_decisions());
+    for (core::RegionId i = 0; i < epoch_game.num_regions(); ++i) {
+      for (core::DecisionId k = 0; k < epoch_game.num_decisions(); ++k) {
+        fields.set_target(i, k,
+                          Interval{std::max(0.0, eq.p[i][k] - 0.05),
+                                   std::min(1.0, eq.p[i][k] + 0.05)});
+      }
+    }
+    return fields;
+  };
+
+  TimeVaryingOptions options;
+  options.fds.max_step = 0.1;
+  options.reseed_mix = 0.15;
+  const auto outcomes = run_time_varying(base, schedule, factory,
+                                         base.uniform_state(), {0.3},
+                                         options);
+  ASSERT_EQ(outcomes.size(), 3u);
+  for (std::size_t e = 0; e < outcomes.size(); ++e) {
+    EXPECT_TRUE(outcomes[e].converged)
+        << "epoch " << e << " rounds=" << outcomes[e].rounds_to_converge;
+  }
+  // The peak epochs sustain richer sharing than the off-peak one.
+  double peak_richness = 0.0;
+  double offpeak_richness = 0.0;
+  const auto richness = [&](const core::GameState& state) {
+    double r = 0.0;
+    for (core::DecisionId k = 0; k < 8; ++k) {
+      r += state.p[0][k] * static_cast<double>(base.lattice().cardinality(k));
+    }
+    return r;
+  };
+  peak_richness = richness(outcomes[0].state_at_end);
+  offpeak_richness = richness(outcomes[1].state_at_end);
+  EXPECT_GT(peak_richness, offpeak_richness);
+}
+
+TEST(TimeVarying, EpochCountMatchesSchedule) {
+  const auto base = make_single_region_game();
+  BetaSchedule schedule;
+  schedule.epochs = {{2.0}, {2.0}};
+  schedule.rounds_per_epoch = 5;
+  const FieldFactory factory = [](const core::MultiRegionGame& game,
+                                  const core::GameState&) {
+    return core::DesiredFields(game.num_regions(), game.num_decisions());
+  };
+  const auto outcomes = run_time_varying(base, schedule, factory,
+                                         base.uniform_state(), {0.5}, {});
+  ASSERT_EQ(outcomes.size(), 2u);
+  // Unconstrained fields are satisfied immediately.
+  EXPECT_TRUE(outcomes[0].converged);
+  EXPECT_EQ(outcomes[0].rounds_to_converge, 1u);
+}
+
+}  // namespace
+}  // namespace avcp::sim
