@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_clustering.dir/bench_fig8_clustering.cpp.o"
+  "CMakeFiles/bench_fig8_clustering.dir/bench_fig8_clustering.cpp.o.d"
+  "bench_fig8_clustering"
+  "bench_fig8_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

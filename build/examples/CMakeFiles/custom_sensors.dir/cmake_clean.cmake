@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_sensors.dir/custom_sensors.cpp.o"
+  "CMakeFiles/custom_sensors.dir/custom_sensors.cpp.o.d"
+  "custom_sensors"
+  "custom_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_series.dir/export_series.cpp.o"
+  "CMakeFiles/export_series.dir/export_series.cpp.o.d"
+  "export_series"
+  "export_series.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_series.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measured_plant.dir/measured_plant.cpp.o"
+  "CMakeFiles/measured_plant.dir/measured_plant.cpp.o.d"
+  "measured_plant"
+  "measured_plant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measured_plant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weather_adaptation.dir/weather_adaptation.cpp.o"
+  "CMakeFiles/weather_adaptation.dir/weather_adaptation.cpp.o.d"
+  "weather_adaptation"
+  "weather_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weather_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

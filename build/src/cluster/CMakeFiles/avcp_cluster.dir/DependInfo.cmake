@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/quality.cpp" "src/cluster/CMakeFiles/avcp_cluster.dir/quality.cpp.o" "gcc" "src/cluster/CMakeFiles/avcp_cluster.dir/quality.cpp.o.d"
+  "/root/repo/src/cluster/region_clustering.cpp" "src/cluster/CMakeFiles/avcp_cluster.dir/region_clustering.cpp.o" "gcc" "src/cluster/CMakeFiles/avcp_cluster.dir/region_clustering.cpp.o.d"
+  "/root/repo/src/cluster/region_graph.cpp" "src/cluster/CMakeFiles/avcp_cluster.dir/region_graph.cpp.o" "gcc" "src/cluster/CMakeFiles/avcp_cluster.dir/region_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/roadnet/CMakeFiles/avcp_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/avcp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/avcp_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/avcp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

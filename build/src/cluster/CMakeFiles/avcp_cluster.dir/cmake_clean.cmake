@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avcp_cluster.dir/quality.cpp.o"
+  "CMakeFiles/avcp_cluster.dir/quality.cpp.o.d"
+  "CMakeFiles/avcp_cluster.dir/region_clustering.cpp.o"
+  "CMakeFiles/avcp_cluster.dir/region_clustering.cpp.o.d"
+  "CMakeFiles/avcp_cluster.dir/region_graph.cpp.o"
+  "CMakeFiles/avcp_cluster.dir/region_graph.cpp.o.d"
+  "libavcp_cluster.a"
+  "libavcp_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avcp_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

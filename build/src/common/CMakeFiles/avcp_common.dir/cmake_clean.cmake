@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avcp_common.dir/contracts.cpp.o"
+  "CMakeFiles/avcp_common.dir/contracts.cpp.o.d"
+  "CMakeFiles/avcp_common.dir/csv.cpp.o"
+  "CMakeFiles/avcp_common.dir/csv.cpp.o.d"
+  "CMakeFiles/avcp_common.dir/geo.cpp.o"
+  "CMakeFiles/avcp_common.dir/geo.cpp.o.d"
+  "CMakeFiles/avcp_common.dir/heatmap.cpp.o"
+  "CMakeFiles/avcp_common.dir/heatmap.cpp.o.d"
+  "CMakeFiles/avcp_common.dir/interval.cpp.o"
+  "CMakeFiles/avcp_common.dir/interval.cpp.o.d"
+  "CMakeFiles/avcp_common.dir/log.cpp.o"
+  "CMakeFiles/avcp_common.dir/log.cpp.o.d"
+  "CMakeFiles/avcp_common.dir/rng.cpp.o"
+  "CMakeFiles/avcp_common.dir/rng.cpp.o.d"
+  "CMakeFiles/avcp_common.dir/stats.cpp.o"
+  "CMakeFiles/avcp_common.dir/stats.cpp.o.d"
+  "libavcp_common.a"
+  "libavcp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avcp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/equilibrium.cpp" "src/core/CMakeFiles/avcp_core.dir/equilibrium.cpp.o" "gcc" "src/core/CMakeFiles/avcp_core.dir/equilibrium.cpp.o.d"
+  "/root/repo/src/core/fds.cpp" "src/core/CMakeFiles/avcp_core.dir/fds.cpp.o" "gcc" "src/core/CMakeFiles/avcp_core.dir/fds.cpp.o.d"
+  "/root/repo/src/core/game.cpp" "src/core/CMakeFiles/avcp_core.dir/game.cpp.o" "gcc" "src/core/CMakeFiles/avcp_core.dir/game.cpp.o.d"
+  "/root/repo/src/core/lattice.cpp" "src/core/CMakeFiles/avcp_core.dir/lattice.cpp.o" "gcc" "src/core/CMakeFiles/avcp_core.dir/lattice.cpp.o.d"
+  "/root/repo/src/core/lower_bound.cpp" "src/core/CMakeFiles/avcp_core.dir/lower_bound.cpp.o" "gcc" "src/core/CMakeFiles/avcp_core.dir/lower_bound.cpp.o.d"
+  "/root/repo/src/core/rate_model.cpp" "src/core/CMakeFiles/avcp_core.dir/rate_model.cpp.o" "gcc" "src/core/CMakeFiles/avcp_core.dir/rate_model.cpp.o.d"
+  "/root/repo/src/core/sensor_model.cpp" "src/core/CMakeFiles/avcp_core.dir/sensor_model.cpp.o" "gcc" "src/core/CMakeFiles/avcp_core.dir/sensor_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/avcp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avcp_core.dir/equilibrium.cpp.o"
+  "CMakeFiles/avcp_core.dir/equilibrium.cpp.o.d"
+  "CMakeFiles/avcp_core.dir/fds.cpp.o"
+  "CMakeFiles/avcp_core.dir/fds.cpp.o.d"
+  "CMakeFiles/avcp_core.dir/game.cpp.o"
+  "CMakeFiles/avcp_core.dir/game.cpp.o.d"
+  "CMakeFiles/avcp_core.dir/lattice.cpp.o"
+  "CMakeFiles/avcp_core.dir/lattice.cpp.o.d"
+  "CMakeFiles/avcp_core.dir/lower_bound.cpp.o"
+  "CMakeFiles/avcp_core.dir/lower_bound.cpp.o.d"
+  "CMakeFiles/avcp_core.dir/rate_model.cpp.o"
+  "CMakeFiles/avcp_core.dir/rate_model.cpp.o.d"
+  "CMakeFiles/avcp_core.dir/sensor_model.cpp.o"
+  "CMakeFiles/avcp_core.dir/sensor_model.cpp.o.d"
+  "libavcp_core.a"
+  "libavcp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avcp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libavcp_core.a"
+)

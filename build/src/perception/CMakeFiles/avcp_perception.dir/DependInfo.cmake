@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perception/data_plane.cpp" "src/perception/CMakeFiles/avcp_perception.dir/data_plane.cpp.o" "gcc" "src/perception/CMakeFiles/avcp_perception.dir/data_plane.cpp.o.d"
+  "/root/repo/src/perception/measure.cpp" "src/perception/CMakeFiles/avcp_perception.dir/measure.cpp.o" "gcc" "src/perception/CMakeFiles/avcp_perception.dir/measure.cpp.o.d"
+  "/root/repo/src/perception/scheduler.cpp" "src/perception/CMakeFiles/avcp_perception.dir/scheduler.cpp.o" "gcc" "src/perception/CMakeFiles/avcp_perception.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/avcp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/avcp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

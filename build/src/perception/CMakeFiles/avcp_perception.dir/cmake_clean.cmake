@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avcp_perception.dir/data_plane.cpp.o"
+  "CMakeFiles/avcp_perception.dir/data_plane.cpp.o.d"
+  "CMakeFiles/avcp_perception.dir/measure.cpp.o"
+  "CMakeFiles/avcp_perception.dir/measure.cpp.o.d"
+  "CMakeFiles/avcp_perception.dir/scheduler.cpp.o"
+  "CMakeFiles/avcp_perception.dir/scheduler.cpp.o.d"
+  "libavcp_perception.a"
+  "libavcp_perception.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avcp_perception.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/roadnet/betweenness.cpp" "src/roadnet/CMakeFiles/avcp_roadnet.dir/betweenness.cpp.o" "gcc" "src/roadnet/CMakeFiles/avcp_roadnet.dir/betweenness.cpp.o.d"
+  "/root/repo/src/roadnet/builders.cpp" "src/roadnet/CMakeFiles/avcp_roadnet.dir/builders.cpp.o" "gcc" "src/roadnet/CMakeFiles/avcp_roadnet.dir/builders.cpp.o.d"
+  "/root/repo/src/roadnet/graph_io.cpp" "src/roadnet/CMakeFiles/avcp_roadnet.dir/graph_io.cpp.o" "gcc" "src/roadnet/CMakeFiles/avcp_roadnet.dir/graph_io.cpp.o.d"
+  "/root/repo/src/roadnet/road_graph.cpp" "src/roadnet/CMakeFiles/avcp_roadnet.dir/road_graph.cpp.o" "gcc" "src/roadnet/CMakeFiles/avcp_roadnet.dir/road_graph.cpp.o.d"
+  "/root/repo/src/roadnet/shortest_path.cpp" "src/roadnet/CMakeFiles/avcp_roadnet.dir/shortest_path.cpp.o" "gcc" "src/roadnet/CMakeFiles/avcp_roadnet.dir/shortest_path.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/avcp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avcp_roadnet.dir/betweenness.cpp.o"
+  "CMakeFiles/avcp_roadnet.dir/betweenness.cpp.o.d"
+  "CMakeFiles/avcp_roadnet.dir/builders.cpp.o"
+  "CMakeFiles/avcp_roadnet.dir/builders.cpp.o.d"
+  "CMakeFiles/avcp_roadnet.dir/graph_io.cpp.o"
+  "CMakeFiles/avcp_roadnet.dir/graph_io.cpp.o.d"
+  "CMakeFiles/avcp_roadnet.dir/road_graph.cpp.o"
+  "CMakeFiles/avcp_roadnet.dir/road_graph.cpp.o.d"
+  "CMakeFiles/avcp_roadnet.dir/shortest_path.cpp.o"
+  "CMakeFiles/avcp_roadnet.dir/shortest_path.cpp.o.d"
+  "libavcp_roadnet.a"
+  "libavcp_roadnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avcp_roadnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

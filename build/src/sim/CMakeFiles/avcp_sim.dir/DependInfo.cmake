@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/agent_sim.cpp" "src/sim/CMakeFiles/avcp_sim.dir/agent_sim.cpp.o" "gcc" "src/sim/CMakeFiles/avcp_sim.dir/agent_sim.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/sim/CMakeFiles/avcp_sim.dir/metrics.cpp.o" "gcc" "src/sim/CMakeFiles/avcp_sim.dir/metrics.cpp.o.d"
+  "/root/repo/src/sim/pipeline.cpp" "src/sim/CMakeFiles/avcp_sim.dir/pipeline.cpp.o" "gcc" "src/sim/CMakeFiles/avcp_sim.dir/pipeline.cpp.o.d"
+  "/root/repo/src/sim/runner.cpp" "src/sim/CMakeFiles/avcp_sim.dir/runner.cpp.o" "gcc" "src/sim/CMakeFiles/avcp_sim.dir/runner.cpp.o.d"
+  "/root/repo/src/sim/time_varying.cpp" "src/sim/CMakeFiles/avcp_sim.dir/time_varying.cpp.o" "gcc" "src/sim/CMakeFiles/avcp_sim.dir/time_varying.cpp.o.d"
+  "/root/repo/src/sim/trace_replay.cpp" "src/sim/CMakeFiles/avcp_sim.dir/trace_replay.cpp.o" "gcc" "src/sim/CMakeFiles/avcp_sim.dir/trace_replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/avcp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/avcp_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/avcp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/avcp_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/roadnet/CMakeFiles/avcp_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/avcp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avcp_sim.dir/agent_sim.cpp.o"
+  "CMakeFiles/avcp_sim.dir/agent_sim.cpp.o.d"
+  "CMakeFiles/avcp_sim.dir/metrics.cpp.o"
+  "CMakeFiles/avcp_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/avcp_sim.dir/pipeline.cpp.o"
+  "CMakeFiles/avcp_sim.dir/pipeline.cpp.o.d"
+  "CMakeFiles/avcp_sim.dir/runner.cpp.o"
+  "CMakeFiles/avcp_sim.dir/runner.cpp.o.d"
+  "CMakeFiles/avcp_sim.dir/time_varying.cpp.o"
+  "CMakeFiles/avcp_sim.dir/time_varying.cpp.o.d"
+  "CMakeFiles/avcp_sim.dir/trace_replay.cpp.o"
+  "CMakeFiles/avcp_sim.dir/trace_replay.cpp.o.d"
+  "libavcp_sim.a"
+  "libavcp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avcp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

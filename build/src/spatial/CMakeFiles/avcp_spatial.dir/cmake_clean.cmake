@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avcp_spatial.dir/grid_index.cpp.o"
+  "CMakeFiles/avcp_spatial.dir/grid_index.cpp.o.d"
+  "CMakeFiles/avcp_spatial.dir/voronoi.cpp.o"
+  "CMakeFiles/avcp_spatial.dir/voronoi.cpp.o.d"
+  "libavcp_spatial.a"
+  "libavcp_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avcp_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

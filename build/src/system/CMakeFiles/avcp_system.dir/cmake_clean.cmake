@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avcp_system.dir/system.cpp.o"
+  "CMakeFiles/avcp_system.dir/system.cpp.o.d"
+  "libavcp_system.a"
+  "libavcp_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avcp_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avcp_trace.dir/density.cpp.o"
+  "CMakeFiles/avcp_trace.dir/density.cpp.o.d"
+  "CMakeFiles/avcp_trace.dir/generator.cpp.o"
+  "CMakeFiles/avcp_trace.dir/generator.cpp.o.d"
+  "CMakeFiles/avcp_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/avcp_trace.dir/trace_io.cpp.o.d"
+  "libavcp_trace.a"
+  "libavcp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avcp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

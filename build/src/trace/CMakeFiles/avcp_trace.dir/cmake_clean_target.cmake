@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libavcp_trace.a"
+)

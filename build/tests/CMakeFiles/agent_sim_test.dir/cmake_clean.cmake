@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agent_sim_test.dir/agent_sim_test.cpp.o"
+  "CMakeFiles/agent_sim_test.dir/agent_sim_test.cpp.o.d"
+  "agent_sim_test"
+  "agent_sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agent_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/city_builder_test.dir/city_builder_test.cpp.o"
+  "CMakeFiles/city_builder_test.dir/city_builder_test.cpp.o.d"
+  "city_builder_test"
+  "city_builder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/city_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

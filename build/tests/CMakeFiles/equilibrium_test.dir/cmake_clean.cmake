@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equilibrium_test.dir/equilibrium_test.cpp.o"
+  "CMakeFiles/equilibrium_test.dir/equilibrium_test.cpp.o.d"
+  "equilibrium_test"
+  "equilibrium_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equilibrium_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/metrics_test.cpp" "tests/CMakeFiles/metrics_test.dir/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/metrics_test.dir/metrics_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/avcp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/system/CMakeFiles/avcp_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/perception/CMakeFiles/avcp_perception.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/avcp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/avcp_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/avcp_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/avcp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/roadnet/CMakeFiles/avcp_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/avcp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

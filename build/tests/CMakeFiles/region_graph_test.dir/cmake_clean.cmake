@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_graph_test.dir/region_graph_test.cpp.o"
+  "CMakeFiles/region_graph_test.dir/region_graph_test.cpp.o.d"
+  "region_graph_test"
+  "region_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/road_graph_test.dir/road_graph_test.cpp.o"
+  "CMakeFiles/road_graph_test.dir/road_graph_test.cpp.o.d"
+  "road_graph_test"
+  "road_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/road_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_model_test.dir/sensor_model_test.cpp.o"
+  "CMakeFiles/sensor_model_test.dir/sensor_model_test.cpp.o.d"
+  "sensor_model_test"
+  "sensor_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_varying_test.dir/time_varying_test.cpp.o"
+  "CMakeFiles/time_varying_test.dir/time_varying_test.cpp.o.d"
+  "time_varying_test"
+  "time_varying_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_varying_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

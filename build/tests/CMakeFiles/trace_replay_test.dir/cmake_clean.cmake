@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_replay_test.dir/trace_replay_test.cpp.o"
+  "CMakeFiles/trace_replay_test.dir/trace_replay_test.cpp.o.d"
+  "trace_replay_test"
+  "trace_replay_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_replay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
