@@ -3,7 +3,9 @@
 //   A2 — interior margin (our robustness addition to Algorithm 2),
 //   A3 — strict vs non-strict lattice access rule (Eq. (1) vs Eq. (4)),
 //   A4 — growth-factor floor (pure Eq. (5) vs bounded attrition),
-//   A5 — agent-based failure injection: defector vehicles that never revise.
+//   A5 — agent-based failure injection via the fault layer: defector
+//        vehicles that never revise (see bench_faults for the full
+//        loss-rate x outage sweep on the measured plant).
 #include <cstdio>
 #include <vector>
 
@@ -12,6 +14,7 @@
 #include "system/system.h"
 #include "core/equilibrium.h"
 #include "core/sensor_model.h"
+#include "faults/fault_model.h"
 #include "sim/agent_sim.h"
 #include "perception/scheduler.h"
 #include "sim/time_varying.h"
@@ -146,12 +149,17 @@ int main() {
     config.step_size = 0.5;
     const core::MultiRegionGame single(std::move(config),
                                        {core::RegionSpec{}});
+    // Defectors come from the shared fault layer (one schedule for the
+    // agent sim and the system plant), not the deprecated params knob.
+    faults::FaultParams fault_params;
+    fault_params.defector_fraction = frac;
+    fault_params.seed = 7;
+    const faults::FaultModel fault_model(fault_params);
     sim::AgentSimParams params;
     params.vehicles_per_region = 2000;
-    params.defector_fraction = frac;
     params.imitation_scale = 0.5;
     params.seed = 7;
-    sim::AgentBasedSim agent_sim(single, params);
+    sim::AgentBasedSim agent_sim(single, params, &fault_model);
     agent_sim.init_from(single.uniform_state());
     const std::vector<double> x = {0.0};
     for (int t = 0; t < 250; ++t) agent_sim.step(x);

@@ -1,0 +1,93 @@
+#include "faults/degraded_controller.h"
+
+#include <algorithm>
+
+#include "common/contracts.h"
+
+namespace avcp::faults {
+
+DegradedController::DegradedController(core::Controller& inner,
+                                       const FaultModel& faults,
+                                       DegradedOptions options)
+    : inner_(inner), faults_(faults), options_(options) {
+  AVCP_EXPECT(options_.max_step > 0.0);
+  AVCP_EXPECT(options_.decay_step >= 0.0);
+  AVCP_EXPECT(options_.decay_target >= 0.0 && options_.decay_target <= 1.0);
+}
+
+std::vector<double> DegradedController::next_x(
+    const core::GameState& state, const std::vector<double>& x_prev) {
+  const std::size_t m = state.num_regions();
+  AVCP_EXPECT(m >= 1);
+  AVCP_EXPECT(x_prev.size() == m);
+  if (last_good_.p.size() != m) {
+    // Uniform prior: before any report arrives the cloud knows nothing
+    // about the region's decision mix (and treats it as blind anyway).
+    AVCP_EXPECT(!state.p.empty());
+    last_good_.p.assign(
+        m, std::vector<double>(state.p.front().size(),
+                               1.0 / static_cast<double>(state.p.front().size())));
+    age_.assign(m, kNever);
+    degraded_.assign(m, 0);
+  }
+
+  // Ingest this round's reports.
+  for (core::RegionId i = 0; i < m; ++i) {
+    if (faults_.report_available(round_, i)) {
+      last_good_.p[i] = state.p[i];
+      age_[i] = 0;
+    } else {
+      ++counters_.reports_lost;
+      if (age_[i] != kNever) ++age_[i];
+    }
+    degraded_[i] =
+        (age_[i] == kNever || age_[i] > options_.staleness_budget) ? 1 : 0;
+  }
+
+  // The inner controller sees the last good report of every region: stale
+  // rows are real (just old) data, and blind rows only matter through the
+  // inter-region coupling terms, where old data beats garbage.
+  const std::vector<double> x_inner = inner_.next_x(last_good_, x_prev);
+  AVCP_ENSURE(x_inner.size() == m);
+
+  std::vector<double> x_next(m);
+  for (core::RegionId i = 0; i < m; ++i) {
+    const double xi = std::clamp(x_prev[i], 0.0, 1.0);
+    if (!degraded_[i]) {
+      const double delta = std::clamp(x_inner[i] - xi, -options_.max_step,
+                                      options_.max_step);
+      x_next[i] = std::clamp(xi + delta, 0.0, 1.0);
+      continue;
+    }
+    if (options_.fallback == DegradedOptions::Fallback::kHold) {
+      x_next[i] = xi;
+      continue;
+    }
+    const double step = std::min(options_.decay_step, options_.max_step);
+    const double delta =
+        std::clamp(options_.decay_target - xi, -step, step);
+    x_next[i] = std::clamp(xi + delta, 0.0, 1.0);
+  }
+  ++round_;
+  return x_next;
+}
+
+std::size_t DegradedController::report_age(core::RegionId i) const {
+  AVCP_EXPECT(i < age_.size());
+  return age_[i];
+}
+
+bool DegradedController::degraded(core::RegionId i) const {
+  AVCP_EXPECT(i < degraded_.size());
+  return degraded_[i] != 0;
+}
+
+void DegradedController::reset() {
+  round_ = 0;
+  last_good_.p.clear();
+  age_.clear();
+  degraded_.clear();
+  counters_ = FaultCounters{};
+}
+
+}  // namespace avcp::faults

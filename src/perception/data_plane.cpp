@@ -80,18 +80,33 @@ EdgeServerDataPlane::DirectionalOutcome EdgeServerDataPlane::run_directional(
 RoundOutcome EdgeServerDataPlane::run_round_with_server(
     std::span<const Vehicle> vehicles, double sharing_ratio,
     const ItemSet& server_items) {
+  return run_round_degraded(vehicles, sharing_ratio, CellFaultMask{},
+                            server_items);
+}
+
+RoundOutcome EdgeServerDataPlane::run_round_degraded(
+    std::span<const Vehicle> vehicles, double sharing_ratio,
+    const CellFaultMask& mask, const ItemSet& server_items) {
   AVCP_EXPECT(sharing_ratio >= 0.0 && sharing_ratio <= 1.0);
   AVCP_EXPECT(is_sorted_unique(server_items));
 
   const std::size_t n = vehicles.size();
+  AVCP_EXPECT(mask.upload_lost.empty() || mask.upload_lost.size() == n);
+  AVCP_EXPECT(mask.delivery_lost.empty() || mask.delivery_lost.size() == n * n);
   RoundOutcome outcome;
   outcome.utility.resize(n, 0.0);
   outcome.privacy.resize(n, 0.0);
 
-  // Upload phase (framework step 4): decision-filtered collected data.
+  // Upload phase (framework step 4): decision-filtered collected data. A
+  // lost upload never reaches the server: it shrinks the pool, is invisible
+  // to the eavesdropper, and costs its vehicle no privacy.
   std::vector<ItemSet> uploads(n);
   ItemSet server_view;
   for (std::size_t a = 0; a < n; ++a) {
+    if (!mask.upload_lost.empty() && mask.upload_lost[a]) {
+      ++outcome.uploads_lost;
+      continue;
+    }
     uploads[a] = shared_items(vehicles[a]);
     server_view = set_union(server_view, uploads[a]);
     outcome.privacy[a] = privacy_cost(universe_, uploads[a]);
@@ -100,7 +115,10 @@ RoundOutcome EdgeServerDataPlane::run_round_with_server(
   outcome.exposed_privacy = privacy_cost(universe_, server_view);
 
   // Distribution phase (step 5): b's upload reaches a with probability x
-  // iff a's decision shares at least b's sensor types.
+  // iff a's decision shares at least b's sensor types. A delivery lost on
+  // the downlink drops after acceptance: the Bernoulli draw is consumed
+  // either way, so a clean run and a delivery-loss run share the upload
+  // phase bit-for-bit.
   for (std::size_t a = 0; a < n; ++a) {
     // Gather all accepted uploads first, then sort/deduplicate once — a
     // per-sender set_union would make large cells quadratic in fleet size.
@@ -114,6 +132,10 @@ RoundOutcome EdgeServerDataPlane::run_round_with_server(
         continue;
       }
       if (!rng_.bernoulli(sharing_ratio)) continue;
+      if (!mask.delivery_lost.empty() && mask.delivery_lost[a * n + b]) {
+        outcome.deliveries_lost += uploads[b].size();
+        continue;
+      }
       outcome.deliveries += uploads[b].size();
       received.insert(received.end(), uploads[b].begin(), uploads[b].end());
     }

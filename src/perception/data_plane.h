@@ -10,6 +10,7 @@
 // paper's threat model).
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -36,10 +37,32 @@ struct RoundOutcome {
   double exposed_privacy = 0.0;
   /// Item deliveries performed (sum over receivers of received items).
   std::size_t deliveries = 0;
+  /// Vehicle uploads dropped on the uplink (fault injection; 0 when clean).
+  std::size_t uploads_lost = 0;
+  /// Items dropped on the downlink after acceptance (fault injection).
+  std::size_t deliveries_lost = 0;
 
   /// Population averages.
   double mean_utility() const;
   double mean_privacy() const;
+};
+
+/// Pre-resolved per-cell fault mask (see faults::FaultModel; perception
+/// stays independent of the fault layer by taking plain booleans). Empty
+/// vectors mean "no faults": the degraded entry points then follow exactly
+/// the clean code path, consuming the same RNG stream.
+struct CellFaultMask {
+  /// upload_lost[b]: vehicle b's upload never reaches the server — it
+  /// contributes nothing to the pool and costs b no privacy.
+  std::vector<std::uint8_t> upload_lost;
+  /// delivery_lost[a * n + b]: the accepted distribution of b's upload to
+  /// receiver a is lost in flight — a's utility suffers, b's privacy was
+  /// already spent at the server.
+  std::vector<std::uint8_t> delivery_lost;
+
+  bool empty() const noexcept {
+    return upload_lost.empty() && delivery_lost.empty();
+  }
 };
 
 class EdgeServerDataPlane {
@@ -62,6 +85,14 @@ class EdgeServerDataPlane {
   RoundOutcome run_round_with_server(std::span<const Vehicle> vehicles,
                                      double sharing_ratio,
                                      const ItemSet& server_items);
+
+  /// Degraded-mode round: like run_round_with_server, but uploads and
+  /// deliveries flagged in `mask` are lost. With an empty mask this is the
+  /// clean round bit-for-bit (identical RNG consumption).
+  RoundOutcome run_round_degraded(std::span<const Vehicle> vehicles,
+                                  double sharing_ratio,
+                                  const CellFaultMask& mask,
+                                  const ItemSet& server_items = {});
 
   /// The items vehicle would upload under its decision (S_a ∩ P^{k_a}).
   ItemSet shared_items(const Vehicle& v) const;

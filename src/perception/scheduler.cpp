@@ -12,13 +12,16 @@ DistributionScheduler::DistributionScheduler(
     : lattice_(lattice), universe_(universe), access_(access) {}
 
 ItemSet DistributionScheduler::admissible_pool(
-    std::span<const SenderUpload> uploads,
-    const DistributionRequest& receiver) const {
+    std::span<const SenderUpload> uploads, const DistributionRequest& receiver,
+    std::span<const std::uint8_t> upload_lost) const {
   AVCP_EXPECT(receiver.decision < lattice_.num_decisions());
   AVCP_EXPECT(is_sorted_unique(receiver.already_held));
+  AVCP_EXPECT(upload_lost.empty() || upload_lost.size() == uploads.size());
   ItemSet pool;
-  for (const SenderUpload& upload : uploads) {
+  for (std::size_t u = 0; u < uploads.size(); ++u) {
+    const SenderUpload& upload = uploads[u];
     AVCP_EXPECT(is_sorted_unique(upload.items));
+    if (!upload_lost.empty() && upload_lost[u]) continue;
     const bool readable =
         access_ == core::AccessRule::kSubsetOrEqual
             ? lattice_.preceq(receiver.decision, upload.decision)
@@ -34,9 +37,14 @@ ItemSet DistributionScheduler::admissible_pool(
 DistributionPlan DistributionScheduler::plan(
     std::span<const SenderUpload> uploads,
     std::span<const DistributionRequest> receivers,
-    std::optional<std::size_t> server_budget_items) const {
+    std::optional<std::size_t> server_budget_items,
+    std::span<const std::uint8_t> upload_lost) const {
+  AVCP_EXPECT(upload_lost.empty() || upload_lost.size() == uploads.size());
   DistributionPlan result;
   result.deliveries.resize(receivers.size());
+  for (const std::uint8_t lost : upload_lost) {
+    if (lost) ++result.lost_uploads;
+  }
 
   // Candidate deliveries: (utility weight, receiver, item), desired-only —
   // undesired items contribute nothing under Property 3.1(a).
@@ -50,7 +58,7 @@ DistributionPlan DistributionScheduler::plan(
   for (std::size_t r = 0; r < receivers.size(); ++r) {
     AVCP_EXPECT(is_sorted_unique(receivers[r].desired));
     remaining[r] = receivers[r].budget_items;
-    const ItemSet pool = admissible_pool(uploads, receivers[r]);
+    const ItemSet pool = admissible_pool(uploads, receivers[r], upload_lost);
     for (const ItemId id : set_intersect(pool, receivers[r].desired)) {
       candidates.push_back(
           Candidate{universe_.item(id).utility_weight, r, id});

@@ -11,6 +11,7 @@
 // tests verify against brute force.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <vector>
@@ -43,6 +44,9 @@ struct DistributionPlan {
   double total_utility_weight = 0.0;
   /// Items that were admissible and desired somewhere but cut by budgets.
   std::size_t dropped_items = 0;
+  /// Uploads excluded because their uplink transfer was lost (degraded
+  /// mode; see the `upload_lost` mask of plan()).
+  std::size_t lost_uploads = 0;
 };
 
 class DistributionScheduler {
@@ -56,16 +60,22 @@ class DistributionScheduler {
   /// `server_budget_items` is set, the total number of delivered items
   /// across receivers is additionally capped and allocated globally by
   /// marginal utility weight (ties broken toward lower receiver index,
-  /// then lower item id, for determinism).
+  /// then lower item id, for determinism). A non-empty `upload_lost` mask
+  /// (one flag per upload, degraded mode) excludes uploads whose uplink
+  /// transfer was lost: they never reached the server, so they shrink every
+  /// receiver's pool.
   DistributionPlan plan(std::span<const SenderUpload> uploads,
                         std::span<const DistributionRequest> receivers,
                         std::optional<std::size_t> server_budget_items =
-                            std::nullopt) const;
+                            std::nullopt,
+                        std::span<const std::uint8_t> upload_lost = {}) const;
 
   /// The admissible pool for one receiver: union of uploads it may read,
-  /// minus what it already holds.
+  /// minus what it already holds. Uploads flagged in `upload_lost` are
+  /// excluded (empty mask = none lost).
   ItemSet admissible_pool(std::span<const SenderUpload> uploads,
-                          const DistributionRequest& receiver) const;
+                          const DistributionRequest& receiver,
+                          std::span<const std::uint8_t> upload_lost = {}) const;
 
  private:
   const core::DecisionLattice& lattice_;

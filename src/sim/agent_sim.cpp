@@ -7,20 +7,39 @@
 namespace avcp::sim {
 
 AgentBasedSim::AgentBasedSim(const core::MultiRegionGame& game,
-                             AgentSimParams params)
-    : game_(game), params_(params), rng_(params.seed) {
+                             AgentSimParams params,
+                             const faults::FaultModel* faults)
+    : game_(game),
+      params_(params),
+      faults_(faults != nullptr && faults->active() ? faults : nullptr),
+      rng_(params.seed) {
   AVCP_EXPECT(params_.vehicles_per_region >= 2);
   AVCP_EXPECT(params_.revision_rate >= 0.0 && params_.revision_rate <= 1.0);
   AVCP_EXPECT(params_.imitation_scale > 0.0);
   AVCP_EXPECT(params_.defector_fraction >= 0.0 &&
               params_.defector_fraction <= 1.0);
+  // Defectors come from one source: either the legacy params knob or the
+  // fault layer, never both (the shim exists only for old call sites).
+  AVCP_EXPECT(faults_ == nullptr || params_.defector_fraction == 0.0);
   decisions_.assign(game.num_regions(),
                     std::vector<core::DecisionId>(params_.vehicles_per_region, 0));
   defector_.assign(game.num_regions(),
                    std::vector<bool>(params_.vehicles_per_region, false));
-  for (auto& region : defector_) {
-    for (std::size_t v = 0; v < region.size(); ++v) {
-      region[v] = rng_.bernoulli(params_.defector_fraction);
+  if (faults_ != nullptr) {
+    // Fault-layer defectors: a pure hash of (seed, region, vehicle), the
+    // same schedule any other consumer of this model sees. The legacy
+    // branch below keeps its historical draws so seeded runs without a
+    // model reproduce bit-for-bit.
+    for (core::RegionId i = 0; i < game.num_regions(); ++i) {
+      for (std::size_t v = 0; v < defector_[i].size(); ++v) {
+        defector_[i][v] = faults_->vehicle_defects(i, v);
+      }
+    }
+  } else {
+    for (auto& region : defector_) {
+      for (std::size_t v = 0; v < region.size(); ++v) {
+        region[v] = rng_.bernoulli(params_.defector_fraction);
+      }
     }
   }
 }
@@ -47,6 +66,12 @@ void AgentBasedSim::step(std::span<const double> x) {
 
   for (std::size_t i = 0; i < decisions_.size(); ++i) {
     auto& region = decisions_[i];
+    // Edge-server outage: the region's fleet gets no fitness signal this
+    // round, so every vehicle holds its decision.
+    if (faults_ != nullptr &&
+        faults_->region_down(round_, static_cast<core::RegionId>(i))) {
+      continue;
+    }
     const std::vector<core::DecisionId> before = region;  // revise vs snapshot
     for (std::size_t v = 0; v < region.size(); ++v) {
       if (defector_[i][v]) continue;
@@ -65,6 +90,7 @@ void AgentBasedSim::step(std::span<const double> x) {
       if (rng_.bernoulli(p_imitate)) region[v] = theirs;
     }
   }
+  ++round_;
 }
 
 core::GameState AgentBasedSim::empirical_state() const {

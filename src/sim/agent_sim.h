@@ -16,6 +16,7 @@
 
 #include "common/rng.h"
 #include "core/game.h"
+#include "faults/fault_model.h"
 
 namespace avcp::sim {
 
@@ -26,15 +27,24 @@ struct AgentSimParams {
   /// Imitation probability = clamp(scale * (q_peer - q_self), 0, 1).
   /// Matches the mean-field step when scale equals the game's step_size.
   double imitation_scale = 1.0;
-  /// Fraction of vehicles that never revise (failure injection; 0 = none).
+  /// Fraction of vehicles that never revise. DEPRECATED shim: failure
+  /// injection now lives in the fault layer — prefer constructing with a
+  /// faults::FaultModel carrying FaultParams::defector_fraction, which
+  /// shares one code path with the system plant. The field keeps working
+  /// (and keeps its historical RNG stream) when no fault model is given;
+  /// passing both is a contract violation.
   double defector_fraction = 0.0;
   std::uint64_t seed = 99;
 };
 
 class AgentBasedSim {
  public:
-  /// `game` must outlive the simulator.
-  AgentBasedSim(const core::MultiRegionGame& game, AgentSimParams params);
+  /// `game` must outlive the simulator. `faults` (optional; must outlive
+  /// the simulator) injects failures: defector vehicles that never revise,
+  /// and region outages during which a region's fleet receives no fitness
+  /// signal and holds its decisions for the round.
+  AgentBasedSim(const core::MultiRegionGame& game, AgentSimParams params,
+                const faults::FaultModel* faults = nullptr);
 
   /// Draws every vehicle's decision i.i.d. from `state`'s per-region
   /// distribution.
@@ -54,6 +64,8 @@ class AgentBasedSim {
  private:
   const core::MultiRegionGame& game_;
   AgentSimParams params_;
+  const faults::FaultModel* faults_;
+  std::size_t round_ = 0;
   Rng rng_;
   /// decisions_[i][v] = decision of vehicle v in region i.
   std::vector<std::vector<core::DecisionId>> decisions_;

@@ -1,5 +1,6 @@
 #include "sim/metrics.h"
 
+#include <cmath>
 #include <ostream>
 #include <string>
 
@@ -32,6 +33,45 @@ void write_ratio_csv(std::ostream& out, const RunResult& result) {
       writer.write_row({std::to_string(t + 1), std::to_string(i),
                         std::to_string(result.x_history[t][i])});
     }
+  }
+}
+
+std::size_t rounds_to_reconverge(std::span<const core::GameState> trajectory,
+                                 const core::DesiredFields& fields,
+                                 std::size_t resume_round, double tol) {
+  for (std::size_t t = resume_round; t < trajectory.size(); ++t) {
+    if (fields.satisfied(trajectory[t], tol)) return t - resume_round;
+  }
+  return kNoReconvergence;
+}
+
+DegradationSummary degradation(std::span<const double> clean,
+                               std::span<const double> faulty) {
+  AVCP_EXPECT(clean.size() == faulty.size());
+  AVCP_EXPECT(!clean.empty());
+  DegradationSummary summary;
+  for (const double v : clean) summary.mean_clean += v;
+  for (const double v : faulty) summary.mean_faulty += v;
+  summary.mean_clean /= static_cast<double>(clean.size());
+  summary.mean_faulty /= static_cast<double>(faulty.size());
+  summary.absolute_drop = summary.mean_clean - summary.mean_faulty;
+  const double scale = std::abs(summary.mean_clean);
+  summary.relative_drop = scale > 1e-12 ? summary.absolute_drop / scale : 0.0;
+  return summary;
+}
+
+void write_fault_series_csv(std::ostream& out,
+                            std::span<const FaultSeriesRow> rows) {
+  CsvWriter writer(out);
+  writer.write_row({"round", "uploads_lost", "deliveries_lost", "regions_down",
+                    "mean_utility", "mean_privacy"});
+  for (const FaultSeriesRow& row : rows) {
+    writer.write_row({std::to_string(row.round),
+                      std::to_string(row.uploads_lost),
+                      std::to_string(row.deliveries_lost),
+                      std::to_string(row.regions_down),
+                      std::to_string(row.mean_utility),
+                      std::to_string(row.mean_privacy)});
   }
 }
 

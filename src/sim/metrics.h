@@ -1,12 +1,17 @@
-// Experiment-series export.
+// Experiment-series export and robustness metrics.
 //
 // Bench binaries print human-readable tables; downstream analysis wants the
 // raw series. These helpers dump simulation results as CSV so any plotting
-// stack can regenerate the paper's figures from our runs.
+// stack can regenerate the paper's figures from our runs. The robustness
+// helpers quantify fault-injection runs: how fast FDS re-converges after an
+// outage and how much realized utility/privacy a fault rate costs.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
+#include <span>
 
+#include "core/fds.h"
 #include "core/game.h"
 #include "sim/runner.h"
 
@@ -24,5 +29,46 @@ void write_ratio_csv(std::ostream& out, const RunResult& result);
 /// Writes one state snapshot:
 ///   region,decision,proportion
 void write_state_csv(std::ostream& out, const core::GameState& state);
+
+/// Sentinel for "never re-converged within the recorded trajectory".
+inline constexpr std::size_t kNoReconvergence = ~std::size_t{0};
+
+/// Rounds-to-reconverge after an outage: the number of rounds past
+/// `resume_round` (the first round with reports/exchange restored) until
+/// `trajectory` first satisfies `fields` again. trajectory[t] is the state
+/// after round t; returns 0 if already satisfied at resume, or
+/// kNoReconvergence if the recorded trajectory never recovers.
+std::size_t rounds_to_reconverge(std::span<const core::GameState> trajectory,
+                                 const core::DesiredFields& fields,
+                                 std::size_t resume_round, double tol = 1e-9);
+
+/// Utility/privacy degradation of a faulty run against its clean twin.
+struct DegradationSummary {
+  double mean_clean = 0.0;
+  double mean_faulty = 0.0;
+  double absolute_drop = 0.0;  // mean_clean - mean_faulty
+  double relative_drop = 0.0;  // absolute_drop / |mean_clean| (0 if ~0)
+};
+
+/// Compares two per-round series of equal length (e.g. mean realized
+/// utility with and without faults, same seed).
+DegradationSummary degradation(std::span<const double> clean,
+                               std::span<const double> faulty);
+
+/// One row of a fault-injection time series (plant loss counters plus the
+/// realized means they degraded).
+struct FaultSeriesRow {
+  std::size_t round = 0;
+  std::size_t uploads_lost = 0;
+  std::size_t deliveries_lost = 0;
+  std::size_t regions_down = 0;
+  double mean_utility = 0.0;
+  double mean_privacy = 0.0;
+};
+
+/// Writes the fault series:
+///   round,uploads_lost,deliveries_lost,regions_down,mean_utility,mean_privacy
+void write_fault_series_csv(std::ostream& out,
+                            std::span<const FaultSeriesRow> rows);
 
 }  // namespace avcp::sim

@@ -33,8 +33,14 @@ perception::DataUniverse make_universe(const core::MultiRegionGame& game,
 
 CooperativePerceptionSystem::CooperativePerceptionSystem(
     const core::MultiRegionGame& game, SystemParams params)
+    : CooperativePerceptionSystem(game, params, nullptr) {}
+
+CooperativePerceptionSystem::CooperativePerceptionSystem(
+    const core::MultiRegionGame& game, SystemParams params,
+    const faults::FaultModel* faults)
     : game_(game),
       params_(params),
+      faults_(faults != nullptr && faults->active() ? faults : nullptr),
       rng_(params.seed),
       universe_(make_universe(game, params.items_per_sensor,
                               params.vehicles_per_region, rng_)) {
@@ -107,6 +113,14 @@ RoundReport CooperativePerceptionSystem::run_round(
   report.mean_utility.resize(game_.num_regions(), 0.0);
   report.mean_privacy.resize(game_.num_regions(), 0.0);
   report.exposed_privacy.resize(game_.num_regions(), 0.0);
+  report.faults.region_down.assign(game_.num_regions(), 0);
+  for (core::RegionId i = 0; i < game_.num_regions(); ++i) {
+    if (faults_ != nullptr && faults_->region_down(round_, i)) {
+      report.faults.region_down[i] = 1;
+      ++report.faults.regions_down;
+      ++fault_counters_.region_outages;
+    }
+  }
 
   // --- S2: per edge server, run the data plane and measure fitness. ------
   const std::size_t exchanges = std::max<std::size_t>(1, params_.exchanges_per_round);
@@ -151,6 +165,25 @@ RoundReport CooperativePerceptionSystem::run_round(
           vehicles[v].collected = sample_items(params_.collect_fraction);
         }
       }
+      // Edge-server outage (fault injection): the region's servers are
+      // down, so no data exchange happens this round. Vehicles fall back
+      // on their own perception — utility is measured on the collection
+      // alone, nothing is uploaded (no privacy cost, no exposure).
+      if (report.faults.region_down[i] != 0) {
+        double util_sum = 0.0;
+        for (std::size_t v = 0; v < fleet.size(); ++v) {
+          double own = 0.0;
+          if (!vehicles[v].desired.empty()) {
+            const perception::UtilityMeasure f(universe_, vehicles[v].desired);
+            own = f(vehicles[v].collected);
+          }
+          util_sum += own;
+          fitness[v] += beta * own;
+        }
+        report.mean_utility[i] += util_sum / static_cast<double>(fleet.size());
+        if (e + 1 == exchanges) last_vehicles[i] = std::move(vehicles);
+        continue;
+      }
       // Data exchange is scoped per Voronoi cell (Fig. 5): vehicles are
       // spread round-robin over this round's cells.
       double util_sum = 0.0;
@@ -164,7 +197,35 @@ RoundReport CooperativePerceptionSystem::run_round(
           cell_index.push_back(v);
         }
         if (cell_vehicles.empty()) continue;
-        const auto outcome = planes_[i].run_round(cell_vehicles, x_[i]);
+        // Resolve this cell's V2X link faults (pure hashes; the system RNG
+        // stream is untouched, keeping the zero-fault path bit-identical).
+        perception::CellFaultMask mask;
+        if (faults_ != nullptr) {
+          const std::size_t cn = cell_vehicles.size();
+          if (faults_->params().upload_loss_rate > 0.0) {
+            mask.upload_lost.resize(cn);
+            for (std::size_t j = 0; j < cn; ++j) {
+              mask.upload_lost[j] =
+                  faults_->upload_lost(round_, i, e, cell_index[j]) ? 1 : 0;
+            }
+          }
+          if (faults_->params().delivery_loss_rate > 0.0) {
+            mask.delivery_lost.resize(cn * cn);
+            for (std::size_t a = 0; a < cn; ++a) {
+              for (std::size_t b = 0; b < cn; ++b) {
+                mask.delivery_lost[a * cn + b] =
+                    faults_->delivery_lost(round_, i, e, cell_index[a],
+                                           cell_index[b])
+                        ? 1
+                        : 0;
+              }
+            }
+          }
+        }
+        const auto outcome =
+            planes_[i].run_round_degraded(cell_vehicles, x_[i], mask);
+        report.faults.uploads_lost += outcome.uploads_lost;
+        report.faults.deliveries_lost += outcome.deliveries_lost;
         exposed_sum += outcome.exposed_privacy;
         for (std::size_t j = 0; j < cell_vehicles.size(); ++j) {
           const std::size_t v = cell_index[j];
@@ -198,8 +259,12 @@ RoundReport CooperativePerceptionSystem::run_round(
   // ratio; gamma scales how many of them this region's vehicles meet.
   if (params_.inter_region_exchange) {
     for (core::RegionId i = 0; i < game_.num_regions(); ++i) {
+      // A region whose edge servers are down this round neither relays
+      // cross-region data to its fleet nor serves as a sender side.
+      if (report.faults.region_down[i] != 0) continue;
       const double beta = game_.region(i).beta;
       for (const auto& [j, gamma] : game_.region(i).neighbors) {
+        if (report.faults.region_down[j] != 0) continue;
         const auto& sender_fleet = last_vehicles[j];
         const auto k = static_cast<std::size_t>(std::min<double>(
             static_cast<double>(sender_fleet.size()),
@@ -252,6 +317,10 @@ RoundReport CooperativePerceptionSystem::run_round(
       }
     }
   }
+
+  fault_counters_.uploads_lost += report.faults.uploads_lost;
+  fault_counters_.deliveries_lost += report.faults.deliveries_lost;
+  ++round_;
 
   report.state = empirical_state();
   return report;

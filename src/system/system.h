@@ -30,6 +30,7 @@
 #include "common/rng.h"
 #include "core/fds.h"
 #include "core/game.h"
+#include "faults/fault_model.h"
 #include "perception/data_plane.h"
 #include "perception/measure.h"
 
@@ -79,6 +80,14 @@ struct RoundReport {
   std::vector<double> mean_privacy;   // realized, per region
   std::vector<double> exposed_privacy;  // eavesdropper view, per region
   core::GameState state;              // decision distribution after revision
+  /// Fault bookkeeping (all zero on the clean path).
+  struct Faults {
+    std::size_t uploads_lost = 0;
+    std::size_t deliveries_lost = 0;
+    /// region_down[i] != 0 iff region i's edge servers skipped this round.
+    std::vector<std::uint8_t> region_down;
+    std::size_t regions_down = 0;
+  } faults;
 };
 
 class CooperativePerceptionSystem {
@@ -88,6 +97,19 @@ class CooperativePerceptionSystem {
   /// universe is generated internally from the lattice's sensor count.
   CooperativePerceptionSystem(const core::MultiRegionGame& game,
                               SystemParams params);
+
+  /// Same, with fault injection: `faults` (may be null; must outlive the
+  /// system) supplies per-round upload/delivery loss and edge-server
+  /// outages to the data path. A null model — or one whose params().any()
+  /// is false — leaves the plant bit-identical to the fault-free overload:
+  /// the fault predicates are pure hashes that never touch the system RNG.
+  /// Report loss is *not* applied here: the observed state handed to the
+  /// controller is always the true empirical state, and a
+  /// faults::DegradedController wrapping the cloud controller (sharing
+  /// this model) decides which region reports it may act on.
+  CooperativePerceptionSystem(const core::MultiRegionGame& game,
+                              SystemParams params,
+                              const faults::FaultModel* faults);
 
   std::size_t num_regions() const noexcept { return game_.num_regions(); }
 
@@ -118,9 +140,20 @@ class CooperativePerceptionSystem {
 
   const std::vector<double>& current_x() const noexcept { return x_; }
 
+  /// Framework rounds executed so far (the fault model's round index).
+  std::size_t round() const noexcept { return round_; }
+
+  /// Cumulative losses over all rounds (all zero on the clean path).
+  const faults::FaultCounters& fault_counters() const noexcept {
+    return fault_counters_;
+  }
+
  private:
   const core::MultiRegionGame& game_;
   SystemParams params_;
+  const faults::FaultModel* faults_;
+  std::size_t round_ = 0;
+  faults::FaultCounters fault_counters_;
   Rng rng_;
   perception::DataUniverse universe_;
   /// decisions_[region][vehicle].
