@@ -1,0 +1,303 @@
+// Byzantine-robustness sweep: adversary strategy x attacker fraction x
+// defence posture on the measured plant, each cell against the same seeded
+// clean twin.
+//
+// The scenario is the closed control loop of the system tests: a 3-region
+// beta-4.0 chain whose share-everything floors are recomputed every round
+// from the pipeline's aggregated density telemetry (density_weighted_fields
+// + FdsController::set_desired). The clean twin routes through a fully
+// armed pipeline over an attacker-free fleet (bit-identical to the bare
+// plant per the system_byzantine tests) so both arms ingest telemetry the
+// same way. Per cell:
+//
+//   ratio_error_tail        mean over tail rounds/regions of |x - x_clean|
+//   observed_error_tail     mean |observed p(P1) - honest truth| (how far
+//                           the cloud's picture is dragged by the lies)
+//   observed_error_all      the same error over the whole run — inflated
+//                           claims distort mostly the transient, before the
+//                           coordinated fixed point masks them
+//   honest_converged_round  first round the *honest* fleet entered the
+//                           desired field for good (kNoReconvergence -> -1)
+//   precision / recall      quarantine flags vs. the adversary's designated
+//                           attacker set at the end of the run
+//   quarantined / rejected  head-count and per-round outlier rejections
+//
+// The vulnerable arm replaces the robust estimators with a trusting mean
+// (no rejection, no enforcement, no scoring) — the pre-PR cloud. Output is
+// one JSON document on stdout:
+//
+//   ./build/bench/bench_byzantine > byzantine.json
+//   ./build/bench/bench_byzantine --smoke   # tiny CI configuration
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "byzantine/adversary_model.h"
+#include "byzantine/report_pipeline.h"
+#include "core/fds.h"
+#include "core/sensor_model.h"
+#include "sim/metrics.h"
+#include "system/system.h"
+
+using namespace avcp;
+
+namespace {
+
+struct BenchConfig {
+  std::size_t rounds = 120;
+  std::size_t tail_rounds = 30;
+  std::size_t vehicles = 100;
+  std::vector<double> fractions = {0.1, 0.2, 0.3};
+  std::vector<byzantine::AttackStrategy> strategies = {
+      byzantine::AttackStrategy::kInflateSharing,
+      byzantine::AttackStrategy::kDensityPoison,
+      byzantine::AttackStrategy::kGammaExaggerate,
+      byzantine::AttackStrategy::kColludingBias,
+      byzantine::AttackStrategy::kFlipFlop,
+  };
+};
+
+BenchConfig smoke_config() {
+  BenchConfig config;
+  config.rounds = 40;
+  config.tail_rounds = 10;
+  config.vehicles = 40;
+  config.fractions = {0.2};
+  config.strategies = {byzantine::AttackStrategy::kInflateSharing,
+                       byzantine::AttackStrategy::kDensityPoison};
+  return config;
+}
+
+constexpr std::size_t kRegions = 3;
+constexpr double kBaseFloor = 0.7;
+constexpr double kFloorSlope = 0.6;
+
+const char* strategy_name(byzantine::AttackStrategy s) {
+  switch (s) {
+    case byzantine::AttackStrategy::kInflateSharing: return "inflate_sharing";
+    case byzantine::AttackStrategy::kDensityPoison: return "density_poison";
+    case byzantine::AttackStrategy::kGammaExaggerate: return "gamma_exaggerate";
+    case byzantine::AttackStrategy::kColludingBias: return "colluding_bias";
+    case byzantine::AttackStrategy::kFlipFlop: return "flip_flop";
+  }
+  return "?";
+}
+
+/// Same plant as bench_faults: betas rich enough that the desired field is
+/// attainable, so the clean loop settles and deviations are attack-caused.
+core::MultiRegionGame make_game() {
+  core::GameConfig config;
+  config.lattice = core::DecisionLattice(3);
+  const auto tables = core::paper_decision_tables(config.lattice);
+  config.utility = tables.utility;
+  config.privacy = tables.privacy;
+  config.step_size = 0.5;
+  std::vector<core::RegionSpec> regions(kRegions);
+  for (std::size_t i = 0; i < regions.size(); ++i) {
+    regions[i].beta = 4.0;
+    regions[i].gamma_self = 1.0;
+    if (i > 0) {
+      regions[i].neighbors.emplace_back(static_cast<core::RegionId>(i - 1),
+                                        0.3);
+    }
+    if (i + 1 < regions.size()) {
+      regions[i].neighbors.emplace_back(static_cast<core::RegionId>(i + 1),
+                                        0.3);
+    }
+  }
+  return core::MultiRegionGame(std::move(config), std::move(regions));
+}
+
+byzantine::PipelineOptions robust_options() {
+  byzantine::PipelineOptions options;
+  options.aggregator.mode = byzantine::AggregationMode::kMedian;
+  options.aggregator.reject_outliers = true;
+  return options;
+}
+
+byzantine::PipelineOptions trusting_options() {
+  byzantine::PipelineOptions options;  // mean mode, no rejection
+  options.enforce_quarantine = false;
+  options.telemetry_weight = 0.0;
+  options.behavior_weight = 0.0;
+  return options;
+}
+
+system::SystemParams plant_params(const BenchConfig& config) {
+  system::SystemParams params;
+  params.vehicles_per_region = config.vehicles;
+  params.seed = 11;
+  return params;
+}
+
+core::DesiredFields initial_fields() {
+  core::DesiredFields fields(kRegions, 8);
+  for (core::RegionId i = 0; i < kRegions; ++i) {
+    fields.set_target(i, 0, Interval{kBaseFloor, 1.0});
+  }
+  return fields;
+}
+
+/// One run of the telemetry-closed loop; x trajectory + honest states out.
+struct RunResult {
+  std::vector<std::vector<double>> x;          // [round][region]
+  std::vector<core::GameState> honest;         // post-revision honest truth
+  std::vector<std::vector<double>> observed0;  // cloud's p(P1) per region
+  std::size_t outliers_rejected = 0;
+  std::size_t quarantined = 0;
+  double precision = 1.0;
+  double recall = 1.0;
+};
+
+RunResult run_loop(const core::MultiRegionGame& game, const BenchConfig& config,
+                   const byzantine::AdversaryModel* adversary,
+                   const byzantine::PipelineOptions& popts) {
+  const auto params = plant_params(config);
+  byzantine::ReportPipeline pipeline(kRegions, 8, params.vehicles_per_region,
+                                     popts);
+  system::CooperativePerceptionSystem plant(game, params, nullptr, adversary,
+                                            &pipeline);
+  plant.init_from(game.uniform_state());
+
+  core::FdsOptions fopts;
+  fopts.max_step = 0.15;
+  core::FdsController controller(game, initial_fields(), fopts);
+
+  RunResult result;
+  result.x.reserve(config.rounds);
+  result.honest.reserve(config.rounds);
+  for (std::size_t t = 0; t < config.rounds; ++t) {
+    const auto report = plant.run_round(controller);
+    controller.set_desired(byzantine::density_weighted_fields(
+        kRegions, 8, report.byzantine.density, kBaseFloor, kFloorSlope));
+    result.x.push_back(report.x);
+    result.honest.push_back(plant.honest_state());
+    std::vector<double> observed(kRegions);
+    for (core::RegionId i = 0; i < kRegions; ++i) {
+      observed[i] = report.byzantine.observed.p[i][0];
+      result.outliers_rejected += report.byzantine.outliers_rejected[i];
+    }
+    result.observed0.push_back(std::move(observed));
+  }
+
+  std::vector<std::uint8_t> truth;
+  std::vector<std::uint8_t> flagged;
+  for (core::RegionId i = 0; i < kRegions; ++i) {
+    for (std::size_t v = 0; v < params.vehicles_per_region; ++v) {
+      const bool bad = adversary != nullptr && adversary->ever_attacks(i, v);
+      const bool q = pipeline.reputation().quarantined(i, v);
+      truth.push_back(bad ? 1 : 0);
+      flagged.push_back(q ? 1 : 0);
+      result.quarantined += q ? 1 : 0;
+    }
+  }
+  const auto stats = sim::detection_stats(truth, flagged);
+  result.precision = stats.precision;
+  result.recall = stats.recall;
+  return result;
+}
+
+struct CellMetrics {
+  double ratio_error_tail = 0.0;
+  double observed_error_tail = 0.0;
+  double observed_error_all = 0.0;
+  long honest_converged_round = -1;
+};
+
+CellMetrics compare(const RunResult& clean, const RunResult& run,
+                    const BenchConfig& config) {
+  CellMetrics m;
+  const std::size_t from = config.rounds - config.tail_rounds;
+  std::size_t n = 0;
+  for (std::size_t t = from; t < config.rounds; ++t) {
+    for (core::RegionId i = 0; i < kRegions; ++i) {
+      m.ratio_error_tail += std::abs(run.x[t][i] - clean.x[t][i]);
+      m.observed_error_tail +=
+          std::abs(run.observed0[t][i] - run.honest[t].p[i][0]);
+      ++n;
+    }
+  }
+  m.ratio_error_tail /= static_cast<double>(n);
+  m.observed_error_tail /= static_cast<double>(n);
+  for (std::size_t t = 0; t < config.rounds; ++t) {
+    for (core::RegionId i = 0; i < kRegions; ++i) {
+      m.observed_error_all +=
+          std::abs(run.observed0[t][i] - run.honest[t].p[i][0]);
+    }
+  }
+  m.observed_error_all /=
+      static_cast<double>(config.rounds * kRegions);
+  const std::size_t converged =
+      sim::rounds_to_reconverge(run.honest, initial_fields(), 0, 1e-9);
+  if (converged != sim::kNoReconvergence) {
+    m.honest_converged_round = static_cast<long>(converged);
+  }
+  return m;
+}
+
+void print_cell(const char* defense, byzantine::AttackStrategy strategy,
+                double fraction, const RunResult& run, const CellMetrics& m,
+                bool last) {
+  std::printf(
+      "    {\"strategy\": \"%s\", \"fraction\": %.2f, \"defense\": \"%s\",\n"
+      "     \"ratio_error_tail\": %.6f, \"observed_error_tail\": %.6f,\n"
+      "     \"observed_error_all\": %.6f,\n"
+      "     \"honest_converged_round\": %ld,\n"
+      "     \"precision\": %.4f, \"recall\": %.4f,\n"
+      "     \"quarantined\": %zu, \"outliers_rejected\": %zu}%s\n",
+      strategy_name(strategy), fraction, defense, m.ratio_error_tail,
+      m.observed_error_tail, m.observed_error_all, m.honest_converged_round,
+      run.precision,
+      run.recall, run.quarantined, run.outliers_rejected, last ? "" : ",");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const BenchConfig config = smoke ? smoke_config() : BenchConfig{};
+  const auto game = make_game();
+
+  const RunResult clean = run_loop(game, config, nullptr, robust_options());
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"bench_byzantine\",\n");
+  std::printf("  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::printf("  \"rounds\": %zu,\n", config.rounds);
+  std::printf("  \"tail_rounds\": %zu,\n", config.tail_rounds);
+  std::printf("  \"vehicles_per_region\": %zu,\n", config.vehicles);
+  std::printf("  \"regions\": %zu,\n", kRegions);
+  std::printf("  \"clean_converged_round\": %ld,\n",
+              compare(clean, clean, config).honest_converged_round);
+  std::printf("  \"sweep\": [\n");
+
+  const std::size_t cells =
+      config.strategies.size() * config.fractions.size() * 2;
+  std::size_t emitted = 0;
+  for (const auto strategy : config.strategies) {
+    for (const double fraction : config.fractions) {
+      byzantine::AdversaryParams aparams;
+      aparams.attacker_fraction = fraction;
+      aparams.strategy = strategy;
+      aparams.seed = 13;
+      if (strategy == byzantine::AttackStrategy::kColludingBias) {
+        aparams.target_region = 0;
+      }
+      const byzantine::AdversaryModel adversary(aparams);
+      for (const bool robust : {false, true}) {
+        const auto popts = robust ? robust_options() : trusting_options();
+        const RunResult run = run_loop(game, config, &adversary, popts);
+        const CellMetrics m = compare(clean, run, config);
+        print_cell(robust ? "robust" : "trusting", strategy, fraction, run, m,
+                   ++emitted == cells);
+      }
+    }
+  }
+  std::printf("  ]\n}\n");
+  return 0;
+}

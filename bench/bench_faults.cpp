@@ -12,7 +12,9 @@
 // document on stdout (pipe to a file for plotting):
 //
 //   ./build/bench/bench_faults > faults.json
+//   ./build/bench/bench_faults --smoke   # tiny CI configuration
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "bench_common.h"
@@ -26,11 +28,11 @@ using namespace avcp;
 
 namespace {
 
-constexpr std::size_t kRounds = 150;
+std::size_t kRounds = 150;
 // Mid-shaping: FDS is still driving the fleet toward the field when the
 // servers go down, so rounds-to-reconverge measures real recovery work.
 constexpr std::size_t kOutageStart = 4;
-constexpr std::size_t kTailRounds = 30;  // tail window for degradation means
+std::size_t kTailRounds = 30;  // tail window for degradation means
 
 /// 3-region chain with betas rich enough that an all-sensors-dominant
 /// desired field is attainable on the measured plant (cf. system tests).
@@ -74,6 +76,10 @@ struct CellResult {
   bool reconverged = false;
   faults::FaultCounters plant_losses;
   std::size_t reports_lost = 0;
+  /// Per-region splits of the plant losses (from RoundReport::Faults), so
+  /// the sweep attributes degradation spatially.
+  std::vector<std::size_t> uploads_lost_by_region;
+  std::vector<std::size_t> deliveries_lost_by_region;
   std::vector<double> utility_tail;
   std::vector<double> privacy_tail;
 };
@@ -110,10 +116,17 @@ CellResult run_cell(const core::MultiRegionGame& game, double loss_rate,
   degraded_options.staleness_budget = 2;
   faults::DegradedController controller(fds, model, degraded_options);
 
+  result.uploads_lost_by_region.assign(game.num_regions(), 0);
+  result.deliveries_lost_by_region.assign(game.num_regions(), 0);
   std::vector<core::GameState> trajectory;
   trajectory.reserve(kRounds);
   for (std::size_t t = 0; t < kRounds; ++t) {
     const auto report = plant.run_round(controller);
+    for (core::RegionId i = 0; i < game.num_regions(); ++i) {
+      result.uploads_lost_by_region[i] += report.faults.uploads_lost_by_region[i];
+      result.deliveries_lost_by_region[i] +=
+          report.faults.deliveries_lost_by_region[i];
+    }
     trajectory.push_back(report.state);
     if (t + 1 == kOutageStart && fields.satisfied(report.state, 1e-9)) {
       result.converged_before_outage = true;
@@ -141,6 +154,15 @@ CellResult run_cell(const core::MultiRegionGame& game, double loss_rate,
   return result;
 }
 
+void print_size_array(const char* key, const std::vector<std::size_t>& values,
+                      const char* suffix) {
+  std::printf("     \"%s\": [", key);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    std::printf("%zu%s", values[i], i + 1 < values.size() ? ", " : "");
+  }
+  std::printf("]%s\n", suffix);
+}
+
 void print_cell_json(const CellResult& cell, const CellResult& baseline,
                      bool last) {
   const auto utility =
@@ -152,36 +174,50 @@ void print_cell_json(const CellResult& cell, const CellResult& baseline,
       "     \"first_converged_round\": %zu,\n"
       "     \"converged_before_outage\": %s, \"reconverged\": %s,\n"
       "     \"rounds_to_reconverge\": %zu,\n"
-      "     \"uploads_lost\": %zu, \"deliveries_lost\": %zu,\n"
-      "     \"region_outages\": %zu, \"reports_lost\": %zu,\n"
-      "     \"mean_utility_tail\": %.4f, \"utility_drop_rel\": %.4f,\n"
-      "     \"mean_privacy_tail\": %.4f, \"privacy_drop_rel\": %.4f}%s\n",
+      "     \"uploads_lost\": %zu, \"deliveries_lost\": %zu,\n",
       cell.loss_rate, cell.outage_duration, cell.first_converged_round,
       cell.converged_before_outage ? "true" : "false",
       cell.reconverged ? "true" : "false", cell.rounds_to_reconverge,
-      cell.plant_losses.uploads_lost, cell.plant_losses.deliveries_lost,
-      cell.plant_losses.region_outages, cell.reports_lost,
-      utility.mean_faulty, utility.relative_drop, privacy.mean_faulty,
-      privacy.relative_drop, last ? "" : ",");
+      cell.plant_losses.uploads_lost, cell.plant_losses.deliveries_lost);
+  print_size_array("uploads_lost_by_region", cell.uploads_lost_by_region, ",");
+  print_size_array("deliveries_lost_by_region", cell.deliveries_lost_by_region,
+                   ",");
+  std::printf(
+      "     \"region_outages\": %zu, \"reports_lost\": %zu,\n"
+      "     \"mean_utility_tail\": %.4f, \"utility_drop_rel\": %.4f,\n"
+      "     \"mean_privacy_tail\": %.4f, \"privacy_drop_rel\": %.4f}%s\n",
+      cell.plant_losses.region_outages, cell.reports_lost, utility.mean_faulty,
+      utility.relative_drop, privacy.mean_faulty, privacy.relative_drop,
+      last ? "" : ",");
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
   const auto game = make_game();
-  const double loss_rates[] = {0.0, 0.1, 0.3};
-  const std::size_t durations[] = {0, 10, 25};
+  std::vector<double> loss_rates = {0.0, 0.1, 0.3};
+  std::vector<std::size_t> durations = {0, 10, 25};
+  if (smoke) {
+    kRounds = 40;
+    kTailRounds = 10;
+    loss_rates = {0.0, 0.3};
+    durations = {0, 10};
+  }
 
   const CellResult baseline = run_cell(game, 0.0, 0);
 
   std::printf("{\n");
   std::printf("  \"bench\": \"bench_faults\",\n");
+  std::printf("  \"smoke\": %s,\n", smoke ? "true" : "false");
   std::printf("  \"rounds\": %zu,\n", kRounds);
   std::printf("  \"outage_start\": %zu,\n", kOutageStart);
   std::printf("  \"tail_rounds\": %zu,\n", kTailRounds);
   std::printf("  \"sweep\": [\n");
-  std::size_t cells = sizeof(loss_rates) / sizeof(loss_rates[0]) *
-                      (sizeof(durations) / sizeof(durations[0]));
+  const std::size_t cells = loss_rates.size() * durations.size();
   std::size_t emitted = 0;
   for (const double loss : loss_rates) {
     for (const std::size_t duration : durations) {

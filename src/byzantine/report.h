@@ -1,0 +1,32 @@
+// Per-vehicle telemetry reports (framework step S1, hardened).
+//
+// The paper's S1 report carries only the vehicle's data-sharing decision;
+// the cloud trusts it implicitly. A production control plane also ships the
+// telemetry channels the cloud's model consumes — the region utility
+// coefficient beta, the sharing frequency gamma, and the local traffic
+// density that shapes the desired fields — and none of them can be trusted
+// either: a single vehicle that falsifies its report can steer a region's
+// desired field arbitrarily. VehicleReport is the unit the Byzantine-robust
+// ingestion path (robust_aggregator.h, report_pipeline.h) aggregates and
+// the AdversaryModel corrupts.
+#pragma once
+
+#include "core/lattice.h"
+
+namespace avcp::byzantine {
+
+/// What one vehicle tells its edge server (and, through it, the cloud)
+/// each round. Honest vehicles report ground truth; adversarial vehicles
+/// falsify any subset of the channels (adversary_model.h).
+struct VehicleReport {
+  /// Claimed data-sharing decision (the S1 channel of the paper).
+  core::DecisionId decision = 0;
+  /// Claimed region utility coefficient beta_i.
+  double beta = 0.0;
+  /// Claimed sharing frequency (the vehicle's view of gamma).
+  double gamma = 0.0;
+  /// Claimed local traffic density (vehicles observed nearby).
+  double density = 0.0;
+};
+
+}  // namespace avcp::byzantine

@@ -1,0 +1,191 @@
+#include "byzantine/report_pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.h"
+
+namespace avcp::byzantine {
+
+ReportPipeline::ReportPipeline(std::size_t num_regions,
+                               std::size_t num_decisions,
+                               std::size_t vehicles_per_region,
+                               PipelineOptions options)
+    : options_(options),
+      aggregator_(options.aggregator),
+      reputation_(num_regions, vehicles_per_region, options.reputation),
+      num_decisions_(num_decisions),
+      vehicles_per_region_(vehicles_per_region) {
+  AVCP_EXPECT(num_decisions >= 2);
+  AVCP_EXPECT(options_.telemetry_weight >= 0.0);
+  AVCP_EXPECT(options_.behavior_weight >= 0.0);
+  claims_.assign(num_regions,
+                 std::vector<core::DecisionId>(vehicles_per_region, 0));
+}
+
+bool ReportPipeline::excluded(core::RegionId region,
+                              std::size_t vehicle) const {
+  return options_.enforce_quarantine && reputation_.quarantined(region, vehicle);
+}
+
+RegionObservation ReportPipeline::aggregate(
+    std::size_t round, core::RegionId region,
+    std::span<const VehicleReport> reports) {
+  (void)round;
+  AVCP_EXPECT(region < claims_.size());
+  AVCP_EXPECT(reports.size() == vehicles_per_region_);
+
+  RegionObservation obs;
+  obs.quarantined = reputation_.quarantined_in(region);
+
+  // Remember the claims for observe_uploads' cohort grouping.
+  auto& claims = claims_[region];
+  for (std::size_t v = 0; v < reports.size(); ++v) {
+    AVCP_EXPECT(reports[v].decision < num_decisions_);
+    claims[v] = reports[v].decision;
+  }
+
+  // Trusted sub-sample: everything not quarantined (or everything, when
+  // enforcement is off). Residual centers come from this sample so a
+  // quarantined liar cannot keep dragging the median.
+  std::vector<std::size_t> trusted;
+  trusted.reserve(reports.size());
+  for (std::size_t v = 0; v < reports.size(); ++v) {
+    if (!excluded(region, v)) trusted.push_back(v);
+  }
+
+  const auto channel = [&reports](const std::vector<std::size_t>& index,
+                                  double VehicleReport::* field) {
+    std::vector<double> values(index.size());
+    for (std::size_t j = 0; j < index.size(); ++j) {
+      values[j] = reports[index[j]].*field;
+    }
+    return values;
+  };
+
+  // Per-round outlier rejection on the trusted sample, plus reputation
+  // scoring: the residual of every vehicle (trusted or quarantined, the
+  // latter against the trusted centers so it can rehabilitate). Only
+  // residuals past the rejection threshold accrue reputation — honest
+  // measurement noise must not.
+  std::vector<std::uint8_t> rejected(reports.size(), 0);
+  const double weight = options_.telemetry_weight;
+  if ((options_.aggregator.reject_outliers || weight > 0.0) &&
+      !trusted.empty()) {
+    for (const auto field : {&VehicleReport::beta, &VehicleReport::gamma,
+                             &VehicleReport::density}) {
+      const std::vector<double> values = channel(trusted, field);
+      const double center = RobustAggregator::median(values);
+      const double scale = std::max(
+          RobustAggregator::mad(values, center),
+          options_.aggregator.mad_floor_rel * std::max(1.0, std::abs(center)));
+      for (std::size_t v = 0; v < reports.size(); ++v) {
+        const double score = std::abs(reports[v].*field - center) / scale;
+        if (aggregator_.is_outlier(score) && !excluded(region, v)) {
+          rejected[v] = 1;
+        }
+        if (weight > 0.0 && score > options_.aggregator.mad_threshold) {
+          reputation_.observe(region, v, weight * score);
+        }
+      }
+    }
+  }
+
+  // Decision histogram: filtered mean over surviving reports, with the
+  // exact summation order and divisor of the pre-existing trusting mean so
+  // the passthrough configuration is bit-identical.
+  obs.p.assign(num_decisions_, 0.0);
+  std::size_t used = 0;
+  for (std::size_t v = 0; v < reports.size(); ++v) {
+    if (excluded(region, v)) continue;
+    if (rejected[v] != 0) {
+      ++obs.outliers_rejected;
+      continue;
+    }
+    obs.p[reports[v].decision] += 1.0;
+    ++used;
+  }
+  obs.reports_used = used;
+  if (used == 0) {
+    // Every report excluded: fall back to the uninformative uniform row
+    // rather than a zero vector (the controller requires a distribution).
+    obs.p.assign(num_decisions_, 1.0 / static_cast<double>(num_decisions_));
+  } else {
+    for (double& value : obs.p) value /= static_cast<double>(used);
+  }
+
+  // Telemetry channels under the configured robust location mode, over the
+  // surviving trusted sample.
+  std::vector<std::size_t> surviving;
+  surviving.reserve(trusted.size());
+  for (const std::size_t v : trusted) {
+    if (rejected[v] == 0) surviving.push_back(v);
+  }
+  const auto& sample = surviving.empty() ? trusted : surviving;
+  obs.beta = aggregator_.aggregate(channel(sample, &VehicleReport::beta));
+  obs.gamma = aggregator_.aggregate(channel(sample, &VehicleReport::gamma));
+  obs.density =
+      aggregator_.aggregate(channel(sample, &VehicleReport::density));
+  return obs;
+}
+
+void ReportPipeline::observe_uploads(core::RegionId region,
+                                     std::span<const double> upload_mass) {
+  AVCP_EXPECT(region < claims_.size());
+  AVCP_EXPECT(upload_mass.size() == vehicles_per_region_);
+  if (options_.behavior_weight <= 0.0) return;
+
+  // Only the share-everything cohort (claim 0) is audited. A claim-0
+  // vehicle uploads its whole collection, so an honest member shows zero
+  // mass only on the rare round it collected nothing at all — whereas a
+  // partial-sharing cohort has an inherently high honest zero rate (a
+  // single-sensor decision often meets a collection with no item of that
+  // sensor), far too noisy for the EWMA threshold to separate. Nothing is
+  // lost: every free-riding strategy claims 0 to win full lattice access.
+  // The trusted baseline excludes quarantined vehicles, but the penalty
+  // loop does not — uploads of quarantined vehicles are still accepted
+  // (impounded) by the plant, so a persistent free-rider keeps refreshing
+  // its penalty in quarantine while a falsely-flagged honest vehicle's
+  // positive mass lets its score decay and rehabilitate. Continuous
+  // under-uploading is deliberately not scored: collections are too
+  // dispersed for a deficit ratio to separate honest sparse rounds from
+  // partial withholding.
+  std::vector<double> cohort;
+  for (std::size_t v = 0; v < upload_mass.size(); ++v) {
+    if (excluded(region, v)) continue;
+    if (claims_[region][v] == 0) cohort.push_back(upload_mass[v]);
+  }
+  if (cohort.size() < options_.min_cohort) return;
+  if (RobustAggregator::median(cohort) <= 0.0) return;
+  for (std::size_t v = 0; v < upload_mass.size(); ++v) {
+    if (claims_[region][v] != 0) continue;
+    if (upload_mass[v] <= 1e-12) {
+      reputation_.observe(region, v,
+                          options_.behavior_weight * kZeroUploadPenalty);
+    }
+  }
+}
+
+void ReportPipeline::end_round(std::size_t round) {
+  reputation_.end_round(round);
+}
+
+core::DesiredFields density_weighted_fields(std::size_t num_regions,
+                                            std::size_t num_decisions,
+                                            std::span<const double> density,
+                                            double base_floor, double slope) {
+  AVCP_EXPECT(density.size() == num_regions);
+  AVCP_EXPECT(base_floor >= 0.0 && base_floor <= 1.0);
+  const double med = RobustAggregator::median(
+      std::vector<double>(density.begin(), density.end()));
+  core::DesiredFields fields(num_regions, num_decisions);
+  for (core::RegionId i = 0; i < num_regions; ++i) {
+    const double relative = med > 0.0 ? density[i] / med : 1.0;
+    const double floor =
+        std::clamp(base_floor + slope * (relative - 1.0), 0.05, 0.95);
+    fields.set_target(i, 0, Interval{floor, 1.0});
+  }
+  return fields;
+}
+
+}  // namespace avcp::byzantine

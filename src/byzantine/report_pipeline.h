@@ -1,0 +1,139 @@
+// Byzantine-robust report ingestion for the cloud control plane.
+//
+// ReportPipeline is the stateful path between the raw per-vehicle S1
+// reports and the per-region observation the controller acts on. Per round
+// and region it:
+//
+//   1. drops reports of quarantined vehicles (when enforcement is on);
+//   2. scores every report's telemetry channels (beta / gamma / density)
+//      against the trusted cohort's median via MAD-normalised residuals
+//      (robust_aggregator.h) and feeds the residuals into the reputation
+//      layer;
+//   3. rejects per-round outliers and aggregates the surviving reports:
+//      the decision histogram as a filtered mean (one-hot claims admit no
+//      coordinate-wise median), the telemetry channels under the
+//      configured robust location mode;
+//   4. after the exchange phase, scores the behavioural channel over the
+//      share-everything cohort: a vehicle claiming decision 0, when the
+//      cohort demonstrably uploads (positive median privacy mass), should
+//      upload *something* — an inflate-sharing free-rider that claims
+//      share-everything but uploads nothing refreshes a fixed penalty
+//      every round and accumulates into quarantine even though each
+//      individual report looks plausible. Partial-sharing cohorts are not
+//      audited: their honest zero-upload rate is too high (a sparse
+//      collection often carries none of the claimed sensors' items).
+//
+// With RobustOptions::passthrough() and enforcement off, the pipeline's
+// observed histogram is bit-identical to the pre-existing trusting mean
+// (same summation order, same divisor), so a seeded clean run is
+// unperturbed by routing its reports through the pipeline.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "byzantine/report.h"
+#include "byzantine/reputation.h"
+#include "byzantine/robust_aggregator.h"
+#include "core/fds.h"
+#include "core/game.h"
+
+namespace avcp::byzantine {
+
+struct PipelineOptions {
+  RobustOptions aggregator;
+  ReputationParams reputation;
+  /// Exclude quarantined vehicles' reports from the aggregates (the plant
+  /// additionally revokes their lattice access). Off = observe-only
+  /// reputation: scores and events accrue but nothing is filtered.
+  bool enforce_quarantine = true;
+  /// Relative weight of the telemetry residuals in the per-round score.
+  double telemetry_weight = 1.0;
+  /// Relative weight of the zero-upload behavioural penalty.
+  double behavior_weight = 1.0;
+  /// Minimum share-everything cohort size for the behavioural check;
+  /// below it there is no reliable baseline and the channel is skipped.
+  std::size_t min_cohort = 4;
+};
+
+/// Raw per-round score for a vehicle that uploads nothing while its
+/// same-claim cohort's median upload mass is positive. Sized so a
+/// persistent free-rider's EWMA clears the default quarantine threshold
+/// within a few rounds while an honest vehicle's occasional empty round
+/// (no data collected) decays away.
+inline constexpr double kZeroUploadPenalty = 3.0;
+
+/// One region's aggregated observation for the controller.
+struct RegionObservation {
+  /// Aggregated decision distribution (sums to 1; uniform fallback when
+  /// every report was excluded).
+  std::vector<double> p;
+  double beta = 0.0;
+  double gamma = 0.0;
+  double density = 0.0;
+  /// Reports that survived quarantine + outlier filtering.
+  std::size_t reports_used = 0;
+  std::size_t outliers_rejected = 0;
+  /// Vehicles currently quarantined in the region.
+  std::size_t quarantined = 0;
+};
+
+class ReportPipeline {
+ public:
+  ReportPipeline(std::size_t num_regions, std::size_t num_decisions,
+                 std::size_t vehicles_per_region,
+                 PipelineOptions options = {});
+
+  const PipelineOptions& options() const noexcept { return options_; }
+
+  /// Step S1: folds the region's reports into the observation handed to
+  /// the controller; scores telemetry residuals into the reputation layer
+  /// and remembers the claims for this round's behavioural check.
+  /// reports[v] is vehicle v's report; the span must cover the region's
+  /// whole fleet.
+  RegionObservation aggregate(std::size_t round, core::RegionId region,
+                              std::span<const VehicleReport> reports);
+
+  /// End of step S2: `upload_mass[v]` is the privacy mass vehicle v
+  /// actually uploaded this round. Applies the zero-upload penalty against
+  /// the same-claim cohort median.
+  void observe_uploads(core::RegionId region,
+                       std::span<const double> upload_mass);
+
+  /// Folds the round into the reputation layer (decay + transitions).
+  void end_round(std::size_t round);
+
+  /// True if the vehicle's report and lattice access should be excluded
+  /// this round (quarantined and enforcement on).
+  bool excluded(core::RegionId region, std::size_t vehicle) const;
+
+  const ReputationTracker& reputation() const noexcept { return reputation_; }
+  ReputationTracker& reputation() noexcept { return reputation_; }
+  const RobustAggregator& aggregator() const noexcept { return aggregator_; }
+
+ private:
+  PipelineOptions options_;
+  RobustAggregator aggregator_;
+  ReputationTracker reputation_;
+  std::size_t num_decisions_;
+  std::size_t vehicles_per_region_;
+  /// claims_[region][vehicle]: this round's claimed decision (S1), for the
+  /// behavioural cohort grouping in observe_uploads.
+  std::vector<std::vector<core::DecisionId>> claims_;
+};
+
+/// Desired-field input from telemetry: every region's share-everything
+/// decision (lattice index 0) gets a floor that scales with its reported
+/// density relative to the median region —
+///   floor_i = clamp(base_floor + slope * (density_i / median - 1),
+///                   0.05, 0.95),
+/// target_i = [floor_i, 1]. Dense regions are asked to share more. This is
+/// the channel a density-poisoning attacker steers when densities come
+/// from a trusting mean; fed from a robust aggregate the field stays put.
+core::DesiredFields density_weighted_fields(std::size_t num_regions,
+                                            std::size_t num_decisions,
+                                            std::span<const double> density,
+                                            double base_floor, double slope);
+
+}  // namespace avcp::byzantine

@@ -1,0 +1,100 @@
+#include "byzantine/reputation.h"
+
+#include <algorithm>
+
+#include "common/contracts.h"
+
+namespace avcp::byzantine {
+
+ReputationTracker::ReputationTracker(std::size_t num_regions,
+                                     std::size_t vehicles_per_region,
+                                     ReputationParams params)
+    : params_(params), vehicles_per_region_(vehicles_per_region) {
+  AVCP_EXPECT(num_regions >= 1);
+  AVCP_EXPECT(vehicles_per_region >= 1);
+  AVCP_EXPECT(params_.decay >= 0.0 && params_.decay < 1.0);
+  AVCP_EXPECT(params_.quarantine_threshold > 0.0);
+  AVCP_EXPECT(params_.rehab_threshold >= 0.0 &&
+              params_.rehab_threshold < params_.quarantine_threshold);
+  AVCP_EXPECT(params_.score_cap > 0.0);
+  cells_.assign(num_regions, std::vector<Cell>(vehicles_per_region));
+}
+
+ReputationTracker::Cell& ReputationTracker::cell(core::RegionId region,
+                                                 std::size_t vehicle) {
+  AVCP_EXPECT(region < cells_.size());
+  AVCP_EXPECT(vehicle < vehicles_per_region_);
+  return cells_[region][vehicle];
+}
+
+const ReputationTracker::Cell& ReputationTracker::cell(
+    core::RegionId region, std::size_t vehicle) const {
+  AVCP_EXPECT(region < cells_.size());
+  AVCP_EXPECT(vehicle < vehicles_per_region_);
+  return cells_[region][vehicle];
+}
+
+void ReputationTracker::observe(core::RegionId region, std::size_t vehicle,
+                                double score) {
+  AVCP_EXPECT(score >= 0.0);
+  cell(region, vehicle).pending += score;
+}
+
+void ReputationTracker::end_round(std::size_t round) {
+  for (core::RegionId i = 0; i < cells_.size(); ++i) {
+    for (std::size_t v = 0; v < cells_[i].size(); ++v) {
+      Cell& c = cells_[i][v];
+      const double raw = std::min(c.pending, params_.score_cap);
+      c.pending = 0.0;
+      c.smoothed = params_.decay * c.smoothed + (1.0 - params_.decay) * raw;
+      if (!c.quarantined) {
+        if (rounds_ + 1 >= params_.min_rounds &&
+            c.smoothed > params_.quarantine_threshold) {
+          c.quarantined = true;
+          c.clean_streak = 0;
+          events_.push_back({round, i, v, true});
+        }
+        continue;
+      }
+      if (c.smoothed < params_.rehab_threshold) {
+        if (++c.clean_streak >= params_.rehab_rounds) {
+          c.quarantined = false;
+          c.clean_streak = 0;
+          events_.push_back({round, i, v, false});
+        }
+      } else {
+        c.clean_streak = 0;
+      }
+    }
+  }
+  ++rounds_;
+}
+
+bool ReputationTracker::quarantined(core::RegionId region,
+                                    std::size_t vehicle) const {
+  return cell(region, vehicle).quarantined;
+}
+
+double ReputationTracker::score(core::RegionId region,
+                                std::size_t vehicle) const {
+  return cell(region, vehicle).smoothed;
+}
+
+std::size_t ReputationTracker::quarantined_in(core::RegionId region) const {
+  AVCP_EXPECT(region < cells_.size());
+  std::size_t count = 0;
+  for (const Cell& c : cells_[region]) {
+    if (c.quarantined) ++count;
+  }
+  return count;
+}
+
+std::size_t ReputationTracker::total_quarantined() const {
+  std::size_t count = 0;
+  for (core::RegionId i = 0; i < cells_.size(); ++i) {
+    count += quarantined_in(i);
+  }
+  return count;
+}
+
+}  // namespace avcp::byzantine

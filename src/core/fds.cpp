@@ -76,6 +76,12 @@ FdsController::FdsController(const MultiRegionGame& game,
   AVCP_EXPECT(options_.max_step > 0.0);
 }
 
+void FdsController::set_desired(DesiredFields desired) {
+  AVCP_EXPECT(desired.num_regions() == game_.num_regions());
+  AVCP_EXPECT(desired.num_decisions() == game_.num_decisions());
+  desired_ = std::move(desired);
+}
+
 IntervalSet FdsController::decision_feasible_set(const GameState& state,
                                                  std::span<const double> x_prev,
                                                  RegionId i,

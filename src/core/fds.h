@@ -120,6 +120,13 @@ class FdsController final : public Controller {
 
   const DesiredFields& desired() const noexcept { return desired_; }
 
+  /// Replaces the desired fields mid-run (same region/decision dimensions).
+  /// The cloud recomputes targets from telemetry — e.g. density-weighted
+  /// floors (byzantine::density_weighted_fields) — between rounds; the
+  /// controller itself is stateless across next_x calls, so swapping the
+  /// fields is the whole update.
+  void set_desired(DesiredFields desired);
+
  private:
   const MultiRegionGame& game_;
   DesiredFields desired_;

@@ -1,6 +1,7 @@
 #include "faults/degraded_controller.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/contracts.h"
 
@@ -54,8 +55,13 @@ std::vector<double> DegradedController::next_x(
   for (core::RegionId i = 0; i < m; ++i) {
     const double xi = std::clamp(x_prev[i], 0.0, 1.0);
     if (!degraded_[i]) {
-      const double delta = std::clamp(x_inner[i] - xi, -options_.max_step,
-                                      options_.max_step);
+      // A non-finite inner ratio (a buggy or poisoned inner controller) is
+      // treated as no update: the wrapper's safety contract is that the
+      // applied ratio is always a valid ratio, so hold the last good one
+      // rather than propagate NaN into the plant.
+      const double target = std::isfinite(x_inner[i]) ? x_inner[i] : xi;
+      const double delta =
+          std::clamp(target - xi, -options_.max_step, options_.max_step);
       x_next[i] = std::clamp(xi + delta, 0.0, 1.0);
       continue;
     }

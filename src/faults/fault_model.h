@@ -58,8 +58,8 @@ struct FaultParams {
   /// (random outages, on top of any scheduled windows).
   double outage_rate = 0.0;
   /// Fraction of vehicles that never revise their decision (stuck or
-  /// Byzantine-silent agents; the migration target of the old
-  /// AgentSimParams::defector_fraction knob).
+  /// silent agents). Strategic misbehaviour — vehicles that *lie* rather
+  /// than stall — lives in byzantine::AdversaryModel.
   double defector_fraction = 0.0;
   /// Deterministic outage windows, e.g. "all edge servers down for rounds
   /// 30..39".

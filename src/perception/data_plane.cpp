@@ -53,13 +53,14 @@ EdgeServerDataPlane::DirectionalOutcome EdgeServerDataPlane::run_directional(
   outcome.marginal_utility.resize(receivers.size(), 0.0);
   for (std::size_t a = 0; a < receivers.size(); ++a) {
     const Vehicle& receiver = receivers[a];
+    if (receiver.revoked) continue;
     AVCP_EXPECT(is_sorted_unique(receiver.collected));
     ItemSet received;
     for (std::size_t b = 0; b < senders.size(); ++b) {
       const bool readable =
           access_ == core::AccessRule::kSubsetOrEqual
-              ? lattice_.preceq(receiver.decision, senders[b].decision)
-              : lattice_.precedes(receiver.decision, senders[b].decision);
+              ? lattice_.preceq(receiver.claimed(), senders[b].claimed())
+              : lattice_.precedes(receiver.claimed(), senders[b].claimed());
       if (!readable) continue;
       if (!rng_.bernoulli(sharing_ratio)) continue;
       outcome.deliveries += uploads[b].size();
@@ -100,6 +101,15 @@ RoundOutcome EdgeServerDataPlane::run_round_degraded(
   // Upload phase (framework step 4): decision-filtered collected data. A
   // lost upload never reaches the server: it shrinks the pool, is invisible
   // to the eavesdropper, and costs its vehicle no privacy.
+  // A quarantined vehicle's upload is accepted, exposed, and redistributed
+  // like any other: items are raw sensor readings the server can verify,
+  // while quarantine distrusts the vehicle's self-declared *report* and
+  // punishes it on the receive side only. Impounding the uploads too would
+  // let a telemetry liar's (perfectly good) data vanish from the pool —
+  // at high attacker fractions that starves honest receivers and collapses
+  // the sharing equilibrium the controller is holding. Keeping the upload
+  // also keeps its mass observable to the behavioural audit, so a falsely
+  // flagged honest vehicle can rehabilitate.
   std::vector<ItemSet> uploads(n);
   ItemSet server_view;
   for (std::size_t a = 0; a < n; ++a) {
@@ -122,13 +132,28 @@ RoundOutcome EdgeServerDataPlane::run_round_degraded(
   for (std::size_t a = 0; a < n; ++a) {
     // Gather all accepted uploads first, then sort/deduplicate once — a
     // per-sender set_union would make large cells quadratic in fleet size.
+    // Access control runs on *claimed* decisions: the server cannot verify
+    // what a vehicle withholds, only what it declares. A quarantined
+    // receiver is served nothing (and consumes no distribution draws;
+    // revocation only ever happens on the already-perturbed Byzantine
+    // path, so the clean path's RNG stream is untouched).
     ItemSet received = set_union(vehicles[a].collected, server_items);
+    if (vehicles[a].revoked) {
+      std::sort(received.begin(), received.end());
+      received.erase(std::unique(received.begin(), received.end()),
+                     received.end());
+      if (!vehicles[a].desired.empty()) {
+        const UtilityMeasure f(universe_, vehicles[a].desired);
+        outcome.utility[a] = f(received);
+      }
+      continue;
+    }
     for (std::size_t b = 0; b < n; ++b) {
       if (a == b) continue;
       if (!((access_ == core::AccessRule::kSubsetOrEqual &&
-             lattice_.preceq(vehicles[a].decision, vehicles[b].decision)) ||
+             lattice_.preceq(vehicles[a].claimed(), vehicles[b].claimed())) ||
             (access_ == core::AccessRule::kStrictSubset &&
-             lattice_.precedes(vehicles[a].decision, vehicles[b].decision)))) {
+             lattice_.precedes(vehicles[a].claimed(), vehicles[b].claimed())))) {
         continue;
       }
       if (!rng_.bernoulli(sharing_ratio)) continue;

@@ -22,9 +22,32 @@ namespace avcp::perception {
 
 /// A participating vehicle within one edge-server cell.
 struct Vehicle {
+  /// Sentinel for `claim`: the vehicle claims its true decision.
+  static constexpr core::DecisionId kClaimFollowsDecision = ~core::DecisionId{0};
+
+  /// The decision the vehicle actually executes: it filters what the
+  /// vehicle uploads (shared_items).
   core::DecisionId decision = 0;
+  /// The decision the vehicle *claims* toward the server. Lattice access
+  /// control runs on claims — the server cannot see inside a vehicle — so
+  /// a Byzantine free-rider claims share-everything (earning access to the
+  /// whole pool) while its true decision uploads nothing. Honest vehicles
+  /// leave the sentinel in place.
+  core::DecisionId claim = kClaimFollowsDecision;
+  /// Quarantined by the control plane: served nothing in the distribution
+  /// phase, its *reports* distrusted upstream — but its uploads are
+  /// accepted, exposed, and redistributed like any other (items are
+  /// verifiable sensor data; impounding them would only starve honest
+  /// receivers — see run_round_degraded). The vehicle keeps paying
+  /// privacy cost, and its realized upload mass stays observable to the
+  /// behavioural audit, so a falsely flagged vehicle can rehabilitate.
+  bool revoked = false;
   ItemSet collected;  // S_a
   ItemSet desired;    // D_a
+
+  core::DecisionId claimed() const noexcept {
+    return claim == kClaimFollowsDecision ? decision : claim;
+  }
 };
 
 /// Result of one data-sharing round in one cell.

@@ -8,37 +8,27 @@ namespace avcp::sim {
 
 AgentBasedSim::AgentBasedSim(const core::MultiRegionGame& game,
                              AgentSimParams params,
-                             const faults::FaultModel* faults)
+                             const faults::FaultModel* faults,
+                             const byzantine::AdversaryModel* adversary)
     : game_(game),
       params_(params),
       faults_(faults != nullptr && faults->active() ? faults : nullptr),
+      adversary_(adversary != nullptr && adversary->active() ? adversary
+                                                             : nullptr),
       rng_(params.seed) {
   AVCP_EXPECT(params_.vehicles_per_region >= 2);
   AVCP_EXPECT(params_.revision_rate >= 0.0 && params_.revision_rate <= 1.0);
   AVCP_EXPECT(params_.imitation_scale > 0.0);
-  AVCP_EXPECT(params_.defector_fraction >= 0.0 &&
-              params_.defector_fraction <= 1.0);
-  // Defectors come from one source: either the legacy params knob or the
-  // fault layer, never both (the shim exists only for old call sites).
-  AVCP_EXPECT(faults_ == nullptr || params_.defector_fraction == 0.0);
   decisions_.assign(game.num_regions(),
                     std::vector<core::DecisionId>(params_.vehicles_per_region, 0));
   defector_.assign(game.num_regions(),
                    std::vector<bool>(params_.vehicles_per_region, false));
   if (faults_ != nullptr) {
     // Fault-layer defectors: a pure hash of (seed, region, vehicle), the
-    // same schedule any other consumer of this model sees. The legacy
-    // branch below keeps its historical draws so seeded runs without a
-    // model reproduce bit-for-bit.
+    // same schedule any other consumer of this model sees.
     for (core::RegionId i = 0; i < game.num_regions(); ++i) {
       for (std::size_t v = 0; v < defector_[i].size(); ++v) {
         defector_[i][v] = faults_->vehicle_defects(i, v);
-      }
-    }
-  } else {
-    for (auto& region : defector_) {
-      for (std::size_t v = 0; v < region.size(); ++v) {
-        region[v] = rng_.bernoulli(params_.defector_fraction);
       }
     }
   }
@@ -75,6 +65,15 @@ void AgentBasedSim::step(std::span<const double> x) {
     const std::vector<core::DecisionId> before = region;  // revise vs snapshot
     for (std::size_t v = 0; v < region.size(); ++v) {
       if (defector_[i][v]) continue;
+      // A vehicle attacking this round holds its decision strategically,
+      // like a defector — but additionally lies in reported_state().
+      // Designated vehicles outside their strategy's scope (colluders in
+      // non-target regions, flip-floppers in honest half-cycles) revise
+      // honestly.
+      if (adversary_ != nullptr &&
+          adversary_->attacking(round_, static_cast<core::RegionId>(i), v)) {
+        continue;
+      }
       if (!rng_.bernoulli(params_.revision_rate)) continue;
       // Sample a distinct peer uniformly.
       auto peer = static_cast<std::size_t>(rng_.uniform_int(
@@ -103,6 +102,26 @@ core::GameState AgentBasedSim::empirical_state() const {
     }
     for (double& v : state.p[i]) {
       v /= static_cast<double>(decisions_[i].size());
+    }
+  }
+  return state;
+}
+
+core::GameState AgentBasedSim::reported_state() const {
+  if (adversary_ == nullptr) return empirical_state();
+  core::GameState state;
+  state.p.assign(game_.num_regions(),
+                 std::vector<double>(game_.num_decisions(), 0.0));
+  for (std::size_t i = 0; i < decisions_.size(); ++i) {
+    const auto region = static_cast<core::RegionId>(i);
+    for (std::size_t v = 0; v < decisions_[i].size(); ++v) {
+      byzantine::VehicleReport r;
+      r.decision = decisions_[i][v];
+      r = adversary_->falsify(round_, region, v, r);
+      state.p[i][r.decision] += 1.0;
+    }
+    for (double& value : state.p[i]) {
+      value /= static_cast<double>(decisions_[i].size());
     }
   }
   return state;

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "byzantine/adversary_model.h"
 #include "common/rng.h"
 #include "core/game.h"
 #include "faults/fault_model.h"
@@ -26,14 +27,10 @@ struct AgentSimParams {
   double revision_rate = 1.0;
   /// Imitation probability = clamp(scale * (q_peer - q_self), 0, 1).
   /// Matches the mean-field step when scale equals the game's step_size.
+  /// Defector vehicles (ones that never revise) are injected via a
+  /// faults::FaultModel carrying FaultParams::defector_fraction — the same
+  /// schedule the system plant sees; there is no simulator-local knob.
   double imitation_scale = 1.0;
-  /// Fraction of vehicles that never revise. DEPRECATED shim: failure
-  /// injection now lives in the fault layer — prefer constructing with a
-  /// faults::FaultModel carrying FaultParams::defector_fraction, which
-  /// shares one code path with the system plant. The field keeps working
-  /// (and keeps its historical RNG stream) when no fault model is given;
-  /// passing both is a contract violation.
-  double defector_fraction = 0.0;
   std::uint64_t seed = 99;
 };
 
@@ -44,7 +41,8 @@ class AgentBasedSim {
   /// and region outages during which a region's fleet receives no fitness
   /// signal and holds its decisions for the round.
   AgentBasedSim(const core::MultiRegionGame& game, AgentSimParams params,
-                const faults::FaultModel* faults = nullptr);
+                const faults::FaultModel* faults = nullptr,
+                const byzantine::AdversaryModel* adversary = nullptr);
 
   /// Draws every vehicle's decision i.i.d. from `state`'s per-region
   /// distribution.
@@ -54,8 +52,14 @@ class AgentBasedSim {
   /// empirical distribution at the start of the round (synchronous).
   void step(std::span<const double> x);
 
-  /// Empirical per-region decision distribution.
+  /// Empirical per-region decision distribution (true decisions).
   core::GameState empirical_state() const;
+
+  /// The distribution the cloud would see from a trusting mean over
+  /// *claimed* decisions: attacking vehicles report their falsified claim
+  /// (byzantine::AdversaryModel) instead of their true decision. Equal to
+  /// empirical_state() when no adversary is attached.
+  core::GameState reported_state() const;
 
   std::size_t vehicles_per_region() const noexcept {
     return params_.vehicles_per_region;
@@ -65,6 +69,7 @@ class AgentBasedSim {
   const core::MultiRegionGame& game_;
   AgentSimParams params_;
   const faults::FaultModel* faults_;
+  const byzantine::AdversaryModel* adversary_;
   std::size_t round_ = 0;
   Rng rng_;
   /// decisions_[i][v] = decision of vehicle v in region i.

@@ -37,6 +37,16 @@ CooperativePerceptionSystem::CooperativePerceptionSystem(
 
 CooperativePerceptionSystem::CooperativePerceptionSystem(
     const core::MultiRegionGame& game, SystemParams params,
+    const faults::FaultModel* faults,
+    const byzantine::AdversaryModel* adversary,
+    byzantine::ReportPipeline* pipeline)
+    : CooperativePerceptionSystem(game, params, faults) {
+  adversary_ = adversary != nullptr && adversary->active() ? adversary : nullptr;
+  pipeline_ = pipeline;
+}
+
+CooperativePerceptionSystem::CooperativePerceptionSystem(
+    const core::MultiRegionGame& game, SystemParams params,
     const faults::FaultModel* faults)
     : game_(game),
       params_(params),
@@ -79,6 +89,27 @@ core::GameState CooperativePerceptionSystem::empirical_state() const {
   return state;
 }
 
+core::GameState CooperativePerceptionSystem::honest_state() const {
+  if (adversary_ == nullptr) return empirical_state();
+  core::GameState state;
+  state.p.assign(game_.num_regions(),
+                 std::vector<double>(game_.num_decisions(), 0.0));
+  for (core::RegionId i = 0; i < game_.num_regions(); ++i) {
+    double honest = 0.0;
+    for (std::size_t v = 0; v < decisions_[i].size(); ++v) {
+      if (adversary_->ever_attacks(i, v)) continue;
+      state.p[i][decisions_[i][v]] += 1.0;
+      honest += 1.0;
+    }
+    if (honest == 0.0) {
+      for (const core::DecisionId d : decisions_[i]) state.p[i][d] += 1.0;
+      honest = static_cast<double>(decisions_[i].size());
+    }
+    for (double& value : state.p[i]) value /= honest;
+  }
+  return state;
+}
+
 void CooperativePerceptionSystem::init_from(const core::GameState& state) {
   AVCP_EXPECT(state.p.size() == game_.num_regions());
   for (core::RegionId i = 0; i < game_.num_regions(); ++i) {
@@ -103,16 +134,86 @@ perception::ItemSet CooperativePerceptionSystem::sample_items(double fraction) {
 
 RoundReport CooperativePerceptionSystem::run_round(
     core::Controller& controller) {
+  const std::size_t num_regions = game_.num_regions();
+  const bool byz = adversary_ != nullptr || pipeline_ != nullptr;
+  RoundReport report;
+  report.byzantine.active = byz;
+
   // --- S1: edge servers report, the cloud computes the ratios. -----------
-  const core::GameState observed = empirical_state();
+  // claims[i][v]: the decision vehicle v *declares* this round (falsified
+  // for attacking vehicles) — it governs lattice access and what peers see.
+  // behavior[i][v]: the decision it *executes* in the data plane. Both
+  // mirror decisions_ on the clean path, and nothing here consumes RNG.
+  std::vector<std::vector<core::DecisionId>> claims = decisions_;
+  std::vector<std::vector<core::DecisionId>> behavior = decisions_;
+  std::vector<std::vector<byzantine::VehicleReport>> reports;
+  if (byz) {
+    reports.resize(num_regions);
+    for (core::RegionId i = 0; i < num_regions; ++i) {
+      // Honest telemetry is exact: the region's true beta / gamma_self and
+      // the fleet headcount as density. Liars therefore stand out against
+      // a collapsed (MAD ~ 0) honest spread.
+      const double beta = game_.region(i).beta;
+      const double gamma = game_.region(i).gamma_self;
+      const double density = static_cast<double>(decisions_[i].size());
+      reports[i].resize(decisions_[i].size());
+      for (std::size_t v = 0; v < decisions_[i].size(); ++v) {
+        byzantine::VehicleReport r{decisions_[i][v], beta, gamma, density};
+        if (adversary_ != nullptr) {
+          behavior[i][v] = adversary_->behavior_decision(
+              round_, i, v, decisions_[i][v], game_.lattice());
+          r = adversary_->falsify(round_, i, v, r);
+        }
+        claims[i][v] = r.decision;
+        reports[i][v] = r;
+      }
+    }
+  }
+
+  core::GameState observed;
+  if (pipeline_ != nullptr) {
+    observed.p.resize(num_regions);
+    report.byzantine.beta.resize(num_regions, 0.0);
+    report.byzantine.gamma.resize(num_regions, 0.0);
+    report.byzantine.density.resize(num_regions, 0.0);
+    report.byzantine.reports_used.resize(num_regions, 0);
+    report.byzantine.outliers_rejected.resize(num_regions, 0);
+    report.byzantine.quarantined.resize(num_regions, 0);
+    for (core::RegionId i = 0; i < num_regions; ++i) {
+      byzantine::RegionObservation obs =
+          pipeline_->aggregate(round_, i, reports[i]);
+      observed.p[i] = std::move(obs.p);
+      report.byzantine.beta[i] = obs.beta;
+      report.byzantine.gamma[i] = obs.gamma;
+      report.byzantine.density[i] = obs.density;
+      report.byzantine.reports_used[i] = obs.reports_used;
+      report.byzantine.outliers_rejected[i] = obs.outliers_rejected;
+      report.byzantine.quarantined[i] = obs.quarantined;
+    }
+  } else if (byz) {
+    // Adversary without a pipeline: a trusting cloud folds the claims with
+    // a plain mean (the vulnerable baseline).
+    observed.p.assign(num_regions,
+                      std::vector<double>(game_.num_decisions(), 0.0));
+    for (core::RegionId i = 0; i < num_regions; ++i) {
+      for (const core::DecisionId d : claims[i]) observed.p[i][d] += 1.0;
+      for (double& value : observed.p[i]) {
+        value /= static_cast<double>(claims[i].size());
+      }
+    }
+  } else {
+    observed = empirical_state();
+  }
+  if (byz) report.byzantine.observed = observed;
   x_ = controller.next_x(observed, x_);
   AVCP_ENSURE(x_.size() == game_.num_regions());
 
-  RoundReport report;
   report.x = x_;
   report.mean_utility.resize(game_.num_regions(), 0.0);
   report.mean_privacy.resize(game_.num_regions(), 0.0);
   report.exposed_privacy.resize(game_.num_regions(), 0.0);
+  report.faults.uploads_lost_by_region.assign(game_.num_regions(), 0);
+  report.faults.deliveries_lost_by_region.assign(game_.num_regions(), 0);
   report.faults.region_down.assign(game_.num_regions(), 0);
   for (core::RegionId i = 0; i < game_.num_regions(); ++i) {
     if (faults_ != nullptr && faults_->region_down(round_, i)) {
@@ -140,11 +241,19 @@ RoundReport CooperativePerceptionSystem::run_round(
     const double beta = game_.region(i).beta;
 
     std::vector<double> fitness(fleet.size(), 0.0);
+    // Privacy mass each vehicle actually uploaded this round (summed over
+    // cells and exchanges) — the behavioural signal the pipeline audits.
+    std::vector<double> upload_mass(fleet.size(), 0.0);
     const std::size_t cells = params_.cells_per_region;
     for (std::size_t e = 0; e < exchanges; ++e) {
       std::vector<perception::Vehicle> vehicles(fleet.size());
       for (std::size_t v = 0; v < fleet.size(); ++v) {
-        vehicles[v].decision = fleet[v];
+        vehicles[v].decision = behavior[i][v];
+        if (byz) {
+          vehicles[v].claim = claims[i][v];
+          vehicles[v].revoked =
+              pipeline_ != nullptr && pipeline_->excluded(i, v);
+        }
         vehicles[v].desired = sample_items(params_.desire_fraction);
       }
       if (params_.disjoint_collections) {
@@ -226,11 +335,14 @@ RoundReport CooperativePerceptionSystem::run_round(
             planes_[i].run_round_degraded(cell_vehicles, x_[i], mask);
         report.faults.uploads_lost += outcome.uploads_lost;
         report.faults.deliveries_lost += outcome.deliveries_lost;
+        report.faults.uploads_lost_by_region[i] += outcome.uploads_lost;
+        report.faults.deliveries_lost_by_region[i] += outcome.deliveries_lost;
         exposed_sum += outcome.exposed_privacy;
         for (std::size_t j = 0; j < cell_vehicles.size(); ++j) {
           const std::size_t v = cell_index[j];
           util_sum += outcome.utility[j];
           priv_sum += outcome.privacy[j];
+          upload_mass[v] += outcome.privacy[j];
           const double own_mass =
               universe_.privacy_weight(vehicles[v].collected);
           const double exposed_fraction =
@@ -252,6 +364,12 @@ RoundReport CooperativePerceptionSystem::run_round(
     report.exposed_privacy[i] *= inv;
     for (double& f : fitness) f *= inv;
     round_fitness[i] = std::move(fitness);
+    // Behavioural audit: the pipeline compares each vehicle's realized
+    // upload mass against its same-claim cohort. An outage round carries no
+    // uploads for anyone, so there is nothing to audit.
+    if (pipeline_ != nullptr && report.faults.region_down[i] == 0) {
+      pipeline_->observe_uploads(i, upload_mass);
+    }
   }
 
   // --- Inter-region exchange (Fig. 5, Eq. (4)'s x_j * gamma_ji term):
@@ -296,30 +414,46 @@ RoundReport CooperativePerceptionSystem::run_round(
     std::fill(per_decision.begin(), per_decision.end(), 0.0);
     std::vector<double> counts(game_.num_decisions(), 0.0);
     for (std::size_t v = 0; v < fleet.size(); ++v) {
-      per_decision[fleet[v]] += fitness[v];
-      counts[fleet[v]] += 1.0;
+      per_decision[behavior[i][v]] += fitness[v];
+      counts[behavior[i][v]] += 1.0;
     }
     for (core::DecisionId d = 0; d < game_.num_decisions(); ++d) {
       if (counts[d] > 0.0) per_decision[d] /= counts[d];
     }
 
+    // Revision is driven by what peers *display*: an honest vehicle that
+    // imitates an attacker copies the attacker's claimed decision (it
+    // cannot see the free-riding underneath). A vehicle attacking this
+    // round never revises — its decision is strategy, not
+    // fitness-following — but a designated vehicle outside its strategy's
+    // scope (a colluder in a non-target region, a flip-flopper in an
+    // honest half-cycle) behaves honestly, revision included.
     const std::vector<core::DecisionId> before = fleet;
+    const auto& shown = claims[i];
     for (std::size_t v = 0; v < fleet.size(); ++v) {
+      if (adversary_ != nullptr && adversary_->attacking(round_, i, v)) {
+        continue;
+      }
       if (!rng_.bernoulli(params_.revision_rate)) continue;
       auto peer = static_cast<std::size_t>(rng_.uniform_int(
           0, static_cast<std::int64_t>(fleet.size()) - 2));
       if (peer >= v) ++peer;
-      if (before[peer] == before[v]) continue;
+      if (shown[peer] == before[v]) continue;
       const double gain = fitness[peer] - fitness[v];
       if (gain <= 0.0) continue;
       if (rng_.bernoulli(std::min(1.0, params_.imitation_scale * gain))) {
-        fleet[v] = before[peer];
+        fleet[v] = shown[peer];
       }
     }
   }
 
   fault_counters_.uploads_lost += report.faults.uploads_lost;
   fault_counters_.deliveries_lost += report.faults.deliveries_lost;
+  if (pipeline_ != nullptr) {
+    pipeline_->end_round(round_);
+    report.byzantine.total_quarantined =
+        pipeline_->reputation().total_quarantined();
+  }
   ++round_;
 
   report.state = empirical_state();

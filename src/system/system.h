@@ -27,6 +27,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "byzantine/adversary_model.h"
+#include "byzantine/report_pipeline.h"
 #include "common/rng.h"
 #include "core/fds.h"
 #include "core/game.h"
@@ -84,10 +86,36 @@ struct RoundReport {
   struct Faults {
     std::size_t uploads_lost = 0;
     std::size_t deliveries_lost = 0;
+    /// Per-region splits of the totals above, so benches can attribute
+    /// degradation spatially (which region's links eat the losses).
+    std::vector<std::size_t> uploads_lost_by_region;
+    std::vector<std::size_t> deliveries_lost_by_region;
     /// region_down[i] != 0 iff region i's edge servers skipped this round.
     std::vector<std::uint8_t> region_down;
     std::size_t regions_down = 0;
   } faults;
+
+  /// Byzantine bookkeeping (inert default when neither an adversary model
+  /// nor a report pipeline is attached).
+  struct Byzantine {
+    bool active = false;
+    /// The state the controller acted on this round: the aggregate of the
+    /// *claimed* reports (== the true pre-revision empirical state on the
+    /// clean path).
+    core::GameState observed;
+    /// Aggregated telemetry per region (what density_weighted_fields and
+    /// any model-based consumer would ingest).
+    std::vector<double> beta;
+    std::vector<double> gamma;
+    std::vector<double> density;
+    std::vector<std::size_t> reports_used;
+    std::vector<std::size_t> outliers_rejected;
+    /// Vehicles quarantined per region when the round's reports were
+    /// aggregated (before this round's reputation update).
+    std::vector<std::size_t> quarantined;
+    /// Fleet-wide quarantined count after this round's reputation update.
+    std::size_t total_quarantined = 0;
+  } byzantine;
 };
 
 class CooperativePerceptionSystem {
@@ -111,11 +139,35 @@ class CooperativePerceptionSystem {
                               SystemParams params,
                               const faults::FaultModel* faults);
 
+  /// Same, with strategic adversaries: `adversary` (may be null; must
+  /// outlive the system) designates attacker vehicles that falsify their
+  /// S1 reports and free-ride in the data plane, and `pipeline` (may be
+  /// null; must outlive the system) is the cloud's Byzantine-robust report
+  /// path — it aggregates the claimed reports into the observation the
+  /// controller acts on, scores residuals, and (when enforcing) quarantines
+  /// persistent outliers, whose lattice access the plant then revokes.
+  /// With both null this is the overload above. With an inert adversary
+  /// (params().any() == false) and a passthrough, non-enforcing pipeline
+  /// the round series stays bit-identical to the clean run: reports are
+  /// exact deterministic values, predicates are pure hashes, and the
+  /// pipeline's mean aggregation repeats the empirical-state arithmetic.
+  CooperativePerceptionSystem(const core::MultiRegionGame& game,
+                              SystemParams params,
+                              const faults::FaultModel* faults,
+                              const byzantine::AdversaryModel* adversary,
+                              byzantine::ReportPipeline* pipeline = nullptr);
+
   std::size_t num_regions() const noexcept { return game_.num_regions(); }
 
   /// Decision distribution per region among the fleet (what edge servers
-  /// report to the cloud in step S1-1).
+  /// report to the cloud in step S1-1 when every vehicle is honest).
   core::GameState empirical_state() const;
+
+  /// Decision distribution of the *honest* sub-fleet only (ground truth
+  /// for convergence metrics under attack; == empirical_state() when no
+  /// adversary is attached). Regions whose fleet is entirely adversarial
+  /// fall back to the full-region row.
+  core::GameState honest_state() const;
 
   /// Seeds every vehicle's decision i.i.d. from `state`'s region rows.
   void init_from(const core::GameState& state);
@@ -152,6 +204,8 @@ class CooperativePerceptionSystem {
   const core::MultiRegionGame& game_;
   SystemParams params_;
   const faults::FaultModel* faults_;
+  const byzantine::AdversaryModel* adversary_ = nullptr;
+  byzantine::ReportPipeline* pipeline_ = nullptr;
   std::size_t round_ = 0;
   faults::FaultCounters fault_counters_;
   Rng rng_;

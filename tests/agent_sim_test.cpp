@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/contracts.h"
+#include "faults/fault_model.h"
 #include "test_support.h"
 
 namespace avcp::sim {
@@ -102,8 +103,10 @@ TEST(AgentSim, DefectorsNeverRevise) {
   const auto game = make_single_region_game();
   AgentSimParams params;
   params.vehicles_per_region = 2000;
-  params.defector_fraction = 1.0;  // everyone frozen
-  AgentBasedSim sim(game, params);
+  faults::FaultParams fp;
+  fp.defector_fraction = 1.0;  // everyone frozen
+  const faults::FaultModel faults(fp);
+  AgentBasedSim sim(game, params, &faults);
   sim.init_from(game.uniform_state());
   const auto before = sim.empirical_state();
   for (int t = 0; t < 20; ++t) sim.step(std::vector<double>{0.5});
@@ -123,9 +126,10 @@ TEST(AgentSim, PartialDefectorsSlowConvergence) {
   AgentBasedSim honest_sim(game, honest);
   honest_sim.init_from(game.uniform_state());
 
-  AgentSimParams mixed = honest;
-  mixed.defector_fraction = 0.5;
-  AgentBasedSim mixed_sim(game, mixed);
+  faults::FaultParams fp;
+  fp.defector_fraction = 0.5;
+  const faults::FaultModel faults(fp);
+  AgentBasedSim mixed_sim(game, honest, &faults);
   mixed_sim.init_from(game.uniform_state());
 
   for (int t = 0; t < 200; ++t) {

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "core/fds.h"
@@ -240,6 +241,105 @@ TEST(DegradedControllerTest, WrappedFdsMatchesRawFdsWhenFaultFree) {
     x_wrapped = wrapped.next_x(state, x_wrapped);
     ASSERT_EQ(x_raw, x_wrapped);
   }
+}
+
+/// Emits NaN for even regions and +inf for odd ones: a numerically broken
+/// inner controller whose output must never reach the plant.
+class NanController final : public core::Controller {
+ public:
+  std::vector<double> next_x(const core::GameState& state,
+                             const std::vector<double>&) override {
+    std::vector<double> x(state.num_regions());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] = (i % 2 == 0) ? std::numeric_limits<double>::quiet_NaN()
+                          : std::numeric_limits<double>::infinity();
+    }
+    return x;
+  }
+};
+
+TEST(DegradedControllerTest, NonFiniteInnerRatiosHoldThePreviousRatio) {
+  const auto game = make_chain_game(2);
+  NanController inner;
+  const auto model = inert_model();  // reports fresh: inner output is used
+  faults::DegradedOptions options;
+  options.max_step = 0.1;
+  faults::DegradedController wrapper(inner, model, options);
+
+  const auto state = state_with_p0(game, 0.4);
+  std::vector<double> x = {0.3, 0.7};
+  for (int t = 0; t < 5; ++t) {
+    x = wrapper.next_x(state, x);
+    ASSERT_TRUE(std::isfinite(x[0]));
+    ASSERT_TRUE(std::isfinite(x[1]));
+    EXPECT_DOUBLE_EQ(x[0], 0.3);  // NaN target -> no update
+    EXPECT_DOUBLE_EQ(x[1], 0.7);  // inf target -> no update
+  }
+}
+
+TEST(DegradedControllerTest, ZeroStalenessBudgetDegradesOnFirstMiss) {
+  const auto game = make_chain_game(1);
+  // Region 0 down exactly in round 1.
+  faults::FaultParams fp;
+  fp.outages.push_back(
+      faults::OutageWindow{/*region=*/0, /*first_round=*/1, /*duration=*/1});
+  const faults::FaultModel model(fp);
+
+  core::FixedRatioController inner(0.9);
+  faults::DegradedOptions options;
+  options.staleness_budget = 0;  // stale == blind: no grace round at all
+  options.max_step = 0.05;
+  faults::DegradedController wrapper(inner, model, options);
+
+  const auto state = state_with_p0(game, 0.5);
+  std::vector<double> x = {0.5};
+  x = wrapper.next_x(state, x);  // round 0: fresh
+  EXPECT_FALSE(wrapper.degraded(0));
+  EXPECT_DOUBLE_EQ(x[0], 0.55);
+  x = wrapper.next_x(state, x);  // round 1: one miss -> immediately blind
+  EXPECT_TRUE(wrapper.degraded(0));
+  EXPECT_EQ(wrapper.report_age(0), 1u);
+  EXPECT_DOUBLE_EQ(x[0], 0.55);  // kHold
+  x = wrapper.next_x(state, x);  // round 2: resumed
+  EXPECT_FALSE(wrapper.degraded(0));
+  EXPECT_DOUBLE_EQ(x[0], 0.6);
+}
+
+TEST(DegradedControllerTest, BlindStartHoldsUntilTheFirstReportArrives) {
+  const auto game = make_chain_game(2);
+  // Region 0 never reported yet: down for rounds 0-2; region 1 always up.
+  faults::FaultParams fp;
+  fp.outages.push_back(
+      faults::OutageWindow{/*region=*/0, /*first_round=*/0, /*duration=*/3});
+  const faults::FaultModel model(fp);
+
+  RecordingController inner;
+  faults::DegradedOptions options;
+  options.staleness_budget = 10;  // generous budget must not excuse kNever
+  faults::DegradedController wrapper(inner, model, options);
+
+  const auto fresh = state_with_p0(game, 0.8);
+  std::vector<double> x = {0.4, 0.6};
+  const std::size_t k = game.num_decisions();
+  for (std::size_t t = 0; t < 3; ++t) {
+    x = wrapper.next_x(fresh, x);
+    // Never-reported region: blind regardless of the budget, ratio held,
+    // and the inner controller sees the uniform prior, not garbage.
+    EXPECT_TRUE(wrapper.degraded(0));
+    EXPECT_EQ(wrapper.report_age(0), faults::DegradedController::kNever);
+    EXPECT_DOUBLE_EQ(x[0], 0.4);
+    EXPECT_FALSE(wrapper.degraded(1));
+    for (core::DecisionId d = 0; d < k; ++d) {
+      EXPECT_DOUBLE_EQ(inner.seen.back()[0][d],
+                       1.0 / static_cast<double>(k));
+    }
+    EXPECT_EQ(inner.seen.back()[1], fresh.p[1]);
+  }
+  // First real report flips the region to fresh.
+  x = wrapper.next_x(fresh, x);
+  EXPECT_FALSE(wrapper.degraded(0));
+  EXPECT_EQ(wrapper.report_age(0), 0u);
+  EXPECT_EQ(inner.seen.back()[0], fresh.p[0]);
 }
 
 TEST(DegradedControllerTest, ResetForgetsHeldReports) {
