@@ -1,9 +1,27 @@
 // Micro-benchmarks (google-benchmark) for the core computational kernels:
 // replicator rounds, the FDS feasible-set solver, Brandes betweenness,
 // Algorithm-1 clustering, the edge-server data plane, and trace generation.
+//
+// Besides the google-benchmark suite (default mode, all its flags apply),
+// the binary has a scaling mode for the parallel round engine:
+//
+//   ./build/bench/bench_perf --scaling   # 100-region round loop at
+//                                        # 1/2/4/8 threads, JSON on stdout
+//   ./build/bench/bench_perf --smoke     # tiny CI configuration
+//
+// Scaling mode re-runs the identical seeded workload per thread count,
+// reports wall-clock speedup curves, and verifies the determinism contract:
+// every trajectory must be bit-identical to the single-threaded run (the
+// process exits non-zero otherwise). Speedups depend on the machine's
+// cores; bit-identity must hold everywhere.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
+
 #include "bench_common.h"
+#include "core/fds.h"
+#include "system/system.h"
 #include "core/lower_bound.h"
 #include "core/rate_model.h"
 #include "core/sensor_model.h"
@@ -178,4 +196,113 @@ void BM_GridIndexNearest(benchmark::State& state) {
 }
 BENCHMARK(BM_GridIndexNearest);
 
+// ---------------------------------------------------------------------------
+// --scaling / --smoke: round-engine thread-scaling suite.
+
+struct ScalingConfig {
+  std::size_t regions = 100;
+  std::size_t vehicles_per_region = 40;
+  std::size_t rounds = 15;
+  std::vector<std::size_t> thread_counts = {1, 2, 4, 8};
+};
+
+struct Trajectory {
+  std::vector<std::vector<double>> x;                  // per round
+  std::vector<std::vector<std::vector<double>>> p;     // per round
+  double seconds = 0.0;
+};
+
+Trajectory run_round_loop(const core::MultiRegionGame& game,
+                          const ScalingConfig& config, std::size_t threads) {
+  system::SystemParams params;
+  params.vehicles_per_region = config.vehicles_per_region;
+  params.seed = 2022;
+  params.num_threads = threads;
+  system::CooperativePerceptionSystem sys(game, params);
+  sys.init_from(game.uniform_state());
+
+  core::DesiredFields fields(game.num_regions(), 8);
+  for (core::RegionId i = 0; i < game.num_regions(); ++i) {
+    fields.set_target(i, 0, Interval{0.6, 1.0});
+  }
+  core::FdsController controller(game, fields);
+
+  Trajectory out;
+  out.x.reserve(config.rounds);
+  out.p.reserve(config.rounds);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t r = 0; r < config.rounds; ++r) {
+    auto report = sys.run_round(controller);
+    out.x.push_back(std::move(report.x));
+    out.p.push_back(std::move(report.state.p));
+  }
+  out.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return out;
+}
+
+int run_scaling(bool smoke) {
+  ScalingConfig config;
+  if (smoke) {
+    config.regions = 8;
+    config.vehicles_per_region = 20;
+    config.rounds = 4;
+    config.thread_counts = {1, 2};
+  }
+  const auto game = make_chain(config.regions);
+
+  std::vector<Trajectory> runs;
+  runs.reserve(config.thread_counts.size());
+  for (const std::size_t threads : config.thread_counts) {
+    runs.push_back(run_round_loop(game, config, threads));
+  }
+
+  bool bit_identical = true;
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    if (runs[i].x != runs[0].x || runs[i].p != runs[0].p) {
+      bit_identical = false;
+    }
+  }
+
+  const double base = runs[0].seconds;
+  std::printf("{\n");
+  std::printf("  \"bench\": \"round_engine_scaling\",\n");
+  std::printf("  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::printf("  \"regions\": %zu,\n", config.regions);
+  std::printf("  \"vehicles_per_region\": %zu,\n", config.vehicles_per_region);
+  std::printf("  \"rounds\": %zu,\n", config.rounds);
+  std::printf("  \"bit_identical\": %s,\n", bit_identical ? "true" : "false");
+  std::printf("  \"runs\": [\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    std::printf(
+        "    {\"threads\": %zu, \"seconds\": %.6f, \"rounds_per_s\": %.3f, "
+        "\"speedup\": %.3f}%s\n",
+        config.thread_counts[i], runs[i].seconds,
+        static_cast<double>(config.rounds) / runs[i].seconds,
+        base / runs[i].seconds, i + 1 < runs.size() ? "," : "");
+  }
+  std::printf("  ]\n");
+  std::printf("}\n");
+  if (!bit_identical) {
+    std::fprintf(stderr,
+                 "FAIL: trajectories differ across thread counts — the "
+                 "determinism contract is broken\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scaling") == 0) return run_scaling(false);
+    if (std::strcmp(argv[i], "--smoke") == 0) return run_scaling(true);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -27,6 +27,15 @@
 // observed histogram is bit-identical to the pre-existing trusting mean
 // (same summation order, same divisor), so a seeded clean run is
 // unperturbed by routing its reports through the pipeline.
+//
+// Concurrency contract (relied on by the system's parallel round engine):
+// aggregate() and observe_uploads() touch only state scoped to their
+// `region` argument (the region's claims row and the reputation cells of
+// that region's vehicles; the aggregator is stateless), so calls for
+// *distinct* regions may run concurrently. Calls for the same region, and
+// end_round() (which decays every cell and appends events), must be
+// serialized by the caller — the system runs end_round on its round
+// thread after the per-region fan-out joins.
 #pragma once
 
 #include <cstdint>

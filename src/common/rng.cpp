@@ -15,6 +15,17 @@ std::uint64_t splitmix64(std::uint64_t& state) noexcept {
   return z ^ (z >> 31);
 }
 
+std::uint64_t derive_seed(
+    std::uint64_t seed, std::initializer_list<std::uint64_t> path) noexcept {
+  std::uint64_t acc = seed;
+  for (const std::uint64_t x : path) {
+    acc ^= x;
+    std::uint64_t state = acc;
+    acc = splitmix64(state);
+  }
+  return acc;
+}
+
 namespace {
 inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
   return (x << k) | (x >> (64 - k));

@@ -17,6 +17,16 @@ namespace avcp {
 /// splitmix64 step; used for seed expansion and as a cheap hash.
 std::uint64_t splitmix64(std::uint64_t& state) noexcept;
 
+/// Pure-hash derivation of an independent stream seed from a base seed and
+/// an index path (e.g. {tag, round, region}). Each coordinate is folded
+/// through a full splitmix64 avalanche, so the result depends on position as
+/// well as value, and no engine state is involved — the same idiom as
+/// faults::FaultModel's predicates. The round engines use it to give every
+/// (round, region) its own counter-based stream, making their decisions
+/// independent of region iteration order and thread count.
+std::uint64_t derive_seed(std::uint64_t seed,
+                          std::initializer_list<std::uint64_t> path) noexcept;
+
 /// xoshiro256++ pseudo-random engine. Satisfies UniformRandomBitGenerator,
 /// so it can also drive <random> distributions.
 class Rng {

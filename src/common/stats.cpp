@@ -40,11 +40,12 @@ double stddev(std::span<const double> xs) noexcept {
   return s.stddev();
 }
 
-double percentile(std::span<const double> xs, double q) {
-  AVCP_EXPECT(!xs.empty());
+namespace {
+
+/// Linear-interpolated quantile of an already-sorted sample.
+double percentile_of_sorted(std::span<const double> sorted, double q) {
+  AVCP_EXPECT(!sorted.empty());
   AVCP_EXPECT(q >= 0.0 && q <= 100.0);
-  std::vector<double> sorted(xs.begin(), xs.end());
-  std::sort(sorted.begin(), sorted.end());
   if (sorted.size() == 1) return sorted.front();
   const double pos = q / 100.0 * static_cast<double>(sorted.size() - 1);
   const auto idx = static_cast<std::size_t>(pos);
@@ -53,26 +54,55 @@ double percentile(std::span<const double> xs, double q) {
   return sorted[idx] * (1.0 - frac) + sorted[idx + 1] * frac;
 }
 
+}  // namespace
+
+double percentile(std::span<const double> xs, double q) {
+  AVCP_EXPECT(!xs.empty());
+  AVCP_EXPECT(q >= 0.0 && q <= 100.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  return percentile_of_sorted(sorted, q);
+}
+
 std::pair<double, double> central_interval(std::span<const double> xs,
                                            double coverage) {
   AVCP_EXPECT(coverage > 0.0 && coverage <= 1.0);
+  AVCP_EXPECT(!xs.empty());
   const double tail = (1.0 - coverage) / 2.0 * 100.0;
-  return {percentile(xs, tail), percentile(xs, 100.0 - tail)};
+  // One sort serves both quantiles (delegating to percentile() would copy
+  // and sort the sample twice).
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  return {percentile_of_sorted(sorted, tail),
+          percentile_of_sorted(sorted, 100.0 - tail)};
 }
 
-std::vector<std::size_t> histogram(std::span<const double> xs, double lo,
-                                   double hi, std::size_t bins) {
+Histogram histogram(std::span<const double> xs, double lo, double hi,
+                    std::size_t bins) {
   AVCP_EXPECT(bins > 0);
   AVCP_EXPECT(hi > lo);
-  std::vector<std::size_t> counts(bins, 0);
+  Histogram h;
+  h.counts.assign(bins, 0);
   const double width = (hi - lo) / static_cast<double>(bins);
   for (const double x : xs) {
-    auto idx = static_cast<std::ptrdiff_t>((x - lo) / width);
-    idx = std::clamp<std::ptrdiff_t>(idx, 0,
-                                     static_cast<std::ptrdiff_t>(bins) - 1);
-    ++counts[static_cast<std::size_t>(idx)];
+    if (x < lo) {
+      ++h.underflow;
+      continue;
+    }
+    auto idx = static_cast<std::size_t>((x - lo) / width);
+    if (x >= hi) {
+      // x == hi lands in the top bucket (closed upper edge); beyond is
+      // overflow.
+      if (x > hi) {
+        ++h.overflow;
+        continue;
+      }
+      idx = bins - 1;
+    }
+    idx = std::min(idx, bins - 1);
+    ++h.counts[idx];
   }
-  return counts;
+  return h;
 }
 
 std::vector<double> minmax_normalize(std::span<const double> xs) {

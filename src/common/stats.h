@@ -44,10 +44,18 @@ double percentile(std::span<const double> xs, double q);
 std::pair<double, double> central_interval(std::span<const double> xs,
                                            double coverage);
 
-/// Equal-width histogram over [lo, hi] with `bins` buckets; values outside
-/// the range are clamped into the edge buckets.
-std::vector<std::size_t> histogram(std::span<const double> xs, double lo,
-                                   double hi, std::size_t bins);
+/// Equal-width histogram over [lo, hi] with `bins` buckets. Out-of-range
+/// samples are counted separately in `underflow` / `overflow` rather than
+/// being folded into the edge buckets, so tail bins reflect only in-range
+/// mass (clamping silently inflated whatever a bench sweep plotted at the
+/// edges).
+struct Histogram {
+  std::vector<std::size_t> counts;
+  std::size_t underflow = 0;
+  std::size_t overflow = 0;
+};
+Histogram histogram(std::span<const double> xs, double lo, double hi,
+                    std::size_t bins);
 
 /// Normalises values to [0, 1] by min-max scaling; constant input maps to 0.
 std::vector<double> minmax_normalize(std::span<const double> xs);

@@ -1,0 +1,89 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace avcp {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads - 1);
+  for (std::size_t t = 0; t + 1 < num_threads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::drain() {
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= end_) return;
+    try {
+      (*fn_)(i);
+    } catch (...) {
+      {
+        const std::lock_guard<std::mutex> lock(mu_);
+        if (!error_) error_ = std::current_exception();
+      }
+      // Cancel the rest of the range; peers finish their current task and
+      // stop claiming new ones.
+      next_.store(end_, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::unique_lock<std::mutex> lock(mu_);
+    wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    lock.unlock();
+
+    drain();
+
+    lock.lock();
+    if (--busy_ == 0) done_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  if (workers_.empty() || end - begin == 1) {
+    // Inline path: no synchronization, exceptions propagate naturally.
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    next_.store(begin, std::memory_order_relaxed);
+    end_ = end;
+    error_ = nullptr;
+    busy_ = workers_.size();
+    ++generation_;
+  }
+  wake_.notify_all();
+
+  drain();  // the calling thread is a lane too
+
+  std::unique_lock<std::mutex> lock(mu_);
+  done_.wait(lock, [&] { return busy_ == 0; });
+  fn_ = nullptr;
+  if (error_) std::rethrow_exception(error_);
+}
+
+}  // namespace avcp

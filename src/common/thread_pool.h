@@ -1,0 +1,73 @@
+// Deterministic fork-join parallelism for the round engines.
+//
+// ThreadPool is a fixed-size worker pool driving `parallel_for` over index
+// ranges. It makes no scheduling guarantees — indices are claimed by
+// whichever worker gets there first — so determinism is a *protocol*, not a
+// property of the pool: every task writes only to state owned by its own
+// index (its region's RNG stream, its chunk's partial accumulator, its slot
+// of a result vector), and any floating-point reduction over task results
+// happens on the calling thread in index order after the join. Code that
+// follows the protocol is bit-identical at every thread count, including
+// the inline single-threaded path; the regression lock lives in
+// tests/determinism_test.cpp.
+//
+// The calling thread participates in the loop (a pool of size 1 runs
+// everything inline, spawning nothing), the pool blocks until the range is
+// drained, and the first exception thrown by any task is rethrown on the
+// caller after remaining tasks are cancelled.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace avcp {
+
+class ThreadPool {
+ public:
+  /// `num_threads` == 0 picks std::thread::hardware_concurrency(). The pool
+  /// spawns `num_threads - 1` workers: the calling thread is the remaining
+  /// lane, so a pool of size 1 never leaves the caller.
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total lanes (workers + the calling thread).
+  std::size_t size() const noexcept { return workers_.size() + 1; }
+
+  /// Runs fn(i) for every i in [begin, end), blocking until all complete.
+  /// Empty ranges return immediately. Not reentrant: fn must not call
+  /// parallel_for on the same pool.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+  /// Claims indices from the open job until the range (or the job, on a
+  /// peer's exception) is exhausted.
+  void drain();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable wake_;   // caller -> workers: a job is open
+  std::condition_variable done_;   // workers -> caller: job fully drained
+  std::uint64_t generation_ = 0;   // bumps once per parallel_for
+  std::size_t busy_ = 0;           // workers still inside the open job
+  bool stop_ = false;
+
+  // Open-job state (valid while busy_ > 0 or the caller is draining).
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::atomic<std::size_t> next_{0};
+  std::size_t end_ = 0;
+  std::exception_ptr error_;
+};
+
+}  // namespace avcp

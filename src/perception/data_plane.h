@@ -88,6 +88,10 @@ struct CellFaultMask {
   }
 };
 
+/// Concurrency: a plane owns its RNG and per-round buffers, so *distinct*
+/// plane instances may run rounds concurrently (the system fans one plane
+/// per edge server out over its thread pool); a single instance is not
+/// thread-safe.
 class EdgeServerDataPlane {
  public:
   /// `lattice` and `universe` must outlive the plane.

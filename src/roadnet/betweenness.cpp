@@ -1,11 +1,13 @@
 #include "roadnet/betweenness.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <queue>
 #include <thread>
 
 #include "common/contracts.h"
+#include "common/thread_pool.h"
 
 namespace avcp::roadnet {
 
@@ -63,7 +65,13 @@ void accumulate_from_source(const RoadGraph& g, NodeId source,
     std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
     std::vector<bool> settled(n, false);
     heap.emplace(0.0, source);
-    constexpr double kTieTol = 1e-9;
+    // Tie tolerance *relative* to the candidate distance: equal-cost paths
+    // accumulated through different chains drift apart by O(eps * length),
+    // so a fixed absolute window both misses ties on km-scale distance /
+    // travel-time weights (drift > window) and merges genuinely distinct
+    // path lengths on tiny ones. 1e-12 relative sits far above the few-ulp
+    // drift of any realistic chain and far below any real length gap.
+    constexpr double kTieTolRel = 1e-12;
     while (!heap.empty()) {
       const auto [d, v] = heap.top();
       heap.pop();
@@ -73,12 +81,13 @@ void accumulate_from_source(const RoadGraph& g, NodeId source,
       for (const Hop& hop : g.neighbors(v)) {
         const NodeId w = hop.node;
         const double nd = d + edge_weight(g, hop.segment, metric);
-        if (nd < dist[w] - kTieTol) {
+        const double tol = kTieTolRel * nd;  // dist[w] may be +inf
+        if (nd < dist[w] - tol) {
           dist[w] = nd;
           sigma[w] = sigma[v];
           preds[w].assign(1, Hop{hop.segment, v});
           heap.emplace(nd, w);
-        } else if (std::abs(nd - dist[w]) <= kTieTol && !settled[w]) {
+        } else if (std::abs(nd - dist[w]) <= tol && !settled[w]) {
           sigma[w] += sigma[v];
           preds[w].push_back(Hop{hop.segment, v});
         }
@@ -106,30 +115,31 @@ std::vector<double> betweenness_from_sources(
   }
   num_threads = std::min(num_threads, std::max<std::size_t>(1, sources.size()));
 
+  // Sources are split into contiguous chunks whose boundaries depend only
+  // on the source count — never on the thread count — and each chunk
+  // accumulates its own partial in source order. The partials are then
+  // reduced on this thread in chunk order, so the floating-point summation
+  // order (and therefore the returned centrality, bit for bit) is invariant
+  // to how many threads ran the chunks. The old strided partition re-split
+  // the sum by thread count, so the default (hardware_concurrency) gave
+  // different last-ulp results on different machines.
+  constexpr std::size_t kMaxChunks = 64;
+  const std::size_t num_chunks =
+      std::min<std::size_t>(kMaxChunks, std::max<std::size_t>(1, sources.size()));
+  std::vector<std::vector<double>> partials(
+      num_chunks, std::vector<double>(g.num_segments(), 0.0));
+  ThreadPool pool(num_threads);
+  pool.parallel_for(0, num_chunks, [&](std::size_t c) {
+    const std::size_t begin = sources.size() * c / num_chunks;
+    const std::size_t end = sources.size() * (c + 1) / num_chunks;
+    for (std::size_t s = begin; s < end; ++s) {
+      accumulate_from_source(g, sources[s], opts.metric, partials[c]);
+    }
+  });
   std::vector<double> centrality(g.num_segments(), 0.0);
-  if (num_threads <= 1) {
-    for (const NodeId s : sources) {
-      accumulate_from_source(g, s, opts.metric, centrality);
-    }
-  } else {
-    // Strided source partition; per-thread accumulators reduced in thread
-    // order, so results are reproducible for a fixed thread count.
-    std::vector<std::vector<double>> partials(
-        num_threads, std::vector<double>(g.num_segments(), 0.0));
-    std::vector<std::thread> workers;
-    workers.reserve(num_threads);
-    for (std::size_t t = 0; t < num_threads; ++t) {
-      workers.emplace_back([&, t]() {
-        for (std::size_t s = t; s < sources.size(); s += num_threads) {
-          accumulate_from_source(g, sources[s], opts.metric, partials[t]);
-        }
-      });
-    }
-    for (std::thread& worker : workers) worker.join();
-    for (const auto& partial : partials) {
-      for (std::size_t i = 0; i < centrality.size(); ++i) {
-        centrality[i] += partial[i];
-      }
+  for (const auto& partial : partials) {
+    for (std::size_t i = 0; i < centrality.size(); ++i) {
+      centrality[i] += partial[i];
     }
   }
   // Undirected graph: each pair (s, t) is visited from both endpoints.

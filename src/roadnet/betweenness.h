@@ -30,8 +30,9 @@ struct BetweennessOptions {
   bool normalize = true;
   /// Worker threads for the per-source accumulation passes (Brandes is
   /// embarrassingly parallel across sources). 0 = hardware concurrency.
-  /// Results are bit-reproducible for a fixed thread count; across
-  /// different counts they agree to floating-point reduction order.
+  /// Sources are chunked independently of the thread count and the chunk
+  /// partials are reduced in chunk order, so the result is bit-identical at
+  /// every thread count (and therefore across machines at the default).
   std::size_t num_threads = 1;
 };
 

@@ -6,6 +6,15 @@
 
 namespace avcp::sim {
 
+namespace {
+
+// Stream tags for derive_seed: which consumer of the simulator's seed a
+// stream belongs to. Distinct tags keep init and step draws uncorrelated.
+constexpr std::uint64_t kInitStream = 0xA1;
+constexpr std::uint64_t kStepStream = 0xA2;
+
+}  // namespace
+
 AgentBasedSim::AgentBasedSim(const core::MultiRegionGame& game,
                              AgentSimParams params,
                              const faults::FaultModel* faults,
@@ -15,7 +24,7 @@ AgentBasedSim::AgentBasedSim(const core::MultiRegionGame& game,
       faults_(faults != nullptr && faults->active() ? faults : nullptr),
       adversary_(adversary != nullptr && adversary->active() ? adversary
                                                              : nullptr),
-      rng_(params.seed) {
+      pool_(params.num_threads) {
   AVCP_EXPECT(params_.vehicles_per_region >= 2);
   AVCP_EXPECT(params_.revision_rate >= 0.0 && params_.revision_rate <= 1.0);
   AVCP_EXPECT(params_.imitation_scale > 0.0);
@@ -36,32 +45,34 @@ AgentBasedSim::AgentBasedSim(const core::MultiRegionGame& game,
 
 void AgentBasedSim::init_from(const core::GameState& state) {
   AVCP_EXPECT(state.p.size() == game_.num_regions());
-  for (std::size_t i = 0; i < decisions_.size(); ++i) {
+  const std::size_t epoch = init_epoch_++;
+  pool_.parallel_for(0, decisions_.size(), [&](std::size_t i) {
     core::check_distribution(state.p[i]);
+    Rng rng(derive_seed(params_.seed, {kInitStream, epoch, i}));
     for (auto& decision : decisions_[i]) {
-      decision = static_cast<core::DecisionId>(rng_.weighted_index(state.p[i]));
+      decision = static_cast<core::DecisionId>(rng.weighted_index(state.p[i]));
     }
-  }
+  });
 }
 
 void AgentBasedSim::step(std::span<const double> x) {
   AVCP_EXPECT(x.size() == game_.num_regions());
   const core::GameState snapshot = empirical_state();
 
-  // Per-region fitness of every decision against the snapshot.
-  std::vector<std::vector<double>> q(game_.num_regions());
-  for (core::RegionId i = 0; i < game_.num_regions(); ++i) {
-    q[i] = game_.region_fitness(snapshot, x, i);
-  }
-
-  for (std::size_t i = 0; i < decisions_.size(); ++i) {
-    auto& region = decisions_[i];
+  pool_.parallel_for(0, decisions_.size(), [&](std::size_t i) {
     // Edge-server outage: the region's fleet gets no fitness signal this
-    // round, so every vehicle holds its decision.
+    // round, so every vehicle holds its decision — checked before the
+    // fitness computation, which dominates the per-round cost and would be
+    // wasted on a faulted region.
     if (faults_ != nullptr &&
         faults_->region_down(round_, static_cast<core::RegionId>(i))) {
-      continue;
+      return;
     }
+    // Per-region fitness of every decision against the snapshot.
+    const std::vector<double> q =
+        game_.region_fitness(snapshot, x, static_cast<core::RegionId>(i));
+    Rng rng(derive_seed(params_.seed, {kStepStream, round_, i}));
+    auto& region = decisions_[i];
     const std::vector<core::DecisionId> before = region;  // revise vs snapshot
     for (std::size_t v = 0; v < region.size(); ++v) {
       if (defector_[i][v]) continue;
@@ -74,21 +85,21 @@ void AgentBasedSim::step(std::span<const double> x) {
           adversary_->attacking(round_, static_cast<core::RegionId>(i), v)) {
         continue;
       }
-      if (!rng_.bernoulli(params_.revision_rate)) continue;
+      if (!rng.bernoulli(params_.revision_rate)) continue;
       // Sample a distinct peer uniformly.
-      auto peer = static_cast<std::size_t>(rng_.uniform_int(
+      auto peer = static_cast<std::size_t>(rng.uniform_int(
           0, static_cast<std::int64_t>(region.size()) - 2));
       if (peer >= v) ++peer;
       const core::DecisionId mine = before[v];
       const core::DecisionId theirs = before[peer];
       if (mine == theirs) continue;
-      const double gain = q[i][theirs] - q[i][mine];
+      const double gain = q[theirs] - q[mine];
       if (gain <= 0.0) continue;
       const double p_imitate =
           std::min(1.0, params_.imitation_scale * gain);
-      if (rng_.bernoulli(p_imitate)) region[v] = theirs;
+      if (rng.bernoulli(p_imitate)) region[v] = theirs;
     }
-  }
+  });
   ++round_;
 }
 

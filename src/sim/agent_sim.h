@@ -9,6 +9,13 @@
 // dynamics of Eq. (5). Tests use it to validate the mean-field model; the
 // benches use it for failure-injection ablations (defector vehicles that
 // never revise).
+//
+// Regions are independent within a round (fitness is computed against the
+// synchronous start-of-round snapshot), so the per-region fitness +
+// revision work fans out over a ThreadPool. Every (round, region) draws
+// from its own counter-based RNG stream derived by pure hash from the seed
+// (common/rng.h derive_seed), so trajectories are bit-identical at every
+// thread count and independent of region iteration order.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +23,7 @@
 
 #include "byzantine/adversary_model.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/game.h"
 #include "faults/fault_model.h"
 
@@ -32,6 +40,10 @@ struct AgentSimParams {
   /// schedule the system plant sees; there is no simulator-local knob.
   double imitation_scale = 1.0;
   std::uint64_t seed = 99;
+  /// Worker lanes for the per-region round work. 0 = hardware concurrency.
+  /// Purely a throughput knob: the trajectory is bit-identical at every
+  /// value (per-region RNG streams, no cross-region reduction).
+  std::size_t num_threads = 1;
 };
 
 class AgentBasedSim {
@@ -71,7 +83,9 @@ class AgentBasedSim {
   const faults::FaultModel* faults_;
   const byzantine::AdversaryModel* adversary_;
   std::size_t round_ = 0;
-  Rng rng_;
+  /// Bumped per init_from call so re-seeding draws fresh streams.
+  std::size_t init_epoch_ = 0;
+  ThreadPool pool_;
   /// decisions_[i][v] = decision of vehicle v in region i.
   std::vector<std::vector<core::DecisionId>> decisions_;
   /// defector_[i][v] = true if the vehicle never revises.

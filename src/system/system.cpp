@@ -29,6 +29,12 @@ perception::DataUniverse make_universe(const core::MultiRegionGame& game,
                                              rng);
 }
 
+// Stream tags for derive_seed: one per randomized round stage, so the
+// (round, region) streams of different stages never collide.
+constexpr std::uint64_t kExchangeStream = 0xB1;
+constexpr std::uint64_t kInterStream = 0xB2;
+constexpr std::uint64_t kReviseStream = 0xB3;
+
 }  // namespace
 
 CooperativePerceptionSystem::CooperativePerceptionSystem(
@@ -52,6 +58,7 @@ CooperativePerceptionSystem::CooperativePerceptionSystem(
       params_(params),
       faults_(faults != nullptr && faults->active() ? faults : nullptr),
       rng_(params.seed),
+      pool_(params.num_threads),
       universe_(make_universe(game, params.items_per_sensor,
                               params.vehicles_per_region, rng_)) {
   AVCP_EXPECT(params_.vehicles_per_region >= 2);
@@ -120,13 +127,14 @@ void CooperativePerceptionSystem::init_from(const core::GameState& state) {
   }
 }
 
-perception::ItemSet CooperativePerceptionSystem::sample_items(double fraction) {
+perception::ItemSet CooperativePerceptionSystem::sample_items(
+    Rng& rng, double fraction) const {
   perception::ItemSet items;
   for (perception::ItemId id = 0; id < universe_.size(); ++id) {
-    if (rng_.bernoulli(fraction)) items.push_back(id);
+    if (rng.bernoulli(fraction)) items.push_back(id);
   }
   if (items.empty()) {
-    items.push_back(static_cast<perception::ItemId>(rng_.uniform_int(
+    items.push_back(static_cast<perception::ItemId>(rng.uniform_int(
         0, static_cast<std::int64_t>(universe_.size()) - 1)));
   }
   return items;
@@ -179,9 +187,16 @@ RoundReport CooperativePerceptionSystem::run_round(
     report.byzantine.reports_used.resize(num_regions, 0);
     report.byzantine.outliers_rejected.resize(num_regions, 0);
     report.byzantine.quarantined.resize(num_regions, 0);
+    // Robust aggregation is region-local (the pipeline's contract), so the
+    // regions fan out; results land in per-region slots and are folded on
+    // this thread in region order.
+    std::vector<byzantine::RegionObservation> observations(num_regions);
+    pool_.parallel_for(0, num_regions, [&](std::size_t i) {
+      observations[i] = pipeline_->aggregate(
+          round_, static_cast<core::RegionId>(i), reports[i]);
+    });
     for (core::RegionId i = 0; i < num_regions; ++i) {
-      byzantine::RegionObservation obs =
-          pipeline_->aggregate(round_, i, reports[i]);
+      byzantine::RegionObservation& obs = observations[i];
       observed.p[i] = std::move(obs.p);
       report.byzantine.beta[i] = obs.beta;
       report.byzantine.gamma[i] = obs.gamma;
@@ -224,11 +239,17 @@ RoundReport CooperativePerceptionSystem::run_round(
   }
 
   // --- S2: per edge server, run the data plane and measure fitness. ------
+  // Each region is one task: it owns its plane (distinct RNG stream), its
+  // hash-derived (round, region) sampling stream, and its slots of the
+  // report — the only cross-region values, the fleet-wide loss totals, are
+  // reduced after the join in region order.
   const std::size_t exchanges = std::max<std::size_t>(1, params_.exchanges_per_round);
   std::vector<std::vector<double>> round_fitness(game_.num_regions());
   std::vector<std::vector<perception::Vehicle>> last_vehicles(
       game_.num_regions());
-  for (core::RegionId i = 0; i < game_.num_regions(); ++i) {
+  pool_.parallel_for(0, game_.num_regions(), [&](std::size_t region_index) {
+    const auto i = static_cast<core::RegionId>(region_index);
+    Rng rng(derive_seed(params_.seed, {kExchangeStream, round_, region_index}));
     auto& fleet = decisions_[i];
 
     // Realized fitness: beta-weighted measured utility minus measured
@@ -254,7 +275,7 @@ RoundReport CooperativePerceptionSystem::run_round(
           vehicles[v].revoked =
               pipeline_ != nullptr && pipeline_->excluded(i, v);
         }
-        vehicles[v].desired = sample_items(params_.desire_fraction);
+        vehicles[v].desired = sample_items(rng, params_.desire_fraction);
       }
       if (params_.disjoint_collections) {
         // Deal each item to at most one vehicle (pairwise-disjoint
@@ -264,14 +285,14 @@ RoundReport CooperativePerceptionSystem::run_round(
         const double fleet_coverage = std::min(
             1.0, params_.collect_fraction * static_cast<double>(fleet.size()));
         for (perception::ItemId id = 0; id < universe_.size(); ++id) {
-          if (!rng_.bernoulli(fleet_coverage)) continue;
-          const auto owner = static_cast<std::size_t>(rng_.uniform_int(
+          if (!rng.bernoulli(fleet_coverage)) continue;
+          const auto owner = static_cast<std::size_t>(rng.uniform_int(
               0, static_cast<std::int64_t>(fleet.size()) - 1));
           vehicles[owner].collected.push_back(id);
         }
       } else {
         for (std::size_t v = 0; v < fleet.size(); ++v) {
-          vehicles[v].collected = sample_items(params_.collect_fraction);
+          vehicles[v].collected = sample_items(rng, params_.collect_fraction);
         }
       }
       // Edge-server outage (fault injection): the region's servers are
@@ -333,8 +354,6 @@ RoundReport CooperativePerceptionSystem::run_round(
         }
         const auto outcome =
             planes_[i].run_round_degraded(cell_vehicles, x_[i], mask);
-        report.faults.uploads_lost += outcome.uploads_lost;
-        report.faults.deliveries_lost += outcome.deliveries_lost;
         report.faults.uploads_lost_by_region[i] += outcome.uploads_lost;
         report.faults.deliveries_lost_by_region[i] += outcome.deliveries_lost;
         exposed_sum += outcome.exposed_privacy;
@@ -370,16 +389,28 @@ RoundReport CooperativePerceptionSystem::run_round(
     if (pipeline_ != nullptr && report.faults.region_down[i] == 0) {
       pipeline_->observe_uploads(i, upload_mass);
     }
+  });
+  // Fleet-wide loss totals: reduced in region order after the join.
+  for (core::RegionId i = 0; i < game_.num_regions(); ++i) {
+    report.faults.uploads_lost += report.faults.uploads_lost_by_region[i];
+    report.faults.deliveries_lost +=
+        report.faults.deliveries_lost_by_region[i];
   }
 
   // --- Inter-region exchange (Fig. 5, Eq. (4)'s x_j * gamma_ji term):
   // vehicles of a neighbouring region act as senders at the sender region's
   // ratio; gamma scales how many of them this region's vehicles meet.
+  // Receiver regions are independent once every region's last_vehicles is
+  // frozen (the join above is the barrier): task i reads neighbours'
+  // sender fleets, samples from its own (round, region) stream, and writes
+  // only round_fitness[i] through its own plane.
   if (params_.inter_region_exchange) {
-    for (core::RegionId i = 0; i < game_.num_regions(); ++i) {
+    pool_.parallel_for(0, game_.num_regions(), [&](std::size_t region_index) {
+      const auto i = static_cast<core::RegionId>(region_index);
       // A region whose edge servers are down this round neither relays
       // cross-region data to its fleet nor serves as a sender side.
-      if (report.faults.region_down[i] != 0) continue;
+      if (report.faults.region_down[i] != 0) return;
+      Rng rng(derive_seed(params_.seed, {kInterStream, round_, region_index}));
       const double beta = game_.region(i).beta;
       for (const auto& [j, gamma] : game_.region(i).neighbors) {
         if (report.faults.region_down[j] != 0) continue;
@@ -392,9 +423,9 @@ RoundReport CooperativePerceptionSystem::run_round(
         senders.reserve(k);
         for (std::size_t n = 0; n < k; ++n) {
           senders.push_back(sender_fleet[static_cast<std::size_t>(
-              rng_.uniform_int(0,
-                               static_cast<std::int64_t>(sender_fleet.size()) -
-                                   1))]);
+              rng.uniform_int(0,
+                              static_cast<std::int64_t>(sender_fleet.size()) -
+                                  1))]);
         }
         const auto outcome =
             planes_[i].run_directional(senders, last_vehicles[i], x_[j]);
@@ -402,11 +433,13 @@ RoundReport CooperativePerceptionSystem::run_round(
           round_fitness[i][v] += beta * outcome.marginal_utility[v];
         }
       }
-    }
+    });
   }
 
   // --- Decision revision by realized fitness. -----------------------------
-  for (core::RegionId i = 0; i < game_.num_regions(); ++i) {
+  pool_.parallel_for(0, game_.num_regions(), [&](std::size_t region_index) {
+    const auto i = static_cast<core::RegionId>(region_index);
+    Rng rng(derive_seed(params_.seed, {kReviseStream, round_, region_index}));
     auto& fleet = decisions_[i];
     const auto& fitness = round_fitness[i];
 
@@ -434,18 +467,18 @@ RoundReport CooperativePerceptionSystem::run_round(
       if (adversary_ != nullptr && adversary_->attacking(round_, i, v)) {
         continue;
       }
-      if (!rng_.bernoulli(params_.revision_rate)) continue;
-      auto peer = static_cast<std::size_t>(rng_.uniform_int(
+      if (!rng.bernoulli(params_.revision_rate)) continue;
+      auto peer = static_cast<std::size_t>(rng.uniform_int(
           0, static_cast<std::int64_t>(fleet.size()) - 2));
       if (peer >= v) ++peer;
       if (shown[peer] == before[v]) continue;
       const double gain = fitness[peer] - fitness[v];
       if (gain <= 0.0) continue;
-      if (rng_.bernoulli(std::min(1.0, params_.imitation_scale * gain))) {
+      if (rng.bernoulli(std::min(1.0, params_.imitation_scale * gain))) {
         fleet[v] = shown[peer];
       }
     }
-  }
+  });
 
   fault_counters_.uploads_lost += report.faults.uploads_lost;
   fault_counters_.deliveries_lost += report.faults.deliveries_lost;

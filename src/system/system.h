@@ -30,6 +30,7 @@
 #include "byzantine/adversary_model.h"
 #include "byzantine/report_pipeline.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/fds.h"
 #include "core/game.h"
 #include "faults/fault_model.h"
@@ -73,6 +74,14 @@ struct SystemParams {
   double revision_rate = 0.8;
   double imitation_scale = 1.0;
   std::uint64_t seed = 2024;
+  /// Worker lanes for the per-region round stages (report aggregation, the
+  /// per-edge-server data plane, inter-region exchange, decision revision).
+  /// 0 = hardware concurrency. Purely a throughput knob: every
+  /// (round, region) draws from its own hash-derived RNG stream and all
+  /// cross-region reductions run on the calling thread in region order, so
+  /// the round series is bit-identical at every value (regression-locked in
+  /// tests/determinism_test.cpp).
+  std::size_t num_threads = 1;
 };
 
 /// Per-round measurements.
@@ -208,7 +217,11 @@ class CooperativePerceptionSystem {
   byzantine::ReportPipeline* pipeline_ = nullptr;
   std::size_t round_ = 0;
   faults::FaultCounters fault_counters_;
+  /// Serial setup stream (universe synthesis, plane seeding, init_from).
+  /// The round loop never draws from it: per-round randomness comes from
+  /// hash-derived (round, region) streams so regions are independent.
   Rng rng_;
+  ThreadPool pool_;
   perception::DataUniverse universe_;
   /// decisions_[region][vehicle].
   std::vector<std::vector<core::DecisionId>> decisions_;
@@ -218,8 +231,8 @@ class CooperativePerceptionSystem {
   /// realized_[region][decision] from the last round.
   std::vector<std::vector<double>> realized_;
 
-  /// Draws a fresh random item subset of the universe.
-  perception::ItemSet sample_items(double fraction);
+  /// Draws a fresh random item subset of the universe from `rng`.
+  perception::ItemSet sample_items(Rng& rng, double fraction) const;
 };
 
 }  // namespace avcp::system

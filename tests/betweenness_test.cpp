@@ -280,6 +280,109 @@ TEST(Betweenness, MoreThreadsThanSourcesIsSafe) {
   }
 }
 
+TEST(Betweenness, ThreadCountNeverMovesABit) {
+  // Chunk boundaries depend only on the source count and the partials are
+  // reduced in chunk order on the caller, so every thread count — including
+  // more threads than chunks — returns the exact same doubles. This locks
+  // the fix for the old strided partition, whose summation order (and last
+  // ulp) changed with num_threads.
+  CityParams params;
+  params.rows = 9;
+  params.cols = 9;
+  params.seed = 11;
+  const RoadGraph g = build_city(params);
+  for (const auto metric : {PathMetric::kHops, PathMetric::kTravelTime}) {
+    BetweennessOptions serial_opts;
+    serial_opts.metric = metric;
+    serial_opts.num_threads = 1;
+    const auto serial = segment_betweenness(g, serial_opts);
+    for (const std::size_t threads : {2u, 4u, 8u, 64u}) {
+      BetweennessOptions opts;
+      opts.metric = metric;
+      opts.num_threads = threads;
+      const auto parallel = segment_betweenness(g, opts);
+      ASSERT_EQ(parallel.size(), serial.size());
+      for (std::size_t i = 0; i < serial.size(); ++i) {
+        ASSERT_EQ(parallel[i], serial[i])
+            << "metric=" << static_cast<int>(metric) << " threads=" << threads
+            << " segment=" << i;
+      }
+    }
+  }
+}
+
+TEST(Betweenness, WeightedTieRecognizedDespiteFloatDrift) {
+  // Two routes between a and b with mathematically identical travel time
+  // 2S/3: route A is two hops of S/3 seconds, route B three hops of 2S/9
+  // seconds. At S = 2e7 m the accumulated sums differ by exactly one ulp
+  // (~1.9e-9 s) — beyond the old absolute 1e-9 tie window, which credited
+  // the whole a<->b pair to whichever route drifted low. The relative
+  // tolerance recognises the tie, so sigma(a,b) = 2 and each route carries
+  // half the pair.
+  constexpr double kS = 2e7;
+  RoadGraph g;
+  const NodeId a = g.add_intersection(PointM{0.0, 0.0});
+  const NodeId m = g.add_intersection(PointM{kS, 0.0});
+  const NodeId b = g.add_intersection(PointM{2.0 * kS, 0.0});
+  const NodeId n1 = g.add_intersection(PointM{0.0, kS});
+  const NodeId n2 = g.add_intersection(PointM{2.0 * kS, kS});
+  // Route A: two axis-aligned hops of length S at 3 m/s -> S/3 s each.
+  const SegmentId a1 = g.add_segment(a, m, RoadClass::kArterial, 3.0);
+  const SegmentId a2 = g.add_segment(m, b, RoadClass::kArterial, 3.0);
+  // Route B: lengths S, 2S, S at speeds 4.5, 9, 4.5 -> 2S/9 s each.
+  const SegmentId b1 = g.add_segment(a, n1, RoadClass::kArterial, 4.5);
+  const SegmentId b2 = g.add_segment(n1, n2, RoadClass::kArterial, 9.0);
+  const SegmentId b3 = g.add_segment(n2, b, RoadClass::kArterial, 4.5);
+  g.finalize();
+
+  // Precondition for the regression: the two accumulated totals really do
+  // drift apart in floating point (otherwise this test proves nothing).
+  const double total_a = kS / 3.0 + kS / 3.0;
+  const double total_b = (kS / 4.5 + 2.0 * kS / 9.0) + kS / 4.5;
+  ASSERT_NE(total_a, total_b);
+  ASSERT_GT(std::abs(total_a - total_b), 1e-9);
+
+  BetweennessOptions opts;
+  opts.metric = PathMetric::kTravelTime;
+  opts.normalize = false;
+  const auto bc = segment_betweenness(g, opts);
+
+  // With the tie recognized, the a<->b unit splits 0.5 / 0.5 across the
+  // routes: route A segments carry 1 + 0.5 + 1 = 2.5 and route B segments
+  // 0.5 + 3 = 3.5 over the ten node pairs. A missed tie hands the whole
+  // unit to route B (2.0 vs 4.0).
+  EXPECT_NEAR(bc[a1], 2.5, 1e-12);
+  EXPECT_NEAR(bc[a2], 2.5, 1e-12);
+  EXPECT_NEAR(bc[b1], 3.5, 1e-12);
+  EXPECT_NEAR(bc[b2], 3.5, 1e-12);
+  EXPECT_NEAR(bc[b3], 3.5, 1e-12);
+}
+
+TEST(Betweenness, TinyWeightTiesStillMerge) {
+  // The flip side of a relative window: on millimetre-scale graphs the old
+  // absolute 1e-9 window dwarfed real length differences. Equal-length
+  // branches at 1e-3 m must still tie under the relative tolerance.
+  RoadGraph g;
+  const NodeId a = g.add_intersection(PointM{0.0, 0.0});
+  const NodeId t = g.add_intersection(PointM{2e-3, 0.0});
+  const NodeId up = g.add_intersection(PointM{1e-3, 1e-3});
+  const NodeId dn = g.add_intersection(PointM{1e-3, -1e-3});
+  const SegmentId u1 = g.add_segment(a, up, RoadClass::kLocal, 1.0);
+  const SegmentId u2 = g.add_segment(up, t, RoadClass::kLocal, 1.0);
+  const SegmentId d1 = g.add_segment(a, dn, RoadClass::kLocal, 1.0);
+  const SegmentId d2 = g.add_segment(dn, t, RoadClass::kLocal, 1.0);
+  g.finalize();
+
+  BetweennessOptions opts;
+  opts.metric = PathMetric::kDistance;
+  opts.normalize = false;
+  const auto bc = segment_betweenness(g, opts);
+  // Symmetric diamond: the a<->t pair splits equally over both branches.
+  EXPECT_NEAR(bc[u1], bc[d1], 1e-12);
+  EXPECT_NEAR(bc[u2], bc[d2], 1e-12);
+  EXPECT_NEAR(bc[u1], bc[u2], 1e-12);
+}
+
 TEST(Betweenness, SampledWithAllSourcesIsExact) {
   const RoadGraph g = make_grid(3, 4);
   const auto exact = segment_betweenness(g);

@@ -1,0 +1,182 @@
+// Regression lock for the parallel round engines' determinism contract:
+// for any fixed seed, the full trajectory of every engine is bit-identical
+// at every thread count. This is what lets num_threads be a pure throughput
+// knob — experiments are reproducible on any machine regardless of core
+// count. The contract is earned by construction (per-(round, region)
+// hash-derived RNG streams, index-owned writes, caller-side reductions in
+// index order — see common/thread_pool.h); these tests pin it.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "byzantine/adversary_model.h"
+#include "byzantine/report_pipeline.h"
+#include "core/fds.h"
+#include "faults/fault_model.h"
+#include "sim/agent_sim.h"
+#include "system/system.h"
+#include "test_support.h"
+
+namespace avcp::system {
+namespace {
+
+using core::testing::make_chain_game;
+
+constexpr std::size_t kThreadCounts[] = {1, 2, 8};
+constexpr std::size_t kRounds = 12;
+
+core::DesiredFields share_band_fields(std::size_t regions, double lo,
+                                      double hi) {
+  core::DesiredFields fields(regions, 8);
+  for (core::RegionId i = 0; i < regions; ++i) {
+    fields.set_target(i, 0, Interval{lo, hi});
+  }
+  return fields;
+}
+
+void expect_reports_identical(const RoundReport& a, const RoundReport& b,
+                              std::size_t threads, std::size_t round) {
+  ASSERT_EQ(a.x, b.x) << "threads " << threads << " round " << round;
+  ASSERT_EQ(a.mean_utility, b.mean_utility)
+      << "threads " << threads << " round " << round;
+  ASSERT_EQ(a.mean_privacy, b.mean_privacy)
+      << "threads " << threads << " round " << round;
+  ASSERT_EQ(a.exposed_privacy, b.exposed_privacy)
+      << "threads " << threads << " round " << round;
+  ASSERT_EQ(a.state.p, b.state.p)
+      << "threads " << threads << " round " << round;
+  ASSERT_EQ(a.faults.uploads_lost, b.faults.uploads_lost);
+  ASSERT_EQ(a.faults.deliveries_lost, b.faults.deliveries_lost);
+  ASSERT_EQ(a.faults.uploads_lost_by_region, b.faults.uploads_lost_by_region);
+  ASSERT_EQ(a.faults.deliveries_lost_by_region,
+            b.faults.deliveries_lost_by_region);
+  ASSERT_EQ(a.byzantine.observed.p, b.byzantine.observed.p);
+  ASSERT_EQ(a.byzantine.beta, b.byzantine.beta);
+  ASSERT_EQ(a.byzantine.gamma, b.byzantine.gamma);
+  ASSERT_EQ(a.byzantine.density, b.byzantine.density);
+  ASSERT_EQ(a.byzantine.reports_used, b.byzantine.reports_used);
+  ASSERT_EQ(a.byzantine.outliers_rejected, b.byzantine.outliers_rejected);
+  ASSERT_EQ(a.byzantine.quarantined, b.byzantine.quarantined);
+  ASSERT_EQ(a.byzantine.total_quarantined, b.byzantine.total_quarantined);
+}
+
+/// Runs a fresh system trajectory at the given thread count.
+std::vector<RoundReport> run_system(SystemParams params, std::size_t threads,
+                                    const faults::FaultModel* faults,
+                                    const byzantine::AdversaryModel* adversary,
+                                    bool with_pipeline) {
+  const auto game = make_chain_game(4);
+  params.num_threads = threads;
+  byzantine::PipelineOptions popts;
+  popts.aggregator.mode = byzantine::AggregationMode::kMedian;
+  byzantine::ReportPipeline pipeline(4, 8, params.vehicles_per_region, popts);
+  CooperativePerceptionSystem sys(game, params, faults, adversary,
+                                  with_pipeline ? &pipeline : nullptr);
+  sys.init_from(game.uniform_state());
+  core::FdsController controller(game, share_band_fields(4, 0.6, 1.0));
+  std::vector<RoundReport> reports;
+  reports.reserve(kRounds);
+  for (std::size_t r = 0; r < kRounds; ++r) {
+    reports.push_back(sys.run_round(controller));
+  }
+  return reports;
+}
+
+TEST(Determinism, SystemTrajectoryIsThreadCountInvariant) {
+  SystemParams params;
+  params.vehicles_per_region = 40;
+  params.seed = 17;
+  const auto baseline = run_system(params, 1, nullptr, nullptr, false);
+  for (const std::size_t threads : kThreadCounts) {
+    const auto run = run_system(params, threads, nullptr, nullptr, false);
+    ASSERT_EQ(run.size(), baseline.size());
+    for (std::size_t r = 0; r < baseline.size(); ++r) {
+      expect_reports_identical(baseline[r], run[r], threads, r);
+    }
+  }
+}
+
+TEST(Determinism, FaultedSystemTrajectoryIsThreadCountInvariant) {
+  SystemParams params;
+  params.vehicles_per_region = 40;
+  params.seed = 23;
+  faults::FaultParams fparams;
+  fparams.upload_loss_rate = 0.1;
+  fparams.delivery_loss_rate = 0.05;
+  fparams.outage_rate = 0.1;
+  fparams.seed = 5;
+  const faults::FaultModel faults(fparams);
+  const auto baseline = run_system(params, 1, &faults, nullptr, false);
+  for (const std::size_t threads : kThreadCounts) {
+    const auto run = run_system(params, threads, &faults, nullptr, false);
+    for (std::size_t r = 0; r < baseline.size(); ++r) {
+      expect_reports_identical(baseline[r], run[r], threads, r);
+    }
+  }
+}
+
+TEST(Determinism, PipelinedByzantineTrajectoryIsThreadCountInvariant) {
+  // The robust report pipeline (median aggregation, reputation scoring,
+  // quarantine) runs per-region inside the parallel fan-out; its whole
+  // observation series must be thread-count-invariant too.
+  SystemParams params;
+  params.vehicles_per_region = 40;
+  params.seed = 31;
+  byzantine::AdversaryParams aparams;
+  aparams.attacker_fraction = 0.2;
+  aparams.strategy = byzantine::AttackStrategy::kInflateSharing;
+  aparams.seed = 13;
+  const byzantine::AdversaryModel adversary(aparams);
+  const auto baseline = run_system(params, 1, nullptr, &adversary, true);
+  for (const std::size_t threads : kThreadCounts) {
+    const auto run = run_system(params, threads, nullptr, &adversary, true);
+    for (std::size_t r = 0; r < baseline.size(); ++r) {
+      expect_reports_identical(baseline[r], run[r], threads, r);
+    }
+  }
+}
+
+TEST(Determinism, AgentSimTrajectoryIsThreadCountInvariant) {
+  const auto game = make_chain_game(5);
+  const std::vector<double> x(5, 0.6);
+  auto run = [&](std::size_t threads) {
+    sim::AgentSimParams params;
+    params.vehicles_per_region = 120;
+    params.seed = 77;
+    params.num_threads = threads;
+    sim::AgentBasedSim sim(game, params);
+    sim.init_from(game.uniform_state());
+    std::vector<core::GameState> states;
+    for (std::size_t r = 0; r < 20; ++r) {
+      sim.step(x);
+      states.push_back(sim.empirical_state());
+    }
+    return states;
+  };
+  const auto baseline = run(1);
+  for (const std::size_t threads : kThreadCounts) {
+    const auto states = run(threads);
+    ASSERT_EQ(states.size(), baseline.size());
+    for (std::size_t r = 0; r < baseline.size(); ++r) {
+      ASSERT_EQ(states[r].p, baseline[r].p)
+          << "threads " << threads << " round " << r;
+    }
+  }
+}
+
+TEST(Determinism, HardwareThreadCountMatchesSerial) {
+  // num_threads = 0 resolves to hardware concurrency — whatever that is on
+  // the machine running the tests, the trajectory must not move.
+  SystemParams params;
+  params.vehicles_per_region = 30;
+  params.seed = 41;
+  const auto baseline = run_system(params, 1, nullptr, nullptr, false);
+  const auto run = run_system(params, 0, nullptr, nullptr, false);
+  for (std::size_t r = 0; r < baseline.size(); ++r) {
+    expect_reports_identical(baseline[r], run[r], 0, r);
+  }
+}
+
+}  // namespace
+}  // namespace avcp::system

@@ -90,12 +90,37 @@ TEST(CentralInterval, CoversExpectedMass) {
   EXPECT_NEAR(hi, 1.96, 0.08);
 }
 
-TEST(Histogram, CountsAndClamping) {
+TEST(Histogram, SeparatesOutOfRangeFromEdgeBins) {
   const std::vector<double> xs = {-1.0, 0.1, 0.5, 0.9, 2.0};
   const auto h = histogram(xs, 0.0, 1.0, 2);
-  ASSERT_EQ(h.size(), 2u);
-  EXPECT_EQ(h[0], 2u);  // -1.0 clamped in, 0.1
-  EXPECT_EQ(h[1], 3u);  // 0.5, 0.9, 2.0 clamped in
+  ASSERT_EQ(h.counts.size(), 2u);
+  EXPECT_EQ(h.counts[0], 1u);  // 0.1; the half-open split puts 0.5 above
+  EXPECT_EQ(h.counts[1], 2u);  // 0.5, 0.9
+  EXPECT_EQ(h.underflow, 1u);  // -1.0, no longer folded into counts[0]
+  EXPECT_EQ(h.overflow, 1u);   // 2.0, no longer folded into counts[1]
+}
+
+TEST(Histogram, UpperEdgeIsClosed) {
+  // x == hi belongs to the top bucket, not to overflow: [lo, hi] covers
+  // the whole closed range, matching how sweep grids include both ends.
+  const std::vector<double> xs = {0.0, 1.0};
+  const auto h = histogram(xs, 0.0, 1.0, 4);
+  EXPECT_EQ(h.counts.front(), 1u);
+  EXPECT_EQ(h.counts.back(), 1u);
+  EXPECT_EQ(h.underflow, 0u);
+  EXPECT_EQ(h.overflow, 0u);
+}
+
+TEST(Histogram, InRangeMassIsConserved) {
+  Rng rng(11);
+  std::vector<double> xs(5000);
+  for (double& x : xs) x = rng.normal();
+  const auto h = histogram(xs, -1.0, 1.0, 10);
+  std::size_t in_range = 0;
+  for (const std::size_t c : h.counts) in_range += c;
+  EXPECT_EQ(in_range + h.underflow + h.overflow, xs.size());
+  EXPECT_GT(h.underflow, 0u);  // a standard normal spills both tails
+  EXPECT_GT(h.overflow, 0u);
 }
 
 TEST(Histogram, RejectsZeroBins) {
