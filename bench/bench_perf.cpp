@@ -9,6 +9,16 @@
 //                                        # 1/2/4/8 threads, JSON on stdout
 //   ./build/bench/bench_perf --smoke     # tiny CI configuration
 //
+// and a data-plane kernel sweep (pairwise-exact vs class-aggregated over
+// vehicle counts, plus a system-level mode x threads table):
+//
+//   ./build/bench/bench_perf --dataplane           # full sweep
+//   ./build/bench/bench_perf --dataplane --smoke   # 10k-vehicle CI point
+//
+// CI stores the --dataplane JSON as BENCH_dataplane.json, the repo's
+// recorded perf baseline, and gates on the aggregated kernel staying at
+// least 5x faster than pairwise at the smoke point.
+//
 // Scaling mode re-runs the identical seeded workload per thread count,
 // reports wall-clock speedup curves, and verifies the determinism contract:
 // every trajectory must be bit-identical to the single-threaded run (the
@@ -213,11 +223,14 @@ struct Trajectory {
 };
 
 Trajectory run_round_loop(const core::MultiRegionGame& game,
-                          const ScalingConfig& config, std::size_t threads) {
+                          const ScalingConfig& config, std::size_t threads,
+                          perception::DataPlaneMode mode =
+                              perception::DataPlaneMode::kPairwiseExact) {
   system::SystemParams params;
   params.vehicles_per_region = config.vehicles_per_region;
   params.seed = 2022;
   params.num_threads = threads;
+  params.data_plane_mode = mode;
   system::CooperativePerceptionSystem sys(game, params);
   sys.init_from(game.uniform_state());
 
@@ -293,9 +306,179 @@ int run_scaling(bool smoke) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// --dataplane [--smoke]: pairwise-exact vs class-aggregated kernel sweep.
+// Emits JSON on stdout (CI captures it as BENCH_dataplane.json — the repo's
+// recorded perf baseline) and exits non-zero if the aggregated kernel loses
+// its thread-count determinism at the system level.
+
+struct KernelTiming {
+  std::size_t rounds = 0;
+  double seconds = 0.0;
+  double mean_utility = 0.0;
+  std::size_t deliveries = 0;
+};
+
+KernelTiming time_plane_rounds(perception::EdgeServerDataPlane& plane,
+                               std::span<const perception::Vehicle> fleet,
+                               double x, perception::DataPlaneMode mode,
+                               std::size_t rounds) {
+  perception::RoundOutcome out;
+  // Warm-up round (untimed): workspace and outcome buffers reach their
+  // high-water marks, so the timed loop runs allocation-free.
+  plane.run_round_into(fleet, x, {}, {}, mode, out);
+  KernelTiming timing;
+  timing.rounds = rounds;
+  double utility_sum = 0.0;
+  std::size_t delivery_sum = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t r = 0; r < rounds; ++r) {
+    plane.run_round_into(fleet, x, {}, {}, mode, out);
+    utility_sum += out.mean_utility();
+    delivery_sum += out.deliveries;
+  }
+  timing.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  timing.mean_utility = utility_sum / static_cast<double>(rounds);
+  timing.deliveries = delivery_sum / rounds;
+  return timing;
+}
+
+void print_kernel_timing(const char* key, const KernelTiming& t,
+                         const char* trailer) {
+  std::printf(
+      "      \"%s\": {\"rounds\": %zu, \"seconds\": %.6f, "
+      "\"round_seconds\": %.6f, \"mean_utility\": %.6f, "
+      "\"deliveries_per_round\": %zu}%s\n",
+      key, t.rounds, t.seconds, t.seconds / static_cast<double>(t.rounds),
+      t.mean_utility, t.deliveries, trailer);
+}
+
+int run_dataplane(bool smoke) {
+  constexpr double kSharingRatio = 0.5;
+  constexpr std::size_t kItemsPerSensor = 30;
+  const std::vector<std::size_t> fleet_sizes =
+      smoke ? std::vector<std::size_t>{10000}
+            : std::vector<std::size_t>{200, 1000, 5000, 10000, 20000};
+
+  const core::DecisionLattice lattice(3);
+  Rng rng(5);
+  const std::vector<double> privacy = {1.0, 0.5, 0.1};
+  const auto universe =
+      perception::DataUniverse::synthetic(3, kItemsPerSensor, privacy, rng);
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"dataplane_kernels\",\n");
+  std::printf("  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::printf("  \"sensors\": 3,\n");
+  std::printf("  \"items\": %zu,\n", universe.size());
+  std::printf("  \"sharing_ratio\": %.2f,\n", kSharingRatio);
+  std::printf("  \"plane\": [\n");
+  for (std::size_t fi = 0; fi < fleet_sizes.size(); ++fi) {
+    const std::size_t n = fleet_sizes[fi];
+    std::vector<perception::Vehicle> fleet(n);
+    Rng fleet_rng(7 + n);
+    for (auto& v : fleet) {
+      v.decision = static_cast<core::DecisionId>(fleet_rng.uniform_int(0, 7));
+      for (perception::ItemId id = 0; id < universe.size(); ++id) {
+        if (fleet_rng.bernoulli(0.3)) v.collected.push_back(id);
+        if (fleet_rng.bernoulli(0.2)) v.desired.push_back(id);
+      }
+      if (v.desired.empty()) v.desired.push_back(0);
+    }
+    // Pairwise rounds shrink with the fleet (the kernel is quadratic);
+    // aggregated rounds stay high for stable timing of a fast kernel.
+    const std::size_t pairwise_rounds = n <= 1000 ? 20 : (n <= 5000 ? 4 : 2);
+    const std::size_t aggregated_rounds = pairwise_rounds * 25;
+    // Identically seeded planes: both kernels see the same fleet and the
+    // same upload phase; only the distribution sampling differs.
+    perception::EdgeServerDataPlane exact_plane(lattice, universe,
+                                                core::AccessRule::kSubsetOrEqual,
+                                                11 + n);
+    perception::EdgeServerDataPlane agg_plane(lattice, universe,
+                                              core::AccessRule::kSubsetOrEqual,
+                                              11 + n);
+    const auto exact =
+        time_plane_rounds(exact_plane, fleet, kSharingRatio,
+                          perception::DataPlaneMode::kPairwiseExact,
+                          pairwise_rounds);
+    const auto agg =
+        time_plane_rounds(agg_plane, fleet, kSharingRatio,
+                          perception::DataPlaneMode::kClassAggregated,
+                          aggregated_rounds);
+    const double speedup =
+        (exact.seconds / static_cast<double>(exact.rounds)) /
+        (agg.seconds / static_cast<double>(agg.rounds));
+    std::printf("    {\n");
+    std::printf("      \"vehicles\": %zu,\n", n);
+    print_kernel_timing("pairwise", exact, ",");
+    print_kernel_timing("aggregated", agg, ",");
+    std::printf("      \"speedup\": %.2f\n", speedup);
+    std::printf("    }%s\n", fi + 1 < fleet_sizes.size() ? "," : "");
+  }
+  std::printf("  ]%s\n", smoke ? "" : ",");
+
+  bool aggregated_deterministic = true;
+  if (!smoke) {
+    // System-level mode x threads table: full FDS rounds through
+    // system.cpp's wiring, checking both kernels hold the thread-count
+    // determinism contract end to end.
+    ScalingConfig config;
+    config.regions = 8;
+    config.vehicles_per_region = 120;
+    config.rounds = 6;
+    config.thread_counts = {1, 2, 8};
+    const auto game = make_chain(config.regions);
+    std::printf("  \"system\": [\n");
+    const perception::DataPlaneMode modes[] = {
+        perception::DataPlaneMode::kPairwiseExact,
+        perception::DataPlaneMode::kClassAggregated};
+    for (std::size_t mi = 0; mi < 2; ++mi) {
+      std::vector<Trajectory> runs;
+      for (const std::size_t threads : config.thread_counts) {
+        runs.push_back(run_round_loop(game, config, threads, modes[mi]));
+      }
+      bool bit_identical = true;
+      for (std::size_t i = 1; i < runs.size(); ++i) {
+        if (runs[i].x != runs[0].x || runs[i].p != runs[0].p) {
+          bit_identical = false;
+        }
+      }
+      if (mi == 1 && !bit_identical) aggregated_deterministic = false;
+      for (std::size_t i = 0; i < runs.size(); ++i) {
+        std::printf(
+            "    {\"mode\": \"%s\", \"threads\": %zu, \"seconds\": %.6f, "
+            "\"rounds_per_s\": %.3f, \"bit_identical\": %s}%s\n",
+            mi == 0 ? "pairwise" : "aggregated", config.thread_counts[i],
+            runs[i].seconds,
+            static_cast<double>(config.rounds) / runs[i].seconds,
+            bit_identical ? "true" : "false",
+            mi == 1 && i + 1 == runs.size() ? "" : ",");
+      }
+    }
+    std::printf("  ]\n");
+  }
+  std::printf("}\n");
+  if (!aggregated_deterministic) {
+    std::fprintf(stderr,
+                 "FAIL: aggregated-mode trajectories differ across thread "
+                 "counts — the determinism contract is broken\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool dataplane = false;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--dataplane") == 0) dataplane = true;
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  if (dataplane) return run_dataplane(smoke);
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--scaling") == 0) return run_scaling(false);
     if (std::strcmp(argv[i], "--smoke") == 0) return run_scaling(true);

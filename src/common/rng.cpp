@@ -107,6 +107,86 @@ double Rng::exponential(double rate) noexcept {
   return -std::log(u) / rate;
 }
 
+namespace {
+
+#if defined(__GLIBC__) || defined(__APPLE__)
+extern "C" double lgamma_r(double, int*);  // not declared under -std=c++20
+#endif
+
+/// glibc's lgamma writes the process-global `signgam`, a data race when the
+/// parallel round engines sample binomials concurrently (caught by TSan).
+/// Route through the reentrant lgamma_r where available; it computes the
+/// identical value without the global side channel.
+double lgamma_threadsafe(double x) noexcept {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
+/// CDF inversion (Kachitvichyanukul & Schmeiser's BINV): walks the
+/// probability recurrence from k = 0. Expected cost O(n * p); used when
+/// n * p is small enough that the walk beats rejection.
+std::uint64_t binomial_inversion(Rng& rng, std::uint64_t n, double p) noexcept {
+  const double q = 1.0 - p;
+  const double s = p / q;
+  const double a = static_cast<double>(n + 1) * s;
+  double r = std::pow(q, static_cast<double>(n));
+  double u = rng.uniform();
+  std::uint64_t k = 0;
+  while (u > r) {
+    u -= r;
+    ++k;
+    if (k > n) return n;  // floating-point tail guard
+    r *= a / static_cast<double>(k) - s;
+  }
+  return k;
+}
+
+/// Hormann's BTRS transformed-rejection sampler (1993), the standard exact
+/// binomial for n * p >= 10 (same algorithm family as NumPy / TensorFlow).
+/// Requires p <= 1/2 (callers reduce by symmetry).
+std::uint64_t binomial_btrs(Rng& rng, std::uint64_t n, double p) noexcept {
+  const double nd = static_cast<double>(n);
+  const double q = 1.0 - p;
+  const double spq = std::sqrt(nd * p * q);
+  const double b = 1.15 + 2.53 * spq;
+  const double a = -0.0873 + 0.0248 * b + 0.01 * p;
+  const double c = nd * p + 0.5;
+  const double v_r = 0.92 - 4.2 / b;
+  const double alpha = (2.83 + 5.1 / b) * spq;
+  const double lpq = std::log(p / q);
+  const double m = std::floor((nd + 1.0) * p);
+  const double h = lgamma_threadsafe(m + 1.0) + lgamma_threadsafe(nd - m + 1.0);
+  for (;;) {
+    const double u = rng.uniform() - 0.5;
+    double v = rng.uniform();
+    const double us = 0.5 - std::abs(u);
+    const double kd = std::floor((2.0 * a / us + b) * u + c);
+    if (kd < 0.0 || kd > nd) continue;
+    if (us >= 0.07 && v <= v_r) return static_cast<std::uint64_t>(kd);
+    v = std::log(v * alpha / (a / (us * us) + b));
+    if (v <= h - lgamma_threadsafe(kd + 1.0) - lgamma_threadsafe(nd - kd + 1.0) +
+                 (kd - m) * lpq) {
+      return static_cast<std::uint64_t>(kd);
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t Rng::binomial(std::uint64_t n, double p) noexcept {
+  if (n == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  if (p > 0.5) return n - binomial(n, 1.0 - p);
+  if (static_cast<double>(n) * p < 10.0) {
+    return binomial_inversion(*this, n, p);
+  }
+  return binomial_btrs(*this, n, p);
+}
+
 std::size_t Rng::weighted_index(std::span<const double> weights) {
   AVCP_EXPECT(!weights.empty());
   double total = 0.0;

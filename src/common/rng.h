@@ -63,6 +63,14 @@ class Rng {
   /// Exponential sample with the given rate (> 0).
   double exponential(double rate) noexcept;
 
+  /// Binomial sample: number of successes in n independent Bernoulli(p)
+  /// trials. Exact (not a normal approximation): CDF inversion for small
+  /// n*p, Hormann's BTRS transformed-rejection otherwise, with the p > 1/2
+  /// case handled by symmetry. p is clamped to [0, 1]. The class-aggregated
+  /// data-plane kernel uses it to collapse per-pair delivery draws into one
+  /// draw per (receiver, sender-class).
+  std::uint64_t binomial(std::uint64_t n, double p) noexcept;
+
   /// Samples an index in [0, weights.size()) with probability proportional
   /// to weights[i]. Weights must be non-negative with a positive sum.
   std::size_t weighted_index(std::span<const double> weights);

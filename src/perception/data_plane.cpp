@@ -1,11 +1,50 @@
 #include "perception/data_plane.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/contracts.h"
 #include "common/stats.h"
 
 namespace avcp::perception {
+
+namespace {
+
+constexpr std::size_t kMissPowCache = 64;
+
+/// Normalised utility measure evaluated in place: weight(s ∩ desired) /
+/// weight(desired), both sums taken in ascending item order — the exact
+/// floating-point summation order of UtilityMeasure, without its per-call
+/// desired-set copy (the per-receiver heap allocation the workspaces
+/// eliminate). `desired` must be non-empty.
+double measured_utility(const DataUniverse& universe, const ItemSet& s,
+                        const ItemSet& desired) {
+  double den = 0.0;
+  for (const ItemId id : desired) den += universe.item(id).utility_weight;
+  AVCP_ENSURE(den > 0.0);
+  double num = 0.0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < s.size() && j < desired.size()) {
+    if (s[i] < desired[j]) {
+      ++i;
+    } else if (desired[j] < s[i]) {
+      ++j;
+    } else {
+      num += universe.item(s[i]).utility_weight;
+      ++i;
+      ++j;
+    }
+  }
+  return num / den;
+}
+
+void sort_unique(ItemSet& s) {
+  std::sort(s.begin(), s.end());
+  s.erase(std::unique(s.begin(), s.end()), s.end());
+}
+
+}  // namespace
 
 double RoundOutcome::mean_utility() const {
   return mean(std::span<const double>(utility));
@@ -21,61 +60,49 @@ EdgeServerDataPlane::EdgeServerDataPlane(const core::DecisionLattice& lattice,
                                          std::uint64_t seed)
     : lattice_(lattice), universe_(universe), access_(access), rng_(seed) {
   AVCP_EXPECT(universe.num_sensors() == lattice.num_sensors());
+  const std::size_t k = lattice.num_decisions();
+  readable_.resize(k * k);
+  for (core::DecisionId a = 0; a < k; ++a) {
+    for (core::DecisionId b = 0; b < k; ++b) {
+      readable_[a * k + b] = access == core::AccessRule::kSubsetOrEqual
+                                 ? lattice.preceq(a, b)
+                                 : lattice.precedes(a, b);
+    }
+  }
+  decision_masks_.resize(k);
+  for (core::DecisionId d = 0; d < k; ++d) decision_masks_[d] = lattice.mask(d);
+  refresh_item_bits();
+}
+
+void EdgeServerDataPlane::refresh_item_bits() {
+  // The universe may gain items after the plane is built; extend the cache
+  // lazily (ids are append-only).
+  while (item_bits_.size() < universe_.size()) {
+    const auto id = static_cast<ItemId>(item_bits_.size());
+    item_bits_.push_back(lattice_.sensor_bit(universe_.item(id).sensor));
+  }
+}
+
+void EdgeServerDataPlane::append_shared(const Vehicle& v, ItemSet& out) const {
+  AVCP_EXPECT(v.decision < lattice_.num_decisions());
+  AVCP_EXPECT(is_sorted_unique(v.collected));
+  const core::SensorMask dmask = decision_masks_[v.decision];
+  for (const ItemId id : v.collected) {
+    AVCP_EXPECT(id < item_bits_.size());
+    if ((dmask & item_bits_[id]) != 0) out.push_back(id);
+  }
 }
 
 ItemSet EdgeServerDataPlane::shared_items(const Vehicle& v) const {
-  AVCP_EXPECT(v.decision < lattice_.num_decisions());
-  AVCP_EXPECT(is_sorted_unique(v.collected));
+  const_cast<EdgeServerDataPlane*>(this)->refresh_item_bits();
   ItemSet shared;
-  for (const ItemId id : v.collected) {
-    if (lattice_.shares(v.decision, universe_.item(id).sensor)) {
-      shared.push_back(id);
-    }
-  }
+  append_shared(v, shared);
   return shared;
 }
 
 RoundOutcome EdgeServerDataPlane::run_round(std::span<const Vehicle> vehicles,
                                             double sharing_ratio) {
   return run_round_with_server(vehicles, sharing_ratio, ItemSet{});
-}
-
-EdgeServerDataPlane::DirectionalOutcome EdgeServerDataPlane::run_directional(
-    std::span<const Vehicle> senders, std::span<const Vehicle> receivers,
-    double sharing_ratio) {
-  AVCP_EXPECT(sharing_ratio >= 0.0 && sharing_ratio <= 1.0);
-  std::vector<ItemSet> uploads(senders.size());
-  for (std::size_t b = 0; b < senders.size(); ++b) {
-    uploads[b] = shared_items(senders[b]);
-  }
-
-  DirectionalOutcome outcome;
-  outcome.marginal_utility.resize(receivers.size(), 0.0);
-  for (std::size_t a = 0; a < receivers.size(); ++a) {
-    const Vehicle& receiver = receivers[a];
-    if (receiver.revoked) continue;
-    AVCP_EXPECT(is_sorted_unique(receiver.collected));
-    ItemSet received;
-    for (std::size_t b = 0; b < senders.size(); ++b) {
-      const bool readable =
-          access_ == core::AccessRule::kSubsetOrEqual
-              ? lattice_.preceq(receiver.claimed(), senders[b].claimed())
-              : lattice_.precedes(receiver.claimed(), senders[b].claimed());
-      if (!readable) continue;
-      if (!rng_.bernoulli(sharing_ratio)) continue;
-      outcome.deliveries += uploads[b].size();
-      received.insert(received.end(), uploads[b].begin(), uploads[b].end());
-    }
-    std::sort(received.begin(), received.end());
-    received.erase(std::unique(received.begin(), received.end()),
-                   received.end());
-    received = set_difference(received, receiver.collected);
-    if (!received.empty() && !receiver.desired.empty()) {
-      const UtilityMeasure f(universe_, receiver.desired);
-      outcome.marginal_utility[a] = f(received);
-    }
-  }
-  return outcome;
 }
 
 RoundOutcome EdgeServerDataPlane::run_round_with_server(
@@ -88,15 +115,39 @@ RoundOutcome EdgeServerDataPlane::run_round_with_server(
 RoundOutcome EdgeServerDataPlane::run_round_degraded(
     std::span<const Vehicle> vehicles, double sharing_ratio,
     const CellFaultMask& mask, const ItemSet& server_items) {
+  RoundOutcome out;
+  run_round_into(vehicles, sharing_ratio, mask, server_items,
+                 DataPlaneMode::kPairwiseExact, out);
+  return out;
+}
+
+RoundOutcome EdgeServerDataPlane::run_round_aggregated(
+    std::span<const Vehicle> vehicles, double sharing_ratio,
+    const CellFaultMask& mask, const ItemSet& server_items) {
+  RoundOutcome out;
+  run_round_into(vehicles, sharing_ratio, mask, server_items,
+                 DataPlaneMode::kClassAggregated, out);
+  return out;
+}
+
+void EdgeServerDataPlane::run_round_into(std::span<const Vehicle> vehicles,
+                                         double sharing_ratio,
+                                         const CellFaultMask& mask,
+                                         const ItemSet& server_items,
+                                         DataPlaneMode mode, RoundOutcome& out) {
   AVCP_EXPECT(sharing_ratio >= 0.0 && sharing_ratio <= 1.0);
   AVCP_EXPECT(is_sorted_unique(server_items));
-
   const std::size_t n = vehicles.size();
   AVCP_EXPECT(mask.upload_lost.empty() || mask.upload_lost.size() == n);
-  AVCP_EXPECT(mask.delivery_lost.empty() || mask.delivery_lost.size() == n * n);
-  RoundOutcome outcome;
-  outcome.utility.resize(n, 0.0);
-  outcome.privacy.resize(n, 0.0);
+  refresh_item_bits();
+
+  out.utility.assign(n, 0.0);
+  out.privacy.assign(n, 0.0);
+  out.exposed_items = 0;
+  out.exposed_privacy = 0.0;
+  out.deliveries = 0;
+  out.uploads_lost = 0;
+  out.deliveries_lost = 0;
 
   // Upload phase (framework step 4): decision-filtered collected data. A
   // lost upload never reaches the server: it shrinks the pool, is invisible
@@ -109,26 +160,68 @@ RoundOutcome EdgeServerDataPlane::run_round_degraded(
   // at high attacker fractions that starves honest receivers and collapses
   // the sharing equilibrium the controller is holding. Keeping the upload
   // also keeps its mass observable to the behavioural audit, so a falsely
-  // flagged honest vehicle can rehabilitate.
-  std::vector<ItemSet> uploads(n);
-  ItemSet server_view;
+  // flagged honest vehicle can rehabilitate. The phase is identical for
+  // both kernels (it consumes no randomness).
+  upload_phase(vehicles, mask, out);
+  classify(vehicles);
+
+  if (mode == DataPlaneMode::kClassAggregated) {
+    AVCP_EXPECT(mask.delivery_lost.empty());
+    run_round_class_aggregated(vehicles, sharing_ratio, mask, server_items,
+                               out);
+    return;
+  }
+  AVCP_EXPECT(mask.delivery_lost.empty() || mask.delivery_lost.size() == n * n);
+  run_round_exact(vehicles, sharing_ratio, mask, server_items, out);
+}
+
+void EdgeServerDataPlane::upload_phase(std::span<const Vehicle> vehicles,
+                                       const CellFaultMask& mask,
+                                       RoundOutcome& out) {
+  const std::size_t n = vehicles.size();
+  if (ws_.uploads.size() < n) ws_.uploads.resize(n);
+  ws_.server_view.clear();
   for (std::size_t a = 0; a < n; ++a) {
+    ws_.uploads[a].clear();
     if (!mask.upload_lost.empty() && mask.upload_lost[a]) {
-      ++outcome.uploads_lost;
+      ++out.uploads_lost;
       continue;
     }
-    uploads[a] = shared_items(vehicles[a]);
-    server_view = set_union(server_view, uploads[a]);
-    outcome.privacy[a] = privacy_cost(universe_, uploads[a]);
+    append_shared(vehicles[a], ws_.uploads[a]);
+    ws_.server_view.insert(ws_.server_view.end(), ws_.uploads[a].begin(),
+                           ws_.uploads[a].end());
+    out.privacy[a] = privacy_cost(universe_, ws_.uploads[a]);
   }
-  outcome.exposed_items = server_view.size();
-  outcome.exposed_privacy = privacy_cost(universe_, server_view);
+  sort_unique(ws_.server_view);
+  out.exposed_items = ws_.server_view.size();
+  out.exposed_privacy = privacy_cost(universe_, ws_.server_view);
+}
+
+void EdgeServerDataPlane::classify(std::span<const Vehicle> vehicles) {
+  const std::size_t k = lattice_.num_decisions();
+  if (ws_.cls.size() < vehicles.size()) ws_.cls.resize(vehicles.size());
+  for (std::size_t v = 0; v < vehicles.size(); ++v) {
+    const core::DecisionId c = vehicles[v].claimed();
+    AVCP_EXPECT(c < k);
+    ws_.cls[v] = c;
+  }
+}
+
+void EdgeServerDataPlane::run_round_exact(std::span<const Vehicle> vehicles,
+                                          double sharing_ratio,
+                                          const CellFaultMask& mask,
+                                          const ItemSet& server_items,
+                                          RoundOutcome& out) {
+  const std::size_t n = vehicles.size();
+  const std::size_t k = lattice_.num_decisions();
 
   // Distribution phase (step 5): b's upload reaches a with probability x
   // iff a's decision shares at least b's sensor types. A delivery lost on
   // the downlink drops after acceptance: the Bernoulli draw is consumed
   // either way, so a clean run and a delivery-loss run share the upload
-  // phase bit-for-bit.
+  // phase bit-for-bit. See the draw-order contract in data_plane.h: one
+  // draw per readable ordered pair, regardless of upload contents.
+  ItemSet& received = ws_.received;
   for (std::size_t a = 0; a < n; ++a) {
     // Gather all accepted uploads first, then sort/deduplicate once — a
     // per-sender set_union would make large cells quadratic in fleet size.
@@ -137,44 +230,293 @@ RoundOutcome EdgeServerDataPlane::run_round_degraded(
     // receiver is served nothing (and consumes no distribution draws;
     // revocation only ever happens on the already-perturbed Byzantine
     // path, so the clean path's RNG stream is untouched).
-    ItemSet received = set_union(vehicles[a].collected, server_items);
+    AVCP_EXPECT(is_sorted_unique(vehicles[a].collected));
+    received.clear();
+    received.insert(received.end(), vehicles[a].collected.begin(),
+                    vehicles[a].collected.end());
+    received.insert(received.end(), server_items.begin(), server_items.end());
     if (vehicles[a].revoked) {
-      std::sort(received.begin(), received.end());
-      received.erase(std::unique(received.begin(), received.end()),
-                     received.end());
+      sort_unique(received);
       if (!vehicles[a].desired.empty()) {
-        const UtilityMeasure f(universe_, vehicles[a].desired);
-        outcome.utility[a] = f(received);
+        out.utility[a] = measured_utility(universe_, received,
+                                          vehicles[a].desired);
       }
       continue;
     }
+    const std::size_t row = ws_.cls[a] * k;
     for (std::size_t b = 0; b < n; ++b) {
       if (a == b) continue;
-      if (!((access_ == core::AccessRule::kSubsetOrEqual &&
-             lattice_.preceq(vehicles[a].claimed(), vehicles[b].claimed())) ||
-            (access_ == core::AccessRule::kStrictSubset &&
-             lattice_.precedes(vehicles[a].claimed(), vehicles[b].claimed())))) {
-        continue;
-      }
+      if (readable_[row + ws_.cls[b]] == 0) continue;
       if (!rng_.bernoulli(sharing_ratio)) continue;
+      const ItemSet& up = ws_.uploads[b];
+      // Empty upload: the draw above is already consumed (contract), so
+      // the loss probe, delivery bookkeeping, and append can be skipped
+      // without perturbing the stream.
+      if (up.empty()) continue;
       if (!mask.delivery_lost.empty() && mask.delivery_lost[a * n + b]) {
-        outcome.deliveries_lost += uploads[b].size();
+        out.deliveries_lost += up.size();
         continue;
       }
-      outcome.deliveries += uploads[b].size();
-      received.insert(received.end(), uploads[b].begin(), uploads[b].end());
+      out.deliveries += up.size();
+      received.insert(received.end(), up.begin(), up.end());
     }
-    std::sort(received.begin(), received.end());
-    received.erase(std::unique(received.begin(), received.end()),
-                   received.end());
+    sort_unique(received);
     if (!vehicles[a].desired.empty()) {
-      const UtilityMeasure f(universe_, vehicles[a].desired);
-      outcome.utility[a] = f(received);
+      out.utility[a] = measured_utility(universe_, received,
+                                        vehicles[a].desired);
     } else {
-      outcome.utility[a] = 0.0;  // nothing desired: utility trivially zero
+      out.utility[a] = 0.0;  // nothing desired: utility trivially zero
     }
   }
-  return outcome;
+}
+
+void EdgeServerDataPlane::build_composition_table(std::size_t num_senders) {
+  const std::size_t k = lattice_.num_decisions();
+  const std::size_t omega = universe_.size();
+  ws_.class_senders.assign(k, 0);
+  ws_.class_items.assign(k, 0);
+  ws_.item_count.assign(k * omega, 0);
+  for (std::size_t b = 0; b < num_senders; ++b) {
+    const ItemSet& up = ws_.uploads[b];
+    if (up.empty()) continue;
+    const core::DecisionId l = ws_.cls[b];
+    ++ws_.class_senders[l];
+    ws_.class_items[l] += up.size();
+    std::uint32_t* row = ws_.item_count.data() + l * omega;
+    for (const ItemId id : up) ++row[id];
+  }
+  ws_.recv_count.assign(k * omega, 0);
+  for (core::DecisionId r = 0; r < k; ++r) {
+    std::uint32_t* dst = ws_.recv_count.data() + r * omega;
+    for (core::DecisionId l = 0; l < k; ++l) {
+      if (readable_[r * k + l] == 0 || ws_.class_items[l] == 0) continue;
+      const std::uint32_t* src = ws_.item_count.data() + l * omega;
+      for (std::size_t i = 0; i < omega; ++i) dst[i] += src[i];
+    }
+  }
+}
+
+void EdgeServerDataPlane::build_miss_pow(double sharing_ratio) {
+  const double q = 1.0 - sharing_ratio;
+  ws_.miss_pow.assign(kMissPowCache, 1.0);
+  for (std::size_t c = 1; c < kMissPowCache; ++c) {
+    ws_.miss_pow[c] = ws_.miss_pow[c - 1] * q;
+  }
+}
+
+double EdgeServerDataPlane::item_miss_prob(double sharing_ratio,
+                                           std::uint32_t c) const {
+  if (c < kMissPowCache) return ws_.miss_pow[c];
+  return std::pow(1.0 - sharing_ratio, static_cast<double>(c));
+}
+
+// The class-aggregated kernel. Uploads, privacy, and exposure are computed
+// exactly as in the pairwise kernel (shared upload phase). Distribution is
+// collapsed onto the CompositionTable:
+//
+//  - deliveries: the number of class-l senders serving receiver a is
+//    Binomial(n_l, x) (independent Bernoulli(x) per sender); the delivered
+//    item count is approximated by m * (U_l / n_l) — exact in expectation
+//    (x * U_l), the per-sender size spread is averaged out.
+//  - received items: a candidate desired item carried by c readable uploads
+//    is received with probability 1 - (1-x)^c, matching the pairwise
+//    marginal exactly; cross-item correlation (items travelling together in
+//    one sender's upload) is dropped, which is why the aggregated kernel is
+//    exact in the mean and in every per-item marginal but only approximate
+//    in higher moments (and fully exact at x = 0 and x = 1, or when every
+//    upload carries at most one item). See DESIGN.md §11.
+//
+// Self-delivery needs no correction on the utility side: a receiver's own
+// upload is a subset of its collected set, and collected items are already
+// excluded from the candidate walk.
+void EdgeServerDataPlane::run_round_class_aggregated(
+    std::span<const Vehicle> vehicles, double sharing_ratio,
+    const CellFaultMask& mask, const ItemSet& server_items, RoundOutcome& out) {
+  (void)mask;  // upload losses were applied in the shared upload phase
+  const std::size_t n = vehicles.size();
+  const std::size_t k = lattice_.num_decisions();
+  const std::size_t omega = universe_.size();
+  build_composition_table(n);
+  build_miss_pow(sharing_ratio);
+
+  double deliveries_acc = 0.0;
+  for (std::size_t a = 0; a < n; ++a) {
+    const Vehicle& recv = vehicles[a];
+    AVCP_EXPECT(is_sorted_unique(recv.collected));
+    AVCP_EXPECT(is_sorted_unique(recv.desired));
+    const core::DecisionId cls_a = ws_.cls[a];
+
+    // Deliveries: one Binomial(n_l, x) draw per readable sender class, in
+    // ascending class order (the aggregated draw-order contract). A
+    // revoked receiver is served nothing and consumes no draws.
+    if (!recv.revoked) {
+      const std::size_t my_upload = ws_.uploads[a].size();
+      for (core::DecisionId l = 0; l < k; ++l) {
+        if (readable_[cls_a * k + l] == 0) continue;
+        std::uint32_t senders = ws_.class_senders[l];
+        std::size_t pool = ws_.class_items[l];
+        if (l == cls_a && my_upload > 0) {
+          --senders;
+          pool -= my_upload;
+        }
+        if (senders == 0 || pool == 0) continue;
+        const std::uint64_t m = rng_.binomial(senders, sharing_ratio);
+        deliveries_acc += static_cast<double>(m) *
+                          (static_cast<double>(pool) /
+                           static_cast<double>(senders));
+      }
+    }
+
+    // Utility: walk the desired set once (ascending), folding in the
+    // deterministic part (own collection and server items) and one
+    // Bernoulli per remaining candidate item with inclusion probability
+    // 1 - (1-x)^c. Summation order matches the exact kernel (ascending
+    // item ids, one accumulator).
+    if (recv.desired.empty()) {
+      out.utility[a] = 0.0;
+      continue;
+    }
+    const std::uint32_t* counts = ws_.recv_count.data() + cls_a * omega;
+    double num = 0.0;
+    double den = 0.0;
+    std::size_t pc = 0;  // cursor into recv.collected
+    std::size_t ps = 0;  // cursor into server_items
+    for (const ItemId d : recv.desired) {
+      const double w = universe_.item(d).utility_weight;
+      den += w;
+      while (pc < recv.collected.size() && recv.collected[pc] < d) ++pc;
+      while (ps < server_items.size() && server_items[ps] < d) ++ps;
+      const bool held =
+          (pc < recv.collected.size() && recv.collected[pc] == d) ||
+          (ps < server_items.size() && server_items[ps] == d);
+      if (held) {
+        num += w;
+        continue;
+      }
+      if (recv.revoked) continue;
+      const std::uint32_t c = counts[d];
+      if (c == 0) continue;
+      // bernoulli short-circuits at p <= 0 and p >= 1 (x = 1 with c >= 1
+      // is deterministic delivery, exactly like the pairwise kernel).
+      if (rng_.bernoulli(1.0 - item_miss_prob(sharing_ratio, c))) num += w;
+    }
+    AVCP_ENSURE(den > 0.0);
+    out.utility[a] = num / den;
+  }
+  out.deliveries = static_cast<std::size_t>(std::llround(deliveries_acc));
+}
+
+EdgeServerDataPlane::DirectionalOutcome EdgeServerDataPlane::run_directional(
+    std::span<const Vehicle> senders, std::span<const Vehicle> receivers,
+    double sharing_ratio, DataPlaneMode mode) {
+  DirectionalOutcome out;
+  run_directional_into(senders, receivers, sharing_ratio, mode, out);
+  return out;
+}
+
+void EdgeServerDataPlane::run_directional_into(
+    std::span<const Vehicle> senders, std::span<const Vehicle> receivers,
+    double sharing_ratio, DataPlaneMode mode, DirectionalOutcome& out) {
+  AVCP_EXPECT(sharing_ratio >= 0.0 && sharing_ratio <= 1.0);
+  refresh_item_bits();
+  out.marginal_utility.assign(receivers.size(), 0.0);
+  out.deliveries = 0;
+
+  const std::size_t ns = senders.size();
+  if (ws_.uploads.size() < ns) ws_.uploads.resize(ns);
+  for (std::size_t b = 0; b < ns; ++b) {
+    ws_.uploads[b].clear();
+    append_shared(senders[b], ws_.uploads[b]);
+  }
+  classify(senders);
+
+  if (mode == DataPlaneMode::kClassAggregated) {
+    run_directional_class_aggregated(senders, receivers, sharing_ratio, out);
+    return;
+  }
+  run_directional_exact(senders, receivers, sharing_ratio, out);
+}
+
+void EdgeServerDataPlane::run_directional_exact(
+    std::span<const Vehicle> senders, std::span<const Vehicle> receivers,
+    double sharing_ratio, DirectionalOutcome& out) {
+  const std::size_t k = lattice_.num_decisions();
+  ItemSet& received = ws_.received;
+  for (std::size_t a = 0; a < receivers.size(); ++a) {
+    const Vehicle& receiver = receivers[a];
+    if (receiver.revoked) continue;
+    AVCP_EXPECT(is_sorted_unique(receiver.collected));
+    const core::DecisionId cls_r = receiver.claimed();
+    AVCP_EXPECT(cls_r < k);
+    received.clear();
+    for (std::size_t b = 0; b < senders.size(); ++b) {
+      if (readable_[cls_r * k + ws_.cls[b]] == 0) continue;
+      if (!rng_.bernoulli(sharing_ratio)) continue;
+      const ItemSet& up = ws_.uploads[b];
+      if (up.empty()) continue;  // draw already consumed (contract)
+      out.deliveries += up.size();
+      received.insert(received.end(), up.begin(), up.end());
+    }
+    sort_unique(received);
+    ws_.scratch.clear();
+    std::set_difference(received.begin(), received.end(),
+                        receiver.collected.begin(), receiver.collected.end(),
+                        std::back_inserter(ws_.scratch));
+    if (!ws_.scratch.empty() && !receiver.desired.empty()) {
+      out.marginal_utility[a] =
+          measured_utility(universe_, ws_.scratch, receiver.desired);
+    }
+  }
+}
+
+void EdgeServerDataPlane::run_directional_class_aggregated(
+    std::span<const Vehicle> senders, std::span<const Vehicle> receivers,
+    double sharing_ratio, DirectionalOutcome& out) {
+  const std::size_t k = lattice_.num_decisions();
+  const std::size_t omega = universe_.size();
+  build_composition_table(senders.size());
+  build_miss_pow(sharing_ratio);
+
+  double deliveries_acc = 0.0;
+  for (std::size_t a = 0; a < receivers.size(); ++a) {
+    const Vehicle& recv = receivers[a];
+    if (recv.revoked) continue;
+    AVCP_EXPECT(is_sorted_unique(recv.collected));
+    AVCP_EXPECT(is_sorted_unique(recv.desired));
+    const core::DecisionId cls_r = recv.claimed();
+    AVCP_EXPECT(cls_r < k);
+
+    // Senders are a foreign fleet: no self-exclusion applies.
+    for (core::DecisionId l = 0; l < k; ++l) {
+      if (readable_[cls_r * k + l] == 0) continue;
+      const std::uint32_t n_l = ws_.class_senders[l];
+      const std::size_t pool = ws_.class_items[l];
+      if (n_l == 0 || pool == 0) continue;
+      const std::uint64_t m = rng_.binomial(n_l, sharing_ratio);
+      deliveries_acc += static_cast<double>(m) *
+                        (static_cast<double>(pool) / static_cast<double>(n_l));
+    }
+
+    if (recv.desired.empty()) continue;
+    const std::uint32_t* counts = ws_.recv_count.data() + cls_r * omega;
+    double num = 0.0;
+    double den = 0.0;
+    std::size_t pc = 0;
+    for (const ItemId d : recv.desired) {
+      const double w = universe_.item(d).utility_weight;
+      den += w;
+      while (pc < recv.collected.size() && recv.collected[pc] < d) ++pc;
+      if (pc < recv.collected.size() && recv.collected[pc] == d) {
+        continue;  // marginal utility: already-held items excluded
+      }
+      const std::uint32_t c = counts[d];
+      if (c == 0) continue;
+      if (rng_.bernoulli(1.0 - item_miss_prob(sharing_ratio, c))) num += w;
+    }
+    AVCP_ENSURE(den > 0.0);
+    out.marginal_utility[a] = num / den;
+  }
+  out.deliveries = static_cast<std::size_t>(std::llround(deliveries_acc));
 }
 
 }  // namespace avcp::perception

@@ -8,6 +8,44 @@
 // h_a = f_a(own ∪ received), privacy cost c_a = g(shared), and the
 // passive-eavesdropper exposure (everything visible at the server — the
 // paper's threat model).
+//
+// Two kernels implement the distribution phase (DataPlaneMode):
+//
+//  - kPairwiseExact (default): the literal O(receivers × senders) loop, one
+//    Bernoulli(x) draw per readable ordered pair. The reference semantics;
+//    its RNG draw order is a documented contract (below).
+//  - kClassAggregated: readability and upload content depend only on the
+//    *decision class* (K = 2^N classes), not on vehicle identity, so the
+//    pairwise loop collapses to per-class aggregates: a per-round
+//    CompositionTable buckets vehicles by claimed class, pools uploads per
+//    class, and each receiver consumes one Binomial(n_class, x) draw per
+//    readable sender class (deliveries) plus one Bernoulli per candidate
+//    desired item with inclusion probability 1 - (1-x)^c, where c counts
+//    the readable uploads carrying the item. Item-level *marginals* are
+//    exactly those of the pairwise kernel, so mean utility, mean privacy,
+//    exposure, and expected deliveries match exactly; joint laws (variance
+//    across items of one sender's upload) are approximated — see
+//    DESIGN.md §11 for when the construction is exact vs in-distribution.
+//    Per-pair delivery-loss masks cannot be class-aggregated; callers fall
+//    back to the exact kernel when such faults are active.
+//
+// ## RNG draw-order contract (kPairwiseExact)
+//
+// The distribution phase consumes exactly one Bernoulli draw per readable
+// ordered (receiver, sender) pair — receivers ascending in the outer loop,
+// senders ascending in the inner loop, self-pairs excluded — regardless of
+// upload contents, fault masks, or workspace reuse. Draws cannot be elided
+// for senders with empty uploads (eliding would shift every later pair's
+// draw), so the empty-upload fast path skips only the work *after* the
+// draw: the delivery-loss probe, delivery bookkeeping, and the buffer
+// append. Readability itself never consumes randomness (it is a
+// precomputed K×K table over claimed classes), a revoked receiver consumes
+// no draws (its sender loop is skipped entirely — revocation only occurs
+// on the already-perturbed Byzantine path), and x <= 0 or x >= 1 consumes
+// no draws at all (Rng::bernoulli short-circuits). The aggregated kernel
+// owns a different stream layout (per receiver: binomials per readable
+// class in ascending class order, then item Bernoullis in ascending
+// desired-item order) and promises determinism, not pairwise bit-identity.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +57,16 @@
 #include "perception/measure.h"
 
 namespace avcp::perception {
+
+/// Which kernel runs the distribution phase of a data-sharing round.
+enum class DataPlaneMode : std::uint8_t {
+  /// Reference O(V^2) per-pair loop; bit-stable draw order (see above).
+  kPairwiseExact = 0,
+  /// O(V·K) class-aggregated kernel; equal in distribution at item
+  /// granularity, deterministic, but not draw-compatible with the exact
+  /// kernel.
+  kClassAggregated = 1,
+};
 
 /// A participating vehicle within one edge-server cell.
 struct Vehicle {
@@ -80,7 +128,8 @@ struct CellFaultMask {
   std::vector<std::uint8_t> upload_lost;
   /// delivery_lost[a * n + b]: the accepted distribution of b's upload to
   /// receiver a is lost in flight — a's utility suffers, b's privacy was
-  /// already spent at the server.
+  /// already spent at the server. Per-pair, hence incompatible with the
+  /// class-aggregated kernel (callers use kPairwiseExact when set).
   std::vector<std::uint8_t> delivery_lost;
 
   bool empty() const noexcept {
@@ -88,10 +137,16 @@ struct CellFaultMask {
   }
 };
 
-/// Concurrency: a plane owns its RNG and per-round buffers, so *distinct*
-/// plane instances may run rounds concurrently (the system fans one plane
-/// per edge server out over its thread pool); a single instance is not
-/// thread-safe.
+/// Concurrency: a plane owns its RNG and per-round workspace buffers, so
+/// *distinct* plane instances may run rounds concurrently (the system fans
+/// one plane per edge server out over its thread pool); a single instance
+/// is not thread-safe.
+///
+/// Allocation: all round entry points reuse an internal workspace whose
+/// buffers are grown to the high-water mark and never shrunk; the `_into`
+/// overloads additionally reuse the caller's outcome vectors, so repeated
+/// rounds over same-shaped fleets perform zero heap allocations after the
+/// first (warm-up) round — regression-locked in tests/allocation_guard_test.
 class EdgeServerDataPlane {
  public:
   /// `lattice` and `universe` must outlive the plane.
@@ -121,6 +176,21 @@ class EdgeServerDataPlane {
                                   const CellFaultMask& mask,
                                   const ItemSet& server_items = {});
 
+  /// Class-aggregated round (DataPlaneMode::kClassAggregated): equal to
+  /// run_round_degraded in distribution at item granularity, O(V·K) in the
+  /// fleet. `mask.delivery_lost` must be empty (per-pair faults cannot be
+  /// aggregated; callers fall back to the exact kernel).
+  RoundOutcome run_round_aggregated(std::span<const Vehicle> vehicles,
+                                    double sharing_ratio,
+                                    const CellFaultMask& mask = {},
+                                    const ItemSet& server_items = {});
+
+  /// Zero-allocation core: runs one round with the selected kernel into
+  /// `out`, reusing its vectors. All by-value entry points above call this.
+  void run_round_into(std::span<const Vehicle> vehicles, double sharing_ratio,
+                      const CellFaultMask& mask, const ItemSet& server_items,
+                      DataPlaneMode mode, RoundOutcome& out);
+
   /// The items vehicle would upload under its decision (S_a ∩ P^{k_a}).
   ItemSet shared_items(const Vehicle& v) const;
 
@@ -136,16 +206,85 @@ class EdgeServerDataPlane {
   /// One direction of the paper's inter-region exchange (Fig. 5, Eq. (4)'s
   /// x_j * gamma_ji term): vehicles of a *neighbouring* cell act as senders
   /// and this cell's vehicles as receivers, at the sender cell's sharing
-  /// ratio. Lattice admissibility applies as usual.
+  /// ratio. Lattice admissibility applies as usual. The exact kernel's
+  /// draw order is one Bernoulli per readable (receiver, sender) pair,
+  /// receivers outer ascending, senders inner ascending.
   DirectionalOutcome run_directional(std::span<const Vehicle> senders,
                                      std::span<const Vehicle> receivers,
-                                     double sharing_ratio);
+                                     double sharing_ratio,
+                                     DataPlaneMode mode =
+                                         DataPlaneMode::kPairwiseExact);
+
+  /// Zero-allocation directional core; see run_round_into.
+  void run_directional_into(std::span<const Vehicle> senders,
+                            std::span<const Vehicle> receivers,
+                            double sharing_ratio, DataPlaneMode mode,
+                            DirectionalOutcome& out);
 
  private:
+  /// Per-round scratch reused across rounds (grown, never shrunk).
+  struct Workspace {
+    /// uploads[b]: decision-filtered upload of vehicle b (sorted).
+    std::vector<ItemSet> uploads;
+    ItemSet server_view;  // union of uploads (eavesdropper view)
+    ItemSet received;     // exact path: per-receiver gather buffer
+    ItemSet scratch;      // exact directional: received \ collected
+    /// Claimed decision class per vehicle (this round).
+    std::vector<core::DecisionId> cls;
+    /// CompositionTable (aggregated kernel), rebuilt per round:
+    std::vector<std::uint32_t> class_senders;  // per class: non-empty uploads
+    std::vector<std::size_t> class_items;      // per class: pooled item count
+    std::vector<std::uint32_t> item_count;     // [class][item]: upload copies
+    std::vector<std::uint32_t> recv_count;     // [recv class][item]: readable
+    std::vector<double> miss_pow;              // (1-x)^c for small c
+  };
+
+  void refresh_item_bits();
+  /// Appends S_v ∩ P^{k_v} to `out` via the per-decision sensor bitmask
+  /// (no per-item lattice_.shares call).
+  void append_shared(const Vehicle& v, ItemSet& out) const;
+  /// Upload phase shared by both kernels (identical results and — trivially,
+  /// it consumes no randomness — identical RNG state).
+  void upload_phase(std::span<const Vehicle> vehicles,
+                    const CellFaultMask& mask, RoundOutcome& out);
+  /// Fills ws_.cls with claimed classes (validated against the lattice).
+  void classify(std::span<const Vehicle> vehicles);
+  /// Builds the per-class CompositionTable from the first `num_senders`
+  /// entries of ws_.uploads / ws_.cls (the buffers are high-water-marked and
+  /// may hold stale rows from a larger earlier round).
+  void build_composition_table(std::size_t num_senders);
+  /// Precomputes ws_.miss_pow[c] = (1-x)^c for c in [0, kMissPowCache).
+  void build_miss_pow(double sharing_ratio);
+  double item_miss_prob(double sharing_ratio, std::uint32_t c) const;
+
+  void run_round_exact(std::span<const Vehicle> vehicles, double sharing_ratio,
+                       const CellFaultMask& mask, const ItemSet& server_items,
+                       RoundOutcome& out);
+  void run_round_class_aggregated(std::span<const Vehicle> vehicles,
+                                  double sharing_ratio,
+                                  const CellFaultMask& mask,
+                                  const ItemSet& server_items,
+                                  RoundOutcome& out);
+  void run_directional_exact(std::span<const Vehicle> senders,
+                             std::span<const Vehicle> receivers,
+                             double sharing_ratio, DirectionalOutcome& out);
+  void run_directional_class_aggregated(std::span<const Vehicle> senders,
+                                        std::span<const Vehicle> receivers,
+                                        double sharing_ratio,
+                                        DirectionalOutcome& out);
+
   const core::DecisionLattice& lattice_;
   const DataUniverse& universe_;
   core::AccessRule access_;
   Rng rng_;
+  /// readable_[k * K + l]: receiver class k may read sender class l under
+  /// access_ (constant for the plane's lifetime).
+  std::vector<std::uint8_t> readable_;
+  /// Per-decision shared-sensor bitmask (lattice_.mask hoisted out of the
+  /// per-item loop) and per-item sensor bit, refreshed if the universe grew.
+  std::vector<core::SensorMask> decision_masks_;
+  std::vector<core::SensorMask> item_bits_;
+  Workspace ws_;
 };
 
 }  // namespace avcp::perception

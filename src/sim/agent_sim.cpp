@@ -12,6 +12,7 @@ namespace {
 // stream belongs to. Distinct tags keep init and step draws uncorrelated.
 constexpr std::uint64_t kInitStream = 0xA1;
 constexpr std::uint64_t kStepStream = 0xA2;
+constexpr std::uint64_t kMeasureStream = 0xA3;
 
 }  // namespace
 
@@ -41,6 +42,12 @@ AgentBasedSim::AgentBasedSim(const core::MultiRegionGame& game,
       }
     }
   }
+  if (params_.measured_fitness) {
+    for (core::RegionId i = 0; i < game.num_regions(); ++i) {
+      exchanges_.emplace_back(game, params_.exchange,
+                              derive_seed(params_.seed, {kMeasureStream, i}));
+    }
+  }
 }
 
 void AgentBasedSim::init_from(const core::GameState& state) {
@@ -68,9 +75,15 @@ void AgentBasedSim::step(std::span<const double> x) {
         faults_->region_down(round_, static_cast<core::RegionId>(i))) {
       return;
     }
-    // Per-region fitness of every decision against the snapshot.
+    // Per-region fitness of every decision against the snapshot: analytic
+    // Eq. (4) by default, or one measured data-plane exchange over the
+    // empirical mix (each round/region on its own derived stream).
     const std::vector<double> q =
-        game_.region_fitness(snapshot, x, static_cast<core::RegionId>(i));
+        params_.measured_fitness
+            ? exchanges_[i].per_decision_fitness(
+                  snapshot.p[i], game_.region(static_cast<core::RegionId>(i)).beta,
+                  x[i], derive_seed(params_.seed, {kMeasureStream, round_, i}))
+            : game_.region_fitness(snapshot, x, static_cast<core::RegionId>(i));
     Rng rng(derive_seed(params_.seed, {kStepStream, round_, i}));
     auto& region = decisions_[i];
     const std::vector<core::DecisionId> before = region;  // revise vs snapshot

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <vector>
 
 #include "byzantine/adversary_model.h"
@@ -26,6 +27,7 @@
 #include "common/thread_pool.h"
 #include "core/game.h"
 #include "faults/fault_model.h"
+#include "sim/measured_exchange.h"
 
 namespace avcp::sim {
 
@@ -40,6 +42,13 @@ struct AgentSimParams {
   /// schedule the system plant sees; there is no simulator-local knob.
   double imitation_scale = 1.0;
   std::uint64_t seed = 99;
+  /// When true, per-decision fitness comes from a measured data-plane
+  /// exchange (MeasuredExchange, with `exchange.mode` selecting the
+  /// kernel) instead of the analytic Eq. (4) fitness. Still bit-identical
+  /// at every thread count: each region owns its evaluator and every
+  /// (round, region) synthesis uses its own hash-derived stream.
+  bool measured_fitness = false;
+  MeasuredExchangeParams exchange;
   /// Worker lanes for the per-region round work. 0 = hardware concurrency.
   /// Purely a throughput knob: the trajectory is bit-identical at every
   /// value (per-region RNG streams, no cross-region reduction).
@@ -90,6 +99,10 @@ class AgentBasedSim {
   std::vector<std::vector<core::DecisionId>> decisions_;
   /// defector_[i][v] = true if the vehicle never revises.
   std::vector<std::vector<bool>> defector_;
+  /// Measured-fitness evaluators, one per region (deque: non-movable
+  /// elements); empty when measured_fitness is off. Region task i is the
+  /// sole user of exchanges_[i], preserving thread-count invariance.
+  std::deque<MeasuredExchange> exchanges_;
 };
 
 }  // namespace avcp::sim

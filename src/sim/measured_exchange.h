@@ -1,0 +1,75 @@
+// Measured per-decision fitness from a synthetic data-plane exchange.
+//
+// The agent and trace simulators score decisions with the analytic Eq. (4)
+// fitness. This helper offers the measured alternative: synthesize a small
+// edge-server fleet whose decision mix follows the region's empirical
+// distribution, run one real EdgeServerDataPlane round (either kernel), and
+// average the realized fitness per decision class — the same
+// beta * utility - exposed_fraction signal the system plant computes, so
+// revision dynamics can be driven by what the data plane actually delivers
+// instead of the mean-field prediction.
+//
+// Determinism: fleet synthesis draws from a caller-provided pure-hash
+// stream seed (derive_seed of (round, region)), and each MeasuredExchange
+// instance owns its plane and scratch buffers, so one instance per region
+// keeps multi-threaded simulators bit-identical at every thread count (the
+// same ownership argument as CooperativePerceptionSystem's planes_).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/game.h"
+#include "perception/data_plane.h"
+
+namespace avcp::sim {
+
+struct MeasuredExchangeParams {
+  /// Synthetic fleet size per evaluation; the first K vehicles are probes,
+  /// one per decision class, so every class's fitness is always measured.
+  /// Must be >= the lattice's K.
+  std::size_t fleet_size = 48;
+  std::size_t items_per_sensor = 24;
+  double collect_fraction = 0.5;
+  double desire_fraction = 0.3;
+  /// Which data-plane kernel runs the exchange.
+  perception::DataPlaneMode mode = perception::DataPlaneMode::kPairwiseExact;
+};
+
+/// One region's measured-fitness evaluator. Not copyable or movable (the
+/// plane holds a reference to the owned universe); simulators keep one per
+/// region in a std::deque.
+class MeasuredExchange {
+ public:
+  /// `game` must outlive the evaluator; its lattice, access rule, and
+  /// per-decision privacy weights shape the synthetic universe.
+  MeasuredExchange(const core::MultiRegionGame& game,
+                   MeasuredExchangeParams params, std::uint64_t seed);
+
+  MeasuredExchange(const MeasuredExchange&) = delete;
+  MeasuredExchange& operator=(const MeasuredExchange&) = delete;
+
+  /// Realized fitness per decision class: a fleet is drawn from `p` (plus
+  /// one probe per class), one round is run at sharing ratio `x`, and each
+  /// class's beta * utility - exposed_fraction is averaged. `stream` must
+  /// be a derive_seed product unique per (round, region) so the synthesis
+  /// is independent of call interleaving. The returned reference is
+  /// invalidated by the next call.
+  const std::vector<double>& per_decision_fitness(std::span<const double> p,
+                                                  double beta, double x,
+                                                  std::uint64_t stream);
+
+ private:
+  const core::MultiRegionGame& game_;
+  MeasuredExchangeParams params_;
+  perception::DataUniverse universe_;
+  perception::EdgeServerDataPlane plane_;
+  // Reused across calls (zero steady-state allocations, like the plane).
+  std::vector<perception::Vehicle> fleet_;
+  perception::RoundOutcome outcome_;
+  std::vector<double> fitness_;
+  std::vector<double> counts_;
+};
+
+}  // namespace avcp::sim

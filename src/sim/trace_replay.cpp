@@ -8,6 +8,12 @@
 
 namespace avcp::sim {
 
+namespace {
+// derive_seed tag for the measured-fitness streams (disjoint from the
+// revision engine, which is seeded directly from params.seed).
+constexpr std::uint64_t kTraceMeasureStream = 0xA4;
+}  // namespace
+
 TraceDrivenSim::TraceDrivenSim(const core::MultiRegionGame& game,
                                std::span<const trace::GpsFix> fixes,
                                std::span<const cluster::RegionId> region_of_segment,
@@ -56,6 +62,13 @@ TraceDrivenSim::TraceDrivenSim(const core::MultiRegionGame& game,
 
   decisions_.assign(num_vehicles, 0);
   state_ = game.uniform_state();
+  if (params_.measure_data_plane) {
+    for (core::RegionId i = 0; i < game.num_regions(); ++i) {
+      exchanges_.emplace_back(
+          game, params_.exchange,
+          derive_seed(params_.seed, {kTraceMeasureStream, i}));
+    }
+  }
 }
 
 void TraceDrivenSim::init_from(const core::GameState& state) {
@@ -98,10 +111,16 @@ void TraceDrivenSim::step(std::span<const double> x) {
       presence_[std::min(round_, presence_.size() - 1)];
   refresh_state(present);
 
-  // Fitness of every decision in every region against the snapshot.
+  // Fitness of every decision in every region against the snapshot:
+  // analytic Eq. (4), or a measured data-plane exchange over the present
+  // mix (hash-derived streams; the revision engine rng_ is untouched).
   std::vector<std::vector<double>> q(game_.num_regions());
   for (core::RegionId i = 0; i < game_.num_regions(); ++i) {
-    q[i] = game_.region_fitness(state_, x, i);
+    q[i] = params_.measure_data_plane
+               ? exchanges_[i].per_decision_fitness(
+                     state_.p[i], game_.region(i).beta, x[i],
+                     derive_seed(params_.seed, {kTraceMeasureStream, round_, i}))
+               : game_.region_fitness(state_, x, i);
   }
 
   // Group present vehicles by region for peer sampling.

@@ -17,11 +17,13 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <vector>
 
 #include "cluster/region_clustering.h"
 #include "common/rng.h"
 #include "core/game.h"
+#include "sim/measured_exchange.h"
 #include "trace/types.h"
 
 namespace avcp::sim {
@@ -31,6 +33,14 @@ struct TraceReplayParams {
   double revision_rate = 0.8;   // probability a present vehicle revises
   double imitation_scale = 0.5; // imitation prob = scale * fitness gain
   std::uint64_t seed = 321;
+  /// When true, each round's per-region fitness is measured by running a
+  /// synthetic data-plane exchange over the present decision mix
+  /// (MeasuredExchange, kernel selected by `exchange.mode`) instead of the
+  /// analytic Eq. (4) fitness. Measurement draws from hash-derived
+  /// (round, region) streams, leaving the revision RNG untouched — the
+  /// default (analytic) trajectories are bit-identical to before.
+  bool measure_data_plane = false;
+  MeasuredExchangeParams exchange;
 };
 
 class TraceDrivenSim {
@@ -76,6 +86,9 @@ class TraceDrivenSim {
   std::vector<core::DecisionId> decisions_;  // per vehicle
   core::GameState state_;                    // last published distributions
   std::size_t round_ = 0;
+  /// Measured-fitness evaluators, one per region (deque: non-movable
+  /// elements); empty when measure_data_plane is off.
+  std::deque<MeasuredExchange> exchanges_;
 
   void refresh_state(
       const std::vector<std::pair<trace::VehicleId, core::RegionId>>& present);

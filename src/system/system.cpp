@@ -352,8 +352,16 @@ RoundReport CooperativePerceptionSystem::run_round(
             }
           }
         }
-        const auto outcome =
-            planes_[i].run_round_degraded(cell_vehicles, x_[i], mask);
+        // Per-pair delivery-loss masks cannot be class-aggregated; such
+        // cells fall back to the exact kernel for the round.
+        const auto mode = mask.delivery_lost.empty()
+                              ? params_.data_plane_mode
+                              : perception::DataPlaneMode::kPairwiseExact;
+        const auto outcome = mode == perception::DataPlaneMode::kClassAggregated
+                                 ? planes_[i].run_round_aggregated(
+                                       cell_vehicles, x_[i], mask)
+                                 : planes_[i].run_round_degraded(cell_vehicles,
+                                                                 x_[i], mask);
         report.faults.uploads_lost_by_region[i] += outcome.uploads_lost;
         report.faults.deliveries_lost_by_region[i] += outcome.deliveries_lost;
         exposed_sum += outcome.exposed_privacy;
@@ -427,8 +435,8 @@ RoundReport CooperativePerceptionSystem::run_round(
                               static_cast<std::int64_t>(sender_fleet.size()) -
                                   1))]);
         }
-        const auto outcome =
-            planes_[i].run_directional(senders, last_vehicles[i], x_[j]);
+        const auto outcome = planes_[i].run_directional(
+            senders, last_vehicles[i], x_[j], params_.data_plane_mode);
         for (std::size_t v = 0; v < last_vehicles[i].size(); ++v) {
           round_fitness[i][v] += beta * outcome.marginal_utility[v];
         }

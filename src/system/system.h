@@ -74,6 +74,14 @@ struct SystemParams {
   double revision_rate = 0.8;
   double imitation_scale = 1.0;
   std::uint64_t seed = 2024;
+  /// Distribution-phase kernel. kPairwiseExact (default) keeps the
+  /// reference per-pair semantics and bit-identical trajectories;
+  /// kClassAggregated runs the O(V·K) kernel (equal in distribution at
+  /// item granularity — see data_plane.h). Cells with active per-pair
+  /// delivery-loss faults fall back to the exact kernel for that round,
+  /// since such masks cannot be class-aggregated.
+  perception::DataPlaneMode data_plane_mode =
+      perception::DataPlaneMode::kPairwiseExact;
   /// Worker lanes for the per-region round stages (report aggregation, the
   /// per-edge-server data plane, inter-region exchange, decision revision).
   /// 0 = hardware concurrency. Purely a throughput knob: every

@@ -1,0 +1,158 @@
+// Allocation regression guard for the data-plane round workspaces: after a
+// warm-up round has grown every scratch buffer to its high-water mark,
+// steady-state rounds through the _into entry points must perform ZERO heap
+// allocations in both kernels. The guard counts through overridden global
+// operator new/delete (this TU links into its own test binary, so the
+// override is process-wide here and nowhere else).
+#include "perception/data_plane.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <functional>
+#include <new>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace {
+std::atomic<long long> g_live_allocs{0};
+
+void* counted_alloc(std::size_t size) {
+  g_live_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_live_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  g_live_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace avcp::perception {
+namespace {
+
+using core::AccessRule;
+using core::DecisionLattice;
+
+long long allocations_during(const std::function<void()>& body) {
+  const long long before = g_live_allocs.load(std::memory_order_relaxed);
+  body();
+  return g_live_allocs.load(std::memory_order_relaxed) - before;
+}
+
+DataUniverse make_universe() {
+  DataUniverse universe(3);
+  for (std::size_t s = 0; s < 3; ++s) {
+    const double privacy = s == 0 ? 1.0 : (s == 1 ? 0.5 : 0.1);
+    for (int i = 0; i < 8; ++i) universe.add_item(s, 1.0, privacy);
+  }
+  return universe;
+}
+
+std::vector<Vehicle> make_fleet(const DataUniverse& universe, std::size_t n) {
+  Rng rng(17);
+  std::vector<Vehicle> fleet(n);
+  for (auto& v : fleet) {
+    v.decision = static_cast<core::DecisionId>(rng.uniform_int(0, 7));
+    for (ItemId id = 0; id < universe.size(); ++id) {
+      if (rng.bernoulli(0.4)) v.collected.push_back(id);
+      if (rng.bernoulli(0.3)) v.desired.push_back(id);
+    }
+    if (v.desired.empty()) v.desired.push_back(0);
+  }
+  return fleet;
+}
+
+class AllocationGuard : public ::testing::TestWithParam<DataPlaneMode> {};
+
+TEST_P(AllocationGuard, SteadyStateRoundsAreAllocationFree) {
+  const DataPlaneMode mode = GetParam();
+  const DecisionLattice lattice(3);
+  const auto universe = make_universe();
+  EdgeServerDataPlane plane(lattice, universe, AccessRule::kSubsetOrEqual, 9);
+  const auto fleet = make_fleet(universe, 60);
+  const ItemSet server_items = {0, 5};
+  RoundOutcome out;
+  // Warm-up at x = 1 (maximal gather: every readable pair delivers) grows
+  // all buffers to a bound no x <= 1 steady-state round can exceed.
+  plane.run_round_into(fleet, 1.0, {}, server_items, mode, out);
+  plane.run_round_into(fleet, 0.5, {}, server_items, mode, out);
+  const long long allocs = allocations_during([&] {
+    for (int r = 0; r < 25; ++r) {
+      plane.run_round_into(fleet, 0.5, {}, server_items, mode, out);
+    }
+  });
+  EXPECT_EQ(allocs, 0) << "mode " << static_cast<int>(mode);
+}
+
+TEST_P(AllocationGuard, SteadyStateDirectionalIsAllocationFree) {
+  const DataPlaneMode mode = GetParam();
+  const DecisionLattice lattice(3);
+  const auto universe = make_universe();
+  EdgeServerDataPlane plane(lattice, universe, AccessRule::kSubsetOrEqual, 11);
+  const auto senders = make_fleet(universe, 40);
+  const auto receivers = make_fleet(universe, 40);
+  EdgeServerDataPlane::DirectionalOutcome out;
+  plane.run_directional_into(senders, receivers, 1.0, mode, out);
+  plane.run_directional_into(senders, receivers, 0.5, mode, out);
+  const long long allocs = allocations_during([&] {
+    for (int r = 0; r < 25; ++r) {
+      plane.run_directional_into(senders, receivers, 0.5, mode, out);
+    }
+  });
+  EXPECT_EQ(allocs, 0) << "mode " << static_cast<int>(mode);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothKernels, AllocationGuard,
+                         ::testing::Values(DataPlaneMode::kPairwiseExact,
+                                           DataPlaneMode::kClassAggregated));
+
+// Shrinking the fleet must not re-grow anything either (buffers are
+// high-water-marked, sized by count not by shape).
+TEST(AllocationGuardShrink, SmallerFleetAfterLargerIsAllocationFree) {
+  const DecisionLattice lattice(3);
+  const auto universe = make_universe();
+  EdgeServerDataPlane plane(lattice, universe, AccessRule::kSubsetOrEqual, 13);
+  const auto big = make_fleet(universe, 80);
+  const auto small = make_fleet(universe, 20);
+  RoundOutcome big_out;
+  RoundOutcome small_out;
+  plane.run_round_into(big, 1.0, {}, {}, DataPlaneMode::kClassAggregated,
+                       big_out);
+  plane.run_round_into(big, 1.0, {}, {}, DataPlaneMode::kPairwiseExact,
+                       big_out);
+  plane.run_round_into(small, 1.0, {}, {}, DataPlaneMode::kClassAggregated,
+                       small_out);
+  plane.run_round_into(small, 1.0, {}, {}, DataPlaneMode::kPairwiseExact,
+                       small_out);
+  const long long allocs = allocations_during([&] {
+    for (int r = 0; r < 10; ++r) {
+      plane.run_round_into(small, 0.5, {}, {}, DataPlaneMode::kClassAggregated,
+                           small_out);
+      plane.run_round_into(small, 0.5, {}, {}, DataPlaneMode::kPairwiseExact,
+                           small_out);
+    }
+  });
+  EXPECT_EQ(allocs, 0);
+}
+
+}  // namespace
+}  // namespace avcp::perception

@@ -340,6 +340,59 @@ TEST(DataPlane, DirectionalMarginalExcludesAlreadyHeld) {
   EXPECT_DOUBLE_EQ(outcome.marginal_utility[0], 0.5);
 }
 
+TEST(DataPlane, EmptyUploadFastPathPreservesDrawOrder) {
+  // The draw-order contract (data_plane.h): one Bernoulli per readable
+  // ordered pair, regardless of upload contents. Emptying one sender's
+  // collected set (same decision, hence same readability) must leave every
+  // other vehicle's outcome bit-identical — the empty-upload fast path may
+  // skip work only AFTER the draw.
+  const DecisionLattice lattice(3);
+  const auto universe = make_universe();
+
+  // r desires t's items only; s's upload is irrelevant to r's utility.
+  auto fleet_with = std::vector<Vehicle>{
+      make_vehicle(0, {}, {2, 4}),     // r
+      make_vehicle(0, {0, 1}, {0}),    // s — emptied in the twin fleet
+      make_vehicle(0, {2, 4}, {5}),    // t (desires an item nobody holds)
+  };
+  auto fleet_without = fleet_with;
+  fleet_without[1].collected.clear();
+
+  EdgeServerDataPlane p1(lattice, universe, AccessRule::kSubsetOrEqual, 77);
+  EdgeServerDataPlane p2(lattice, universe, AccessRule::kSubsetOrEqual, 77);
+  for (int round = 0; round < 50; ++round) {
+    const auto a = p1.run_round(fleet_with, 0.5);
+    const auto b = p2.run_round(fleet_without, 0.5);
+    // r and t never touch s's items: their utilities must match exactly in
+    // every round — any drift means the draw sequence shifted.
+    ASSERT_DOUBLE_EQ(a.utility[0], b.utility[0]) << "round " << round;
+    ASSERT_DOUBLE_EQ(a.utility[2], b.utility[2]) << "round " << round;
+    ASSERT_LE(b.deliveries, a.deliveries);
+  }
+}
+
+TEST(DataPlane, IntoOverloadMatchesByValueApi) {
+  const DecisionLattice lattice(3);
+  const auto universe = make_universe();
+  EdgeServerDataPlane p1(lattice, universe, AccessRule::kSubsetOrEqual, 21);
+  EdgeServerDataPlane p2(lattice, universe, AccessRule::kSubsetOrEqual, 21);
+  const std::vector<Vehicle> fleet = {
+      make_vehicle(0, {0, 2}, {4}),
+      make_vehicle(0, {4}, {0, 2}),
+      make_vehicle(4, {0, 1}, {2}),
+  };
+  RoundOutcome reused;
+  for (int round = 0; round < 10; ++round) {
+    const auto by_value = p1.run_round(fleet, 0.5);
+    p2.run_round_into(fleet, 0.5, CellFaultMask{}, ItemSet{},
+                      DataPlaneMode::kPairwiseExact, reused);
+    ASSERT_EQ(by_value.utility, reused.utility) << "round " << round;
+    ASSERT_EQ(by_value.privacy, reused.privacy) << "round " << round;
+    ASSERT_EQ(by_value.deliveries, reused.deliveries) << "round " << round;
+    ASSERT_EQ(by_value.exposed_items, reused.exposed_items);
+  }
+}
+
 TEST(DataPlane, MeanHelpers) {
   RoundOutcome outcome;
   outcome.utility = {1.0, 0.0};

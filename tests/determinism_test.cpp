@@ -137,6 +137,56 @@ TEST(Determinism, PipelinedByzantineTrajectoryIsThreadCountInvariant) {
   }
 }
 
+TEST(Determinism, AggregatedSystemTrajectoryIsThreadCountInvariant) {
+  // The class-aggregated kernel promises its own determinism (not pairwise
+  // bit-identity): per-region plane ownership keeps its binomial/item draws
+  // sequential per region, so the trajectory must not move with threads.
+  SystemParams params;
+  params.vehicles_per_region = 40;
+  params.seed = 17;
+  params.data_plane_mode = perception::DataPlaneMode::kClassAggregated;
+  const auto baseline = run_system(params, 1, nullptr, nullptr, false);
+  for (const std::size_t threads : kThreadCounts) {
+    const auto run = run_system(params, threads, nullptr, nullptr, false);
+    ASSERT_EQ(run.size(), baseline.size());
+    for (std::size_t r = 0; r < baseline.size(); ++r) {
+      expect_reports_identical(baseline[r], run[r], threads, r);
+    }
+  }
+}
+
+TEST(Determinism, MeasuredFitnessAgentSimIsThreadCountInvariant) {
+  // Measured-fitness revision spins a real data plane per region; each
+  // (round, region) synthesis uses its own hash-derived stream and each
+  // region owns its evaluator, so thread count must stay a pure knob.
+  const auto game = make_chain_game(4);
+  const std::vector<double> x(4, 0.6);
+  auto run = [&](std::size_t threads) {
+    sim::AgentSimParams params;
+    params.vehicles_per_region = 60;
+    params.seed = 81;
+    params.num_threads = threads;
+    params.measured_fitness = true;
+    params.exchange.mode = perception::DataPlaneMode::kClassAggregated;
+    sim::AgentBasedSim sim(game, params);
+    sim.init_from(game.uniform_state());
+    std::vector<core::GameState> states;
+    for (std::size_t r = 0; r < 10; ++r) {
+      sim.step(x);
+      states.push_back(sim.empirical_state());
+    }
+    return states;
+  };
+  const auto baseline = run(1);
+  for (const std::size_t threads : kThreadCounts) {
+    const auto states = run(threads);
+    for (std::size_t r = 0; r < baseline.size(); ++r) {
+      ASSERT_EQ(states[r].p, baseline[r].p)
+          << "threads " << threads << " round " << r;
+    }
+  }
+}
+
 TEST(Determinism, AgentSimTrajectoryIsThreadCountInvariant) {
   const auto game = make_chain_game(5);
   const std::vector<double> x(5, 0.6);

@@ -180,6 +180,76 @@ TEST(Rng, SplitStreamsAreIndependentlySeeded) {
   EXPECT_GT(differing, 28);
 }
 
+TEST(Rng, BinomialDegenerateCasesConsumeNoDraws) {
+  Rng a(7);
+  Rng b(7);
+  EXPECT_EQ(a.binomial(0, 0.5), 0u);
+  EXPECT_EQ(a.binomial(100, 0.0), 0u);
+  EXPECT_EQ(a.binomial(100, -1.0), 0u);
+  EXPECT_EQ(a.binomial(100, 1.0), 100u);
+  EXPECT_EQ(a.binomial(100, 2.0), 100u);
+  // None of the above touched the engine: streams still aligned.
+  EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, BinomialStaysInRange) {
+  Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_LE(rng.binomial(37, 0.3), 37u);
+  }
+}
+
+TEST(Rng, BinomialMatchesMeanAndVarianceSmallNp) {
+  // n * p = 4 < 10: exercises the CDF-inversion branch.
+  Rng rng(13);
+  constexpr std::uint64_t n = 20;
+  constexpr double p = 0.2;
+  constexpr int kDraws = 40000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double k = static_cast<double>(rng.binomial(n, p));
+    sum += k;
+    sq += k * k;
+  }
+  const double mean = sum / kDraws;
+  const double var = sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, n * p, 0.05);            // true mean 4
+  EXPECT_NEAR(var, n * p * (1.0 - p), 0.15); // true variance 3.2
+}
+
+TEST(Rng, BinomialMatchesMeanAndVarianceLargeNp) {
+  // n * p = 300 >= 10: exercises the BTRS rejection branch.
+  Rng rng(17);
+  constexpr std::uint64_t n = 1000;
+  constexpr double p = 0.3;
+  constexpr int kDraws = 20000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double k = static_cast<double>(rng.binomial(n, p));
+    sum += k;
+    sq += k * k;
+  }
+  const double mean = sum / kDraws;
+  const double var = sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, n * p, 0.5);                    // true mean 300
+  EXPECT_NEAR(var / (n * p * (1.0 - p)), 1.0, 0.05); // true variance 210
+}
+
+TEST(Rng, BinomialSymmetryBranchIsUnbiased) {
+  // p > 1/2 reduces through n - binomial(n, 1 - p).
+  Rng rng(19);
+  constexpr std::uint64_t n = 50;
+  constexpr double p = 0.8;
+  double sum = 0.0;
+  constexpr int kDraws = 30000;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += static_cast<double>(rng.binomial(n, p));
+  }
+  EXPECT_NEAR(sum / kDraws, n * p, 0.1);  // true mean 40
+}
+
 TEST(Rng, Splitmix64KnownSequenceIsDeterministic) {
   std::uint64_t s1 = 0;
   std::uint64_t s2 = 0;

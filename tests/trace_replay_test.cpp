@@ -137,6 +137,30 @@ TEST(TraceReplay, MigrationCarriesDecisionsBetweenRegions) {
   EXPECT_DOUBLE_EQ(sim.empirical_state().p[1][6], 1.0);
 }
 
+TEST(TraceReplay, MeasuredFitnessModeIsDeterministicAndOptIn) {
+  const auto game = make_chain_game(2);
+  const std::vector<cluster::RegionId> region_of = {0, 1};
+  const std::vector<double> x = {0.6, 0.4};
+  auto run = [&](bool measured) {
+    auto params = tiny_params();
+    params.measure_data_plane = measured;
+    params.exchange.mode = perception::DataPlaneMode::kClassAggregated;
+    TraceDrivenSim sim(game, tiny_trace(), region_of, 3, 200.0, params);
+    sim.init_from(game.uniform_state());
+    for (int t = 0; t < 4; ++t) sim.step(x);
+    return sim.empirical_state();
+  };
+  // Same seed, measured mode on: identical trajectories.
+  const auto a = run(true);
+  const auto b = run(true);
+  EXPECT_EQ(a.p, b.p);
+  for (const auto& row : a.p) core::check_distribution(row);
+  // The flag is opt-in: the default analytic path still runs fine and its
+  // revision stream is untouched by the measured machinery.
+  const auto analytic = run(false);
+  for (const auto& row : analytic.p) core::check_distribution(row);
+}
+
 TEST(TraceReplay, FdsShapesTraceDrivenPopulation) {
   // End-to-end: the FDS controller reads the trace-driven empirical state
   // and shapes it, tolerating migration and dormancy.
