@@ -39,6 +39,8 @@
 #include "core/fds.h"
 #include "core/sensor_model.h"
 #include "sim/metrics.h"
+
+#include "bench_common.h"
 #include "system/system.h"
 
 using namespace avcp;
@@ -299,5 +301,5 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("  ]\n}\n");
-  return 0;
+  return bench::finish_json_output();
 }

@@ -86,6 +86,18 @@ inline core::DesiredFields attainable_fields(const core::MultiRegionGame& game,
   return fields;
 }
 
+/// Epilogue for benches that emit a JSON document on stdout: flushes and
+/// verifies the stream, so a truncated document (full disk, broken pipe)
+/// yields a nonzero exit instead of a clean code next to a torn file.
+/// Use as `return finish_json_output();` at the end of main.
+inline int finish_json_output() {
+  if (std::fflush(stdout) != 0 || std::ferror(stdout) != 0) {
+    std::fprintf(stderr, "error: JSON output stream failed\n");
+    return 1;
+  }
+  return 0;
+}
+
 inline void print_header(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
 }

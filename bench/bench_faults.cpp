@@ -228,5 +228,5 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("  ]\n}\n");
-  return 0;
+  return bench::finish_json_output();
 }

@@ -303,7 +303,7 @@ int run_scaling(bool smoke) {
                  "determinism contract is broken\n");
     return 1;
   }
-  return 0;
+  return bench::finish_json_output();
 }
 
 // ---------------------------------------------------------------------------
@@ -466,7 +466,7 @@ int run_dataplane(bool smoke) {
                  "counts — the determinism contract is broken\n");
     return 1;
   }
-  return 0;
+  return bench::finish_json_output();
 }
 
 }  // namespace

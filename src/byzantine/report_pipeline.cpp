@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/contracts.h"
+#include "common/serial.h"
 
 namespace avcp::byzantine {
 
@@ -168,6 +169,26 @@ void ReportPipeline::observe_uploads(core::RegionId region,
 
 void ReportPipeline::end_round(std::size_t round) {
   reputation_.end_round(round);
+}
+
+void ReportPipeline::save_state(Serializer& s) const {
+  reputation_.save_state(s);
+  s.put_u64(claims_.size());
+  for (const std::vector<core::DecisionId>& region : claims_) {
+    put_u32_vec(s, region);
+  }
+}
+
+void ReportPipeline::load_state(Deserializer& d) {
+  reputation_.load_state(d);
+  Deserializer::check(d.get_u64() == claims_.size(),
+                      "ReportPipeline region count mismatch");
+  for (std::vector<core::DecisionId>& region : claims_) {
+    std::vector<core::DecisionId> row = get_u32_vec(d);
+    Deserializer::check(row.size() == region.size(),
+                        "ReportPipeline claims row size mismatch");
+    region = std::move(row);
+  }
 }
 
 core::DesiredFields density_weighted_fields(std::size_t num_regions,

@@ -121,6 +121,12 @@ class ReportPipeline {
   ReputationTracker& reputation() noexcept { return reputation_; }
   const RobustAggregator& aggregator() const noexcept { return aggregator_; }
 
+  /// Checkpoint hooks: the reputation layer plus the per-round claims
+  /// buffer (options and the aggregator are configuration, recreated by the
+  /// constructor). Call between rounds only — see the concurrency contract.
+  void save_state(Serializer& s) const;
+  void load_state(Deserializer& d);
+
  private:
   PipelineOptions options_;
   RobustAggregator aggregator_;

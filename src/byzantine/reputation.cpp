@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/contracts.h"
+#include "common/serial.h"
 
 namespace avcp::byzantine {
 
@@ -95,6 +96,56 @@ std::size_t ReputationTracker::total_quarantined() const {
     count += quarantined_in(i);
   }
   return count;
+}
+
+void ReputationTracker::save_state(Serializer& s) const {
+  s.put_u64(cells_.size());
+  s.put_u64(vehicles_per_region_);
+  s.put_u64(rounds_);
+  for (const std::vector<Cell>& region : cells_) {
+    for (const Cell& c : region) {
+      s.put_f64(c.smoothed);
+      s.put_f64(c.pending);
+      s.put_u64(c.clean_streak);
+      s.put_bool(c.quarantined);
+    }
+  }
+  s.put_u64(events_.size());
+  for (const QuarantineEvent& e : events_) {
+    s.put_u64(e.round);
+    s.put_u32(e.region);
+    s.put_u64(e.vehicle);
+    s.put_bool(e.quarantined);
+  }
+}
+
+void ReputationTracker::load_state(Deserializer& d) {
+  Deserializer::check(d.get_u64() == cells_.size(),
+                      "ReputationTracker region count mismatch");
+  Deserializer::check(d.get_u64() == vehicles_per_region_,
+                      "ReputationTracker fleet size mismatch");
+  rounds_ = static_cast<std::size_t>(d.get_u64());
+  for (std::vector<Cell>& region : cells_) {
+    for (Cell& c : region) {
+      c.smoothed = d.get_f64();
+      c.pending = d.get_f64();
+      c.clean_streak = static_cast<std::size_t>(d.get_u64());
+      c.quarantined = d.get_bool();
+    }
+  }
+  const std::uint64_t num_events = d.get_u64();
+  Deserializer::check(num_events <= d.remaining() / 21,
+                      "ReputationTracker event count exceeds payload");
+  events_.clear();
+  events_.reserve(static_cast<std::size_t>(num_events));
+  for (std::uint64_t i = 0; i < num_events; ++i) {
+    QuarantineEvent e;
+    e.round = static_cast<std::size_t>(d.get_u64());
+    e.region = d.get_u32();
+    e.vehicle = static_cast<std::size_t>(d.get_u64());
+    e.quarantined = d.get_bool();
+    events_.push_back(e);
+  }
 }
 
 }  // namespace avcp::byzantine

@@ -79,6 +79,13 @@ class ReputationTracker {
     return events_;
   }
 
+  /// Checkpoint hooks: every cell's EWMA, pending score, rehab streak and
+  /// quarantine flag, the round counter, and the event log — the complete
+  /// cross-round state of the tracker. load_state rejects a snapshot whose
+  /// fleet shape disagrees with the live tracker.
+  void save_state(Serializer& s) const;
+  void load_state(Deserializer& d);
+
  private:
   struct Cell {
     double smoothed = 0.0;

@@ -1,0 +1,168 @@
+#include "checkpoint/checkpoint.h"
+
+#include <algorithm>
+#include <fstream>
+#include <string>
+#include <system_error>
+
+#include "common/contracts.h"
+
+namespace avcp::checkpoint {
+
+namespace {
+
+constexpr char kMagic[8] = {'A', 'V', 'C', 'P', 'C', 'K', 'P', 'T'};
+// magic + version + round + section count; the u32 CRC follows.
+constexpr std::size_t kHeaderBytes = 8 + 4 + 8 + 4;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw CheckpointError("checkpoint: " + what);
+}
+
+}  // namespace
+
+Serializer& CheckpointWriter::section(std::uint32_t id) {
+  for (const auto& [existing, payload] : sections_) {
+    AVCP_EXPECT(existing != id);  // section ids are unique within a file
+  }
+  sections_.emplace_back(id, Serializer{});
+  return sections_.back().second;
+}
+
+std::vector<std::byte> CheckpointWriter::encode() const {
+  Serializer out;
+  for (const char c : kMagic) out.put_u8(static_cast<std::uint8_t>(c));
+  out.put_u32(kSchemaVersion);
+  out.put_u64(round_);
+  out.put_u32(static_cast<std::uint32_t>(sections_.size()));
+  out.put_u32(crc32c(out.bytes()));
+  for (const auto& [id, payload] : sections_) {
+    // The section CRC covers the 12-byte section header too: a flipped id
+    // or size byte must fail validation, not silently rename or re-frame
+    // the section.
+    const std::size_t section_start = out.bytes().size();
+    out.put_u32(id);
+    out.put_u64(payload.size());
+    out.put_raw(payload.bytes());
+    out.put_u32(crc32c(
+        std::span<const std::byte>(out.bytes()).subspan(section_start)));
+  }
+  return out.bytes();
+}
+
+void CheckpointWriter::write(const std::filesystem::path& path) const {
+  const std::vector<std::byte> image = encode();
+  std::filesystem::path tmp = path;
+  tmp += ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+    if (!file) fail("cannot open " + tmp.string() + " for writing");
+    file.write(reinterpret_cast<const char*>(image.data()),
+               static_cast<std::streamsize>(image.size()));
+    file.flush();
+    if (!file) {
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      fail("short write to " + tmp.string());
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    fail("rename to " + path.string() + " failed");
+  }
+}
+
+void CheckpointWriter::write_torn(const std::filesystem::path& path,
+                                  std::size_t keep_bytes) const {
+  const std::vector<std::byte> image = encode();
+  const std::size_t n = std::min(keep_bytes, image.size());
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) fail("cannot open " + path.string() + " for torn write");
+  file.write(reinterpret_cast<const char*>(image.data()),
+             static_cast<std::streamsize>(n));
+  file.flush();
+  if (!file) fail("torn write to " + path.string() + " failed");
+}
+
+CheckpointReader CheckpointReader::parse(std::vector<std::byte> bytes) {
+  CheckpointReader reader;
+  reader.bytes_ = std::move(bytes);
+  Deserializer d(reader.bytes_);
+  try {
+    for (const char c : kMagic) {
+      if (d.get_u8() != static_cast<std::uint8_t>(c)) fail("bad magic");
+    }
+    const std::uint32_t version = d.get_u32();
+    if (version != kSchemaVersion) {
+      fail("unsupported schema version " + std::to_string(version) +
+           " (expected " + std::to_string(kSchemaVersion) + ")");
+    }
+    reader.round_ = d.get_u64();
+    const std::uint32_t count = d.get_u32();
+    const std::uint32_t header_crc = d.get_u32();
+    const auto header =
+        std::span<const std::byte>(reader.bytes_).first(kHeaderBytes);
+    if (header_crc != crc32c(header)) fail("header CRC mismatch");
+
+    reader.sections_.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::size_t section_start = d.offset();
+      const std::uint32_t id = d.get_u32();
+      const std::uint64_t size = d.get_u64();
+      if (size > d.remaining()) fail("truncated section payload");
+      const std::size_t offset = d.offset();
+      d.skip(static_cast<std::size_t>(size));
+      const std::uint32_t crc = d.get_u32();
+      const auto covered =
+          std::span<const std::byte>(reader.bytes_)
+              .subspan(section_start,
+                       offset - section_start + static_cast<std::size_t>(size));
+      if (crc != crc32c(covered)) fail("section CRC mismatch");
+      for (const Section& s : reader.sections_) {
+        if (s.id == id) fail("duplicate section id");
+      }
+      reader.sections_.push_back(
+          Section{id, offset, static_cast<std::size_t>(size)});
+    }
+    if (!d.exhausted()) fail("trailing bytes after last section");
+  } catch (const CheckpointError&) {
+    throw;
+  } catch (const SerialError&) {
+    // A framing read ran off the end of the file: report it as the
+    // checkpoint-level defect it is.
+    fail("truncated file");
+  }
+  return reader;
+}
+
+CheckpointReader CheckpointReader::open(const std::filesystem::path& path) {
+  std::ifstream file(path, std::ios::binary | std::ios::ate);
+  if (!file) fail("cannot open " + path.string());
+  const std::streamsize size = file.tellg();
+  file.seekg(0);
+  std::vector<std::byte> bytes(static_cast<std::size_t>(size));
+  file.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!file) fail("cannot read " + path.string());
+  return parse(std::move(bytes));
+}
+
+bool CheckpointReader::has(std::uint32_t id) const noexcept {
+  for (const Section& s : sections_) {
+    if (s.id == id) return true;
+  }
+  return false;
+}
+
+Deserializer CheckpointReader::section(std::uint32_t id) const {
+  for (const Section& s : sections_) {
+    if (s.id == id) {
+      return Deserializer(
+          std::span<const std::byte>(bytes_).subspan(s.offset, s.size));
+    }
+  }
+  fail("missing section " + std::to_string(id));
+}
+
+}  // namespace avcp::checkpoint

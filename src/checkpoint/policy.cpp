@@ -1,0 +1,92 @@
+#include "checkpoint/policy.h"
+
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <system_error>
+
+#include "common/contracts.h"
+
+namespace avcp::checkpoint {
+
+namespace {
+
+volatile std::sig_atomic_t g_checkpoint_requested = 0;
+
+void handle_checkpoint_signal(int) { g_checkpoint_requested = 1; }
+
+constexpr char kPrefix[] = "ckpt-";
+constexpr char kSuffix[] = ".avcp";
+
+}  // namespace
+
+void install_checkpoint_signal_handler(int signum) {
+  std::signal(signum, handle_checkpoint_signal);
+}
+
+bool checkpoint_requested() noexcept { return g_checkpoint_requested != 0; }
+
+bool consume_checkpoint_request() noexcept {
+  const bool requested = g_checkpoint_requested != 0;
+  g_checkpoint_requested = 0;
+  return requested;
+}
+
+CheckpointStore::CheckpointStore(std::filesystem::path dir, std::size_t keep)
+    : dir_(std::move(dir)), keep_(keep) {
+  AVCP_EXPECT(keep_ >= 1);
+  std::filesystem::create_directories(dir_);
+}
+
+std::filesystem::path CheckpointStore::path_for(std::uint64_t round) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%s%08llu%s", kPrefix,
+                static_cast<unsigned long long>(round), kSuffix);
+  return dir_ / name;
+}
+
+std::optional<std::uint64_t> CheckpointStore::round_of(
+    const std::filesystem::path& path) {
+  const std::string name = path.filename().string();
+  const std::size_t prefix_len = sizeof(kPrefix) - 1;
+  const std::size_t suffix_len = sizeof(kSuffix) - 1;
+  if (name.size() <= prefix_len + suffix_len) return std::nullopt;
+  if (name.compare(0, prefix_len, kPrefix) != 0) return std::nullopt;
+  if (name.compare(name.size() - suffix_len, suffix_len, kSuffix) != 0) {
+    return std::nullopt;
+  }
+  std::uint64_t round = 0;
+  for (std::size_t i = prefix_len; i < name.size() - suffix_len; ++i) {
+    if (name[i] < '0' || name[i] > '9') return std::nullopt;
+    round = round * 10 + static_cast<std::uint64_t>(name[i] - '0');
+  }
+  return round;
+}
+
+std::vector<std::filesystem::path> CheckpointStore::generations() const {
+  std::vector<std::pair<std::uint64_t, std::filesystem::path>> found;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    if (const auto round = round_of(entry.path())) {
+      found.emplace_back(*round, entry.path());
+    }
+  }
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<std::filesystem::path> paths;
+  paths.reserve(found.size());
+  for (auto& [round, path] : found) paths.push_back(std::move(path));
+  return paths;
+}
+
+void CheckpointStore::prune() const {
+  const std::vector<std::filesystem::path> paths = generations();
+  for (std::size_t i = keep_; i < paths.size(); ++i) {
+    std::error_code ec;
+    std::filesystem::remove(paths[i], ec);
+  }
+}
+
+}  // namespace avcp::checkpoint

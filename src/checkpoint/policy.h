@@ -1,0 +1,76 @@
+// When to checkpoint, and where the generations live.
+//
+// CheckpointPolicy decides *when*: every R completed rounds, and/or when an
+// operator signal (SIGUSR1 by default) has been received since the last
+// check. CheckpointStore manages *where*: a directory of generation files
+// named ckpt-<round>.avcp, ordered by round, pruned to a retention count.
+// Keeping >= 2 generations is what makes torn final writes survivable —
+// recovery falls back to the previous intact file (recovery.h).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <vector>
+
+namespace avcp::checkpoint {
+
+/// Installs a handler on `signum` that flags a checkpoint request; the
+/// next should_checkpoint() of an on_signal policy consumes it. Safe to
+/// call repeatedly. The handler only sets a sig_atomic_t flag.
+void install_checkpoint_signal_handler(int signum);
+
+/// True if a signal arrived since the last consume (does not clear it).
+bool checkpoint_requested() noexcept;
+
+/// Atomically reads and clears the request flag.
+bool consume_checkpoint_request() noexcept;
+
+struct CheckpointPolicy {
+  /// Snapshot after every R completed rounds (0 = no periodic snapshots).
+  std::size_t every_rounds = 0;
+  /// Also snapshot when the signal flag is set (install the handler
+  /// first). should_checkpoint consumes the flag.
+  bool on_signal = false;
+
+  /// Whether a snapshot is due after `completed_rounds` rounds have run.
+  bool should_checkpoint(std::size_t completed_rounds) const {
+    if (every_rounds > 0 && completed_rounds > 0 &&
+        completed_rounds % every_rounds == 0) {
+      return true;
+    }
+    return on_signal && consume_checkpoint_request();
+  }
+};
+
+/// A directory of checkpoint generations.
+class CheckpointStore {
+ public:
+  /// Creates `dir` (and parents) if absent. `keep` >= 1 generations are
+  /// retained by prune().
+  explicit CheckpointStore(std::filesystem::path dir, std::size_t keep = 2);
+
+  const std::filesystem::path& dir() const noexcept { return dir_; }
+  std::size_t keep() const noexcept { return keep_; }
+
+  /// The canonical file name for a snapshot taken after `round` rounds.
+  std::filesystem::path path_for(std::uint64_t round) const;
+
+  /// Existing generation files, newest round first. Files that don't match
+  /// the ckpt-<round>.avcp pattern are ignored (including stray .tmp).
+  std::vector<std::filesystem::path> generations() const;
+
+  /// Removes all but the newest keep() generations (best effort).
+  void prune() const;
+
+  /// The round encoded in a generation file name, or nullopt when the name
+  /// doesn't match the pattern.
+  static std::optional<std::uint64_t> round_of(
+      const std::filesystem::path& path);
+
+ private:
+  std::filesystem::path dir_;
+  std::size_t keep_;
+};
+
+}  // namespace avcp::checkpoint

@@ -1,0 +1,51 @@
+#include "checkpoint/recovery.h"
+
+#include "common/contracts.h"
+
+namespace avcp::checkpoint {
+
+RecoveryOutcome run_with_recovery(const CheckpointStore& store,
+                                  const CheckpointPolicy& policy,
+                                  std::size_t total_rounds,
+                                  const RecoveryHooks& hooks) {
+  AVCP_EXPECT(hooks.reset != nullptr);
+  AVCP_EXPECT(hooks.step != nullptr);
+
+  RecoveryOutcome outcome;
+  if (hooks.restore != nullptr) {
+    for (const std::filesystem::path& path : store.generations()) {
+      try {
+        const CheckpointReader reader = CheckpointReader::open(path);
+        hooks.restore(reader);
+        outcome.start_round = static_cast<std::size_t>(reader.round());
+        outcome.resumed = true;
+        outcome.resumed_from = path.string();
+        break;
+      } catch (const SerialError&) {
+        // Torn, bit-rotted, stale-schema, or shape-mismatched generation:
+        // fall back to the one before it.
+        ++outcome.corrupt_skipped;
+      }
+    }
+  }
+  if (!outcome.resumed) hooks.reset();
+
+  for (std::size_t round = outcome.start_round; round < total_rounds; ++round) {
+    hooks.step(round);
+    const std::size_t completed = round + 1;
+    if (hooks.save != nullptr && policy.should_checkpoint(completed)) {
+      CheckpointWriter writer(completed);
+      hooks.save(writer);
+      if (hooks.write != nullptr) {
+        hooks.write(writer, store.path_for(completed));
+      } else {
+        writer.write(store.path_for(completed));
+      }
+      store.prune();
+      ++outcome.checkpoints_written;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace avcp::checkpoint

@@ -1,0 +1,65 @@
+// Supervisor-style run loop with checkpoint-based crash recovery.
+//
+// run_with_recovery owns the restore-or-reset decision and the periodic
+// snapshot schedule; the caller supplies the engine-specific pieces as
+// hooks. On entry it walks the store's generations newest-first and
+// restores the first one that parses and loads cleanly — a torn or
+// bit-rotted latest file (every rejection surfaces as SerialError, which
+// CheckpointError derives from) is *skipped*, not fatal, and the previous
+// generation takes over. Only when no generation survives does the run
+// cold-start via reset(). The loop then steps rounds [start, total) and
+// snapshots whenever the policy fires.
+//
+// Combined with atomic writes and keep >= 2 retention this gives the
+// crash-tolerance contract: a process killed at any point — including mid
+// checkpoint write — reruns to the exact same final state as an
+// uninterrupted run, because restore + remaining rounds is bit-identical
+// to the straight-through trajectory (the engines' save/load contract).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "checkpoint/checkpoint.h"
+#include "checkpoint/policy.h"
+
+namespace avcp::checkpoint {
+
+struct RecoveryHooks {
+  /// Cold start: (re)initialize the engine to round 0.
+  std::function<void()> reset;
+  /// Load engine state from a parsed checkpoint; throw SerialError (or a
+  /// derivative) to reject it and let recovery fall back a generation.
+  std::function<void(const CheckpointReader&)> restore;
+  /// Run round `round` (0-based).
+  std::function<void(std::size_t round)> step;
+  /// Fill the snapshot for the writer's round. Null = never snapshot.
+  std::function<void(CheckpointWriter&)> save;
+  /// Override the file write (null = writer.write(path), the atomic
+  /// protocol). Exists for crash injection: a faults::CrashInjector armed
+  /// with kMidCheckpointWrite tears the image at the final path and dies
+  /// here, exercising the fall-back-a-generation path on the next run.
+  std::function<void(const CheckpointWriter&, const std::filesystem::path&)>
+      write;
+};
+
+struct RecoveryOutcome {
+  /// Round the loop started from (0 on a cold start).
+  std::size_t start_round = 0;
+  bool resumed = false;
+  /// Generation file the run resumed from (empty on a cold start).
+  std::string resumed_from;
+  /// Generations that failed to parse or load and were skipped.
+  std::size_t corrupt_skipped = 0;
+  std::size_t checkpoints_written = 0;
+};
+
+/// Restores (or resets), then runs rounds up to `total_rounds`,
+/// snapshotting per `policy` and pruning the store after each write.
+RecoveryOutcome run_with_recovery(const CheckpointStore& store,
+                                  const CheckpointPolicy& policy,
+                                  std::size_t total_rounds,
+                                  const RecoveryHooks& hooks);
+
+}  // namespace avcp::checkpoint

@@ -4,6 +4,7 @@
 #include <numbers>
 
 #include "common/contracts.h"
+#include "common/serial.h"
 
 namespace avcp {
 
@@ -209,6 +210,18 @@ std::size_t Rng::weighted_index(std::span<const double> weights) {
 
 Rng Rng::split() noexcept {
   return Rng((*this)());
+}
+
+void Rng::save_state(Serializer& s) const {
+  for (const std::uint64_t word : state_) s.put_u64(word);
+  s.put_f64(cached_normal_);
+  s.put_bool(has_cached_normal_);
+}
+
+void Rng::load_state(Deserializer& d) {
+  for (std::uint64_t& word : state_) word = d.get_u64();
+  cached_normal_ = d.get_f64();
+  has_cached_normal_ = d.get_bool();
 }
 
 }  // namespace avcp

@@ -14,6 +14,9 @@
 
 namespace avcp {
 
+class Serializer;
+class Deserializer;
+
 /// splitmix64 step; used for seed expansion and as a cheap hash.
 std::uint64_t splitmix64(std::uint64_t& state) noexcept;
 
@@ -89,6 +92,11 @@ class Rng {
   /// Derives an independent child engine; used to give each simulated
   /// vehicle / region its own stream without cross-coupling.
   Rng split() noexcept;
+
+  /// Checkpoint hooks: the full stream position (xoshiro state plus the
+  /// Box-Muller cache), so a restored engine continues bit-identically.
+  void save_state(Serializer& s) const;
+  void load_state(Deserializer& d);
 
  private:
   std::array<std::uint64_t, 4> state_;

@@ -1,0 +1,207 @@
+#include "common/serial.h"
+
+#include <array>
+#include <bit>
+#include <limits>
+
+namespace avcp {
+
+namespace {
+
+/// CRC-32C lookup table (reflected 0x82F63B78), built once at startup.
+std::array<std::uint32_t, 256> make_crc32c_table() noexcept {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) != 0 ? (crc >> 1) ^ 0x82F63B78u : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256> kCrc32cTable = make_crc32c_table();
+
+}  // namespace
+
+std::uint32_t crc32c(std::span<const std::byte> data,
+                     std::uint32_t seed) noexcept {
+  std::uint32_t crc = ~seed;
+  for (const std::byte b : data) {
+    crc = (crc >> 8) ^
+          kCrc32cTable[(crc ^ static_cast<std::uint32_t>(b)) & 0xffu];
+  }
+  return ~crc;
+}
+
+void Serializer::put_u8(std::uint8_t v) {
+  buffer_.push_back(static_cast<std::byte>(v));
+}
+
+void Serializer::put_u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buffer_.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xffu));
+  }
+}
+
+void Serializer::put_u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buffer_.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xffu));
+  }
+}
+
+void Serializer::put_f64(double v) {
+  put_u64(std::bit_cast<std::uint64_t>(v));
+}
+
+void Serializer::put_bytes(std::span<const std::byte> data) {
+  put_u64(data.size());
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+}
+
+void Serializer::put_string(std::string_view s) {
+  put_bytes(std::as_bytes(std::span<const char>(s.data(), s.size())));
+}
+
+void Serializer::put_raw(std::span<const std::byte> data) {
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+}
+
+void Deserializer::require(std::size_t n) const {
+  if (remaining() < n) {
+    throw SerialError("serial: read past end of payload");
+  }
+}
+
+std::uint8_t Deserializer::get_u8() {
+  require(1);
+  return static_cast<std::uint8_t>(data_[offset_++]);
+}
+
+std::uint32_t Deserializer::get_u32() {
+  require(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(data_[offset_ + i]) << (8 * i);
+  }
+  offset_ += 4;
+  return v;
+}
+
+std::uint64_t Deserializer::get_u64() {
+  require(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(data_[offset_ + i]) << (8 * i);
+  }
+  offset_ += 8;
+  return v;
+}
+
+double Deserializer::get_f64() { return std::bit_cast<double>(get_u64()); }
+
+void Deserializer::skip(std::size_t n) {
+  require(n);
+  offset_ += n;
+}
+
+std::vector<std::byte> Deserializer::get_bytes() {
+  const std::uint64_t n = get_u64();
+  check(n <= remaining(), "byte-string length exceeds payload");
+  std::vector<std::byte> out(data_.begin() + static_cast<std::ptrdiff_t>(offset_),
+                             data_.begin() +
+                                 static_cast<std::ptrdiff_t>(offset_ + n));
+  offset_ += static_cast<std::size_t>(n);
+  return out;
+}
+
+std::string Deserializer::get_string() {
+  const std::vector<std::byte> raw = get_bytes();
+  return std::string(reinterpret_cast<const char*>(raw.data()), raw.size());
+}
+
+namespace {
+
+/// Guards length prefixes before vector reserves: a corrupt (but
+/// CRC-colliding or unframed) length must not trigger a huge allocation.
+std::size_t checked_count(Deserializer& d, std::size_t elem_size) {
+  const std::uint64_t n = d.get_u64();
+  Deserializer::check(n <= d.remaining() / elem_size,
+                      "vector length exceeds payload");
+  return static_cast<std::size_t>(n);
+}
+
+}  // namespace
+
+void put_f64_vec(Serializer& s, std::span<const double> v) {
+  s.put_u64(v.size());
+  for (const double x : v) s.put_f64(x);
+}
+
+std::vector<double> get_f64_vec(Deserializer& d) {
+  const std::size_t n = checked_count(d, 8);
+  std::vector<double> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) v.push_back(d.get_f64());
+  return v;
+}
+
+void put_u64_vec(Serializer& s, std::span<const std::uint64_t> v) {
+  s.put_u64(v.size());
+  for (const std::uint64_t x : v) s.put_u64(x);
+}
+
+std::vector<std::uint64_t> get_u64_vec(Deserializer& d) {
+  const std::size_t n = checked_count(d, 8);
+  std::vector<std::uint64_t> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) v.push_back(d.get_u64());
+  return v;
+}
+
+void put_u32_vec(Serializer& s, std::span<const std::uint32_t> v) {
+  s.put_u64(v.size());
+  for (const std::uint32_t x : v) s.put_u32(x);
+}
+
+std::vector<std::uint32_t> get_u32_vec(Deserializer& d) {
+  const std::size_t n = checked_count(d, 4);
+  std::vector<std::uint32_t> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) v.push_back(d.get_u32());
+  return v;
+}
+
+void put_size_vec(Serializer& s, std::span<const std::size_t> v) {
+  s.put_u64(v.size());
+  for (const std::size_t x : v) s.put_u64(x);
+}
+
+std::vector<std::size_t> get_size_vec(Deserializer& d) {
+  const std::size_t n = checked_count(d, 8);
+  std::vector<std::size_t> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t x = d.get_u64();
+    Deserializer::check(x <= std::numeric_limits<std::size_t>::max(),
+                        "size value exceeds host size_t");
+    v.push_back(static_cast<std::size_t>(x));
+  }
+  return v;
+}
+
+void put_u8_vec(Serializer& s, std::span<const std::uint8_t> v) {
+  s.put_u64(v.size());
+  for (const std::uint8_t x : v) s.put_u8(x);
+}
+
+std::vector<std::uint8_t> get_u8_vec(Deserializer& d) {
+  const std::size_t n = checked_count(d, 1);
+  std::vector<std::uint8_t> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) v.push_back(d.get_u8());
+  return v;
+}
+
+}  // namespace avcp

@@ -1,0 +1,113 @@
+// Binary serialization primitives for the checkpoint subsystem.
+//
+// Serializer appends scalars to a byte buffer in little-endian order
+// regardless of host endianness; Deserializer reads them back with bounds
+// checks. Every stateful engine exposes save_state(Serializer&) /
+// load_state(Deserializer&) built on these, and checkpoint/checkpoint.h
+// frames the resulting payloads into a versioned, CRC-protected file.
+//
+// Failure model: Deserializer never reads past its span — a truncated or
+// garbled payload throws SerialError (a typed, catchable error) instead of
+// returning garbage. load_state implementations use check() for semantic
+// validation (dimension mismatches against the live configuration), so a
+// checkpoint from a differently-configured run is rejected, not applied.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace avcp {
+
+/// Thrown when decoding fails: truncated payload, bad tag, or a semantic
+/// mismatch against the live configuration. checkpoint::CheckpointError
+/// derives from it, so `catch (const SerialError&)` covers every way a
+/// checkpoint can be rejected.
+class SerialError : public std::runtime_error {
+ public:
+  explicit SerialError(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+/// CRC-32C (Castagnoli, reflected polynomial 0x82F63B78) — the checksum
+/// hardware-accelerated storage stacks standardise on. `seed` chains
+/// incremental computations: pass a previous result to extend it.
+std::uint32_t crc32c(std::span<const std::byte> data,
+                     std::uint32_t seed = 0) noexcept;
+
+/// Appends scalars to a growable byte buffer, little-endian.
+class Serializer {
+ public:
+  void put_u8(std::uint8_t v);
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  /// Doubles travel as their IEEE-754 bit pattern: exact round-trip,
+  /// including NaN payloads and signed zeros.
+  void put_f64(double v);
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+  /// u64 length prefix + raw bytes.
+  void put_bytes(std::span<const std::byte> data);
+  void put_string(std::string_view s);
+  /// Raw bytes, no prefix (for framing layers that carry their own sizes).
+  void put_raw(std::span<const std::byte> data);
+
+  const std::vector<std::byte>& bytes() const noexcept { return buffer_; }
+  std::size_t size() const noexcept { return buffer_.size(); }
+
+ private:
+  std::vector<std::byte> buffer_;
+};
+
+/// Reads scalars back from a byte span; throws SerialError on under-run.
+class Deserializer {
+ public:
+  explicit Deserializer(std::span<const std::byte> data) noexcept
+      : data_(data) {}
+
+  std::uint8_t get_u8();
+  std::uint32_t get_u32();
+  std::uint64_t get_u64();
+  double get_f64();
+  bool get_bool() { return get_u8() != 0; }
+  std::vector<std::byte> get_bytes();
+  std::string get_string();
+
+  std::size_t remaining() const noexcept { return data_.size() - offset_; }
+  bool exhausted() const noexcept { return remaining() == 0; }
+  std::size_t offset() const noexcept { return offset_; }
+  /// Advances past `n` bytes (throws SerialError when fewer remain).
+  void skip(std::size_t n);
+
+  /// Semantic validation helper for load_state implementations: throws
+  /// SerialError (not ContractViolation — the input is external data, not a
+  /// caller bug) when `cond` is false.
+  static void check(bool cond, const char* what) {
+    if (!cond) throw SerialError(std::string("serial: ") + what);
+  }
+
+ private:
+  void require(std::size_t n) const;
+
+  std::span<const std::byte> data_;
+  std::size_t offset_ = 0;
+};
+
+/// Vector helpers shared by the load/save hooks (u64 length prefix).
+void put_f64_vec(Serializer& s, std::span<const double> v);
+std::vector<double> get_f64_vec(Deserializer& d);
+void put_u64_vec(Serializer& s, std::span<const std::uint64_t> v);
+std::vector<std::uint64_t> get_u64_vec(Deserializer& d);
+void put_u32_vec(Serializer& s, std::span<const std::uint32_t> v);
+std::vector<std::uint32_t> get_u32_vec(Deserializer& d);
+
+/// size_t vectors travel as u64 (the format is 64-bit regardless of host).
+void put_size_vec(Serializer& s, std::span<const std::size_t> v);
+std::vector<std::size_t> get_size_vec(Deserializer& d);
+void put_u8_vec(Serializer& s, std::span<const std::uint8_t> v);
+std::vector<std::uint8_t> get_u8_vec(Deserializer& d);
+
+}  // namespace avcp

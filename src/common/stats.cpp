@@ -4,8 +4,21 @@
 #include <cmath>
 
 #include "common/contracts.h"
+#include "common/serial.h"
 
 namespace avcp {
+
+void Histogram::save_state(Serializer& s) const {
+  put_size_vec(s, counts);
+  s.put_u64(underflow);
+  s.put_u64(overflow);
+}
+
+void Histogram::load_state(Deserializer& d) {
+  counts = get_size_vec(d);
+  underflow = static_cast<std::size_t>(d.get_u64());
+  overflow = static_cast<std::size_t>(d.get_u64());
+}
 
 void RunningStats::add(double x) noexcept {
   if (n_ == 0) {

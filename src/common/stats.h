@@ -9,6 +9,9 @@
 
 namespace avcp {
 
+class Serializer;
+class Deserializer;
+
 /// Streaming mean/variance accumulator (Welford's algorithm).
 class RunningStats {
  public:
@@ -53,6 +56,10 @@ struct Histogram {
   std::vector<std::size_t> counts;
   std::size_t underflow = 0;
   std::size_t overflow = 0;
+
+  /// Checkpoint hooks (benches accumulate histograms across rounds).
+  void save_state(Serializer& s) const;
+  void load_state(Deserializer& d);
 };
 Histogram histogram(std::span<const double> xs, double lo, double hi,
                     std::size_t bins);

@@ -5,6 +5,7 @@
 
 #include "common/contracts.h"
 #include "common/log.h"
+#include "common/serial.h"
 
 namespace avcp::core {
 
@@ -74,6 +75,30 @@ FdsController::FdsController(const MultiRegionGame& game,
   AVCP_EXPECT(desired_.num_regions() == game.num_regions());
   AVCP_EXPECT(desired_.num_decisions() == game.num_decisions());
   AVCP_EXPECT(options_.max_step > 0.0);
+}
+
+void DesiredFields::save_state(Serializer& s) const {
+  s.put_u64(num_regions());
+  s.put_u64(num_decisions());
+  for (const auto& row : targets_) {
+    for (const Interval& iv : row) {
+      s.put_f64(iv.lo);
+      s.put_f64(iv.hi);
+    }
+  }
+}
+
+void DesiredFields::load_state(Deserializer& d) {
+  Deserializer::check(d.get_u64() == num_regions(),
+                      "DesiredFields region count mismatch");
+  Deserializer::check(d.get_u64() == num_decisions(),
+                      "DesiredFields decision count mismatch");
+  for (auto& row : targets_) {
+    for (Interval& iv : row) {
+      iv.lo = d.get_f64();
+      iv.hi = d.get_f64();
+    }
+  }
 }
 
 void FdsController::set_desired(DesiredFields desired) {

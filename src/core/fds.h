@@ -51,6 +51,12 @@ class DesiredFields {
   /// True if every p[i][k] lies in its target (within tol).
   bool satisfied(const GameState& state, double tol = 1e-9) const;
 
+  /// Checkpoint hooks: the cloud retargets fields from telemetry mid-run
+  /// (set_target / density_weighted_fields), so the intervals are run
+  /// state. load_state rejects dimension mismatches with SerialError.
+  void save_state(Serializer& s) const;
+  void load_state(Deserializer& d);
+
  private:
   std::vector<std::vector<Interval>> targets_;
 };
@@ -126,6 +132,11 @@ class FdsController final : public Controller {
   /// controller itself is stateless across next_x calls, so swapping the
   /// fields is the whole update.
   void set_desired(DesiredFields desired);
+
+  /// Checkpoint hooks. next_x is a pure function of (state, x_prev) given
+  /// the fields, so the fields are the controller's entire mutable state.
+  void save_state(Serializer& s) const { desired_.save_state(s); }
+  void load_state(Deserializer& d) { desired_.load_state(d); }
 
  private:
   const MultiRegionGame& game_;

@@ -4,8 +4,22 @@
 #include <cmath>
 
 #include "common/contracts.h"
+#include "common/serial.h"
 
 namespace avcp::core {
+
+void GameState::save_state(Serializer& s) const {
+  s.put_u64(p.size());
+  for (const std::vector<double>& row : p) put_f64_vec(s, row);
+}
+
+void GameState::load_state(Deserializer& d) {
+  const std::uint64_t rows = d.get_u64();
+  Deserializer::check(rows <= d.remaining() / 8,
+                      "GameState row count exceeds payload");
+  p.assign(static_cast<std::size_t>(rows), {});
+  for (std::vector<double>& row : p) row = get_f64_vec(d);
+}
 
 void check_distribution(std::span<const double> p, double tol) {
   double sum = 0.0;

@@ -24,6 +24,11 @@
 
 #include "core/lattice.h"
 
+namespace avcp {
+class Serializer;
+class Deserializer;
+}  // namespace avcp
+
 namespace avcp::core {
 
 using RegionId = std::uint32_t;
@@ -58,6 +63,10 @@ struct GameState {
   std::vector<std::vector<double>> p;
 
   std::size_t num_regions() const noexcept { return p.size(); }
+
+  /// Checkpoint hooks: exact bit patterns of every proportion.
+  void save_state(Serializer& s) const;
+  void load_state(Deserializer& d);
 };
 
 class MultiRegionGame {

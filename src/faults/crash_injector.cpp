@@ -1,0 +1,52 @@
+#include "faults/crash_injector.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace avcp::faults {
+
+CrashPlan CrashInjector::parse_plan(std::string_view spec) {
+  CrashPlan plan;
+  const std::size_t colon = spec.find(':');
+  if (colon == std::string_view::npos) return plan;
+  const std::string_view stage = spec.substr(0, colon);
+  const std::string_view round = spec.substr(colon + 1);
+  if (round.empty()) return plan;
+  std::size_t value = 0;
+  for (const char c : round) {
+    if (c < '0' || c > '9') return plan;
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+  }
+  if (stage == "before") {
+    plan.stage = CrashStage::kBeforeRound;
+  } else if (stage == "after") {
+    plan.stage = CrashStage::kAfterRound;
+  } else if (stage == "midwrite") {
+    plan.stage = CrashStage::kMidCheckpointWrite;
+  } else {
+    return plan;
+  }
+  plan.round = value;
+  return plan;
+}
+
+CrashInjector CrashInjector::from_env(const char* var) {
+  const char* spec = std::getenv(var);
+  return CrashInjector(spec != nullptr ? parse_plan(spec) : CrashPlan{});
+}
+
+void CrashInjector::before_round(std::size_t round) const {
+  if (plan_.stage == CrashStage::kBeforeRound && plan_.round == round) {
+    crash();
+  }
+}
+
+void CrashInjector::after_round(std::size_t round) const {
+  if (plan_.stage == CrashStage::kAfterRound && plan_.round == round) {
+    crash();
+  }
+}
+
+void CrashInjector::crash() { std::_Exit(kExitCode); }
+
+}  // namespace avcp::faults

@@ -1,0 +1,83 @@
+// Process-kill injection for crash-recovery testing.
+//
+// The fault layer's other models perturb the *data path*; CrashInjector
+// kills the *process* — the failure mode the checkpoint subsystem exists
+// for. A plan names one round and one stage:
+//
+//   kBeforeRound         die just before round R runs;
+//   kAfterRound          die right after round R's work completes, before
+//                        any checkpoint for it is written (the work since
+//                        the last snapshot is lost and must be re-stepped);
+//   kMidCheckpointWrite  die in the middle of writing the checkpoint that
+//                        represents R completed rounds, leaving a *torn
+//                        file at the final path* (the non-atomic worst
+//                        case a real crash plus a reordering filesystem
+//                        can produce), so recovery must fall back a
+//                        generation.
+//
+// Death is std::_Exit(kExitCode): no unwinding, no atexit, no flush — an
+// honest SIGKILL stand-in that still lets a supervising script distinguish
+// the injected kill from a genuine failure by exit code. Plans parse from
+// a "stage:round" spec ("before:5", "after:7", "midwrite:3") so the CI
+// smoke job can drive the same binary through crash-rerun-compare cycles
+// via an environment variable.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace avcp::faults {
+
+enum class CrashStage : std::uint8_t {
+  kNone = 0,
+  kBeforeRound,
+  kAfterRound,
+  kMidCheckpointWrite,
+};
+
+struct CrashPlan {
+  CrashStage stage = CrashStage::kNone;
+  /// 0-based round index the stage refers to.
+  std::size_t round = 0;
+};
+
+class CrashInjector {
+ public:
+  /// Exit code of an injected kill, distinct from success (0) and from
+  /// generic failure (1) so supervisors can assert the crash was ours.
+  static constexpr int kExitCode = 42;
+
+  explicit CrashInjector(CrashPlan plan = {}) : plan_(plan) {}
+
+  /// Parses "before:R" / "after:R" / "midwrite:R". An empty or
+  /// unrecognized spec yields a disarmed plan.
+  static CrashPlan parse_plan(std::string_view spec);
+
+  /// Injector from the given environment variable (disarmed when unset).
+  static CrashInjector from_env(const char* var = "AVCP_CRASH");
+
+  const CrashPlan& plan() const noexcept { return plan_; }
+  bool armed() const noexcept { return plan_.stage != CrashStage::kNone; }
+
+  /// Call at the top of round `round`; dies if the plan says kBeforeRound.
+  void before_round(std::size_t round) const;
+
+  /// Call after round `round` completes; dies if the plan says kAfterRound.
+  void after_round(std::size_t round) const;
+
+  /// True when the checkpoint representing `completed_rounds` should be
+  /// torn: the caller writes the truncated image to the final path (e.g.
+  /// CheckpointWriter::write_torn with half the image), then crash().
+  bool tears_checkpoint(std::size_t completed_rounds) const noexcept {
+    return plan_.stage == CrashStage::kMidCheckpointWrite &&
+           plan_.round == completed_rounds;
+  }
+
+  /// Immediate death, no unwinding (std::_Exit(kExitCode)).
+  [[noreturn]] static void crash();
+
+ private:
+  CrashPlan plan_;
+};
+
+}  // namespace avcp::faults

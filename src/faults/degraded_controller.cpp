@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/contracts.h"
+#include "common/serial.h"
 
 namespace avcp::faults {
 
@@ -94,6 +95,25 @@ void DegradedController::reset() {
   age_.clear();
   degraded_.clear();
   counters_ = FaultCounters{};
+}
+
+void DegradedController::save_state(Serializer& s) const {
+  s.put_u64(round_);
+  last_good_.save_state(s);
+  put_size_vec(s, age_);
+  put_u8_vec(s, degraded_);
+  counters_.save_state(s);
+}
+
+void DegradedController::load_state(Deserializer& d) {
+  round_ = static_cast<std::size_t>(d.get_u64());
+  last_good_.load_state(d);
+  age_ = get_size_vec(d);
+  degraded_ = get_u8_vec(d);
+  Deserializer::check(age_.size() == last_good_.p.size() &&
+                          degraded_.size() == last_good_.p.size(),
+                      "DegradedController per-region vectors disagree");
+  counters_.load_state(d);
 }
 
 }  // namespace avcp::faults

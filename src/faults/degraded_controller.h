@@ -77,6 +77,12 @@ class DegradedController final : public core::Controller {
   /// Forgets all held reports and restarts the round counter.
   void reset();
 
+  /// Checkpoint hooks: round counter, held reports with their ages, the
+  /// degraded flags, and the loss counters — everything next_x consults
+  /// beyond its arguments, so a restored wrapper emits the same ratios.
+  void save_state(Serializer& s) const;
+  void load_state(Deserializer& d);
+
  private:
   core::Controller& inner_;
   const FaultModel& faults_;

@@ -1,7 +1,10 @@
 #include "faults/fault_model.h"
 
+#include <limits>
+
 #include "common/contracts.h"
 #include "common/rng.h"
+#include "common/serial.h"
 
 namespace avcp::faults {
 
@@ -47,6 +50,20 @@ FaultCounters& FaultCounters::operator+=(const FaultCounters& other) noexcept {
   return *this;
 }
 
+void FaultCounters::save_state(Serializer& s) const {
+  s.put_u64(uploads_lost);
+  s.put_u64(deliveries_lost);
+  s.put_u64(reports_lost);
+  s.put_u64(region_outages);
+}
+
+void FaultCounters::load_state(Deserializer& d) {
+  uploads_lost = static_cast<std::size_t>(d.get_u64());
+  deliveries_lost = static_cast<std::size_t>(d.get_u64());
+  reports_lost = static_cast<std::size_t>(d.get_u64());
+  region_outages = static_cast<std::size_t>(d.get_u64());
+}
+
 FaultModel::FaultModel(FaultParams params)
     : params_(std::move(params)), active_(params_.any()) {
   AVCP_EXPECT(valid_rate(params_.upload_loss_rate));
@@ -54,6 +71,13 @@ FaultModel::FaultModel(FaultParams params)
   AVCP_EXPECT(valid_rate(params_.report_loss_rate));
   AVCP_EXPECT(valid_rate(params_.outage_rate));
   AVCP_EXPECT(valid_rate(params_.defector_fraction));
+  for (const OutageWindow& w : params_.outages) {
+    // The window end first_round + duration must be representable: an
+    // overflowing end silently truncates the schedule at SIZE_MAX and is
+    // invariably a caller arithmetic bug, so reject it up front.
+    AVCP_EXPECT(w.duration <=
+                std::numeric_limits<std::size_t>::max() - w.first_round);
+  }
 }
 
 double FaultModel::hash_uniform(std::uint64_t stream, std::uint64_t a,

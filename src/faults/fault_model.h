@@ -23,6 +23,11 @@
 
 #include "core/game.h"
 
+namespace avcp {
+class Serializer;
+class Deserializer;
+}  // namespace avcp
+
 namespace avcp::faults {
 
 /// A scheduled edge-server outage: `region` (or every region) is down for
@@ -80,6 +85,12 @@ struct FaultCounters {
   std::size_t region_outages = 0;   // region-rounds skipped entirely
 
   FaultCounters& operator+=(const FaultCounters& other) noexcept;
+
+  friend bool operator==(const FaultCounters&, const FaultCounters&) = default;
+
+  /// Checkpoint hooks (the counters accumulate across the whole run).
+  void save_state(Serializer& s) const;
+  void load_state(Deserializer& d);
 };
 
 class FaultModel {

@@ -221,6 +221,12 @@ class EdgeServerDataPlane {
                             double sharing_ratio, DataPlaneMode mode,
                             DirectionalOutcome& out);
 
+  /// Checkpoint hooks: the plane's only cross-round state is its RNG
+  /// stream position (the workspace is per-round scratch; the readability
+  /// table and masks are derived from the lattice at construction).
+  void save_state(Serializer& s) const { rng_.save_state(s); }
+  void load_state(Deserializer& d) { rng_.load_state(d); }
+
  private:
   /// Per-round scratch reused across rounds (grown, never shrunk).
   struct Workspace {

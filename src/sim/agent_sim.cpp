@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/contracts.h"
+#include "common/serial.h"
 
 namespace avcp::sim {
 
@@ -114,6 +115,47 @@ void AgentBasedSim::step(std::span<const double> x) {
     }
   });
   ++round_;
+}
+
+void AgentBasedSim::save_state(Serializer& s) const {
+  s.put_u64(game_.num_regions());
+  s.put_u64(params_.vehicles_per_region);
+  s.put_u64(params_.seed);
+  s.put_bool(params_.measured_fitness);
+  s.put_u64(round_);
+  s.put_u64(init_epoch_);
+  for (const std::vector<core::DecisionId>& region : decisions_) {
+    put_u32_vec(s, region);
+  }
+  for (const MeasuredExchange& exchange : exchanges_) {
+    exchange.save_state(s);
+  }
+}
+
+void AgentBasedSim::load_state(Deserializer& d) {
+  Deserializer::check(d.get_u64() == game_.num_regions(),
+                      "AgentSim snapshot: region count mismatch");
+  Deserializer::check(d.get_u64() == params_.vehicles_per_region,
+                      "AgentSim snapshot: fleet size mismatch");
+  Deserializer::check(d.get_u64() == params_.seed,
+                      "AgentSim snapshot: seed mismatch");
+  Deserializer::check(d.get_bool() == params_.measured_fitness,
+                      "AgentSim snapshot: fitness mode mismatch");
+  round_ = d.get_u64();
+  init_epoch_ = d.get_u64();
+  for (std::vector<core::DecisionId>& region : decisions_) {
+    std::vector<core::DecisionId> row = get_u32_vec(d);
+    Deserializer::check(row.size() == region.size(),
+                        "AgentSim snapshot: decisions row size mismatch");
+    for (const core::DecisionId decision : row) {
+      Deserializer::check(decision < game_.num_decisions(),
+                          "AgentSim snapshot: decision id out of range");
+    }
+    region = std::move(row);
+  }
+  for (MeasuredExchange& exchange : exchanges_) {
+    exchange.load_state(d);
+  }
 }
 
 core::GameState AgentBasedSim::empirical_state() const {

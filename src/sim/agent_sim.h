@@ -86,6 +86,14 @@ class AgentBasedSim {
     return params_.vehicles_per_region;
   }
 
+  /// Checkpoint hooks: round/init counters, the fleet's decisions, and —
+  /// under measured fitness — every evaluator's plane RNG position. The
+  /// defector table is reconstructed from the fault model at construction
+  /// and is not serialized. Call between step()s only. load_state throws
+  /// SerialError on a shape or configuration mismatch.
+  void save_state(Serializer& s) const;
+  void load_state(Deserializer& d);
+
  private:
   const core::MultiRegionGame& game_;
   AgentSimParams params_;

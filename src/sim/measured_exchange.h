@@ -60,6 +60,11 @@ class MeasuredExchange {
                                                   double beta, double x,
                                                   std::uint64_t stream);
 
+  /// Checkpoint hooks: the evaluator's only cross-call state is its
+  /// plane's RNG position (the universe is reconstructed from the seed).
+  void save_state(Serializer& s) const { plane_.save_state(s); }
+  void load_state(Deserializer& d) { plane_.load_state(d); }
+
  private:
   const core::MultiRegionGame& game_;
   MeasuredExchangeParams params_;

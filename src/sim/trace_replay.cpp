@@ -5,6 +5,7 @@
 #include <map>
 
 #include "common/contracts.h"
+#include "common/serial.h"
 
 namespace avcp::sim {
 
@@ -153,6 +154,45 @@ void TraceDrivenSim::step(std::span<const double> x) {
 
   refresh_state(present);
   ++round_;
+}
+
+void TraceDrivenSim::save_state(Serializer& s) const {
+  s.put_u64(game_.num_regions());
+  s.put_u64(decisions_.size());
+  s.put_u64(params_.seed);
+  s.put_bool(params_.measure_data_plane);
+  s.put_u64(round_);
+  rng_.save_state(s);
+  put_u32_vec(s, decisions_);
+  state_.save_state(s);
+  for (const MeasuredExchange& exchange : exchanges_) {
+    exchange.save_state(s);
+  }
+}
+
+void TraceDrivenSim::load_state(Deserializer& d) {
+  Deserializer::check(d.get_u64() == game_.num_regions(),
+                      "TraceReplay snapshot: region count mismatch");
+  Deserializer::check(d.get_u64() == decisions_.size(),
+                      "TraceReplay snapshot: vehicle count mismatch");
+  Deserializer::check(d.get_u64() == params_.seed,
+                      "TraceReplay snapshot: seed mismatch");
+  Deserializer::check(d.get_bool() == params_.measure_data_plane,
+                      "TraceReplay snapshot: fitness mode mismatch");
+  round_ = d.get_u64();
+  rng_.load_state(d);
+  std::vector<core::DecisionId> decisions = get_u32_vec(d);
+  Deserializer::check(decisions.size() == decisions_.size(),
+                      "TraceReplay snapshot: decisions size mismatch");
+  for (const core::DecisionId decision : decisions) {
+    Deserializer::check(decision < game_.num_decisions(),
+                        "TraceReplay snapshot: decision id out of range");
+  }
+  decisions_ = std::move(decisions);
+  state_.load_state(d);
+  for (MeasuredExchange& exchange : exchanges_) {
+    exchange.load_state(d);
+  }
 }
 
 }  // namespace avcp::sim

@@ -76,6 +76,15 @@ class TraceDrivenSim {
 
   std::size_t current_round() const noexcept { return round_; }
 
+  /// Checkpoint hooks: the round counter, the serial revision RNG (full
+  /// stream position), per-vehicle decisions, the published distributions,
+  /// and — under measured fitness — every evaluator's plane RNG position.
+  /// The presence tables are rebuilt from the trace at construction and are
+  /// not serialized. Call between step()s only; load_state throws
+  /// SerialError on a shape or configuration mismatch.
+  void save_state(Serializer& s) const;
+  void load_state(Deserializer& d);
+
  private:
   const core::MultiRegionGame& game_;
   TraceReplayParams params_;

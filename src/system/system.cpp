@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/contracts.h"
+#include "common/serial.h"
 
 namespace avcp::system {
 
@@ -515,6 +516,76 @@ std::span<const double> CooperativePerceptionSystem::realized_fitness(
     core::RegionId i) const {
   AVCP_EXPECT(i < realized_.size());
   return realized_[i];
+}
+
+void CooperativePerceptionSystem::save_state(Serializer& s) const {
+  // Configuration fingerprint first, so a snapshot cannot silently restore
+  // into a differently-shaped system (load_state rejects on mismatch).
+  s.put_u64(game_.num_regions());
+  s.put_u64(game_.num_decisions());
+  s.put_u64(params_.vehicles_per_region);
+  s.put_u64(params_.seed);
+  s.put_u8(static_cast<std::uint8_t>(params_.data_plane_mode));
+  s.put_bool(pipeline_ != nullptr);
+
+  s.put_u64(round_);
+  fault_counters_.save_state(s);
+  rng_.save_state(s);
+  for (const std::vector<core::DecisionId>& region : decisions_) {
+    put_u32_vec(s, region);
+  }
+  put_f64_vec(s, x_);
+  for (const std::vector<double>& region : realized_) {
+    put_f64_vec(s, region);
+  }
+  for (const perception::EdgeServerDataPlane& plane : planes_) {
+    plane.save_state(s);
+  }
+  if (pipeline_ != nullptr) pipeline_->save_state(s);
+}
+
+void CooperativePerceptionSystem::load_state(Deserializer& d) {
+  Deserializer::check(d.get_u64() == game_.num_regions(),
+                      "System snapshot: region count mismatch");
+  Deserializer::check(d.get_u64() == game_.num_decisions(),
+                      "System snapshot: decision count mismatch");
+  Deserializer::check(d.get_u64() == params_.vehicles_per_region,
+                      "System snapshot: fleet size mismatch");
+  Deserializer::check(d.get_u64() == params_.seed,
+                      "System snapshot: seed mismatch");
+  Deserializer::check(
+      d.get_u8() == static_cast<std::uint8_t>(params_.data_plane_mode),
+      "System snapshot: data-plane mode mismatch");
+  Deserializer::check(d.get_bool() == (pipeline_ != nullptr),
+                      "System snapshot: report-pipeline wiring mismatch");
+
+  round_ = d.get_u64();
+  fault_counters_.load_state(d);
+  rng_.load_state(d);
+  for (std::vector<core::DecisionId>& region : decisions_) {
+    std::vector<core::DecisionId> row = get_u32_vec(d);
+    Deserializer::check(row.size() == region.size(),
+                        "System snapshot: decisions row size mismatch");
+    for (const core::DecisionId decision : row) {
+      Deserializer::check(decision < game_.num_decisions(),
+                          "System snapshot: decision id out of range");
+    }
+    region = std::move(row);
+  }
+  std::vector<double> ratios = get_f64_vec(d);
+  Deserializer::check(ratios.size() == x_.size(),
+                      "System snapshot: ratio vector size mismatch");
+  x_ = std::move(ratios);
+  for (std::vector<double>& region : realized_) {
+    std::vector<double> row = get_f64_vec(d);
+    Deserializer::check(row.size() == region.size(),
+                        "System snapshot: realized row size mismatch");
+    region = std::move(row);
+  }
+  for (perception::EdgeServerDataPlane& plane : planes_) {
+    plane.load_state(d);
+  }
+  if (pipeline_ != nullptr) pipeline_->load_state(d);
 }
 
 }  // namespace avcp::system

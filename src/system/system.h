@@ -217,6 +217,19 @@ class CooperativePerceptionSystem {
     return fault_counters_;
   }
 
+  /// Checkpoint hooks. save_state captures everything run_round consults
+  /// beyond its (reconstructible) configuration: the round counter, the
+  /// serial setup RNG, every plane's stream position, the fleet's
+  /// decisions, the applied ratios, the realized-fitness table, the fault
+  /// counters, and — when a report pipeline is attached — its reputation
+  /// state. A fresh system built with the same game/params/faults/adversary
+  /// wiring, after load_state, continues bit-identically to the original
+  /// (the resume-equivalence contract; DESIGN.md §12). Call between rounds
+  /// only. load_state throws SerialError when the snapshot's configuration
+  /// fingerprint disagrees with the live system.
+  void save_state(Serializer& s) const;
+  void load_state(Deserializer& d);
+
  private:
   const core::MultiRegionGame& game_;
   SystemParams params_;

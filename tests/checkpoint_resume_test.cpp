@@ -1,0 +1,365 @@
+// The resume-equivalence contract: for every stateful engine, restoring a
+// snapshot taken after k rounds and running N more is bit-identical to
+// running k+N rounds straight through — across seeds, thread counts, and
+// both data-plane kernels. Plus the engines' rejection of snapshots from a
+// differently-configured run (typed SerialError, never silent adoption).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/serial.h"
+#include "core/fds.h"
+#include "faults/degraded_controller.h"
+#include "faults/fault_model.h"
+#include "sim/agent_sim.h"
+#include "sim/trace_replay.h"
+#include "system/system.h"
+#include "test_support.h"
+
+namespace avcp {
+namespace {
+
+using core::testing::make_chain_game;
+
+constexpr std::size_t kWarmRounds = 4;   // rounds before the snapshot
+constexpr std::size_t kResumeRounds = 4; // rounds after it
+
+// ---------------------------------------------------------------------------
+// CooperativePerceptionSystem
+// ---------------------------------------------------------------------------
+
+system::SystemParams system_params(std::uint64_t seed, std::size_t threads,
+                                   perception::DataPlaneMode mode) {
+  system::SystemParams params;
+  params.vehicles_per_region = 24;
+  params.cells_per_region = 2;
+  params.seed = seed;
+  params.num_threads = threads;
+  params.data_plane_mode = mode;
+  return params;
+}
+
+/// Everything observable that the next round's evolution depends on.
+struct SystemObs {
+  std::vector<std::vector<double>> p;
+  std::vector<double> x;
+  faults::FaultCounters counters;
+  std::size_t round = 0;
+};
+
+SystemObs observe(const system::CooperativePerceptionSystem& plant) {
+  return SystemObs{plant.empirical_state().p, plant.current_x(),
+                   plant.fault_counters(), plant.round()};
+}
+
+void expect_equal(const SystemObs& a, const SystemObs& b) {
+  EXPECT_EQ(a.p, b.p);          // exact: bit-identical, not approximately
+  EXPECT_EQ(a.x, b.x);
+  EXPECT_TRUE(a.counters == b.counters);
+  EXPECT_EQ(a.round, b.round);
+}
+
+TEST(SystemResume, BitIdenticalAcrossSeedsThreadsAndKernels) {
+  const auto game = make_chain_game(3, 3.0, 4.0);
+  core::DesiredFields fields(game.num_regions(), game.num_decisions());
+  for (core::RegionId i = 0; i < game.num_regions(); ++i) {
+    fields.set_target(i, 0, Interval{0.6, 1.0});
+  }
+  faults::FaultParams fparams;
+  fparams.upload_loss_rate = 0.1;
+  fparams.seed = 5;
+  const faults::FaultModel faults(fparams);
+
+  for (const std::uint64_t seed : {11ull, 77ull}) {
+    for (const std::size_t threads : {1ul, 2ul, 8ul}) {
+      for (const auto mode : {perception::DataPlaneMode::kPairwiseExact,
+                              perception::DataPlaneMode::kClassAggregated}) {
+        SCOPED_TRACE(::testing::Message()
+                     << "seed=" << seed << " threads=" << threads << " mode="
+                     << static_cast<int>(mode));
+        const auto params = system_params(seed, threads, mode);
+        core::FdsController controller(game, fields);
+
+        system::CooperativePerceptionSystem straight(game, params, &faults);
+        straight.init_from(game.uniform_state());
+        for (std::size_t t = 0; t < kWarmRounds; ++t) {
+          straight.run_round(controller);
+        }
+        Serializer snapshot;
+        straight.save_state(snapshot);
+        for (std::size_t t = 0; t < kResumeRounds; ++t) {
+          straight.run_round(controller);
+        }
+
+        // "New process": fresh plant, same wiring; restore instead of init.
+        core::FdsController controller2(game, fields);
+        system::CooperativePerceptionSystem resumed(game, params, &faults);
+        Deserializer d(snapshot.bytes());
+        resumed.load_state(d);
+        EXPECT_TRUE(d.exhausted());
+        EXPECT_EQ(resumed.round(), kWarmRounds);
+        for (std::size_t t = 0; t < kResumeRounds; ++t) {
+          resumed.run_round(controller2);
+        }
+        expect_equal(observe(straight), observe(resumed));
+      }
+    }
+  }
+}
+
+TEST(SystemResume, DegradedControllerStateRidesAlong) {
+  // The stateful cloud wrapper (held reports, ages, counters) must restore
+  // with the plant: a resumed pair emits the same ratios as the straight
+  // run even while regions are blind.
+  const auto game = make_chain_game(3, 3.0, 4.0);
+  core::DesiredFields fields(game.num_regions(), game.num_decisions());
+  for (core::RegionId i = 0; i < game.num_regions(); ++i) {
+    fields.set_target(i, 0, Interval{0.6, 1.0});
+  }
+  faults::FaultParams fparams;
+  fparams.report_loss_rate = 0.4;
+  fparams.upload_loss_rate = 0.1;
+  fparams.seed = 9;
+  const faults::FaultModel faults(fparams);
+  const auto params =
+      system_params(123, 2, perception::DataPlaneMode::kPairwiseExact);
+
+  core::FdsController inner_a(game, fields);
+  faults::DegradedController ctl_a(inner_a, faults);
+  system::CooperativePerceptionSystem straight(game, params, &faults);
+  straight.init_from(game.uniform_state());
+  for (std::size_t t = 0; t < kWarmRounds; ++t) straight.run_round(ctl_a);
+  Serializer snapshot;
+  straight.save_state(snapshot);
+  ctl_a.save_state(snapshot);
+  for (std::size_t t = 0; t < kResumeRounds; ++t) straight.run_round(ctl_a);
+
+  core::FdsController inner_b(game, fields);
+  faults::DegradedController ctl_b(inner_b, faults);
+  system::CooperativePerceptionSystem resumed(game, params, &faults);
+  Deserializer d(snapshot.bytes());
+  resumed.load_state(d);
+  ctl_b.load_state(d);
+  EXPECT_TRUE(d.exhausted());
+  for (std::size_t t = 0; t < kResumeRounds; ++t) resumed.run_round(ctl_b);
+
+  expect_equal(observe(straight), observe(resumed));
+  EXPECT_EQ(ctl_a.round(), ctl_b.round());
+  EXPECT_TRUE(ctl_a.counters() == ctl_b.counters());
+}
+
+TEST(SystemResume, MismatchedConfigurationRejected) {
+  const auto game = make_chain_game(3, 3.0, 4.0);
+  const auto params =
+      system_params(11, 1, perception::DataPlaneMode::kPairwiseExact);
+  system::CooperativePerceptionSystem plant(game, params, nullptr);
+  plant.init_from(game.uniform_state());
+  Serializer snapshot;
+  plant.save_state(snapshot);
+
+  {
+    // Different fleet size.
+    auto other = params;
+    other.vehicles_per_region = 30;
+    system::CooperativePerceptionSystem target(game, other, nullptr);
+    Deserializer d(snapshot.bytes());
+    EXPECT_THROW(target.load_state(d), SerialError);
+  }
+  {
+    // Different data-plane kernel.
+    auto other = params;
+    other.data_plane_mode = perception::DataPlaneMode::kClassAggregated;
+    system::CooperativePerceptionSystem target(game, other, nullptr);
+    Deserializer d(snapshot.bytes());
+    EXPECT_THROW(target.load_state(d), SerialError);
+  }
+  {
+    // Different region count.
+    const auto small = make_chain_game(2, 3.0, 4.0);
+    system::CooperativePerceptionSystem target(small, params, nullptr);
+    Deserializer d(snapshot.bytes());
+    EXPECT_THROW(target.load_state(d), SerialError);
+  }
+  {
+    // Truncated payload.
+    std::vector<std::byte> torn(snapshot.bytes().begin(),
+                                snapshot.bytes().end() - 9);
+    system::CooperativePerceptionSystem target(game, params, nullptr);
+    Deserializer d(torn);
+    EXPECT_THROW(target.load_state(d), SerialError);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AgentBasedSim
+// ---------------------------------------------------------------------------
+
+sim::AgentSimParams agent_params(std::uint64_t seed, std::size_t threads,
+                                 bool measured,
+                                 perception::DataPlaneMode mode) {
+  sim::AgentSimParams params;
+  params.vehicles_per_region = 60;
+  params.seed = seed;
+  params.num_threads = threads;
+  params.measured_fitness = measured;
+  params.exchange.mode = mode;
+  params.exchange.fleet_size = 24;
+  return params;
+}
+
+TEST(AgentSimResume, BitIdenticalAcrossSeedsThreadsAndKernels) {
+  const auto game = make_chain_game(3);
+  const std::vector<double> x(game.num_regions(), 0.5);
+
+  struct Config {
+    bool measured;
+    perception::DataPlaneMode mode;
+  };
+  const Config configs[] = {
+      {false, perception::DataPlaneMode::kPairwiseExact},
+      {true, perception::DataPlaneMode::kPairwiseExact},
+      {true, perception::DataPlaneMode::kClassAggregated},
+  };
+  for (const std::uint64_t seed : {7ull, 301ull}) {
+    for (const std::size_t threads : {1ul, 2ul, 8ul}) {
+      for (const Config& config : configs) {
+        SCOPED_TRACE(::testing::Message()
+                     << "seed=" << seed << " threads=" << threads
+                     << " measured=" << config.measured << " mode="
+                     << static_cast<int>(config.mode));
+        const auto params =
+            agent_params(seed, threads, config.measured, config.mode);
+
+        sim::AgentBasedSim straight(game, params);
+        straight.init_from(game.uniform_state());
+        for (std::size_t t = 0; t < kWarmRounds; ++t) straight.step(x);
+        Serializer snapshot;
+        straight.save_state(snapshot);
+        for (std::size_t t = 0; t < kResumeRounds; ++t) straight.step(x);
+
+        sim::AgentBasedSim resumed(game, params);
+        Deserializer d(snapshot.bytes());
+        resumed.load_state(d);
+        EXPECT_TRUE(d.exhausted());
+        for (std::size_t t = 0; t < kResumeRounds; ++t) resumed.step(x);
+
+        EXPECT_EQ(straight.empirical_state().p, resumed.empirical_state().p);
+      }
+    }
+  }
+}
+
+TEST(AgentSimResume, MismatchedConfigurationRejected) {
+  const auto game = make_chain_game(3);
+  const auto params = agent_params(7, 1, false,
+                                   perception::DataPlaneMode::kPairwiseExact);
+  sim::AgentBasedSim source(game, params);
+  source.init_from(game.uniform_state());
+  Serializer snapshot;
+  source.save_state(snapshot);
+
+  auto other = params;
+  other.seed = 8;
+  sim::AgentBasedSim target(game, other);
+  Deserializer d(snapshot.bytes());
+  EXPECT_THROW(target.load_state(d), SerialError);
+}
+
+// ---------------------------------------------------------------------------
+// TraceDrivenSim
+// ---------------------------------------------------------------------------
+
+/// A synthetic 6-round trace: 30 vehicles hopping between 6 segments
+/// (two per region), drawn from a seeded Rng so presence is irregular.
+std::vector<trace::GpsFix> synthetic_trace(std::size_t vehicles,
+                                           std::size_t rounds,
+                                           double round_s) {
+  Rng rng(404);
+  std::vector<trace::GpsFix> fixes;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (std::size_t v = 0; v < vehicles; ++v) {
+      if (rng.bernoulli(0.2)) continue;  // dormant this round
+      for (int k = 0; k < 3; ++k) {
+        trace::GpsFix fix{};
+        fix.vehicle = static_cast<trace::VehicleId>(v);
+        fix.time_s = (static_cast<double>(r) + 0.2 + 0.2 * k) * round_s;
+        fix.segment = static_cast<std::size_t>(rng.uniform_int(0, 5));
+        fixes.push_back(fix);
+      }
+    }
+  }
+  return fixes;
+}
+
+TEST(TraceReplayResume, BitIdenticalAcrossSeedsAndKernels) {
+  const auto game = make_chain_game(3);
+  const std::vector<cluster::RegionId> region_of = {0, 0, 1, 1, 2, 2};
+  const std::size_t vehicles = 30;
+  const double round_s = 100.0;
+  const auto fixes = synthetic_trace(vehicles, 12, round_s);
+  const std::vector<double> x(game.num_regions(), 0.5);
+
+  struct Config {
+    bool measured;
+    perception::DataPlaneMode mode;
+  };
+  const Config configs[] = {
+      {false, perception::DataPlaneMode::kPairwiseExact},
+      {true, perception::DataPlaneMode::kPairwiseExact},
+      {true, perception::DataPlaneMode::kClassAggregated},
+  };
+  for (const std::uint64_t seed : {21ull, 909ull}) {
+    for (const Config& config : configs) {
+      SCOPED_TRACE(::testing::Message()
+                   << "seed=" << seed << " measured=" << config.measured
+                   << " mode=" << static_cast<int>(config.mode));
+      sim::TraceReplayParams params;
+      params.round_s = round_s;
+      params.seed = seed;
+      params.measure_data_plane = config.measured;
+      params.exchange.mode = config.mode;
+      params.exchange.fleet_size = 16;
+
+      sim::TraceDrivenSim straight(game, fixes, region_of, vehicles,
+                                   12 * round_s, params);
+      straight.init_from(game.uniform_state());
+      for (std::size_t t = 0; t < kWarmRounds; ++t) straight.step(x);
+      Serializer snapshot;
+      straight.save_state(snapshot);
+      for (std::size_t t = 0; t < kResumeRounds; ++t) straight.step(x);
+
+      sim::TraceDrivenSim resumed(game, fixes, region_of, vehicles,
+                                  12 * round_s, params);
+      Deserializer d(snapshot.bytes());
+      resumed.load_state(d);
+      EXPECT_TRUE(d.exhausted());
+      EXPECT_EQ(resumed.current_round(), kWarmRounds);
+      for (std::size_t t = 0; t < kResumeRounds; ++t) resumed.step(x);
+
+      EXPECT_EQ(straight.empirical_state().p, resumed.empirical_state().p);
+    }
+  }
+}
+
+TEST(TraceReplayResume, MismatchedConfigurationRejected) {
+  const auto game = make_chain_game(3);
+  const std::vector<cluster::RegionId> region_of = {0, 0, 1, 1, 2, 2};
+  const auto fixes = synthetic_trace(30, 6, 100.0);
+  sim::TraceReplayParams params;
+  params.round_s = 100.0;
+  params.seed = 21;
+
+  sim::TraceDrivenSim source(game, fixes, region_of, 30, 600.0, params);
+  source.init_from(game.uniform_state());
+  Serializer snapshot;
+  source.save_state(snapshot);
+
+  // Different vehicle count.
+  sim::TraceDrivenSim target(game, fixes, region_of, 31, 600.0, params);
+  Deserializer d(snapshot.bytes());
+  EXPECT_THROW(target.load_state(d), SerialError);
+}
+
+}  // namespace
+}  // namespace avcp

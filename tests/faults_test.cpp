@@ -2,8 +2,11 @@
 // zero-fault bit-identity contract of the plant and agent simulator.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
 #include <vector>
 
+#include "common/contracts.h"
 #include "faults/degraded_controller.h"
 #include "faults/fault_model.h"
 #include "perception/data_plane.h"
@@ -150,6 +153,74 @@ TEST(FaultModelTest, AllRegionsWindow) {
     EXPECT_TRUE(model.region_down(4, i));
     EXPECT_FALSE(model.region_down(5, i));
   }
+}
+
+TEST(FaultModelTest, OutageWindowCoversEdgeCases) {
+  // Zero duration covers nothing, not even its own first_round.
+  const faults::OutageWindow empty{/*region=*/0, /*first_round=*/5,
+                                   /*duration=*/0};
+  EXPECT_FALSE(empty.covers(4, 0));
+  EXPECT_FALSE(empty.covers(5, 0));
+  EXPECT_FALSE(empty.covers(6, 0));
+
+  // Half-open boundaries: first_round in, first_round + duration out.
+  const faults::OutageWindow window{/*region=*/2, /*first_round=*/7,
+                                    /*duration=*/3};
+  EXPECT_FALSE(window.covers(6, 2));
+  EXPECT_TRUE(window.covers(7, 2));
+  EXPECT_TRUE(window.covers(9, 2));
+  EXPECT_FALSE(window.covers(10, 2));
+  EXPECT_FALSE(window.covers(8, 1));  // wrong region
+
+  // The all-regions sentinel hits every region id, including large ones.
+  const faults::OutageWindow everywhere{faults::OutageWindow::kAllRegions,
+                                        /*first_round=*/0, /*duration=*/1};
+  EXPECT_TRUE(everywhere.covers(0, 0));
+  EXPECT_TRUE(everywhere.covers(0, 999));
+  EXPECT_FALSE(everywhere.covers(1, 0));
+
+  // A window starting at the far end of the round space still has a
+  // well-defined (empty beyond SIZE_MAX) coverage — covers() never wraps.
+  const faults::OutageWindow tail{/*region=*/0,
+                                  /*first_round=*/SIZE_MAX - 1,
+                                  /*duration=*/1};
+  EXPECT_TRUE(tail.covers(SIZE_MAX - 1, 0));
+  EXPECT_FALSE(tail.covers(SIZE_MAX, 0));
+}
+
+TEST(FaultModelTest, InvalidParamsRejectedOnConstruction) {
+  {
+    faults::FaultParams fp;
+    fp.upload_loss_rate = 1.5;
+    EXPECT_THROW(faults::FaultModel{fp}, ContractViolation);
+  }
+  {
+    faults::FaultParams fp;
+    fp.delivery_loss_rate = -0.1;
+    EXPECT_THROW(faults::FaultModel{fp}, ContractViolation);
+  }
+  {
+    faults::FaultParams fp;
+    fp.defector_fraction = std::nan("");
+    EXPECT_THROW(faults::FaultModel{fp}, ContractViolation);
+  }
+  {
+    // first_round + duration would overflow size_t: the window's end is
+    // unrepresentable, so the model refuses it up front.
+    faults::FaultParams fp;
+    fp.outages.push_back(faults::OutageWindow{/*region=*/0,
+                                              /*first_round=*/SIZE_MAX,
+                                              /*duration=*/2});
+    EXPECT_THROW(faults::FaultModel{fp}, ContractViolation);
+  }
+  // Boundary values are fine.
+  faults::FaultParams ok;
+  ok.upload_loss_rate = 1.0;
+  ok.delivery_loss_rate = 0.0;
+  ok.outages.push_back(faults::OutageWindow{/*region=*/0,
+                                            /*first_round=*/SIZE_MAX - 2,
+                                            /*duration=*/2});
+  EXPECT_NO_THROW(faults::FaultModel{ok});
 }
 
 // ---------------------------------------------------------------------------
