@@ -1,0 +1,333 @@
+// Chaos soak harness: the long-running ServiceEngine under everything at
+// once — continuous vehicle churn, load-coupled incremental re-clustering,
+// random region outages and report loss, a 20% Byzantine free-rider cohort,
+// overload shedding with a bounded staleness budget, periodic checkpoints,
+// and AVCP_CRASH-injected process kills — for 10k epochs (300 with
+// --smoke). It asserts the service-layer robustness contract end to end:
+//
+//   liveness   every epoch completes; the honest fleet never collapses and
+//              the controller keeps emitting ratios in [0, 1];
+//   memory     live heap allocations are sampled after a warm-up fraction
+//              and must not grow materially by the end (no per-epoch leak),
+//              counted via overridden global operator new/delete;
+//   recovery   the final JSON (stdout) — cumulative counters, final x and
+//              empirical state, and a CRC over the full serialized engine —
+//              is byte-identical no matter how many times or where the run
+//              was killed and resumed:
+//
+//     bench_soak --dir d --smoke > ref.json              # uninterrupted
+//     AVCP_CRASH=after:120   bench_soak --dir d2 --smoke   # exits 42
+//     AVCP_CRASH=midwrite:200 bench_soak --dir d2 --smoke  # exits 42
+//     bench_soak --dir d2 --smoke > out.json             # completes
+//     diff ref.json out.json
+//
+// SIGTERM/SIGINT drain gracefully: the epoch in flight finishes, a final
+// generation is flushed, and the process exits 0 without JSON (the next
+// invocation resumes). Run metadata that legitimately differs across
+// interrupted runs goes to stderr, never into the JSON.
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "checkpoint/checkpoint.h"
+#include "checkpoint/policy.h"
+#include "checkpoint/recovery.h"
+#include "common/serial.h"
+#include "core/sensor_model.h"
+#include "faults/crash_injector.h"
+#include "faults/fault_model.h"
+#include "roadnet/builders.h"
+#include "service/service_engine.h"
+#include "service/shutdown.h"
+
+// ---------------------------------------------------------------------------
+// Live-allocation accounting (process-wide in this binary only): the soak's
+// bounded-memory assertion counts outstanding allocations, so a leak of
+// even one allocation per epoch is visible against the post-warm-up sample.
+// ---------------------------------------------------------------------------
+namespace {
+std::atomic<long long> g_live_allocs{0};
+
+void* counted_alloc(std::size_t size) {
+  g_live_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_live_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  g_live_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+void operator delete(void* p) noexcept {
+  if (p != nullptr) g_live_allocs.fetch_sub(1, std::memory_order_relaxed);
+  std::free(p);
+}
+void operator delete[](void* p) noexcept {
+  if (p != nullptr) g_live_allocs.fetch_sub(1, std::memory_order_relaxed);
+  std::free(p);
+}
+void operator delete(void* p, std::size_t) noexcept {
+  if (p != nullptr) g_live_allocs.fetch_sub(1, std::memory_order_relaxed);
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t) noexcept {
+  if (p != nullptr) g_live_allocs.fetch_sub(1, std::memory_order_relaxed);
+  std::free(p);
+}
+
+using namespace avcp;
+
+namespace {
+
+constexpr std::size_t kRegions = 6;
+
+core::MultiRegionGame make_game() {
+  core::GameConfig config;
+  config.lattice = core::DecisionLattice(3);
+  const auto tables = core::paper_decision_tables(config.lattice);
+  config.utility = tables.utility;
+  config.privacy = tables.privacy;
+  config.step_size = 0.5;
+  std::vector<core::RegionSpec> regions(kRegions);
+  for (std::size_t i = 0; i < regions.size(); ++i) {
+    regions[i].beta = 3.0 + 0.2 * static_cast<double>(i);
+    regions[i].gamma_self = 1.0;
+    if (i > 0) {
+      regions[i].neighbors.emplace_back(static_cast<core::RegionId>(i - 1),
+                                        0.3);
+    }
+    if (i + 1 < regions.size()) {
+      regions[i].neighbors.emplace_back(static_cast<core::RegionId>(i + 1),
+                                        0.3);
+    }
+  }
+  return core::MultiRegionGame(std::move(config), std::move(regions));
+}
+
+service::ServiceParams make_service_params(std::size_t threads, bool smoke) {
+  service::ServiceParams sp;
+  sp.vehicles_per_region = smoke ? 16 : 30;
+  sp.revision_rate = 0.9;
+  sp.imitation_scale = 0.7;
+  sp.seed = 2026;
+  sp.num_threads = threads;
+  sp.attacker_fraction = 0.2;  // the acceptance cohort: 20% free-riders
+  sp.churn.leave_rate = 0.02;
+  sp.churn.migrate_rate = 0.08;
+  sp.churn.join_slots = 6;
+  sp.churn.join_rate = 0.5;
+  sp.churn.seed = 17;
+  sp.congestion_alpha = 0.05;
+  sp.overload_events = 8;
+  sp.staleness_budget = 3;
+  sp.reputation.decay = 0.6;
+  sp.reputation.quarantine_threshold = 0.3;
+  sp.reputation.rehab_threshold = 0.05;
+  sp.reputation.rehab_rounds = 50;
+  sp.reputation.min_rounds = 4;
+  sp.degraded.staleness_budget = 2;
+  sp.degraded.max_step = 0.1;
+  return sp;
+}
+
+[[nodiscard]] bool soak_fail(const char* what) {
+  std::fprintf(stderr, "SOAK FAIL: %s\n", what);
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir = "ckpt-soak";
+  std::size_t epochs = 10000;
+  std::size_t every = 500;
+  std::size_t threads = 2;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--dir") == 0 && i + 1 < argc) {
+      dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--epochs") == 0 && i + 1 < argc) {
+      epochs = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--every") == 0 && i + 1 < argc) {
+      every = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    }
+  }
+  if (smoke) {
+    epochs = 300;
+    every = 25;
+  }
+
+  const auto game = make_game();
+  const auto graph = roadnet::make_grid(8, 8);
+
+  faults::FaultParams fp;
+  fp.report_loss_rate = 0.08;
+  fp.outage_rate = 0.02;
+  fp.seed = 31;
+  const faults::FaultModel faults(fp);
+
+  core::FixedRatioController inner(0.7);
+  service::ServiceEngine svc(game, inner, &graph,
+                             make_service_params(threads, smoke), &faults);
+  const core::GameState initial = game.uniform_state();
+  const std::vector<double> x0(kRegions, 0.5);
+
+  const auto crash = faults::CrashInjector::from_env();
+  const checkpoint::CheckpointStore store(dir, /*keep=*/2);
+  checkpoint::CheckpointPolicy policy;
+  policy.every_rounds = every;
+  service::install_shutdown_handlers();
+
+  // The bounded-memory baseline is sampled once every buffer has reached
+  // its steady-state high-water mark (20% in), then compared at the end.
+  const std::size_t warmup = epochs / 5;
+  long long live_after_warmup = -1;
+
+  checkpoint::RecoveryHooks hooks;
+  hooks.reset = [&] { svc.init(initial, x0); };
+  hooks.restore = [&](const checkpoint::CheckpointReader& reader) {
+    Deserializer d = reader.section(checkpoint::kSectionService);
+    svc.load_state(d);
+    Deserializer::check(d.exhausted(), "trailing bytes in service section");
+  };
+  hooks.step = [&](std::size_t round) {
+    crash.before_round(round);
+    svc.run_epoch();
+    crash.after_round(round);
+    if (round + 1 == warmup) {
+      live_after_warmup = g_live_allocs.load(std::memory_order_relaxed);
+    }
+  };
+  hooks.save = [&](checkpoint::CheckpointWriter& writer) {
+    svc.save_state(writer.section(checkpoint::kSectionService));
+  };
+  hooks.write = [&](const checkpoint::CheckpointWriter& writer,
+                    const std::filesystem::path& path) {
+    if (crash.tears_checkpoint(static_cast<std::size_t>(writer.round()))) {
+      writer.write_torn(path, writer.encode().size() / 2);
+      faults::CrashInjector::crash();
+    }
+    writer.write(path);
+  };
+  hooks.stop = [] { return service::shutdown_requested(); };
+
+  const auto outcome = checkpoint::run_with_recovery(store, policy, epochs, hooks);
+  std::fprintf(stderr,
+               "soak: resumed=%d from=%s start_round=%zu corrupt_skipped=%zu "
+               "checkpoints_written=%zu stopped_early=%d completed=%zu\n",
+               outcome.resumed ? 1 : 0, outcome.resumed_from.c_str(),
+               outcome.start_round, outcome.corrupt_skipped,
+               outcome.checkpoints_written, outcome.stopped_early ? 1 : 0,
+               outcome.completed_rounds);
+
+  if (outcome.stopped_early) {
+    // Graceful drain: the final generation is on disk; the next start
+    // resumes from it. No JSON — the run is not finished.
+    std::fprintf(stderr, "soak: drained after SIGTERM/SIGINT at epoch %zu\n",
+                 outcome.completed_rounds);
+    return 0;
+  }
+
+  // --- Liveness --------------------------------------------------------
+  bool ok = true;
+  const service::ServiceCounters& c = svc.counters();
+  if (svc.epoch() != epochs || c.epochs != epochs) {
+    ok = soak_fail("epoch loop did not complete");
+  }
+  if (svc.fleet().size() <= svc.quarantined_count()) {
+    ok = soak_fail("honest fleet collapsed");
+  }
+  for (const double xi : svc.x()) {
+    if (!(xi >= 0.0 && xi <= 1.0)) ok = soak_fail("ratio left [0, 1]");
+  }
+  if (c.joins == 0 || c.leaves == 0 || c.migrations == 0) {
+    ok = soak_fail("churn never fired");
+  }
+  if (c.recluster_deferred == 0 || c.betweenness_chunks_recomputed == 0) {
+    ok = soak_fail("overload shedding / incremental refresh never exercised");
+  }
+  if (c.quarantines == 0) ok = soak_fail("no free-rider was ever quarantined");
+
+  // --- Bounded memory --------------------------------------------------
+  // A steady-state leak of one allocation per epoch would grow live counts
+  // by (epochs - warmup); allow a generous fixed slack plus a sliver for
+  // fleet-size drift, far below any real per-epoch leak.
+  const long long live_final = g_live_allocs.load(std::memory_order_relaxed);
+  const long long budget =
+      1024 + static_cast<long long>((epochs - warmup) / 16);
+  std::fprintf(stderr, "soak: live allocs after warmup=%lld final=%lld (budget +%lld)\n",
+               live_after_warmup, live_final, budget);
+  if (outcome.start_round < warmup) {  // resumed runs past warmup: no sample
+    if (live_after_warmup < 0 || live_final - live_after_warmup > budget) {
+      ok = soak_fail("live allocations grew past the steady-state budget");
+    }
+  }
+
+  if (!ok) return 1;
+
+  // --- Resume-invariant JSON -------------------------------------------
+  // The CRC over the complete serialized engine is the strongest cheap
+  // byte-equality witness: any divergence in fleet records, reputation
+  // EWMAs, loads, controller holds, or counters changes it.
+  Serializer snap;
+  svc.save_state(snap);
+  const std::uint32_t state_crc = crc32c(snap.bytes());
+
+  const core::GameState& final_state = svc.true_state();
+  std::printf("{\n");
+  std::printf("  \"bench\": \"bench_soak\",\n");
+  std::printf("  \"epochs\": %zu,\n", epochs);
+  std::printf("  \"fleet_size\": %zu,\n", svc.fleet().size());
+  std::printf("  \"quarantined\": %zu,\n", svc.quarantined_count());
+  std::printf("  \"joins\": %llu,\n", static_cast<unsigned long long>(c.joins));
+  std::printf("  \"leaves\": %llu,\n",
+              static_cast<unsigned long long>(c.leaves));
+  std::printf("  \"migrations\": %llu,\n",
+              static_cast<unsigned long long>(c.migrations));
+  std::printf("  \"reclusters\": %llu,\n",
+              static_cast<unsigned long long>(c.reclusters));
+  std::printf("  \"recluster_deferred\": %llu,\n",
+              static_cast<unsigned long long>(c.recluster_deferred));
+  std::printf("  \"betweenness_chunks_recomputed\": %llu,\n",
+              static_cast<unsigned long long>(c.betweenness_chunks_recomputed));
+  std::printf("  \"outage_region_epochs\": %llu,\n",
+              static_cast<unsigned long long>(c.outage_region_epochs));
+  std::printf("  \"quarantines\": %llu,\n",
+              static_cast<unsigned long long>(c.quarantines));
+  std::printf("  \"releases\": %llu,\n",
+              static_cast<unsigned long long>(c.releases));
+  std::printf("  \"state_crc32c\": %lu,\n",
+              static_cast<unsigned long>(state_crc));
+  std::printf("  \"x\": [");
+  for (std::size_t i = 0; i < svc.x().size(); ++i) {
+    std::printf("%s%.17g", i > 0 ? ", " : "", svc.x()[i]);
+  }
+  std::printf("],\n");
+  std::printf("  \"p\": [\n");
+  for (std::size_t i = 0; i < final_state.p.size(); ++i) {
+    std::printf("    [");
+    for (std::size_t k = 0; k < final_state.p[i].size(); ++k) {
+      std::printf("%s%.17g", k > 0 ? ", " : "", final_state.p[i][k]);
+    }
+    std::printf("]%s\n", i + 1 < final_state.p.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+  return bench::finish_json_output();
+}

@@ -1,9 +1,12 @@
 #include "checkpoint/checkpoint.h"
 
+#include <cerrno>
 #include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <string>
 #include <system_error>
+#include <thread>
 
 #include "common/contracts.h"
 
@@ -19,7 +22,43 @@ constexpr std::size_t kHeaderBytes = 8 + 4 + 8 + 4;
   throw CheckpointError("checkpoint: " + what);
 }
 
+/// The current errno as an error_code; EIO when a stream failed without
+/// setting errno (ofstream reports via badbit, not a code).
+std::error_code errno_code() noexcept {
+  return {errno != 0 ? errno : EIO, std::generic_category()};
+}
+
 }  // namespace
+
+bool is_transient_fs_error(const std::error_code& ec) noexcept {
+  if (!ec) return false;
+  const std::error_condition cond = ec.default_error_condition();
+  return cond == std::errc::interrupted ||
+         cond == std::errc::resource_unavailable_try_again ||
+         cond == std::errc::no_space_on_device ||
+         cond == std::errc::device_or_resource_busy;
+}
+
+std::error_code retry_transient_fs(
+    const std::function<std::error_code()>& op, const FsRetryPolicy& policy,
+    const std::function<void(std::size_t)>& sleep) {
+  AVCP_EXPECT(policy.attempts >= 1);
+  std::size_t backoff = policy.backoff_initial_ms;
+  std::error_code ec;
+  for (std::size_t attempt = 0; attempt < policy.attempts; ++attempt) {
+    ec = op();
+    if (!ec || !is_transient_fs_error(ec)) return ec;
+    if (attempt + 1 < policy.attempts) {
+      if (sleep != nullptr) {
+        sleep(backoff);
+      } else {
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+      }
+      backoff *= policy.backoff_factor;
+    }
+  }
+  return ec;
+}
 
 Serializer& CheckpointWriter::section(std::uint32_t id) {
   for (const auto& [existing, payload] : sections_) {
@@ -54,23 +93,39 @@ void CheckpointWriter::write(const std::filesystem::path& path) const {
   const std::vector<std::byte> image = encode();
   std::filesystem::path tmp = path;
   tmp += ".tmp";
-  {
+  // Both stages retry transient errors with backoff; each write attempt
+  // restarts the tmp image from scratch (trunc), so the atomic
+  // tmp-then-rename protocol — and with it the torn/corrupt detection
+  // story — is unchanged.
+  const std::error_code write_ec = retry_transient_fs([&] {
+    errno = 0;
     std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
-    if (!file) fail("cannot open " + tmp.string() + " for writing");
+    if (!file) return errno_code();
     file.write(reinterpret_cast<const char*>(image.data()),
                static_cast<std::streamsize>(image.size()));
     file.flush();
     if (!file) {
-      std::error_code ec;
-      std::filesystem::remove(tmp, ec);
-      fail("short write to " + tmp.string());
+      const std::error_code failed = errno_code();
+      std::error_code rm;
+      std::filesystem::remove(tmp, rm);
+      return failed;
     }
+    return std::error_code{};
+  });
+  if (write_ec) {
+    std::error_code rm;
+    std::filesystem::remove(tmp, rm);
+    fail("cannot write " + tmp.string() + ": " + write_ec.message());
   }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    std::filesystem::remove(tmp, ec);
-    fail("rename to " + path.string() + " failed");
+  const std::error_code rename_ec = retry_transient_fs([&] {
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    return ec;
+  });
+  if (rename_ec) {
+    std::error_code rm;
+    std::filesystem::remove(tmp, rm);
+    fail("rename to " + path.string() + " failed: " + rename_ec.message());
   }
 }
 

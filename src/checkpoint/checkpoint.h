@@ -26,11 +26,36 @@
 #include <cstddef>
 #include <cstdint>
 #include <filesystem>
+#include <functional>
+#include <system_error>
 #include <vector>
 
 #include "common/serial.h"
 
 namespace avcp::checkpoint {
+
+/// Bounded retry-with-backoff for the store's filesystem operations. A
+/// snapshot is periodic, so transient conditions — an interrupted syscall,
+/// a briefly full or busy volume — should cost a few milliseconds of
+/// backoff, not the whole generation. Anything non-transient (permission,
+/// missing parent, I/O error) still fails on the first attempt.
+struct FsRetryPolicy {
+  std::size_t attempts = 4;  // total tries, >= 1
+  std::size_t backoff_initial_ms = 1;
+  std::size_t backoff_factor = 4;  // exponential: 1, 4, 16 ms
+};
+
+/// The errno conditions worth retrying: EINTR, EAGAIN, ENOSPC, EBUSY.
+bool is_transient_fs_error(const std::error_code& ec) noexcept;
+
+/// Runs `op` until it returns success, a non-transient error, or the
+/// attempt budget is spent; returns the last error_code ({} on success).
+/// `sleep` (null = std::this_thread::sleep_for) receives each backoff in
+/// milliseconds — injectable so tests don't wait out real backoffs.
+std::error_code retry_transient_fs(
+    const std::function<std::error_code()>& op,
+    const FsRetryPolicy& policy = {},
+    const std::function<void(std::size_t)>& sleep = nullptr);
 
 /// Thrown on any malformed or incompatible checkpoint file. Derives
 /// SerialError so callers can treat framing and payload corruption alike.
@@ -52,6 +77,7 @@ inline constexpr std::uint32_t kSectionTraceReplay = 0x03; // trace replay
 inline constexpr std::uint32_t kSectionController = 0x04;  // cloud controller
 inline constexpr std::uint32_t kSectionMeanField = 0x05;   // mean-field runner
 inline constexpr std::uint32_t kSectionAux = 0x06;         // caller extras
+inline constexpr std::uint32_t kSectionService = 0x07;     // service engine
 
 /// Accumulates sections and produces the framed image.
 class CheckpointWriter {

@@ -6,6 +6,7 @@
 #include <string>
 #include <system_error>
 
+#include "checkpoint/checkpoint.h"
 #include "common/contracts.h"
 
 namespace avcp::checkpoint {
@@ -36,7 +37,15 @@ bool consume_checkpoint_request() noexcept {
 CheckpointStore::CheckpointStore(std::filesystem::path dir, std::size_t keep)
     : dir_(std::move(dir)), keep_(keep) {
   AVCP_EXPECT(keep_ >= 1);
-  std::filesystem::create_directories(dir_);
+  const std::error_code ec = retry_transient_fs([&] {
+    std::error_code e;
+    std::filesystem::create_directories(dir_, e);
+    return e;
+  });
+  if (ec) {
+    throw CheckpointError("checkpoint: cannot create store directory " +
+                          dir_.string() + ": " + ec.message());
+  }
 }
 
 std::filesystem::path CheckpointStore::path_for(std::uint64_t round) const {
@@ -84,8 +93,13 @@ std::vector<std::filesystem::path> CheckpointStore::generations() const {
 void CheckpointStore::prune() const {
   const std::vector<std::filesystem::path> paths = generations();
   for (std::size_t i = keep_; i < paths.size(); ++i) {
-    std::error_code ec;
-    std::filesystem::remove(paths[i], ec);
+    // Transient errors retry with backoff; anything else stays best-effort
+    // (a stale generation is harmless, recovery skips it by round order).
+    retry_transient_fs([&] {
+      std::error_code ec;
+      std::filesystem::remove(paths[i], ec);
+      return ec;
+    });
   }
 }
 

@@ -30,19 +30,37 @@ RecoveryOutcome run_with_recovery(const CheckpointStore& store,
   }
   if (!outcome.resumed) hooks.reset();
 
+  const auto snapshot = [&](std::size_t completed) {
+    CheckpointWriter writer(completed);
+    hooks.save(writer);
+    if (hooks.write != nullptr) {
+      hooks.write(writer, store.path_for(completed));
+    } else {
+      writer.write(store.path_for(completed));
+    }
+    store.prune();
+    ++outcome.checkpoints_written;
+  };
+
+  // Round of the newest snapshot on disk, so a graceful stop right after a
+  // periodic snapshot doesn't write the same generation twice.
+  std::size_t last_saved =
+      outcome.resumed ? outcome.start_round : ~std::size_t{0};
+  outcome.completed_rounds = outcome.start_round;
   for (std::size_t round = outcome.start_round; round < total_rounds; ++round) {
     hooks.step(round);
     const std::size_t completed = round + 1;
+    outcome.completed_rounds = completed;
     if (hooks.save != nullptr && policy.should_checkpoint(completed)) {
-      CheckpointWriter writer(completed);
-      hooks.save(writer);
-      if (hooks.write != nullptr) {
-        hooks.write(writer, store.path_for(completed));
-      } else {
-        writer.write(store.path_for(completed));
+      snapshot(completed);
+      last_saved = completed;
+    }
+    if (hooks.stop != nullptr && hooks.stop()) {
+      outcome.stopped_early = true;
+      if (hooks.save != nullptr && last_saved != completed) {
+        snapshot(completed);
       }
-      store.prune();
-      ++outcome.checkpoints_written;
+      break;
     }
   }
   return outcome;

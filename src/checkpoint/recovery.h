@@ -42,6 +42,12 @@ struct RecoveryHooks {
   /// here, exercising the fall-back-a-generation path on the next run.
   std::function<void(const CheckpointWriter&, const std::filesystem::path&)>
       write;
+  /// Polled after each completed round (null = never stop). Returning true
+  /// drains the loop gracefully: a final checkpoint generation is flushed
+  /// (when `save` is set and the round isn't already snapshotted) and the
+  /// outcome reports stopped_early — the service layer's SIGTERM/SIGINT
+  /// path, where the next start resumes from exactly this round.
+  std::function<bool()> stop;
 };
 
 struct RecoveryOutcome {
@@ -53,6 +59,10 @@ struct RecoveryOutcome {
   /// Generations that failed to parse or load and were skipped.
   std::size_t corrupt_skipped = 0;
   std::size_t checkpoints_written = 0;
+  /// True when hooks.stop drained the loop before total_rounds.
+  bool stopped_early = false;
+  /// Rounds actually completed when the loop returned.
+  std::size_t completed_rounds = 0;
 };
 
 /// Restores (or resets), then runs rounds up to `total_rounds`,

@@ -1,0 +1,105 @@
+#include "cluster/incremental_clustering.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.h"
+
+namespace avcp::cluster {
+
+std::vector<double> IncrementalClustering::load_weights(
+    const roadnet::RoadGraph& g, std::span<const std::int64_t> loads,
+    double congestion_alpha) {
+  AVCP_EXPECT(loads.size() == g.num_segments());
+  std::vector<double> weights(g.num_segments());
+  for (roadnet::SegmentId s = 0; s < g.num_segments(); ++s) {
+    AVCP_EXPECT(loads[s] >= 0);
+    weights[s] = g.segment(s).travel_time_s() *
+                 (1.0 + congestion_alpha * static_cast<double>(loads[s]));
+  }
+  return weights;
+}
+
+IncrementalClustering::IncrementalClustering(const roadnet::RoadGraph& g,
+                                             IncrementalClusteringOptions opts)
+    : g_(g),
+      opts_(opts),
+      loads_(g.num_segments(), 0),
+      inc_(g, load_weights(g, loads_, opts.congestion_alpha),
+           opts.betweenness) {
+  AVCP_EXPECT(std::isfinite(opts_.congestion_alpha) &&
+              opts_.congestion_alpha >= 0.0);
+  clustering_ = cluster_segments(g_, inc_.centrality(), opts_.clustering);
+}
+
+IncrementalClustering::RefreshStats IncrementalClustering::apply(
+    std::span<const LoadDelta> deltas) {
+  RefreshStats stats;
+  if (deltas.empty()) return stats;
+
+  // Fold duplicates into the counts first, then hand the incremental
+  // betweenness one final weight per touched segment, in segment-id order
+  // so the update is independent of delta ordering.
+  std::vector<std::uint8_t> touched(g_.num_segments(), 0);
+  for (const LoadDelta& d : deltas) {
+    AVCP_EXPECT(d.segment < g_.num_segments());
+    loads_[d.segment] += d.delta;
+    AVCP_EXPECT(loads_[d.segment] >= 0);
+    touched[d.segment] = 1;
+  }
+  std::vector<roadnet::SegmentId> segments;
+  std::vector<double> weights;
+  for (roadnet::SegmentId s = 0; s < g_.num_segments(); ++s) {
+    if (touched[s] == 0) continue;
+    segments.push_back(s);
+    weights.push_back(g_.segment(s).travel_time_s() *
+                      (1.0 + opts_.congestion_alpha *
+                                 static_cast<double>(loads_[s])));
+  }
+
+  const auto up = inc_.update_weights(segments, weights);
+  stats.segments_changed = up.segments_changed;
+  stats.sources_affected = up.sources_affected;
+  stats.chunks_recomputed = up.chunks_recomputed;
+
+  // Centrality can only differ from before when a chunk actually re-ran;
+  // otherwise clustering over bit-identical coefficients is bit-identical
+  // too, so skip Algorithm 1 entirely.
+  if (up.chunks_recomputed > 0) {
+    clustering_ = cluster_segments(g_, inc_.centrality(), opts_.clustering);
+    stats.reclustered = true;
+  }
+  return stats;
+}
+
+void IncrementalClustering::set_loads(std::span<const std::int64_t> loads) {
+  AVCP_EXPECT(loads.size() == g_.num_segments());
+  std::vector<roadnet::SegmentId> segments;
+  std::vector<double> weights;
+  for (roadnet::SegmentId s = 0; s < g_.num_segments(); ++s) {
+    AVCP_EXPECT(loads[s] >= 0);
+    if (loads[s] == loads_[s]) continue;
+    loads_[s] = loads[s];
+    segments.push_back(s);
+    weights.push_back(g_.segment(s).travel_time_s() *
+                      (1.0 + opts_.congestion_alpha *
+                                 static_cast<double>(loads_[s])));
+  }
+  if (segments.empty()) return;
+  const auto up = inc_.update_weights(segments, weights);
+  if (up.chunks_recomputed > 0) {
+    clustering_ = cluster_segments(g_, inc_.centrality(), opts_.clustering);
+  }
+}
+
+Clustering IncrementalClustering::scratch(
+    const roadnet::RoadGraph& g, std::span<const std::int64_t> loads,
+    const IncrementalClusteringOptions& opts) {
+  const std::vector<double> weights =
+      load_weights(g, loads, opts.congestion_alpha);
+  const std::vector<double> coeffs =
+      roadnet::segment_betweenness_weighted(g, weights, opts.betweenness);
+  return cluster_segments(g, coeffs, opts.clustering);
+}
+
+}  // namespace avcp::cluster

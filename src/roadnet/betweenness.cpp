@@ -1,7 +1,9 @@
 #include "roadnet/betweenness.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <queue>
 #include <thread>
@@ -26,10 +28,15 @@ double edge_weight(const RoadGraph& g, SegmentId s, PathMetric metric) {
 }
 
 /// One Brandes accumulation pass from `source`, adding each segment's
-/// pair-dependency into `centrality`.
+/// pair-dependency into `centrality`. An empty `weights` span selects the
+/// unweighted BFS path (the kHops metric); otherwise weights[segment] is
+/// the segment's traversal cost (Dijkstra). When `dist_out` is non-null the
+/// pass's final distance array is moved into it (IncrementalBetweenness
+/// caches it for affected-source detection).
 void accumulate_from_source(const RoadGraph& g, NodeId source,
-                            PathMetric metric,
-                            std::vector<double>& centrality) {
+                            std::span<const double> weights,
+                            std::vector<double>& centrality,
+                            std::vector<double>* dist_out = nullptr) {
   const std::size_t n = g.num_intersections();
   std::vector<double> dist(n, std::numeric_limits<double>::infinity());
   std::vector<double> sigma(n, 0.0);  // shortest-path counts
@@ -41,7 +48,7 @@ void accumulate_from_source(const RoadGraph& g, NodeId source,
   dist[source] = 0.0;
   sigma[source] = 1.0;
 
-  if (metric == PathMetric::kHops) {
+  if (weights.empty()) {
     std::queue<NodeId> frontier;
     frontier.push(source);
     while (!frontier.empty()) {
@@ -80,7 +87,7 @@ void accumulate_from_source(const RoadGraph& g, NodeId source,
       order.push_back(v);
       for (const Hop& hop : g.neighbors(v)) {
         const NodeId w = hop.node;
-        const double nd = d + edge_weight(g, hop.segment, metric);
+        const double nd = d + weights[hop.segment];
         const double tol = kTieTolRel * nd;  // dist[w] may be +inf
         if (nd < dist[w] - tol) {
           dist[w] = nd;
@@ -104,11 +111,45 @@ void accumulate_from_source(const RoadGraph& g, NodeId source,
       delta[pred.node] += share;
     }
   }
+  if (dist_out != nullptr) *dist_out = std::move(dist);
+}
+
+/// Per-segment traversal cost vector for a metric; empty for kHops (which
+/// runs the BFS path). Hoisting the weights out of the per-source loop
+/// computes each segment's cost once instead of per (source, visit) — the
+/// values are identical doubles, so results are unchanged bit for bit.
+std::vector<double> metric_weights(const RoadGraph& g, PathMetric metric) {
+  std::vector<double> weights;
+  if (metric == PathMetric::kHops) return weights;
+  weights.resize(g.num_segments());
+  for (SegmentId s = 0; s < g.num_segments(); ++s) {
+    weights[s] = edge_weight(g, s, metric);
+  }
+  return weights;
+}
+
+/// Chunk partition shared by the batch and incremental paths: boundaries
+/// depend only on the source count, never the thread count.
+constexpr std::size_t kMaxChunks = 64;
+
+std::size_t chunk_count(std::size_t num_sources) {
+  return std::min<std::size_t>(kMaxChunks, std::max<std::size_t>(1, num_sources));
+}
+
+/// Normalization factor shared by every entry point. Undirected graph: each
+/// pair (s, t) is visited from both endpoints.
+double norm_factor(const RoadGraph& g, const BetweennessOptions& opts) {
+  double norm = 2.0;
+  if (opts.normalize) {
+    const auto n = static_cast<double>(g.num_intersections());
+    if (n > 2.0) norm *= (n - 1.0) * (n - 2.0);
+  }
+  return norm;
 }
 
 std::vector<double> betweenness_from_sources(
     const RoadGraph& g, std::span<const NodeId> sources, double scale,
-    const BetweennessOptions& opts) {
+    const BetweennessOptions& opts, std::span<const double> weights) {
   std::size_t num_threads = opts.num_threads;
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
@@ -123,9 +164,7 @@ std::vector<double> betweenness_from_sources(
   // to how many threads ran the chunks. The old strided partition re-split
   // the sum by thread count, so the default (hardware_concurrency) gave
   // different last-ulp results on different machines.
-  constexpr std::size_t kMaxChunks = 64;
-  const std::size_t num_chunks =
-      std::min<std::size_t>(kMaxChunks, std::max<std::size_t>(1, sources.size()));
+  const std::size_t num_chunks = chunk_count(sources.size());
   std::vector<std::vector<double>> partials(
       num_chunks, std::vector<double>(g.num_segments(), 0.0));
   ThreadPool pool(num_threads);
@@ -133,7 +172,7 @@ std::vector<double> betweenness_from_sources(
     const std::size_t begin = sources.size() * c / num_chunks;
     const std::size_t end = sources.size() * (c + 1) / num_chunks;
     for (std::size_t s = begin; s < end; ++s) {
-      accumulate_from_source(g, sources[s], opts.metric, partials[c]);
+      accumulate_from_source(g, sources[s], weights, partials[c]);
     }
   });
   std::vector<double> centrality(g.num_segments(), 0.0);
@@ -142,14 +181,16 @@ std::vector<double> betweenness_from_sources(
       centrality[i] += partial[i];
     }
   }
-  // Undirected graph: each pair (s, t) is visited from both endpoints.
-  double norm = 2.0;
-  if (opts.normalize) {
-    const auto n = static_cast<double>(g.num_intersections());
-    if (n > 2.0) norm *= (n - 1.0) * (n - 2.0);
-  }
+  const double norm = norm_factor(g, opts);
   for (double& c : centrality) c = c * scale / norm;
   return centrality;
+}
+
+void check_weights(const RoadGraph& g, std::span<const double> weights) {
+  AVCP_EXPECT(weights.size() == g.num_segments());
+  for (const double w : weights) {
+    AVCP_EXPECT(std::isfinite(w) && w > 0.0);
+  }
 }
 
 }  // namespace
@@ -161,7 +202,8 @@ std::vector<double> segment_betweenness(const RoadGraph& g,
   for (std::size_t i = 0; i < sources.size(); ++i) {
     sources[i] = static_cast<NodeId>(i);
   }
-  return betweenness_from_sources(g, sources, 1.0, opts);
+  const std::vector<double> weights = metric_weights(g, opts.metric);
+  return betweenness_from_sources(g, sources, 1.0, opts, weights);
 }
 
 std::vector<double> sampled_segment_betweenness(
@@ -185,7 +227,151 @@ std::vector<double> sampled_segment_betweenness(
 
   const double scale =
       static_cast<double>(n) / static_cast<double>(num_sources);
-  return betweenness_from_sources(g, pool, scale, opts);
+  const std::vector<double> weights = metric_weights(g, opts.metric);
+  return betweenness_from_sources(g, pool, scale, opts, weights);
+}
+
+std::vector<double> segment_betweenness_weighted(
+    const RoadGraph& g, std::span<const double> weights,
+    const BetweennessOptions& opts) {
+  AVCP_EXPECT(g.finalized());
+  check_weights(g, weights);
+  std::vector<NodeId> sources(g.num_intersections());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    sources[i] = static_cast<NodeId>(i);
+  }
+  return betweenness_from_sources(g, sources, 1.0, opts, weights);
+}
+
+IncrementalBetweenness::IncrementalBetweenness(const RoadGraph& g,
+                                               std::vector<double> weights,
+                                               BetweennessOptions opts)
+    : g_(g),
+      opts_(opts),
+      weights_(std::move(weights)),
+      num_chunks_(chunk_count(g.num_intersections())),
+      partials_(num_chunks_),
+      dists_(g.num_intersections()),
+      centrality_(g.num_segments(), 0.0),
+      pool_(std::min<std::size_t>(
+          opts.num_threads == 0
+              ? std::max(1u, std::thread::hardware_concurrency())
+              : opts.num_threads,
+          std::max<std::size_t>(1, g.num_intersections()))) {
+  AVCP_EXPECT(g_.finalized());
+  AVCP_EXPECT(g_.num_intersections() >= 1);
+  check_weights(g_, weights_);
+  const std::vector<std::uint8_t> all_dirty(num_chunks_, 1);
+  recompute_chunks(all_dirty);
+  reduce();
+}
+
+IncrementalBetweenness::UpdateStats IncrementalBetweenness::update_weights(
+    std::span<const SegmentId> segments, std::span<const double> new_weights) {
+  AVCP_EXPECT(segments.size() == new_weights.size());
+
+  // Apply sequentially so later duplicates win, capturing min(old, new) per
+  // applied change: a source unaffected by every individual change (no
+  // counted path could shorten or be joined) has bit-identical distances
+  // after each one in turn, so the per-change test composes over the batch.
+  struct Change {
+    SegmentId seg;
+    double wmin;
+  };
+  std::vector<Change> changes;
+  changes.reserve(segments.size());
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const SegmentId s = segments[i];
+    AVCP_EXPECT(s < g_.num_segments());
+    const double w = new_weights[i];
+    AVCP_EXPECT(std::isfinite(w) && w > 0.0);
+    const double old = weights_[s];
+    if (std::bit_cast<std::uint64_t>(old) == std::bit_cast<std::uint64_t>(w)) {
+      continue;
+    }
+    changes.push_back({s, std::min(old, w)});
+    weights_[s] = w;
+  }
+
+  UpdateStats stats;
+  stats.segments_changed = changes.size();
+  if (changes.empty()) return stats;
+
+  // Conservative affected-source test against the cached distances. The
+  // window is deliberately wider than the Dijkstra tie tolerance (1e-12
+  // relative): a borderline source recomputes needlessly, but a source
+  // skipped here provably contributed the same partial.
+  constexpr double kAffectTolRel = 1e-9;
+  const std::size_t n = g_.num_intersections();
+  std::vector<std::uint8_t> affected(n, 0);
+  for (std::size_t src = 0; src < n; ++src) {
+    const std::vector<double>& dist = dists_[src];
+    for (const Change& ch : changes) {
+      const RoadSegment& seg = g_.segment(ch.seg);
+      const double da = dist[seg.from];
+      const double db = dist[seg.to];
+      const double lo = std::min(da, db);
+      if (lo == std::numeric_limits<double>::infinity()) continue;
+      const double hi = std::max(da, db);
+      const double cand = lo + ch.wmin;
+      if (cand <= hi + kAffectTolRel * std::max(std::abs(hi), cand)) {
+        affected[src] = 1;
+        break;
+      }
+    }
+  }
+
+  std::vector<std::uint8_t> dirty(num_chunks_, 0);
+  for (std::size_t c = 0; c < num_chunks_; ++c) {
+    const std::size_t begin = n * c / num_chunks_;
+    const std::size_t end = n * (c + 1) / num_chunks_;
+    for (std::size_t s = begin; s < end; ++s) {
+      if (affected[s] != 0) {
+        dirty[c] = 1;
+        break;
+      }
+    }
+  }
+  for (std::size_t s = 0; s < n; ++s) {
+    stats.sources_affected += affected[s];
+  }
+  for (std::size_t c = 0; c < num_chunks_; ++c) {
+    stats.chunks_recomputed += dirty[c];
+  }
+  if (stats.chunks_recomputed == 0) return stats;
+
+  recompute_chunks(dirty);
+  reduce();
+  return stats;
+}
+
+void IncrementalBetweenness::recompute_chunks(
+    const std::vector<std::uint8_t>& dirty) {
+  const std::size_t n = g_.num_intersections();
+  pool_.parallel_for(0, num_chunks_, [&](std::size_t c) {
+    if (dirty[c] == 0) return;
+    std::vector<double>& partial = partials_[c];
+    partial.assign(g_.num_segments(), 0.0);
+    const std::size_t begin = n * c / num_chunks_;
+    const std::size_t end = n * (c + 1) / num_chunks_;
+    for (std::size_t s = begin; s < end; ++s) {
+      accumulate_from_source(g_, static_cast<NodeId>(s), weights_, partial,
+                             &dists_[s]);
+    }
+  });
+}
+
+void IncrementalBetweenness::reduce() {
+  // Same reduction and normalization order as betweenness_from_sources with
+  // scale = 1.0, so the result is bit-equal to the from-scratch path.
+  std::fill(centrality_.begin(), centrality_.end(), 0.0);
+  for (const auto& partial : partials_) {
+    for (std::size_t i = 0; i < centrality_.size(); ++i) {
+      centrality_[i] += partial[i];
+    }
+  }
+  const double norm = norm_factor(g_, opts_);
+  for (double& c : centrality_) c = c * 1.0 / norm;
 }
 
 }  // namespace avcp::roadnet

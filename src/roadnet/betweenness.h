@@ -9,9 +9,11 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "roadnet/road_graph.h"
 
 namespace avcp::roadnet {
@@ -45,5 +47,80 @@ std::vector<double> segment_betweenness(const RoadGraph& g,
 std::vector<double> sampled_segment_betweenness(
     const RoadGraph& g, std::size_t num_sources, Rng& rng,
     const BetweennessOptions& opts = {});
+
+/// Exact betweenness under caller-supplied per-segment weights (one finite
+/// positive weight per segment; Dijkstra path counting with the relative
+/// tie tolerance). `opts.metric` is ignored — the weights *are* the metric;
+/// normalize / num_threads apply as usual. This is the from-scratch
+/// reference for IncrementalBetweenness below: for any weight vector the
+/// two agree bit for bit.
+std::vector<double> segment_betweenness_weighted(
+    const RoadGraph& g, std::span<const double> weights,
+    const BetweennessOptions& opts = {});
+
+/// Chunk-cached Brandes for slowly-drifting weights (the service layer's
+/// congestion-scaled travel times, which change on a handful of segments
+/// per epoch as vehicles join, leave, and migrate).
+///
+/// The source set is split into the same <= 64 contiguous chunks the batch
+/// path uses, and each chunk's partial accumulation is cached together with
+/// every source's distance array. update_weights() re-runs only the chunks
+/// containing an *affected* source and re-reduces the cached partials in
+/// chunk order, so the floating-point summation order — and therefore the
+/// centrality, bit for bit — is identical to segment_betweenness_weighted
+/// over the current weights at every thread count.
+///
+/// A source s is provably unaffected by a weight change on segment (a, b)
+/// when min(d_s(a), d_s(b)) + min(w_old, w_new) exceeds max(d_s(a), d_s(b))
+/// by more than a tolerance window wider than the Dijkstra tie window: the
+/// segment was on no counted shortest path before and cannot join (or
+/// shorten) one after, so s's whole dependency accumulation is unchanged.
+/// The test is conservative (borderline sources recompute needlessly) and
+/// applies per changed segment, so any batch of simultaneous changes is
+/// sound. Memory: one distance array per intersection (O(N^2) doubles) —
+/// sized for the service-scale road graphs, not continental networks.
+class IncrementalBetweenness {
+ public:
+  /// `g` must outlive the object and stay unchanged (weights are the only
+  /// mutable input). Computes the initial centrality from scratch.
+  IncrementalBetweenness(const RoadGraph& g, std::vector<double> weights,
+                         BetweennessOptions opts = {});
+
+  struct UpdateStats {
+    std::size_t segments_changed = 0;
+    std::size_t sources_affected = 0;
+    std::size_t chunks_recomputed = 0;
+  };
+
+  /// Applies the weight changes (parallel arrays; later duplicates win) and
+  /// refreshes the affected chunks. Entries whose weight is bit-equal to
+  /// the current one are ignored.
+  UpdateStats update_weights(std::span<const SegmentId> segments,
+                             std::span<const double> new_weights);
+
+  /// Current centrality — bit-equal to segment_betweenness_weighted(g,
+  /// weights(), opts) at all times.
+  const std::vector<double>& centrality() const noexcept {
+    return centrality_;
+  }
+
+  std::span<const double> weights() const noexcept { return weights_; }
+  std::size_t num_chunks() const noexcept { return num_chunks_; }
+
+ private:
+  void recompute_chunks(const std::vector<std::uint8_t>& dirty);
+  void reduce();
+
+  const RoadGraph& g_;
+  BetweennessOptions opts_;
+  std::vector<double> weights_;
+  std::size_t num_chunks_;
+  /// partials_[chunk][segment]: the chunk's unscaled accumulation.
+  std::vector<std::vector<double>> partials_;
+  /// dists_[source][node]: distances of the cached pass from `source`.
+  std::vector<std::vector<double>> dists_;
+  std::vector<double> centrality_;
+  ThreadPool pool_;
+};
 
 }  // namespace avcp::roadnet

@@ -1,0 +1,88 @@
+#include "service/events.h"
+
+#include <limits>
+
+#include "common/contracts.h"
+#include "common/rng.h"
+
+namespace avcp::service {
+
+namespace {
+
+/// Distinct hash streams per event kind, fault-model style.
+enum Stream : std::uint64_t {
+  kLeave = 0x6c65617665737674ULL,
+  kMigrate = 0x6d69677261746573ULL,
+  kMigrateTarget = 0x6d69677461726774ULL,
+  kJoinCount = 0x6a6f696e636e7473ULL,
+  kJoinSegment = 0x6a6f696e73656773ULL,
+};
+
+inline std::uint64_t mix(std::uint64_t h, std::uint64_t v) noexcept {
+  std::uint64_t s = h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+  return splitmix64(s);
+}
+
+inline bool valid_rate(double r) noexcept { return r >= 0.0 && r <= 1.0; }
+
+}  // namespace
+
+bool ChurnParams::any() const noexcept {
+  return leave_rate > 0.0 || migrate_rate > 0.0 ||
+         (join_slots > 0 && join_rate > 0.0);
+}
+
+EventStream::EventStream(ChurnParams params)
+    : params_(params), active_(params.any()) {
+  AVCP_EXPECT(valid_rate(params_.leave_rate));
+  AVCP_EXPECT(valid_rate(params_.migrate_rate));
+  AVCP_EXPECT(valid_rate(params_.join_rate));
+}
+
+double EventStream::hash_uniform(std::uint64_t stream, std::uint64_t a,
+                                 std::uint64_t b) const noexcept {
+  std::uint64_t h = mix(params_.seed, stream);
+  h = mix(h, a);
+  h = mix(h, b);
+  constexpr double kInv = 1.0 / 18446744073709551616.0;  // 2^-64
+  return static_cast<double>(h) * kInv;
+}
+
+bool EventStream::vehicle_leaves(std::size_t epoch,
+                                 std::uint64_t vehicle) const noexcept {
+  if (params_.leave_rate <= 0.0) return false;
+  return hash_uniform(kLeave, epoch, vehicle) < params_.leave_rate;
+}
+
+bool EventStream::vehicle_migrates(std::size_t epoch,
+                                   std::uint64_t vehicle) const noexcept {
+  if (params_.migrate_rate <= 0.0) return false;
+  return hash_uniform(kMigrate, epoch, vehicle) < params_.migrate_rate;
+}
+
+std::size_t EventStream::joins(std::size_t epoch) const {
+  if (params_.join_slots == 0 || params_.join_rate <= 0.0) return 0;
+  Rng rng(derive_seed(params_.seed, {kJoinCount, epoch}));
+  return static_cast<std::size_t>(
+      rng.binomial(params_.join_slots, params_.join_rate));
+}
+
+roadnet::SegmentId EventStream::migrate_target(
+    std::size_t epoch, std::uint64_t vehicle,
+    std::size_t num_segments) const noexcept {
+  const double u = hash_uniform(kMigrateTarget, epoch, vehicle);
+  auto s = static_cast<std::size_t>(u * static_cast<double>(num_segments));
+  if (s >= num_segments) s = num_segments - 1;  // u == 1 - ulp edge
+  return static_cast<roadnet::SegmentId>(s);
+}
+
+roadnet::SegmentId EventStream::join_segment(
+    std::size_t epoch, std::size_t slot,
+    std::size_t num_segments) const noexcept {
+  const double u = hash_uniform(kJoinSegment, epoch, slot);
+  auto s = static_cast<std::size_t>(u * static_cast<double>(num_segments));
+  if (s >= num_segments) s = num_segments - 1;
+  return static_cast<roadnet::SegmentId>(s);
+}
+
+}  // namespace avcp::service

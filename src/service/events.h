@@ -1,0 +1,78 @@
+// Seeded deterministic churn events for the service loop.
+//
+// A deployed consensus service never sees a fixed fleet: vehicles join the
+// network, drive out of coverage, and cross region boundaries continuously.
+// EventStream is the single source of truth for *which* vehicle churns
+// *when*. Like faults::FaultModel, every per-vehicle predicate is a pure
+// hash of (seed, stream, epoch, vehicle id) — no mutable RNG state — so a
+// churn schedule is reproducible from one seed regardless of query order,
+// thread count, or how many times an epoch is replayed after a crash
+// restore. Only the join *count* per epoch draws from a counter-based
+// stream (one throwaway engine per epoch, derived by derive_seed), because
+// a binomial sample needs more than one uniform.
+//
+// Leave and migrate predicates key on the vehicle's *identity*, not its
+// fleet position, so a vehicle's fate is stable while the fleet around it
+// churns — the property that lets reputation state follow vehicles.
+#pragma once
+
+#include <cstdint>
+
+#include "roadnet/road_graph.h"
+
+namespace avcp::service {
+
+struct ChurnParams {
+  /// Per-vehicle per-epoch probability of leaving the network.
+  double leave_rate = 0.0;
+  /// Per-vehicle per-epoch probability of relocating to a fresh segment
+  /// (possibly crossing a region boundary).
+  double migrate_rate = 0.0;
+  /// Joins per epoch ~ Binomial(join_slots, join_rate): up to join_slots
+  /// candidate vehicles each enter independently with probability
+  /// join_rate. Either zero disables joins.
+  std::size_t join_slots = 0;
+  double join_rate = 0.0;
+  std::uint64_t seed = 0;
+
+  /// True if any churn event can ever fire. An all-zero stream keeps the
+  /// fleet byte-identical to a fixed-fleet run.
+  bool any() const noexcept;
+};
+
+class EventStream {
+ public:
+  explicit EventStream(ChurnParams params);
+
+  const ChurnParams& params() const noexcept { return params_; }
+  bool active() const noexcept { return active_; }
+
+  /// The vehicle leaves the network at the start of `epoch`.
+  bool vehicle_leaves(std::size_t epoch, std::uint64_t vehicle) const noexcept;
+
+  /// The vehicle relocates at the start of `epoch` (only consulted for
+  /// vehicles that do not leave).
+  bool vehicle_migrates(std::size_t epoch,
+                        std::uint64_t vehicle) const noexcept;
+
+  /// Number of vehicles joining at the start of `epoch`.
+  std::size_t joins(std::size_t epoch) const;
+
+  /// Destination segment of a migrating vehicle, uniform over the graph's
+  /// segments (pure hash of (epoch, vehicle)).
+  roadnet::SegmentId migrate_target(std::size_t epoch, std::uint64_t vehicle,
+                                    std::size_t num_segments) const noexcept;
+
+  /// Spawn segment of the `slot`-th joiner of `epoch`.
+  roadnet::SegmentId join_segment(std::size_t epoch, std::size_t slot,
+                                  std::size_t num_segments) const noexcept;
+
+ private:
+  double hash_uniform(std::uint64_t stream, std::uint64_t a,
+                      std::uint64_t b) const noexcept;
+
+  ChurnParams params_;
+  bool active_;
+};
+
+}  // namespace avcp::service

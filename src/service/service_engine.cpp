@@ -1,0 +1,558 @@
+#include "service/service_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/contracts.h"
+#include "common/rng.h"
+#include "common/serial.h"
+
+namespace avcp::service {
+
+namespace {
+
+// Stream tags. kInitStream / kStepStream are AgentBasedSim's tags on
+// purpose: a zero-churn fleet service must consume the exact same draws in
+// the exact same order as the batch simulator, so the two trajectories are
+// bit-identical. Service-only consumers get their own tags.
+constexpr std::uint64_t kInitStream = 0xA1;
+constexpr std::uint64_t kStepStream = 0xA2;
+constexpr std::uint64_t kJoinDecisionStream = 0xB1;
+constexpr std::uint64_t kAttackerStream = 0xB2;
+
+inline bool valid_rate(double r) noexcept { return r >= 0.0 && r <= 1.0; }
+
+/// i64 <-> u64 via two's complement, for serializing signed load deltas.
+inline std::uint64_t encode_i64(std::int64_t v) noexcept {
+  return static_cast<std::uint64_t>(v);
+}
+inline std::int64_t decode_i64(std::uint64_t v) noexcept {
+  return static_cast<std::int64_t>(v);
+}
+
+}  // namespace
+
+void ServiceParams::validate() const {
+  if (mode == Mode::kFleet) {
+    AVCP_EXPECT(vehicles_per_region >= 2);
+  }
+  AVCP_EXPECT(valid_rate(revision_rate));
+  AVCP_EXPECT(imitation_scale > 0.0);
+  AVCP_EXPECT(num_threads <= 4096);
+  AVCP_EXPECT(valid_rate(attacker_fraction));
+  AVCP_EXPECT(valid_rate(churn.leave_rate));
+  AVCP_EXPECT(valid_rate(churn.migrate_rate));
+  AVCP_EXPECT(valid_rate(churn.join_rate));
+  AVCP_EXPECT(degraded.max_step > 0.0 && degraded.max_step <= 1.0);
+  AVCP_EXPECT(valid_rate(degraded.decay_target));
+  AVCP_EXPECT(degraded.decay_step >= 0.0);
+  AVCP_EXPECT(reputation.decay >= 0.0 && reputation.decay < 1.0);
+  AVCP_EXPECT(reputation.quarantine_threshold > 0.0);
+  AVCP_EXPECT(reputation.rehab_threshold >= 0.0 &&
+              reputation.rehab_threshold <= reputation.quarantine_threshold);
+  AVCP_EXPECT(reputation.rehab_rounds >= 1);
+  AVCP_EXPECT(reputation.score_cap > 0.0);
+  AVCP_EXPECT(std::isfinite(congestion_alpha) && congestion_alpha >= 0.0);
+  // The budget bounds how long maintenance may be shed; an unbounded
+  // budget would let an adversarial churn pattern starve re-clustering
+  // forever, so cap it explicitly.
+  AVCP_EXPECT(staleness_budget <= 1000000);
+}
+
+void ServiceCounters::save_state(Serializer& s) const {
+  s.put_u64(epochs);
+  s.put_u64(joins);
+  s.put_u64(leaves);
+  s.put_u64(migrations);
+  s.put_u64(reclusters);
+  s.put_u64(recluster_deferred);
+  s.put_u64(betweenness_chunks_recomputed);
+  s.put_u64(outage_region_epochs);
+  s.put_u64(quarantines);
+  s.put_u64(releases);
+}
+
+void ServiceCounters::load_state(Deserializer& d) {
+  epochs = d.get_u64();
+  joins = d.get_u64();
+  leaves = d.get_u64();
+  migrations = d.get_u64();
+  reclusters = d.get_u64();
+  recluster_deferred = d.get_u64();
+  betweenness_chunks_recomputed = d.get_u64();
+  outage_region_epochs = d.get_u64();
+  quarantines = d.get_u64();
+  releases = d.get_u64();
+}
+
+ServiceEngine::ServiceEngine(const core::MultiRegionGame& game,
+                             core::Controller& inner,
+                             const roadnet::RoadGraph* graph,
+                             ServiceParams params,
+                             const faults::FaultModel* faults)
+    : game_(game),
+      graph_(graph),
+      params_(params),
+      inert_faults_(faults::FaultParams{}),
+      faults_(faults != nullptr ? faults : &inert_faults_),
+      events_(params.churn),
+      pool_(params.num_threads) {
+  params_.validate();
+  controller_.emplace(inner, *faults_, params_.degraded);
+  if (params_.mode == ServiceParams::Mode::kFleet) {
+    AVCP_EXPECT(graph_ != nullptr);
+    AVCP_EXPECT(graph_->finalized());
+    cluster::IncrementalClusteringOptions copts;
+    copts.clustering.num_regions =
+        static_cast<std::uint32_t>(game_.num_regions());
+    copts.betweenness.num_threads = params_.num_threads;
+    copts.congestion_alpha = params_.congestion_alpha;
+    clustering_.emplace(*graph_, copts);
+    pending_.assign(graph_->num_segments(), 0);
+  }
+  members_.resize(game_.num_regions());
+  before_.resize(game_.num_regions());
+  down_.assign(game_.num_regions(), 0);
+}
+
+bool ServiceEngine::designated_attacker(std::uint64_t id) const noexcept {
+  if (params_.attacker_fraction <= 0.0) return false;
+  Rng rng(derive_seed(params_.seed, {kAttackerStream, id}));
+  return rng.uniform() < params_.attacker_fraction;
+}
+
+void ServiceEngine::init(const core::GameState& initial,
+                         std::vector<double> x0) {
+  AVCP_EXPECT(initial.p.size() == game_.num_regions());
+  AVCP_EXPECT(x0.size() == game_.num_regions());
+
+  epoch_ = 0;
+  next_id_ = 0;
+  staleness_ = 0;
+  counters_ = {};
+  state_ = initial;
+  observed_ = initial;
+  x_ = std::move(x0);
+  controller_->reset();
+  std::fill(down_.begin(), down_.end(), 0);
+  fleet_.clear();
+
+  if (params_.mode == ServiceParams::Mode::kMeanField) return;
+
+  // Region-major fleet seeding over the clustering's current regions, one
+  // init stream per region — AgentBasedSim::init_from with epoch 0.
+  const cluster::Clustering& cl = clustering_->clustering();
+  for (core::RegionId r = 0; r < game_.num_regions(); ++r) {
+    core::check_distribution(initial.p[r]);
+    Rng rng(derive_seed(params_.seed, {kInitStream, 0, r}));
+    const std::vector<roadnet::SegmentId>& segs = cl.members[r];
+    AVCP_EXPECT(!segs.empty());
+    for (std::size_t j = 0; j < params_.vehicles_per_region; ++j) {
+      VehicleRecord rec;
+      rec.id = next_id_++;
+      rec.segment = segs[j % segs.size()];
+      rec.region = r;
+      rec.decision =
+          static_cast<core::DecisionId>(rng.weighted_index(initial.p[r]));
+      rec.attacker = designated_attacker(rec.id);
+      fleet_.push_back(rec);
+    }
+  }
+
+  // Seed the congestion picture with the initial placement, then re-derive
+  // every vehicle's region in case the load-coupled weights moved a
+  // boundary during set_loads.
+  std::vector<std::int64_t> loads(graph_->num_segments(), 0);
+  for (const VehicleRecord& rec : fleet_) ++loads[rec.segment];
+  clustering_->set_loads(loads);
+  std::fill(pending_.begin(), pending_.end(), 0);
+  reassign_regions();
+}
+
+void ServiceEngine::apply_churn(std::size_t e, std::size_t& events) {
+  if (!events_.active()) return;
+  const std::size_t num_segments = graph_->num_segments();
+
+  // Leaves first: a vehicle that leaves this epoch neither migrates nor
+  // revises. erase_if keeps the id order intact.
+  std::size_t left = 0;
+  std::erase_if(fleet_, [&](const VehicleRecord& rec) {
+    if (!events_.vehicle_leaves(e, rec.id)) return false;
+    --pending_[rec.segment];
+    ++left;
+    return true;
+  });
+
+  std::size_t migrated = 0;
+  for (VehicleRecord& rec : fleet_) {
+    if (!events_.vehicle_migrates(e, rec.id)) continue;
+    const roadnet::SegmentId target =
+        events_.migrate_target(e, rec.id, num_segments);
+    if (target == rec.segment) continue;
+    --pending_[rec.segment];
+    ++pending_[target];
+    rec.segment = target;
+    rec.region = clustering_->clustering().region_of[target];
+    ++migrated;
+  }
+
+  const std::size_t joining = events_.joins(e);
+  for (std::size_t slot = 0; slot < joining; ++slot) {
+    VehicleRecord rec;
+    rec.id = next_id_++;
+    rec.segment = events_.join_segment(e, slot, num_segments);
+    rec.region = clustering_->clustering().region_of[rec.segment];
+    // A joiner adopts a decision drawn from its region's latest truth —
+    // it calibrates against the traffic it merges into.
+    Rng rng(derive_seed(params_.seed, {kJoinDecisionStream, e, rec.id}));
+    rec.decision =
+        static_cast<core::DecisionId>(rng.weighted_index(state_.p[rec.region]));
+    rec.attacker = designated_attacker(rec.id);
+    ++pending_[rec.segment];
+    fleet_.push_back(rec);  // ids are monotone: order stays sorted
+  }
+
+  counters_.leaves += left;
+  counters_.migrations += migrated;
+  counters_.joins += joining;
+  events = left + migrated + joining;
+}
+
+void ServiceEngine::maintain_clustering(std::size_t e, std::size_t events) {
+  (void)e;
+  bool pending_any = false;
+  for (const std::int64_t p : pending_) {
+    if (p != 0) {
+      pending_any = true;
+      break;
+    }
+  }
+  if (!pending_any) {
+    staleness_ = 0;
+    return;
+  }
+  // Overload shedding: a heavy-churn epoch defers the (comparatively
+  // expensive) centrality + clustering refresh, but the staleness budget
+  // bounds how many epochs in a row may do so.
+  if (events > params_.overload_events &&
+      staleness_ < params_.staleness_budget) {
+    ++staleness_;
+    ++counters_.recluster_deferred;
+    return;
+  }
+  std::vector<cluster::LoadDelta> deltas;
+  for (roadnet::SegmentId s = 0; s < pending_.size(); ++s) {
+    if (pending_[s] == 0) continue;
+    deltas.push_back({s, static_cast<std::int32_t>(pending_[s])});
+    pending_[s] = 0;
+  }
+  const auto stats = clustering_->apply(deltas);
+  counters_.betweenness_chunks_recomputed += stats.chunks_recomputed;
+  staleness_ = 0;
+  if (stats.reclustered) {
+    ++counters_.reclusters;
+    reassign_regions();
+  }
+}
+
+void ServiceEngine::reassign_regions() {
+  const std::vector<cluster::RegionId>& region_of =
+      clustering_->clustering().region_of;
+  for (VehicleRecord& rec : fleet_) {
+    rec.region = region_of[rec.segment];
+  }
+}
+
+void ServiceEngine::rebuild_members() {
+  for (std::vector<std::size_t>& m : members_) m.clear();
+  for (std::size_t i = 0; i < fleet_.size(); ++i) {
+    members_[fleet_[i].region].push_back(i);
+  }
+}
+
+void ServiceEngine::snapshot_states() {
+  const std::size_t K = game_.num_decisions();
+  for (core::RegionId r = 0; r < game_.num_regions(); ++r) {
+    const std::vector<std::size_t>& m = members_[r];
+    // An emptied region holds its last known rows: the game still needs a
+    // distribution for neighbour coupling, and "last known" is the least
+    // surprising stand-in (exactly what the cloud would assume too).
+    if (m.empty()) continue;
+    std::vector<double>& truth = state_.p[r];
+    truth.assign(K, 0.0);
+    for (const std::size_t i : m) truth[fleet_[i].decision] += 1.0;
+    for (double& v : truth) v /= static_cast<double>(m.size());
+
+    std::vector<double>& seen = observed_.p[r];
+    std::size_t trusted = 0;
+    std::vector<double> claim_counts(K, 0.0);
+    for (const std::size_t i : m) {
+      const VehicleRecord& rec = fleet_[i];
+      if (rec.quarantined) continue;  // the cloud discards their reports
+      // Free-riders claim the share-everything top (decision 0) — the
+      // claim that earns access to the whole pool.
+      claim_counts[rec.attacker ? 0 : rec.decision] += 1.0;
+      ++trusted;
+    }
+    if (trusted == 0) continue;  // all quarantined: hold the last rows
+    seen = std::move(claim_counts);
+    for (double& v : seen) v /= static_cast<double>(trusted);
+  }
+}
+
+void ServiceEngine::revise(std::size_t e) {
+  pool_.parallel_for(0, game_.num_regions(), [&](std::size_t ri) {
+    const auto r = static_cast<core::RegionId>(ri);
+    if (down_[ri] != 0) return;  // outage: the fleet holds, same as AgentSim
+    const std::vector<std::size_t>& m = members_[ri];
+    if (m.size() < 2) return;  // nobody to imitate
+    const std::vector<double> q = game_.region_fitness(state_, x_, r);
+    std::vector<core::DecisionId>& before = before_[ri];
+    before.clear();
+    for (const std::size_t i : m) before.push_back(fleet_[i].decision);
+    Rng rng(derive_seed(params_.seed, {kStepStream, e, r}));
+    for (std::size_t v = 0; v < m.size(); ++v) {
+      VehicleRecord& rec = fleet_[m[v]];
+      // Free-riders hold strategically — and consume no draws, exactly
+      // like AgentBasedSim's attacker/defector skip, so the honest fleet's
+      // stream position is independent of who attacks.
+      if (rec.attacker) continue;
+      if (!rng.bernoulli(params_.revision_rate)) continue;
+      auto peer = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(m.size()) - 2));
+      if (peer >= v) ++peer;
+      const core::DecisionId mine = before[v];
+      const core::DecisionId theirs = before[peer];
+      if (mine == theirs) continue;
+      const double gain = q[theirs] - q[mine];
+      if (gain <= 0.0) continue;
+      const double p_imitate =
+          std::min(1.0, params_.imitation_scale * gain);
+      if (rng.bernoulli(p_imitate)) rec.decision = theirs;
+    }
+  });
+}
+
+void ServiceEngine::score_reputation(std::size_t e) {
+  (void)e;
+  const core::DecisionLattice& lattice = game_.lattice();
+  const auto sensors = static_cast<double>(lattice.num_sensors());
+  const core::DecisionId bottom =
+      static_cast<core::DecisionId>(game_.num_decisions() - 1);
+  const byzantine::ReputationParams& rp = params_.reputation;
+  for (core::RegionId r = 0; r < game_.num_regions(); ++r) {
+    if (down_[r] != 0) continue;  // no uploads observed, no evidence
+    for (const std::size_t i : members_[r]) {
+      VehicleRecord& rec = fleet_[i];
+      // Upload-volume residual: the server knows how much data a claim
+      // promises at ratio x_r and measures what actually arrived. Honest
+      // vehicles upload exactly their claim (residual 0); free-riders
+      // claim the top but upload the bottom.
+      const core::DecisionId claim = rec.attacker ? 0 : rec.decision;
+      const core::DecisionId behaved = rec.attacker ? bottom : rec.decision;
+      const double expected =
+          x_[r] * static_cast<double>(lattice.cardinality(claim)) / sensors;
+      const double actual =
+          x_[r] * static_cast<double>(lattice.cardinality(behaved)) / sensors;
+      const double score =
+          std::min(std::max(expected - actual, 0.0), rp.score_cap);
+      rec.smoothed = rp.decay * rec.smoothed + (1.0 - rp.decay) * score;
+      ++rec.observed_epochs;
+      if (!rec.quarantined) {
+        if (rec.observed_epochs >= rp.min_rounds &&
+            rec.smoothed > rp.quarantine_threshold) {
+          rec.quarantined = true;
+          rec.clean_streak = 0;
+          ++counters_.quarantines;
+        }
+      } else if (rec.smoothed < rp.rehab_threshold) {
+        if (++rec.clean_streak >= rp.rehab_rounds) {
+          rec.quarantined = false;
+          rec.clean_streak = 0;
+          ++counters_.releases;
+        }
+      } else {
+        rec.clean_streak = 0;
+      }
+    }
+  }
+}
+
+void ServiceEngine::run_epoch() {
+  const std::size_t e = epoch_;
+
+  if (params_.mode == ServiceParams::Mode::kMeanField) {
+    x_ = controller_->next_x(state_, x_);
+    game_.replicator_step(state_, x_);
+    ++epoch_;
+    ++counters_.epochs;
+    return;
+  }
+
+  std::size_t events = 0;
+  apply_churn(e, events);
+  maintain_clustering(e, events);
+  rebuild_members();
+
+  for (core::RegionId r = 0; r < game_.num_regions(); ++r) {
+    down_[r] = faults_->region_down(e, r) ? 1 : 0;
+    counters_.outage_region_epochs += down_[r];
+  }
+
+  snapshot_states();
+  // The controller sees claims, not truth; DegradedController substitutes
+  // held reports for regions whose report never arrived this epoch.
+  x_ = controller_->next_x(observed_, x_);
+  revise(e);
+  score_reputation(e);
+
+  ++epoch_;
+  ++counters_.epochs;
+}
+
+std::size_t ServiceEngine::quarantined_count() const {
+  std::size_t n = 0;
+  for (const VehicleRecord& rec : fleet_) n += rec.quarantined ? 1 : 0;
+  return n;
+}
+
+void ServiceEngine::save_state(Serializer& s) const {
+  // Configuration fingerprint: a snapshot from a differently-built service
+  // must be rejected, not applied.
+  s.put_u64(params_.seed);
+  s.put_u8(static_cast<std::uint8_t>(params_.mode));
+  s.put_u64(game_.num_regions());
+  s.put_u64(graph_ != nullptr ? graph_->num_segments() : 0);
+
+  s.put_u64(epoch_);
+  s.put_u64(next_id_);
+  s.put_u64(staleness_);
+
+  s.put_u64(fleet_.size());
+  for (const VehicleRecord& rec : fleet_) {
+    s.put_u64(rec.id);
+    s.put_u32(rec.segment);
+    s.put_u32(rec.region);
+    s.put_u32(rec.decision);
+    s.put_bool(rec.attacker);
+    s.put_bool(rec.quarantined);
+    s.put_f64(rec.smoothed);
+    s.put_u64(rec.clean_streak);
+    s.put_u64(rec.observed_epochs);
+  }
+
+  put_f64_vec(s, x_);
+  state_.save_state(s);
+  observed_.save_state(s);
+  put_u8_vec(s, down_);
+
+  if (clustering_) {
+    std::vector<std::uint64_t> pend(pending_.size());
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      pend[i] = encode_i64(pending_[i]);
+    }
+    put_u64_vec(s, pend);
+    std::vector<std::uint64_t> loads(clustering_->loads().size());
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+      loads[i] = encode_i64(clustering_->loads()[i]);
+    }
+    put_u64_vec(s, loads);
+  }
+
+  controller_->save_state(s);
+  counters_.save_state(s);
+}
+
+void ServiceEngine::load_state(Deserializer& d) {
+  Deserializer::check(d.get_u64() == params_.seed,
+                      "service snapshot: seed mismatch");
+  Deserializer::check(d.get_u8() == static_cast<std::uint8_t>(params_.mode),
+                      "service snapshot: mode mismatch");
+  Deserializer::check(d.get_u64() == game_.num_regions(),
+                      "service snapshot: region count mismatch");
+  Deserializer::check(
+      d.get_u64() == (graph_ != nullptr ? graph_->num_segments() : 0),
+      "service snapshot: segment count mismatch");
+
+  epoch_ = d.get_u64();
+  next_id_ = d.get_u64();
+  staleness_ = d.get_u64();
+
+  const std::uint64_t fleet_size = d.get_u64();
+  std::vector<VehicleRecord> fleet;
+  fleet.reserve(fleet_size);
+  std::uint64_t prev_id = 0;
+  for (std::uint64_t i = 0; i < fleet_size; ++i) {
+    VehicleRecord rec;
+    rec.id = d.get_u64();
+    Deserializer::check(i == 0 || rec.id > prev_id,
+                        "service snapshot: fleet ids out of order");
+    Deserializer::check(rec.id < next_id_,
+                        "service snapshot: vehicle id beyond id counter");
+    prev_id = rec.id;
+    rec.segment = d.get_u32();
+    Deserializer::check(
+        graph_ == nullptr || rec.segment < graph_->num_segments(),
+        "service snapshot: segment out of range");
+    rec.region = d.get_u32();
+    Deserializer::check(rec.region < game_.num_regions(),
+                        "service snapshot: region out of range");
+    rec.decision = d.get_u32();
+    Deserializer::check(rec.decision < game_.num_decisions(),
+                        "service snapshot: decision out of range");
+    rec.attacker = d.get_bool();
+    rec.quarantined = d.get_bool();
+    rec.smoothed = d.get_f64();
+    rec.clean_streak = d.get_u64();
+    rec.observed_epochs = d.get_u64();
+    fleet.push_back(rec);
+  }
+
+  std::vector<double> x = get_f64_vec(d);
+  Deserializer::check(x.size() == game_.num_regions(),
+                      "service snapshot: ratio size mismatch");
+  core::GameState state;
+  state.load_state(d);
+  Deserializer::check(state.p.size() == game_.num_regions(),
+                      "service snapshot: state shape mismatch");
+  core::GameState observed;
+  observed.load_state(d);
+  Deserializer::check(observed.p.size() == game_.num_regions(),
+                      "service snapshot: observed shape mismatch");
+  std::vector<std::uint8_t> down = get_u8_vec(d);
+  Deserializer::check(down.size() == game_.num_regions(),
+                      "service snapshot: outage flags shape mismatch");
+
+  if (clustering_) {
+    std::vector<std::uint64_t> pend = get_u64_vec(d);
+    Deserializer::check(pend.size() == graph_->num_segments(),
+                        "service snapshot: pending deltas shape mismatch");
+    std::vector<std::uint64_t> raw_loads = get_u64_vec(d);
+    Deserializer::check(raw_loads.size() == graph_->num_segments(),
+                        "service snapshot: loads shape mismatch");
+    std::vector<std::int64_t> loads(raw_loads.size());
+    for (std::size_t i = 0; i < raw_loads.size(); ++i) {
+      loads[i] = decode_i64(raw_loads[i]);
+      Deserializer::check(loads[i] >= 0,
+                          "service snapshot: negative segment load");
+    }
+    // Rebuilding from loads is bit-equal to the pre-crash clustering by
+    // the incremental-equivalence contract.
+    clustering_->set_loads(loads);
+    for (std::size_t i = 0; i < pend.size(); ++i) {
+      pending_[i] = decode_i64(pend[i]);
+    }
+  }
+
+  controller_->load_state(d);
+  counters_.load_state(d);
+
+  fleet_ = std::move(fleet);
+  x_ = std::move(x);
+  state_ = std::move(state);
+  observed_ = std::move(observed);
+  down_ = std::move(down);
+}
+
+}  // namespace avcp::service

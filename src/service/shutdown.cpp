@@ -1,0 +1,26 @@
+#include "service/shutdown.h"
+
+#include <csignal>
+
+namespace avcp::service {
+
+namespace {
+
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void on_signal(int /*signum*/) { g_shutdown = 1; }
+
+}  // namespace
+
+void install_shutdown_handlers() {
+  std::signal(SIGTERM, &on_signal);
+  std::signal(SIGINT, &on_signal);
+}
+
+bool shutdown_requested() noexcept { return g_shutdown != 0; }
+
+void reset_shutdown_flag() noexcept { g_shutdown = 0; }
+
+void request_shutdown() noexcept { g_shutdown = 1; }
+
+}  // namespace avcp::service

@@ -1,0 +1,27 @@
+// Graceful-shutdown signalling for the service loop.
+//
+// A supervised service receives SIGTERM (or Ctrl-C's SIGINT) and must not
+// die mid-epoch: the run loop finishes the epoch in flight, flushes a final
+// checkpoint generation, and exits 0, so the next start resumes exactly
+// where this one stopped. The handler only sets a volatile sig_atomic_t
+// flag (async-signal-safe, same idiom as checkpoint/policy.h's SIGUSR1
+// snapshot request); the loop polls it between epochs.
+#pragma once
+
+namespace avcp::service {
+
+/// Installs the flag-setting handler on SIGTERM and SIGINT. Safe to call
+/// repeatedly.
+void install_shutdown_handlers();
+
+/// True once a shutdown signal arrived (sticky; does not clear).
+bool shutdown_requested() noexcept;
+
+/// Clears the flag (tests re-arm between cases).
+void reset_shutdown_flag() noexcept;
+
+/// Raises the flag programmatically, as the signal handler would — lets
+/// tests exercise the drain-and-flush path without process signals.
+void request_shutdown() noexcept;
+
+}  // namespace avcp::service

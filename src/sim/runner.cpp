@@ -85,6 +85,10 @@ RunResult run_mean_field(const core::MultiRegionGame& game,
                          const RunOptions& options) {
   AVCP_EXPECT(initial.p.size() == game.num_regions());
   AVCP_EXPECT(x0.size() == game.num_regions());
+  // Option validation, FaultParams-style: reject misconfiguration at the
+  // entry point instead of looping forever or never converging silently.
+  AVCP_EXPECT(options.max_rounds > 0);
+  AVCP_EXPECT(options.satisfy_tol >= 0.0);
 
   RunResult result;
   core::GameState state = std::move(initial);

@@ -471,5 +471,83 @@ TEST(CrashInjectorTest, TearPredicateMatchesPlannedRound) {
   injector.after_round(8);
 }
 
+// ---------------------------------------------------------------------------
+// Transient-filesystem-error retry (bounded, with backoff)
+// ---------------------------------------------------------------------------
+
+TEST(FsRetryTest, ClassifiesTransientErrors) {
+  using checkpoint::is_transient_fs_error;
+  EXPECT_TRUE(is_transient_fs_error(
+      std::make_error_code(std::errc::interrupted)));
+  EXPECT_TRUE(is_transient_fs_error(
+      std::make_error_code(std::errc::no_space_on_device)));
+  EXPECT_TRUE(is_transient_fs_error(
+      std::make_error_code(std::errc::resource_unavailable_try_again)));
+  EXPECT_FALSE(is_transient_fs_error(
+      std::make_error_code(std::errc::no_such_file_or_directory)));
+  EXPECT_FALSE(is_transient_fs_error(
+      std::make_error_code(std::errc::permission_denied)));
+  EXPECT_FALSE(is_transient_fs_error(std::error_code{}));  // success
+}
+
+TEST(FsRetryTest, TransientFailureRetriesWithExponentialBackoff) {
+  std::size_t calls = 0;
+  std::vector<std::size_t> sleeps;
+  const std::error_code ec = checkpoint::retry_transient_fs(
+      [&] {
+        ++calls;
+        if (calls < 3) {
+          return std::make_error_code(std::errc::interrupted);
+        }
+        return std::error_code{};
+      },
+      checkpoint::FsRetryPolicy{},
+      [&](std::size_t ms) { sleeps.push_back(ms); });
+  EXPECT_FALSE(ec);
+  EXPECT_EQ(calls, 3u);
+  EXPECT_EQ(sleeps, (std::vector<std::size_t>{1, 4}));
+}
+
+TEST(FsRetryTest, NonTransientFailureReturnsImmediately) {
+  std::size_t calls = 0;
+  std::size_t slept = 0;
+  const std::error_code ec = checkpoint::retry_transient_fs(
+      [&] {
+        ++calls;
+        return std::make_error_code(std::errc::no_such_file_or_directory);
+      },
+      checkpoint::FsRetryPolicy{}, [&](std::size_t) { ++slept; });
+  EXPECT_EQ(ec, std::make_error_code(std::errc::no_such_file_or_directory));
+  EXPECT_EQ(calls, 1u);
+  EXPECT_EQ(slept, 0u);
+}
+
+TEST(FsRetryTest, PersistentTransientFailureExhaustsAttempts) {
+  std::size_t calls = 0;
+  std::vector<std::size_t> sleeps;
+  checkpoint::FsRetryPolicy policy;  // attempts=4, 1ms x4 backoff
+  const std::error_code ec = checkpoint::retry_transient_fs(
+      [&] {
+        ++calls;
+        return std::make_error_code(std::errc::no_space_on_device);
+      },
+      policy, [&](std::size_t ms) { sleeps.push_back(ms); });
+  EXPECT_EQ(ec, std::make_error_code(std::errc::no_space_on_device));
+  EXPECT_EQ(calls, policy.attempts);
+  // No sleep after the final attempt.
+  EXPECT_EQ(sleeps, (std::vector<std::size_t>{1, 4, 16}));
+}
+
+TEST_F(CheckpointFileTest, WriteToMissingDirectoryFailsWithoutTmpResidue) {
+  const fs::path missing = dir_ / "absent" / "ckpt-00000001.avcp";
+  // ENOENT is not transient: the failure must surface on the first attempt
+  // as a typed CheckpointError, with no .tmp left behind.
+  EXPECT_THROW(make_writer().write(missing), checkpoint::CheckpointError);
+  EXPECT_FALSE(fs::exists(missing));
+  fs::path tmp = missing;
+  tmp += ".tmp";
+  EXPECT_FALSE(fs::exists(tmp));
+}
+
 }  // namespace
 }  // namespace avcp

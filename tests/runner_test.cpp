@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/contracts.h"
 #include "common/interval.h"
 #include "test_support.h"
 
@@ -91,6 +92,26 @@ TEST(Runner, FinalXReflectsController) {
                                      {0.1}, nullptr, options);
   ASSERT_EQ(result.final_x.size(), 1u);
   EXPECT_DOUBLE_EQ(result.final_x[0], 0.77);
+}
+
+TEST(Runner, RejectsZeroRoundBudget) {
+  const auto game = make_single_region_game();
+  core::FixedRatioController controller(0.5);
+  RunOptions options;
+  options.max_rounds = 0;  // would silently return the initial state
+  EXPECT_THROW(run_mean_field(game, controller, game.uniform_state(), {0.5},
+                              nullptr, options),
+               ContractViolation);
+}
+
+TEST(Runner, RejectsNegativeSatisfyTolerance) {
+  const auto game = make_single_region_game();
+  core::FixedRatioController controller(0.5);
+  RunOptions options;
+  options.satisfy_tol = -1e-6;  // could never be satisfied
+  EXPECT_THROW(run_mean_field(game, controller, game.uniform_state(), {0.5},
+                              nullptr, options),
+               ContractViolation);
 }
 
 }  // namespace
