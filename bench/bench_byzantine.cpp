@@ -28,6 +28,21 @@
 //
 //   ./build/bench/bench_byzantine > byzantine.json
 //   ./build/bench/bench_byzantine --smoke   # tiny CI configuration
+//
+// --adaptive switches to the closed-loop sweep: the reputation-aware
+// AdaptiveAdversary policies (build-then-defect pacing, threshold probing,
+// rotating region collusion) x attacker fraction x defense {ewma, trust},
+// run through the declarative scenario layer (scenario/scenario.h) so the
+// bench exercises the exact configurations the catalog registers. The
+// headline contrast: the PR-2 EWMA-only defense leaks a nonzero steady-
+// state ratio error against pacing and collusion (the bursts are sized to
+// its forgetting dynamics), while the Beta-prior trust ratchet holds the
+// tail error at zero for >= 20% adaptive attackers. A final section runs
+// the service-layer churn-exploit twist (identity wash on rejoin) with and
+// without keyed-identity suspicion carry-over.
+//
+//   ./build/bench/bench_byzantine --adaptive > BENCH_adaptive.json
+//   ./build/bench/bench_byzantine --adaptive --smoke
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -38,6 +53,7 @@
 #include "byzantine/report_pipeline.h"
 #include "core/fds.h"
 #include "core/sensor_model.h"
+#include "scenario/scenario.h"
 #include "sim/metrics.h"
 
 #include "bench_common.h"
@@ -255,13 +271,112 @@ void print_cell(const char* defense, byzantine::AttackStrategy strategy,
       run.recall, run.quarantined, run.outliers_rejected, last ? "" : ",");
 }
 
+// ---------------------------------------------------------------------------
+// --adaptive: the closed-loop sweep through the scenario layer
+// ---------------------------------------------------------------------------
+
+const char* policy_name(byzantine::AdaptivePolicy p) {
+  switch (p) {
+    case byzantine::AdaptivePolicy::kBuildThenDefect: return "build_then_defect";
+    case byzantine::AdaptivePolicy::kThresholdProbe: return "threshold_probe";
+    case byzantine::AdaptivePolicy::kRegionCollusion: return "region_collusion";
+    case byzantine::AdaptivePolicy::kChurnExploit: return "churn_exploit";
+  }
+  return "?";
+}
+
+scenario::ScenarioConfig adaptive_cell(byzantine::AdaptivePolicy policy,
+                                       double fraction, bool trust,
+                                       bool smoke) {
+  scenario::ScenarioConfig sc;
+  sc.name = "bench-adaptive-cell";
+  sc.plant.vehicles_per_region = smoke ? 40 : 100;
+  sc.plant.rounds = smoke ? 60 : 160;
+  sc.plant.tail_rounds = smoke ? 15 : 40;
+  sc.plant.beta = 1.5;  // interior regime: the claim channel moves x
+  sc.attack = scenario::AttackKind::kAdaptive;
+  sc.adaptive_attack.attacker_fraction = fraction;
+  sc.adaptive_attack.policy = policy;
+  sc.adaptive_attack.shift_rounds = 2;  // see the catalog's adaptive pairs
+  sc.adaptive_attack.seed = 17;
+  sc.defense =
+      trust ? scenario::DefenseKind::kTrust : scenario::DefenseKind::kRobust;
+  return sc;
+}
+
+int run_adaptive(bool smoke) {
+  const std::vector<byzantine::AdaptivePolicy> policies = {
+      byzantine::AdaptivePolicy::kBuildThenDefect,
+      byzantine::AdaptivePolicy::kThresholdProbe,
+      byzantine::AdaptivePolicy::kRegionCollusion,
+  };
+  const std::vector<double> fractions =
+      smoke ? std::vector<double>{0.2} : std::vector<double>{0.2, 0.3};
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"bench_byzantine_adaptive\",\n");
+  std::printf("  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::printf("  \"sweep\": [\n");
+  const std::size_t cells = policies.size() * fractions.size() * 2;
+  std::size_t emitted = 0;
+  for (const auto policy : policies) {
+    for (const double fraction : fractions) {
+      for (const bool trust : {false, true}) {
+        const auto sc = adaptive_cell(policy, fraction, trust, smoke);
+        const auto r = scenario::run_scenario_vs_clean(sc);
+        std::printf(
+            "    {\"policy\": \"%s\", \"fraction\": %.2f, "
+            "\"defense\": \"%s\",\n"
+            "     \"tail_error\": %.6f, \"control_error_tail\": %.6f,\n"
+            "     \"quarantined\": %zu, \"distrusted\": %zu, "
+            "\"dormant\": %zu,\n"
+            "     \"precision\": %.4f, \"recall\": %.4f}%s\n",
+            policy_name(policy), fraction, trust ? "trust" : "ewma",
+            r.observed_error_tail, r.ratio_error_tail, r.quarantined,
+            r.distrusted, r.adaptive_dormant, r.precision, r.recall,
+            ++emitted == cells ? "" : ",");
+      }
+    }
+  }
+  std::printf("  ],\n");
+
+  // The service-layer identity wash: same exploit stream with and without
+  // keyed-identity suspicion carry-over.
+  std::printf("  \"churn_exploit\": [\n");
+  for (const bool keyed : {false, true}) {
+    scenario::ScenarioConfig sc =
+        *scenario::find_scenario(keyed ? "churn-exploit-keyed"
+                                       : "churn-exploit-open");
+    if (smoke) {
+      sc.plant.rounds = 30;
+      sc.plant.tail_rounds = 10;
+      sc.service.epochs = 60;
+    }
+    const auto r = scenario::run_scenario_vs_clean(sc);
+    std::printf(
+        "    {\"scenario\": \"%s\", \"carry_suspicion\": %s,\n"
+        "     \"exploit_rejoins\": %llu, \"service_quarantined\": %zu,\n"
+        "     \"tail_error\": %.6f, \"control_error_tail\": %.6f, "
+        "\"dormant\": %zu}%s\n",
+        sc.name.c_str(), keyed ? "true" : "false",
+        static_cast<unsigned long long>(r.exploit_rejoins),
+        r.service_quarantined, r.observed_error_tail, r.ratio_error_tail,
+        r.adaptive_dormant, keyed ? "" : ",");
+  }
+  std::printf("  ]\n}\n");
+  return bench::finish_json_output();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool adaptive = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--adaptive") == 0) adaptive = true;
   }
+  if (adaptive) return run_adaptive(smoke);
   const BenchConfig config = smoke ? smoke_config() : BenchConfig{};
   const auto game = make_game();
 

@@ -15,6 +15,7 @@ ReportPipeline::ReportPipeline(std::size_t num_regions,
     : options_(options),
       aggregator_(options.aggregator),
       reputation_(num_regions, vehicles_per_region, options.reputation),
+      trust_(num_regions, vehicles_per_region, options.trust),
       num_decisions_(num_decisions),
       vehicles_per_region_(vehicles_per_region) {
   AVCP_EXPECT(num_decisions >= 2);
@@ -22,11 +23,16 @@ ReportPipeline::ReportPipeline(std::size_t num_regions,
   AVCP_EXPECT(options_.behavior_weight >= 0.0);
   claims_.assign(num_regions,
                  std::vector<core::DecisionId>(vehicles_per_region, 0));
+  zero_streak_.assign(num_regions,
+                      std::vector<std::uint32_t>(vehicles_per_region, 0));
 }
 
 bool ReportPipeline::excluded(core::RegionId region,
                               std::size_t vehicle) const {
-  return options_.enforce_quarantine && reputation_.quarantined(region, vehicle);
+  if (options_.enforce_quarantine && reputation_.quarantined(region, vehicle)) {
+    return true;
+  }
+  return trust_.distrusted(region, vehicle);
 }
 
 RegionObservation ReportPipeline::aggregate(
@@ -38,6 +44,7 @@ RegionObservation ReportPipeline::aggregate(
 
   RegionObservation obs;
   obs.quarantined = reputation_.quarantined_in(region);
+  obs.distrusted = trust_.distrusted_in(region);
 
   // Remember the claims for observe_uploads' cohort grouping.
   auto& claims = claims_[region];
@@ -88,6 +95,34 @@ RegionObservation ReportPipeline::aggregate(
         if (weight > 0.0 && score > options_.aggregator.mad_threshold) {
           reputation_.observe(region, v, weight * score);
         }
+        if (trust_.enabled() && score > options_.aggregator.mad_threshold) {
+          trust_.flag(region, v, score);
+        }
+      }
+    }
+  }
+
+  // Region-level collusion scoring: colluders submit *identical* falsified
+  // tuples (coordination is their strength and their fingerprint — honest
+  // noise never collides exactly), so among this round's rejected reports
+  // any group sharing one (beta, gamma, density) row is flagged through
+  // the trust layer's collusion channel, weighted by group size.
+  if (trust_.enabled()) {
+    std::vector<std::size_t> deviants;
+    for (std::size_t v = 0; v < reports.size(); ++v) {
+      if (rejected[v] != 0) deviants.push_back(v);
+    }
+    for (const std::size_t v : deviants) {
+      std::size_t group = 0;
+      for (const std::size_t u : deviants) {
+        if (reports[u].beta == reports[v].beta &&
+            reports[u].gamma == reports[v].gamma &&
+            reports[u].density == reports[v].density) {
+          ++group;
+        }
+      }
+      if (group >= 2) {
+        trust_.flag_collusion(region, v, static_cast<double>(group));
       }
     }
   }
@@ -123,10 +158,26 @@ RegionObservation ReportPipeline::aggregate(
     if (rejected[v] == 0) surviving.push_back(v);
   }
   const auto& sample = surviving.empty() ? trusted : surviving;
-  obs.beta = aggregator_.aggregate(channel(sample, &VehicleReport::beta));
-  obs.gamma = aggregator_.aggregate(channel(sample, &VehicleReport::gamma));
-  obs.density =
-      aggregator_.aggregate(channel(sample, &VehicleReport::density));
+  if (trust_.enabled()) {
+    // Trust-weighted medians: a vehicle's influence on the telemetry
+    // aggregate scales with its Beta-posterior mean, so partially-trusted
+    // vehicles fade out before they cross the exclusion floor.
+    std::vector<double> weights(sample.size());
+    for (std::size_t j = 0; j < sample.size(); ++j) {
+      weights[j] = trust_.trust(region, sample[j]);
+    }
+    obs.beta = RobustAggregator::weighted_median(
+        channel(sample, &VehicleReport::beta), weights);
+    obs.gamma = RobustAggregator::weighted_median(
+        channel(sample, &VehicleReport::gamma), weights);
+    obs.density = RobustAggregator::weighted_median(
+        channel(sample, &VehicleReport::density), weights);
+  } else {
+    obs.beta = aggregator_.aggregate(channel(sample, &VehicleReport::beta));
+    obs.gamma = aggregator_.aggregate(channel(sample, &VehicleReport::gamma));
+    obs.density =
+        aggregator_.aggregate(channel(sample, &VehicleReport::density));
+  }
   return obs;
 }
 
@@ -157,36 +208,92 @@ void ReportPipeline::observe_uploads(core::RegionId region,
     if (claims_[region][v] == 0) cohort.push_back(upload_mass[v]);
   }
   if (cohort.size() < options_.min_cohort) return;
-  if (RobustAggregator::median(cohort) <= 0.0) return;
+  if (RobustAggregator::median(cohort) <= 0.0) {
+    // Attack-majority cohort: when free-riders dominate the claim-0 group,
+    // its median upload is zero and the cohort baseline says nothing — the
+    // legacy EWMA path disarms here (a real blind spot the adaptive sweeps
+    // exploit). The trust layer falls back to the rest of the fleet as the
+    // data-availability witness: if the other claims' trusted median mass
+    // is positive, data existed this round, so a claim-0 vehicle promising
+    // everything and uploading nothing is still penalised.
+    if (!trust_.enabled()) return;
+    std::vector<double> rest;
+    for (std::size_t v = 0; v < upload_mass.size(); ++v) {
+      if (excluded(region, v)) continue;
+      if (claims_[region][v] != 0) rest.push_back(upload_mass[v]);
+    }
+    if (rest.size() < options_.min_cohort) return;
+    if (RobustAggregator::median(rest) <= 0.0) return;
+  }
+  std::vector<std::size_t> zeros;
   for (std::size_t v = 0; v < upload_mass.size(); ++v) {
-    if (claims_[region][v] != 0) continue;
+    if (claims_[region][v] != 0) {
+      zero_streak_[region][v] = 0;
+      continue;
+    }
     if (upload_mass[v] <= 1e-12) {
       reputation_.observe(region, v,
                           options_.behavior_weight * kZeroUploadPenalty);
+      // The trust ratchet never forgets, so it must not ingest honest
+      // noise: an empty collection legitimately uploads nothing even under
+      // a share-everything claim. Honest empties are i.i.d. (streaks of 1
+      // at rate p, of 2 at p^2); free-riding bursts hit zero on
+      // consecutive rounds. Only the second-and-later rounds of a streak
+      // are trust evidence. The EWMA keeps scoring every zero round — its
+      // decay is the forgiveness the posterior lacks.
+      ++zero_streak_[region][v];
+      if (trust_.enabled() && zero_streak_[region][v] >= 2) {
+        trust_.flag(region, v, kZeroUploadPenalty);
+        zeros.push_back(v);
+      }
+    } else {
+      zero_streak_[region][v] = 0;
+    }
+  }
+  // Simultaneous zero-upload groups are the behavioural collusion
+  // fingerprint: a rotation cohort whose active shift free-rides in
+  // lockstep paces each member below the EWMA threshold, but the shift's
+  // members all hit zero on the same rounds — correlated evidence the
+  // trust ratchet converts to distrust within a few shifts.
+  if (zeros.size() >= 2) {
+    for (const std::size_t v : zeros) {
+      trust_.flag_collusion(region, v, static_cast<double>(zeros.size()));
     }
   }
 }
 
 void ReportPipeline::end_round(std::size_t round) {
   reputation_.end_round(round);
+  trust_.end_round();
 }
 
 void ReportPipeline::save_state(Serializer& s) const {
   reputation_.save_state(s);
+  trust_.save_state(s);
   s.put_u64(claims_.size());
   for (const std::vector<core::DecisionId>& region : claims_) {
+    put_u32_vec(s, region);
+  }
+  for (const std::vector<std::uint32_t>& region : zero_streak_) {
     put_u32_vec(s, region);
   }
 }
 
 void ReportPipeline::load_state(Deserializer& d) {
   reputation_.load_state(d);
+  trust_.load_state(d);
   Deserializer::check(d.get_u64() == claims_.size(),
                       "ReportPipeline region count mismatch");
   for (std::vector<core::DecisionId>& region : claims_) {
     std::vector<core::DecisionId> row = get_u32_vec(d);
     Deserializer::check(row.size() == region.size(),
                         "ReportPipeline claims row size mismatch");
+    region = std::move(row);
+  }
+  for (std::vector<std::uint32_t>& region : zero_streak_) {
+    std::vector<std::uint32_t> row = get_u32_vec(d);
+    Deserializer::check(row.size() == region.size(),
+                        "ReportPipeline zero-streak row size mismatch");
     region = std::move(row);
   }
 }

@@ -45,6 +45,7 @@
 #include "byzantine/report.h"
 #include "byzantine/reputation.h"
 #include "byzantine/robust_aggregator.h"
+#include "byzantine/trust.h"
 #include "core/fds.h"
 #include "core/game.h"
 
@@ -53,6 +54,12 @@ namespace avcp::byzantine {
 struct PipelineOptions {
   RobustOptions aggregator;
   ReputationParams reputation;
+  /// Beta-prior trust layer (trust.h): ratcheting posteriors that survive
+  /// adaptive build-then-defect pacing, collusion scoring over correlated
+  /// residuals and simultaneous zero-upload groups, and trust-weighted
+  /// telemetry medians. Disabled by default — the pipeline is then
+  /// bit-identical to the pre-trust path.
+  TrustParams trust;
   /// Exclude quarantined vehicles' reports from the aggregates (the plant
   /// additionally revokes their lattice access). Off = observe-only
   /// reputation: scores and events accrue but nothing is filtered.
@@ -86,6 +93,8 @@ struct RegionObservation {
   std::size_t outliers_rejected = 0;
   /// Vehicles currently quarantined in the region.
   std::size_t quarantined = 0;
+  /// Vehicles currently distrusted by the trust layer (0 when disabled).
+  std::size_t distrusted = 0;
 };
 
 class ReportPipeline {
@@ -114,11 +123,13 @@ class ReportPipeline {
   void end_round(std::size_t round);
 
   /// True if the vehicle's report and lattice access should be excluded
-  /// this round (quarantined and enforcement on).
+  /// this round (quarantined with enforcement on, or distrusted by the
+  /// trust layer).
   bool excluded(core::RegionId region, std::size_t vehicle) const;
 
   const ReputationTracker& reputation() const noexcept { return reputation_; }
   ReputationTracker& reputation() noexcept { return reputation_; }
+  const TrustTracker& trust() const noexcept { return trust_; }
   const RobustAggregator& aggregator() const noexcept { return aggregator_; }
 
   /// Checkpoint hooks: the reputation layer plus the per-round claims
@@ -131,11 +142,20 @@ class ReportPipeline {
   PipelineOptions options_;
   RobustAggregator aggregator_;
   ReputationTracker reputation_;
+  TrustTracker trust_;
   std::size_t num_decisions_;
   std::size_t vehicles_per_region_;
   /// claims_[region][vehicle]: this round's claimed decision (S1), for the
   /// behavioural cohort grouping in observe_uploads.
   std::vector<std::vector<core::DecisionId>> claims_;
+  /// zero_streak_[region][vehicle]: consecutive audited rounds the vehicle
+  /// claimed share-everything yet uploaded nothing. The trust ratchet only
+  /// ingests zero-upload evidence from the second consecutive round on —
+  /// an honest vehicle's empty-collection rounds are i.i.d. rare events
+  /// (streak 1), while a defect burst free-rides on consecutive rounds, so
+  /// the streak gate keeps honest noise out of a posterior that never
+  /// forgets. The EWMA channel stays ungated: its decay is the forgiveness.
+  std::vector<std::vector<std::uint32_t>> zero_streak_;
 };
 
 /// Desired-field input from telemetry: every region's share-everything

@@ -7,17 +7,36 @@
 
 namespace avcp::byzantine {
 
+namespace {
+
+/// A decayed EWMA below this is indistinguishable from clean: it is snapped
+/// to exactly 0 so a rehab_threshold of 0.0 ("release only a fully clean
+/// score") is reachable in finitely many rounds instead of waiting for the
+/// geometric decay to underflow. Far below every threshold any consumer
+/// compares against, so trajectories of realistic configurations are
+/// unaffected.
+constexpr double kCleanSnap = 1e-12;
+
+}  // namespace
+
+void ReputationParams::validate() const {
+  AVCP_EXPECT(decay >= 0.0 && decay < 1.0);
+  AVCP_EXPECT(quarantine_threshold > 0.0);
+  AVCP_EXPECT(rehab_threshold >= 0.0 &&
+              rehab_threshold < quarantine_threshold);
+  AVCP_EXPECT(rehab_rounds >= 1);
+  AVCP_EXPECT(min_rounds >= 1);
+  AVCP_EXPECT(score_cap > 0.0);
+  AVCP_EXPECT(decay_floor >= 0.0 && decay_floor < quarantine_threshold);
+}
+
 ReputationTracker::ReputationTracker(std::size_t num_regions,
                                      std::size_t vehicles_per_region,
                                      ReputationParams params)
     : params_(params), vehicles_per_region_(vehicles_per_region) {
   AVCP_EXPECT(num_regions >= 1);
   AVCP_EXPECT(vehicles_per_region >= 1);
-  AVCP_EXPECT(params_.decay >= 0.0 && params_.decay < 1.0);
-  AVCP_EXPECT(params_.quarantine_threshold > 0.0);
-  AVCP_EXPECT(params_.rehab_threshold >= 0.0 &&
-              params_.rehab_threshold < params_.quarantine_threshold);
-  AVCP_EXPECT(params_.score_cap > 0.0);
+  params_.validate();
   cells_.assign(num_regions, std::vector<Cell>(vehicles_per_region));
 }
 
@@ -48,16 +67,28 @@ void ReputationTracker::end_round(std::size_t round) {
       const double raw = std::min(c.pending, params_.score_cap);
       c.pending = 0.0;
       c.smoothed = params_.decay * c.smoothed + (1.0 - params_.decay) * raw;
+      if (c.smoothed < kCleanSnap) c.smoothed = 0.0;
+      if (c.ever_quarantined && c.smoothed < params_.decay_floor) {
+        c.smoothed = params_.decay_floor;
+      }
       if (!c.quarantined) {
         if (rounds_ + 1 >= params_.min_rounds &&
             c.smoothed > params_.quarantine_threshold) {
           c.quarantined = true;
+          c.ever_quarantined = true;
           c.clean_streak = 0;
           events_.push_back({round, i, v, true});
         }
         continue;
       }
-      if (c.smoothed < params_.rehab_threshold) {
+      // Closed boundary: a score sitting exactly AT the rehab threshold
+      // counts as clean. The open comparison made rehab_threshold == 0.0 (a
+      // "release only a fully clean score" policy) unreachable — a vehicle
+      // quarantined on the exact final round of an attack window decayed
+      // geometrically toward 0 but never strictly below it, so it never
+      // re-entered the trusted scoring cohort. With the snap above and the
+      // closed test the release fires after the decay completes.
+      if (c.smoothed <= params_.rehab_threshold) {
         if (++c.clean_streak >= params_.rehab_rounds) {
           c.quarantined = false;
           c.clean_streak = 0;
@@ -108,6 +139,7 @@ void ReputationTracker::save_state(Serializer& s) const {
       s.put_f64(c.pending);
       s.put_u64(c.clean_streak);
       s.put_bool(c.quarantined);
+      s.put_bool(c.ever_quarantined);
     }
   }
   s.put_u64(events_.size());
@@ -131,6 +163,7 @@ void ReputationTracker::load_state(Deserializer& d) {
       c.pending = d.get_f64();
       c.clean_streak = static_cast<std::size_t>(d.get_u64());
       c.quarantined = d.get_bool();
+      c.ever_quarantined = d.get_bool();
     }
   }
   const std::uint64_t num_events = d.get_u64();

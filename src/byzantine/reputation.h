@@ -9,7 +9,7 @@
 //
 //     TRUSTED --[smoothed > quarantine_threshold,
 //                after >= min_rounds observations]--> QUARANTINED
-//     QUARANTINED --[smoothed < rehab_threshold for
+//     QUARANTINED --[smoothed <= rehab_threshold for
 //                    rehab_rounds consecutive rounds]--> TRUSTED
 //
 // Quarantined vehicles keep being scored (their residuals are still
@@ -30,7 +30,7 @@ struct ReputationParams {
   /// EWMA decay: smoothed <- decay * smoothed + (1 - decay) * round_score.
   double decay = 0.8;
   double quarantine_threshold = 2.0;
-  /// Smoothed score a quarantined vehicle must stay below to count a
+  /// Smoothed score a quarantined vehicle must stay at or below to count a
   /// round toward rehabilitation.
   double rehab_threshold = 0.5;
   /// Consecutive clean rounds before a quarantined vehicle is released.
@@ -41,6 +41,19 @@ struct ReputationParams {
   /// Per-round clip on the raw score; keeps one astronomical telemetry
   /// residual from dominating the EWMA forever.
   double score_cap = 6.0;
+  /// Permanent-suspicion floor for repeat offenders: once a vehicle has
+  /// been quarantined, its smoothed score never decays below this value.
+  /// A released offender therefore re-enters quarantine faster than a
+  /// first-time one — the counter to build-then-defect cycling, which
+  /// relies on the EWMA forgetting each burst completely. 0 (default)
+  /// disables the floor and keeps pre-existing trajectories bit-identical.
+  double decay_floor = 0.0;
+
+  /// Range-checks every field (same contract style as faults::FaultParams):
+  /// decay in [0, 1), thresholds ordered, counters >= 1, cap and floor
+  /// positive and consistent. Called by every consumer's constructor;
+  /// violations raise ContractViolation.
+  void validate() const;
 };
 
 /// A quarantine transition (quarantined == false is a release).
@@ -92,6 +105,9 @@ class ReputationTracker {
     double pending = 0.0;
     std::size_t clean_streak = 0;
     bool quarantined = false;
+    /// The vehicle has been quarantined at least once (drives the
+    /// decay_floor permanent-suspicion semantics).
+    bool ever_quarantined = false;
   };
 
   Cell& cell(core::RegionId region, std::size_t vehicle);

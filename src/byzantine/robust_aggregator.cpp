@@ -24,6 +24,33 @@ double RobustAggregator::median(std::vector<double> values) {
   return 0.5 * (lower + upper);
 }
 
+double RobustAggregator::weighted_median(std::span<const double> values,
+                                         std::span<const double> weights) {
+  AVCP_EXPECT(values.size() == weights.size());
+  if (values.empty()) return 0.0;
+  double total = 0.0;
+  for (const double w : weights) {
+    AVCP_EXPECT(w >= 0.0);
+    total += w;
+  }
+  if (total <= 0.0) {
+    return median(std::vector<double>(values.begin(), values.end()));
+  }
+  std::vector<std::size_t> order(values.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (values[a] != values[b]) return values[a] < values[b];
+    return a < b;  // stable tie-break: index order, independent of layout
+  });
+  const double half = 0.5 * total;
+  double cumulative = 0.0;
+  for (const std::size_t i : order) {
+    cumulative += weights[i];
+    if (cumulative >= half) return values[i];
+  }
+  return values[order.back()];
+}
+
 double RobustAggregator::mad(std::span<const double> values, double center) {
   if (values.empty()) return 0.0;
   std::vector<double> deviations(values.size());

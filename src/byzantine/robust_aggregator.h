@@ -81,6 +81,16 @@ class RobustAggregator {
   /// Median by value (sorts its copy); 0 for an empty sample.
   static double median(std::vector<double> values);
 
+  /// Trust-weighted median: the smallest value whose cumulative weight
+  /// reaches half the total (weights must be non-negative and pairwise
+  /// aligned with values). Degenerates to the unweighted median when all
+  /// weights are equal or the total weight is zero; 0 for an empty
+  /// sample. This is how the Beta-prior trust posterior (trust.h) feeds
+  /// the telemetry aggregation: partially-trusted vehicles lose influence
+  /// continuously instead of only at the exclusion cliff.
+  static double weighted_median(std::span<const double> values,
+                                std::span<const double> weights);
+
   /// Median absolute deviation around `center`; 0 for an empty sample.
   static double mad(std::span<const double> values, double center);
 

@@ -1,0 +1,139 @@
+#include "byzantine/trust.h"
+
+#include <algorithm>
+
+#include "common/contracts.h"
+#include "common/serial.h"
+
+namespace avcp::byzantine {
+
+void TrustParams::validate() const {
+  AVCP_EXPECT(prior_good > 0.0);
+  AVCP_EXPECT(prior_bad > 0.0);
+  AVCP_EXPECT(clean_gain >= 0.0);
+  AVCP_EXPECT(good_cap >= prior_good);
+  AVCP_EXPECT(flag_gain >= 0.0);
+  AVCP_EXPECT(collusion_gain >= 0.0);
+  AVCP_EXPECT(flag_cap > 0.0);
+  AVCP_EXPECT(trust_floor >= 0.0 && trust_floor < 1.0);
+}
+
+TrustTracker::TrustTracker(std::size_t num_regions,
+                           std::size_t vehicles_per_region, TrustParams params)
+    : params_(params), vehicles_per_region_(vehicles_per_region) {
+  AVCP_EXPECT(num_regions >= 1);
+  AVCP_EXPECT(vehicles_per_region >= 1);
+  params_.validate();
+  Cell fresh;
+  fresh.good = params_.prior_good;
+  fresh.bad = params_.prior_bad;
+  cells_.assign(num_regions, std::vector<Cell>(vehicles_per_region, fresh));
+}
+
+TrustTracker::Cell& TrustTracker::cell(core::RegionId region,
+                                       std::size_t vehicle) {
+  AVCP_EXPECT(region < cells_.size());
+  AVCP_EXPECT(vehicle < vehicles_per_region_);
+  return cells_[region][vehicle];
+}
+
+const TrustTracker::Cell& TrustTracker::cell(core::RegionId region,
+                                             std::size_t vehicle) const {
+  AVCP_EXPECT(region < cells_.size());
+  AVCP_EXPECT(vehicle < vehicles_per_region_);
+  return cells_[region][vehicle];
+}
+
+void TrustTracker::flag(core::RegionId region, std::size_t vehicle,
+                        double score) {
+  if (!params_.enabled) return;
+  AVCP_EXPECT(score >= 0.0);
+  cell(region, vehicle).pending += score;
+}
+
+void TrustTracker::flag_collusion(core::RegionId region, std::size_t vehicle,
+                                  double score) {
+  if (!params_.enabled) return;
+  AVCP_EXPECT(score >= 0.0);
+  cell(region, vehicle).pending_collusion += score;
+}
+
+void TrustTracker::end_round() {
+  if (!params_.enabled) return;
+  for (std::vector<Cell>& region : cells_) {
+    for (Cell& c : region) {
+      const bool clean = c.pending <= 0.0 && c.pending_collusion <= 0.0;
+      if (clean) {
+        c.good = std::min(c.good + params_.clean_gain, params_.good_cap);
+      } else {
+        c.bad += params_.flag_gain * std::min(c.pending, params_.flag_cap) +
+                 params_.collusion_gain *
+                     std::min(c.pending_collusion, params_.flag_cap);
+      }
+      c.pending = 0.0;
+      c.pending_collusion = 0.0;
+    }
+  }
+  ++rounds_;
+}
+
+double TrustTracker::trust(core::RegionId region, std::size_t vehicle) const {
+  const Cell& c = cell(region, vehicle);
+  return c.good / (c.good + c.bad);
+}
+
+bool TrustTracker::distrusted(core::RegionId region,
+                              std::size_t vehicle) const {
+  if (!params_.enabled) return false;
+  return trust(region, vehicle) < params_.trust_floor;
+}
+
+std::size_t TrustTracker::distrusted_in(core::RegionId region) const {
+  AVCP_EXPECT(region < cells_.size());
+  if (!params_.enabled) return 0;
+  std::size_t count = 0;
+  for (std::size_t v = 0; v < cells_[region].size(); ++v) {
+    if (distrusted(region, v)) ++count;
+  }
+  return count;
+}
+
+std::size_t TrustTracker::total_distrusted() const {
+  std::size_t count = 0;
+  for (core::RegionId i = 0; i < cells_.size(); ++i) {
+    count += distrusted_in(i);
+  }
+  return count;
+}
+
+void TrustTracker::save_state(Serializer& s) const {
+  s.put_u64(cells_.size());
+  s.put_u64(vehicles_per_region_);
+  s.put_u64(rounds_);
+  for (const std::vector<Cell>& region : cells_) {
+    for (const Cell& c : region) {
+      s.put_f64(c.good);
+      s.put_f64(c.bad);
+      s.put_f64(c.pending);
+      s.put_f64(c.pending_collusion);
+    }
+  }
+}
+
+void TrustTracker::load_state(Deserializer& d) {
+  Deserializer::check(d.get_u64() == cells_.size(),
+                      "TrustTracker region count mismatch");
+  Deserializer::check(d.get_u64() == vehicles_per_region_,
+                      "TrustTracker fleet size mismatch");
+  rounds_ = static_cast<std::size_t>(d.get_u64());
+  for (std::vector<Cell>& region : cells_) {
+    for (Cell& c : region) {
+      c.good = d.get_f64();
+      c.bad = d.get_f64();
+      c.pending = d.get_f64();
+      c.pending_collusion = d.get_f64();
+    }
+  }
+}
+
+}  // namespace avcp::byzantine

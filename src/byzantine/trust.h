@@ -1,0 +1,126 @@
+// Beta-prior trust state — the ratcheting counterpart of the EWMA
+// reputation layer.
+//
+// ReputationTracker's exponential decay is exactly what an *adaptive*
+// adversary exploits: behave for a few rounds and the EWMA forgets the
+// last burst completely, so build-then-defect cycles and rotating
+// collusion cohorts keep every individual score below the quarantine
+// threshold forever (see adaptive_adversary.h). TrustTracker answers with
+// a Beta(good, bad) posterior per vehicle:
+//
+//   - a clean round adds clean_gain to `good`, saturating at good_cap —
+//     an attacker cannot bank unbounded goodwill during a build phase;
+//   - a flagged round adds flag_gain * score to `bad` (score capped at
+//     flag_cap) and `bad` NEVER decays — every defect burst ratchets the
+//     posterior toward distrust, no matter how long the attacker
+//     rebuilds in between;
+//   - correlated misbehaviour (identical falsified tuples, simultaneous
+//     zero-upload groups) is flagged through a separate collusion channel
+//     weighted by collusion_gain, so a rotation cohort that paces each
+//     member below the EWMA threshold still converges to distrust in a
+//     handful of shifts.
+//
+// A vehicle whose posterior mean good / (good + bad) falls below
+// trust_floor is distrusted: the report pipeline excludes its reports and
+// the plant revokes its lattice access, permanently once bad exceeds
+// good_cap. The posterior mean also feeds RobustAggregator's weighted
+// median so partially-trusted vehicles lose influence before they lose
+// membership.
+//
+// Concurrency contract: flag()/flag_collusion() touch only the cell of
+// their (region, vehicle) argument, so calls for distinct regions may run
+// concurrently (the pipeline's per-region fan-out); end_round() folds
+// every cell and must be serialized by the caller.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/game.h"
+
+namespace avcp::byzantine {
+
+struct TrustParams {
+  /// Master switch. Disabled (default) leaves every consumer bit-identical
+  /// to the pre-trust pipeline: nothing is flagged, nothing is excluded,
+  /// telemetry aggregation keeps its unweighted path.
+  bool enabled = false;
+  /// Beta prior pseudo-counts: a fresh vehicle starts at
+  /// Beta(prior_good, prior_bad), mean prior_good/(prior_good+prior_bad).
+  double prior_good = 8.0;
+  double prior_bad = 1.0;
+  /// Added to `good` on a round with no flags, up to good_cap.
+  double clean_gain = 1.0;
+  /// Saturation on `good` — bounds how much goodwill a build phase banks.
+  double good_cap = 40.0;
+  /// Multiplier on the (capped) per-round flagged score into `bad`.
+  double flag_gain = 1.0;
+  /// Multiplier on the (capped) per-round collusion score into `bad`.
+  double collusion_gain = 2.0;
+  /// Per-round cap on each raw pending channel before the gains apply.
+  double flag_cap = 6.0;
+  /// Posterior mean below this distrusts the vehicle.
+  double trust_floor = 0.5;
+
+  /// Range-checks every field (FaultParams pattern): pseudo-counts and
+  /// gains positive, floor a proper probability. ContractViolation on
+  /// failure; called by TrustTracker's constructor.
+  void validate() const;
+};
+
+class TrustTracker {
+ public:
+  TrustTracker(std::size_t num_regions, std::size_t vehicles_per_region,
+               TrustParams params = {});
+
+  const TrustParams& params() const noexcept { return params_; }
+  bool enabled() const noexcept { return params_.enabled; }
+
+  /// Accumulates individual bad evidence for this round (MAD residual past
+  /// the rejection threshold, zero-upload penalty). No-op when disabled.
+  void flag(core::RegionId region, std::size_t vehicle, double score);
+
+  /// Accumulates correlated bad evidence (the vehicle misbehaved in
+  /// lockstep with others this round). No-op when disabled.
+  void flag_collusion(core::RegionId region, std::size_t vehicle,
+                      double score);
+
+  /// Folds the round's pending evidence into every posterior: flagged
+  /// rounds ratchet `bad`, clean rounds grow `good` toward the cap.
+  void end_round();
+
+  /// Posterior mean good / (good + bad).
+  double trust(core::RegionId region, std::size_t vehicle) const;
+
+  /// trust() < trust_floor (always false when disabled).
+  bool distrusted(core::RegionId region, std::size_t vehicle) const;
+
+  std::size_t distrusted_in(core::RegionId region) const;
+  std::size_t total_distrusted() const;
+
+  /// Rounds folded in so far (== end_round calls).
+  std::size_t rounds() const noexcept { return rounds_; }
+
+  /// Checkpoint hooks: every cell's posterior and pending channels plus
+  /// the round counter. load_state rejects a mismatched fleet shape.
+  void save_state(Serializer& s) const;
+  void load_state(Deserializer& d);
+
+ private:
+  struct Cell {
+    double good = 0.0;
+    double bad = 0.0;
+    double pending = 0.0;
+    double pending_collusion = 0.0;
+  };
+
+  Cell& cell(core::RegionId region, std::size_t vehicle);
+  const Cell& cell(core::RegionId region, std::size_t vehicle) const;
+
+  TrustParams params_;
+  std::size_t vehicles_per_region_;
+  std::size_t rounds_ = 0;
+  std::vector<std::vector<Cell>> cells_;
+};
+
+}  // namespace avcp::byzantine

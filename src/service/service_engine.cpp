@@ -20,6 +20,7 @@ constexpr std::uint64_t kInitStream = 0xA1;
 constexpr std::uint64_t kStepStream = 0xA2;
 constexpr std::uint64_t kJoinDecisionStream = 0xB1;
 constexpr std::uint64_t kAttackerStream = 0xB2;
+constexpr std::uint64_t kExploitStream = 0xB3;
 
 inline bool valid_rate(double r) noexcept { return r >= 0.0 && r <= 1.0; }
 
@@ -47,12 +48,9 @@ void ServiceParams::validate() const {
   AVCP_EXPECT(degraded.max_step > 0.0 && degraded.max_step <= 1.0);
   AVCP_EXPECT(valid_rate(degraded.decay_target));
   AVCP_EXPECT(degraded.decay_step >= 0.0);
-  AVCP_EXPECT(reputation.decay >= 0.0 && reputation.decay < 1.0);
-  AVCP_EXPECT(reputation.quarantine_threshold > 0.0);
-  AVCP_EXPECT(reputation.rehab_threshold >= 0.0 &&
-              reputation.rehab_threshold <= reputation.quarantine_threshold);
-  AVCP_EXPECT(reputation.rehab_rounds >= 1);
-  AVCP_EXPECT(reputation.score_cap > 0.0);
+  reputation.validate();
+  AVCP_EXPECT(!churn_exploit || mode == Mode::kFleet);
+  AVCP_EXPECT(exploit_patience >= 1);
   AVCP_EXPECT(std::isfinite(congestion_alpha) && congestion_alpha >= 0.0);
   // The budget bounds how long maintenance may be shed; an unbounded
   // budget would let an adversarial churn pattern starve re-clustering
@@ -71,6 +69,7 @@ void ServiceCounters::save_state(Serializer& s) const {
   s.put_u64(outage_region_epochs);
   s.put_u64(quarantines);
   s.put_u64(releases);
+  s.put_u64(exploit_rejoins);
 }
 
 void ServiceCounters::load_state(Deserializer& d) {
@@ -84,6 +83,7 @@ void ServiceCounters::load_state(Deserializer& d) {
   outage_region_epochs = d.get_u64();
   quarantines = d.get_u64();
   releases = d.get_u64();
+  exploit_rejoins = d.get_u64();
 }
 
 ServiceEngine::ServiceEngine(const core::MultiRegionGame& game,
@@ -116,9 +116,13 @@ ServiceEngine::ServiceEngine(const core::MultiRegionGame& game,
   down_.assign(game_.num_regions(), 0);
 }
 
-bool ServiceEngine::designated_attacker(std::uint64_t id) const noexcept {
+bool ServiceEngine::designated_attacker(std::uint64_t identity) const noexcept {
+  // Keyed on the stable identity, not the current id: a churn-exploit
+  // rejoin mints a fresh id but the vehicle stays the attacker it was.
+  // identity == id for every first join, so pre-exploit trajectories are
+  // bit-identical to the id-keyed designation.
   if (params_.attacker_fraction <= 0.0) return false;
-  Rng rng(derive_seed(params_.seed, {kAttackerStream, id}));
+  Rng rng(derive_seed(params_.seed, {kAttackerStream, identity}));
   return rng.uniform() < params_.attacker_fraction;
 }
 
@@ -151,11 +155,12 @@ void ServiceEngine::init(const core::GameState& initial,
     for (std::size_t j = 0; j < params_.vehicles_per_region; ++j) {
       VehicleRecord rec;
       rec.id = next_id_++;
+      rec.identity = rec.id;
       rec.segment = segs[j % segs.size()];
       rec.region = r;
       rec.decision =
           static_cast<core::DecisionId>(rng.weighted_index(initial.p[r]));
-      rec.attacker = designated_attacker(rec.id);
+      rec.attacker = designated_attacker(rec.identity);
       fleet_.push_back(rec);
     }
   }
@@ -201,6 +206,7 @@ void ServiceEngine::apply_churn(std::size_t e, std::size_t& events) {
   for (std::size_t slot = 0; slot < joining; ++slot) {
     VehicleRecord rec;
     rec.id = next_id_++;
+    rec.identity = rec.id;
     rec.segment = events_.join_segment(e, slot, num_segments);
     rec.region = clustering_->clustering().region_of[rec.segment];
     // A joiner adopts a decision drawn from its region's latest truth —
@@ -208,7 +214,7 @@ void ServiceEngine::apply_churn(std::size_t e, std::size_t& events) {
     Rng rng(derive_seed(params_.seed, {kJoinDecisionStream, e, rec.id}));
     rec.decision =
         static_cast<core::DecisionId>(rng.weighted_index(state_.p[rec.region]));
-    rec.attacker = designated_attacker(rec.id);
+    rec.attacker = designated_attacker(rec.identity);
     ++pending_[rec.segment];
     fleet_.push_back(rec);  // ids are monotone: order stays sorted
   }
@@ -358,15 +364,23 @@ void ServiceEngine::score_reputation(std::size_t e) {
       const double score =
           std::min(std::max(expected - actual, 0.0), rp.score_cap);
       rec.smoothed = rp.decay * rec.smoothed + (1.0 - rp.decay) * score;
+      // Snap a fully-decayed EWMA to exactly zero so rehab_threshold == 0.0
+      // is reachable under the closed-boundary release below (mirrors
+      // byzantine::ReputationTracker).
+      if (rec.smoothed < 1e-12) rec.smoothed = 0.0;
+      if (rec.ever_quarantined && rec.smoothed < rp.decay_floor) {
+        rec.smoothed = rp.decay_floor;
+      }
       ++rec.observed_epochs;
       if (!rec.quarantined) {
         if (rec.observed_epochs >= rp.min_rounds &&
             rec.smoothed > rp.quarantine_threshold) {
           rec.quarantined = true;
+          rec.ever_quarantined = true;
           rec.clean_streak = 0;
           ++counters_.quarantines;
         }
-      } else if (rec.smoothed < rp.rehab_threshold) {
+      } else if (rec.smoothed <= rp.rehab_threshold) {
         if (++rec.clean_streak >= rp.rehab_rounds) {
           rec.quarantined = false;
           rec.clean_streak = 0;
@@ -375,8 +389,69 @@ void ServiceEngine::score_reputation(std::size_t e) {
       } else {
         rec.clean_streak = 0;
       }
+      rec.quarantined_streak = rec.quarantined ? rec.quarantined_streak + 1 : 0;
     }
   }
+}
+
+void ServiceEngine::apply_churn_exploit(std::size_t e) {
+  if (!params_.churn_exploit) return;
+  const std::size_t num_segments = graph_->num_segments();
+
+  // A quarantined attacker that has sat out its patience window leaves and
+  // immediately rejoins under a fresh id on a hash-derived segment. The
+  // record is rebuilt in place (fleet_ stays id-sorted via erase+append in
+  // old-id order), so the trajectory is identical at every thread count.
+  std::vector<std::size_t> exploiters;
+  for (std::size_t i = 0; i < fleet_.size(); ++i) {
+    const VehicleRecord& rec = fleet_[i];
+    if (rec.attacker && rec.quarantined &&
+        rec.quarantined_streak >= params_.exploit_patience) {
+      exploiters.push_back(i);
+    }
+  }
+  if (exploiters.empty()) return;
+
+  std::vector<VehicleRecord> reborn;
+  reborn.reserve(exploiters.size());
+  for (const std::size_t i : exploiters) {
+    VehicleRecord rec = fleet_[i];
+    --pending_[rec.segment];
+    rec.id = next_id_++;  // fresh id, stable identity
+    Rng rng(derive_seed(params_.seed, {kExploitStream, e, rec.identity}));
+    rec.segment = static_cast<roadnet::SegmentId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(num_segments) - 1));
+    rec.region = clustering_->clustering().region_of[rec.segment];
+    rec.attacker = designated_attacker(rec.identity);
+    if (!params_.carry_suspicion) {
+      // Per-id bookkeeping dies with the old id: the rejoin reopens the
+      // blind-start window and the attack works.
+      rec.smoothed = 0.0;
+      rec.clean_streak = 0;
+      rec.observed_epochs = 0;
+      rec.quarantined = false;
+      rec.quarantined_streak = 0;
+      rec.ever_quarantined = false;
+    }
+    ++pending_[rec.segment];
+    reborn.push_back(rec);
+    ++counters_.exploit_rejoins;
+    ++counters_.leaves;
+    ++counters_.joins;
+  }
+
+  // Drop the old records, then append the reborn ones: their fresh ids are
+  // monotone and larger than every surviving id, so fleet_ stays id-sorted.
+  std::size_t next = 0, write = 0;
+  for (std::size_t i = 0; i < fleet_.size(); ++i) {
+    if (next < exploiters.size() && i == exploiters[next]) {
+      ++next;
+      continue;
+    }
+    fleet_[write++] = std::move(fleet_[i]);
+  }
+  fleet_.resize(write);
+  for (VehicleRecord& rec : reborn) fleet_.push_back(std::move(rec));
 }
 
 void ServiceEngine::run_epoch() {
@@ -406,6 +481,7 @@ void ServiceEngine::run_epoch() {
   x_ = controller_->next_x(observed_, x_);
   revise(e);
   score_reputation(e);
+  apply_churn_exploit(e);
 
   ++epoch_;
   ++counters_.epochs;
@@ -424,6 +500,8 @@ void ServiceEngine::save_state(Serializer& s) const {
   s.put_u8(static_cast<std::uint8_t>(params_.mode));
   s.put_u64(game_.num_regions());
   s.put_u64(graph_ != nullptr ? graph_->num_segments() : 0);
+  s.put_bool(params_.churn_exploit);
+  s.put_bool(params_.carry_suspicion);
 
   s.put_u64(epoch_);
   s.put_u64(next_id_);
@@ -432,6 +510,7 @@ void ServiceEngine::save_state(Serializer& s) const {
   s.put_u64(fleet_.size());
   for (const VehicleRecord& rec : fleet_) {
     s.put_u64(rec.id);
+    s.put_u64(rec.identity);
     s.put_u32(rec.segment);
     s.put_u32(rec.region);
     s.put_u32(rec.decision);
@@ -440,6 +519,8 @@ void ServiceEngine::save_state(Serializer& s) const {
     s.put_f64(rec.smoothed);
     s.put_u64(rec.clean_streak);
     s.put_u64(rec.observed_epochs);
+    s.put_u64(rec.quarantined_streak);
+    s.put_bool(rec.ever_quarantined);
   }
 
   put_f64_vec(s, x_);
@@ -474,6 +555,10 @@ void ServiceEngine::load_state(Deserializer& d) {
   Deserializer::check(
       d.get_u64() == (graph_ != nullptr ? graph_->num_segments() : 0),
       "service snapshot: segment count mismatch");
+  Deserializer::check(d.get_bool() == params_.churn_exploit,
+                      "service snapshot: churn_exploit mismatch");
+  Deserializer::check(d.get_bool() == params_.carry_suspicion,
+                      "service snapshot: carry_suspicion mismatch");
 
   epoch_ = d.get_u64();
   next_id_ = d.get_u64();
@@ -491,6 +576,9 @@ void ServiceEngine::load_state(Deserializer& d) {
     Deserializer::check(rec.id < next_id_,
                         "service snapshot: vehicle id beyond id counter");
     prev_id = rec.id;
+    rec.identity = d.get_u64();
+    Deserializer::check(rec.identity <= rec.id,
+                        "service snapshot: identity newer than id");
     rec.segment = d.get_u32();
     Deserializer::check(
         graph_ == nullptr || rec.segment < graph_->num_segments(),
@@ -506,6 +594,8 @@ void ServiceEngine::load_state(Deserializer& d) {
     rec.smoothed = d.get_f64();
     rec.clean_streak = d.get_u64();
     rec.observed_epochs = d.get_u64();
+    rec.quarantined_streak = d.get_u64();
+    rec.ever_quarantined = d.get_bool();
     fleet.push_back(rec);
   }
 

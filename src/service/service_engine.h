@@ -75,9 +75,23 @@ struct ServiceParams {
   /// Worker lanes for per-region epoch work; bit-identical at every value.
   std::size_t num_threads = 1;
 
-  /// Fraction of vehicles (per pure id hash) that free-ride: claim the
-  /// share-everything decision, upload nothing, never revise.
+  /// Fraction of vehicles (per pure *identity* hash) that free-ride: claim
+  /// the share-everything decision, upload nothing, never revise.
   double attacker_fraction = 0.0;
+
+  /// Churn-exploit attack (kFleet only): a quarantined attacker that has
+  /// sat out exploit_patience consecutive quarantined epochs leaves and
+  /// immediately rejoins on a hash-derived segment under a FRESH vehicle
+  /// id — wiping its per-id reputation record and reopening the
+  /// blind-start window, unless the defense below is on.
+  bool churn_exploit = false;
+  std::size_t exploit_patience = 2;
+  /// Keyed-identity defense: VehicleRecord::identity is stable across the
+  /// exploit rejoin, and with this flag the reputation record (EWMA,
+  /// streaks, observation count, quarantine status) rides along with the
+  /// identity instead of resetting with the id — the rejoin buys the
+  /// attacker nothing.
+  bool carry_suspicion = false;
 
   ChurnParams churn;
   faults::DegradedOptions degraded;
@@ -102,6 +116,12 @@ struct ServiceParams {
 /// is a property of the vehicle, not of its current region slot.
 struct VehicleRecord {
   std::uint64_t id = 0;
+  /// Stable identity key: equals the id assigned at the vehicle's FIRST
+  /// join and survives a churn-exploit leave/rejoin that mints a fresh id.
+  /// Attacker designation and (with carry_suspicion) the reputation record
+  /// are keyed on it — identity, not id, is what the cloud holds to
+  /// account.
+  std::uint64_t identity = 0;
   roadnet::SegmentId segment = 0;
   core::RegionId region = 0;
   core::DecisionId decision = 0;
@@ -110,6 +130,10 @@ struct VehicleRecord {
   double smoothed = 0.0;           // reputation EWMA
   std::uint64_t clean_streak = 0;  // consecutive sub-rehab epochs
   std::uint64_t observed_epochs = 0;
+  /// Consecutive epochs spent quarantined (drives the exploit trigger).
+  std::uint64_t quarantined_streak = 0;
+  /// Quarantined at least once (drives ReputationParams::decay_floor).
+  bool ever_quarantined = false;
 
   friend bool operator==(const VehicleRecord&, const VehicleRecord&) = default;
 };
@@ -127,6 +151,8 @@ struct ServiceCounters {
   std::uint64_t outage_region_epochs = 0;
   std::uint64_t quarantines = 0;
   std::uint64_t releases = 0;
+  /// Churn-exploit leave/rejoin cycles executed by quarantined attackers.
+  std::uint64_t exploit_rejoins = 0;
 
   friend bool operator==(const ServiceCounters&,
                          const ServiceCounters&) = default;
@@ -185,8 +211,9 @@ class ServiceEngine {
   void load_state(Deserializer& d);
 
  private:
-  bool designated_attacker(std::uint64_t id) const noexcept;
+  bool designated_attacker(std::uint64_t identity) const noexcept;
   void apply_churn(std::size_t e, std::size_t& events);
+  void apply_churn_exploit(std::size_t e);
   void maintain_clustering(std::size_t e, std::size_t events);
   void reassign_regions();
   void rebuild_members();

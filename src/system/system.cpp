@@ -54,6 +54,15 @@ CooperativePerceptionSystem::CooperativePerceptionSystem(
 
 CooperativePerceptionSystem::CooperativePerceptionSystem(
     const core::MultiRegionGame& game, SystemParams params,
+    const faults::FaultModel* faults, byzantine::ReportPipeline* pipeline,
+    byzantine::AdaptiveAdversary* adaptive)
+    : CooperativePerceptionSystem(game, params, faults) {
+  adaptive_ = adaptive != nullptr && adaptive->active() ? adaptive : nullptr;
+  pipeline_ = pipeline;
+}
+
+CooperativePerceptionSystem::CooperativePerceptionSystem(
+    const core::MultiRegionGame& game, SystemParams params,
     const faults::FaultModel* faults)
     : game_(game),
       params_(params),
@@ -98,14 +107,15 @@ core::GameState CooperativePerceptionSystem::empirical_state() const {
 }
 
 core::GameState CooperativePerceptionSystem::honest_state() const {
-  if (adversary_ == nullptr) return empirical_state();
+  if (adversary_ == nullptr && adaptive_ == nullptr) return empirical_state();
   core::GameState state;
   state.p.assign(game_.num_regions(),
                  std::vector<double>(game_.num_decisions(), 0.0));
   for (core::RegionId i = 0; i < game_.num_regions(); ++i) {
     double honest = 0.0;
     for (std::size_t v = 0; v < decisions_[i].size(); ++v) {
-      if (adversary_->ever_attacks(i, v)) continue;
+      if (adversary_ != nullptr && adversary_->ever_attacks(i, v)) continue;
+      if (adaptive_ != nullptr && adaptive_->ever_attacks(i, v)) continue;
       state.p[i][decisions_[i][v]] += 1.0;
       honest += 1.0;
     }
@@ -144,9 +154,14 @@ perception::ItemSet CooperativePerceptionSystem::sample_items(
 RoundReport CooperativePerceptionSystem::run_round(
     core::Controller& controller) {
   const std::size_t num_regions = game_.num_regions();
-  const bool byz = adversary_ != nullptr || pipeline_ != nullptr;
+  const bool byz =
+      adversary_ != nullptr || adaptive_ != nullptr || pipeline_ != nullptr;
   RoundReport report;
   report.byzantine.active = byz;
+
+  // Freeze the adaptive adversary's per-round plan before any parallel
+  // stage: attacking() is then a const lookup for the whole round.
+  if (adaptive_ != nullptr) adaptive_->begin_round(round_);
 
   // --- S1: edge servers report, the cloud computes the ratios. -----------
   // claims[i][v]: the decision vehicle v *declares* this round (falsified
@@ -172,6 +187,11 @@ RoundReport CooperativePerceptionSystem::run_round(
           behavior[i][v] = adversary_->behavior_decision(
               round_, i, v, decisions_[i][v], game_.lattice());
           r = adversary_->falsify(round_, i, v, r);
+        }
+        if (adaptive_ != nullptr) {
+          behavior[i][v] = adaptive_->behavior_decision(
+              round_, i, v, behavior[i][v], game_.lattice());
+          r = adaptive_->falsify(round_, i, v, r);
         }
         claims[i][v] = r.decision;
         reports[i][v] = r;
@@ -476,6 +496,9 @@ RoundReport CooperativePerceptionSystem::run_round(
       if (adversary_ != nullptr && adversary_->attacking(round_, i, v)) {
         continue;
       }
+      if (adaptive_ != nullptr && adaptive_->attacking(round_, i, v)) {
+        continue;
+      }
       if (!rng.bernoulli(params_.revision_rate)) continue;
       auto peer = static_cast<std::size_t>(rng.uniform_int(
           0, static_cast<std::int64_t>(fleet.size()) - 2));
@@ -495,6 +518,32 @@ RoundReport CooperativePerceptionSystem::run_round(
     pipeline_->end_round(round_);
     report.byzantine.total_quarantined =
         pipeline_->reputation().total_quarantined();
+    report.byzantine.total_distrusted = pipeline_->trust().total_distrusted();
+  }
+  // Adaptive feedback: AFTER the defender's end_round, publish to each
+  // designated attacker exactly what a vehicle could see — its own EWMA
+  // score, whether it is excluded, and how many region mates are caught —
+  // then advance the policies. Serial, in (region, vehicle) order: the
+  // observation order is part of the determinism contract. Without a
+  // pipeline (the trusting baseline) nothing is published and the machines
+  // run open-loop on their own schedules.
+  if (adaptive_ != nullptr) {
+    if (pipeline_ != nullptr) {
+      for (core::RegionId i = 0; i < num_regions; ++i) {
+        const std::size_t caught = pipeline_->reputation().quarantined_in(i) +
+                                   pipeline_->trust().distrusted_in(i);
+        for (std::size_t v = 0; v < decisions_[i].size(); ++v) {
+          if (!adaptive_->is_attacker(i, v)) continue;
+          byzantine::AdversaryObservation obs;
+          obs.own_score = pipeline_->reputation().score(i, v);
+          obs.excluded = pipeline_->excluded(i, v);
+          obs.region_quarantined = caught;
+          adaptive_->observe(i, v, obs);
+        }
+      }
+    }
+    adaptive_->end_round(round_);
+    report.byzantine.adaptive_dormant = adaptive_->total_dormant();
   }
   ++round_;
 
@@ -527,6 +576,7 @@ void CooperativePerceptionSystem::save_state(Serializer& s) const {
   s.put_u64(params_.seed);
   s.put_u8(static_cast<std::uint8_t>(params_.data_plane_mode));
   s.put_bool(pipeline_ != nullptr);
+  s.put_bool(adaptive_ != nullptr);
 
   s.put_u64(round_);
   fault_counters_.save_state(s);
@@ -542,6 +592,7 @@ void CooperativePerceptionSystem::save_state(Serializer& s) const {
     plane.save_state(s);
   }
   if (pipeline_ != nullptr) pipeline_->save_state(s);
+  if (adaptive_ != nullptr) adaptive_->save_state(s);
 }
 
 void CooperativePerceptionSystem::load_state(Deserializer& d) {
@@ -558,6 +609,8 @@ void CooperativePerceptionSystem::load_state(Deserializer& d) {
       "System snapshot: data-plane mode mismatch");
   Deserializer::check(d.get_bool() == (pipeline_ != nullptr),
                       "System snapshot: report-pipeline wiring mismatch");
+  Deserializer::check(d.get_bool() == (adaptive_ != nullptr),
+                      "System snapshot: adaptive-adversary wiring mismatch");
 
   round_ = d.get_u64();
   fault_counters_.load_state(d);
@@ -586,6 +639,7 @@ void CooperativePerceptionSystem::load_state(Deserializer& d) {
     plane.load_state(d);
   }
   if (pipeline_ != nullptr) pipeline_->load_state(d);
+  if (adaptive_ != nullptr) adaptive_->load_state(d);
 }
 
 }  // namespace avcp::system

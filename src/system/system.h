@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "byzantine/adaptive_adversary.h"
 #include "byzantine/adversary_model.h"
 #include "byzantine/report_pipeline.h"
 #include "common/rng.h"
@@ -132,6 +133,10 @@ struct RoundReport {
     std::vector<std::size_t> quarantined;
     /// Fleet-wide quarantined count after this round's reputation update.
     std::size_t total_quarantined = 0;
+    /// Fleet-wide distrusted count (trust layer) after this round.
+    std::size_t total_distrusted = 0;
+    /// Adaptive attackers that have backed off for good after detection.
+    std::size_t adaptive_dormant = 0;
   } byzantine;
 };
 
@@ -173,6 +178,23 @@ class CooperativePerceptionSystem {
                               const faults::FaultModel* faults,
                               const byzantine::AdversaryModel* adversary,
                               byzantine::ReportPipeline* pipeline = nullptr);
+
+  /// Same, with a *closed-loop* adversary: `adaptive` (may be null; must
+  /// outlive the system) runs the reputation-aware per-vehicle policies of
+  /// adaptive_adversary.h. The system owns the feedback loop: it freezes
+  /// the adversary's plan before the parallel stages, and after the
+  /// pipeline's end_round it publishes each designated attacker's EWMA
+  /// score, exclusion verdict, and region exclusion count through the
+  /// AdversaryObservation channel, then advances the machines — so the
+  /// adversary only ever sees what the defender chooses to publish, in a
+  /// fixed serial order that keeps trajectories bit-identical at every
+  /// thread count. An inert adversary (params().any() == false) leaves the
+  /// round series bit-identical to the overload above.
+  CooperativePerceptionSystem(const core::MultiRegionGame& game,
+                              SystemParams params,
+                              const faults::FaultModel* faults,
+                              byzantine::ReportPipeline* pipeline,
+                              byzantine::AdaptiveAdversary* adaptive);
 
   std::size_t num_regions() const noexcept { return game_.num_regions(); }
 
@@ -235,6 +257,7 @@ class CooperativePerceptionSystem {
   SystemParams params_;
   const faults::FaultModel* faults_;
   const byzantine::AdversaryModel* adversary_ = nullptr;
+  byzantine::AdaptiveAdversary* adaptive_ = nullptr;
   byzantine::ReportPipeline* pipeline_ = nullptr;
   std::size_t round_ = 0;
   faults::FaultCounters fault_counters_;

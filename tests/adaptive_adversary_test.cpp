@@ -1,0 +1,317 @@
+// Unit tests for the closed-loop adversary layer: pure-hash designation,
+// the per-policy state machines driven through the defender-controlled
+// observation channel, frozen-plan semantics, and checkpoint round-trips.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "byzantine/adaptive_adversary.h"
+#include "common/contracts.h"
+#include "common/serial.h"
+#include "core/lattice.h"
+
+namespace avcp::byzantine {
+namespace {
+
+AdaptiveAdversaryParams one_vehicle_params(AdaptivePolicy policy) {
+  AdaptiveAdversaryParams params;
+  params.attacker_fraction = 1.0;  // the single vehicle is designated
+  params.policy = policy;
+  params.seed = 5;
+  return params;
+}
+
+/// Drives a 1x1 fleet one round: freeze the plan, read it, deliver the
+/// verdict the scripted defender computes from the plan, advance.
+bool step_one(AdaptiveAdversary& adv, std::size_t round,
+              const std::function<AdversaryObservation(bool attacking)>&
+                  defender) {
+  adv.begin_round(round);
+  const bool attacking = adv.attacking(round, 0, 0);
+  adv.observe(0, 0, defender(attacking));
+  adv.end_round(round);
+  return attacking;
+}
+
+TEST(AdaptiveAdversary, InertParamsNeverDesignateOrAttack) {
+  AdaptiveAdversary inert(3, 20, AdaptiveAdversaryParams{});
+  EXPECT_FALSE(inert.active());
+  inert.begin_round(0);
+  for (core::RegionId i = 0; i < 3; ++i) {
+    for (std::size_t v = 0; v < 20; ++v) {
+      EXPECT_FALSE(inert.is_attacker(i, v));
+      EXPECT_FALSE(inert.attacking(0, i, v));
+    }
+  }
+  inert.end_round(0);
+  EXPECT_EQ(inert.total_dormant(), 0u);
+}
+
+TEST(AdaptiveAdversary, ValidationRejectsBadKnobs) {
+  const auto reject = [](auto&& mutate) {
+    AdaptiveAdversaryParams params;
+    params.attacker_fraction = 0.2;
+    mutate(params);
+    EXPECT_THROW(params.validate(), ContractViolation);
+    EXPECT_THROW(AdaptiveAdversary(1, 4, params), ContractViolation);
+  };
+  reject([](auto& p) { p.attacker_fraction = 1.5; });
+  reject([](auto& p) { p.attacker_fraction = -0.1; });
+  reject([](auto& p) { p.build_rounds = 0; });
+  reject([](auto& p) { p.defect_rounds = 0; });
+  reject([](auto& p) { p.trust_target = -1.0; });
+  reject([](auto& p) { p.probe_lo = 0; });
+  reject([](auto& p) { p.probe_hi = 2, p.probe_lo = 3; });
+  reject([](auto& p) { p.probe_cooldown = 0; });
+  reject([](auto& p) { p.cohort_shifts = 0; });
+  reject([](auto& p) { p.shift_rounds = 0; });
+}
+
+TEST(AdaptiveAdversary, DesignationRespectsFractionAndIsPure) {
+  AdaptiveAdversaryParams params;
+  params.attacker_fraction = 0.3;
+  params.seed = 29;
+  AdaptiveAdversary a(4, 200, params);
+  AdaptiveAdversary b(4, 200, params);
+  std::size_t designated = 0;
+  for (core::RegionId i = 0; i < 4; ++i) {
+    for (std::size_t v = 0; v < 200; ++v) {
+      EXPECT_EQ(a.is_attacker(i, v), b.is_attacker(i, v));
+      designated += a.is_attacker(i, v) ? 1 : 0;
+    }
+  }
+  const double fraction = static_cast<double>(designated) / 800.0;
+  EXPECT_GT(fraction, 0.2);
+  EXPECT_LT(fraction, 0.4);
+}
+
+TEST(AdaptiveAdversary, BuildThenDefectPacesBurstsUnderTheGate) {
+  auto params = one_vehicle_params(AdaptivePolicy::kBuildThenDefect);
+  params.build_rounds = 3;
+  params.defect_rounds = 2;
+  params.trust_target = 0.5;
+  AdaptiveAdversary adv(1, 1, params);
+  ASSERT_TRUE(adv.is_attacker(0, 0));
+
+  // Benign feedback (score decayed, never excluded): the machine cycles
+  // build/defect on its own clock. No burst exceeds defect_rounds, bursts
+  // are separated by at least build_rounds clean rounds, and at least one
+  // burst lands.
+  std::size_t burst = 0, gap = 0, bursts_seen = 0;
+  bool prev = false;
+  for (std::size_t t = 0; t < 40; ++t) {
+    const bool attacking = step_one(adv, t, [](bool) {
+      return AdversaryObservation{0.0, false, 0};
+    });
+    if (attacking) {
+      if (!prev && t > 0) {
+        EXPECT_GE(gap, params.build_rounds) << "round " << t;
+      }
+      burst = prev ? burst + 1 : 1;
+      EXPECT_LE(burst, params.defect_rounds) << "round " << t;
+      if (!prev) ++bursts_seen;
+      gap = 0;
+    } else {
+      ++gap;
+    }
+    prev = attacking;
+  }
+  EXPECT_GE(bursts_seen, 4u);
+  EXPECT_EQ(adv.total_dormant(), 0u);
+}
+
+TEST(AdaptiveAdversary, BuildThenDefectWaitsOutAHighPublishedScore) {
+  // The reputation-aware gate: while the defender publishes a score above
+  // trust_target the attacker keeps rebuilding and never defects.
+  auto params = one_vehicle_params(AdaptivePolicy::kBuildThenDefect);
+  params.build_rounds = 2;
+  params.trust_target = 0.5;
+  AdaptiveAdversary adv(1, 1, params);
+  for (std::size_t t = 0; t < 30; ++t) {
+    const bool attacking = step_one(adv, t, [](bool) {
+      return AdversaryObservation{1.0, false, 0};
+    });
+    EXPECT_FALSE(attacking) << "round " << t;
+  }
+}
+
+TEST(AdaptiveAdversary, ThresholdProbeConvergesToLargestSafeDose) {
+  auto params = one_vehicle_params(AdaptivePolicy::kThresholdProbe);
+  params.probe_lo = 1;
+  params.probe_hi = 12;
+  params.probe_cooldown = 5;
+  AdaptiveAdversary adv(1, 1, params);
+
+  // Scripted defender: quarantine (and report exclusion) from the 4th
+  // consecutive defection onward, release as soon as the burst stops. The
+  // largest safe dose is therefore exactly 3.
+  std::size_t consecutive = 0;
+  std::vector<std::size_t> burst_lengths;
+  std::size_t burst = 0;
+  for (std::size_t t = 0; t < 200; ++t) {
+    const bool attacking = step_one(adv, t, [&](bool now) {
+      consecutive = now ? consecutive + 1 : 0;
+      return AdversaryObservation{0.0, consecutive >= 4, 0};
+    });
+    if (attacking) {
+      ++burst;
+    } else if (burst > 0) {
+      burst_lengths.push_back(burst);
+      burst = 0;
+    }
+  }
+  ASSERT_GE(burst_lengths.size(), 4u);
+  // The search has settled: every late burst repeats the safe dose.
+  for (std::size_t i = burst_lengths.size() - 3; i < burst_lengths.size();
+       ++i) {
+    EXPECT_EQ(burst_lengths[i], 3u) << "burst " << i;
+  }
+  EXPECT_EQ(adv.total_dormant(), 0u);
+}
+
+TEST(AdaptiveAdversary, ThresholdProbeGoesDormantWhenEveryDoseTrips) {
+  auto params = one_vehicle_params(AdaptivePolicy::kThresholdProbe);
+  params.probe_lo = 1;
+  params.probe_hi = 8;
+  params.probe_cooldown = 3;
+  AdaptiveAdversary adv(1, 1, params);
+
+  // A hair-trigger defender: one defection anywhere is excluded. Even the
+  // minimal dose trips, so the probe must back off for good.
+  std::size_t consecutive = 0;
+  for (std::size_t t = 0; t < 120; ++t) {
+    step_one(adv, t, [&](bool now) {
+      consecutive = now ? consecutive + 1 : 0;
+      return AdversaryObservation{0.0, consecutive >= 1, 0};
+    });
+  }
+  EXPECT_EQ(adv.total_dormant(), 1u);
+  adv.begin_round(120);
+  EXPECT_FALSE(adv.attacking(120, 0, 0));
+}
+
+TEST(AdaptiveAdversary, RegionCollusionRotatesShiftsAndCoversTheCohort) {
+  AdaptiveAdversaryParams params;
+  params.attacker_fraction = 1.0;
+  params.policy = AdaptivePolicy::kRegionCollusion;
+  params.cohort_shifts = 3;
+  params.shift_rounds = 2;
+  params.seed = 7;
+  const std::size_t fleet = 30;
+  AdaptiveAdversary adv(1, fleet, params);
+
+  // One full rotation = cohort_shifts * shift_rounds rounds. Each vehicle
+  // must defect in exactly one shift_rounds-long block of it, the active
+  // sets must tile the rotation period, and together cover the cohort.
+  std::vector<std::size_t> rounds_attacking(fleet, 0);
+  std::vector<std::vector<bool>> plan(6, std::vector<bool>(fleet));
+  for (std::size_t t = 0; t < 6; ++t) {
+    adv.begin_round(t);
+    for (std::size_t v = 0; v < fleet; ++v) {
+      plan[t][v] = adv.attacking(t, 0, v);
+      rounds_attacking[v] += plan[t][v] ? 1 : 0;
+    }
+    for (std::size_t v = 0; v < fleet; ++v) {
+      adv.observe(0, v, AdversaryObservation{0.0, false, 0});
+    }
+    adv.end_round(t);
+  }
+  for (std::size_t v = 0; v < fleet; ++v) {
+    EXPECT_EQ(rounds_attacking[v], params.shift_rounds) << "vehicle " << v;
+  }
+  // Shift blocks: both rounds of a block agree.
+  for (std::size_t block = 0; block < 3; ++block) {
+    EXPECT_EQ(plan[2 * block], plan[2 * block + 1]) << "block " << block;
+  }
+}
+
+TEST(AdaptiveAdversary, RegionCollusionAbortsOnACaughtRegionMate) {
+  AdaptiveAdversaryParams params;
+  params.attacker_fraction = 1.0;
+  params.policy = AdaptivePolicy::kRegionCollusion;
+  params.seed = 7;
+  const std::size_t fleet = 12;
+  AdaptiveAdversary adv(1, fleet, params);
+
+  // Round 0: the defender reports one quarantined region mate. The whole
+  // cohort reads the collective-detection signal and drops out for good.
+  adv.begin_round(0);
+  for (std::size_t v = 0; v < fleet; ++v) {
+    adv.observe(0, v, AdversaryObservation{0.0, false, 1});
+  }
+  adv.end_round(0);
+  EXPECT_EQ(adv.total_dormant(), fleet);
+  adv.begin_round(1);
+  for (std::size_t v = 0; v < fleet; ++v) {
+    EXPECT_FALSE(adv.attacking(1, 0, v));
+  }
+}
+
+TEST(AdaptiveAdversary, SaveLoadResumesBitIdentically) {
+  AdaptiveAdversaryParams params;
+  params.attacker_fraction = 0.5;
+  params.policy = AdaptivePolicy::kThresholdProbe;
+  params.probe_cooldown = 4;
+  params.seed = 23;
+  const std::size_t fleet = 16;
+
+  // A deterministic scripted defender shared by both runs: exclusion from
+  // the 3rd consecutive defection per vehicle.
+  const auto drive = [&](AdaptiveAdversary& adv, std::size_t from,
+                         std::size_t to, std::vector<std::size_t>& consec,
+                         std::vector<std::vector<bool>>* trace) {
+    for (std::size_t t = from; t < to; ++t) {
+      adv.begin_round(t);
+      if (trace != nullptr) {
+        trace->emplace_back();
+        for (std::size_t v = 0; v < fleet; ++v) {
+          trace->back().push_back(adv.attacking(t, 0, v));
+        }
+      }
+      for (std::size_t v = 0; v < fleet; ++v) {
+        if (!adv.is_attacker(0, v)) continue;
+        consec[v] = adv.attacking(t, 0, v) ? consec[v] + 1 : 0;
+        adv.observe(0, v, AdversaryObservation{0.0, consec[v] >= 3, 0});
+      }
+      adv.end_round(t);
+    }
+  };
+
+  AdaptiveAdversary straight(1, fleet, params);
+  std::vector<std::size_t> consec_a(fleet, 0);
+  drive(straight, 0, 12, consec_a, nullptr);
+  Serializer snapshot;
+  straight.save_state(snapshot);
+  const std::vector<std::size_t> consec_at_snapshot = consec_a;
+  std::vector<std::vector<bool>> tail_a;
+  drive(straight, 12, 24, consec_a, &tail_a);
+
+  AdaptiveAdversary resumed(1, fleet, params);
+  Deserializer d(snapshot.bytes());
+  resumed.load_state(d);
+  EXPECT_TRUE(d.exhausted());
+  EXPECT_EQ(resumed.rounds(), 12u);
+  std::vector<std::size_t> consec_b = consec_at_snapshot;
+  std::vector<std::vector<bool>> tail_b;
+  drive(resumed, 12, 24, consec_b, &tail_b);
+
+  EXPECT_EQ(tail_a, tail_b);
+  EXPECT_EQ(straight.total_dormant(), resumed.total_dormant());
+}
+
+TEST(AdaptiveAdversary, LoadRejectsMismatchedFleetShape) {
+  AdaptiveAdversaryParams params;
+  params.attacker_fraction = 0.5;
+  params.seed = 23;
+  AdaptiveAdversary small(1, 8, params);
+  Serializer snapshot;
+  small.save_state(snapshot);
+  AdaptiveAdversary wide(1, 9, params);
+  Deserializer d(snapshot.bytes());
+  EXPECT_THROW(wide.load_state(d), SerialError);
+}
+
+}  // namespace
+}  // namespace avcp::byzantine

@@ -375,6 +375,77 @@ TEST(ReputationTracker, ScoreCapBoundsOneRoundsInfluence) {
   EXPECT_DOUBLE_EQ(tracker.score(0, 0), 6.0);
 }
 
+TEST(ReputationTracker, ZeroRehabThresholdIsReachable) {
+  // Regression for the open-boundary release bug: with rehab_threshold 0.0
+  // ("release only a fully clean score") the geometric decay approached 0
+  // but the strict comparison never fired, so a falsely-flagged vehicle
+  // stayed quarantined forever. The clean snap plus the closed (<=) test
+  // make the release land in finitely many rounds.
+  ReputationParams params;
+  params.decay = 0.8;
+  params.quarantine_threshold = 2.0;
+  params.rehab_threshold = 0.0;
+  params.rehab_rounds = 2;
+  params.min_rounds = 1;
+  ReputationTracker tracker(1, 1, params);
+  for (std::size_t round = 0; round < 8; ++round) {
+    tracker.observe(0, 0, 6.0);
+    tracker.end_round(round);
+  }
+  ASSERT_TRUE(tracker.quarantined(0, 0));
+  bool released = false;
+  for (std::size_t round = 8; round < 300; ++round) {
+    tracker.end_round(round);
+    if (!tracker.quarantined(0, 0)) {
+      released = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(released);
+  EXPECT_EQ(tracker.score(0, 0), 0.0);  // snapped, not merely tiny
+}
+
+TEST(ReputationTracker, DecayFloorKeepsRepeatOffendersWarm) {
+  // Permanent suspicion: once a vehicle has been quarantined its EWMA never
+  // decays below the floor, so a second offense re-trips the threshold
+  // faster than the first. A never-flagged vehicle still decays to zero.
+  ReputationParams params;
+  params.decay = 0.5;
+  params.quarantine_threshold = 2.0;
+  params.rehab_threshold = 1.0;
+  params.rehab_rounds = 2;
+  params.min_rounds = 1;
+  params.decay_floor = 0.8;
+  ReputationTracker tracker(1, 2, params);
+  std::size_t round = 0;
+  for (; round < 6; ++round) {
+    tracker.observe(0, 0, 6.0);
+    tracker.end_round(round);
+  }
+  ASSERT_TRUE(tracker.quarantined(0, 0));
+  for (; round < 40; ++round) tracker.end_round(round);
+  EXPECT_FALSE(tracker.quarantined(0, 0));       // released...
+  EXPECT_DOUBLE_EQ(tracker.score(0, 0), 0.8);    // ...but floored, not clean
+  EXPECT_EQ(tracker.score(0, 1), 0.0);           // the clean vehicle is clean
+}
+
+TEST(ReputationParamsValidate, RejectsIncoherentKnobs) {
+  const auto reject = [](auto&& mutate) {
+    ReputationParams params;
+    mutate(params);
+    EXPECT_THROW(params.validate(), ContractViolation);
+    EXPECT_THROW(ReputationTracker(1, 2, params), ContractViolation);
+  };
+  reject([](auto& p) { p.decay = 1.0; });
+  reject([](auto& p) { p.decay = -0.1; });
+  reject([](auto& p) { p.quarantine_threshold = 0.0; });
+  reject([](auto& p) { p.rehab_threshold = p.quarantine_threshold; });
+  reject([](auto& p) { p.rehab_rounds = 0; });
+  reject([](auto& p) { p.min_rounds = 0; });
+  reject([](auto& p) { p.score_cap = 0.0; });
+  reject([](auto& p) { p.decay_floor = p.quarantine_threshold; });
+}
+
 // ------------------------------------------------------------------ pipeline
 
 std::vector<VehicleReport> honest_reports(std::size_t n,

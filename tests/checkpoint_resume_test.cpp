@@ -108,6 +108,99 @@ TEST(SystemResume, BitIdenticalAcrossSeedsThreadsAndKernels) {
   }
 }
 
+TEST(SystemResume, AdaptiveAdversaryAndTrustStateRideAlong) {
+  // Resume mid-attack: the snapshot captures the report pipeline's
+  // reputation + trust posteriors AND every adaptive attacker's state
+  // machine, so a restored plant re-enacts the same defect bursts and
+  // reaches the same exclusion set as the straight run.
+  const auto game = make_chain_game(3, 1.5, 1.5);
+  core::DesiredFields fields(game.num_regions(), game.num_decisions());
+  for (core::RegionId i = 0; i < game.num_regions(); ++i) {
+    fields.set_target(i, 0, Interval{0.6, 1.0});
+  }
+  auto params = system_params(31, 2, perception::DataPlaneMode::kPairwiseExact);
+  byzantine::AdaptiveAdversaryParams aparams;
+  aparams.attacker_fraction = 0.3;
+  aparams.policy = byzantine::AdaptivePolicy::kBuildThenDefect;
+  aparams.build_rounds = 2;
+  aparams.defect_rounds = 3;
+  aparams.seed = 17;
+  byzantine::PipelineOptions popts;
+  popts.aggregator.mode = byzantine::AggregationMode::kMedian;
+  popts.aggregator.reject_outliers = true;
+  popts.trust.enabled = true;
+
+  const std::size_t warm = 8;  // inside the fleet's staggered defect bursts
+  byzantine::AdaptiveAdversary adv_a(3, params.vehicles_per_region, aparams);
+  byzantine::ReportPipeline pipe_a(3, 8, params.vehicles_per_region, popts);
+  core::FdsController ctrl_a(game, fields);
+  system::CooperativePerceptionSystem straight(game, params, nullptr, &pipe_a,
+                                               &adv_a);
+  straight.init_from(game.uniform_state());
+  for (std::size_t t = 0; t < warm; ++t) straight.run_round(ctrl_a);
+  Serializer snapshot;
+  straight.save_state(snapshot);
+  system::RoundReport last_a;
+  for (std::size_t t = 0; t < kResumeRounds; ++t) {
+    last_a = straight.run_round(ctrl_a);
+  }
+
+  byzantine::AdaptiveAdversary adv_b(3, params.vehicles_per_region, aparams);
+  byzantine::ReportPipeline pipe_b(3, 8, params.vehicles_per_region, popts);
+  core::FdsController ctrl_b(game, fields);
+  system::CooperativePerceptionSystem resumed(game, params, nullptr, &pipe_b,
+                                              &adv_b);
+  Deserializer d(snapshot.bytes());
+  resumed.load_state(d);
+  EXPECT_TRUE(d.exhausted());
+  EXPECT_EQ(resumed.round(), warm);
+  EXPECT_EQ(adv_b.rounds(), warm);
+  system::RoundReport last_b;
+  for (std::size_t t = 0; t < kResumeRounds; ++t) {
+    last_b = resumed.run_round(ctrl_b);
+  }
+
+  expect_equal(observe(straight), observe(resumed));
+  EXPECT_EQ(last_a.x, last_b.x);
+  EXPECT_EQ(last_a.byzantine.observed.p, last_b.byzantine.observed.p);
+  EXPECT_EQ(last_a.byzantine.total_quarantined,
+            last_b.byzantine.total_quarantined);
+  EXPECT_EQ(last_a.byzantine.total_distrusted,
+            last_b.byzantine.total_distrusted);
+  EXPECT_EQ(last_a.byzantine.adaptive_dormant,
+            last_b.byzantine.adaptive_dormant);
+  for (core::RegionId i = 0; i < 3; ++i) {
+    for (std::size_t v = 0; v < params.vehicles_per_region; ++v) {
+      EXPECT_EQ(pipe_a.excluded(i, v), pipe_b.excluded(i, v));
+      EXPECT_EQ(pipe_a.reputation().score(i, v),
+                pipe_b.reputation().score(i, v));
+      EXPECT_EQ(pipe_a.trust().trust(i, v), pipe_b.trust().trust(i, v));
+    }
+  }
+}
+
+TEST(SystemResume, AdaptiveWiringMismatchRejected) {
+  // A snapshot taken with the closed-loop adversary attached must not be
+  // silently adopted by a plant wired without it (and vice versa).
+  const auto game = make_chain_game(3, 3.0, 4.0);
+  const auto params =
+      system_params(11, 1, perception::DataPlaneMode::kPairwiseExact);
+  byzantine::AdaptiveAdversaryParams aparams;
+  aparams.attacker_fraction = 0.3;
+  aparams.seed = 17;
+  byzantine::AdaptiveAdversary adv(3, params.vehicles_per_region, aparams);
+  byzantine::PipelineOptions popts;
+  byzantine::ReportPipeline pipe(3, 8, params.vehicles_per_region, popts);
+  system::CooperativePerceptionSystem with(game, params, nullptr, &pipe, &adv);
+  with.init_from(game.uniform_state());
+  Serializer snapshot;
+  with.save_state(snapshot);
+
+  system::CooperativePerceptionSystem without(game, params, nullptr);
+  Deserializer d(snapshot.bytes());
+  EXPECT_THROW(without.load_state(d), SerialError);
+}
+
 TEST(SystemResume, DegradedControllerStateRidesAlong) {
   // The stateful cloud wrapper (held reports, ages, counters) must restore
   // with the plant: a resumed pair emits the same ratios as the straight

@@ -1,0 +1,145 @@
+// The declarative scenario catalog: registry integrity, the round-trip
+// contract (every named entry parses, validates, and runs), determinism of
+// the runner, and the clean entries' nobody-gets-flagged invariant.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "common/contracts.h"
+#include "scenario/scenario.h"
+
+namespace avcp::scenario {
+namespace {
+
+TEST(ScenarioCatalog, NamesAreUniqueAndEveryEntryValidates) {
+  const auto& catalog = scenario_catalog();
+  ASSERT_FALSE(catalog.empty());
+  std::set<std::string> names;
+  for (const ScenarioConfig& sc : catalog) {
+    EXPECT_TRUE(names.insert(sc.name).second) << "duplicate " << sc.name;
+    EXPECT_FALSE(sc.summary.empty()) << sc.name;
+    EXPECT_NO_THROW(sc.validate()) << sc.name;
+    const ScenarioConfig* found = find_scenario(sc.name);
+    ASSERT_NE(found, nullptr) << sc.name;
+    EXPECT_EQ(found, &sc);
+  }
+  EXPECT_EQ(find_scenario("no-such-scenario"), nullptr);
+}
+
+TEST(ScenarioCatalog, CoversEveryAttackAndDefenseKind) {
+  std::set<AttackKind> attacks;
+  std::set<DefenseKind> defenses;
+  for (const ScenarioConfig& sc : scenario_catalog()) {
+    attacks.insert(sc.attack);
+    defenses.insert(sc.defense);
+  }
+  EXPECT_EQ(attacks.size(), 3u);
+  EXPECT_EQ(defenses.size(), 3u);
+}
+
+TEST(ScenarioCatalog, EveryEntryRunsBriefly) {
+  // The CI round-trip: each registered scenario must actually run — a few
+  // plant rounds is enough to catch a wiring that validates but explodes.
+  // The service rider (when configured) runs its full epoch budget, which
+  // is what populates the churn counters below.
+  for (const ScenarioConfig& sc : scenario_catalog()) {
+    SCOPED_TRACE(sc.name);
+    const ScenarioResult r = run_scenario(sc, /*rounds_override=*/3);
+    ASSERT_EQ(r.x.size(), 3u);
+    ASSERT_EQ(r.honest.size(), 3u);
+    ASSERT_EQ(r.observed0.size(), 3u);
+    for (const auto& row : r.x) {
+      ASSERT_EQ(row.size(), sc.plant.regions);
+      for (const double x : row) {
+        EXPECT_TRUE(std::isfinite(x));
+        EXPECT_GE(x, 0.0);
+        EXPECT_LE(x, 1.0);
+      }
+    }
+    EXPECT_TRUE(std::isfinite(r.observed_error_tail));
+    EXPECT_GE(r.precision, 0.0);
+    EXPECT_LE(r.recall, 1.0);
+    if (sc.service.epochs > 0) {
+      EXPECT_GT(r.exploit_rejoins, 0u);
+    } else {
+      EXPECT_EQ(r.exploit_rejoins, 0u);
+    }
+  }
+}
+
+TEST(ScenarioRunner, CleanScenariosFlagNobody) {
+  for (const char* name : {"clean-robust", "clean-trust"}) {
+    SCOPED_TRACE(name);
+    const ScenarioConfig* sc = find_scenario(name);
+    ASSERT_NE(sc, nullptr);
+    const ScenarioResult r = run_scenario(*sc);
+    EXPECT_EQ(r.quarantined, 0u);
+    EXPECT_EQ(r.distrusted, 0u);
+    EXPECT_EQ(r.outliers_rejected, 0u);
+    // Honest reports are exact, so the cloud's picture IS the truth.
+    EXPECT_EQ(r.observed_error_tail, 0.0);
+    EXPECT_EQ(r.precision, 1.0);
+    EXPECT_EQ(r.recall, 1.0);
+  }
+}
+
+TEST(ScenarioRunner, RunsAreDeterministic) {
+  const ScenarioConfig* sc = find_scenario("adaptive-probe-trust");
+  ASSERT_NE(sc, nullptr);
+  const ScenarioResult a = run_scenario(*sc, /*rounds_override=*/25);
+  const ScenarioResult b = run_scenario(*sc, /*rounds_override=*/25);
+  EXPECT_EQ(a.x, b.x);  // bitwise, not approximately
+  EXPECT_EQ(a.observed0, b.observed0);
+  EXPECT_EQ(a.quarantined, b.quarantined);
+  EXPECT_EQ(a.distrusted, b.distrusted);
+  EXPECT_EQ(a.observed_error_tail, b.observed_error_tail);
+}
+
+TEST(ScenarioRunner, TrustLayerOutDetectsTheEwmaUnderTheProbe) {
+  // The acceptance contrast in miniature: against the threshold-probing
+  // adversary the EWMA-only defense excludes nobody lastingly (the probe
+  // settles below the forgetting threshold) while the ratcheting trust
+  // layer accumulates every burst into distrust.
+  const ScenarioConfig* ewma = find_scenario("adaptive-probe-robust");
+  const ScenarioConfig* trust = find_scenario("adaptive-probe-trust");
+  ASSERT_NE(ewma, nullptr);
+  ASSERT_NE(trust, nullptr);
+  const ScenarioResult r_ewma = run_scenario(*ewma, /*rounds_override=*/60);
+  const ScenarioResult r_trust = run_scenario(*trust, /*rounds_override=*/60);
+  EXPECT_GT(r_trust.distrusted, 0u);
+  EXPECT_GT(r_trust.recall, r_ewma.recall);
+  EXPECT_EQ(r_trust.precision, 1.0);  // no honest vehicle pays for it
+}
+
+TEST(ScenarioRunner, VsCleanFillsTheControlContrast) {
+  const ScenarioConfig* sc = find_scenario("adaptive-collusion-robust");
+  ASSERT_NE(sc, nullptr);
+  const ScenarioResult r = run_scenario_vs_clean(*sc, /*rounds_override=*/40);
+  EXPECT_TRUE(std::isfinite(r.ratio_error_tail));
+  // The rotating cohort free-rides through the EWMA blind spot: the
+  // defended-arm trajectory measurably departs from the clean twin.
+  EXPECT_GT(r.ratio_error_tail, 0.0);
+}
+
+TEST(ScenarioConfigValidate, RejectsIncoherentWirings) {
+  ScenarioConfig sc;
+  sc.name = "bad";
+  sc.attack = AttackKind::kAdaptive;  // fraction still 0 => not any()
+  EXPECT_THROW(sc.validate(), ContractViolation);
+
+  ScenarioConfig sc2;
+  sc2.name = "bad2";
+  sc2.plant.tail_rounds = sc2.plant.rounds + 1;
+  EXPECT_THROW(sc2.validate(), ContractViolation);
+
+  ScenarioConfig sc3;
+  sc3.name = "bad3";
+  sc3.defense = DefenseKind::kTrust;
+  sc3.trust.trust_floor = 1.5;
+  EXPECT_THROW(sc3.validate(), ContractViolation);
+}
+
+}  // namespace
+}  // namespace avcp::scenario

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "byzantine/adaptive_adversary.h"
 #include "byzantine/adversary_model.h"
 #include "byzantine/report_pipeline.h"
 #include "core/fds.h"
@@ -275,6 +276,100 @@ TEST(SystemByzantine, DensityPoisonersAreRejectedAndQuarantined) {
   const auto stats = sim::detection_stats(truth, flagged);
   EXPECT_GE(stats.precision, 0.9);
   EXPECT_GE(stats.recall, 0.9);
+}
+
+TEST(SystemByzantine, InertAdaptiveAdversaryKeepsTheRoundSeriesBitIdentical) {
+  // The adaptive overload's inert contract: wiring an AdaptiveAdversary
+  // whose params().any() is false must leave the full round series
+  // bit-identical to the same pipeline without it — the acceptance
+  // zero-adversary anchor for the closed-loop layer.
+  const auto game = make_chain_game(3);
+  const auto params = small_params();
+
+  byzantine::PipelineOptions popts;
+  popts.aggregator.mode = byzantine::AggregationMode::kMedian;
+  popts.aggregator.reject_outliers = true;
+
+  byzantine::ReportPipeline plain_pipe(3, 8, params.vehicles_per_region,
+                                       popts);
+  CooperativePerceptionSystem plain(game, params, nullptr, nullptr,
+                                    &plain_pipe);
+  plain.init_from(game.uniform_state());
+
+  byzantine::AdaptiveAdversary inert(3, params.vehicles_per_region,
+                                     byzantine::AdaptiveAdversaryParams{});
+  ASSERT_FALSE(inert.active());
+  byzantine::ReportPipeline wired_pipe(3, 8, params.vehicles_per_region,
+                                       popts);
+  CooperativePerceptionSystem wired(game, params, nullptr, &wired_pipe,
+                                    &inert);
+  wired.init_from(game.uniform_state());
+
+  const auto fields = share_band_fields(3, 0.7, 1.0);
+  core::FdsOptions fopts;
+  fopts.max_step = 0.15;
+  core::FdsController plain_ctrl(game, fields, fopts);
+  core::FdsController wired_ctrl(game, fields, fopts);
+  for (std::size_t round = 0; round < 30; ++round) {
+    const auto a = plain.run_round(plain_ctrl);
+    const auto b = wired.run_round(wired_ctrl);
+    expect_reports_bit_identical(a, b, round);
+    EXPECT_EQ(b.byzantine.adaptive_dormant, 0u);
+  }
+}
+
+TEST(SystemByzantine, AdaptiveRunIsBitIdenticalAcrossThreadCounts) {
+  // The determinism leg of the acceptance criteria: the full closed loop —
+  // adaptive probing attackers, trust-armed pipeline, telemetry-driven
+  // floors — must produce bit-identical trajectories at 1, 2, and 8 worker
+  // lanes. The observation feedback runs serially on the round thread in
+  // (region, vehicle) order, so lane count must be a pure throughput knob.
+  const auto game = make_chain_game(3, /*beta_lo=*/1.5, /*beta_hi=*/1.5);
+  byzantine::AdaptiveAdversaryParams aparams;
+  aparams.attacker_fraction = 0.25;
+  aparams.policy = byzantine::AdaptivePolicy::kThresholdProbe;
+  aparams.seed = 17;
+
+  byzantine::PipelineOptions popts;
+  popts.aggregator.mode = byzantine::AggregationMode::kMedian;
+  popts.aggregator.reject_outliers = true;
+  popts.trust.enabled = true;
+
+  std::vector<std::vector<double>> reference_x;
+  std::vector<std::vector<std::vector<double>>> reference_p;
+  for (const std::size_t threads : {1ul, 2ul, 8ul}) {
+    SCOPED_TRACE(::testing::Message() << "threads=" << threads);
+    auto params = small_params();
+    params.vehicles_per_region = 40;
+    params.num_threads = threads;
+    byzantine::AdaptiveAdversary adaptive(3, params.vehicles_per_region,
+                                          aparams);
+    byzantine::ReportPipeline pipeline(3, 8, params.vehicles_per_region,
+                                       popts);
+    CooperativePerceptionSystem sys(game, params, nullptr, &pipeline,
+                                    &adaptive);
+    sys.init_from(game.uniform_state());
+    core::FdsOptions fopts;
+    fopts.max_step = 0.15;
+    core::FdsController ctrl(game, share_band_fields(3, 0.7, 1.0), fopts);
+
+    std::vector<std::vector<double>> xs;
+    std::vector<std::vector<std::vector<double>>> ps;
+    for (std::size_t round = 0; round < 40; ++round) {
+      const auto report = sys.run_round(ctrl);
+      ctrl.set_desired(byzantine::density_weighted_fields(
+          3, 8, report.byzantine.density, /*base_floor=*/0.7, /*slope=*/0.6));
+      xs.push_back(report.x);
+      ps.push_back(report.state.p);
+    }
+    if (reference_x.empty()) {
+      reference_x = std::move(xs);
+      reference_p = std::move(ps);
+    } else {
+      EXPECT_EQ(xs, reference_x);  // exact: bit-identical, not approximately
+      EXPECT_EQ(ps, reference_p);
+    }
+  }
 }
 
 TEST(SystemByzantine, AgentSimReportsFalsifiedClaims) {

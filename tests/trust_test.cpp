@@ -1,0 +1,182 @@
+// Unit tests for the Beta-prior trust layer: the ratchet that the EWMA
+// reputation lacks, the collusion channel, permanent distrust, parameter
+// validation, and checkpoint round-trips.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "byzantine/reputation.h"
+#include "byzantine/trust.h"
+#include "common/contracts.h"
+#include "common/serial.h"
+
+namespace avcp::byzantine {
+namespace {
+
+TrustParams enabled_params() {
+  TrustParams params;
+  params.enabled = true;
+  return params;
+}
+
+TEST(TrustTracker, DisabledTrackerIsInert) {
+  TrustTracker tracker(2, 4);  // default params: disabled
+  ASSERT_FALSE(tracker.enabled());
+  const double prior = tracker.trust(0, 0);
+  for (std::size_t t = 0; t < 10; ++t) {
+    tracker.flag(0, 0, 100.0);
+    tracker.flag_collusion(1, 2, 100.0);
+    tracker.end_round();
+  }
+  EXPECT_EQ(tracker.trust(0, 0), prior);
+  EXPECT_FALSE(tracker.distrusted(0, 0));
+  EXPECT_EQ(tracker.total_distrusted(), 0u);
+  EXPECT_EQ(tracker.rounds(), 0u);  // disabled end_round folds nothing
+}
+
+TEST(TrustTracker, ValidationRejectsBadKnobs) {
+  const auto reject = [](auto&& mutate) {
+    TrustParams params = enabled_params();
+    mutate(params);
+    EXPECT_THROW(params.validate(), ContractViolation);
+    EXPECT_THROW(TrustTracker(1, 2, params), ContractViolation);
+  };
+  reject([](auto& p) { p.prior_good = 0.0; });
+  reject([](auto& p) { p.prior_bad = 0.0; });
+  reject([](auto& p) { p.clean_gain = -1.0; });
+  reject([](auto& p) { p.good_cap = p.prior_good - 1.0; });
+  reject([](auto& p) { p.flag_gain = -0.5; });
+  reject([](auto& p) { p.collusion_gain = -0.5; });
+  reject([](auto& p) { p.flag_cap = 0.0; });
+  reject([](auto& p) { p.trust_floor = 1.0; });
+  reject([](auto& p) { p.trust_floor = -0.1; });
+}
+
+TEST(TrustTracker, CleanRoundsSaturateGoodwillAtTheCap) {
+  TrustParams params = enabled_params();
+  params.prior_good = 4.0;
+  params.good_cap = 10.0;
+  params.clean_gain = 1.0;
+  TrustTracker tracker(1, 1, params);
+  double last = tracker.trust(0, 0);
+  for (std::size_t t = 0; t < 6; ++t) {
+    tracker.end_round();
+    EXPECT_GE(tracker.trust(0, 0), last);
+    last = tracker.trust(0, 0);
+  }
+  // good has hit the cap; further clean rounds change nothing.
+  const double capped = tracker.trust(0, 0);
+  EXPECT_EQ(capped, 10.0 / (10.0 + params.prior_bad));
+  for (std::size_t t = 0; t < 20; ++t) tracker.end_round();
+  EXPECT_EQ(tracker.trust(0, 0), capped);
+  EXPECT_FALSE(tracker.distrusted(0, 0));
+}
+
+TEST(TrustTracker, RatchetCatchesTheCycleTheEwmaForgets) {
+  // The motivating contrast for the whole layer: the same build-then-defect
+  // evidence stream — 4-round bursts of the zero-upload penalty (3.0)
+  // separated by 20 clean rounds, paced to sit under the EWMA quarantine
+  // threshold — is forgotten by ReputationTracker every cycle but ratchets
+  // TrustTracker's posterior to distrust.
+  ReputationTracker ewma(1, 1);  // defaults: decay 0.8, threshold 2.0
+  TrustTracker trust(1, 1, enabled_params());
+  std::size_t round = 0;
+  std::vector<double> post_build_trust;
+  for (std::size_t cycle = 0; cycle < 6; ++cycle) {
+    for (std::size_t t = 0; t < 4; ++t) {
+      ewma.observe(0, 0, 3.0);
+      trust.flag(0, 0, 3.0);
+      ewma.end_round(round++);
+      trust.end_round();
+    }
+    for (std::size_t t = 0; t < 20; ++t) {
+      ewma.end_round(round++);
+      trust.end_round();
+    }
+    post_build_trust.push_back(trust.trust(0, 0));
+  }
+  EXPECT_EQ(ewma.total_quarantined(), 0u);  // the EWMA never fires
+  for (std::size_t i = 1; i < post_build_trust.size(); ++i) {
+    EXPECT_LT(post_build_trust[i], post_build_trust[i - 1]) << "cycle " << i;
+  }
+  EXPECT_TRUE(trust.distrusted(0, 0));
+  EXPECT_EQ(trust.total_distrusted(), 1u);
+}
+
+TEST(TrustTracker, CollusionChannelRatchetsFaster) {
+  TrustParams params = enabled_params();  // collusion_gain 2 vs flag_gain 1
+  TrustTracker solo(1, 1, params);
+  TrustTracker cohort(1, 1, params);
+  for (std::size_t t = 0; t < 5; ++t) {
+    solo.flag(0, 0, 2.0);
+    cohort.flag_collusion(0, 0, 2.0);
+    solo.end_round();
+    cohort.end_round();
+  }
+  EXPECT_LT(cohort.trust(0, 0), solo.trust(0, 0));
+}
+
+TEST(TrustTracker, FlagCapBoundsOneRoundsEvidence) {
+  TrustParams params = enabled_params();
+  params.flag_cap = 6.0;
+  TrustTracker capped(1, 1, params);
+  TrustTracker exact(1, 1, params);
+  capped.flag(0, 0, 1000.0);
+  exact.flag(0, 0, 6.0);
+  capped.end_round();
+  exact.end_round();
+  EXPECT_EQ(capped.trust(0, 0), exact.trust(0, 0));
+}
+
+TEST(TrustTracker, DistrustIsPermanentOnceBadExceedsTheCap) {
+  TrustParams params = enabled_params();
+  params.good_cap = 20.0;
+  params.trust_floor = 0.5;
+  TrustTracker tracker(1, 1, params);
+  // Pump bad past good_cap: even a goodwill balance saturated at the cap
+  // leaves the posterior mean <= cap / (cap + bad) < floor forever.
+  for (std::size_t t = 0; t < 5; ++t) {
+    tracker.flag(0, 0, 6.0);
+    tracker.end_round();
+  }
+  ASSERT_TRUE(tracker.distrusted(0, 0));
+  for (std::size_t t = 0; t < 500; ++t) tracker.end_round();
+  EXPECT_TRUE(tracker.distrusted(0, 0));
+}
+
+TEST(TrustTracker, SaveLoadRoundTripsBitwise) {
+  TrustParams params = enabled_params();
+  TrustTracker tracker(2, 3, params);
+  tracker.flag(0, 1, 2.5);
+  tracker.flag_collusion(1, 2, 4.0);
+  tracker.end_round();
+  tracker.flag(0, 1, 1.0);  // pending evidence rides along too
+
+  Serializer snapshot;
+  tracker.save_state(snapshot);
+  TrustTracker restored(2, 3, params);
+  Deserializer d(snapshot.bytes());
+  restored.load_state(d);
+  EXPECT_TRUE(d.exhausted());
+  EXPECT_EQ(restored.rounds(), tracker.rounds());
+  tracker.end_round();
+  restored.end_round();
+  for (core::RegionId i = 0; i < 2; ++i) {
+    for (std::size_t v = 0; v < 3; ++v) {
+      EXPECT_EQ(restored.trust(i, v), tracker.trust(i, v));
+      EXPECT_EQ(restored.distrusted(i, v), tracker.distrusted(i, v));
+    }
+  }
+}
+
+TEST(TrustTracker, LoadRejectsMismatchedFleetShape) {
+  TrustTracker small(1, 4, enabled_params());
+  Serializer snapshot;
+  small.save_state(snapshot);
+  TrustTracker wide(1, 5, enabled_params());
+  Deserializer d(snapshot.bytes());
+  EXPECT_THROW(wide.load_state(d), SerialError);
+}
+
+}  // namespace
+}  // namespace avcp::byzantine
