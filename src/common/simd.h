@@ -1,0 +1,145 @@
+// Elementwise SIMD kernels with bit-identical-to-scalar endpoints.
+//
+// Only loops whose iterations are independent per index are vectorized
+// here: each vector lane performs exactly the scalar operation sequence
+// (no reassociation, no FMA contraction, no reordering of a reduction),
+// so the vector path produces bit-for-bit the scalar path's output. That
+// is what lets the data-plane and replicator hot loops use these without
+// touching the determinism contract (DESIGN.md §15): ordered
+// floating-point reductions (qbar, row sums, utility folds) and
+// sequential RNG draws stay scalar in their callers.
+//
+// Dispatch is compile-time: AVX2 when the build enables it, else SSE2
+// (part of baseline x86-64), else plain scalar. The scalar fallback is
+// the reference semantics; the SIMD bodies are transcriptions of it.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__AVX2__)
+#define AVCP_SIMD_AVX2 1
+#include <immintrin.h>
+#elif defined(__SSE2__) || defined(_M_X64)
+#define AVCP_SIMD_SSE2 1
+#include <emmintrin.h>
+#endif
+
+namespace avcp::simd {
+
+/// Which instruction set the kernels below compiled to.
+inline const char* active_isa() noexcept {
+#if defined(AVCP_SIMD_AVX2)
+  return "avx2";
+#elif defined(AVCP_SIMD_SSE2)
+  return "sse2";
+#else
+  return "scalar";
+#endif
+}
+
+/// dst[i] += src[i] for i in [0, n). Exact integer addition — used for the
+/// per-(receiver,class) composition-table merge in the aggregated data
+/// plane, where each readable sender class folds its per-item upload
+/// counts into the receiver class's row.
+inline void add_u32(std::uint32_t* dst, const std::uint32_t* src,
+                    std::size_t n) {
+  std::size_t i = 0;
+#if defined(AVCP_SIMD_AVX2)
+  for (; i + 8 <= n; i += 8) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_add_epi32(a, b));
+  }
+#elif defined(AVCP_SIMD_SSE2)
+  for (; i + 4 <= n; i += 4) {
+    const __m128i a =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i b =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_add_epi32(a, b));
+  }
+#endif
+  for (; i < n; ++i) dst[i] += src[i];
+}
+
+/// row[d] = p[d] * max(1 + eta * (q[d] - qbar), min_factor) for d in
+/// [0, n) — the elementwise half of the replicator-dynamics update. Every
+/// lane performs sub, mul, add, max, mul in the scalar order on IEEE
+/// doubles, so the result is bit-identical to the scalar loop; the row
+/// sum that follows it is a reduction and stays with the caller.
+inline void growth_update(double* row, const double* p, const double* q,
+                          double qbar, double eta, double min_factor,
+                          std::size_t n) {
+  std::size_t i = 0;
+#if defined(AVCP_SIMD_AVX2)
+  const __m256d vqbar = _mm256_set1_pd(qbar);
+  const __m256d veta = _mm256_set1_pd(eta);
+  const __m256d vone = _mm256_set1_pd(1.0);
+  const __m256d vmin = _mm256_set1_pd(min_factor);
+  for (; i + 4 <= n; i += 4) {
+    const __m256d vq = _mm256_loadu_pd(q + i);
+    const __m256d vp = _mm256_loadu_pd(p + i);
+    const __m256d factor = _mm256_add_pd(
+        vone, _mm256_mul_pd(veta, _mm256_sub_pd(vq, vqbar)));
+    _mm256_storeu_pd(row + i,
+                     _mm256_mul_pd(vp, _mm256_max_pd(factor, vmin)));
+  }
+#elif defined(AVCP_SIMD_SSE2)
+  const __m128d vqbar = _mm_set1_pd(qbar);
+  const __m128d veta = _mm_set1_pd(eta);
+  const __m128d vone = _mm_set1_pd(1.0);
+  const __m128d vmin = _mm_set1_pd(min_factor);
+  for (; i + 2 <= n; i += 2) {
+    const __m128d vq = _mm_loadu_pd(q + i);
+    const __m128d vp = _mm_loadu_pd(p + i);
+    const __m128d factor =
+        _mm_add_pd(vone, _mm_mul_pd(veta, _mm_sub_pd(vq, vqbar)));
+    _mm_storeu_pd(row + i, _mm_mul_pd(vp, _mm_max_pd(factor, vmin)));
+  }
+#endif
+  for (; i < n; ++i) {
+    const double factor = 1.0 + eta * (q[i] - qbar);
+    row[i] = p[i] * std::max(factor, min_factor);
+  }
+}
+
+/// row[d] = row[d] / sum, then (when mu > 0) row[d] = (1 - mu) * row[d] +
+/// mu_over_n, for d in [0, n) — the normalise-and-mutate tail of the
+/// replicator update. Division by the (scalar-accumulated) sum and the
+/// mutation mix are per-lane IEEE ops in the scalar order: bit-identical.
+inline void normalize_mix(double* row, double sum, double mu,
+                          double mu_over_n, std::size_t n) {
+  const double keep = 1.0 - mu;
+  std::size_t i = 0;
+#if defined(AVCP_SIMD_AVX2)
+  const __m256d vsum = _mm256_set1_pd(sum);
+  const __m256d vkeep = _mm256_set1_pd(keep);
+  const __m256d vmix = _mm256_set1_pd(mu_over_n);
+  for (; i + 4 <= n; i += 4) {
+    __m256d v = _mm256_div_pd(_mm256_loadu_pd(row + i), vsum);
+    if (mu > 0.0) v = _mm256_add_pd(_mm256_mul_pd(vkeep, v), vmix);
+    _mm256_storeu_pd(row + i, v);
+  }
+#elif defined(AVCP_SIMD_SSE2)
+  const __m128d vsum = _mm_set1_pd(sum);
+  const __m128d vkeep = _mm_set1_pd(keep);
+  const __m128d vmix = _mm_set1_pd(mu_over_n);
+  for (; i + 2 <= n; i += 2) {
+    __m128d v = _mm_div_pd(_mm_loadu_pd(row + i), vsum);
+    if (mu > 0.0) v = _mm_add_pd(_mm_mul_pd(vkeep, v), vmix);
+    _mm_storeu_pd(row + i, v);
+  }
+#endif
+  for (; i < n; ++i) {
+    row[i] = row[i] / sum;
+    if (mu > 0.0) row[i] = keep * row[i] + mu_over_n;
+  }
+}
+
+}  // namespace avcp::simd

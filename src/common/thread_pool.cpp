@@ -2,11 +2,103 @@
 
 #include <algorithm>
 
+#include "common/contracts.h"
+
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
 namespace avcp {
+
+namespace {
+
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+// Spin budgets. Workers bridge stage barriers by spinning (pauses, then
+// yields) instead of sleeping, so a multi-stage batch needs only one
+// condition-variable wake; a worker that exhausts the budget without
+// finding work goes back to sleep for the rest of the batch. On a machine
+// where the caller outpaces its workers (few cores, small rounds) that is
+// the right outcome: item-count completion means the caller never waits
+// for a sleeping worker, so an unscheduled worker costs nothing.
+constexpr int kWorkerPauseSpins = 512;
+constexpr int kWorkerYieldSpins = 64;
+constexpr int kCallerPauseSpins = 4096;
+
+inline std::uint32_t claim_cursor(std::uint64_t word) noexcept {
+  return static_cast<std::uint32_t>(word & 0xFFFFFFFFu);
+}
+
+inline std::uint32_t claim_chunks(std::uint64_t word) noexcept {
+  return static_cast<std::uint32_t>(word >> 32);
+}
+
+inline std::uint64_t claim_word(std::uint32_t chunks,
+                                std::uint32_t cursor) noexcept {
+  return (static_cast<std::uint64_t>(chunks) << 32) | cursor;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> balanced_chunks(std::span<const double> cost,
+                                           std::size_t max_chunks) {
+  const std::size_t n = cost.size();
+  AVCP_EXPECT(max_chunks >= 1);
+  std::vector<std::uint32_t> ends;
+  if (n == 0) return ends;
+  double total = 0.0;
+  for (const double c : cost) {
+    AVCP_EXPECT(c >= 0.0);
+    total += c;
+  }
+  const std::size_t chunks = std::min(max_chunks, n);
+  ends.reserve(chunks);
+  // Greedy sweep with an adaptive target: each chunk closes once it holds
+  // the average of the *remaining* cost over the *remaining* chunks, so
+  // one huge region cannot starve the tail into empty chunks. Boundaries
+  // depend only on (cost, max_chunks) — never on thread count — which is
+  // what makes a plan safe under the determinism protocol.
+  double remaining = total;
+  std::size_t i = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t chunks_left = chunks - c;
+    const double target = remaining / static_cast<double>(chunks_left);
+    double acc = 0.0;
+    // Leave at least one index for each later chunk.
+    const std::size_t limit = n - (chunks_left - 1);
+    do {
+      acc += cost[i];
+      ++i;
+    } while (i < limit && acc < target);
+    remaining -= acc;
+    ends.push_back(static_cast<std::uint32_t>(i));
+  }
+  ends.back() = static_cast<std::uint32_t>(n);
+  return ends;
+}
+
+std::size_t ThreadPool::clamped_lanes(std::size_t requested) noexcept {
+  const unsigned hw_raw = std::thread::hardware_concurrency();
+  const std::size_t hw = hw_raw == 0 ? 1 : hw_raw;
+  if (requested == 0 || requested > hw) return hw;
+  return requested;
+}
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
-    num_threads = std::max(1u, std::thread::hardware_concurrency());
+    // hardware_concurrency() may legitimately return 0 ("not computable",
+    // [thread.thread.static]); guard to a single lane rather than
+    // spawning an underflowed worker count.
+    const unsigned hw = std::thread::hardware_concurrency();
+    num_threads = hw == 0 ? 1 : hw;
   }
   workers_.reserve(num_threads - 1);
   for (std::size_t t = 0; t + 1 < num_threads; ++t) {
@@ -23,67 +115,241 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
-void ThreadPool::drain() {
+void ThreadPool::record_error() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (!error_) error_ = std::current_exception();
+}
+
+void ThreadPool::drain_stage(bool is_worker) {
   for (;;) {
-    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
-    if (i >= end_) return;
-    try {
-      (*fn_)(i);
-    } catch (...) {
-      {
-        const std::lock_guard<std::mutex> lock(mu_);
-        if (!error_) error_ = std::current_exception();
-      }
-      // Cancel the rest of the range; peers finish their current task and
-      // stop claiming new ones.
-      next_.store(end_, std::memory_order_relaxed);
-      return;
+    std::uint64_t word = claim_.load(std::memory_order_acquire);
+    const std::uint32_t cursor = claim_cursor(word);
+    const std::uint32_t chunks = claim_chunks(word);
+    if (cursor >= chunks) return;
+    if (!claim_.compare_exchange_weak(word, claim_word(chunks, cursor + 1),
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+      continue;  // raced with a peer (or a stage boundary); re-read
     }
+    // Chunk `cursor` of the stage that published `word` is now ours. Its
+    // items are still counted in remaining_, so the stage cannot complete
+    // — the caller is pinned inside it — until we retire them below. That
+    // pin is what makes the descriptor reads here safe and stable, even
+    // for a lane that raced a stage boundary and claimed into a newer
+    // stage than it last saw: the descriptor always matches the stage the
+    // claim landed in.
+    const std::size_t count = cur_count_;
+    const std::uint32_t* plan = cur_plan_;
+    std::size_t begin;
+    std::size_t end;
+    if (plan != nullptr) {
+      begin = cursor == 0 ? 0 : plan[cursor - 1];
+      end = plan[cursor];
+    } else {
+      begin = static_cast<std::size_t>(cursor) * cur_grain_;
+      end = std::min(begin + cur_grain_, count);
+    }
+    const IndexFnRef fn = cur_fn_;
+    bool failed = false;
+    try {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    } catch (...) {
+      record_error();
+      failed = true;
+    }
+    if (failed) {
+      // Cancel the rest of the stage: claim every unclaimed chunk in one
+      // CAS and retire their items so the barrier releases without them
+      // ever running (the caller skips later stages once it sees error_).
+      // Our own chunk is still unretired, so the stage stays pinned
+      // throughout and `remaining_` cannot reach zero before the final
+      // decrement below.
+      std::uint64_t cur = claim_.load(std::memory_order_acquire);
+      for (;;) {
+        const std::uint32_t c = claim_cursor(cur);
+        const std::uint32_t k = claim_chunks(cur);
+        if (c >= k) break;
+        if (claim_.compare_exchange_weak(cur, claim_word(k, k),
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed)) {
+          const std::size_t first =
+              plan != nullptr ? (c == 0 ? 0 : plan[c - 1])
+                              : static_cast<std::size_t>(c) * cur_grain_;
+          remaining_.fetch_sub(count - first, std::memory_order_acq_rel);
+          break;
+        }
+      }
+    }
+    const std::size_t items = end - begin;
+    if (is_worker) {
+      // Feed the wake throttle: the caller checks at batch close whether
+      // workers contributed anything at all.
+      worker_items_.fetch_add(items, std::memory_order_relaxed);
+    }
+    if (remaining_.fetch_sub(items, std::memory_order_acq_rel) == items) {
+      // This lane retired the stage's last items; wake the caller if it
+      // went to sleep at the barrier. Taking the mutex orders the notify
+      // after the caller's predicate check, so the wake cannot be missed.
+      const std::lock_guard<std::mutex> lock(mu_);
+      done_.notify_all();
+    }
+    if (failed) return;
   }
 }
 
-void ThreadPool::worker_loop() {
-  std::uint64_t seen = 0;
-  for (;;) {
-    std::unique_lock<std::mutex> lock(mu_);
-    wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
-    if (stop_) return;
-    seen = generation_;
-    lock.unlock();
-
-    drain();
-
-    lock.lock();
-    if (--busy_ == 0) done_.notify_all();
+void ThreadPool::open_stage(const Stage& stage) {
+  cur_count_ = stage.count;
+  cur_fn_ = stage.fn;
+  std::size_t chunks;
+  if (!stage.plan.empty()) {
+    AVCP_EXPECT(stage.plan.back() == stage.count);
+    cur_plan_ = stage.plan.data();
+    cur_grain_ = 0;
+    chunks = stage.plan.size();
+  } else {
+    cur_plan_ = nullptr;
+    std::size_t grain = stage.grain;
+    if (grain == 0) {
+      // Auto grain: enough chunks for a few claims per lane (dynamic load
+      // balance) without per-index atomic traffic.
+      const std::size_t target_chunks = 4 * size();
+      grain = std::max<std::size_t>(
+          1, (stage.count + target_chunks - 1) / target_chunks);
+    }
+    // The claim word holds 32-bit chunk counts; coarsen rather than trap
+    // on absurd ranges (chunking never affects results under the
+    // determinism protocol).
+    while ((stage.count + grain - 1) / grain > 0x7FFFFFFFu) grain *= 2;
+    cur_grain_ = grain;
+    chunks = (stage.count + grain - 1) / grain;
   }
+  remaining_.store(stage.count, std::memory_order_relaxed);
+  // The claim-word release store is what opens the stage: a lane whose
+  // acquire claim lands in this stage observes every descriptor write
+  // above (CAS claims by peers are RMWs, so the release sequence reaches
+  // later claimants too).
+  claim_.store(claim_word(static_cast<std::uint32_t>(chunks), 0),
+               std::memory_order_release);
 }
 
-void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
-                              const std::function<void(std::size_t)>& fn) {
-  if (begin >= end) return;
-  if (workers_.empty() || end - begin == 1) {
-    // Inline path: no synchronization, exceptions propagate naturally.
-    for (std::size_t i = begin; i < end; ++i) fn(i);
+void ThreadPool::run_batch(std::span<const Stage> stages) {
+  if (stages.empty()) return;
+  if (workers_.empty()) {
+    // Single-lane pool: plain loops, exceptions propagate naturally and a
+    // throwing stage skips the rest (matching the parallel semantics).
+    for (const Stage& stage : stages) {
+      for (std::size_t i = 0; i < stage.count; ++i) stage.fn(i);
+    }
     return;
   }
 
   {
     const std::lock_guard<std::mutex> lock(mu_);
-    fn_ = &fn;
-    next_.store(begin, std::memory_order_relaxed);
-    end_ = end;
+    AVCP_EXPECT(!batch_open_.load(std::memory_order_relaxed));  // reentrant?
     error_ = nullptr;
-    busy_ = workers_.size();
-    ++generation_;
+    worker_items_.store(0, std::memory_order_relaxed);
+    batch_open_.store(true, std::memory_order_relaxed);
+    ++batch_seq_;
   }
-  wake_.notify_all();
+  // One wake for the whole batch: workers bridge stage boundaries by
+  // spinning on the claim word, not by sleeping. The wake itself is
+  // throttled: if workers contributed zero items to the previous batch
+  // (the caller is outrunning them — few cores, or rounds smaller than a
+  // wake round-trip), skip the notify and let the caller drain alone,
+  // probing with a real wake every kWakeProbePeriod batches so the pool
+  // re-parallelises the moment cores free up. This makes the dispatch
+  // converge to the inline path's cost on starved machines instead of
+  // paying a futex storm per round for workers that never run.
+  bool wake = true;
+  if (idle_streak_ > 0) {
+    if (++skipped_wakes_ < kWakeProbePeriod) {
+      wake = false;
+    } else {
+      skipped_wakes_ = 0;
+    }
+  }
+  if (wake) wake_.notify_all();
 
-  drain();  // the calling thread is a lane too
+  bool errored = false;
+  for (const Stage& stage : stages) {
+    if (stage.count == 0) continue;
+    open_stage(stage);
+    drain_stage(/*is_worker=*/false);
+    // Barrier: the stage is complete when every index has executed, not
+    // when every worker has reported in — workers the OS never scheduled
+    // are not on this path. The usual case (the caller retired the last
+    // chunk itself) falls through the first check without ever sleeping.
+    if (remaining_.load(std::memory_order_acquire) != 0) {
+      for (int spin = 0; spin < kCallerPauseSpins; ++spin) {
+        cpu_relax();
+        if (remaining_.load(std::memory_order_acquire) == 0) break;
+      }
+      if (remaining_.load(std::memory_order_acquire) != 0) {
+        std::unique_lock<std::mutex> lock(mu_);
+        done_.wait(lock, [&] {
+          return remaining_.load(std::memory_order_acquire) == 0;
+        });
+      }
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (error_) {
+        errored = true;
+        break;
+      }
+    }
+  }
 
-  std::unique_lock<std::mutex> lock(mu_);
-  done_.wait(lock, [&] { return busy_ == 0; });
-  fn_ = nullptr;
-  if (error_) std::rethrow_exception(error_);
+  std::exception_ptr err;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    batch_open_.store(false, std::memory_order_relaxed);
+    if (errored) {
+      err = error_;
+      error_ = nullptr;
+    }
+  }
+  if (worker_items_.load(std::memory_order_relaxed) == 0) {
+    ++idle_streak_;
+  } else {
+    idle_streak_ = 0;
+    skipped_wakes_ = 0;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_.wait(lock, [&] { return stop_ || batch_seq_ != seen; });
+      if (stop_) return;
+      seen = batch_seq_;
+    }
+    // Claim loop: drain the open stage, then spin briefly for the next
+    // one. batch_open_ clearing ends the batch; exhausting the spin
+    // budget puts this worker back to sleep for the remainder (item-count
+    // completion means the caller never waits for it).
+    int pauses = kWorkerPauseSpins;
+    int yields = kWorkerYieldSpins;
+    while (batch_open_.load(std::memory_order_acquire)) {
+      const std::uint64_t word = claim_.load(std::memory_order_acquire);
+      if (claim_cursor(word) < claim_chunks(word)) {
+        drain_stage(/*is_worker=*/true);
+        pauses = kWorkerPauseSpins;
+        yields = kWorkerYieldSpins;
+      } else if (pauses > 0) {
+        --pauses;
+        cpu_relax();
+      } else if (yields > 0) {
+        --yields;
+        std::this_thread::yield();
+      } else {
+        break;  // budget exhausted: sleep out the rest of this batch
+      }
+    }
+  }
 }
 
 }  // namespace avcp

@@ -1,17 +1,49 @@
 // Deterministic fork-join parallelism for the round engines.
 //
 // ThreadPool is a fixed-size worker pool driving `parallel_for` over index
-// ranges. It makes no scheduling guarantees — indices are claimed by
-// whichever worker gets there first — so determinism is a *protocol*, not a
-// property of the pool: every task writes only to state owned by its own
-// index (its region's RNG stream, its chunk's partial accumulator, its slot
-// of a result vector), and any floating-point reduction over task results
-// happens on the calling thread in index order after the join. Code that
-// follows the protocol is bit-identical at every thread count, including
-// the inline single-threaded path; the regression lock lives in
+// ranges and `run_batch` over multi-stage rounds. It makes no scheduling
+// guarantees — chunks are claimed by whichever lane gets there first — so
+// determinism is a *protocol*, not a property of the pool: every task
+// writes only to state owned by its own index (its region's RNG stream,
+// its chunk's partial accumulator, its slot of a result vector), and any
+// floating-point reduction over task results happens on the calling thread
+// in index order after the join. Code that follows the protocol is
+// bit-identical at every thread count, including the inline
+// single-threaded path; the regression lock lives in
 // tests/determinism_test.cpp.
 //
-// The calling thread participates in the loop (a pool of size 1 runs
+// ## Dispatch cost model (DESIGN.md §15)
+//
+// The pool is built for rounds whose per-index work can be *smaller* than
+// a context switch. Three design points follow:
+//
+//  - **Chunked claiming.** Lanes claim runs of indices (a grain, or an
+//    explicit per-chunk plan from balanced_chunks) with one
+//    compare-exchange per chunk instead of one fetch-add per index. The
+//    claim word packs the stage's chunk count above the cursor, so the
+//    only thing a lane reads before owning work is that one atomic: a
+//    successful claim of chunk c < count *pins* the stage (its remaining
+//    item count cannot hit zero until the chunk runs), which pins the
+//    caller inside run_batch and keeps the stage descriptor alive and
+//    stable for the duration of the chunk. A lane racing a stage
+//    boundary simply fails the compare-exchange and re-reads; claiming a
+//    chunk of a *newer* stage than the lane thinks is open is harmless —
+//    chunks carry no identity beyond the descriptor they pin.
+//  - **Item-count completion.** A stage is complete when every *index*
+//    has executed, not when every *worker* has reported in: the caller
+//    drains the range itself and returns the moment the count hits zero.
+//    Workers that the OS never scheduled (oversubscription, or more
+//    lanes than cores) simply find the range empty later and go back to
+//    sleep — they are never on the join's critical path. This is what
+//    makes num_threads > cores cost ~nothing instead of one futex
+//    round-trip per worker per dispatch.
+//  - **Batched dispatch.** `run_batch` runs several barrier-separated
+//    stages with a single worker wake-up: workers stay in the claim loop
+//    across stage boundaries (briefly spinning at a barrier) instead of
+//    sleeping and being re-woken per stage, so a whole engine round
+//    crosses the pool boundary once.
+//
+// The calling thread participates in every job (a pool of size 1 runs
 // everything inline, spawning nothing), the pool blocks until the range is
 // drained, and the first exception thrown by any task is rethrown on the
 // caller after remaining tasks are cancelled.
@@ -20,21 +52,80 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
-#include <functional>
 #include <mutex>
+#include <new>
+#include <span>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace avcp {
 
+// Deliberately a fixed 64 rather than
+// std::hardware_destructive_interference_size: the library constant is an
+// ABI hazard GCC warns about on every include, and 64 bytes is the
+// destructive-interference granule on every target this builds for
+// (x86-64 and mainstream AArch64 — some of whose prefetchers pull pairs
+// of lines, which padding to 64 already mitigates in practice).
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Non-owning, non-allocating reference to a `void(std::size_t)` callable.
+/// The referee must outlive the reference — parallel_for/run_batch only
+/// ever point it at a callable that lives on the caller's stack for the
+/// duration of the (blocking) dispatch, so no type-erasure allocation or
+/// std::function indirection is ever paid.
+class IndexFnRef {
+ public:
+  /// Null reference; calling it is undefined. Exists so the pool can hold
+  /// an IndexFnRef member before the first stage opens.
+  IndexFnRef() noexcept : obj_(nullptr), call_(nullptr) {}
+
+  template <typename Fn,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<Fn>,
+                                                        IndexFnRef>>>
+  IndexFnRef(Fn& fn) noexcept  // NOLINT: implicit by design
+      : obj_(const_cast<void*>(static_cast<const void*>(&fn))),
+        call_([](void* obj, std::size_t i) { (*static_cast<Fn*>(obj))(i); }) {}
+
+  void operator()(std::size_t i) const { call_(obj_, i); }
+
+ private:
+  void* obj_;
+  void (*call_)(void*, std::size_t);
+};
+
+/// Splits `cost[0..n)` into at most `max_chunks` contiguous chunks of
+/// roughly equal total cost (each chunk holds at least one index; a chunk
+/// closes as soon as it reaches the adaptive average of the remaining
+/// cost). Returns the exclusive end index of every chunk, so chunk c spans
+/// [ends[c-1], ends[c]). Boundaries depend only on the costs and
+/// max_chunks — never on thread count — so a plan is safe to use under the
+/// determinism protocol. Used by the engines to balance per-region work by
+/// measured cost (vehicles × classes) rather than region count.
+std::vector<std::uint32_t> balanced_chunks(std::span<const double> cost,
+                                           std::size_t max_chunks);
+
 class ThreadPool {
  public:
-  /// `num_threads` == 0 picks std::thread::hardware_concurrency(). The pool
-  /// spawns `num_threads - 1` workers: the calling thread is the remaining
-  /// lane, so a pool of size 1 never leaves the caller.
+  /// `num_threads` == 0 picks std::thread::hardware_concurrency(), which
+  /// the standard permits to report 0 — that (and any other resolution to
+  /// less than one lane) is guarded to a pool of size 1. The pool spawns
+  /// `num_threads - 1` workers: the calling thread is the remaining lane,
+  /// so a pool of size 1 never spawns and never leaves the caller.
   explicit ThreadPool(std::size_t num_threads = 0);
   ~ThreadPool();
+
+  /// Lane-count policy for the round engines: resolves a requested thread
+  /// count to at most the machine's core count (0 = all cores, and the
+  /// hardware_concurrency()==0 case guards to 1). Lanes beyond the core
+  /// count can never help — they are pure scheduling overhead on a
+  /// saturated machine (the negative-scaling failure mode) — and the
+  /// determinism protocol makes results lane-count-invariant, so clamping
+  /// changes throughput only. The constructor itself honours the exact
+  /// requested count so tests can force true oversubscription.
+  static std::size_t clamped_lanes(std::size_t requested) noexcept;
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -42,32 +133,117 @@ class ThreadPool {
   /// Total lanes (workers + the calling thread).
   std::size_t size() const noexcept { return workers_.size() + 1; }
 
+  /// One stage of a batch: fn(i) runs for every i in [0, count). `grain`
+  /// indices are claimed per atomic operation (0 = pick automatically from
+  /// count and lane count). Alternatively `plan` (exclusive chunk ends
+  /// from balanced_chunks, last entry == count) overrides grain with
+  /// cost-balanced chunks. The fn referee and the plan storage must stay
+  /// alive for the duration of the dispatch.
+  struct Stage {
+    std::size_t count = 0;
+    IndexFnRef fn;
+    std::size_t grain = 0;
+    std::span<const std::uint32_t> plan = {};
+  };
+
+  /// Runs every stage in order with a barrier between consecutive stages
+  /// (stage s+1 starts only after every index of stage s completed), and a
+  /// single worker wake-up for the whole batch. Blocks until the last
+  /// stage drains. If any task throws, the remaining range of its stage is
+  /// cancelled, later stages are skipped entirely, and the first exception
+  /// is rethrown on the caller. Not reentrant.
+  void run_batch(std::span<const Stage> stages);
+
   /// Runs fn(i) for every i in [begin, end), blocking until all complete.
-  /// Empty ranges return immediately. Not reentrant: fn must not call
-  /// parallel_for on the same pool.
-  void parallel_for(std::size_t begin, std::size_t end,
-                    const std::function<void(std::size_t)>& fn);
+  /// Empty ranges return immediately. The single-lane (and single-index)
+  /// path runs inline with zero synchronisation and zero type erasure —
+  /// it compiles down to a plain loop over the callable. Not reentrant:
+  /// fn must not dispatch on the same pool.
+  template <typename Fn>
+  void parallel_for(std::size_t begin, std::size_t end, Fn&& fn,
+                    std::size_t grain = 0) {
+    if (begin >= end) return;
+    if (workers_.empty() || end - begin == 1) {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+      return;
+    }
+    auto shifted = [&fn, begin](std::size_t i) { fn(begin + i); };
+    const Stage stage{end - begin, IndexFnRef(shifted), grain, {}};
+    run_batch({&stage, 1});
+  }
+
+  /// Cost-balanced variant: fn(i) for i in [0, cost.size()), claimed in
+  /// contiguous chunks of roughly equal total cost (at most
+  /// `chunks_per_lane * size()` chunks). Use when index work is uneven —
+  /// e.g. per-region cost proportional to vehicles × classes.
+  template <typename Fn>
+  void parallel_for_weighted(std::span<const double> cost, Fn&& fn,
+                             std::size_t chunks_per_lane = 4) {
+    const std::size_t n = cost.size();
+    if (n == 0) return;
+    if (workers_.empty() || n == 1) {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    const std::vector<std::uint32_t> plan =
+        balanced_chunks(cost, chunks_per_lane * size());
+    IndexFnRef ref(fn);
+    const Stage stage{n, ref, 0, plan};
+    run_batch({&stage, 1});
+  }
 
  private:
   void worker_loop();
-  /// Claims indices from the open job until the range (or the job, on a
-  /// peer's exception) is exhausted.
-  void drain();
+  /// Claims and runs chunks of the open stage until its cursor is
+  /// exhausted. Any lane (caller or worker) may drain; workers pass
+  /// is_worker so the wake throttle can see whether they ever help.
+  void drain_stage(bool is_worker);
+  /// Caller-side: copies the stage descriptor into the pool and publishes
+  /// the claim word, opening the stage to all lanes.
+  void open_stage(const Stage& stage);
+  void record_error();
 
   std::vector<std::thread> workers_;
 
   std::mutex mu_;
-  std::condition_variable wake_;   // caller -> workers: a job is open
-  std::condition_variable done_;   // workers -> caller: job fully drained
-  std::uint64_t generation_ = 0;   // bumps once per parallel_for
-  std::size_t busy_ = 0;           // workers still inside the open job
+  std::condition_variable wake_;   // caller -> workers: a batch opened
+  std::condition_variable done_;   // lanes -> caller: a stage fully drained
+  std::uint64_t batch_seq_ = 0;    // bumps once per run_batch
   bool stop_ = false;
 
-  // Open-job state (valid while busy_ > 0 or the caller is draining).
-  const std::function<void(std::size_t)>* fn_ = nullptr;
-  std::atomic<std::size_t> next_{0};
-  std::size_t end_ = 0;
-  std::exception_ptr error_;
+  // Open-stage descriptor. Written by the caller in open_stage *before*
+  // the claim-word release store; read by a lane only while it holds a
+  // claimed-but-unretired chunk, which pins the caller inside the stage —
+  // so these plain members are never read and written concurrently.
+  std::size_t cur_count_ = 0;
+  std::size_t cur_grain_ = 0;
+  const std::uint32_t* cur_plan_ = nullptr;
+  IndexFnRef cur_fn_;
+
+  // True while a batch is open; workers spin on it between stages instead
+  // of sleeping, and drift back to sleep when it clears.
+  std::atomic<bool> batch_open_{false};
+
+  // Adaptive wake throttle. When the previous batch completed with zero
+  // worker-executed items (the caller outran its workers — the starved
+  // single-core / tiny-round regime), the wake is skipped and the caller
+  // runs the batch alone, probing with a real wake every
+  // kWakeProbePeriod batches so parallelism returns the moment cores free
+  // up. Caller-side state (touched only inside run_batch); worker_items_
+  // is the workers' contribution count for the open batch.
+  static constexpr std::size_t kWakeProbePeriod = 32;
+  std::size_t idle_streak_ = 0;
+  std::size_t skipped_wakes_ = 0;
+  std::atomic<std::size_t> worker_items_{0};
+
+  // Hot shared words, each on its own cache line: the claim word (chunk
+  // count << 32 | cursor) and the open stage's remaining-item count.
+  // Padding keeps lane CASes on claim_ from stealing the line holding
+  // remaining_ (and vice versa) — false sharing here serialises exactly
+  // the two words every lane hammers.
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> claim_{0};
+  alignas(kCacheLineSize) std::atomic<std::size_t> remaining_{0};
+  alignas(kCacheLineSize) std::exception_ptr error_;
 };
 
 }  // namespace avcp

@@ -5,6 +5,7 @@
 
 #include "common/contracts.h"
 #include "common/serial.h"
+#include "common/simd.h"
 
 namespace avcp::core {
 
@@ -115,23 +116,19 @@ void MultiRegionGame::replicator_step(GameState& state,
 
     auto& row = next[static_cast<std::size_t>(i)];
     row.resize(k);
+    // Elementwise growth factors are SIMD (per-lane ops in the scalar
+    // order, bit-identical); the row sum is an ordered reduction and
+    // stays scalar.
+    simd::growth_update(row.data(), state.p[i].data(), q.data(), qbar, eta,
+                        config_.min_growth_factor, k);
     double sum = 0.0;
-    for (DecisionId d = 0; d < k; ++d) {
-      const double factor = 1.0 + eta * (q[d] - qbar);
-      row[d] = state.p[i][d] * std::max(factor, config_.min_growth_factor);
-      sum += row[d];
-    }
+    for (DecisionId d = 0; d < k; ++d) sum += row[d];
     if (sum <= 0.0) {
       // Degenerate step (all factors clamped): keep the old distribution.
       row = state.p[i];
       sum = 1.0;
     }
-    for (DecisionId d = 0; d < k; ++d) {
-      row[d] = row[d] / sum;
-      if (mu > 0.0) {
-        row[d] = (1.0 - mu) * row[d] + mu / static_cast<double>(k);
-      }
-    }
+    simd::normalize_mix(row.data(), sum, mu, mu / static_cast<double>(k), k);
   }
   state.p = std::move(next);
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/contracts.h"
+#include "common/simd.h"
 #include "common/stats.h"
 
 namespace avcp::perception {
@@ -291,7 +292,9 @@ void EdgeServerDataPlane::build_composition_table(std::size_t num_senders) {
     for (core::DecisionId l = 0; l < k; ++l) {
       if (readable_[r * k + l] == 0 || ws_.class_items[l] == 0) continue;
       const std::uint32_t* src = ws_.item_count.data() + l * omega;
-      for (std::size_t i = 0; i < omega; ++i) dst[i] += src[i];
+      // Exact integer merge of the class's per-item upload counts into
+      // the receiver row — SIMD-safe, no FP involved.
+      simd::add_u32(dst, src, omega);
     }
   }
 }

@@ -254,9 +254,7 @@ IncrementalBetweenness::IncrementalBetweenness(const RoadGraph& g,
       dists_(g.num_intersections()),
       centrality_(g.num_segments(), 0.0),
       pool_(std::min<std::size_t>(
-          opts.num_threads == 0
-              ? std::max(1u, std::thread::hardware_concurrency())
-              : opts.num_threads,
+          ThreadPool::clamped_lanes(opts.num_threads),
           std::max<std::size_t>(1, g.num_intersections()))) {
   AVCP_EXPECT(g_.finalized());
   AVCP_EXPECT(g_.num_intersections() >= 1);

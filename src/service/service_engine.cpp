@@ -97,7 +97,7 @@ ServiceEngine::ServiceEngine(const core::MultiRegionGame& game,
       inert_faults_(faults::FaultParams{}),
       faults_(faults != nullptr ? faults : &inert_faults_),
       events_(params.churn),
-      pool_(params.num_threads) {
+      pool_(ThreadPool::clamped_lanes(params.num_threads)) {
   params_.validate();
   controller_.emplace(inner, *faults_, params_.degraded);
   if (params_.mode == ServiceParams::Mode::kFleet) {
@@ -308,7 +308,15 @@ void ServiceEngine::snapshot_states() {
 }
 
 void ServiceEngine::revise(std::size_t e) {
-  pool_.parallel_for(0, game_.num_regions(), [&](std::size_t ri) {
+  // Churn drifts the fleets apart, so balance the dispatch by live
+  // per-region cost (members × classes) instead of region count; the plan
+  // depends only on fleet shapes, never on thread count.
+  std::vector<double> cost(game_.num_regions());
+  for (core::RegionId r = 0; r < game_.num_regions(); ++r) {
+    cost[r] = static_cast<double>(members_[r].size()) *
+              static_cast<double>(game_.num_decisions());
+  }
+  pool_.parallel_for_weighted(cost, [&](std::size_t ri) {
     const auto r = static_cast<core::RegionId>(ri);
     if (down_[ri] != 0) return;  // outage: the fleet holds, same as AgentSim
     const std::vector<std::size_t>& m = members_[ri];

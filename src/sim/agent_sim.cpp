@@ -26,7 +26,7 @@ AgentBasedSim::AgentBasedSim(const core::MultiRegionGame& game,
       faults_(faults != nullptr && faults->active() ? faults : nullptr),
       adversary_(adversary != nullptr && adversary->active() ? adversary
                                                              : nullptr),
-      pool_(params.num_threads) {
+      pool_(ThreadPool::clamped_lanes(params.num_threads)) {
   AVCP_EXPECT(params_.vehicles_per_region >= 2);
   AVCP_EXPECT(params_.revision_rate >= 0.0 && params_.revision_rate <= 1.0);
   AVCP_EXPECT(params_.imitation_scale > 0.0);
@@ -49,25 +49,36 @@ AgentBasedSim::AgentBasedSim(const core::MultiRegionGame& game,
                               derive_seed(params_.seed, {kMeasureStream, i}));
     }
   }
+  // Balance the per-region dispatch by measured cost (vehicles × classes),
+  // not region count; fleet shapes are fixed, so plan once.
+  std::vector<double> cost(game.num_regions());
+  for (core::RegionId i = 0; i < game.num_regions(); ++i) {
+    cost[i] = static_cast<double>(decisions_[i].size()) *
+              static_cast<double>(game.num_decisions());
+  }
+  chunk_plan_ = balanced_chunks(cost, 4 * pool_.size());
 }
 
 void AgentBasedSim::init_from(const core::GameState& state) {
   AVCP_EXPECT(state.p.size() == game_.num_regions());
   const std::size_t epoch = init_epoch_++;
-  pool_.parallel_for(0, decisions_.size(), [&](std::size_t i) {
+  auto task = [&](std::size_t i) {
     core::check_distribution(state.p[i]);
     Rng rng(derive_seed(params_.seed, {kInitStream, epoch, i}));
     for (auto& decision : decisions_[i]) {
       decision = static_cast<core::DecisionId>(rng.weighted_index(state.p[i]));
     }
-  });
+  };
+  const ThreadPool::Stage stage{decisions_.size(), IndexFnRef(task), 0,
+                                chunk_plan_};
+  pool_.run_batch({&stage, 1});
 }
 
 void AgentBasedSim::step(std::span<const double> x) {
   AVCP_EXPECT(x.size() == game_.num_regions());
   const core::GameState snapshot = empirical_state();
 
-  pool_.parallel_for(0, decisions_.size(), [&](std::size_t i) {
+  auto task = [&](std::size_t i) {
     // Edge-server outage: the region's fleet gets no fitness signal this
     // round, so every vehicle holds its decision — checked before the
     // fitness computation, which dominates the per-round cost and would be
@@ -113,7 +124,10 @@ void AgentBasedSim::step(std::span<const double> x) {
           std::min(1.0, params_.imitation_scale * gain);
       if (rng.bernoulli(p_imitate)) region[v] = theirs;
     }
-  });
+  };
+  const ThreadPool::Stage stage{decisions_.size(), IndexFnRef(task), 0,
+                                chunk_plan_};
+  pool_.run_batch({&stage, 1});
   ++round_;
 }
 

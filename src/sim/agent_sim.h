@@ -111,6 +111,10 @@ class AgentBasedSim {
   /// elements); empty when measured_fitness is off. Region task i is the
   /// sole user of exchanges_[i], preserving thread-count invariance.
   std::deque<MeasuredExchange> exchanges_;
+  /// Cost-balanced chunk plan for the per-region dispatch (per-region cost
+  /// = vehicles × classes). Fleet shapes are fixed at construction, so the
+  /// plan is computed once; boundaries are thread-count independent.
+  std::vector<std::uint32_t> chunk_plan_;
 };
 
 }  // namespace avcp::sim

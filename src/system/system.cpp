@@ -68,7 +68,7 @@ CooperativePerceptionSystem::CooperativePerceptionSystem(
       params_(params),
       faults_(faults != nullptr && faults->active() ? faults : nullptr),
       rng_(params.seed),
-      pool_(params.num_threads),
+      pool_(ThreadPool::clamped_lanes(params.num_threads)),
       universe_(make_universe(game, params.items_per_sensor,
                               params.vehicles_per_region, rng_)) {
   AVCP_EXPECT(params_.vehicles_per_region >= 2);
@@ -268,7 +268,7 @@ RoundReport CooperativePerceptionSystem::run_round(
   std::vector<std::vector<double>> round_fitness(game_.num_regions());
   std::vector<std::vector<perception::Vehicle>> last_vehicles(
       game_.num_regions());
-  pool_.parallel_for(0, game_.num_regions(), [&](std::size_t region_index) {
+  auto data_plane_stage = [&](std::size_t region_index) {
     const auto i = static_cast<core::RegionId>(region_index);
     Rng rng(derive_seed(params_.seed, {kExchangeStream, round_, region_index}));
     auto& fleet = decisions_[i];
@@ -418,27 +418,24 @@ RoundReport CooperativePerceptionSystem::run_round(
     if (pipeline_ != nullptr && report.faults.region_down[i] == 0) {
       pipeline_->observe_uploads(i, upload_mass);
     }
-  });
-  // Fleet-wide loss totals: reduced in region order after the join.
-  for (core::RegionId i = 0; i < game_.num_regions(); ++i) {
-    report.faults.uploads_lost += report.faults.uploads_lost_by_region[i];
-    report.faults.deliveries_lost +=
-        report.faults.deliveries_lost_by_region[i];
-  }
+  };
 
-  // --- Inter-region exchange (Fig. 5, Eq. (4)'s x_j * gamma_ji term):
-  // vehicles of a neighbouring region act as senders at the sender region's
-  // ratio; gamma scales how many of them this region's vehicles meet.
-  // Receiver regions are independent once every region's last_vehicles is
-  // frozen (the join above is the barrier): task i reads neighbours'
-  // sender fleets, samples from its own (round, region) stream, and writes
-  // only round_fitness[i] through its own plane.
-  if (params_.inter_region_exchange) {
-    pool_.parallel_for(0, game_.num_regions(), [&](std::size_t region_index) {
-      const auto i = static_cast<core::RegionId>(region_index);
-      // A region whose edge servers are down this round neither relays
-      // cross-region data to its fleet nor serves as a sender side.
-      if (report.faults.region_down[i] != 0) return;
+  // --- Inter-region exchange (Fig. 5, Eq. (4)'s x_j * gamma_ji term) fused
+  // with decision revision into one per-region task: vehicles of a
+  // neighbouring region act as senders at the sender region's ratio; gamma
+  // scales how many of them this region's vehicles meet. Receiver regions
+  // are independent once every region's last_vehicles is frozen (the stage
+  // barrier): task i reads neighbours' sender fleets, samples from its own
+  // per-stream (round, region) streams, and writes only round_fitness[i],
+  // decisions_[i], and realized_[i] — revision for region i reads nothing
+  // another region's task writes, so the two phases fuse without a barrier
+  // between them.
+  auto exchange_revise_stage = [&](std::size_t region_index) {
+    const auto i = static_cast<core::RegionId>(region_index);
+    // A region whose edge servers are down this round neither relays
+    // cross-region data to its fleet nor serves as a sender side — but its
+    // fleet still revises on the own-perception fallback fitness.
+    if (params_.inter_region_exchange && report.faults.region_down[i] == 0) {
       Rng rng(derive_seed(params_.seed, {kInterStream, round_, region_index}));
       const double beta = game_.region(i).beta;
       for (const auto& [j, gamma] : game_.region(i).neighbors) {
@@ -462,12 +459,9 @@ RoundReport CooperativePerceptionSystem::run_round(
           round_fitness[i][v] += beta * outcome.marginal_utility[v];
         }
       }
-    });
-  }
+    }
 
-  // --- Decision revision by realized fitness. -----------------------------
-  pool_.parallel_for(0, game_.num_regions(), [&](std::size_t region_index) {
-    const auto i = static_cast<core::RegionId>(region_index);
+    // --- Decision revision by realized fitness. ---------------------------
     Rng rng(derive_seed(params_.seed, {kReviseStream, round_, region_index}));
     auto& fleet = decisions_[i];
     const auto& fitness = round_fitness[i];
@@ -510,7 +504,32 @@ RoundReport CooperativePerceptionSystem::run_round(
         fleet[v] = shown[peer];
       }
     }
-  });
+  };
+
+  // Both stages cross the pool boundary in ONE dispatch (single worker
+  // wake; the inter-stage barrier is the claim word flipping over), with
+  // chunks balanced by measured per-region cost — vehicles × classes —
+  // rather than region count, so one heavy region does not serialise the
+  // round. The plan depends only on fleet shapes, never on thread count.
+  std::vector<double> region_cost(game_.num_regions());
+  for (core::RegionId i = 0; i < game_.num_regions(); ++i) {
+    region_cost[i] = static_cast<double>(decisions_[i].size()) *
+                     static_cast<double>(game_.num_decisions());
+  }
+  const std::vector<std::uint32_t> chunk_plan =
+      balanced_chunks(region_cost, 4 * pool_.size());
+  const ThreadPool::Stage round_stages[] = {
+      {game_.num_regions(), IndexFnRef(data_plane_stage), 0, chunk_plan},
+      {game_.num_regions(), IndexFnRef(exchange_revise_stage), 0, chunk_plan},
+  };
+  pool_.run_batch(round_stages);
+
+  // Fleet-wide loss totals: reduced in region order after the join.
+  for (core::RegionId i = 0; i < game_.num_regions(); ++i) {
+    report.faults.uploads_lost += report.faults.uploads_lost_by_region[i];
+    report.faults.deliveries_lost +=
+        report.faults.deliveries_lost_by_region[i];
+  }
 
   fault_counters_.uploads_lost += report.faults.uploads_lost;
   fault_counters_.deliveries_lost += report.faults.deliveries_lost;

@@ -8,9 +8,12 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "byzantine/adversary_model.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
 #include "byzantine/report_pipeline.h"
 #include "core/fds.h"
 #include "faults/fault_model.h"
@@ -23,7 +26,11 @@ namespace {
 
 using core::testing::make_chain_game;
 
-constexpr std::size_t kThreadCounts[] = {1, 2, 8};
+// Engine-level counts: the engines clamp requests to the machine's core
+// count (ThreadPool::clamped_lanes), so 13 exercises the clamp path on
+// most machines and real extra lanes on big ones. Raw-pool counts below
+// bypass the clamp to lock the protocol under true oversubscription.
+constexpr std::size_t kThreadCounts[] = {1, 2, 3, 8, 13};
 constexpr std::size_t kRounds = 12;
 
 core::DesiredFields share_band_fields(std::size_t regions, double lo,
@@ -212,6 +219,40 @@ TEST(Determinism, AgentSimTrajectoryIsThreadCountInvariant) {
       ASSERT_EQ(states[r].p, baseline[r].p)
           << "threads " << threads << " round " << r;
     }
+  }
+}
+
+TEST(Determinism, ProtocolHoldsUnderTrueOversubscription) {
+  // The engines clamp their lane counts to the hardware, so system-level
+  // runs can never oversubscribe; this locks the determinism protocol on
+  // a raw ThreadPool whose constructor honours the exact count — 16 lanes
+  // on any CI box means lanes the OS leaves unscheduled mid-stage. The
+  // workload follows the protocol: per-index hash-derived RNG streams,
+  // index-owned writes, caller-side ordered reduction, over a
+  // cost-balanced chunk plan whose boundaries ignore lane count.
+  constexpr std::size_t kN = 97;
+  auto run = [&](std::size_t lanes) {
+    ThreadPool pool(lanes);
+    std::vector<double> cost(kN);
+    for (std::size_t i = 0; i < kN; ++i) {
+      cost[i] = static_cast<double>(1 + (i * 13) % 7);
+    }
+    std::vector<double> out(kN, 0.0);
+    pool.parallel_for_weighted(cost, [&](std::size_t i) {
+      Rng rng(derive_seed(404, {0xD7, i}));
+      double acc = 0.0;
+      for (int k = 0; k < 32; ++k) acc += rng.uniform() * (k + 1);
+      out[i] = acc;
+    });
+    double sum = 0.0;
+    for (const double v : out) sum += v;  // index order on the caller
+    return std::pair(out, sum);
+  };
+  const auto [base_out, base_sum] = run(1);
+  for (const std::size_t lanes : {2, 8, 13, 16}) {
+    const auto [out, sum] = run(static_cast<std::size_t>(lanes));
+    ASSERT_EQ(out, base_out) << "lanes " << lanes;
+    ASSERT_EQ(sum, base_sum) << "lanes " << lanes;
   }
 }
 

@@ -1,0 +1,138 @@
+// Bit-identity lock for the SIMD kernels (common/simd.h): whatever
+// instruction set they compiled to, their output must equal — to the last
+// bit — a plain scalar transcription of the same per-element expression.
+// This is the property that lets the replicator and data-plane hot loops
+// vectorize without touching the determinism contract, so it is pinned
+// across sizes that exercise every vector-width/tail split (including
+// n < one vector, exact multiples, and ragged tails).
+#include "common/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace avcp {
+namespace {
+
+// Sizes chosen to hit: empty, sub-vector, exact SSE2 (2/4), exact AVX2
+// (4/8), and ragged tails for both widths.
+constexpr std::size_t kSizes[] = {0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 90};
+
+TEST(Simd, ActiveIsaIsKnown) {
+  const std::string isa = simd::active_isa();
+  EXPECT_TRUE(isa == "avx2" || isa == "sse2" || isa == "scalar") << isa;
+}
+
+TEST(Simd, AddU32MatchesScalarBitForBit) {
+  Rng rng(2022);
+  for (const std::size_t n : kSizes) {
+    std::vector<std::uint32_t> dst(n), src(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      dst[i] = static_cast<std::uint32_t>(rng.uniform_int(0, 1 << 20));
+      src[i] = static_cast<std::uint32_t>(rng.uniform_int(0, 1 << 20));
+    }
+    std::vector<std::uint32_t> expected = dst;
+    for (std::size_t i = 0; i < n; ++i) expected[i] += src[i];
+    simd::add_u32(dst.data(), src.data(), n);
+    ASSERT_EQ(dst, expected) << "n=" << n;
+  }
+}
+
+TEST(Simd, GrowthUpdateMatchesScalarBitForBit) {
+  Rng rng(7);
+  for (const std::size_t n : kSizes) {
+    std::vector<double> p(n), q(n), row(n, 0.0), expected(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      p[i] = rng.uniform();
+      q[i] = rng.uniform() * 3.0 - 1.0;
+    }
+    const double qbar = rng.uniform();
+    const double eta = 0.5;
+    const double min_factor = 0.05;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double factor = 1.0 + eta * (q[i] - qbar);
+      expected[i] = p[i] * std::max(factor, min_factor);
+    }
+    simd::growth_update(row.data(), p.data(), q.data(), qbar, eta, min_factor,
+                        n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // operator== on double: bit-identity for these (finite) values.
+      ASSERT_EQ(row[i], expected[i]) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(Simd, GrowthUpdateClampsAtMinFactor) {
+  // A q far below qbar drives the growth factor negative; the kernel must
+  // clamp it exactly like the scalar max().
+  double row = 0.0;
+  const double p = 0.8;
+  const double q = -50.0;
+  simd::growth_update(&row, &p, &q, /*qbar=*/0.0, /*eta=*/1.0,
+                      /*min_factor=*/0.1, 1);
+  EXPECT_EQ(row, 0.8 * 0.1);
+}
+
+TEST(Simd, NormalizeMixMatchesScalarBitForBit) {
+  Rng rng(13);
+  for (const double mu : {0.0, 0.02}) {
+    for (const std::size_t n : kSizes) {
+      if (n == 0) continue;
+      std::vector<double> row(n), expected(n);
+      double sum = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        row[i] = rng.uniform() + 1e-3;
+        sum += row[i];  // ordered scalar reduction, as in the caller
+      }
+      const double mu_over_n = mu / static_cast<double>(n);
+      const double keep = 1.0 - mu;
+      for (std::size_t i = 0; i < n; ++i) {
+        expected[i] = row[i] / sum;
+        if (mu > 0.0) expected[i] = keep * expected[i] + mu_over_n;
+      }
+      simd::normalize_mix(row.data(), sum, mu, mu_over_n, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(row[i], expected[i]) << "mu=" << mu << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(Simd, KernelsComposeLikeTheReplicatorStep) {
+  // The exact call shape game.cpp uses: growth, ordered row sum, then
+  // normalize+mutate. Locks the composition, not just each kernel.
+  Rng rng(99);
+  constexpr std::size_t kN = 8;
+  std::vector<double> p(kN), q(kN), row(kN), expected(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    p[i] = 1.0 / kN;
+    q[i] = rng.uniform();
+  }
+  double qbar = 0.0;
+  for (std::size_t i = 0; i < kN; ++i) qbar += p[i] * q[i];
+
+  for (std::size_t i = 0; i < kN; ++i) {
+    expected[i] = p[i] * std::max(1.0 + 0.5 * (q[i] - qbar), 0.05);
+  }
+  double esum = 0.0;
+  for (std::size_t i = 0; i < kN; ++i) esum += expected[i];
+  for (std::size_t i = 0; i < kN; ++i) {
+    expected[i] = (1.0 - 0.01) * (expected[i] / esum) + 0.01 / kN;
+  }
+
+  simd::growth_update(row.data(), p.data(), q.data(), qbar, 0.5, 0.05, kN);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < kN; ++i) sum += row[i];
+  ASSERT_EQ(sum, esum);
+  simd::normalize_mix(row.data(), sum, 0.01, 0.01 / kN, kN);
+  for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(row[i], expected[i]);
+}
+
+}  // namespace
+}  // namespace avcp

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstddef>
@@ -17,8 +18,62 @@ namespace {
 TEST(ThreadPool, SizeCountsCallerAsALane) {
   EXPECT_EQ(ThreadPool(1).size(), 1u);
   EXPECT_EQ(ThreadPool(4).size(), 4u);
-  // 0 = hardware concurrency, which is at least one lane.
+  // 0 = hardware concurrency; even if the standard-permitted
+  // hardware_concurrency() == 0 case fires, the guard resolves to one lane.
   EXPECT_GE(ThreadPool(0).size(), 1u);
+}
+
+TEST(ThreadPool, ClampedLanesRespectsHardware) {
+  const std::size_t hw = ThreadPool::clamped_lanes(0);
+  EXPECT_GE(hw, 1u);  // the hardware_concurrency()==0 guard
+  EXPECT_EQ(ThreadPool::clamped_lanes(1), 1u);
+  // Requests beyond the core count clamp to it; requests within it are
+  // honoured exactly.
+  EXPECT_EQ(ThreadPool::clamped_lanes(hw), hw);
+  EXPECT_EQ(ThreadPool::clamped_lanes(hw + 1), hw);
+  EXPECT_EQ(ThreadPool::clamped_lanes(10000), hw);
+}
+
+TEST(BalancedChunks, EvenCostsSplitEvenly) {
+  const std::vector<double> cost(8, 1.0);
+  const auto ends = balanced_chunks(cost, 4);
+  EXPECT_EQ(ends, (std::vector<std::uint32_t>{2, 4, 6, 8}));
+}
+
+TEST(BalancedChunks, HeavyHeadGetsItsOwnChunk) {
+  // One region worth as much as all others combined should not drag
+  // neighbours into its chunk.
+  const std::vector<double> cost = {7.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+  const auto ends = balanced_chunks(cost, 4);
+  ASSERT_GE(ends.size(), 2u);
+  EXPECT_EQ(ends[0], 1u);       // the heavy region alone
+  EXPECT_EQ(ends.back(), 8u);   // full coverage
+}
+
+TEST(BalancedChunks, ZeroCostsStillCoverEveryIndex) {
+  const std::vector<double> cost(5, 0.0);
+  const auto ends = balanced_chunks(cost, 3);
+  ASSERT_FALSE(ends.empty());
+  EXPECT_EQ(ends.back(), 5u);
+  for (std::size_t c = 1; c < ends.size(); ++c) {
+    EXPECT_GT(ends[c], ends[c - 1]);  // every chunk non-empty
+  }
+}
+
+TEST(BalancedChunks, MoreChunksThanIndicesDegradesToSingletons) {
+  const std::vector<double> cost = {1.0, 2.0, 3.0};
+  const auto ends = balanced_chunks(cost, 16);
+  EXPECT_EQ(ends, (std::vector<std::uint32_t>{1, 2, 3}));
+}
+
+TEST(BalancedChunks, PlanIsThreadCountIndependent) {
+  // The plan feeds the determinism protocol: it may depend only on the
+  // costs and the chunk budget, never on how many lanes will claim it.
+  std::vector<double> cost;
+  for (int i = 0; i < 33; ++i) cost.push_back(1.0 + (i % 7));
+  const auto a = balanced_chunks(cost, 8);
+  const auto b = balanced_chunks(cost, 8);
+  EXPECT_EQ(a, b);
 }
 
 TEST(ThreadPool, EmptyRangeRunsNothing) {
@@ -43,7 +98,9 @@ TEST(ThreadPool, SingleItemRunsInline) {
 }
 
 TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
-  for (const std::size_t threads : {1u, 2u, 8u}) {
+  // 13 lanes oversubscribes most machines: item-count completion means the
+  // workers the OS leaves unscheduled must not block coverage or the join.
+  for (const std::size_t threads : {1u, 2u, 8u, 13u}) {
     ThreadPool pool(threads);
     constexpr std::size_t kN = 1000;
     std::vector<std::atomic<int>> hits(kN);
@@ -128,6 +185,133 @@ TEST(ThreadPool, ManySmallJobsBackToBack) {
     pool.parallel_for(0, 5, [&](std::size_t i) { total += i; });
   }
   EXPECT_EQ(total.load(), 200u * (0 + 1 + 2 + 3 + 4));
+}
+
+TEST(ThreadPool, ExceptionCancelsUnderChunkedClaiming) {
+  // A failing chunk must cancel the stage's unclaimed chunks (not just
+  // unclaimed indices of its own chunk), release the barrier, and leave
+  // the pool reusable. The range is large enough that full execution
+  // despite the immediate throw would mean cancellation never fired.
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 100000;
+  std::atomic<std::size_t> calls{0};
+  try {
+    pool.parallel_for(
+        0, kN,
+        [&](std::size_t i) {
+          ++calls;
+          if (i == 0) throw std::runtime_error("chunk fail");
+        },
+        /*grain=*/64);
+    FAIL() << "expected the task exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "chunk fail");
+  }
+  EXPECT_LT(calls.load(), kN);
+  std::atomic<std::size_t> again{0};
+  pool.parallel_for(0, 100, [&](std::size_t) { ++again; });
+  EXPECT_EQ(again.load(), 100u);
+}
+
+TEST(ThreadPool, RunBatchBarriersBetweenStages) {
+  // Stage s+1 may not start until every index of stage s has executed; a
+  // stage-2 task reading the slot a *different* stage-1 index wrote is
+  // well-defined only under that barrier.
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 256;
+  std::vector<int> a(kN, 0);
+  std::atomic<std::size_t> stage1_done{0};
+  std::atomic<bool> barrier_violated{false};
+  auto s1 = [&](std::size_t i) {
+    a[i] = static_cast<int>(i) + 1;
+    stage1_done.fetch_add(1, std::memory_order_release);
+  };
+  auto s2 = [&](std::size_t i) {
+    if (stage1_done.load(std::memory_order_acquire) != kN ||
+        a[kN - 1 - i] != static_cast<int>(kN - 1 - i) + 1) {
+      barrier_violated.store(true);
+    }
+  };
+  const ThreadPool::Stage stages[] = {{kN, IndexFnRef(s1), 0, {}},
+                                      {kN, IndexFnRef(s2), 0, {}}};
+  for (int rep = 0; rep < 20; ++rep) {
+    stage1_done.store(0);
+    std::fill(a.begin(), a.end(), 0);
+    pool.run_batch(stages);
+    ASSERT_FALSE(barrier_violated.load()) << "rep " << rep;
+  }
+}
+
+TEST(ThreadPool, RunBatchSkipsLaterStagesAfterException) {
+  ThreadPool pool(4);
+  std::atomic<int> s2_calls{0};
+  auto s1 = [](std::size_t) { throw std::runtime_error("stage 1"); };
+  auto s2 = [&](std::size_t) { ++s2_calls; };
+  const ThreadPool::Stage stages[] = {{64, IndexFnRef(s1), 0, {}},
+                                      {64, IndexFnRef(s2), 0, {}}};
+  EXPECT_THROW(pool.run_batch(stages), std::runtime_error);
+  EXPECT_EQ(s2_calls.load(), 0);
+  // And the next batch runs normally.
+  std::atomic<int> ok{0};
+  auto s3 = [&](std::size_t) { ++ok; };
+  const ThreadPool::Stage next[] = {{32, IndexFnRef(s3), 0, {}}};
+  pool.run_batch(next);
+  EXPECT_EQ(ok.load(), 32);
+}
+
+TEST(ThreadPool, RunBatchSkipsEmptyStages) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  auto task = [&](std::size_t) { ++calls; };
+  const ThreadPool::Stage stages[] = {{0, IndexFnRef(task), 0, {}},
+                                      {16, IndexFnRef(task), 0, {}},
+                                      {0, IndexFnRef(task), 0, {}}};
+  pool.run_batch(stages);
+  EXPECT_EQ(calls.load(), 16);
+}
+
+TEST(ThreadPool, WeightedDispatchCoversEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {1u, 4u, 13u}) {
+    ThreadPool pool(threads);
+    constexpr std::size_t kN = 300;
+    std::vector<double> cost(kN);
+    for (std::size_t i = 0; i < kN; ++i) {
+      cost[i] = static_cast<double>(1 + (i * 37) % 11);
+    }
+    std::vector<std::atomic<int>> hits(kN);
+    pool.parallel_for_weighted(cost, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(ThreadPool, ExplicitPlanStageCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 64;
+  const std::vector<double> cost(kN, 1.0);
+  const auto plan = balanced_chunks(cost, 4 * pool.size());
+  std::vector<std::atomic<int>> hits(kN);
+  auto task = [&](std::size_t i) { ++hits[i]; };
+  const ThreadPool::Stage stage{kN, IndexFnRef(task), 0, plan};
+  pool.run_batch({&stage, 1});
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, WakeThrottleStillDrainsEveryBatch) {
+  // Hundreds of tiny back-to-back batches drive the adaptive wake
+  // throttle into its skip regime (workers contribute nothing to a
+  // drained-by-caller batch); correctness must not depend on whether a
+  // wake was sent, and the periodic probe must not lose items either.
+  ThreadPool pool(8);
+  std::atomic<std::size_t> total{0};
+  constexpr int kBatches = 500;
+  for (int job = 0; job < kBatches; ++job) {
+    pool.parallel_for(0, 7, [&](std::size_t i) { total += i; });
+  }
+  EXPECT_EQ(total.load(), static_cast<std::size_t>(kBatches) * 21u);
 }
 
 }  // namespace
