@@ -7,9 +7,16 @@
 // scale-stable (see EXPERIMENTS.md).
 #pragma once
 
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <new>
 #include <string>
 #include <vector>
+
+#if defined(__linux__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "common/interval.h"
 #include "core/fds.h"
@@ -18,6 +25,32 @@
 #include "sim/runner.h"
 
 namespace avcp::bench {
+
+/// Peak resident set size of this process in bytes (0 where the platform
+/// offers no getrusage). Linux reports ru_maxrss in kilobytes, macOS in
+/// bytes.
+inline std::size_t peak_rss_bytes() {
+#if defined(__linux__) || defined(__APPLE__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(usage.ru_maxrss);
+#else
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024;
+#endif
+#else
+  return 0;
+#endif
+}
+
+/// Outstanding heap allocations, counted by the replaced global operator
+/// new/delete that AVCP_BENCH_DEFINE_COUNTING_ALLOCATOR defines. Binaries
+/// that don't define the allocator read a constant 0.
+inline std::atomic<long long> g_live_allocations{0};
+
+inline long long live_allocations() {
+  return g_live_allocations.load(std::memory_order_relaxed);
+}
 
 /// Paper-shaped pipeline configuration (Futian box proportions).
 inline sim::PipelineConfig paper_config(sim::CoefficientKind kind,
@@ -107,3 +140,50 @@ inline void print_rule() {
 }
 
 }  // namespace avcp::bench
+
+/// Replaces the global operator new/delete with counting versions wired to
+/// avcp::bench::g_live_allocations, so a bench can assert zero steady-state
+/// allocations or a bounded live-allocation growth. Replacement functions
+/// must be defined in exactly ONE translation unit of the binary — invoke
+/// this macro at namespace scope in the bench's main .cpp only.
+// NOLINTBEGIN(cppcoreguidelines-macro-usage)
+#define AVCP_BENCH_DEFINE_COUNTING_ALLOCATOR()                                 \
+  namespace {                                                                  \
+  void* avcp_counted_alloc(std::size_t size) {                                 \
+    avcp::bench::g_live_allocations.fetch_add(1, std::memory_order_relaxed);   \
+    void* p = std::malloc(size);                                               \
+    if (p == nullptr) throw std::bad_alloc();                                  \
+    return p;                                                                  \
+  }                                                                            \
+  void avcp_counted_free(void* p) noexcept {                                   \
+    if (p != nullptr) {                                                        \
+      avcp::bench::g_live_allocations.fetch_sub(1, std::memory_order_relaxed); \
+    }                                                                          \
+    std::free(p);                                                              \
+  }                                                                            \
+  }                                                                            \
+  void* operator new(std::size_t size) { return avcp_counted_alloc(size); }    \
+  void* operator new[](std::size_t size) { return avcp_counted_alloc(size); }  \
+  void* operator new(std::size_t size, const std::nothrow_t&) noexcept {       \
+    avcp::bench::g_live_allocations.fetch_add(1, std::memory_order_relaxed);   \
+    return std::malloc(size);                                                  \
+  }                                                                            \
+  void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {     \
+    avcp::bench::g_live_allocations.fetch_add(1, std::memory_order_relaxed);   \
+    return std::malloc(size);                                                  \
+  }                                                                            \
+  void operator delete(void* p) noexcept { avcp_counted_free(p); }             \
+  void operator delete[](void* p) noexcept { avcp_counted_free(p); }           \
+  void operator delete(void* p, std::size_t) noexcept {                        \
+    avcp_counted_free(p);                                                      \
+  }                                                                            \
+  void operator delete[](void* p, std::size_t) noexcept {                      \
+    avcp_counted_free(p);                                                      \
+  }                                                                            \
+  void operator delete(void* p, const std::nothrow_t&) noexcept {              \
+    avcp_counted_free(p);                                                      \
+  }                                                                            \
+  void operator delete[](void* p, const std::nothrow_t&) noexcept {            \
+    avcp_counted_free(p);                                                      \
+  }
+// NOLINTEND(cppcoreguidelines-macro-usage)

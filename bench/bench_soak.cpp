@@ -45,48 +45,10 @@
 #include "service/service_engine.h"
 #include "service/shutdown.h"
 
-// ---------------------------------------------------------------------------
 // Live-allocation accounting (process-wide in this binary only): the soak's
 // bounded-memory assertion counts outstanding allocations, so a leak of
 // even one allocation per epoch is visible against the post-warm-up sample.
-// ---------------------------------------------------------------------------
-namespace {
-std::atomic<long long> g_live_allocs{0};
-
-void* counted_alloc(std::size_t size) {
-  g_live_allocs.fetch_add(1, std::memory_order_relaxed);
-  void* p = std::malloc(size);
-  if (p == nullptr) throw std::bad_alloc();
-  return p;
-}
-}  // namespace
-
-void* operator new(std::size_t size) { return counted_alloc(size); }
-void* operator new[](std::size_t size) { return counted_alloc(size); }
-void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
-  g_live_allocs.fetch_add(1, std::memory_order_relaxed);
-  return std::malloc(size);
-}
-void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
-  g_live_allocs.fetch_add(1, std::memory_order_relaxed);
-  return std::malloc(size);
-}
-void operator delete(void* p) noexcept {
-  if (p != nullptr) g_live_allocs.fetch_sub(1, std::memory_order_relaxed);
-  std::free(p);
-}
-void operator delete[](void* p) noexcept {
-  if (p != nullptr) g_live_allocs.fetch_sub(1, std::memory_order_relaxed);
-  std::free(p);
-}
-void operator delete(void* p, std::size_t) noexcept {
-  if (p != nullptr) g_live_allocs.fetch_sub(1, std::memory_order_relaxed);
-  std::free(p);
-}
-void operator delete[](void* p, std::size_t) noexcept {
-  if (p != nullptr) g_live_allocs.fetch_sub(1, std::memory_order_relaxed);
-  std::free(p);
-}
+AVCP_BENCH_DEFINE_COUNTING_ALLOCATOR()
 
 using namespace avcp;
 
@@ -212,7 +174,7 @@ int main(int argc, char** argv) {
     svc.run_epoch();
     crash.after_round(round);
     if (round + 1 == warmup) {
-      live_after_warmup = g_live_allocs.load(std::memory_order_relaxed);
+      live_after_warmup = bench::live_allocations();
     }
   };
   hooks.save = [&](checkpoint::CheckpointWriter& writer) {
@@ -269,11 +231,13 @@ int main(int argc, char** argv) {
   // A steady-state leak of one allocation per epoch would grow live counts
   // by (epochs - warmup); allow a generous fixed slack plus a sliver for
   // fleet-size drift, far below any real per-epoch leak.
-  const long long live_final = g_live_allocs.load(std::memory_order_relaxed);
+  const long long live_final = bench::live_allocations();
   const long long budget =
       1024 + static_cast<long long>((epochs - warmup) / 16);
-  std::fprintf(stderr, "soak: live allocs after warmup=%lld final=%lld (budget +%lld)\n",
-               live_after_warmup, live_final, budget);
+  std::fprintf(stderr,
+               "soak: live allocs after warmup=%lld final=%lld (budget +%lld) "
+               "peak_rss_bytes=%zu\n",
+               live_after_warmup, live_final, budget, bench::peak_rss_bytes());
   if (outcome.start_round < warmup) {  // resumed runs past warmup: no sample
     if (live_after_warmup < 0 || live_final - live_after_warmup > budget) {
       ok = soak_fail("live allocations grew past the steady-state budget");

@@ -40,24 +40,24 @@ IncrementalClustering::RefreshStats IncrementalClustering::apply(
   // Fold duplicates into the counts first, then hand the incremental
   // betweenness one final weight per touched segment, in segment-id order
   // so the update is independent of delta ordering.
-  std::vector<std::uint8_t> touched(g_.num_segments(), 0);
+  touched_.assign(g_.num_segments(), 0);
   for (const LoadDelta& d : deltas) {
     AVCP_EXPECT(d.segment < g_.num_segments());
     loads_[d.segment] += d.delta;
     AVCP_EXPECT(loads_[d.segment] >= 0);
-    touched[d.segment] = 1;
+    touched_[d.segment] = 1;
   }
-  std::vector<roadnet::SegmentId> segments;
-  std::vector<double> weights;
+  segments_.clear();
+  weights_.clear();
   for (roadnet::SegmentId s = 0; s < g_.num_segments(); ++s) {
-    if (touched[s] == 0) continue;
-    segments.push_back(s);
-    weights.push_back(g_.segment(s).travel_time_s() *
-                      (1.0 + opts_.congestion_alpha *
-                                 static_cast<double>(loads_[s])));
+    if (touched_[s] == 0) continue;
+    segments_.push_back(s);
+    weights_.push_back(g_.segment(s).travel_time_s() *
+                       (1.0 + opts_.congestion_alpha *
+                                  static_cast<double>(loads_[s])));
   }
 
-  const auto up = inc_.update_weights(segments, weights);
+  const auto up = inc_.update_weights(segments_, weights_);
   stats.segments_changed = up.segments_changed;
   stats.sources_affected = up.sources_affected;
   stats.chunks_recomputed = up.chunks_recomputed;

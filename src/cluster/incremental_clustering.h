@@ -91,6 +91,11 @@ class IncrementalClustering {
   std::vector<std::int64_t> loads_;
   roadnet::IncrementalBetweenness inc_;
   Clustering clustering_;
+  /// Grow-only apply() scratch: steady-state refreshes that end up
+  /// changing no weight (e.g. congestion_alpha == 0) allocate nothing.
+  std::vector<std::uint8_t> touched_;
+  std::vector<roadnet::SegmentId> segments_;
+  std::vector<double> weights_;
 };
 
 }  // namespace avcp::cluster

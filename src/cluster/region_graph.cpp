@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 
 #include "common/contracts.h"
 
@@ -67,60 +66,57 @@ void RegionGraph::finalize(double normalizer) {
   finalized_ = true;
 }
 
-RegionGraph build_region_graph(std::span<const trace::GpsFix> fixes,
-                               const RegionGraphInputs& inputs) {
+RegionGraphAccumulator::RegionGraphAccumulator(const RegionGraphInputs& inputs)
+    : inputs_(inputs),
+      num_windows_(static_cast<std::size_t>(
+          std::ceil(inputs.duration_s / inputs.window_s))) {
   AVCP_EXPECT(inputs.num_regions >= 1);
   AVCP_EXPECT(inputs.num_cells >= 1);
   AVCP_EXPECT(inputs.window_s > 0.0);
   AVCP_EXPECT(inputs.duration_s > 0.0);
+}
 
-  RegionGraph graph(inputs.num_regions);
-
-  // Bucket fixes by window; within a window count, per cell, the vehicles
-  // present in each region (a vehicle contributes at most one presence per
-  // window — its first fix).
-  const auto num_windows = static_cast<std::size_t>(
-      std::ceil(inputs.duration_s / inputs.window_s));
-
-  // window -> (cell -> per-region vehicle counts). A std::map keeps memory
-  // proportional to occupied (window, cell) pairs only.
-  std::map<std::pair<std::size_t, spatial::ServerId>, std::vector<double>>
-      presence;
-  std::map<std::pair<std::size_t, trace::VehicleId>, bool> seen;
-
-  for (const trace::GpsFix& fix : fixes) {
-    AVCP_EXPECT(fix.segment < inputs.region_of_segment.size());
-    const auto window = static_cast<std::size_t>(fix.time_s / inputs.window_s);
-    if (window >= num_windows) continue;
-    auto [it, inserted] = seen.try_emplace({window, fix.vehicle}, true);
-    if (!inserted) continue;  // vehicle already counted in this window
-
-    const RegionId region = inputs.region_of_segment[fix.segment];
-    const spatial::ServerId cell = inputs.cell_of_segment[fix.segment];
-    auto& counts =
-        presence
-            .try_emplace({window, cell},
-                         std::vector<double>(inputs.num_regions, 0.0))
-            .first->second;
-    counts[region] += 1.0;
+void RegionGraphAccumulator::add(const trace::GpsFix& fix) {
+  AVCP_EXPECT(fix.segment < inputs_.region_of_segment.size());
+  const auto window = static_cast<std::size_t>(fix.time_s / inputs_.window_s);
+  if (window >= num_windows_) return;
+  if (!seen_.insert({window, fix.vehicle}).second) {
+    return;  // vehicle already counted in this window (first fix wins)
   }
+  const RegionId region = inputs_.region_of_segment[fix.segment];
+  const spatial::ServerId cell = inputs_.cell_of_segment[fix.segment];
+  auto& counts =
+      presence_
+          .try_emplace({window, cell},
+                       std::vector<double>(inputs_.num_regions, 0.0))
+          .first->second;
+  counts[region] += 1.0;
+}
 
-  for (const auto& [key, counts] : presence) {
-    for (std::size_t i = 0; i < inputs.num_regions; ++i) {
+RegionGraph RegionGraphAccumulator::build() {
+  RegionGraph graph(inputs_.num_regions);
+  for (const auto& [key, counts] : presence_) {
+    for (std::size_t i = 0; i < inputs_.num_regions; ++i) {
       if (counts[i] <= 0.0) continue;
       // Inner-region pairs: n * (n - 1) / 2.
       graph.accumulate(static_cast<RegionId>(i), static_cast<RegionId>(i),
                        counts[i] * (counts[i] - 1.0) / 2.0);
-      for (std::size_t j = i + 1; j < inputs.num_regions; ++j) {
+      for (std::size_t j = i + 1; j < inputs_.num_regions; ++j) {
         if (counts[j] <= 0.0) continue;
         graph.accumulate(static_cast<RegionId>(i), static_cast<RegionId>(j),
                          counts[i] * counts[j]);
       }
     }
   }
-
-  graph.finalize(inputs.duration_s);
+  graph.finalize(inputs_.duration_s);
   return graph;
+}
+
+RegionGraph build_region_graph(std::span<const trace::GpsFix> fixes,
+                               const RegionGraphInputs& inputs) {
+  RegionGraphAccumulator accumulator(inputs);
+  for (const trace::GpsFix& fix : fixes) accumulator.add(fix);
+  return accumulator.build();
 }
 
 }  // namespace avcp::cluster

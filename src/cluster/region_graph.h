@@ -11,7 +11,10 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <set>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "cluster/region_clustering.h"
@@ -65,6 +68,31 @@ struct RegionGraphInputs {
   /// Co-presence window; the paper's vehicles report every 10 s.
   double window_s = 10.0;
   double duration_s = 0.0;
+};
+
+/// Streaming builder: feed fixes one at a time (any order, any batching),
+/// then build(). Memory is proportional to the occupied (window, cell)
+/// pairs plus one marker per (window, vehicle) — independent of the total
+/// fix count — so city-scale traces never need materializing. The same fix
+/// multiset produces the same graph regardless of interleaving.
+class RegionGraphAccumulator {
+ public:
+  /// The spans inside `inputs` must stay valid for the add() calls.
+  explicit RegionGraphAccumulator(const RegionGraphInputs& inputs);
+
+  /// Consumes one fix (at most one presence per (window, vehicle) counts).
+  void add(const trace::GpsFix& fix);
+
+  /// Counts the co-presence pairs and finalizes the graph. Call once.
+  RegionGraph build();
+
+ private:
+  RegionGraphInputs inputs_;
+  std::size_t num_windows_;
+  /// window/cell -> per-region vehicle counts; only occupied pairs stored.
+  std::map<std::pair<std::size_t, spatial::ServerId>, std::vector<double>>
+      presence_;
+  std::set<std::pair<std::size_t, trace::VehicleId>> seen_;
 };
 
 /// Builds the region graph from a trace. Fixes may arrive in any order.

@@ -69,6 +69,13 @@ std::vector<double> FixedRatioController::next_x(
   return std::vector<double>(state.num_regions(), value_);
 }
 
+void FixedRatioController::next_x_into(const GameState& state,
+                                       const std::vector<double>& x_prev,
+                                       std::vector<double>& out) {
+  (void)x_prev;
+  out.assign(state.num_regions(), value_);
+}
+
 FdsController::FdsController(const MultiRegionGame& game,
                              DesiredFields desired, FdsOptions options)
     : game_(game), desired_(std::move(desired)), options_(options) {
@@ -214,8 +221,17 @@ IntervalSet FdsController::prioritized_feasible_set(
 
 std::vector<double> FdsController::next_x(const GameState& state,
                                           const std::vector<double>& x_prev) {
+  std::vector<double> x_next;
+  next_x_into(state, x_prev, x_next);
+  return x_next;
+}
+
+void FdsController::next_x_into(const GameState& state,
+                                const std::vector<double>& x_prev,
+                                std::vector<double>& out) {
   AVCP_EXPECT(x_prev.size() == game_.num_regions());
-  std::vector<double> x_next = x_prev;
+  std::vector<double>& x_next = out;
+  x_next = x_prev;
   for (RegionId i = 0; i < game_.num_regions(); ++i) {
     // Gauss-Seidel sweeps see the ratios already updated this round.
     const std::vector<double>& x_view =
@@ -253,7 +269,6 @@ std::vector<double> FdsController::next_x(const GameState& state,
                                     options_.max_step);
     x_next[i] = std::clamp(xi + delta, 0.0, 1.0);
   }
-  return x_next;
 }
 
 }  // namespace avcp::core

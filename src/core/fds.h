@@ -68,6 +68,16 @@ class Controller {
   virtual ~Controller() = default;
   virtual std::vector<double> next_x(const GameState& state,
                                      const std::vector<double>& x_prev) = 0;
+
+  /// Grow-only variant for steady-state loops: writes the next ratios into
+  /// `out`, reusing its capacity. `out` must not alias `x_prev`. The base
+  /// falls back to next_x; the in-tree controllers override it so a warmed
+  /// caller-owned `out` makes the call allocation-free.
+  virtual void next_x_into(const GameState& state,
+                           const std::vector<double>& x_prev,
+                           std::vector<double>& out) {
+    out = next_x(state, x_prev);
+  }
 };
 
 /// Baseline: a constant sharing ratio in every region (the x = 0.2 / 1.0
@@ -77,6 +87,8 @@ class FixedRatioController final : public Controller {
   explicit FixedRatioController(double value);
   std::vector<double> next_x(const GameState& state,
                              const std::vector<double>& x_prev) override;
+  void next_x_into(const GameState& state, const std::vector<double>& x_prev,
+                   std::vector<double>& out) override;
 
  private:
   double value_;
@@ -123,6 +135,8 @@ class FdsController final : public Controller {
   /// sees the previous round's ratios of its neighbours).
   std::vector<double> next_x(const GameState& state,
                              const std::vector<double>& x_prev) override;
+  void next_x_into(const GameState& state, const std::vector<double>& x_prev,
+                   std::vector<double>& out) override;
 
   const DesiredFields& desired() const noexcept { return desired_; }
 

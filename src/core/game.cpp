@@ -82,11 +82,19 @@ double MultiRegionGame::fitness(const GameState& state,
 std::vector<double> MultiRegionGame::region_fitness(const GameState& state,
                                                     std::span<const double> x,
                                                     RegionId i) const {
-  std::vector<double> q(num_decisions());
+  std::vector<double> q;
+  region_fitness_into(state, x, i, q);
+  return q;
+}
+
+void MultiRegionGame::region_fitness_into(const GameState& state,
+                                          std::span<const double> x,
+                                          RegionId i,
+                                          std::vector<double>& q) const {
+  q.resize(num_decisions());
   for (DecisionId k = 0; k < q.size(); ++k) {
     q[k] = fitness(state, x, i, k);
   }
-  return q;
 }
 
 double MultiRegionGame::average_fitness(const GameState& state,

@@ -97,6 +97,12 @@ class MultiRegionGame {
                                      std::span<const double> x,
                                      RegionId i) const;
 
+  /// Allocation-free variant: resizes `q` to num_decisions() and fills it
+  /// (no allocation once capacity is established — steady-state epoch
+  /// loops reuse one scratch vector per region).
+  void region_fitness_into(const GameState& state, std::span<const double> x,
+                           RegionId i, std::vector<double>& q) const;
+
   /// Population-average fitness qbar_i.
   double average_fitness(const GameState& state, std::span<const double> x,
                          RegionId i) const;

@@ -19,6 +19,14 @@ DegradedController::DegradedController(core::Controller& inner,
 
 std::vector<double> DegradedController::next_x(
     const core::GameState& state, const std::vector<double>& x_prev) {
+  std::vector<double> x_next;
+  next_x_into(state, x_prev, x_next);
+  return x_next;
+}
+
+void DegradedController::next_x_into(const core::GameState& state,
+                                     const std::vector<double>& x_prev,
+                                     std::vector<double>& out) {
   const std::size_t m = state.num_regions();
   AVCP_EXPECT(m >= 1);
   AVCP_EXPECT(x_prev.size() == m);
@@ -49,10 +57,12 @@ std::vector<double> DegradedController::next_x(
   // The inner controller sees the last good report of every region: stale
   // rows are real (just old) data, and blind rows only matter through the
   // inter-region coupling terms, where old data beats garbage.
-  const std::vector<double> x_inner = inner_.next_x(last_good_, x_prev);
+  inner_.next_x_into(last_good_, x_prev, inner_x_);
+  const std::vector<double>& x_inner = inner_x_;
   AVCP_ENSURE(x_inner.size() == m);
 
-  std::vector<double> x_next(m);
+  std::vector<double>& x_next = out;
+  x_next.assign(m, 0.0);
   for (core::RegionId i = 0; i < m; ++i) {
     const double xi = std::clamp(x_prev[i], 0.0, 1.0);
     if (!degraded_[i]) {
@@ -76,7 +86,6 @@ std::vector<double> DegradedController::next_x(
     x_next[i] = std::clamp(xi + delta, 0.0, 1.0);
   }
   ++round_;
-  return x_next;
 }
 
 std::size_t DegradedController::report_age(core::RegionId i) const {

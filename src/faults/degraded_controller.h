@@ -60,6 +60,9 @@ class DegradedController final : public core::Controller {
 
   std::vector<double> next_x(const core::GameState& state,
                              const std::vector<double>& x_prev) override;
+  void next_x_into(const core::GameState& state,
+                   const std::vector<double>& x_prev,
+                   std::vector<double>& out) override;
 
   /// Rounds processed so far (== number of next_x calls).
   std::size_t round() const noexcept { return round_; }
@@ -93,6 +96,8 @@ class DegradedController final : public core::Controller {
   std::vector<std::size_t> age_;
   std::vector<std::uint8_t> degraded_;
   FaultCounters counters_;
+  /// Grow-only scratch for the inner controller's ratios (next_x_into).
+  std::vector<double> inner_x_;
 };
 
 }  // namespace avcp::faults

@@ -13,37 +13,53 @@ namespace {
 
 constexpr std::size_t kMissPowCache = 64;
 
-/// Normalised utility measure evaluated in place: weight(s ∩ desired) /
-/// weight(desired), both sums taken in ascending item order — the exact
-/// floating-point summation order of UtilityMeasure, without its per-call
-/// desired-set copy (the per-receiver heap allocation the workspaces
-/// eliminate). `desired` must be non-empty.
-double measured_utility(const DataUniverse& universe, const ItemSet& s,
-                        const ItemSet& desired) {
-  double den = 0.0;
-  for (const ItemId id : desired) den += universe.item(id).utility_weight;
-  AVCP_ENSURE(den > 0.0);
-  double num = 0.0;
-  std::size_t i = 0;
-  std::size_t j = 0;
-  while (i < s.size() && j < desired.size()) {
-    if (s[i] < desired[j]) {
-      ++i;
-    } else if (desired[j] < s[i]) {
-      ++j;
-    } else {
-      num += universe.item(s[i]).utility_weight;
-      ++i;
-      ++j;
-    }
-  }
-  return num / den;
-}
+/// Fleets below this size keep the per-candidate item_miss_prob call; at or
+/// above it the K·Ω miss_table fill is amortised across enough receivers to
+/// win. A pure perf switch: both paths compute identical doubles.
+constexpr std::size_t kMissTableMinFleet = 2048;
 
 void sort_unique(ItemSet& s) {
   std::sort(s.begin(), s.end());
   s.erase(std::unique(s.begin(), s.end()), s.end());
 }
+
+/// AoS fleet accessor: adapts span<const Vehicle> to the kernel interface.
+struct AosFleet {
+  std::span<const Vehicle> v;
+  std::size_t size() const noexcept { return v.size(); }
+  core::DecisionId decision(std::size_t i) const noexcept {
+    return v[i].decision;
+  }
+  core::DecisionId claimed(std::size_t i) const noexcept {
+    return v[i].claimed();
+  }
+  bool revoked(std::size_t i) const noexcept { return v[i].revoked; }
+  std::span<const ItemId> collected(std::size_t i) const noexcept {
+    return v[i].collected;
+  }
+  std::span<const ItemId> desired(std::size_t i) const noexcept {
+    return v[i].desired;
+  }
+};
+
+/// SoA fleet accessor over a FleetView (flat arena + parallel arrays).
+struct SoaFleet {
+  FleetView f;
+  std::size_t size() const noexcept { return f.size(); }
+  core::DecisionId decision(std::size_t i) const noexcept {
+    return f.decision[i];
+  }
+  core::DecisionId claimed(std::size_t i) const noexcept {
+    return f.claimed(i);
+  }
+  bool revoked(std::size_t i) const noexcept { return f.revoked[i] != 0; }
+  std::span<const ItemId> collected(std::size_t i) const noexcept {
+    return f.collected_of(i);
+  }
+  std::span<const ItemId> desired(std::size_t i) const noexcept {
+    return f.desired_of(i);
+  }
+};
 
 }  // namespace
 
@@ -84,11 +100,13 @@ void EdgeServerDataPlane::refresh_item_bits() {
   }
 }
 
-void EdgeServerDataPlane::append_shared(const Vehicle& v, ItemSet& out) const {
-  AVCP_EXPECT(v.decision < lattice_.num_decisions());
-  AVCP_EXPECT(is_sorted_unique(v.collected));
-  const core::SensorMask dmask = decision_masks_[v.decision];
-  for (const ItemId id : v.collected) {
+void EdgeServerDataPlane::append_shared(core::DecisionId decision,
+                                        std::span<const ItemId> collected,
+                                        std::vector<ItemId>& out) const {
+  AVCP_EXPECT(decision < lattice_.num_decisions());
+  AVCP_EXPECT(is_sorted_unique(collected));
+  const core::SensorMask dmask = decision_masks_[decision];
+  for (const ItemId id : collected) {
     AVCP_EXPECT(id < item_bits_.size());
     if ((dmask & item_bits_[id]) != 0) out.push_back(id);
   }
@@ -97,8 +115,25 @@ void EdgeServerDataPlane::append_shared(const Vehicle& v, ItemSet& out) const {
 ItemSet EdgeServerDataPlane::shared_items(const Vehicle& v) const {
   const_cast<EdgeServerDataPlane*>(this)->refresh_item_bits();
   ItemSet shared;
-  append_shared(v, shared);
+  append_shared(v.decision, v.collected, shared);
   return shared;
+}
+
+void EdgeServerDataPlane::reserve_workspace(std::size_t vehicles,
+                                            std::size_t items_per_vehicle) {
+  refresh_item_bits();
+  const std::size_t k = lattice_.num_decisions();
+  const std::size_t omega = universe_.size();
+  ws_.upload_data.reserve(vehicles * items_per_vehicle);
+  ws_.upload_end.reserve(vehicles);
+  ws_.seen.reserve(omega);
+  ws_.cls.reserve(vehicles);
+  ws_.class_senders.reserve(k);
+  ws_.class_items.reserve(k);
+  ws_.item_count.reserve(k * omega);
+  ws_.recv_count.reserve(k * omega);
+  ws_.miss_pow.reserve(kMissPowCache);
+  ws_.miss_table.reserve(k * omega);
 }
 
 RoundOutcome EdgeServerDataPlane::run_round(std::span<const Vehicle> vehicles,
@@ -136,9 +171,29 @@ void EdgeServerDataPlane::run_round_into(std::span<const Vehicle> vehicles,
                                          const CellFaultMask& mask,
                                          const ItemSet& server_items,
                                          DataPlaneMode mode, RoundOutcome& out) {
+  run_round_generic(AosFleet{vehicles}, sharing_ratio, mask, server_items,
+                    mode, out);
+}
+
+void EdgeServerDataPlane::run_round_into(const FleetView& fleet,
+                                         double sharing_ratio,
+                                         const CellFaultMask& mask,
+                                         const ItemSet& server_items,
+                                         DataPlaneMode mode, RoundOutcome& out) {
+  run_round_generic(SoaFleet{fleet}, sharing_ratio, mask, server_items, mode,
+                    out);
+}
+
+template <typename Fleet>
+void EdgeServerDataPlane::run_round_generic(const Fleet& fleet,
+                                            double sharing_ratio,
+                                            const CellFaultMask& mask,
+                                            const ItemSet& server_items,
+                                            DataPlaneMode mode,
+                                            RoundOutcome& out) {
   AVCP_EXPECT(sharing_ratio >= 0.0 && sharing_ratio <= 1.0);
   AVCP_EXPECT(is_sorted_unique(server_items));
-  const std::size_t n = vehicles.size();
+  const std::size_t n = fleet.size();
   AVCP_EXPECT(mask.upload_lost.empty() || mask.upload_lost.size() == n);
   refresh_item_bits();
 
@@ -163,57 +218,76 @@ void EdgeServerDataPlane::run_round_into(std::span<const Vehicle> vehicles,
   // also keeps its mass observable to the behavioural audit, so a falsely
   // flagged honest vehicle can rehabilitate. The phase is identical for
   // both kernels (it consumes no randomness).
-  upload_phase(vehicles, mask, out);
-  classify(vehicles);
+  upload_phase(fleet, mask, out);
+  classify(fleet);
 
   if (mode == DataPlaneMode::kClassAggregated) {
     AVCP_EXPECT(mask.delivery_lost.empty());
-    run_round_class_aggregated(vehicles, sharing_ratio, mask, server_items,
-                               out);
+    run_round_class_aggregated(fleet, sharing_ratio, mask, server_items, out);
     return;
   }
   AVCP_EXPECT(mask.delivery_lost.empty() || mask.delivery_lost.size() == n * n);
-  run_round_exact(vehicles, sharing_ratio, mask, server_items, out);
+  run_round_exact(fleet, sharing_ratio, mask, server_items, out);
 }
 
-void EdgeServerDataPlane::upload_phase(std::span<const Vehicle> vehicles,
+template <typename Fleet>
+void EdgeServerDataPlane::upload_phase(const Fleet& fleet,
                                        const CellFaultMask& mask,
                                        RoundOutcome& out) {
-  const std::size_t n = vehicles.size();
-  if (ws_.uploads.size() < n) ws_.uploads.resize(n);
-  ws_.server_view.clear();
+  const std::size_t n = fleet.size();
+  const std::size_t omega = universe_.size();
+  ws_.upload_data.clear();
+  if (ws_.upload_end.size() < n) ws_.upload_end.resize(n);
+  ws_.seen.assign(omega, 0);
   for (std::size_t a = 0; a < n; ++a) {
-    ws_.uploads[a].clear();
+    const std::size_t begin = ws_.upload_data.size();
     if (!mask.upload_lost.empty() && mask.upload_lost[a]) {
       ++out.uploads_lost;
+      ws_.upload_end[a] = static_cast<std::uint32_t>(begin);
       continue;
     }
-    append_shared(vehicles[a], ws_.uploads[a]);
-    ws_.server_view.insert(ws_.server_view.end(), ws_.uploads[a].begin(),
-                           ws_.uploads[a].end());
-    out.privacy[a] = privacy_cost(universe_, ws_.uploads[a]);
+    append_shared(fleet.decision(a), fleet.collected(a), ws_.upload_data);
+    ws_.upload_end[a] = static_cast<std::uint32_t>(ws_.upload_data.size());
+    for (std::size_t i = begin; i < ws_.upload_data.size(); ++i) {
+      ws_.seen[ws_.upload_data[i]] = 1;
+    }
+    out.privacy[a] = privacy_cost(
+        universe_, std::span<const ItemId>(ws_.upload_data).subspan(begin));
   }
-  sort_unique(ws_.server_view);
-  out.exposed_items = ws_.server_view.size();
-  out.exposed_privacy = privacy_cost(universe_, ws_.server_view);
+  // Eavesdropper view: everything any upload carried. The ascending flag
+  // walk sums privacy weights in exactly the order privacy_cost walks the
+  // old sorted union, so exposure is bit-identical to the sort-based path
+  // without the O(total·log) per-round sort.
+  std::size_t exposed = 0;
+  double exposed_mass = 0.0;
+  for (ItemId id = 0; id < omega; ++id) {
+    if (ws_.seen[id] == 0) continue;
+    ++exposed;
+    exposed_mass += universe_.item(id).privacy_weight;
+  }
+  out.exposed_items = exposed;
+  const double total = universe_.total_privacy_weight();
+  out.exposed_privacy = total > 0.0 ? exposed_mass / total : 0.0;
 }
 
-void EdgeServerDataPlane::classify(std::span<const Vehicle> vehicles) {
+template <typename Fleet>
+void EdgeServerDataPlane::classify(const Fleet& fleet) {
   const std::size_t k = lattice_.num_decisions();
-  if (ws_.cls.size() < vehicles.size()) ws_.cls.resize(vehicles.size());
-  for (std::size_t v = 0; v < vehicles.size(); ++v) {
-    const core::DecisionId c = vehicles[v].claimed();
+  if (ws_.cls.size() < fleet.size()) ws_.cls.resize(fleet.size());
+  for (std::size_t v = 0; v < fleet.size(); ++v) {
+    const core::DecisionId c = fleet.claimed(v);
     AVCP_EXPECT(c < k);
     ws_.cls[v] = c;
   }
 }
 
-void EdgeServerDataPlane::run_round_exact(std::span<const Vehicle> vehicles,
+template <typename Fleet>
+void EdgeServerDataPlane::run_round_exact(const Fleet& fleet,
                                           double sharing_ratio,
                                           const CellFaultMask& mask,
                                           const ItemSet& server_items,
                                           RoundOutcome& out) {
-  const std::size_t n = vehicles.size();
+  const std::size_t n = fleet.size();
   const std::size_t k = lattice_.num_decisions();
 
   // Distribution phase (step 5): b's upload reaches a with probability x
@@ -231,16 +305,16 @@ void EdgeServerDataPlane::run_round_exact(std::span<const Vehicle> vehicles,
     // receiver is served nothing (and consumes no distribution draws;
     // revocation only ever happens on the already-perturbed Byzantine
     // path, so the clean path's RNG stream is untouched).
-    AVCP_EXPECT(is_sorted_unique(vehicles[a].collected));
+    const std::span<const ItemId> collected = fleet.collected(a);
+    const std::span<const ItemId> desired = fleet.desired(a);
+    AVCP_EXPECT(is_sorted_unique(collected));
     received.clear();
-    received.insert(received.end(), vehicles[a].collected.begin(),
-                    vehicles[a].collected.end());
+    received.insert(received.end(), collected.begin(), collected.end());
     received.insert(received.end(), server_items.begin(), server_items.end());
-    if (vehicles[a].revoked) {
+    if (fleet.revoked(a)) {
       sort_unique(received);
-      if (!vehicles[a].desired.empty()) {
-        out.utility[a] = measured_utility(universe_, received,
-                                          vehicles[a].desired);
+      if (!desired.empty()) {
+        out.utility[a] = measured_utility(universe_, received, desired);
       }
       continue;
     }
@@ -249,7 +323,7 @@ void EdgeServerDataPlane::run_round_exact(std::span<const Vehicle> vehicles,
       if (a == b) continue;
       if (readable_[row + ws_.cls[b]] == 0) continue;
       if (!rng_.bernoulli(sharing_ratio)) continue;
-      const ItemSet& up = ws_.uploads[b];
+      const std::span<const ItemId> up = upload(b);
       // Empty upload: the draw above is already consumed (contract), so
       // the loss probe, delivery bookkeeping, and append can be skipped
       // without perturbing the stream.
@@ -262,9 +336,8 @@ void EdgeServerDataPlane::run_round_exact(std::span<const Vehicle> vehicles,
       received.insert(received.end(), up.begin(), up.end());
     }
     sort_unique(received);
-    if (!vehicles[a].desired.empty()) {
-      out.utility[a] = measured_utility(universe_, received,
-                                        vehicles[a].desired);
+    if (!desired.empty()) {
+      out.utility[a] = measured_utility(universe_, received, desired);
     } else {
       out.utility[a] = 0.0;  // nothing desired: utility trivially zero
     }
@@ -278,7 +351,7 @@ void EdgeServerDataPlane::build_composition_table(std::size_t num_senders) {
   ws_.class_items.assign(k, 0);
   ws_.item_count.assign(k * omega, 0);
   for (std::size_t b = 0; b < num_senders; ++b) {
-    const ItemSet& up = ws_.uploads[b];
+    const std::span<const ItemId> up = upload(b);
     if (up.empty()) continue;
     const core::DecisionId l = ws_.cls[b];
     ++ws_.class_senders[l];
@@ -307,6 +380,15 @@ void EdgeServerDataPlane::build_miss_pow(double sharing_ratio) {
   }
 }
 
+void EdgeServerDataPlane::build_miss_table(double sharing_ratio) {
+  const std::size_t k = lattice_.num_decisions();
+  const std::size_t omega = universe_.size();
+  ws_.miss_table.resize(k * omega);
+  for (std::size_t i = 0; i < k * omega; ++i) {
+    ws_.miss_table[i] = item_miss_prob(sharing_ratio, ws_.recv_count[i]);
+  }
+}
+
 double EdgeServerDataPlane::item_miss_prob(double sharing_ratio,
                                            std::uint32_t c) const {
   if (c < kMissPowCache) return ws_.miss_pow[c];
@@ -332,28 +414,33 @@ double EdgeServerDataPlane::item_miss_prob(double sharing_ratio,
 // Self-delivery needs no correction on the utility side: a receiver's own
 // upload is a subset of its collected set, and collected items are already
 // excluded from the candidate walk.
+template <typename Fleet>
 void EdgeServerDataPlane::run_round_class_aggregated(
-    std::span<const Vehicle> vehicles, double sharing_ratio,
-    const CellFaultMask& mask, const ItemSet& server_items, RoundOutcome& out) {
+    const Fleet& fleet, double sharing_ratio, const CellFaultMask& mask,
+    const ItemSet& server_items, RoundOutcome& out) {
   (void)mask;  // upload losses were applied in the shared upload phase
-  const std::size_t n = vehicles.size();
+  const std::size_t n = fleet.size();
   const std::size_t k = lattice_.num_decisions();
   const std::size_t omega = universe_.size();
   build_composition_table(n);
   build_miss_pow(sharing_ratio);
+  const bool use_table = n >= kMissTableMinFleet;
+  if (use_table) build_miss_table(sharing_ratio);
 
   double deliveries_acc = 0.0;
   for (std::size_t a = 0; a < n; ++a) {
-    const Vehicle& recv = vehicles[a];
-    AVCP_EXPECT(is_sorted_unique(recv.collected));
-    AVCP_EXPECT(is_sorted_unique(recv.desired));
+    const std::span<const ItemId> collected = fleet.collected(a);
+    const std::span<const ItemId> desired = fleet.desired(a);
+    const bool revoked = fleet.revoked(a);
+    AVCP_EXPECT(is_sorted_unique(collected));
+    AVCP_EXPECT(is_sorted_unique(desired));
     const core::DecisionId cls_a = ws_.cls[a];
 
     // Deliveries: one Binomial(n_l, x) draw per readable sender class, in
     // ascending class order (the aggregated draw-order contract). A
     // revoked receiver is served nothing and consumes no draws.
-    if (!recv.revoked) {
-      const std::size_t my_upload = ws_.uploads[a].size();
+    if (!revoked) {
+      const std::size_t my_upload = upload(a).size();
       for (core::DecisionId l = 0; l < k; ++l) {
         if (readable_[cls_a * k + l] == 0) continue;
         std::uint32_t senders = ws_.class_senders[l];
@@ -375,33 +462,36 @@ void EdgeServerDataPlane::run_round_class_aggregated(
     // Bernoulli per remaining candidate item with inclusion probability
     // 1 - (1-x)^c. Summation order matches the exact kernel (ascending
     // item ids, one accumulator).
-    if (recv.desired.empty()) {
+    if (desired.empty()) {
       out.utility[a] = 0.0;
       continue;
     }
     const std::uint32_t* counts = ws_.recv_count.data() + cls_a * omega;
+    const double* miss_row =
+        use_table ? ws_.miss_table.data() + cls_a * omega : nullptr;
     double num = 0.0;
     double den = 0.0;
-    std::size_t pc = 0;  // cursor into recv.collected
+    std::size_t pc = 0;  // cursor into collected
     std::size_t ps = 0;  // cursor into server_items
-    for (const ItemId d : recv.desired) {
+    for (const ItemId d : desired) {
       const double w = universe_.item(d).utility_weight;
       den += w;
-      while (pc < recv.collected.size() && recv.collected[pc] < d) ++pc;
+      while (pc < collected.size() && collected[pc] < d) ++pc;
       while (ps < server_items.size() && server_items[ps] < d) ++ps;
-      const bool held =
-          (pc < recv.collected.size() && recv.collected[pc] == d) ||
-          (ps < server_items.size() && server_items[ps] == d);
+      const bool held = (pc < collected.size() && collected[pc] == d) ||
+                        (ps < server_items.size() && server_items[ps] == d);
       if (held) {
         num += w;
         continue;
       }
-      if (recv.revoked) continue;
+      if (revoked) continue;
       const std::uint32_t c = counts[d];
       if (c == 0) continue;
+      const double miss =
+          miss_row ? miss_row[d] : item_miss_prob(sharing_ratio, c);
       // bernoulli short-circuits at p <= 0 and p >= 1 (x = 1 with c >= 1
       // is deterministic delivery, exactly like the pairwise kernel).
-      if (rng_.bernoulli(1.0 - item_miss_prob(sharing_ratio, c))) num += w;
+      if (rng_.bernoulli(1.0 - miss)) num += w;
     }
     AVCP_ENSURE(den > 0.0);
     out.utility[a] = num / den;
@@ -420,16 +510,36 @@ EdgeServerDataPlane::DirectionalOutcome EdgeServerDataPlane::run_directional(
 void EdgeServerDataPlane::run_directional_into(
     std::span<const Vehicle> senders, std::span<const Vehicle> receivers,
     double sharing_ratio, DataPlaneMode mode, DirectionalOutcome& out) {
+  run_directional_generic(AosFleet{senders}, AosFleet{receivers},
+                          sharing_ratio, mode, out);
+}
+
+void EdgeServerDataPlane::run_directional_into(const FleetView& senders,
+                                               const FleetView& receivers,
+                                               double sharing_ratio,
+                                               DataPlaneMode mode,
+                                               DirectionalOutcome& out) {
+  run_directional_generic(SoaFleet{senders}, SoaFleet{receivers},
+                          sharing_ratio, mode, out);
+}
+
+template <typename SenderFleet, typename ReceiverFleet>
+void EdgeServerDataPlane::run_directional_generic(const SenderFleet& senders,
+                                                  const ReceiverFleet& receivers,
+                                                  double sharing_ratio,
+                                                  DataPlaneMode mode,
+                                                  DirectionalOutcome& out) {
   AVCP_EXPECT(sharing_ratio >= 0.0 && sharing_ratio <= 1.0);
   refresh_item_bits();
   out.marginal_utility.assign(receivers.size(), 0.0);
   out.deliveries = 0;
 
   const std::size_t ns = senders.size();
-  if (ws_.uploads.size() < ns) ws_.uploads.resize(ns);
+  ws_.upload_data.clear();
+  if (ws_.upload_end.size() < ns) ws_.upload_end.resize(ns);
   for (std::size_t b = 0; b < ns; ++b) {
-    ws_.uploads[b].clear();
-    append_shared(senders[b], ws_.uploads[b]);
+    append_shared(senders.decision(b), senders.collected(b), ws_.upload_data);
+    ws_.upload_end[b] = static_cast<std::uint32_t>(ws_.upload_data.size());
   }
   classify(senders);
 
@@ -440,53 +550,59 @@ void EdgeServerDataPlane::run_directional_into(
   run_directional_exact(senders, receivers, sharing_ratio, out);
 }
 
-void EdgeServerDataPlane::run_directional_exact(
-    std::span<const Vehicle> senders, std::span<const Vehicle> receivers,
-    double sharing_ratio, DirectionalOutcome& out) {
+template <typename SenderFleet, typename ReceiverFleet>
+void EdgeServerDataPlane::run_directional_exact(const SenderFleet& senders,
+                                                const ReceiverFleet& receivers,
+                                                double sharing_ratio,
+                                                DirectionalOutcome& out) {
   const std::size_t k = lattice_.num_decisions();
   ItemSet& received = ws_.received;
   for (std::size_t a = 0; a < receivers.size(); ++a) {
-    const Vehicle& receiver = receivers[a];
-    if (receiver.revoked) continue;
-    AVCP_EXPECT(is_sorted_unique(receiver.collected));
-    const core::DecisionId cls_r = receiver.claimed();
+    if (receivers.revoked(a)) continue;
+    const std::span<const ItemId> collected = receivers.collected(a);
+    const std::span<const ItemId> desired = receivers.desired(a);
+    AVCP_EXPECT(is_sorted_unique(collected));
+    const core::DecisionId cls_r = receivers.claimed(a);
     AVCP_EXPECT(cls_r < k);
     received.clear();
     for (std::size_t b = 0; b < senders.size(); ++b) {
       if (readable_[cls_r * k + ws_.cls[b]] == 0) continue;
       if (!rng_.bernoulli(sharing_ratio)) continue;
-      const ItemSet& up = ws_.uploads[b];
+      const std::span<const ItemId> up = upload(b);
       if (up.empty()) continue;  // draw already consumed (contract)
       out.deliveries += up.size();
       received.insert(received.end(), up.begin(), up.end());
     }
     sort_unique(received);
     ws_.scratch.clear();
-    std::set_difference(received.begin(), received.end(),
-                        receiver.collected.begin(), receiver.collected.end(),
-                        std::back_inserter(ws_.scratch));
-    if (!ws_.scratch.empty() && !receiver.desired.empty()) {
+    std::set_difference(received.begin(), received.end(), collected.begin(),
+                        collected.end(), std::back_inserter(ws_.scratch));
+    if (!ws_.scratch.empty() && !desired.empty()) {
       out.marginal_utility[a] =
-          measured_utility(universe_, ws_.scratch, receiver.desired);
+          measured_utility(universe_, ws_.scratch, desired);
     }
   }
 }
 
+template <typename SenderFleet, typename ReceiverFleet>
 void EdgeServerDataPlane::run_directional_class_aggregated(
-    std::span<const Vehicle> senders, std::span<const Vehicle> receivers,
+    const SenderFleet& senders, const ReceiverFleet& receivers,
     double sharing_ratio, DirectionalOutcome& out) {
   const std::size_t k = lattice_.num_decisions();
   const std::size_t omega = universe_.size();
   build_composition_table(senders.size());
   build_miss_pow(sharing_ratio);
+  const bool use_table = receivers.size() >= kMissTableMinFleet;
+  if (use_table) build_miss_table(sharing_ratio);
 
   double deliveries_acc = 0.0;
   for (std::size_t a = 0; a < receivers.size(); ++a) {
-    const Vehicle& recv = receivers[a];
-    if (recv.revoked) continue;
-    AVCP_EXPECT(is_sorted_unique(recv.collected));
-    AVCP_EXPECT(is_sorted_unique(recv.desired));
-    const core::DecisionId cls_r = recv.claimed();
+    if (receivers.revoked(a)) continue;
+    const std::span<const ItemId> collected = receivers.collected(a);
+    const std::span<const ItemId> desired = receivers.desired(a);
+    AVCP_EXPECT(is_sorted_unique(collected));
+    AVCP_EXPECT(is_sorted_unique(desired));
+    const core::DecisionId cls_r = receivers.claimed(a);
     AVCP_EXPECT(cls_r < k);
 
     // Senders are a foreign fleet: no self-exclusion applies.
@@ -500,21 +616,25 @@ void EdgeServerDataPlane::run_directional_class_aggregated(
                         (static_cast<double>(pool) / static_cast<double>(n_l));
     }
 
-    if (recv.desired.empty()) continue;
+    if (desired.empty()) continue;
     const std::uint32_t* counts = ws_.recv_count.data() + cls_r * omega;
+    const double* miss_row =
+        use_table ? ws_.miss_table.data() + cls_r * omega : nullptr;
     double num = 0.0;
     double den = 0.0;
     std::size_t pc = 0;
-    for (const ItemId d : recv.desired) {
+    for (const ItemId d : desired) {
       const double w = universe_.item(d).utility_weight;
       den += w;
-      while (pc < recv.collected.size() && recv.collected[pc] < d) ++pc;
-      if (pc < recv.collected.size() && recv.collected[pc] == d) {
+      while (pc < collected.size() && collected[pc] < d) ++pc;
+      if (pc < collected.size() && collected[pc] == d) {
         continue;  // marginal utility: already-held items excluded
       }
       const std::uint32_t c = counts[d];
       if (c == 0) continue;
-      if (rng_.bernoulli(1.0 - item_miss_prob(sharing_ratio, c))) num += w;
+      const double miss =
+          miss_row ? miss_row[d] : item_miss_prob(sharing_ratio, c);
+      if (rng_.bernoulli(1.0 - miss)) num += w;
     }
     AVCP_ENSURE(den > 0.0);
     out.marginal_utility[a] = num / den;

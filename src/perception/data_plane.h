@@ -54,6 +54,7 @@
 
 #include "common/rng.h"
 #include "core/lattice.h"
+#include "perception/fleet_soa.h"
 #include "perception/measure.h"
 
 namespace avcp::perception {
@@ -191,6 +192,21 @@ class EdgeServerDataPlane {
                       const CellFaultMask& mask, const ItemSet& server_items,
                       DataPlaneMode mode, RoundOutcome& out);
 
+  /// SoA overload: the same kernels over a FleetView (perception/fleet_soa.h).
+  /// The kernels are templated over a fleet accessor, so an AoS span and a
+  /// FleetView holding the same logical fleet consume the same RNG stream
+  /// and produce byte-identical outcomes (tests/fleet_soa_test.cpp).
+  void run_round_into(const FleetView& fleet, double sharing_ratio,
+                      const CellFaultMask& mask, const ItemSet& server_items,
+                      DataPlaneMode mode, RoundOutcome& out);
+
+  /// Pre-grows the per-round workspace for fleets of up to `vehicles`
+  /// vehicles carrying at most `items_per_vehicle` collected items each.
+  /// Optional: buffers reach their high-water mark after one warm-up round
+  /// anyway; pre-reserving makes even the first round allocation-free
+  /// (the sharded fleet engine reserves at ingest time).
+  void reserve_workspace(std::size_t vehicles, std::size_t items_per_vehicle);
+
   /// The items vehicle would upload under its decision (S_a ∩ P^{k_a}).
   ItemSet shared_items(const Vehicle& v) const;
 
@@ -221,6 +237,11 @@ class EdgeServerDataPlane {
                             double sharing_ratio, DataPlaneMode mode,
                             DirectionalOutcome& out);
 
+  /// SoA overload of the directional core (see the FleetView run_round_into).
+  void run_directional_into(const FleetView& senders,
+                            const FleetView& receivers, double sharing_ratio,
+                            DataPlaneMode mode, DirectionalOutcome& out);
+
   /// Checkpoint hooks: the plane's only cross-round state is its RNG
   /// stream position (the workspace is per-round scratch; the readability
   /// table and masks are derived from the lattice at construction).
@@ -228,13 +249,23 @@ class EdgeServerDataPlane {
   void load_state(Deserializer& d) { rng_.load_state(d); }
 
  private:
-  /// Per-round scratch reused across rounds (grown, never shrunk).
+  /// Per-round scratch reused across rounds (grown, never shrunk). Uploads
+  /// live in one flat arena indexed by exclusive per-vehicle end offsets —
+  /// the SoA counterpart of the old vector<ItemSet> (which cost one heap
+  /// vector per vehicle and pointer-dense kernel reads at fleet scale).
   struct Workspace {
-    /// uploads[b]: decision-filtered upload of vehicle b (sorted).
-    std::vector<ItemSet> uploads;
-    ItemSet server_view;  // union of uploads (eavesdropper view)
-    ItemSet received;     // exact path: per-receiver gather buffer
-    ItemSet scratch;      // exact directional: received \ collected
+    /// Decision-filtered uploads, concatenated in vehicle order; vehicle
+    /// b's upload spans [upload_end[b-1], upload_end[b]) (0 for b == 0).
+    std::vector<ItemId> upload_data;
+    std::vector<std::uint32_t> upload_end;
+    /// seen[id] != 0 iff some upload carried `id` this round: the
+    /// eavesdropper view as a dense flag array instead of a sorted union
+    /// (the union's sort was O(total upload items · log) per round — the
+    /// dominant cost at engine scale; the ascending flag walk reproduces
+    /// privacy_cost's summation order bit-for-bit).
+    std::vector<std::uint8_t> seen;
+    ItemSet received;  // exact path: per-receiver gather buffer
+    ItemSet scratch;   // exact directional: received \ collected
     /// Claimed decision class per vehicle (this round).
     std::vector<core::DecisionId> cls;
     /// CompositionTable (aggregated kernel), rebuilt per round:
@@ -243,39 +274,76 @@ class EdgeServerDataPlane {
     std::vector<std::uint32_t> item_count;     // [class][item]: upload copies
     std::vector<std::uint32_t> recv_count;     // [recv class][item]: readable
     std::vector<double> miss_pow;              // (1-x)^c for small c
+    /// [recv class][item]: (1-x)^recv_count, hoisting the std::pow fallback
+    /// (recv_count >= 64 at fleet scale) out of the per-candidate loop.
+    /// Built only for fleets large enough to amortise the K·Ω fill; every
+    /// entry is item_miss_prob evaluated verbatim, so using the table is
+    /// bit-identical to not using it.
+    std::vector<double> miss_table;
   };
 
   void refresh_item_bits();
-  /// Appends S_v ∩ P^{k_v} to `out` via the per-decision sensor bitmask
-  /// (no per-item lattice_.shares call).
-  void append_shared(const Vehicle& v, ItemSet& out) const;
+  /// Appends collected ∩ P^decision to `out` via the per-decision sensor
+  /// bitmask (no per-item lattice_.shares call).
+  void append_shared(core::DecisionId decision,
+                     std::span<const ItemId> collected,
+                     std::vector<ItemId>& out) const;
+  /// Vehicle b's upload this round (into ws_.upload_data).
+  std::span<const ItemId> upload(std::size_t b) const noexcept {
+    const std::uint32_t end = ws_.upload_end[b];
+    const std::uint32_t begin = b == 0 ? 0 : ws_.upload_end[b - 1];
+    return {ws_.upload_data.data() + begin, end - begin};
+  }
+
+  // The kernels are member templates over a fleet accessor (an AoS adapter
+  // over span<const Vehicle>, an SoA adapter over FleetView — both defined
+  // in data_plane.cpp), so the two layouts execute literally the same code:
+  // equal logical fleets consume equal RNG streams and produce byte-equal
+  // outcomes. Definitions and all instantiations live in data_plane.cpp.
+
   /// Upload phase shared by both kernels (identical results and — trivially,
   /// it consumes no randomness — identical RNG state).
-  void upload_phase(std::span<const Vehicle> vehicles,
-                    const CellFaultMask& mask, RoundOutcome& out);
+  template <typename Fleet>
+  void upload_phase(const Fleet& fleet, const CellFaultMask& mask,
+                    RoundOutcome& out);
   /// Fills ws_.cls with claimed classes (validated against the lattice).
-  void classify(std::span<const Vehicle> vehicles);
+  template <typename Fleet>
+  void classify(const Fleet& fleet);
+  template <typename Fleet>
+  void run_round_generic(const Fleet& fleet, double sharing_ratio,
+                         const CellFaultMask& mask, const ItemSet& server_items,
+                         DataPlaneMode mode, RoundOutcome& out);
   /// Builds the per-class CompositionTable from the first `num_senders`
-  /// entries of ws_.uploads / ws_.cls (the buffers are high-water-marked and
-  /// may hold stale rows from a larger earlier round).
+  /// uploads / ws_.cls entries (the buffers are high-water-marked and may
+  /// hold stale rows from a larger earlier round).
   void build_composition_table(std::size_t num_senders);
   /// Precomputes ws_.miss_pow[c] = (1-x)^c for c in [0, kMissPowCache).
   void build_miss_pow(double sharing_ratio);
+  /// Fills ws_.miss_table from ws_.recv_count (see Workspace::miss_table).
+  void build_miss_table(double sharing_ratio);
   double item_miss_prob(double sharing_ratio, std::uint32_t c) const;
 
-  void run_round_exact(std::span<const Vehicle> vehicles, double sharing_ratio,
+  template <typename Fleet>
+  void run_round_exact(const Fleet& fleet, double sharing_ratio,
                        const CellFaultMask& mask, const ItemSet& server_items,
                        RoundOutcome& out);
-  void run_round_class_aggregated(std::span<const Vehicle> vehicles,
-                                  double sharing_ratio,
+  template <typename Fleet>
+  void run_round_class_aggregated(const Fleet& fleet, double sharing_ratio,
                                   const CellFaultMask& mask,
                                   const ItemSet& server_items,
                                   RoundOutcome& out);
-  void run_directional_exact(std::span<const Vehicle> senders,
-                             std::span<const Vehicle> receivers,
+  template <typename SenderFleet, typename ReceiverFleet>
+  void run_directional_generic(const SenderFleet& senders,
+                               const ReceiverFleet& receivers,
+                               double sharing_ratio, DataPlaneMode mode,
+                               DirectionalOutcome& out);
+  template <typename SenderFleet, typename ReceiverFleet>
+  void run_directional_exact(const SenderFleet& senders,
+                             const ReceiverFleet& receivers,
                              double sharing_ratio, DirectionalOutcome& out);
-  void run_directional_class_aggregated(std::span<const Vehicle> senders,
-                                        std::span<const Vehicle> receivers,
+  template <typename SenderFleet, typename ReceiverFleet>
+  void run_directional_class_aggregated(const SenderFleet& senders,
+                                        const ReceiverFleet& receivers,
                                         double sharing_ratio,
                                         DirectionalOutcome& out);
 

@@ -1,0 +1,128 @@
+#include "perception/fleet_soa.h"
+
+#include <algorithm>
+
+#include "common/contracts.h"
+
+namespace avcp::perception {
+
+void FleetSoA::clear() noexcept {
+  decision_.clear();
+  claim_.clear();
+  revoked_.clear();
+  collected_.clear();
+  desired_.clear();
+  arena_.clear();
+  fitness_.clear();
+  reputation_.clear();
+  open_ = OpenSet::kNone;
+}
+
+void FleetSoA::reset_items() noexcept {
+  AVCP_EXPECT(open_ == OpenSet::kNone);
+  arena_.clear();
+  for (ItemSpan& s : collected_) s = ItemSpan{};
+  for (ItemSpan& s : desired_) s = ItemSpan{};
+}
+
+void FleetSoA::reserve(std::size_t vehicles, std::size_t arena_items) {
+  decision_.reserve(vehicles);
+  claim_.reserve(vehicles);
+  revoked_.reserve(vehicles);
+  collected_.reserve(vehicles);
+  desired_.reserve(vehicles);
+  fitness_.reserve(vehicles);
+  reputation_.reserve(vehicles);
+  arena_.reserve(arena_items);
+}
+
+std::size_t FleetSoA::add(core::DecisionId decision, core::DecisionId claim,
+                          bool revoked) {
+  const std::size_t v = decision_.size();
+  decision_.push_back(decision);
+  claim_.push_back(claim);
+  revoked_.push_back(revoked ? 1 : 0);
+  collected_.push_back(ItemSpan{});
+  desired_.push_back(ItemSpan{});
+  fitness_.push_back(0.0);
+  reputation_.push_back(0.0);
+  return v;
+}
+
+std::size_t FleetSoA::add(core::DecisionId decision, core::DecisionId claim,
+                          bool revoked, std::span<const ItemId> collected_items,
+                          std::span<const ItemId> desired_items) {
+  const std::size_t v = add(decision, claim, revoked);
+  std::span<ItemId> c =
+      alloc_collected(v, static_cast<std::uint32_t>(collected_items.size()));
+  std::copy(collected_items.begin(), collected_items.end(), c.begin());
+  std::span<ItemId> d =
+      alloc_desired(v, static_cast<std::uint32_t>(desired_items.size()));
+  std::copy(desired_items.begin(), desired_items.end(), d.begin());
+  return v;
+}
+
+std::size_t FleetSoA::add(const FleetView& src, std::size_t v) {
+  AVCP_EXPECT(v < src.size());
+  return add(src.decision[v], src.claim[v], src.revoked[v] != 0,
+             src.collected_of(v), src.desired_of(v));
+}
+
+std::span<ItemId> FleetSoA::alloc_collected(std::size_t v, std::uint32_t n) {
+  AVCP_EXPECT(open_ == OpenSet::kNone && v < decision_.size());
+  const std::size_t offset = arena_.size();
+  arena_.resize(offset + n);
+  collected_[v] = ItemSpan{static_cast<std::uint32_t>(offset), n};
+  return {arena_.data() + offset, n};
+}
+
+std::span<ItemId> FleetSoA::alloc_desired(std::size_t v, std::uint32_t n) {
+  AVCP_EXPECT(open_ == OpenSet::kNone && v < decision_.size());
+  const std::size_t offset = arena_.size();
+  arena_.resize(offset + n);
+  desired_[v] = ItemSpan{static_cast<std::uint32_t>(offset), n};
+  return {arena_.data() + offset, n};
+}
+
+void FleetSoA::begin_collected(std::size_t v) {
+  AVCP_EXPECT(open_ == OpenSet::kNone && v < decision_.size());
+  open_ = OpenSet::kCollected;
+  open_vehicle_ = v;
+  open_offset_ = arena_.size();
+}
+
+void FleetSoA::begin_desired(std::size_t v) {
+  AVCP_EXPECT(open_ == OpenSet::kNone && v < decision_.size());
+  open_ = OpenSet::kDesired;
+  open_vehicle_ = v;
+  open_offset_ = arena_.size();
+}
+
+void FleetSoA::end_set() {
+  AVCP_EXPECT(open_ != OpenSet::kNone);
+  const ItemSpan span{static_cast<std::uint32_t>(open_offset_),
+                      static_cast<std::uint32_t>(arena_.size() - open_offset_)};
+  if (open_ == OpenSet::kCollected) {
+    collected_[open_vehicle_] = span;
+  } else {
+    desired_[open_vehicle_] = span;
+  }
+  open_ = OpenSet::kNone;
+}
+
+FleetView FleetSoA::view() const noexcept {
+  return FleetView{decision_, claim_, revoked_, collected_, desired_, arena_};
+}
+
+void FleetSoA::count_classes(std::size_t k,
+                             std::vector<std::uint32_t>& counts) const {
+  counts.assign(k, 0);
+  for (std::size_t v = 0; v < decision_.size(); ++v) {
+    const core::DecisionId c =
+        claim_[v] == kClaimFollowsDecision ? decision_[v] : claim_[v];
+    AVCP_EXPECT(c < k);
+    ++counts[c];
+  }
+}
+
+}  // namespace avcp::perception

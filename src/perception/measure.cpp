@@ -28,11 +28,11 @@ ItemSet set_difference(const ItemSet& a, const ItemSet& b) {
   return out;
 }
 
-bool set_contains(const ItemSet& a, ItemId id) noexcept {
+bool set_contains(std::span<const ItemId> a, ItemId id) noexcept {
   return std::binary_search(a.begin(), a.end(), id);
 }
 
-bool is_sorted_unique(const ItemSet& a) noexcept {
+bool is_sorted_unique(std::span<const ItemId> a) noexcept {
   return std::adjacent_find(a.begin(), a.end(),
                             [](ItemId x, ItemId y) { return x >= y; }) ==
          a.end();
@@ -67,13 +67,13 @@ ItemSet DataUniverse::items_of_sensor(std::size_t sensor) const {
   return out;
 }
 
-double DataUniverse::utility_weight(const ItemSet& s) const {
+double DataUniverse::utility_weight(std::span<const ItemId> s) const {
   double total = 0.0;
   for (const ItemId id : s) total += item(id).utility_weight;
   return total;
 }
 
-double DataUniverse::privacy_weight(const ItemSet& s) const {
+double DataUniverse::privacy_weight(std::span<const ItemId> s) const {
   double total = 0.0;
   for (const ItemId id : s) total += item(id).privacy_weight;
   return total;
@@ -111,11 +111,34 @@ double UtilityMeasure::operator()(const ItemSet& s) const {
   return universe_->utility_weight(relevant) / desired_weight_;
 }
 
-double privacy_cost(const DataUniverse& universe, const ItemSet& shared) {
+double privacy_cost(const DataUniverse& universe,
+                    std::span<const ItemId> shared) {
   AVCP_EXPECT(is_sorted_unique(shared));
   const double total = universe.total_privacy_weight();
   if (total <= 0.0) return 0.0;
   return universe.privacy_weight(shared) / total;
+}
+
+double measured_utility(const DataUniverse& universe, std::span<const ItemId> s,
+                        std::span<const ItemId> desired) {
+  double den = 0.0;
+  for (const ItemId id : desired) den += universe.item(id).utility_weight;
+  AVCP_ENSURE(den > 0.0);
+  double num = 0.0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < s.size() && j < desired.size()) {
+    if (s[i] < desired[j]) {
+      ++i;
+    } else if (desired[j] < s[i]) {
+      ++j;
+    } else {
+      num += universe.item(s[i]).utility_weight;
+      ++i;
+      ++j;
+    }
+  }
+  return num / den;
 }
 
 }  // namespace avcp::perception

@@ -33,12 +33,13 @@ struct DataItem {
 /// A set of item ids; kept sorted and deduplicated.
 using ItemSet = std::vector<ItemId>;
 
-/// Sorted-set algebra over ItemSets.
+/// Sorted-set algebra over ItemSets. The read-only queries take spans so
+/// flat-arena item windows (perception/fleet_soa.h) use the same code.
 ItemSet set_union(const ItemSet& a, const ItemSet& b);
 ItemSet set_intersect(const ItemSet& a, const ItemSet& b);
 ItemSet set_difference(const ItemSet& a, const ItemSet& b);
-bool set_contains(const ItemSet& a, ItemId id) noexcept;
-bool is_sorted_unique(const ItemSet& a) noexcept;
+bool set_contains(std::span<const ItemId> a, ItemId id) noexcept;
+bool is_sorted_unique(std::span<const ItemId> a) noexcept;
 
 /// The universal data set Omega.
 class DataUniverse {
@@ -60,11 +61,11 @@ class DataUniverse {
   /// Summed privacy weight of the whole universe (g's normaliser).
   double total_privacy_weight() const noexcept { return total_privacy_; }
 
-  /// Summed utility weight of a set.
-  double utility_weight(const ItemSet& s) const;
+  /// Summed utility weight of a set (ascending iteration order).
+  double utility_weight(std::span<const ItemId> s) const;
 
-  /// Summed privacy weight of a set.
-  double privacy_weight(const ItemSet& s) const;
+  /// Summed privacy weight of a set (ascending iteration order).
+  double privacy_weight(std::span<const ItemId> s) const;
 
   /// Random universe: `items_per_sensor` items per sensor type with the
   /// given per-sensor privacy weight and unit utility weights.
@@ -97,6 +98,16 @@ class UtilityMeasure {
 };
 
 /// Normalised privacy cost g(S) in [0, 1].
-double privacy_cost(const DataUniverse& universe, const ItemSet& shared);
+double privacy_cost(const DataUniverse& universe,
+                    std::span<const ItemId> shared);
+
+/// Normalised utility measure evaluated in place: weight(s ∩ desired) /
+/// weight(desired), both sums taken in ascending item order — the exact
+/// floating-point summation order of UtilityMeasure, without its per-call
+/// desired-set copy or intersection allocation. `desired` must be non-empty
+/// with positive total utility weight; both inputs sorted-unique.
+double measured_utility(const DataUniverse& universe,
+                        std::span<const ItemId> s,
+                        std::span<const ItemId> desired);
 
 }  // namespace avcp::perception

@@ -272,12 +272,8 @@ IncrementalBetweenness::UpdateStats IncrementalBetweenness::update_weights(
   // applied change: a source unaffected by every individual change (no
   // counted path could shorten or be joined) has bit-identical distances
   // after each one in turn, so the per-change test composes over the batch.
-  struct Change {
-    SegmentId seg;
-    double wmin;
-  };
-  std::vector<Change> changes;
-  changes.reserve(segments.size());
+  std::vector<Change>& changes = changes_;
+  changes.clear();
   for (std::size_t i = 0; i < segments.size(); ++i) {
     const SegmentId s = segments[i];
     AVCP_EXPECT(s < g_.num_segments());

@@ -111,10 +111,18 @@ class IncrementalBetweenness {
   void recompute_chunks(const std::vector<std::uint8_t>& dirty);
   void reduce();
 
+  struct Change {
+    SegmentId seg;
+    double wmin;
+  };
+
   const RoadGraph& g_;
   BetweennessOptions opts_;
   std::vector<double> weights_;
   std::size_t num_chunks_;
+  /// Grow-only update_weights scratch: a no-op refresh (all weights
+  /// bit-equal) allocates nothing once warmed.
+  std::vector<Change> changes_;
   /// partials_[chunk][segment]: the chunk's unscaled accumulation.
   std::vector<std::vector<double>> partials_;
   /// dists_[source][node]: distances of the cached pass from `source`.

@@ -21,6 +21,7 @@ constexpr std::uint64_t kStepStream = 0xA2;
 constexpr std::uint64_t kJoinDecisionStream = 0xB1;
 constexpr std::uint64_t kAttackerStream = 0xB2;
 constexpr std::uint64_t kExploitStream = 0xB3;
+constexpr std::uint64_t kSourceSegmentStream = 0xB4;
 
 inline bool valid_rate(double r) noexcept { return r >= 0.0 && r <= 1.0; }
 
@@ -114,6 +115,8 @@ ServiceEngine::ServiceEngine(const core::MultiRegionGame& game,
   members_.resize(game_.num_regions());
   before_.resize(game_.num_regions());
   down_.assign(game_.num_regions(), 0);
+  cost_.resize(game_.num_regions());
+  q_.resize(game_.num_regions());
 }
 
 bool ServiceEngine::designated_attacker(std::uint64_t identity) const noexcept {
@@ -169,6 +172,60 @@ void ServiceEngine::init(const core::GameState& initial,
   // every vehicle's region in case the load-coupled weights moved a
   // boundary during set_loads.
   std::vector<std::int64_t> loads(graph_->num_segments(), 0);
+  for (const VehicleRecord& rec : fleet_) ++loads[rec.segment];
+  clustering_->set_loads(loads);
+  std::fill(pending_.begin(), pending_.end(), 0);
+  reassign_regions();
+}
+
+void ServiceEngine::init_from_source(const core::GameState& initial,
+                                     std::vector<double> x0,
+                                     core::FleetSource& source,
+                                     std::size_t ingest_batch) {
+  AVCP_EXPECT(params_.mode == ServiceParams::Mode::kFleet);
+  AVCP_EXPECT(initial.p.size() == game_.num_regions());
+  AVCP_EXPECT(x0.size() == game_.num_regions());
+  AVCP_EXPECT(ingest_batch >= 1);
+  for (const auto& row : initial.p) core::check_distribution(row);
+
+  epoch_ = 0;
+  next_id_ = 0;
+  staleness_ = 0;
+  counters_ = {};
+  state_ = initial;
+  observed_ = initial;
+  x_ = std::move(x0);
+  controller_->reset();
+  std::fill(down_.begin(), down_.end(), 0);
+  fleet_.clear();
+
+  const std::size_t num_segments = graph_->num_segments();
+  const std::vector<cluster::RegionId>& region_of =
+      clustering_->clustering().region_of;
+  std::vector<core::VehicleSeed> batch(ingest_batch);
+  for (;;) {
+    const std::size_t got = source.next_batch(batch);
+    for (std::size_t i = 0; i < got; ++i) {
+      const core::VehicleSeed& seed = batch[i];
+      AVCP_EXPECT(seed.decision < game_.num_decisions());
+      VehicleRecord rec;
+      rec.id = next_id_++;  // service ids stay monotone whatever the source
+      rec.identity = rec.id;
+      // Placement from a per-source-id hash stream: independent of how the
+      // pull was batched, so any ingest_batch yields the same fleet.
+      Rng rng(derive_seed(params_.seed, {kSourceSegmentStream, seed.id}));
+      rec.segment = static_cast<roadnet::SegmentId>(
+          rng.uniform_int(0, static_cast<std::int64_t>(num_segments) - 1));
+      rec.region = region_of[rec.segment];
+      rec.decision = seed.decision;
+      rec.attacker = designated_attacker(rec.identity);
+      fleet_.push_back(rec);
+    }
+    if (got < batch.size()) break;
+  }
+  AVCP_EXPECT(fleet_.size() >= 2);
+
+  std::vector<std::int64_t> loads(num_segments, 0);
   for (const VehicleRecord& rec : fleet_) ++loads[rec.segment];
   clustering_->set_loads(loads);
   std::fill(pending_.begin(), pending_.end(), 0);
@@ -247,13 +304,13 @@ void ServiceEngine::maintain_clustering(std::size_t e, std::size_t events) {
     ++counters_.recluster_deferred;
     return;
   }
-  std::vector<cluster::LoadDelta> deltas;
+  deltas_.clear();
   for (roadnet::SegmentId s = 0; s < pending_.size(); ++s) {
     if (pending_[s] == 0) continue;
-    deltas.push_back({s, static_cast<std::int32_t>(pending_[s])});
+    deltas_.push_back({s, static_cast<std::int32_t>(pending_[s])});
     pending_[s] = 0;
   }
-  const auto stats = clustering_->apply(deltas);
+  const auto stats = clustering_->apply(deltas_);
   counters_.betweenness_chunks_recomputed += stats.chunks_recomputed;
   staleness_ = 0;
   if (stats.reclustered) {
@@ -290,20 +347,22 @@ void ServiceEngine::snapshot_states() {
     for (const std::size_t i : m) truth[fleet_[i].decision] += 1.0;
     for (double& v : truth) v /= static_cast<double>(m.size());
 
-    std::vector<double>& seen = observed_.p[r];
     std::size_t trusted = 0;
-    std::vector<double> claim_counts(K, 0.0);
+    claim_counts_.assign(K, 0.0);
     for (const std::size_t i : m) {
       const VehicleRecord& rec = fleet_[i];
       if (rec.quarantined) continue;  // the cloud discards their reports
       // Free-riders claim the share-everything top (decision 0) — the
       // claim that earns access to the whole pool.
-      claim_counts[rec.attacker ? 0 : rec.decision] += 1.0;
+      claim_counts_[rec.attacker ? 0 : rec.decision] += 1.0;
       ++trusted;
     }
     if (trusted == 0) continue;  // all quarantined: hold the last rows
-    seen = std::move(claim_counts);
-    for (double& v : seen) v /= static_cast<double>(trusted);
+    std::vector<double>& seen = observed_.p[r];
+    seen.resize(K);
+    for (std::size_t d = 0; d < K; ++d) {
+      seen[d] = claim_counts_[d] / static_cast<double>(trusted);
+    }
   }
 }
 
@@ -311,17 +370,17 @@ void ServiceEngine::revise(std::size_t e) {
   // Churn drifts the fleets apart, so balance the dispatch by live
   // per-region cost (members × classes) instead of region count; the plan
   // depends only on fleet shapes, never on thread count.
-  std::vector<double> cost(game_.num_regions());
   for (core::RegionId r = 0; r < game_.num_regions(); ++r) {
-    cost[r] = static_cast<double>(members_[r].size()) *
-              static_cast<double>(game_.num_decisions());
+    cost_[r] = static_cast<double>(members_[r].size()) *
+               static_cast<double>(game_.num_decisions());
   }
-  pool_.parallel_for_weighted(cost, [&](std::size_t ri) {
+  pool_.parallel_for_weighted(cost_, [&](std::size_t ri) {
     const auto r = static_cast<core::RegionId>(ri);
     if (down_[ri] != 0) return;  // outage: the fleet holds, same as AgentSim
     const std::vector<std::size_t>& m = members_[ri];
     if (m.size() < 2) return;  // nobody to imitate
-    const std::vector<double> q = game_.region_fitness(state_, x_, r);
+    game_.region_fitness_into(state_, x_, r, q_[ri]);
+    const std::vector<double>& q = q_[ri];
     std::vector<core::DecisionId>& before = before_[ri];
     before.clear();
     for (const std::size_t i : m) before.push_back(fleet_[i].decision);
@@ -410,19 +469,19 @@ void ServiceEngine::apply_churn_exploit(std::size_t e) {
   // immediately rejoins under a fresh id on a hash-derived segment. The
   // record is rebuilt in place (fleet_ stays id-sorted via erase+append in
   // old-id order), so the trajectory is identical at every thread count.
-  std::vector<std::size_t> exploiters;
+  exploiter_index_.clear();
   for (std::size_t i = 0; i < fleet_.size(); ++i) {
     const VehicleRecord& rec = fleet_[i];
     if (rec.attacker && rec.quarantined &&
         rec.quarantined_streak >= params_.exploit_patience) {
-      exploiters.push_back(i);
+      exploiter_index_.push_back(i);
     }
   }
-  if (exploiters.empty()) return;
+  if (exploiter_index_.empty()) return;
 
-  std::vector<VehicleRecord> reborn;
-  reborn.reserve(exploiters.size());
-  for (const std::size_t i : exploiters) {
+  reborn_.clear();
+  reborn_.reserve(exploiter_index_.size());
+  for (const std::size_t i : exploiter_index_) {
     VehicleRecord rec = fleet_[i];
     --pending_[rec.segment];
     rec.id = next_id_++;  // fresh id, stable identity
@@ -442,7 +501,7 @@ void ServiceEngine::apply_churn_exploit(std::size_t e) {
       rec.ever_quarantined = false;
     }
     ++pending_[rec.segment];
-    reborn.push_back(rec);
+    reborn_.push_back(rec);
     ++counters_.exploit_rejoins;
     ++counters_.leaves;
     ++counters_.joins;
@@ -452,21 +511,22 @@ void ServiceEngine::apply_churn_exploit(std::size_t e) {
   // monotone and larger than every surviving id, so fleet_ stays id-sorted.
   std::size_t next = 0, write = 0;
   for (std::size_t i = 0; i < fleet_.size(); ++i) {
-    if (next < exploiters.size() && i == exploiters[next]) {
+    if (next < exploiter_index_.size() && i == exploiter_index_[next]) {
       ++next;
       continue;
     }
     fleet_[write++] = std::move(fleet_[i]);
   }
   fleet_.resize(write);
-  for (VehicleRecord& rec : reborn) fleet_.push_back(std::move(rec));
+  for (VehicleRecord& rec : reborn_) fleet_.push_back(std::move(rec));
 }
 
 void ServiceEngine::run_epoch() {
   const std::size_t e = epoch_;
 
   if (params_.mode == ServiceParams::Mode::kMeanField) {
-    x_ = controller_->next_x(state_, x_);
+    controller_->next_x_into(state_, x_, x_next_);
+    x_.swap(x_next_);
     game_.replicator_step(state_, x_);
     ++epoch_;
     ++counters_.epochs;
@@ -486,7 +546,8 @@ void ServiceEngine::run_epoch() {
   snapshot_states();
   // The controller sees claims, not truth; DegradedController substitutes
   // held reports for regions whose report never arrived this epoch.
-  x_ = controller_->next_x(observed_, x_);
+  controller_->next_x_into(observed_, x_, x_next_);
+  x_.swap(x_next_);
   revise(e);
   score_reputation(e);
   apply_churn_exploit(e);

@@ -50,6 +50,7 @@
 #include "cluster/incremental_clustering.h"
 #include "common/thread_pool.h"
 #include "core/fds.h"
+#include "core/fleet_stream.h"
 #include "core/game.h"
 #include "faults/degraded_controller.h"
 #include "faults/fault_model.h"
@@ -179,6 +180,16 @@ class ServiceEngine {
   /// the controller wrapper, loads, and counters.
   void init(const core::GameState& initial, std::vector<double> x0);
 
+  /// Streaming cold start (kFleet only): the fleet is ingested from a
+  /// core::FleetSource in `ingest_batch`-sized pulls instead of being
+  /// synthesized region-major. Decisions come from the source; each
+  /// vehicle's road segment comes from a pure per-source-id hash stream,
+  /// so the resulting fleet is independent of the batch size (city-scale
+  /// traces can stream in without ever materializing a seed list).
+  void init_from_source(const core::GameState& initial,
+                        std::vector<double> x0, core::FleetSource& source,
+                        std::size_t ingest_batch = 4096);
+
   /// One epoch: churn -> clustering maintenance -> snapshot -> control ->
   /// revision -> reputation. Requires init() or load_state() first.
   void run_epoch();
@@ -247,6 +258,18 @@ class ServiceEngine {
   core::GameState observed_;
   std::vector<double> x_;
   ServiceCounters counters_;
+
+  /// Per-epoch scratch, hoisted so steady-state epochs allocate nothing
+  /// once capacities are established: re-clustering deltas, the per-region
+  /// claim tally, the weighted dispatch plan, per-region fitness rows, and
+  /// the churn-exploit rebirth buffers.
+  std::vector<cluster::LoadDelta> deltas_;
+  std::vector<double> claim_counts_;
+  std::vector<double> x_next_;
+  std::vector<double> cost_;
+  std::vector<std::vector<double>> q_;
+  std::vector<std::size_t> exploiter_index_;
+  std::vector<VehicleRecord> reborn_;
 };
 
 }  // namespace avcp::service

@@ -43,7 +43,8 @@ MeasuredExchange::MeasuredExchange(const core::MultiRegionGame& game,
   AVCP_EXPECT(params_.items_per_sensor >= 1);
   AVCP_EXPECT(params_.collect_fraction > 0.0 && params_.collect_fraction <= 1.0);
   AVCP_EXPECT(params_.desire_fraction > 0.0 && params_.desire_fraction <= 1.0);
-  fleet_.resize(params_.fleet_size);
+  fleet_.reserve(params_.fleet_size,
+                 2 * params_.fleet_size * universe_.size());
   fitness_.resize(game.num_decisions());
   counts_.resize(game.num_decisions());
 }
@@ -54,35 +55,40 @@ const std::vector<double>& MeasuredExchange::per_decision_fitness(
   AVCP_EXPECT(p.size() == k);
   Rng rng(stream);
 
-  for (std::size_t v = 0; v < fleet_.size(); ++v) {
-    perception::Vehicle& veh = fleet_[v];
+  fleet_.clear();
+  for (std::size_t v = 0; v < params_.fleet_size; ++v) {
     // Probes (one per class) guarantee every class is measured; the rest of
     // the fleet follows the region's empirical mix, shaping the pool.
-    veh.decision = v < k ? static_cast<core::DecisionId>(v)
-                         : static_cast<core::DecisionId>(rng.weighted_index(p));
-    veh.claim = perception::Vehicle::kClaimFollowsDecision;
-    veh.revoked = false;
-    veh.collected.clear();
-    veh.desired.clear();
+    // Synthesis interleaves the collect/desire Bernoullis per item (the
+    // draw-order contract of the original AoS loop); collected streams
+    // straight into the arena while desired buffers through the scratch.
+    fleet_.add(v < k ? static_cast<core::DecisionId>(v)
+                     : static_cast<core::DecisionId>(rng.weighted_index(p)));
+    desired_scratch_.clear();
+    fleet_.begin_collected(v);
     for (perception::ItemId id = 0; id < universe_.size(); ++id) {
-      if (rng.bernoulli(params_.collect_fraction)) veh.collected.push_back(id);
-      if (rng.bernoulli(params_.desire_fraction)) veh.desired.push_back(id);
+      if (rng.bernoulli(params_.collect_fraction)) fleet_.push_item(id);
+      if (rng.bernoulli(params_.desire_fraction)) desired_scratch_.push_back(id);
     }
-    if (veh.desired.empty()) veh.desired.push_back(0);
+    fleet_.end_set();
+    if (desired_scratch_.empty()) desired_scratch_.push_back(0);
+    std::span<perception::ItemId> d = fleet_.alloc_desired(
+        v, static_cast<std::uint32_t>(desired_scratch_.size()));
+    std::copy(desired_scratch_.begin(), desired_scratch_.end(), d.begin());
   }
 
-  plane_.run_round_into(fleet_, x, {}, {}, params_.mode, outcome_);
+  plane_.run_round_into(fleet_.view(), x, {}, {}, params_.mode, outcome_);
 
   std::fill(fitness_.begin(), fitness_.end(), 0.0);
   std::fill(counts_.begin(), counts_.end(), 0.0);
-  for (std::size_t v = 0; v < fleet_.size(); ++v) {
-    const double own_mass = universe_.privacy_weight(fleet_[v].collected);
+  for (std::size_t v = 0; v < params_.fleet_size; ++v) {
+    const double own_mass = universe_.privacy_weight(fleet_.collected_of(v));
     const double exposed_fraction =
         own_mass > 0.0
             ? outcome_.privacy[v] * universe_.total_privacy_weight() / own_mass
             : 0.0;
-    fitness_[fleet_[v].decision] += beta * outcome_.utility[v] - exposed_fraction;
-    counts_[fleet_[v].decision] += 1.0;
+    fitness_[fleet_.decision(v)] += beta * outcome_.utility[v] - exposed_fraction;
+    counts_[fleet_.decision(v)] += 1.0;
   }
   for (std::size_t d = 0; d < k; ++d) {
     if (counts_[d] > 0.0) fitness_[d] /= counts_[d];

@@ -71,7 +71,12 @@ class MeasuredExchange {
   perception::DataUniverse universe_;
   perception::EdgeServerDataPlane plane_;
   // Reused across calls (zero steady-state allocations, like the plane).
-  std::vector<perception::Vehicle> fleet_;
+  // The synthetic fleet lives in SoA layout (one flat item arena instead of
+  // two heap ItemSets per vehicle); desired items are buffered per vehicle
+  // in `desired_scratch_` because synthesis interleaves collect/desire
+  // draws per item while the arena builder streams one set at a time.
+  perception::FleetSoA fleet_;
+  perception::ItemSet desired_scratch_;
   perception::RoundOutcome outcome_;
   std::vector<double> fitness_;
   std::vector<double> counts_;

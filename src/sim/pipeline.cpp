@@ -38,18 +38,26 @@ PipelineArtifacts build_pipeline(const PipelineConfig& config) {
   artifacts.graph = roadnet::build_city(config.city);
   const auto& graph = artifacts.graph;
 
-  // Traces (shared by TD coefficients and gamma estimation).
+  // Traces (shared by TD coefficients and gamma estimation) are streamed
+  // from the generator through the accumulators; fixes are only
+  // materialized when the caller wants them (config.keep_fixes).
   const trace::TraceGenerator generator(graph, config.traces);
-  artifacts.fixes = generator.generate_all();
 
   // Per-segment utility coefficient.
   if (config.coefficient == CoefficientKind::kBetweenness) {
     artifacts.coefficients = roadnet::segment_betweenness(graph);
+    if (config.keep_fixes) {
+      generator.generate(
+          [&](const trace::GpsFix& fix) { artifacts.fixes.push_back(fix); });
+    }
   } else {
     trace::TrafficDensityAccumulator td(graph.num_segments(),
                                         config.td_window_s,
                                         config.traces.duration_s);
-    for (const trace::GpsFix& fix : artifacts.fixes) td.add(fix);
+    generator.generate([&](const trace::GpsFix& fix) {
+      td.add(fix);
+      if (config.keep_fixes) artifacts.fixes.push_back(fix);
+    });
     artifacts.coefficients = td.average_density();
   }
 
@@ -77,7 +85,17 @@ PipelineArtifacts build_pipeline(const PipelineConfig& config) {
   inputs.num_cells = config.num_servers;
   inputs.window_s = config.traces.fix_interval_s;
   inputs.duration_s = config.traces.duration_s;
-  artifacts.region_graph = cluster::build_region_graph(artifacts.fixes, inputs);
+  cluster::RegionGraphAccumulator gamma_accumulator(inputs);
+  if (config.keep_fixes) {
+    for (const trace::GpsFix& fix : artifacts.fixes) gamma_accumulator.add(fix);
+  } else {
+    // Second deterministic generator pass: the graph needs the clustering
+    // (computed above), and without kept fixes regenerating is the
+    // constant-memory way to feed it.
+    generator.generate(
+        [&](const trace::GpsFix& fix) { gamma_accumulator.add(fix); });
+  }
+  artifacts.region_graph = gamma_accumulator.build();
   artifacts.region_graph.rescale_max(config.gamma_max);
 
   artifacts.region_specs =

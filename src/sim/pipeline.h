@@ -38,6 +38,12 @@ struct PipelineConfig {
   double beta_hi = 2.0;
   /// Gammas are rescaled so the largest equals gamma_max.
   double gamma_max = 1.0;
+  /// When false the generated trace is streamed through the coefficient and
+  /// region-graph accumulators without ever being materialized (constant
+  /// memory in the trace length; artifacts.fixes stays empty). The default
+  /// keeps the fixes for consumers that replay them (TraceDrivenSim,
+  /// bench_fig10). Artifacts are bit-identical either way.
+  bool keep_fixes = true;
 };
 
 struct PipelineArtifacts {

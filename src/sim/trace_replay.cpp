@@ -13,42 +13,53 @@ namespace {
 // derive_seed tag for the measured-fitness streams (disjoint from the
 // revision engine, which is seeded directly from params.seed).
 constexpr std::uint64_t kTraceMeasureStream = 0xA4;
+
+sim::TracePresenceBuilder presence_from_fixes(
+    std::span<const trace::GpsFix> fixes,
+    std::span<const cluster::RegionId> region_of_segment,
+    std::size_t num_vehicles, std::size_t num_regions, double round_s,
+    double trace_duration_s) {
+  sim::TracePresenceBuilder builder(region_of_segment, num_vehicles,
+                                    num_regions, round_s, trace_duration_s);
+  for (const trace::GpsFix& fix : fixes) builder.add(fix);
+  return builder;
+}
 }  // namespace
 
-TraceDrivenSim::TraceDrivenSim(const core::MultiRegionGame& game,
-                               std::span<const trace::GpsFix> fixes,
-                               std::span<const cluster::RegionId> region_of_segment,
-                               std::size_t num_vehicles,
-                               double trace_duration_s,
-                               TraceReplayParams params)
-    : game_(game), params_(params), rng_(params.seed) {
-  AVCP_EXPECT(params_.round_s > 0.0);
+TracePresenceBuilder::TracePresenceBuilder(
+    std::span<const cluster::RegionId> region_of_segment,
+    std::size_t num_vehicles, std::size_t num_regions, double round_s,
+    double trace_duration_s)
+    : region_of_segment_(region_of_segment),
+      num_vehicles_(num_vehicles),
+      num_regions_(num_regions),
+      round_s_(round_s) {
+  AVCP_EXPECT(round_s > 0.0);
   AVCP_EXPECT(trace_duration_s > 0.0);
   AVCP_EXPECT(num_vehicles >= 1);
-  AVCP_EXPECT(params_.revision_rate >= 0.0 && params_.revision_rate <= 1.0);
-  AVCP_EXPECT(params_.imitation_scale > 0.0);
-
-  const auto num_rounds = static_cast<std::size_t>(
-      std::ceil(trace_duration_s / params_.round_s));
+  AVCP_EXPECT(num_regions >= 1);
+  const auto num_rounds =
+      static_cast<std::size_t>(std::ceil(trace_duration_s / round_s));
   AVCP_EXPECT(num_rounds >= 1);
+  tally_.resize(num_rounds);
+}
 
-  // Count fixes per (round, vehicle, region); the modal region wins.
-  // round -> vehicle -> (region -> fix count).
-  std::vector<std::map<trace::VehicleId, std::map<core::RegionId, std::size_t>>>
-      tally(num_rounds);
-  for (const trace::GpsFix& fix : fixes) {
-    AVCP_EXPECT(fix.vehicle < num_vehicles);
-    AVCP_EXPECT(fix.segment < region_of_segment.size());
-    const auto round = static_cast<std::size_t>(fix.time_s / params_.round_s);
-    if (round >= num_rounds) continue;
-    const core::RegionId region = region_of_segment[fix.segment];
-    AVCP_EXPECT(region < game.num_regions());
-    ++tally[round][fix.vehicle][region];
-  }
+void TracePresenceBuilder::add(const trace::GpsFix& fix) {
+  AVCP_EXPECT(fix.vehicle < num_vehicles_);
+  AVCP_EXPECT(fix.segment < region_of_segment_.size());
+  const auto round = static_cast<std::size_t>(fix.time_s / round_s_);
+  if (round >= tally_.size()) return;
+  const core::RegionId region = region_of_segment_[fix.segment];
+  AVCP_EXPECT(region < num_regions_);
+  ++tally_[round][fix.vehicle][region];
+}
 
-  presence_.resize(num_rounds);
-  for (std::size_t r = 0; r < num_rounds; ++r) {
-    for (const auto& [vehicle, regions] : tally[r]) {
+std::vector<std::vector<std::pair<trace::VehicleId, core::RegionId>>>
+TracePresenceBuilder::build() && {
+  std::vector<std::vector<std::pair<trace::VehicleId, core::RegionId>>>
+      presence(tally_.size());
+  for (std::size_t r = 0; r < tally_.size(); ++r) {
+    for (const auto& [vehicle, regions] : tally_[r]) {
       core::RegionId modal = 0;
       std::size_t best = 0;
       for (const auto& [region, count] : regions) {
@@ -57,9 +68,35 @@ TraceDrivenSim::TraceDrivenSim(const core::MultiRegionGame& game,
           modal = region;
         }
       }
-      presence_[r].emplace_back(vehicle, modal);
+      presence[r].emplace_back(vehicle, modal);
     }
+    tally_[r].clear();
   }
+  return presence;
+}
+
+TraceDrivenSim::TraceDrivenSim(const core::MultiRegionGame& game,
+                               std::span<const trace::GpsFix> fixes,
+                               std::span<const cluster::RegionId> region_of_segment,
+                               std::size_t num_vehicles,
+                               double trace_duration_s,
+                               TraceReplayParams params)
+    : TraceDrivenSim(game,
+                     presence_from_fixes(fixes, region_of_segment,
+                                         num_vehicles, game.num_regions(),
+                                         params.round_s, trace_duration_s),
+                     params) {}
+
+TraceDrivenSim::TraceDrivenSim(const core::MultiRegionGame& game,
+                               TracePresenceBuilder&& presence,
+                               TraceReplayParams params)
+    : game_(game), params_(params), rng_(params.seed) {
+  AVCP_EXPECT(presence.num_regions() == game.num_regions());
+  AVCP_EXPECT(params_.revision_rate >= 0.0 && params_.revision_rate <= 1.0);
+  AVCP_EXPECT(params_.imitation_scale > 0.0);
+
+  const std::size_t num_vehicles = presence.num_vehicles();
+  presence_ = std::move(presence).build();
 
   decisions_.assign(num_vehicles, 0);
   state_ = game.uniform_state();

@@ -18,6 +18,8 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
+#include <utility>
 #include <vector>
 
 #include "cluster/region_clustering.h"
@@ -27,6 +29,42 @@
 #include "trace/types.h"
 
 namespace avcp::sim {
+
+/// Streaming presence-table builder: feed GPS fixes one at a time (any
+/// order, any batching — e.g. straight from a TraceGenerator sink), then
+/// hand the builder to TraceDrivenSim. The same fix multiset produces the
+/// same presence table regardless of interleaving, so streaming ingestion
+/// is bit-identical to materializing the whole trace first.
+class TracePresenceBuilder {
+ public:
+  /// `region_of_segment` must stay valid for the duration of the add()
+  /// calls (it is not copied). `round_s` is the policy-round length.
+  TracePresenceBuilder(std::span<const cluster::RegionId> region_of_segment,
+                       std::size_t num_vehicles, std::size_t num_regions,
+                       double round_s, double trace_duration_s);
+
+  /// Consumes one fix; throws ContractViolation on out-of-range vehicle,
+  /// segment, or region ids.
+  void add(const trace::GpsFix& fix);
+
+  std::size_t num_vehicles() const noexcept { return num_vehicles_; }
+  std::size_t num_regions() const noexcept { return num_regions_; }
+  std::size_t num_rounds() const noexcept { return tally_.size(); }
+
+  /// Presence per round: (vehicle, modal region) pairs ordered by vehicle
+  /// id. Consumes the tally; call once.
+  std::vector<std::vector<std::pair<trace::VehicleId, core::RegionId>>>
+  build() &&;
+
+ private:
+  std::span<const cluster::RegionId> region_of_segment_;
+  std::size_t num_vehicles_;
+  std::size_t num_regions_;
+  double round_s_;
+  /// round -> vehicle -> (region -> fix count); the modal region wins.
+  std::vector<std::map<trace::VehicleId, std::map<core::RegionId, std::size_t>>>
+      tally_;
+};
 
 struct TraceReplayParams {
   double round_s = 600.0;       // paper: 10-minute rounds
@@ -53,6 +91,12 @@ class TraceDrivenSim {
                  std::span<const cluster::RegionId> region_of_segment,
                  std::size_t num_vehicles, double trace_duration_s,
                  TraceReplayParams params);
+
+  /// Streaming variant: the presence table comes from a builder that was
+  /// fed fixes incrementally, so the trace never has to be materialized.
+  /// The builder's num_regions must match the game's.
+  TraceDrivenSim(const core::MultiRegionGame& game,
+                 TracePresenceBuilder&& presence, TraceReplayParams params);
 
   /// Number of policy rounds covered by the trace.
   std::size_t num_rounds() const noexcept { return presence_.size(); }

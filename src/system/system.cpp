@@ -89,6 +89,18 @@ CooperativePerceptionSystem::CooperativePerceptionSystem(
   x_.assign(game.num_regions(), 0.5);
   realized_.assign(game.num_regions(),
                    std::vector<double>(game.num_decisions(), 0.0));
+  region_ws_.resize(game.num_regions());
+  claims_ = decisions_;
+  behavior_ = decisions_;
+  // Fleet shapes are fixed at construction, so the cost-balanced chunk plan
+  // (vehicles × classes per region) is computed once. The plan depends only
+  // on fleet shapes, never on thread count.
+  region_cost_.resize(game.num_regions());
+  for (core::RegionId i = 0; i < game.num_regions(); ++i) {
+    region_cost_[i] = static_cast<double>(decisions_[i].size()) *
+                      static_cast<double>(game.num_decisions());
+  }
+  chunk_plan_ = balanced_chunks(region_cost_, 4 * pool_.size());
 }
 
 core::GameState CooperativePerceptionSystem::empirical_state() const {
@@ -138,19 +150,6 @@ void CooperativePerceptionSystem::init_from(const core::GameState& state) {
   }
 }
 
-perception::ItemSet CooperativePerceptionSystem::sample_items(
-    Rng& rng, double fraction) const {
-  perception::ItemSet items;
-  for (perception::ItemId id = 0; id < universe_.size(); ++id) {
-    if (rng.bernoulli(fraction)) items.push_back(id);
-  }
-  if (items.empty()) {
-    items.push_back(static_cast<perception::ItemId>(rng.uniform_int(
-        0, static_cast<std::int64_t>(universe_.size()) - 1)));
-  }
-  return items;
-}
-
 RoundReport CooperativePerceptionSystem::run_round(
     core::Controller& controller) {
   const std::size_t num_regions = game_.num_regions();
@@ -164,12 +163,15 @@ RoundReport CooperativePerceptionSystem::run_round(
   if (adaptive_ != nullptr) adaptive_->begin_round(round_);
 
   // --- S1: edge servers report, the cloud computes the ratios. -----------
-  // claims[i][v]: the decision vehicle v *declares* this round (falsified
+  // claims_[i][v]: the decision vehicle v *declares* this round (falsified
   // for attacking vehicles) — it governs lattice access and what peers see.
-  // behavior[i][v]: the decision it *executes* in the data plane. Both
+  // behavior_[i][v]: the decision it *executes* in the data plane. Both
   // mirror decisions_ on the clean path, and nothing here consumes RNG.
-  std::vector<std::vector<core::DecisionId>> claims = decisions_;
-  std::vector<std::vector<core::DecisionId>> behavior = decisions_;
+  // Members (not locals): the round loop reuses their capacity.
+  for (core::RegionId i = 0; i < num_regions; ++i) {
+    claims_[i].assign(decisions_[i].begin(), decisions_[i].end());
+    behavior_[i].assign(decisions_[i].begin(), decisions_[i].end());
+  }
   std::vector<std::vector<byzantine::VehicleReport>> reports;
   if (byz) {
     reports.resize(num_regions);
@@ -184,16 +186,16 @@ RoundReport CooperativePerceptionSystem::run_round(
       for (std::size_t v = 0; v < decisions_[i].size(); ++v) {
         byzantine::VehicleReport r{decisions_[i][v], beta, gamma, density};
         if (adversary_ != nullptr) {
-          behavior[i][v] = adversary_->behavior_decision(
+          behavior_[i][v] = adversary_->behavior_decision(
               round_, i, v, decisions_[i][v], game_.lattice());
           r = adversary_->falsify(round_, i, v, r);
         }
         if (adaptive_ != nullptr) {
-          behavior[i][v] = adaptive_->behavior_decision(
-              round_, i, v, behavior[i][v], game_.lattice());
+          behavior_[i][v] = adaptive_->behavior_decision(
+              round_, i, v, behavior_[i][v], game_.lattice());
           r = adaptive_->falsify(round_, i, v, r);
         }
-        claims[i][v] = r.decision;
+        claims_[i][v] = r.decision;
         reports[i][v] = r;
       }
     }
@@ -232,9 +234,9 @@ RoundReport CooperativePerceptionSystem::run_round(
     observed.p.assign(num_regions,
                       std::vector<double>(game_.num_decisions(), 0.0));
     for (core::RegionId i = 0; i < num_regions; ++i) {
-      for (const core::DecisionId d : claims[i]) observed.p[i][d] += 1.0;
+      for (const core::DecisionId d : claims_[i]) observed.p[i][d] += 1.0;
       for (double& value : observed.p[i]) {
-        value /= static_cast<double>(claims[i].size());
+        value /= static_cast<double>(claims_[i].size());
       }
     }
   } else {
@@ -265,13 +267,11 @@ RoundReport CooperativePerceptionSystem::run_round(
   // report — the only cross-region values, the fleet-wide loss totals, are
   // reduced after the join in region order.
   const std::size_t exchanges = std::max<std::size_t>(1, params_.exchanges_per_round);
-  std::vector<std::vector<double>> round_fitness(game_.num_regions());
-  std::vector<std::vector<perception::Vehicle>> last_vehicles(
-      game_.num_regions());
   auto data_plane_stage = [&](std::size_t region_index) {
     const auto i = static_cast<core::RegionId>(region_index);
     Rng rng(derive_seed(params_.seed, {kExchangeStream, round_, region_index}));
-    auto& fleet = decisions_[i];
+    RegionWorkspace& ws = region_ws_[i];
+    const std::size_t n = decisions_[i].size();
 
     // Realized fitness: beta-weighted measured utility minus measured
     // privacy cost, averaged over the round's repeated exchanges (§II: the
@@ -282,141 +282,199 @@ RoundReport CooperativePerceptionSystem::run_round(
     // g_k exactly), bounded in [0, 1] regardless of universe sparsity.
     const double beta = game_.region(i).beta;
 
-    std::vector<double> fitness(fleet.size(), 0.0);
+    ws.fitness.assign(n, 0.0);
     // Privacy mass each vehicle actually uploaded this round (summed over
     // cells and exchanges) — the behavioural signal the pipeline audits.
-    std::vector<double> upload_mass(fleet.size(), 0.0);
+    ws.upload_mass.assign(n, 0.0);
+    // The round's roster: decisions/claims/revocations are fixed across
+    // the round's exchanges; only the item scene is refilled per exchange.
+    ws.fleet.clear();
+    for (std::size_t v = 0; v < n; ++v) {
+      if (byz) {
+        ws.fleet.add(behavior_[i][v], claims_[i][v],
+                     pipeline_ != nullptr && pipeline_->excluded(i, v));
+      } else {
+        ws.fleet.add(behavior_[i][v]);
+      }
+    }
+    // Streaming sampler over the open set: the exact draw sequence of
+    // sample_items (one Bernoulli per universe item ascending; one uniform
+    // fallback when nothing got drawn).
+    auto sample_into = [&](double fraction) {
+      bool empty = true;
+      for (perception::ItemId id = 0; id < universe_.size(); ++id) {
+        if (rng.bernoulli(fraction)) {
+          ws.fleet.push_item(id);
+          empty = false;
+        }
+      }
+      if (empty) {
+        ws.fleet.push_item(static_cast<perception::ItemId>(rng.uniform_int(
+            0, static_cast<std::int64_t>(universe_.size()) - 1)));
+      }
+    };
     const std::size_t cells = params_.cells_per_region;
     for (std::size_t e = 0; e < exchanges; ++e) {
-      std::vector<perception::Vehicle> vehicles(fleet.size());
-      for (std::size_t v = 0; v < fleet.size(); ++v) {
-        vehicles[v].decision = behavior[i][v];
-        if (byz) {
-          vehicles[v].claim = claims[i][v];
-          vehicles[v].revoked =
-              pipeline_ != nullptr && pipeline_->excluded(i, v);
-        }
-        vehicles[v].desired = sample_items(rng, params_.desire_fraction);
+      ws.fleet.reset_items();
+      for (std::size_t v = 0; v < n; ++v) {
+        ws.fleet.begin_desired(v);
+        sample_into(params_.desire_fraction);
+        ws.fleet.end_set();
       }
       if (params_.disjoint_collections) {
         // Deal each item to at most one vehicle (pairwise-disjoint
         // collections, the paper's Property 3.1(d) regime). With
         // n * collect_fraction >= 1 every item is observed by someone,
-        // which is the realistic street scene.
+        // which is the realistic street scene. Record-then-scatter: the
+        // draws run in ascending item order exactly as the AoS loop did;
+        // grouping each owner's items afterwards keeps them ascending.
         const double fleet_coverage = std::min(
-            1.0, params_.collect_fraction * static_cast<double>(fleet.size()));
+            1.0, params_.collect_fraction * static_cast<double>(n));
+        ws.deal_item.clear();
+        ws.deal_owner.clear();
+        ws.owner_count.assign(n, 0);
         for (perception::ItemId id = 0; id < universe_.size(); ++id) {
           if (!rng.bernoulli(fleet_coverage)) continue;
-          const auto owner = static_cast<std::size_t>(rng.uniform_int(
-              0, static_cast<std::int64_t>(fleet.size()) - 1));
-          vehicles[owner].collected.push_back(id);
+          const auto owner = static_cast<std::uint32_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(n) - 1));
+          ws.deal_item.push_back(id);
+          ws.deal_owner.push_back(owner);
+          ++ws.owner_count[owner];
+        }
+        ws.owner_fill.assign(n, 0);
+        std::uint32_t start = 0;
+        for (std::size_t v = 0; v < n; ++v) {
+          ws.owner_fill[v] = start;
+          start += ws.owner_count[v];
+        }
+        ws.deal_sorted.resize(ws.deal_item.size());
+        for (std::size_t j = 0; j < ws.deal_item.size(); ++j) {
+          ws.deal_sorted[ws.owner_fill[ws.deal_owner[j]]++] = ws.deal_item[j];
+        }
+        start = 0;
+        for (std::size_t v = 0; v < n; ++v) {
+          std::span<perception::ItemId> c =
+              ws.fleet.alloc_collected(v, ws.owner_count[v]);
+          std::copy_n(ws.deal_sorted.begin() + start, ws.owner_count[v],
+                      c.begin());
+          start += ws.owner_count[v];
         }
       } else {
-        for (std::size_t v = 0; v < fleet.size(); ++v) {
-          vehicles[v].collected = sample_items(rng, params_.collect_fraction);
+        for (std::size_t v = 0; v < n; ++v) {
+          ws.fleet.begin_collected(v);
+          sample_into(params_.collect_fraction);
+          ws.fleet.end_set();
         }
       }
+      const perception::FleetView fleet_view = ws.fleet.view();
       // Edge-server outage (fault injection): the region's servers are
       // down, so no data exchange happens this round. Vehicles fall back
       // on their own perception — utility is measured on the collection
       // alone, nothing is uploaded (no privacy cost, no exposure).
       if (report.faults.region_down[i] != 0) {
         double util_sum = 0.0;
-        for (std::size_t v = 0; v < fleet.size(); ++v) {
+        for (std::size_t v = 0; v < n; ++v) {
           double own = 0.0;
-          if (!vehicles[v].desired.empty()) {
-            const perception::UtilityMeasure f(universe_, vehicles[v].desired);
-            own = f(vehicles[v].collected);
+          const std::span<const perception::ItemId> desired =
+              fleet_view.desired_of(v);
+          if (!desired.empty()) {
+            own = perception::measured_utility(universe_,
+                                               fleet_view.collected_of(v),
+                                               desired);
           }
           util_sum += own;
-          fitness[v] += beta * own;
+          ws.fitness[v] += beta * own;
         }
-        report.mean_utility[i] += util_sum / static_cast<double>(fleet.size());
-        if (e + 1 == exchanges) last_vehicles[i] = std::move(vehicles);
+        report.mean_utility[i] += util_sum / static_cast<double>(n);
         continue;
       }
       // Data exchange is scoped per Voronoi cell (Fig. 5): vehicles are
-      // spread round-robin over this round's cells.
+      // spread round-robin over this round's cells. A single cell runs on
+      // the region fleet's view directly; with more cells each sub-fleet is
+      // repacked into the persistent per-cell SoA.
       double util_sum = 0.0;
       double priv_sum = 0.0;
       double exposed_sum = 0.0;
       for (std::size_t c = 0; c < cells; ++c) {
-        std::vector<perception::Vehicle> cell_vehicles;
-        std::vector<std::size_t> cell_index;
-        for (std::size_t v = c; v < fleet.size(); v += cells) {
-          cell_vehicles.push_back(vehicles[v]);
-          cell_index.push_back(v);
+        const bool whole = cells == 1;
+        std::size_t cn = n;
+        if (!whole) {
+          ws.cell.clear();
+          ws.cell_index.clear();
+          for (std::size_t v = c; v < n; v += cells) {
+            ws.cell.add(fleet_view, v);
+            ws.cell_index.push_back(v);
+          }
+          cn = ws.cell.size();
+          if (cn == 0) continue;
         }
-        if (cell_vehicles.empty()) continue;
+        const perception::FleetView cell_view =
+            whole ? fleet_view : ws.cell.view();
         // Resolve this cell's V2X link faults (pure hashes; the system RNG
         // stream is untouched, keeping the zero-fault path bit-identical).
-        perception::CellFaultMask mask;
+        ws.mask.upload_lost.clear();
+        ws.mask.delivery_lost.clear();
         if (faults_ != nullptr) {
-          const std::size_t cn = cell_vehicles.size();
           if (faults_->params().upload_loss_rate > 0.0) {
-            mask.upload_lost.resize(cn);
+            ws.mask.upload_lost.resize(cn);
             for (std::size_t j = 0; j < cn; ++j) {
-              mask.upload_lost[j] =
-                  faults_->upload_lost(round_, i, e, cell_index[j]) ? 1 : 0;
+              const std::size_t v = whole ? j : ws.cell_index[j];
+              ws.mask.upload_lost[j] =
+                  faults_->upload_lost(round_, i, e, v) ? 1 : 0;
             }
           }
           if (faults_->params().delivery_loss_rate > 0.0) {
-            mask.delivery_lost.resize(cn * cn);
+            ws.mask.delivery_lost.resize(cn * cn);
             for (std::size_t a = 0; a < cn; ++a) {
+              const std::size_t va = whole ? a : ws.cell_index[a];
               for (std::size_t b = 0; b < cn; ++b) {
-                mask.delivery_lost[a * cn + b] =
-                    faults_->delivery_lost(round_, i, e, cell_index[a],
-                                           cell_index[b])
-                        ? 1
-                        : 0;
+                const std::size_t vb = whole ? b : ws.cell_index[b];
+                ws.mask.delivery_lost[a * cn + b] =
+                    faults_->delivery_lost(round_, i, e, va, vb) ? 1 : 0;
               }
             }
           }
         }
         // Per-pair delivery-loss masks cannot be class-aggregated; such
         // cells fall back to the exact kernel for the round.
-        const auto mode = mask.delivery_lost.empty()
+        const auto mode = ws.mask.delivery_lost.empty()
                               ? params_.data_plane_mode
                               : perception::DataPlaneMode::kPairwiseExact;
-        const auto outcome = mode == perception::DataPlaneMode::kClassAggregated
-                                 ? planes_[i].run_round_aggregated(
-                                       cell_vehicles, x_[i], mask)
-                                 : planes_[i].run_round_degraded(cell_vehicles,
-                                                                 x_[i], mask);
-        report.faults.uploads_lost_by_region[i] += outcome.uploads_lost;
-        report.faults.deliveries_lost_by_region[i] += outcome.deliveries_lost;
-        exposed_sum += outcome.exposed_privacy;
-        for (std::size_t j = 0; j < cell_vehicles.size(); ++j) {
-          const std::size_t v = cell_index[j];
-          util_sum += outcome.utility[j];
-          priv_sum += outcome.privacy[j];
-          upload_mass[v] += outcome.privacy[j];
+        planes_[i].run_round_into(cell_view, x_[i], ws.mask, no_server_items_,
+                                  mode, ws.outcome);
+        report.faults.uploads_lost_by_region[i] += ws.outcome.uploads_lost;
+        report.faults.deliveries_lost_by_region[i] +=
+            ws.outcome.deliveries_lost;
+        exposed_sum += ws.outcome.exposed_privacy;
+        for (std::size_t j = 0; j < cn; ++j) {
+          const std::size_t v = whole ? j : ws.cell_index[j];
+          util_sum += ws.outcome.utility[j];
+          priv_sum += ws.outcome.privacy[j];
+          ws.upload_mass[v] += ws.outcome.privacy[j];
           const double own_mass =
-              universe_.privacy_weight(vehicles[v].collected);
+              universe_.privacy_weight(fleet_view.collected_of(v));
           const double exposed_fraction =
               own_mass > 0.0
-                  ? outcome.privacy[j] * universe_.total_privacy_weight() /
+                  ? ws.outcome.privacy[j] * universe_.total_privacy_weight() /
                         own_mass
                   : 0.0;
-          fitness[v] += beta * outcome.utility[j] - exposed_fraction;
+          ws.fitness[v] += beta * ws.outcome.utility[j] - exposed_fraction;
         }
       }
-      report.mean_utility[i] += util_sum / static_cast<double>(fleet.size());
-      report.mean_privacy[i] += priv_sum / static_cast<double>(fleet.size());
+      report.mean_utility[i] += util_sum / static_cast<double>(n);
+      report.mean_privacy[i] += priv_sum / static_cast<double>(n);
       report.exposed_privacy[i] += exposed_sum;
-      if (e + 1 == exchanges) last_vehicles[i] = std::move(vehicles);
     }
     const double inv = 1.0 / static_cast<double>(exchanges);
     report.mean_utility[i] *= inv;
     report.mean_privacy[i] *= inv;
     report.exposed_privacy[i] *= inv;
-    for (double& f : fitness) f *= inv;
-    round_fitness[i] = std::move(fitness);
+    for (double& f : ws.fitness) f *= inv;
     // Behavioural audit: the pipeline compares each vehicle's realized
     // upload mass against its same-claim cohort. An outage round carries no
     // uploads for anyone, so there is nothing to audit.
     if (pipeline_ != nullptr && report.faults.region_down[i] == 0) {
-      pipeline_->observe_uploads(i, upload_mass);
+      pipeline_->observe_uploads(i, ws.upload_mass);
     }
   };
 
@@ -432,31 +490,34 @@ RoundReport CooperativePerceptionSystem::run_round(
   // between them.
   auto exchange_revise_stage = [&](std::size_t region_index) {
     const auto i = static_cast<core::RegionId>(region_index);
+    RegionWorkspace& ws = region_ws_[i];
     // A region whose edge servers are down this round neither relays
     // cross-region data to its fleet nor serves as a sender side — but its
     // fleet still revises on the own-perception fallback fitness.
     if (params_.inter_region_exchange && report.faults.region_down[i] == 0) {
       Rng rng(derive_seed(params_.seed, {kInterStream, round_, region_index}));
       const double beta = game_.region(i).beta;
+      // ws.fleet still holds the last exchange's scene — frozen by the
+      // stage barrier, so reading a neighbour's fleet is safe.
+      const perception::FleetView recv_view = ws.fleet.view();
       for (const auto& [j, gamma] : game_.region(i).neighbors) {
         if (report.faults.region_down[j] != 0) continue;
-        const auto& sender_fleet = last_vehicles[j];
+        const perception::FleetView sender_view = region_ws_[j].fleet.view();
+        const std::size_t sn = sender_view.size();
         const auto k = static_cast<std::size_t>(std::min<double>(
-            static_cast<double>(sender_fleet.size()),
-            std::round(gamma * static_cast<double>(sender_fleet.size()))));
+            static_cast<double>(sn),
+            std::round(gamma * static_cast<double>(sn))));
         if (k == 0) continue;
-        std::vector<perception::Vehicle> senders;
-        senders.reserve(k);
+        ws.senders.clear();
         for (std::size_t n = 0; n < k; ++n) {
-          senders.push_back(sender_fleet[static_cast<std::size_t>(
-              rng.uniform_int(0,
-                              static_cast<std::int64_t>(sender_fleet.size()) -
-                                  1))]);
+          ws.senders.add(sender_view,
+                         static_cast<std::size_t>(rng.uniform_int(
+                             0, static_cast<std::int64_t>(sn) - 1)));
         }
-        const auto outcome = planes_[i].run_directional(
-            senders, last_vehicles[i], x_[j], params_.data_plane_mode);
-        for (std::size_t v = 0; v < last_vehicles[i].size(); ++v) {
-          round_fitness[i][v] += beta * outcome.marginal_utility[v];
+        planes_[i].run_directional_into(ws.senders.view(), recv_view, x_[j],
+                                        params_.data_plane_mode, ws.dout);
+        for (std::size_t v = 0; v < recv_view.size(); ++v) {
+          ws.fitness[v] += beta * ws.dout.marginal_utility[v];
         }
       }
     }
@@ -464,17 +525,17 @@ RoundReport CooperativePerceptionSystem::run_round(
     // --- Decision revision by realized fitness. ---------------------------
     Rng rng(derive_seed(params_.seed, {kReviseStream, round_, region_index}));
     auto& fleet = decisions_[i];
-    const auto& fitness = round_fitness[i];
+    const auto& fitness = ws.fitness;
 
     auto& per_decision = realized_[i];
     std::fill(per_decision.begin(), per_decision.end(), 0.0);
-    std::vector<double> counts(game_.num_decisions(), 0.0);
+    ws.counts.assign(game_.num_decisions(), 0.0);
     for (std::size_t v = 0; v < fleet.size(); ++v) {
-      per_decision[behavior[i][v]] += fitness[v];
-      counts[behavior[i][v]] += 1.0;
+      per_decision[behavior_[i][v]] += fitness[v];
+      ws.counts[behavior_[i][v]] += 1.0;
     }
     for (core::DecisionId d = 0; d < game_.num_decisions(); ++d) {
-      if (counts[d] > 0.0) per_decision[d] /= counts[d];
+      if (ws.counts[d] > 0.0) per_decision[d] /= ws.counts[d];
     }
 
     // Revision is driven by what peers *display*: an honest vehicle that
@@ -484,8 +545,8 @@ RoundReport CooperativePerceptionSystem::run_round(
     // fitness-following — but a designated vehicle outside its strategy's
     // scope (a colluder in a non-target region, a flip-flopper in an
     // honest half-cycle) behaves honestly, revision included.
-    const std::vector<core::DecisionId> before = fleet;
-    const auto& shown = claims[i];
+    ws.before.assign(fleet.begin(), fleet.end());
+    const auto& shown = claims_[i];
     for (std::size_t v = 0; v < fleet.size(); ++v) {
       if (adversary_ != nullptr && adversary_->attacking(round_, i, v)) {
         continue;
@@ -497,7 +558,7 @@ RoundReport CooperativePerceptionSystem::run_round(
       auto peer = static_cast<std::size_t>(rng.uniform_int(
           0, static_cast<std::int64_t>(fleet.size()) - 2));
       if (peer >= v) ++peer;
-      if (shown[peer] == before[v]) continue;
+      if (shown[peer] == ws.before[v]) continue;
       const double gain = fitness[peer] - fitness[v];
       if (gain <= 0.0) continue;
       if (rng.bernoulli(std::min(1.0, params_.imitation_scale * gain))) {
@@ -510,17 +571,10 @@ RoundReport CooperativePerceptionSystem::run_round(
   // wake; the inter-stage barrier is the claim word flipping over), with
   // chunks balanced by measured per-region cost — vehicles × classes —
   // rather than region count, so one heavy region does not serialise the
-  // round. The plan depends only on fleet shapes, never on thread count.
-  std::vector<double> region_cost(game_.num_regions());
-  for (core::RegionId i = 0; i < game_.num_regions(); ++i) {
-    region_cost[i] = static_cast<double>(decisions_[i].size()) *
-                     static_cast<double>(game_.num_decisions());
-  }
-  const std::vector<std::uint32_t> chunk_plan =
-      balanced_chunks(region_cost, 4 * pool_.size());
+  // round (chunk_plan_ is fixed at construction with the fleet shapes).
   const ThreadPool::Stage round_stages[] = {
-      {game_.num_regions(), IndexFnRef(data_plane_stage), 0, chunk_plan},
-      {game_.num_regions(), IndexFnRef(exchange_revise_stage), 0, chunk_plan},
+      {game_.num_regions(), IndexFnRef(data_plane_stage), 0, chunk_plan_},
+      {game_.num_regions(), IndexFnRef(exchange_revise_stage), 0, chunk_plan_},
   };
   pool_.run_batch(round_stages);
 

@@ -275,8 +275,45 @@ class CooperativePerceptionSystem {
   /// realized_[region][decision] from the last round.
   std::vector<std::vector<double>> realized_;
 
-  /// Draws a fresh random item subset of the universe from `rng`.
-  perception::ItemSet sample_items(Rng& rng, double fraction) const;
+  /// Per-region round workspace, persistent across rounds (grow-only, so
+  /// the per-round hot path stops allocating once every buffer has seen its
+  /// high-water mark). `fleet` is the region's per-exchange scene in SoA
+  /// layout (perception/fleet_soa.h) — one flat item arena instead of two
+  /// heap ItemSets per vehicle per exchange; after the data-plane stage it
+  /// holds the *last* exchange's scene, which is exactly what the
+  /// inter-region stage reads from neighbours (the stage barrier freezes
+  /// it). Only region i's task writes region i's workspace.
+  struct RegionWorkspace {
+    perception::FleetSoA fleet;
+    perception::FleetSoA cell;     // per-cell sub-fleet (cells > 1 only)
+    perception::FleetSoA senders;  // inter-region sender sample
+    perception::RoundOutcome outcome;
+    perception::EdgeServerDataPlane::DirectionalOutcome dout;
+    perception::CellFaultMask mask;
+    std::vector<std::size_t> cell_index;
+    std::vector<double> fitness;      // realized per-vehicle round fitness
+    std::vector<double> upload_mass;  // behavioural-audit signal
+    std::vector<double> counts;       // per-decision tally scratch
+    std::vector<core::DecisionId> before;  // revision snapshot
+    // Disjoint-collection dealing scratch (record-then-scatter: the draws
+    // happen in ascending item order exactly as before; the scatter groups
+    // each owner's items — still ascending — into its arena window).
+    std::vector<perception::ItemId> deal_item;
+    std::vector<std::uint32_t> deal_owner;
+    std::vector<std::uint32_t> owner_count;
+    std::vector<std::uint32_t> owner_fill;
+    std::vector<perception::ItemId> deal_sorted;
+  };
+  std::vector<RegionWorkspace> region_ws_;
+  /// Per-round claimed/executed decisions (mirror decisions_ on the clean
+  /// path); members so the round loop reuses their capacity.
+  std::vector<std::vector<core::DecisionId>> claims_;
+  std::vector<std::vector<core::DecisionId>> behavior_;
+  /// Cost-balanced chunk plan over regions (vehicles × classes weights);
+  /// fleet shapes are fixed at construction, so the plan is too.
+  std::vector<double> region_cost_;
+  std::vector<std::uint32_t> chunk_plan_;
+  perception::ItemSet no_server_items_;
 };
 
 }  // namespace avcp::system

@@ -15,6 +15,13 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "core/fds.h"
+#include "core/fleet_stream.h"
+#include "perception/fleet_soa.h"
+#include "roadnet/builders.h"
+#include "service/service_engine.h"
+#include "system/fleet_engine.h"
+#include "test_support.h"
 
 namespace {
 std::atomic<long long> g_live_allocs{0};
@@ -152,6 +159,110 @@ TEST(AllocationGuardShrink, SmallerFleetAfterLargerIsAllocationFree) {
     }
   });
   EXPECT_EQ(allocs, 0);
+}
+
+// The SoA round path carries the same guarantee: once the plane workspace
+// and the FleetSoA arena have hit their high-water marks, FleetView rounds
+// (including per-round item refills through reset_items + the open-set
+// builder) allocate nothing.
+TEST(AllocationGuardSoA, SteadyStateFleetViewRoundsAreAllocationFree) {
+  const DecisionLattice lattice(3);
+  const auto universe = make_universe();
+  EdgeServerDataPlane plane(lattice, universe, AccessRule::kSubsetOrEqual, 9);
+  const auto fleet = make_fleet(universe, 60);
+
+  FleetSoA soa;
+  soa.reserve(fleet.size(), 2 * universe.size() * fleet.size());
+  for (const Vehicle& v : fleet) {
+    soa.add(v.decision, v.claim, v.revoked, v.collected, v.desired);
+  }
+  RoundOutcome out;
+  plane.run_round_into(soa.view(), 1.0, {}, {},
+                       DataPlaneMode::kClassAggregated, out);
+  plane.run_round_into(soa.view(), 1.0, {}, {}, DataPlaneMode::kPairwiseExact,
+                       out);
+  Rng refill_rng(23);
+  const long long allocs = allocations_during([&] {
+    for (int r = 0; r < 25; ++r) {
+      // Per-round refill: drop every item set and stream new ones in.
+      soa.reset_items();
+      for (std::size_t v = 0; v < soa.size(); ++v) {
+        soa.begin_collected(v);
+        for (ItemId id = 0; id < universe.size(); ++id) {
+          if (refill_rng.bernoulli(0.4)) soa.push_item(id);
+        }
+        soa.end_set();
+        soa.begin_desired(v);
+        soa.push_item(static_cast<ItemId>(v % universe.size()));
+        soa.end_set();
+      }
+      plane.run_round_into(soa.view(), 0.5, {}, {},
+                           DataPlaneMode::kClassAggregated, out);
+      plane.run_round_into(soa.view(), 0.5, {}, {},
+                           DataPlaneMode::kPairwiseExact, out);
+    }
+  });
+  EXPECT_EQ(allocs, 0);
+}
+
+// The sharded fleet engine end-to-end: after ingest plus one warm-up round,
+// steady-state rounds (scene refill, exchange, fitness, revision, stats
+// fold) across every shard perform zero heap allocations.
+TEST(AllocationGuardFleetEngine, SteadyStateEngineRoundsAreAllocationFree) {
+  system::FleetEngineParams params;
+  params.num_shards = 4;
+  params.seed = 77;
+  system::ShardedFleetEngine engine(params);
+  core::SyntheticFleetSource source(2000, 8, 77);
+  engine.ingest(source);
+  system::FleetRoundStats stats;
+  engine.run_round_into(0.6, stats);
+  const long long allocs = allocations_during([&] {
+    for (int r = 0; r < 10; ++r) engine.run_round_into(0.6, stats);
+  });
+  EXPECT_EQ(allocs, 0);
+}
+
+// The service layer's per-epoch scratch is hoisted into grow-only members:
+// with the fleet roster static (churn off), steady-state epochs — snapshot,
+// control, revision, reputation scoring — are completely allocation-free.
+TEST(AllocationGuardService, ZeroChurnSteadyEpochsAreAllocationFree) {
+  const auto game = core::testing::make_chain_game(4);
+  const auto graph = roadnet::make_grid(6, 6);
+  service::ServiceParams params;
+  params.seed = 31;
+  params.attacker_fraction = 0.1;
+  core::FixedRatioController inner(0.5);
+  service::ServiceEngine svc(game, inner, &graph, params);
+  svc.init(game.uniform_state(), std::vector<double>(4, 0.5));
+  for (int e = 0; e < 3; ++e) svc.run_epoch();  // warm-up: high-water marks
+  const long long allocs = allocations_during([&] {
+    for (int e = 0; e < 25; ++e) svc.run_epoch();
+  });
+  EXPECT_EQ(allocs, 0);
+}
+
+// With churn, exploit rejoins, and quarantine all active, epochs may still
+// touch the heap only when the fleet roster itself outgrows its high-water
+// capacity — a handful of amortized growths, not O(fleet) per epoch.
+TEST(AllocationGuardService, ChurningEpochsHaveBoundedAllocations) {
+  const auto game = core::testing::make_chain_game(4);
+  const auto graph = roadnet::make_grid(6, 6);
+  service::ServiceParams params;
+  params.seed = 47;
+  params.attacker_fraction = 0.15;
+  params.churn_exploit = true;
+  params.churn.join_rate = 0.05;
+  params.churn.leave_rate = 0.05;
+  params.churn.migrate_rate = 0.1;
+  core::FixedRatioController inner(0.5);
+  service::ServiceEngine svc(game, inner, &graph, params);
+  svc.init(game.uniform_state(), std::vector<double>(4, 0.5));
+  for (int e = 0; e < 10; ++e) svc.run_epoch();  // warm-up: high-water marks
+  const long long allocs = allocations_during([&] {
+    for (int e = 0; e < 20; ++e) svc.run_epoch();
+  });
+  EXPECT_LE(allocs, 8) << "per-epoch heap churn has crept back in";
 }
 
 }  // namespace

@@ -118,15 +118,15 @@ TEST_F(MeasureFixture, MonotoneUnderInclusion) {
 
 TEST_F(MeasureFixture, PrivacyCostNormalised) {
   // Total privacy = 2.0. Sharing everything costs 1.
-  EXPECT_DOUBLE_EQ(privacy_cost(universe_, {0, 1, 2, 3}), 1.0);
-  EXPECT_DOUBLE_EQ(privacy_cost(universe_, {}), 0.0);
-  EXPECT_DOUBLE_EQ(privacy_cost(universe_, {0}), 0.5);
-  EXPECT_NEAR(privacy_cost(universe_, {2}), 0.05, 1e-12);
+  EXPECT_DOUBLE_EQ(privacy_cost(universe_, ItemSet{0, 1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(privacy_cost(universe_, ItemSet{}), 0.0);
+  EXPECT_DOUBLE_EQ(privacy_cost(universe_, ItemSet{0}), 0.5);
+  EXPECT_NEAR(privacy_cost(universe_, ItemSet{2}), 0.05, 1e-12);
 }
 
 TEST_F(MeasureFixture, PrivacyCostAdditiveOnDisjoint) {
   EXPECT_DOUBLE_EQ(privacy_cost(universe_, set_union({0}, {2})),
-                   privacy_cost(universe_, {0}) + privacy_cost(universe_, {2}));
+                   privacy_cost(universe_, ItemSet{0}) + privacy_cost(universe_, ItemSet{2}));
 }
 
 TEST(Measure, RejectsEmptyDesiredSet) {

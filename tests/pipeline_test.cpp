@@ -94,6 +94,37 @@ TEST(Pipeline, TdCoefficientsReflectTraffic) {
   EXPECT_GT(total, 0.0);
 }
 
+TEST(Pipeline, StreamingIngestionMatchesMaterializedTrace) {
+  // keep_fixes=false streams the generated trace through the TD and gamma
+  // accumulators without materializing it; every artifact must be
+  // bit-identical to the kept-fixes build.
+  auto config = small_config(CoefficientKind::kTrafficDensity);
+  const auto kept = build_pipeline(config);
+  config.keep_fixes = false;
+  const auto streamed = build_pipeline(config);
+
+  EXPECT_FALSE(kept.fixes.empty());
+  EXPECT_TRUE(streamed.fixes.empty());
+  EXPECT_EQ(streamed.coefficients, kept.coefficients);
+  EXPECT_EQ(streamed.clustering.region_of, kept.clustering.region_of);
+  ASSERT_EQ(streamed.region_graph.num_regions(),
+            kept.region_graph.num_regions());
+  for (cluster::RegionId i = 0; i < kept.region_graph.num_regions(); ++i) {
+    for (cluster::RegionId j = 0; j < kept.region_graph.num_regions(); ++j) {
+      EXPECT_EQ(streamed.region_graph.gamma(i, j),
+                kept.region_graph.gamma(i, j));
+    }
+  }
+  ASSERT_EQ(streamed.region_specs.size(), kept.region_specs.size());
+  for (std::size_t i = 0; i < kept.region_specs.size(); ++i) {
+    EXPECT_EQ(streamed.region_specs[i].beta, kept.region_specs[i].beta);
+    EXPECT_EQ(streamed.region_specs[i].gamma_self,
+              kept.region_specs[i].gamma_self);
+    EXPECT_EQ(streamed.region_specs[i].neighbors,
+              kept.region_specs[i].neighbors);
+  }
+}
+
 TEST(Pipeline, MakeRegionSpecsMapsMeansAffinely) {
   // Two regions with known coefficient means 0 and 10 map to beta_lo and
   // beta_hi exactly.

@@ -91,6 +91,32 @@ TEST(TraceReplay, RejectsBadInputs) {
       ContractViolation);
 }
 
+TEST(TraceReplay, StreamingBuilderMatchesSpanConstructor) {
+  // Feeding fixes one at a time through TracePresenceBuilder must produce
+  // the exact trajectory of the materialized-span constructor.
+  const auto game = make_chain_game(2);
+  const std::vector<cluster::RegionId> region_of = {0, 1};
+  const auto fixes = tiny_trace();
+  TraceDrivenSim batch(game, fixes, region_of, 3, 200.0, tiny_params());
+
+  TracePresenceBuilder builder(region_of, 3, game.num_regions(),
+                               tiny_params().round_s, 200.0);
+  for (const trace::GpsFix& fix : fixes) builder.add(fix);
+  EXPECT_EQ(builder.num_rounds(), 2u);
+  TraceDrivenSim streamed(game, std::move(builder), tiny_params());
+
+  EXPECT_EQ(streamed.num_rounds(), batch.num_rounds());
+  EXPECT_EQ(streamed.present_vehicles(0), batch.present_vehicles(0));
+  batch.init_from(game.uniform_state());
+  streamed.init_from(game.uniform_state());
+  const std::vector<double> x = {0.5, 0.5};
+  for (int t = 0; t < 5; ++t) {
+    batch.step(x);
+    streamed.step(x);
+    EXPECT_EQ(streamed.empirical_state().p, batch.empirical_state().p);
+  }
+}
+
 TEST(TraceReplay, ConvergesToNoSharingAtZeroRatio) {
   // A dense synthetic presence pattern: everyone in one region all rounds.
   const auto game = make_chain_game(1, /*beta_lo=*/1.5);
