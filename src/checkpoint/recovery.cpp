@@ -1,5 +1,8 @@
 #include "checkpoint/recovery.h"
 
+#include <algorithm>
+#include <thread>
+
 #include "common/contracts.h"
 
 namespace avcp::checkpoint {
@@ -7,7 +10,8 @@ namespace avcp::checkpoint {
 RecoveryOutcome run_with_recovery(const CheckpointStore& store,
                                   const CheckpointPolicy& policy,
                                   std::size_t total_rounds,
-                                  const RecoveryHooks& hooks) {
+                                  const RecoveryHooks& hooks,
+                                  const RecoveryOptions& options) {
   AVCP_EXPECT(hooks.reset != nullptr);
   AVCP_EXPECT(hooks.step != nullptr);
 
@@ -27,6 +31,12 @@ RecoveryOutcome run_with_recovery(const CheckpointStore& store,
         ++outcome.corrupt_skipped;
       }
     }
+  }
+  if (!outcome.resumed && outcome.corrupt_skipped > 0 &&
+      options.fail_when_all_corrupt) {
+    throw AllGenerationsCorruptError(
+        "recovery: all " + std::to_string(outcome.corrupt_skipped) +
+        " checkpoint generation(s) corrupt; refusing to cold-start");
   }
   if (!outcome.resumed) hooks.reset();
 
@@ -64,6 +74,59 @@ RecoveryOutcome run_with_recovery(const CheckpointStore& store,
     }
   }
   return outcome;
+}
+
+SupervisorOutcome run_supervised(const CheckpointStore& store,
+                                 const CheckpointPolicy& policy,
+                                 std::size_t total_rounds,
+                                 const RecoveryHooks& hooks,
+                                 const SupervisorOptions& options) {
+  AVCP_EXPECT(options.max_restarts <= 1000);
+  AVCP_EXPECT(options.backoff_base.count() >= 0);
+  AVCP_EXPECT(options.backoff_cap >= options.backoff_base);
+
+  RecoveryOptions ropts;
+  ropts.fail_when_all_corrupt = true;
+
+  SupervisorOutcome out;
+  for (;;) {
+    ++out.attempts;
+    try {
+      out.recovery = run_with_recovery(store, policy, total_rounds, hooks,
+                                       ropts);
+      out.exit_code = kSupervisorOk;
+      out.last_error.clear();
+      return out;
+    } catch (const AllGenerationsCorruptError& e) {
+      // Retrying cannot help: every restart would walk the same corrupt
+      // generations. Surface it as its own exit code so the operator (or
+      // the soak harness) can wipe or repair the store deliberately.
+      out.last_error = e.what();
+      out.exit_code = kSupervisorAllCorrupt;
+      return out;
+    } catch (const std::exception& e) {
+      ++out.crashes;
+      out.last_error = e.what();
+      if (out.crashes > options.max_restarts) {
+        out.exit_code = kSupervisorCrashLoop;
+        return out;
+      }
+      // Exponential backoff: base << (crash - 1), capped. Shift bounded by
+      // max_restarts <= 1000 via the cap comparison below.
+      std::chrono::milliseconds wait = options.backoff_base;
+      for (std::size_t i = 1; i < out.crashes && wait < options.backoff_cap;
+           ++i) {
+        wait *= 2;
+      }
+      wait = std::min(wait, options.backoff_cap);
+      out.backoff_total += wait;
+      if (options.sleep != nullptr) {
+        options.sleep(wait);
+      } else if (wait.count() > 0) {
+        std::this_thread::sleep_for(wait);
+      }
+    }
+  }
 }
 
 }  // namespace avcp::checkpoint

@@ -17,6 +17,7 @@
 // to the straight-through trajectory (the engines' save/load contract).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -25,6 +26,16 @@
 #include "checkpoint/policy.h"
 
 namespace avcp::checkpoint {
+
+/// Every on-disk generation failed to parse or load (recovery had nothing
+/// to resume from even though snapshots exist). Only thrown when
+/// RecoveryOptions::fail_when_all_corrupt is set; derives CheckpointError
+/// so existing catch sites keep working.
+class AllGenerationsCorruptError : public CheckpointError {
+ public:
+  explicit AllGenerationsCorruptError(const std::string& message)
+      : CheckpointError(message) {}
+};
 
 struct RecoveryHooks {
   /// Cold start: (re)initialize the engine to round 0.
@@ -65,11 +76,69 @@ struct RecoveryOutcome {
   std::size_t completed_rounds = 0;
 };
 
+struct RecoveryOptions {
+  /// Throw AllGenerationsCorruptError instead of cold-starting when the
+  /// store holds generations but every one was rejected. Silently replaying
+  /// from round 0 over a corrupt store is a policy decision (it can be
+  /// arbitrarily expensive and hides the corruption); the supervisor turns
+  /// this on and converts the throw into a distinct exit code.
+  bool fail_when_all_corrupt = false;
+};
+
 /// Restores (or resets), then runs rounds up to `total_rounds`,
 /// snapshotting per `policy` and pruning the store after each write.
 RecoveryOutcome run_with_recovery(const CheckpointStore& store,
                                   const CheckpointPolicy& policy,
                                   std::size_t total_rounds,
-                                  const RecoveryHooks& hooks);
+                                  const RecoveryHooks& hooks,
+                                  const RecoveryOptions& options = {});
+
+/// Crash-loop guard around run_with_recovery (DESIGN.md §17).
+struct SupervisorOptions {
+  /// Consecutive crashed attempts tolerated before giving up. The engines
+  /// are deterministic, so a crash that survives this many resume-and-replay
+  /// attempts is almost certainly deterministic too — retrying forever
+  /// would just burn the machine.
+  std::size_t max_restarts = 5;
+  /// Exponential backoff between restart attempts: base << (crash-1),
+  /// capped. Real deployments keep the defaults; tests inject `sleep`.
+  std::chrono::milliseconds backoff_base{100};
+  std::chrono::milliseconds backoff_cap{5000};
+  /// Injectable backoff (null = std::this_thread::sleep_for), so tests and
+  /// sims stay instant and can record the schedule.
+  std::function<void(std::chrono::milliseconds)> sleep;
+};
+
+/// Distinct process exit codes for the supervisor's terminal states.
+inline constexpr int kSupervisorOk = 0;
+/// Restart budget exhausted by consecutive crashes.
+inline constexpr int kSupervisorCrashLoop = 64;
+/// Every checkpoint generation is corrupt; operator intervention needed.
+inline constexpr int kSupervisorAllCorrupt = 65;
+
+struct SupervisorOutcome {
+  int exit_code = kSupervisorOk;
+  /// run_with_recovery invocations, including the first and the final one.
+  std::size_t attempts = 0;
+  std::size_t crashes = 0;
+  /// Total backoff requested (whether or not `sleep` actually slept).
+  std::chrono::milliseconds backoff_total{0};
+  /// what() of the last crash (empty when exit_code == kSupervisorOk).
+  std::string last_error;
+  /// The final attempt's recovery outcome (valid when it returned).
+  RecoveryOutcome recovery;
+};
+
+/// Runs run_with_recovery under a crash-loop guard: a throwing attempt is
+/// retried after exponential backoff until it either completes
+/// (kSupervisorOk), crashes max_restarts + 1 consecutive times
+/// (kSupervisorCrashLoop), or finds every generation corrupt
+/// (kSupervisorAllCorrupt — fail_when_all_corrupt is forced on). Instead
+/// of retrying forever, the caller gets a distinct exit code per state.
+SupervisorOutcome run_supervised(const CheckpointStore& store,
+                                 const CheckpointPolicy& policy,
+                                 std::size_t total_rounds,
+                                 const RecoveryHooks& hooks,
+                                 const SupervisorOptions& options = {});
 
 }  // namespace avcp::checkpoint

@@ -27,6 +27,13 @@ std::vector<double> DegradedController::next_x(
 void DegradedController::next_x_into(const core::GameState& state,
                                      const std::vector<double>& x_prev,
                                      std::vector<double>& out) {
+  next_x_into(state, x_prev, out, nullptr);
+}
+
+void DegradedController::next_x_into(const core::GameState& state,
+                                     const std::vector<double>& x_prev,
+                                     std::vector<double>& out,
+                                     const std::uint8_t* fresh_mask) {
   const std::size_t m = state.num_regions();
   AVCP_EXPECT(m >= 1);
   AVCP_EXPECT(x_prev.size() == m);
@@ -43,7 +50,10 @@ void DegradedController::next_x_into(const core::GameState& state,
 
   // Ingest this round's reports.
   for (core::RegionId i = 0; i < m; ++i) {
-    if (faults_.report_available(round_, i)) {
+    const bool fresh = fresh_mask != nullptr
+                           ? fresh_mask[i] != 0
+                           : faults_.report_available(round_, i);
+    if (fresh) {
       last_good_.p[i] = state.p[i];
       age_[i] = 0;
     } else {

@@ -64,6 +64,17 @@ class DegradedController final : public core::Controller {
                    const std::vector<double>& x_prev,
                    std::vector<double>& out) override;
 
+  /// Same step, but with the freshness verdict supplied by the caller:
+  /// fresh_mask[i] != 0 means a usable report for region i arrived this
+  /// round (null = consult the FaultModel, the overload above). The
+  /// degraded-network transport uses this to route delivered, delayed, and
+  /// lost backhaul reports through the same hold/decay machinery — the
+  /// channel bounds how *old* consumed data can be (max_staleness), this
+  /// wrapper bounds how long a *blind* region may coast (staleness_budget).
+  void next_x_into(const core::GameState& state,
+                   const std::vector<double>& x_prev,
+                   std::vector<double>& out, const std::uint8_t* fresh_mask);
+
   /// Rounds processed so far (== number of next_x calls).
   std::size_t round() const noexcept { return round_; }
 

@@ -64,20 +64,24 @@ void FaultCounters::load_state(Deserializer& d) {
   region_outages = static_cast<std::size_t>(d.get_u64());
 }
 
-FaultModel::FaultModel(FaultParams params)
-    : params_(std::move(params)), active_(params_.any()) {
-  AVCP_EXPECT(valid_rate(params_.upload_loss_rate));
-  AVCP_EXPECT(valid_rate(params_.delivery_loss_rate));
-  AVCP_EXPECT(valid_rate(params_.report_loss_rate));
-  AVCP_EXPECT(valid_rate(params_.outage_rate));
-  AVCP_EXPECT(valid_rate(params_.defector_fraction));
-  for (const OutageWindow& w : params_.outages) {
+void FaultParams::validate() const {
+  AVCP_EXPECT(valid_rate(upload_loss_rate));
+  AVCP_EXPECT(valid_rate(delivery_loss_rate));
+  AVCP_EXPECT(valid_rate(report_loss_rate));
+  AVCP_EXPECT(valid_rate(outage_rate));
+  AVCP_EXPECT(valid_rate(defector_fraction));
+  for (const OutageWindow& w : outages) {
     // The window end first_round + duration must be representable: an
     // overflowing end silently truncates the schedule at SIZE_MAX and is
     // invariably a caller arithmetic bug, so reject it up front.
     AVCP_EXPECT(w.duration <=
                 std::numeric_limits<std::size_t>::max() - w.first_round);
   }
+}
+
+FaultModel::FaultModel(FaultParams params)
+    : params_(std::move(params)), active_(params_.any()) {
+  params_.validate();
 }
 
 double FaultModel::hash_uniform(std::uint64_t stream, std::uint64_t a,

@@ -75,6 +75,12 @@ struct FaultParams {
   /// inert: the plant's zero-fault path is bit-identical to running with
   /// no model at all.
   bool any() const noexcept;
+
+  /// Construction-time range checks (every rate in [0, 1], no overflowing
+  /// outage window). FaultModel's constructor calls this; callers that
+  /// build params long before the model exists (scenario catalog, CLI
+  /// parsing) can call it directly to fail at definition time.
+  void validate() const;
 };
 
 /// Loss counters accumulated by the degraded paths.

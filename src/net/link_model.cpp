@@ -1,0 +1,206 @@
+#include "net/link_model.h"
+
+#include <limits>
+
+#include "common/contracts.h"
+#include "common/rng.h"
+#include "common/serial.h"
+
+namespace avcp::net {
+
+namespace {
+
+/// Distinct hash streams so the drop, delay, duplicate, and reorder
+/// predicates of the same message are independent (disjoint from the
+/// faults::FaultModel ASCII tags by construction — different leading
+/// bytes).
+enum Stream : std::uint64_t {
+  kDrop = 0x6e65743a64726f70ULL,      // "net:drop"
+  kDelay = 0x6e65743a646c6179ULL,     // "net:dlay"
+  kDelayLen = 0x6e65743a646c656eULL,  // "net:dlen"
+  kDup = 0x6e65743a64757065ULL,       // "net:dupe"
+  kDupLen = 0x6e65743a64706c6eULL,    // "net:dpln"
+  kReorder = 0x6e65743a72656f72ULL,   // "net:reor"
+  kPartition = 0x6e65743a70617274ULL,  // "net:part"
+};
+
+/// Absorbs one value into the running hash (splitmix64 finalizer over a
+/// boost-style combine) — the fault_model.cpp mixer.
+inline std::uint64_t mix(std::uint64_t h, std::uint64_t v) noexcept {
+  std::uint64_t s = h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+  return splitmix64(s);
+}
+
+inline bool valid_rate(double r) noexcept { return r >= 0.0 && r <= 1.0; }
+
+}  // namespace
+
+std::uint32_t PartitionWindow::component_of(std::uint32_t n) const noexcept {
+  if (!component.empty()) {
+    return n < component.size() ? component[n] : 0;
+  }
+  if (num_components <= 1) return 0;
+  std::uint64_t h = mix(salt, kPartition);
+  h = mix(h, n);
+  return static_cast<std::uint32_t>(h % num_components);
+}
+
+bool NetParams::any() const noexcept {
+  if (drop_rate > 0.0 || delay_rate > 0.0 || duplicate_rate > 0.0 ||
+      reorder_rate > 0.0) {
+    return true;
+  }
+  for (const PartitionWindow& w : partitions) {
+    if (w.duration > 0 && (w.num_components > 1 || !w.component.empty())) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void NetParams::validate() const {
+  AVCP_EXPECT(valid_rate(drop_rate));
+  AVCP_EXPECT(valid_rate(delay_rate));
+  AVCP_EXPECT(valid_rate(duplicate_rate));
+  AVCP_EXPECT(valid_rate(reorder_rate));
+  // Delay/duplicate fates need a non-degenerate delay range, and every
+  // bound below keeps the channel's in-flight horizon (and the engines'
+  // payload rings) small and allocation-friendly.
+  AVCP_EXPECT(max_delay_rounds >= 1 && max_delay_rounds <= 16);
+  AVCP_EXPECT(max_retries <= 8);
+  AVCP_EXPECT(backoff_base >= 1 && backoff_base <= 8);
+  AVCP_EXPECT(max_staleness <= 32);
+  for (const PartitionWindow& w : partitions) {
+    // The window end must be representable (the OutageWindow rule): an
+    // overflowing first_round + duration silently truncates the schedule.
+    AVCP_EXPECT(w.duration <=
+                std::numeric_limits<std::size_t>::max() - w.first_round);
+    AVCP_EXPECT(w.num_components >= 1);
+  }
+}
+
+LinkModel::LinkModel(NetParams params)
+    : params_(std::move(params)), degrading_(params_.any()) {
+  params_.validate();
+}
+
+double LinkModel::hash_uniform(std::uint64_t stream, std::uint64_t a,
+                               std::uint64_t b, std::uint64_t c,
+                               std::uint64_t d) const noexcept {
+  std::uint64_t h = mix(params_.seed, stream);
+  h = mix(h, a);
+  h = mix(h, b);
+  h = mix(h, c);
+  h = mix(h, d);
+  // 53 mantissa bits -> uniform in [0, 1), as Rng::uniform does.
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+std::uint32_t LinkModel::component(std::size_t round,
+                                   std::uint32_t n) const noexcept {
+  for (const PartitionWindow& w : params_.partitions) {
+    if (w.covers(round)) return w.component_of(n);
+  }
+  return 0;
+}
+
+bool LinkModel::severed(std::size_t round, std::uint32_t a,
+                        std::uint32_t b) const noexcept {
+  for (const PartitionWindow& w : params_.partitions) {
+    if (w.covers(round) && w.component_of(a) != w.component_of(b)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+MessageFate LinkModel::fate(std::size_t round, std::uint32_t src,
+                            std::uint32_t dst, std::size_t payload_round,
+                            std::size_t attempt) const noexcept {
+  MessageFate f;
+  // One key identifies the message instance: link endpoints fold into one
+  // operand (region counts are far below 2^32), payload round and attempt
+  // distinguish retransmissions of the same payload.
+  const std::uint64_t link = (static_cast<std::uint64_t>(src) << 32) |
+                             static_cast<std::uint64_t>(dst);
+  if (params_.drop_rate > 0.0 &&
+      hash_uniform(kDrop, round, link, payload_round, attempt) <
+          params_.drop_rate) {
+    f.kind = MessageFate::Kind::kDrop;
+    return f;  // a dropped message neither duplicates nor reorders
+  }
+  if (params_.delay_rate > 0.0 &&
+      hash_uniform(kDelay, round, link, payload_round, attempt) <
+          params_.delay_rate) {
+    f.kind = MessageFate::Kind::kDelay;
+    f.delay_rounds =
+        1 + static_cast<std::size_t>(
+                hash_uniform(kDelayLen, round, link, payload_round, attempt) *
+                static_cast<double>(params_.max_delay_rounds));
+    if (f.delay_rounds > params_.max_delay_rounds) {
+      f.delay_rounds = params_.max_delay_rounds;
+    }
+  }
+  if (params_.duplicate_rate > 0.0 &&
+      hash_uniform(kDup, round, link, payload_round, attempt) <
+          params_.duplicate_rate) {
+    f.duplicate = true;
+    f.duplicate_delay =
+        1 + static_cast<std::size_t>(
+                hash_uniform(kDupLen, round, link, payload_round, attempt) *
+                static_cast<double>(params_.max_delay_rounds));
+    if (f.duplicate_delay > params_.max_delay_rounds) {
+      f.duplicate_delay = params_.max_delay_rounds;
+    }
+  }
+  if (params_.reorder_rate > 0.0 &&
+      hash_uniform(kReorder, round, link, payload_round, attempt) <
+          params_.reorder_rate) {
+    f.reorder = true;
+  }
+  return f;
+}
+
+void put_net_params(Serializer& s, const NetParams& p) {
+  s.put_f64(p.drop_rate);
+  s.put_f64(p.delay_rate);
+  s.put_u64(p.max_delay_rounds);
+  s.put_f64(p.duplicate_rate);
+  s.put_f64(p.reorder_rate);
+  s.put_u64(p.max_retries);
+  s.put_u64(p.backoff_base);
+  s.put_u64(p.max_staleness);
+  s.put_u64(p.seed);
+  s.put_u64(p.partitions.size());
+  for (const PartitionWindow& w : p.partitions) {
+    s.put_u64(w.first_round);
+    s.put_u64(w.duration);
+    s.put_u32(w.num_components);
+    s.put_u64(w.salt);
+    put_u32_vec(s, w.component);
+  }
+}
+
+void check_net_params(Deserializer& d, const NetParams& live) {
+  const char* kWhat = "net snapshot: link-model params mismatch";
+  Deserializer::check(d.get_f64() == live.drop_rate, kWhat);
+  Deserializer::check(d.get_f64() == live.delay_rate, kWhat);
+  Deserializer::check(d.get_u64() == live.max_delay_rounds, kWhat);
+  Deserializer::check(d.get_f64() == live.duplicate_rate, kWhat);
+  Deserializer::check(d.get_f64() == live.reorder_rate, kWhat);
+  Deserializer::check(d.get_u64() == live.max_retries, kWhat);
+  Deserializer::check(d.get_u64() == live.backoff_base, kWhat);
+  Deserializer::check(d.get_u64() == live.max_staleness, kWhat);
+  Deserializer::check(d.get_u64() == live.seed, kWhat);
+  Deserializer::check(d.get_u64() == live.partitions.size(),
+                      "net snapshot: partition schedule mismatch");
+  for (const PartitionWindow& w : live.partitions) {
+    Deserializer::check(d.get_u64() == w.first_round, kWhat);
+    Deserializer::check(d.get_u64() == w.duration, kWhat);
+    Deserializer::check(d.get_u32() == w.num_components, kWhat);
+    Deserializer::check(d.get_u64() == w.salt, kWhat);
+    Deserializer::check(get_u32_vec(d) == w.component, kWhat);
+  }
+}
+
+}  // namespace avcp::net

@@ -1,0 +1,170 @@
+// Deterministic degraded-network model for inter-region exchange.
+//
+// The paper's framework assumes step S2's cross-region data exchange is a
+// perfect, loss-free, synchronous call — the one distributed-systems
+// failure surface the repo had never modeled. Real V2X/edge backhaul
+// drops, delays, reorders, and duplicates messages, and sometimes
+// partitions the region graph outright. LinkModel is the single source of
+// truth for *what* the network does to *which* message: every predicate is
+// a pure hash of (seed, stream, round, link, payload, attempt) — no
+// mutable RNG state — so a network schedule is reproducible from one seed
+// regardless of query order, thread count, or how many components consult
+// it (the same contract as faults::FaultModel, which owns vehicle- and
+// region-level faults; LinkModel owns the links *between* regions).
+//
+// The model answers two independent questions:
+//   - fate(round, src, dst, payload, attempt): what happens to one message
+//     sent on link src->dst this round — delivered now, delayed k rounds,
+//     or dropped — plus whether an extra duplicate copy rides along and
+//     whether the arrival is reordered against the receiver's other links.
+//   - severed(round, a, b): whether a PartitionWindow places a and b in
+//     different components this round (a severed link drops everything;
+//     healing is the window simply ending).
+//
+// Transport policy (retries, backoff, staleness) lives in ExchangeChannel;
+// this class is pure fate assignment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/game.h"
+
+namespace avcp {
+class Serializer;
+class Deserializer;
+}  // namespace avcp
+
+namespace avcp::net {
+
+/// A scheduled network partition: for rounds [first_round, first_round +
+/// duration) the node graph is split into `num_components` components and
+/// every link crossing a component boundary is severed. Healing is the
+/// window ending — there is no explicit merge step.
+struct PartitionWindow {
+  std::size_t first_round = 0;
+  std::size_t duration = 0;
+  /// Components the node set is hashed into (>= 1; 1 is a no-op window).
+  /// Ignored when `component` below is non-empty.
+  std::uint32_t num_components = 2;
+  /// Salt for the hashed assignment, so two windows with the same shape
+  /// can cut the graph differently.
+  std::uint64_t salt = 0;
+  /// Explicit per-node component ids (size == node count). Empty = assign
+  /// each node by pure hash of (salt, node).
+  std::vector<std::uint32_t> component;
+
+  bool covers(std::size_t round) const noexcept {
+    return round >= first_round && round - first_round < duration;
+  }
+  /// Component of node `n` under this window (hashed unless explicit).
+  std::uint32_t component_of(std::uint32_t n) const noexcept;
+};
+
+struct NetParams {
+  /// Per-(message, attempt) probability the message is dropped in flight.
+  double drop_rate = 0.0;
+  /// Probability a non-dropped message is delayed 1..max_delay_rounds
+  /// rounds instead of arriving in its send round.
+  double delay_rate = 0.0;
+  /// Upper bound on a single delivery delay, in rounds.
+  std::size_t max_delay_rounds = 2;
+  /// Probability a non-dropped message spawns one extra delayed copy
+  /// (dedup in the channel makes the duplicate idempotent).
+  double duplicate_rate = 0.0;
+  /// Probability a delivery is reordered against the receiver's other
+  /// arrivals this round (the consume order swaps with the previous link).
+  double reorder_rate = 0.0;
+  /// Scheduled partitions of the node graph.
+  std::vector<PartitionWindow> partitions;
+
+  // --- Transport policy (consumed by ExchangeChannel). --------------------
+  /// Retransmissions attempted after a drop before the sender gives up.
+  std::size_t max_retries = 2;
+  /// Rounds before the first retransmission; doubles per further attempt
+  /// (exponential backoff: attempt a resends backoff_base * 2^(a-1) rounds
+  /// after attempt a-1 was sent).
+  std::size_t backoff_base = 1;
+  /// A held payload stays consumable while its age (current round minus
+  /// the round the payload was produced) is <= max_staleness; beyond that
+  /// the link is blind and the receiver falls back to local-only revision.
+  std::size_t max_staleness = 3;
+
+  /// Route the exchange through the channel even when no degradation can
+  /// ever fire. The transport path with an inert model is bit-identical to
+  /// the synchronous exchange — this flag exists so that contract can be
+  /// locked in a test (and measured in benches) without enabling faults.
+  bool model_transport = false;
+  std::uint64_t seed = 0;
+
+  /// True if any link degradation can ever fire. any() == false leaves the
+  /// synchronous exchange untouched unless model_transport forces the
+  /// (bit-identical) channel path.
+  bool any() const noexcept;
+  /// The exchange routes through ExchangeChannel at all.
+  bool active() const noexcept { return any() || model_transport; }
+  /// Construction-time range checks; throws ContractViolation.
+  void validate() const;
+  /// Payload-ring slots an engine must retain per sender: a payload older
+  /// than max_staleness is never consumable, so staleness + 1 slots cover
+  /// every reachable consumption.
+  std::size_t ring_slots() const noexcept { return max_staleness + 1; }
+};
+
+/// What the network does to one (link, round, attempt) message.
+struct MessageFate {
+  enum class Kind : std::uint8_t {
+    kDeliver = 0,  // arrives in its send round
+    kDelay = 1,    // arrives delay_rounds later
+    kDrop = 2,     // lost (the channel may schedule a retransmission)
+  };
+  Kind kind = Kind::kDeliver;
+  std::size_t delay_rounds = 0;  // > 0 iff kDelay
+  /// One extra copy arrives duplicate_delay rounds late (never with kDrop).
+  bool duplicate = false;
+  std::size_t duplicate_delay = 0;
+  /// The arrival swaps with the receiver's previous link in consume order.
+  bool reorder = false;
+};
+
+class LinkModel {
+ public:
+  /// Validates `params` (construction-time range checks).
+  explicit LinkModel(NetParams params);
+
+  const NetParams& params() const noexcept { return params_; }
+  /// Any degradation can ever fire (partitions included).
+  bool degrading() const noexcept { return degrading_; }
+
+  /// Component of node `n` in `round` (0 when no window covers the round;
+  /// overlapping windows compose — nodes split by ANY covering window are
+  /// severed, and component() reports the first covering window's id).
+  std::uint32_t component(std::size_t round, std::uint32_t n) const noexcept;
+
+  /// Nodes a and b are in different components of some covering window.
+  bool severed(std::size_t round, std::uint32_t a,
+               std::uint32_t b) const noexcept;
+
+  /// Fate of the message sent on link src->dst in `round`, carrying the
+  /// payload produced in `payload_round`, as transmission attempt
+  /// `attempt` (0 = first send). Partition checks are separate (severed()).
+  MessageFate fate(std::size_t round, std::uint32_t src, std::uint32_t dst,
+                   std::size_t payload_round,
+                   std::size_t attempt) const noexcept;
+
+ private:
+  double hash_uniform(std::uint64_t stream, std::uint64_t a, std::uint64_t b,
+                      std::uint64_t c, std::uint64_t d) const noexcept;
+
+  NetParams params_;
+  bool degrading_;
+};
+
+/// Serialization of the fate-relevant configuration, used by
+/// ExchangeChannel's checkpoint fingerprint: a snapshot taken under one
+/// network schedule must not restore into a run with a different one.
+void put_net_params(Serializer& s, const NetParams& p);
+/// Throws SerialError when the serialized params disagree with `live`.
+void check_net_params(Deserializer& d, const NetParams& live);
+
+}  // namespace avcp::net

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/contracts.h"
+#include "common/serial.h"
 
 namespace avcp::perception {
 
@@ -123,6 +124,65 @@ void FleetSoA::count_classes(std::size_t k,
     AVCP_EXPECT(c < k);
     ++counts[c];
   }
+}
+
+void FleetSoA::save_state(Serializer& s) const {
+  AVCP_EXPECT(open_ == OpenSet::kNone);
+  put_u32_vec(s, decision_);
+  put_u32_vec(s, claim_);
+  put_u8_vec(s, revoked_);
+  s.put_u64(collected_.size());
+  for (const ItemSpan& span : collected_) {
+    s.put_u32(span.offset);
+    s.put_u32(span.length);
+  }
+  s.put_u64(desired_.size());
+  for (const ItemSpan& span : desired_) {
+    s.put_u32(span.offset);
+    s.put_u32(span.length);
+  }
+  put_u32_vec(s, arena_);
+  put_f64_vec(s, fitness_);
+  put_f64_vec(s, reputation_);
+}
+
+void FleetSoA::load_state(Deserializer& d) {
+  decision_ = get_u32_vec(d);
+  claim_ = get_u32_vec(d);
+  revoked_ = get_u8_vec(d);
+  const std::size_t n = decision_.size();
+  Deserializer::check(claim_.size() == n && revoked_.size() == n,
+                      "FleetSoA snapshot: roster arrays disagree");
+  auto load_spans = [&](std::vector<ItemSpan>& spans) {
+    const std::uint64_t count = d.get_u64();
+    Deserializer::check(count == n, "FleetSoA snapshot: span count mismatch");
+    spans.clear();
+    spans.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      ItemSpan span;
+      span.offset = d.get_u32();
+      span.length = d.get_u32();
+      spans.push_back(span);
+    }
+  };
+  load_spans(collected_);
+  load_spans(desired_);
+  arena_ = get_u32_vec(d);
+  for (const ItemSpan& span : collected_) {
+    Deserializer::check(
+        static_cast<std::size_t>(span.offset) + span.length <= arena_.size(),
+        "FleetSoA snapshot: collected span out of arena");
+  }
+  for (const ItemSpan& span : desired_) {
+    Deserializer::check(
+        static_cast<std::size_t>(span.offset) + span.length <= arena_.size(),
+        "FleetSoA snapshot: desired span out of arena");
+  }
+  fitness_ = get_f64_vec(d);
+  reputation_ = get_f64_vec(d);
+  Deserializer::check(fitness_.size() == n && reputation_.size() == n,
+                      "FleetSoA snapshot: hot arrays disagree");
+  open_ = OpenSet::kNone;
 }
 
 }  // namespace avcp::perception

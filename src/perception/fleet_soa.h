@@ -30,6 +30,11 @@
 #include "core/lattice.h"
 #include "perception/measure.h"
 
+namespace avcp {
+class Serializer;
+class Deserializer;
+}  // namespace avcp
+
 namespace avcp::perception {
 
 /// Sentinel claim value: the vehicle claims its true decision (the same
@@ -141,6 +146,12 @@ class FleetSoA {
 
   /// Histogram of claimed classes into `counts` (assigned to size k).
   void count_classes(std::size_t k, std::vector<std::uint32_t>& counts) const;
+
+  /// Checkpoint hooks: the full logical fleet (roster, item spans, arena,
+  /// fitness, reputation). A restored fleet's view() is byte-equal to the
+  /// saved one — what the net payload rings need to resume mid-partition.
+  void save_state(Serializer& s) const;
+  void load_state(Deserializer& d);
 
  private:
   enum class OpenSet : std::uint8_t { kNone, kCollected, kDesired };

@@ -96,6 +96,7 @@ ScenarioResult run_impl(const ScenarioConfig& config, std::size_t rounds,
   system::SystemParams params;
   params.vehicles_per_region = plant.vehicles_per_region;
   params.seed = plant.seed;
+  params.net = config.net;
 
   const auto popts = config.pipeline_options();
   byzantine::ReportPipeline pipeline(plant.regions, decisions,
@@ -227,6 +228,7 @@ void ScenarioConfig::validate() const {
   AVCP_EXPECT(service.attacker_fraction >= 0.0 &&
               service.attacker_fraction <= 1.0);
   AVCP_EXPECT(service.exploit_patience >= 1);
+  net.validate();
 }
 
 byzantine::PipelineOptions ScenarioConfig::pipeline_options() const {
@@ -407,6 +409,64 @@ const std::vector<ScenarioConfig>& scenario_catalog() {
       sc.defense = DefenseKind::kTrust;
       sc.service.epochs = 120;
       sc.service.carry_suspicion = true;
+      list.push_back(std::move(sc));
+    }
+
+    {
+      auto sc = base_scenario("link-drop30-robust",
+                              "honest fleet over a 30% lossy inter-region "
+                              "wire with retries and bounded staleness; "
+                              "consensus must hold within the degraded "
+                              "envelope");
+      sc.defense = DefenseKind::kRobust;
+      sc.net.drop_rate = 0.3;
+      sc.net.delay_rate = 0.2;
+      sc.net.max_delay_rounds = 2;
+      sc.net.duplicate_rate = 0.1;
+      sc.net.reorder_rate = 0.1;
+      sc.net.max_retries = 2;
+      sc.net.max_staleness = 3;
+      sc.net.seed = 29;
+      list.push_back(std::move(sc));
+    }
+    {
+      auto sc = base_scenario("partition-heal-robust",
+                              "the region graph splits in two for a "
+                              "mid-run window, then heals; trajectories "
+                              "must reconverge after the merge");
+      sc.defense = DefenseKind::kRobust;
+      sc.plant.rounds = 60;
+      sc.plant.tail_rounds = 15;
+      net::PartitionWindow window;
+      window.first_round = 15;
+      window.duration = 15;
+      window.num_components = 2;
+      window.salt = 5;
+      sc.net.partitions.push_back(window);
+      sc.net.max_staleness = 4;
+      sc.net.seed = 29;
+      list.push_back(std::move(sc));
+    }
+    {
+      auto sc = base_scenario("link-drop-adaptive-trust",
+                              "closed-loop collusion riding a lossy wire: "
+                              "the trust layer must still contain the "
+                              "attack while the transport degrades the "
+                              "cloud's picture");
+      sc.plant.rounds = 120;
+      sc.plant.tail_rounds = 30;
+      sc.plant.beta = 1.5;
+      sc.attack = AttackKind::kAdaptive;
+      sc.adaptive_attack.attacker_fraction = 0.2;
+      sc.adaptive_attack.policy = byzantine::AdaptivePolicy::kRegionCollusion;
+      sc.adaptive_attack.shift_rounds = 2;
+      sc.adaptive_attack.seed = 17;
+      sc.defense = DefenseKind::kTrust;
+      sc.net.drop_rate = 0.2;
+      sc.net.delay_rate = 0.1;
+      sc.net.max_retries = 2;
+      sc.net.max_staleness = 3;
+      sc.net.seed = 29;
       list.push_back(std::move(sc));
     }
 

@@ -30,6 +30,7 @@
 #include "byzantine/adversary_model.h"
 #include "byzantine/report_pipeline.h"
 #include "core/game.h"
+#include "net/link_model.h"
 
 namespace avcp::scenario {
 
@@ -87,6 +88,11 @@ struct ScenarioConfig {
   /// Trust layer knobs; forced enabled iff defense == kTrust.
   byzantine::TrustParams trust;
   ServiceTwist service;
+  /// Degraded inter-region transport (SystemParams::net): drop/delay/
+  /// duplicate/reorder rates, retry budget, bounded staleness, partition
+  /// windows. Inert by default, so pre-existing scenarios run the exact
+  /// synchronous exchange they always did.
+  net::NetParams net;
 
   /// Range-checks the whole wiring (FaultParams pattern), including the
   /// nested attack / trust / reputation params that are actually in play.

@@ -57,6 +57,10 @@ void ServiceParams::validate() const {
   // budget would let an adversarial churn pattern starve re-clustering
   // forever, so cap it explicitly.
   AVCP_EXPECT(staleness_budget <= 1000000);
+  net.validate();
+  // The backhaul transport rides the per-region report pipeline, which
+  // only exists in fleet mode.
+  AVCP_EXPECT(!net.active() || mode == Mode::kFleet);
 }
 
 void ServiceCounters::save_state(Serializer& s) const {
@@ -117,6 +121,23 @@ ServiceEngine::ServiceEngine(const core::MultiRegionGame& game,
   down_.assign(game_.num_regions(), 0);
   cost_.resize(game_.num_regions());
   q_.resize(game_.num_regions());
+  if (params_.mode == ServiceParams::Mode::kFleet && params_.net.active()) {
+    // Star backhaul: region r owns link r toward the cloud hub, which sits
+    // at node id num_regions so partition windows can cut any subset of
+    // regions away from it.
+    link_model_.emplace(params_.net);
+    const auto cloud = static_cast<std::uint32_t>(game_.num_regions());
+    channel_.emplace(*link_model_, cloud + 1);
+    for (core::RegionId r = 0; r < game_.num_regions(); ++r) {
+      const std::uint32_t link =
+          channel_->add_link(static_cast<std::uint32_t>(r), cloud);
+      AVCP_ENSURE(link == r);
+    }
+    report_rings_.assign(
+        game_.num_regions(),
+        std::vector<ReportSlot>(params_.net.ring_slots()));
+    fresh_.assign(game_.num_regions(), 0);
+  }
 }
 
 bool ServiceEngine::designated_attacker(std::uint64_t identity) const noexcept {
@@ -142,6 +163,15 @@ void ServiceEngine::init(const core::GameState& initial,
   observed_ = initial;
   x_ = std::move(x0);
   controller_->reset();
+  if (channel_) {
+    channel_->reset();
+    for (std::vector<ReportSlot>& ring : report_rings_) {
+      for (ReportSlot& slot : ring) {
+        slot.epoch = net::ExchangeChannel::kNothing;
+        slot.row.clear();
+      }
+    }
+  }
   std::fill(down_.begin(), down_.end(), 0);
   fleet_.clear();
 
@@ -196,6 +226,15 @@ void ServiceEngine::init_from_source(const core::GameState& initial,
   observed_ = initial;
   x_ = std::move(x0);
   controller_->reset();
+  if (channel_) {
+    channel_->reset();
+    for (std::vector<ReportSlot>& ring : report_rings_) {
+      for (ReportSlot& slot : ring) {
+        slot.epoch = net::ExchangeChannel::kNothing;
+        slot.row.clear();
+      }
+    }
+  }
   std::fill(down_.begin(), down_.end(), 0);
   fleet_.clear();
 
@@ -544,9 +583,48 @@ void ServiceEngine::run_epoch() {
   }
 
   snapshot_states();
-  // The controller sees claims, not truth; DegradedController substitutes
-  // held reports for regions whose report never arrived this epoch.
-  controller_->next_x_into(observed_, x_, x_next_);
+  if (!channel_) {
+    // The controller sees claims, not truth; DegradedController substitutes
+    // held reports for regions whose report never arrived this epoch.
+    controller_->next_x_into(observed_, x_, x_next_);
+  } else {
+    // Backhaul step. The fault layer decides whether a report exists at
+    // all (loss/outage = nothing enters the wire, exactly like the
+    // synchronous path); the transport decides whether an existing report
+    // survives the wire. With an undegraded wire every published report
+    // lands in its own epoch, so fresh_ equals the fault layer's verdict
+    // and the ingested rows are exact copies — bit-identical trajectories
+    // under any FaultModel.
+    const std::size_t m = game_.num_regions();
+    for (core::RegionId r = 0; r < m; ++r) {
+      if (!faults_->report_available(e, r)) continue;
+      ReportSlot& slot = report_rings_[r][e % report_rings_[r].size()];
+      slot.epoch = e;
+      slot.row = observed_.p[r];
+      channel_->publish(static_cast<std::uint32_t>(r), e);
+    }
+    channel_->resolve_round(e);
+    net_observed_.p.resize(m);
+    fresh_.assign(m, 0);
+    for (core::RegionId r = 0; r < m; ++r) {
+      // A fault-layer loss is never papered over from the ring: both paths
+      // treat the region as blind this epoch. Only wire losses fall back
+      // to the newest delivered report within max_staleness.
+      const std::uint64_t pe =
+          faults_->report_available(e, r)
+              ? channel_->consumable(static_cast<std::uint32_t>(r), e)
+              : net::ExchangeChannel::kNothing;
+      if (pe == net::ExchangeChannel::kNothing) {
+        net_observed_.p[r] = observed_.p[r];  // ignored: region is blind
+        continue;
+      }
+      const ReportSlot& slot = report_rings_[r][pe % report_rings_[r].size()];
+      AVCP_ENSURE(slot.epoch == pe);
+      net_observed_.p[r] = slot.row;
+      fresh_[r] = 1;
+    }
+    controller_->next_x_into(net_observed_, x_, x_next_, fresh_.data());
+  }
   x_.swap(x_next_);
   revise(e);
   score_reputation(e);
@@ -571,6 +649,7 @@ void ServiceEngine::save_state(Serializer& s) const {
   s.put_u64(graph_ != nullptr ? graph_->num_segments() : 0);
   s.put_bool(params_.churn_exploit);
   s.put_bool(params_.carry_suspicion);
+  s.put_bool(channel_.has_value());
 
   s.put_u64(epoch_);
   s.put_u64(next_id_);
@@ -612,6 +691,19 @@ void ServiceEngine::save_state(Serializer& s) const {
 
   controller_->save_state(s);
   counters_.save_state(s);
+
+  if (channel_) {
+    // In-flight backhaul: the channel's metadata plus the payload rings,
+    // so a resume mid-partition replays the exact same deliveries.
+    channel_->save_state(s);
+    for (const std::vector<ReportSlot>& ring : report_rings_) {
+      for (const ReportSlot& slot : ring) {
+        s.put_u64(slot.epoch);
+        if (slot.epoch == net::ExchangeChannel::kNothing) continue;
+        put_f64_vec(s, slot.row);
+      }
+    }
+  }
 }
 
 void ServiceEngine::load_state(Deserializer& d) {
@@ -628,6 +720,8 @@ void ServiceEngine::load_state(Deserializer& d) {
                       "service snapshot: churn_exploit mismatch");
   Deserializer::check(d.get_bool() == params_.carry_suspicion,
                       "service snapshot: carry_suspicion mismatch");
+  Deserializer::check(d.get_bool() == channel_.has_value(),
+                      "service snapshot: net transport wiring mismatch");
 
   epoch_ = d.get_u64();
   next_id_ = d.get_u64();
@@ -706,6 +800,22 @@ void ServiceEngine::load_state(Deserializer& d) {
 
   controller_->load_state(d);
   counters_.load_state(d);
+
+  if (channel_) {
+    channel_->load_state(d);
+    for (std::vector<ReportSlot>& ring : report_rings_) {
+      for (ReportSlot& slot : ring) {
+        slot.epoch = d.get_u64();
+        if (slot.epoch == net::ExchangeChannel::kNothing) {
+          slot.row.clear();
+          continue;
+        }
+        slot.row = get_f64_vec(d);
+        Deserializer::check(slot.row.size() == game_.num_decisions(),
+                            "service snapshot: report row shape mismatch");
+      }
+    }
+  }
 
   fleet_ = std::move(fleet);
   x_ = std::move(x);

@@ -54,6 +54,7 @@
 #include "core/game.h"
 #include "faults/degraded_controller.h"
 #include "faults/fault_model.h"
+#include "net/exchange_channel.h"
 #include "roadnet/road_graph.h"
 #include "service/events.h"
 
@@ -108,6 +109,17 @@ struct ServiceParams {
   /// Max consecutive shed epochs before maintenance is forced. Bounds how
   /// stale the clustering the controller acts on can ever be.
   std::size_t staleness_budget = 4;
+
+  /// Degraded backhaul between the regions and the cloud (kFleet only).
+  /// When net.active(), every region's per-epoch decision report travels a
+  /// region->cloud link of a net::ExchangeChannel: reports can be dropped,
+  /// delayed, duplicated, or cut by a partition window, with bounded
+  /// retries. The cloud consumes the newest report at most
+  /// net.max_staleness epochs old and feeds the per-region freshness
+  /// verdict to the DegradedController, which bounds how long a blind
+  /// region may coast. With zero degradation the epoch trajectory is
+  /// bit-identical to the synchronous path.
+  net::NetParams net;
 
   void validate() const;  // throws ContractViolation on any bad field
 };
@@ -213,6 +225,10 @@ class ServiceEngine {
   /// Deferred-epoch streak of the clustering maintenance (0 = fresh).
   std::size_t staleness() const noexcept { return staleness_; }
   std::size_t quarantined_count() const;
+  /// Backhaul transport counters; null when params().net is inert.
+  const net::ExchangeChannel* channel() const noexcept {
+    return channel_ ? &*channel_ : nullptr;
+  }
 
   /// Checkpoint hooks (section checkpoint::kSectionService). load_state
   /// rejects snapshots from a differently-configured service and rebuilds
@@ -258,6 +274,24 @@ class ServiceEngine {
   core::GameState observed_;
   std::vector<double> x_;
   ServiceCounters counters_;
+
+  /// Degraded backhaul (params_.net.active(), kFleet only): region r
+  /// publishes its observed report on link r of a star topology whose hub
+  /// is node num_regions (the cloud). The channel carries metadata; the
+  /// payload rows live in per-region rings below, sized so any consumable
+  /// epoch is still resident.
+  std::optional<net::LinkModel> link_model_;
+  std::optional<net::ExchangeChannel> channel_;
+  struct ReportSlot {
+    std::uint64_t epoch = net::ExchangeChannel::kNothing;
+    std::vector<double> row;
+  };
+  std::vector<std::vector<ReportSlot>> report_rings_;
+  /// Scratch (not serialized): what the cloud acts on this epoch — the
+  /// observed state with each region's row replaced by the newest
+  /// consumable report — and the freshness mask handed to the wrapper.
+  core::GameState net_observed_;
+  std::vector<std::uint8_t> fresh_;
 
   /// Per-epoch scratch, hoisted so steady-state epochs allocate nothing
   /// once capacities are established: re-clustering deltas, the per-region

@@ -16,6 +16,7 @@ constexpr std::uint64_t kUniverseStream = 0xE0;
 constexpr std::uint64_t kPlaneStream = 0xE1;
 constexpr std::uint64_t kFillStream = 0xE2;
 constexpr std::uint64_t kReviseStream = 0xE3;
+constexpr std::uint64_t kNetSampleStream = 0xE4;
 
 perception::DataUniverse make_universe(const FleetEngineParams& params) {
   Rng rng(derive_seed(params.seed, {kUniverseStream}));
@@ -53,6 +54,25 @@ ShardedFleetEngine::ShardedFleetEngine(FleetEngineParams params)
   AVCP_EXPECT(params.collect_fraction > 0.0 && params.collect_fraction <= 1.0);
   AVCP_EXPECT(params.desire_fraction > 0.0 && params.desire_fraction <= 1.0);
   AVCP_EXPECT(params.reputation_decay >= 0.0 && params.reputation_decay <= 1.0);
+  params.net.validate();
+  if (params.inter_shard_exchange) {
+    AVCP_EXPECT(params.num_shards >= 2);
+    AVCP_EXPECT(params.exchange_fraction > 0.0 &&
+                params.exchange_fraction <= 1.0);
+    AVCP_EXPECT(params.exchange_sample_cap >= 1);
+    // Ring topology: link s delivers into shard s from its predecessor, so
+    // shard s publishes its sample on link (s+1) % S.
+    link_model_.emplace(params.net);
+    const std::size_t num = params.num_shards;
+    channel_.emplace(*link_model_, static_cast<std::uint32_t>(num));
+    for (std::size_t s = 0; s < num; ++s) {
+      const auto src = static_cast<std::uint32_t>((s + num - 1) % num);
+      const std::uint32_t link =
+          channel_->add_link(src, static_cast<std::uint32_t>(s));
+      AVCP_ENSURE(link == s);
+    }
+    rings_.assign(num, std::vector<PayloadSlot>(params.net.ring_slots()));
+  }
   shards_.resize(params.num_shards);
   shard_cost_.resize(params.num_shards, 0.0);
   const std::size_t omega = universe_.size();
@@ -153,10 +173,67 @@ void ShardedFleetEngine::exchange_shard(std::size_t s, double sharing_ratio) {
   sh.sum_reputation = sum_reputation;
   sh.exposed_privacy = sh.outcome.exposed_privacy;
   sh.deliveries = sh.outcome.deliveries;
+
+  if (channel_) {
+    // Outbound sample, written straight into this shard's payload ring
+    // (slot round_ % slots is shard-owned this round; consumers only read
+    // other rings, after the stage barrier and the serial transport step).
+    // The sample draws ride their own stream so the scene synthesis above
+    // consumes the exact same draws with the transport on or off.
+    PayloadSlot& slot = rings_[s][round_ % rings_[s].size()];
+    slot.round = round_;
+    slot.x = sharing_ratio;
+    slot.fleet.clear();
+    if (n > 0) {
+      const auto want = static_cast<std::size_t>(std::ceil(
+          params_.exchange_fraction * static_cast<double>(n)));
+      const std::size_t count =
+          std::min({std::max<std::size_t>(want, 1),
+                    params_.exchange_sample_cap, n});
+      Rng srng(derive_seed(params_.seed, {kNetSampleStream, round_, s}));
+      const perception::FleetView view = fleet.view();
+      for (std::size_t i = 0; i < count; ++i) {
+        const auto v = static_cast<std::size_t>(
+            srng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+        slot.fleet.add(view, v);
+      }
+    }
+  }
+}
+
+void ShardedFleetEngine::consume_shard(std::size_t s) {
+  Shard& sh = shards_[s];
+  sh.cross_utility = 0.0;
+  sh.net_blind = 0;
+  const std::uint64_t pe =
+      channel_->consumable(static_cast<std::uint32_t>(s), round_);
+  if (pe == net::ExchangeChannel::kNothing) {
+    // Nothing usable within max_staleness: local-only revision this round.
+    sh.net_blind = 1;
+    return;
+  }
+  const std::size_t num = shards_.size();
+  const std::vector<PayloadSlot>& ring = rings_[(s + num - 1) % num];
+  const PayloadSlot& slot = ring[pe % ring.size()];
+  AVCP_ENSURE(slot.round == pe);
+  if (slot.fleet.size() == 0 || sh.fleet.size() == 0) return;
+  sh.plane->run_directional_into(slot.fleet.view(), sh.fleet.view(), slot.x,
+                                 params_.mode, sh.dout);
+  std::span<double> fitness = sh.fleet.fitness();
+  double cross = 0.0;
+  for (std::size_t v = 0; v < sh.fleet.size(); ++v) {
+    const double gain = sh.dout.marginal_utility[v];
+    fitness[v] += params_.beta * gain;
+    cross += gain;
+  }
+  sh.cross_utility = cross;
+  sh.sum_fitness += params_.beta * cross;
+  sh.deliveries += sh.dout.deliveries;
 }
 
 void ShardedFleetEngine::revise_shard(std::size_t s) {
   Shard& sh = shards_[s];
+  if (channel_) consume_shard(s);
   Rng rng(derive_seed(params_.seed, {kReviseStream, round_, s}));
   std::span<core::DecisionId> decisions = sh.fleet.decisions();
   std::span<const double> fitness = sh.fleet.fitness();
@@ -187,11 +264,37 @@ void ShardedFleetEngine::run_round_into(double sharing_ratio,
 
   auto stage_a = [&](std::size_t s) { exchange_shard(s, sharing_ratio); };
   auto stage_b = [&](std::size_t s) { revise_shard(s); };
-  const ThreadPool::Stage stages[] = {
-      {shards_.size(), IndexFnRef(stage_a), 0, chunk_plan_},
-      {shards_.size(), IndexFnRef(stage_b), 0, chunk_plan_},
-  };
-  pool_.run_batch(stages);
+  std::size_t net_delivered = 0;
+  std::size_t net_dropped = 0;
+  if (!channel_) {
+    const ThreadPool::Stage stages[] = {
+        {shards_.size(), IndexFnRef(stage_a), 0, chunk_plan_},
+        {shards_.size(), IndexFnRef(stage_b), 0, chunk_plan_},
+    };
+    pool_.run_batch(stages);
+  } else {
+    // Transport rounds split the fused dispatch: sample/exchange, then a
+    // serial transport step on the control thread (thread-count invariant
+    // by construction), then consume/revise.
+    const ThreadPool::Stage stage_a_only[] = {
+        {shards_.size(), IndexFnRef(stage_a), 0, chunk_plan_},
+    };
+    pool_.run_batch(stage_a_only);
+    const net::ExchangeChannel::Counters before = channel_->counters();
+    const std::size_t num = shards_.size();
+    for (std::size_t s = 0; s < num; ++s) {
+      channel_->publish(static_cast<std::uint32_t>((s + 1) % num), round_);
+    }
+    channel_->resolve_round(round_);
+    const net::ExchangeChannel::Counters& after = channel_->counters();
+    net_delivered = after.delivered - before.delivered;
+    net_dropped = (after.dropped - before.dropped) +
+                  (after.severed - before.severed);
+    const ThreadPool::Stage stage_b_only[] = {
+        {shards_.size(), IndexFnRef(stage_b), 0, chunk_plan_},
+    };
+    pool_.run_batch(stage_b_only);
+  }
   ++round_;
 
   // Caller-side fold in shard order (the determinism protocol's ordered
@@ -205,6 +308,8 @@ void ShardedFleetEngine::run_round_into(double sharing_ratio,
   double sum_fitness = 0.0;
   double sum_reputation = 0.0;
   std::size_t deliveries = 0;
+  double cross_utility = 0.0;
+  std::size_t net_blind = 0;
   for (const Shard& sh : shards_) {
     sum_utility += sh.sum_utility;
     sum_privacy += sh.sum_privacy;
@@ -212,10 +317,16 @@ void ShardedFleetEngine::run_round_into(double sharing_ratio,
     sum_fitness += sh.sum_fitness;
     sum_reputation += sh.sum_reputation;
     deliveries += sh.deliveries;
+    cross_utility += sh.cross_utility;
+    net_blind += sh.net_blind;
     for (std::size_t d = 0; d < k; ++d) {
       out.decision_share[d] += static_cast<double>(sh.hist[d]);
     }
   }
+  out.cross_utility = cross_utility;
+  out.net_delivered = net_delivered;
+  out.net_dropped = net_dropped;
+  out.net_blind = channel_ ? net_blind : 0;
   const auto nv = static_cast<double>(total_);
   out.mean_utility = total_ > 0 ? sum_utility / nv : 0.0;
   out.mean_privacy = total_ > 0 ? sum_privacy / nv : 0.0;

@@ -35,11 +35,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/thread_pool.h"
 #include "core/fleet_stream.h"
 #include "core/lattice.h"
+#include "net/exchange_channel.h"
 #include "perception/data_plane.h"
 #include "perception/fleet_soa.h"
 #include "perception/measure.h"
@@ -74,6 +76,21 @@ struct FleetEngineParams {
   std::size_t ingest_batch = 8192;
   perception::DataPlaneMode mode = perception::DataPlaneMode::kClassAggregated;
   core::AccessRule access = core::AccessRule::kSubsetOrEqual;
+
+  /// Inter-shard exchange over a degraded ring transport (DESIGN.md §17).
+  /// Each round every shard samples a slice of its fleet and sends it to
+  /// its ring successor through a net::ExchangeChannel; the receiver runs
+  /// the directional data-plane kernel over the newest consumable sample
+  /// (at most net.max_staleness rounds old) and folds the marginal utility
+  /// into fitness before revision. Off by default: the round loop is then
+  /// the single fused two-stage dispatch and bit-identical to the
+  /// pre-transport engine. Requires num_shards >= 2 when on.
+  bool inter_shard_exchange = false;
+  /// Fraction of a shard's vehicles copied into its outbound sample.
+  double exchange_fraction = 0.05;
+  /// Hard cap on the sample size (bounds per-round payload copies).
+  std::size_t exchange_sample_cap = 256;
+  net::NetParams net;
 };
 
 /// Per-round aggregate over the whole fleet, folded in shard order.
@@ -87,6 +104,15 @@ struct FleetRoundStats {
   std::size_t deliveries = 0;
   /// Post-revision share of each decision class (size K).
   std::vector<double> decision_share;
+
+  /// Inter-shard exchange accounting (all 0 when the transport is off):
+  /// summed marginal utility receivers gained from ring samples, this
+  /// round's channel delivery/drop counts, and how many shards had no
+  /// consumable sample (blind).
+  double cross_utility = 0.0;
+  std::size_t net_delivered = 0;
+  std::size_t net_dropped = 0;
+  std::size_t net_blind = 0;
 };
 
 class ShardedFleetEngine {
@@ -114,11 +140,17 @@ class ShardedFleetEngine {
   /// bench_fleet and the determinism tests.
   std::uint64_t state_hash() const noexcept;
 
+  /// Ring transport counters; null when inter_shard_exchange is off.
+  const net::ExchangeChannel* channel() const noexcept {
+    return channel_ ? &*channel_ : nullptr;
+  }
+
  private:
   struct Shard {
     perception::FleetSoA fleet;
     std::unique_ptr<perception::EdgeServerDataPlane> plane;
     perception::RoundOutcome outcome;
+    perception::EdgeServerDataPlane::DirectionalOutcome dout;
     std::vector<core::DecisionId> before;    // revision snapshot
     std::vector<std::uint32_t> hist;         // post-revision class counts
     // Shard-owned reduction slots, folded by the caller in shard order.
@@ -128,6 +160,16 @@ class ShardedFleetEngine {
     double sum_fitness = 0.0;
     double sum_reputation = 0.0;
     std::size_t deliveries = 0;
+    double cross_utility = 0.0;
+    std::uint8_t net_blind = 0;
+  };
+
+  /// One outbound sample payload; rings_[s] holds shard s's last
+  /// ring_slots() samples so any consumable round is still resident.
+  struct PayloadSlot {
+    std::uint64_t round = net::ExchangeChannel::kNothing;
+    double x = 0.0;
+    perception::FleetSoA fleet;
   };
 
   /// Finishes ingestion: reserves every shard's arena and data-plane
@@ -139,11 +181,18 @@ class ShardedFleetEngine {
   void exchange_shard(std::size_t s, double sharing_ratio);
   /// Stage B (per shard): pairwise proportional imitation + histogram.
   void revise_shard(std::size_t s);
+  /// Transport consume (start of stage B, channel on): run the directional
+  /// kernel over the predecessor's newest consumable sample and fold the
+  /// marginal utility into fitness before revision.
+  void consume_shard(std::size_t s);
 
   FleetEngineParams params_;
   core::DecisionLattice lattice_;
   perception::DataUniverse universe_;
   ThreadPool pool_;
+  std::optional<net::LinkModel> link_model_;
+  std::optional<net::ExchangeChannel> channel_;
+  std::vector<std::vector<PayloadSlot>> rings_;
   std::vector<Shard> shards_;
   std::vector<double> shard_cost_;
   std::vector<std::uint32_t> chunk_plan_;

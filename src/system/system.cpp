@@ -101,6 +101,28 @@ CooperativePerceptionSystem::CooperativePerceptionSystem(
                       static_cast<double>(game.num_decisions());
   }
   chunk_plan_ = balanced_chunks(region_cost_, 4 * pool_.size());
+
+  // Degraded-network transport: one directed link per neighbour edge,
+  // added dst-major in neighbour order so a receiver's canonical consume
+  // order is exactly the synchronous path's neighbour order.
+  if (params_.inter_region_exchange && params_.net.active()) {
+    link_model_.emplace(params_.net);
+    channel_.emplace(*link_model_,
+                     static_cast<std::uint32_t>(game.num_regions()));
+    out_links_.resize(game.num_regions());
+    for (core::RegionId i = 0; i < game.num_regions(); ++i) {
+      for (const auto& [j, gamma] : game.region(i).neighbors) {
+        const std::uint32_t link = channel_->add_link(j, i);
+        AVCP_ENSURE(link == link_gamma_.size());
+        link_gamma_.push_back(gamma);
+        out_links_[j].push_back(link);
+      }
+    }
+    rings_.resize(game.num_regions());
+    for (std::vector<PayloadSlot>& ring : rings_) {
+      ring.resize(params_.net.ring_slots());
+    }
+  }
 }
 
 core::GameState CooperativePerceptionSystem::empirical_state() const {
@@ -245,6 +267,13 @@ RoundReport CooperativePerceptionSystem::run_round(
   if (byz) report.byzantine.observed = observed;
   x_ = controller.next_x(observed, x_);
   AVCP_ENSURE(x_.size() == game_.num_regions());
+
+  const bool transport = channel_.has_value();
+  report.net.active = transport;
+  if (transport) {
+    report.net.stale_by_region.assign(num_regions, 0);
+    report.net.blind_by_region.assign(num_regions, 0);
+  }
 
   report.x = x_;
   report.mean_utility.resize(game_.num_regions(), 0.0);
@@ -500,24 +529,51 @@ RoundReport CooperativePerceptionSystem::run_round(
       // ws.fleet still holds the last exchange's scene — frozen by the
       // stage barrier, so reading a neighbour's fleet is safe.
       const perception::FleetView recv_view = ws.fleet.view();
-      for (const auto& [j, gamma] : game_.region(i).neighbors) {
-        if (report.faults.region_down[j] != 0) continue;
-        const perception::FleetView sender_view = region_ws_[j].fleet.view();
+      auto run_senders = [&](const perception::FleetView& sender_view,
+                             double x_sender, double gamma) {
         const std::size_t sn = sender_view.size();
         const auto k = static_cast<std::size_t>(std::min<double>(
             static_cast<double>(sn),
             std::round(gamma * static_cast<double>(sn))));
-        if (k == 0) continue;
+        if (k == 0) return;
         ws.senders.clear();
         for (std::size_t n = 0; n < k; ++n) {
           ws.senders.add(sender_view,
                          static_cast<std::size_t>(rng.uniform_int(
                              0, static_cast<std::int64_t>(sn) - 1)));
         }
-        planes_[i].run_directional_into(ws.senders.view(), recv_view, x_[j],
-                                        params_.data_plane_mode, ws.dout);
+        planes_[i].run_directional_into(ws.senders.view(), recv_view,
+                                        x_sender, params_.data_plane_mode,
+                                        ws.dout);
         for (std::size_t v = 0; v < recv_view.size(); ++v) {
           ws.fitness[v] += beta * ws.dout.marginal_utility[v];
+        }
+      };
+      if (!transport) {
+        for (const auto& [j, gamma] : game_.region(i).neighbors) {
+          if (report.faults.region_down[j] != 0) continue;
+          run_senders(region_ws_[j].fleet.view(), x_[j], gamma);
+        }
+      } else {
+        // Transport path: consume from the payload rings in this round's
+        // consume order. Region outages keep their fault-layer semantics
+        // (a down sender is skipped, not substituted); link-level misses
+        // fall back to the newest held payload within max_staleness, then
+        // to local-only revision (blind link). With zero degradation every
+        // link delivers its own-round payload in canonical order, so the
+        // draws below replay the synchronous path bit for bit.
+        for (const std::uint32_t link : channel_->consume_order(i)) {
+          const core::RegionId j = channel_->link_src(link);
+          if (report.faults.region_down[j] != 0) continue;
+          const std::uint64_t p = channel_->consumable(link, round_);
+          if (p == net::ExchangeChannel::kNothing) {
+            ++report.net.blind_by_region[i];
+            continue;
+          }
+          const PayloadSlot& slot = rings_[j][p % rings_[j].size()];
+          AVCP_ENSURE(slot.round == p);
+          if (p != round_) ++report.net.stale_by_region[i];
+          run_senders(slot.fleet.view(), slot.x, link_gamma_[link]);
         }
       }
     }
@@ -567,16 +623,61 @@ RoundReport CooperativePerceptionSystem::run_round(
     }
   };
 
-  // Both stages cross the pool boundary in ONE dispatch (single worker
-  // wake; the inter-stage barrier is the claim word flipping over), with
-  // chunks balanced by measured per-region cost — vehicles × classes —
-  // rather than region count, so one heavy region does not serialise the
-  // round (chunk_plan_ is fixed at construction with the fleet shapes).
-  const ThreadPool::Stage round_stages[] = {
-      {game_.num_regions(), IndexFnRef(data_plane_stage), 0, chunk_plan_},
-      {game_.num_regions(), IndexFnRef(exchange_revise_stage), 0, chunk_plan_},
-  };
-  pool_.run_batch(round_stages);
+  if (!transport) {
+    // Both stages cross the pool boundary in ONE dispatch (single worker
+    // wake; the inter-stage barrier is the claim word flipping over), with
+    // chunks balanced by measured per-region cost — vehicles × classes —
+    // rather than region count, so one heavy region does not serialise the
+    // round (chunk_plan_ is fixed at construction with the fleet shapes).
+    const ThreadPool::Stage round_stages[] = {
+        {game_.num_regions(), IndexFnRef(data_plane_stage), 0, chunk_plan_},
+        {game_.num_regions(), IndexFnRef(exchange_revise_stage), 0,
+         chunk_plan_},
+    };
+    pool_.run_batch(round_stages);
+  } else {
+    // Transport-active rounds split the dispatch around a serial transport
+    // step: publish every live region's scene into its payload ring, then
+    // let the channel fate this round's messages. Running it on the
+    // control thread (never a lane) keeps delivery order — and therefore
+    // the trajectory — independent of thread count by construction.
+    const ThreadPool::Stage stage_a[] = {
+        {game_.num_regions(), IndexFnRef(data_plane_stage), 0, chunk_plan_},
+    };
+    pool_.run_batch(stage_a);
+    const net::ExchangeChannel::Counters before = channel_->counters();
+    for (core::RegionId j = 0; j < num_regions; ++j) {
+      if (report.faults.region_down[j] != 0) continue;
+      std::vector<PayloadSlot>& ring = rings_[j];
+      PayloadSlot& slot = ring[round_ % ring.size()];
+      slot.round = round_;
+      slot.x = x_[j];
+      slot.fleet = region_ws_[j].fleet;  // capacity reused after warm-up
+      for (const std::uint32_t link : out_links_[j]) {
+        channel_->publish(link, round_);
+      }
+    }
+    channel_->resolve_round(round_);
+    const net::ExchangeChannel::Counters& after = channel_->counters();
+    report.net.sent = after.sent - before.sent;
+    report.net.delivered = after.delivered - before.delivered;
+    report.net.deduped = after.deduped - before.deduped;
+    report.net.dropped = after.dropped - before.dropped;
+    report.net.severed = after.severed - before.severed;
+    report.net.delayed = after.delayed - before.delayed;
+    report.net.duplicates = after.duplicates - before.duplicates;
+    report.net.retries = after.retries - before.retries;
+    report.net.expired = after.expired - before.expired;
+    const ThreadPool::Stage stage_b[] = {
+        {game_.num_regions(), IndexFnRef(exchange_revise_stage), 0,
+         chunk_plan_},
+    };
+    pool_.run_batch(stage_b);
+    for (core::RegionId i = 0; i < num_regions; ++i) {
+      report.net.stale_links += report.net.stale_by_region[i];
+      report.net.blind_links += report.net.blind_by_region[i];
+    }
+  }
 
   // Fleet-wide loss totals: reduced in region order after the join.
   for (core::RegionId i = 0; i < game_.num_regions(); ++i) {
@@ -650,6 +751,7 @@ void CooperativePerceptionSystem::save_state(Serializer& s) const {
   s.put_u8(static_cast<std::uint8_t>(params_.data_plane_mode));
   s.put_bool(pipeline_ != nullptr);
   s.put_bool(adaptive_ != nullptr);
+  s.put_bool(channel_.has_value());
 
   s.put_u64(round_);
   fault_counters_.save_state(s);
@@ -666,6 +768,21 @@ void CooperativePerceptionSystem::save_state(Serializer& s) const {
   }
   if (pipeline_ != nullptr) pipeline_->save_state(s);
   if (adaptive_ != nullptr) adaptive_->save_state(s);
+  // Transport section: the channel (in-flight messages, per-link freshness,
+  // counters, behind a NetParams fingerprint) plus every sender's payload
+  // ring — so a resume mid-partition replays delayed and retransmitted
+  // deliveries byte-equal (empty ring slots carry only their sentinel).
+  if (channel_.has_value()) {
+    channel_->save_state(s);
+    for (const std::vector<PayloadSlot>& ring : rings_) {
+      for (const PayloadSlot& slot : ring) {
+        s.put_u64(slot.round);
+        if (slot.round == net::ExchangeChannel::kNothing) continue;
+        s.put_f64(slot.x);
+        slot.fleet.save_state(s);
+      }
+    }
+  }
 }
 
 void CooperativePerceptionSystem::load_state(Deserializer& d) {
@@ -684,6 +801,8 @@ void CooperativePerceptionSystem::load_state(Deserializer& d) {
                       "System snapshot: report-pipeline wiring mismatch");
   Deserializer::check(d.get_bool() == (adaptive_ != nullptr),
                       "System snapshot: adaptive-adversary wiring mismatch");
+  Deserializer::check(d.get_bool() == channel_.has_value(),
+                      "System snapshot: net transport wiring mismatch");
 
   round_ = d.get_u64();
   fault_counters_.load_state(d);
@@ -713,6 +832,23 @@ void CooperativePerceptionSystem::load_state(Deserializer& d) {
   }
   if (pipeline_ != nullptr) pipeline_->load_state(d);
   if (adaptive_ != nullptr) adaptive_->load_state(d);
+  if (channel_.has_value()) {
+    channel_->load_state(d);
+    for (std::vector<PayloadSlot>& ring : rings_) {
+      for (PayloadSlot& slot : ring) {
+        slot.round = d.get_u64();
+        if (slot.round == net::ExchangeChannel::kNothing) {
+          slot.x = 0.0;
+          slot.fleet.clear();
+          continue;
+        }
+        slot.x = d.get_f64();
+        slot.fleet.load_state(d);
+        Deserializer::check(slot.fleet.size() == params_.vehicles_per_region,
+                            "System snapshot: payload fleet size mismatch");
+      }
+    }
+  }
 }
 
 }  // namespace avcp::system

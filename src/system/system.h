@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "byzantine/adaptive_adversary.h"
@@ -35,6 +36,7 @@
 #include "core/fds.h"
 #include "core/game.h"
 #include "faults/fault_model.h"
+#include "net/exchange_channel.h"
 #include "perception/data_plane.h"
 #include "perception/measure.h"
 
@@ -91,6 +93,16 @@ struct SystemParams {
   /// the round series is bit-identical at every value (regression-locked in
   /// tests/determinism_test.cpp).
   std::size_t num_threads = 1;
+  /// Degraded-network model for the inter-region exchange (DESIGN.md §17).
+  /// Inert by default. When net.active() the exchange routes through a
+  /// net::ExchangeChannel: each region publishes its round scene, the link
+  /// model assigns message fates, and receivers consume the newest
+  /// delivered payload within net.max_staleness rounds (blind links fall
+  /// back to local-only revision). With zero degradation the channel path
+  /// is bit-identical to the synchronous exchange; region outages keep
+  /// their fault-layer semantics (a down region neither publishes nor
+  /// consumes) on both paths.
+  net::NetParams net;
 };
 
 /// Per-round measurements.
@@ -138,6 +150,28 @@ struct RoundReport {
     /// Adaptive attackers that have backed off for good after detection.
     std::size_t adaptive_dormant = 0;
   } byzantine;
+
+  /// Transport bookkeeping (active only when SystemParams::net routes the
+  /// inter-region exchange through the ExchangeChannel). Message counts
+  /// are this round's deltas of the channel's cumulative counters.
+  struct Net {
+    bool active = false;
+    std::size_t sent = 0;
+    std::size_t delivered = 0;
+    std::size_t deduped = 0;
+    std::size_t dropped = 0;
+    std::size_t severed = 0;
+    std::size_t delayed = 0;
+    std::size_t duplicates = 0;
+    std::size_t retries = 0;
+    std::size_t expired = 0;
+    /// Receiver links that consumed a held (stale) payload this round, and
+    /// links that were blind (fell back to local-only revision).
+    std::size_t stale_links = 0;
+    std::size_t blind_links = 0;
+    std::vector<std::uint32_t> stale_by_region;
+    std::vector<std::uint32_t> blind_by_region;
+  } net;
 };
 
 class CooperativePerceptionSystem {
@@ -314,6 +348,28 @@ class CooperativePerceptionSystem {
   std::vector<double> region_cost_;
   std::vector<std::uint32_t> chunk_plan_;
   perception::ItemSet no_server_items_;
+
+  /// Degraded-network transport (engaged iff params_.net.active() and the
+  /// inter-region exchange is on). One channel link per directed neighbour
+  /// edge dst <- src, added in (dst, neighbour-order) order so the
+  /// canonical consume order is exactly the synchronous neighbour order.
+  std::optional<net::LinkModel> link_model_;
+  std::optional<net::ExchangeChannel> channel_;
+  /// Per-link gamma of the neighbour edge it carries.
+  std::vector<double> link_gamma_;
+  /// out_links_[j]: links whose sender is region j.
+  std::vector<std::vector<std::uint32_t>> out_links_;
+  /// A published inter-region payload: the sender's end-of-stage-A scene
+  /// and the ratio it was produced under. Ring-buffered per sender
+  /// (net.ring_slots() deep — anything older is never consumable), slot =
+  /// payload round % slots. The serial transport step writes the ring;
+  /// stage B only reads it, so lanes never race on payload memory.
+  struct PayloadSlot {
+    std::uint64_t round = net::ExchangeChannel::kNothing;
+    double x = 0.0;
+    perception::FleetSoA fleet;
+  };
+  std::vector<std::vector<PayloadSlot>> rings_;
 };
 
 }  // namespace avcp::system

@@ -4,9 +4,11 @@
 // supervisor's fall-back-a-generation behaviour.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <csignal>
 #include <cstdint>
+#include <stdexcept>
 #include <filesystem>
 #include <fstream>
 #include <optional>
@@ -431,6 +433,157 @@ TEST_F(CheckpointFileTest, RecoveryResetsWhenEveryGenerationIsDead) {
   EXPECT_FALSE(outcome.resumed);
   EXPECT_EQ(outcome.corrupt_skipped, 2u);
   EXPECT_EQ(second.sum, 15u);
+}
+
+TEST_F(CheckpointFileTest, RecoveryCanRefuseColdStartOverCorruptStore) {
+  // Same dead store as above, but with fail_when_all_corrupt the silent
+  // round-0 replay becomes a typed error instead.
+  const checkpoint::CheckpointStore store(dir_ / "rec", 3);
+  checkpoint::CheckpointPolicy policy;
+  policy.every_rounds = 2;
+
+  CounterEngine first;
+  checkpoint::run_with_recovery(store, policy, 5, hooks_for(first));
+  for (const auto& path : store.generations()) {
+    checkpoint::CheckpointWriter writer(0);
+    writer.section(checkpoint::kSectionAux).put_u64(0);
+    writer.write_torn(path, 6);
+  }
+
+  CounterEngine second;
+  checkpoint::RecoveryOptions options;
+  options.fail_when_all_corrupt = true;
+  EXPECT_THROW(
+      checkpoint::run_with_recovery(store, policy, 5, hooks_for(second),
+                                    options),
+      checkpoint::AllGenerationsCorruptError);
+  // An empty store is a legitimate cold start, never a corruption error.
+  const checkpoint::CheckpointStore fresh(dir_ / "fresh", 3);
+  CounterEngine third;
+  EXPECT_NO_THROW(checkpoint::run_with_recovery(fresh, policy, 5,
+                                                hooks_for(third), options));
+  EXPECT_EQ(third.sum, 15u);
+}
+
+// ---------------------------------------------------------------------------
+// run_supervised: the crash-loop guard
+// ---------------------------------------------------------------------------
+
+/// Supervisor options with an instant, recorded backoff.
+checkpoint::SupervisorOptions recorded_supervisor(
+    std::vector<std::chrono::milliseconds>& waits, std::size_t max_restarts) {
+  checkpoint::SupervisorOptions options;
+  options.max_restarts = max_restarts;
+  options.backoff_base = std::chrono::milliseconds{100};
+  options.backoff_cap = std::chrono::milliseconds{250};
+  options.sleep = [&waits](std::chrono::milliseconds w) {
+    waits.push_back(w);
+  };
+  return options;
+}
+
+TEST_F(CheckpointFileTest, SupervisorCompletesHealthyRunFirstAttempt) {
+  const checkpoint::CheckpointStore store(dir_ / "sup", 2);
+  checkpoint::CheckpointPolicy policy;
+  policy.every_rounds = 3;
+
+  CounterEngine engine;
+  std::vector<std::chrono::milliseconds> waits;
+  const auto outcome = checkpoint::run_supervised(
+      store, policy, 10, hooks_for(engine), recorded_supervisor(waits, 3));
+  EXPECT_EQ(outcome.exit_code, checkpoint::kSupervisorOk);
+  EXPECT_EQ(outcome.attempts, 1u);
+  EXPECT_EQ(outcome.crashes, 0u);
+  EXPECT_TRUE(waits.empty());
+  EXPECT_TRUE(outcome.last_error.empty());
+  EXPECT_EQ(outcome.recovery.completed_rounds, 10u);
+  EXPECT_EQ(engine.sum, 55u);
+}
+
+TEST_F(CheckpointFileTest, SupervisorRetriesCrashesWithCappedBackoff) {
+  // Two crashed attempts, then a clean one: the supervisor resumes from the
+  // last good generation each time and reaches the exact straight-run state.
+  const checkpoint::CheckpointStore store(dir_ / "sup", 2);
+  checkpoint::CheckpointPolicy policy;
+  policy.every_rounds = 3;
+
+  CounterEngine engine;
+  std::size_t crashes_left = 2;
+  checkpoint::RecoveryHooks hooks = hooks_for(engine);
+  const auto plain_step = hooks.step;
+  hooks.step = [&](std::size_t round) {
+    if (round == 5 && crashes_left > 0) {
+      --crashes_left;
+      throw std::runtime_error("injected crash at round 5");
+    }
+    plain_step(round);
+  };
+
+  std::vector<std::chrono::milliseconds> waits;
+  const auto outcome = checkpoint::run_supervised(
+      store, policy, 10, hooks, recorded_supervisor(waits, 3));
+  EXPECT_EQ(outcome.exit_code, checkpoint::kSupervisorOk);
+  EXPECT_EQ(outcome.attempts, 3u);
+  EXPECT_EQ(outcome.crashes, 2u);
+  // Exponential, capped: 100ms, then min(200, 250)ms.
+  EXPECT_EQ(waits, (std::vector<std::chrono::milliseconds>{
+                       std::chrono::milliseconds{100},
+                       std::chrono::milliseconds{200}}));
+  EXPECT_EQ(outcome.backoff_total, std::chrono::milliseconds{300});
+  EXPECT_TRUE(outcome.recovery.resumed);  // final attempt resumed, not reset
+  EXPECT_EQ(engine.sum, 55u);             // bit-identical to a straight run
+}
+
+TEST_F(CheckpointFileTest, SupervisorStopsAfterRestartBudget) {
+  // A deterministic crash survives every replay; the guard must give up
+  // with the distinct crash-loop exit code instead of retrying forever.
+  const checkpoint::CheckpointStore store(dir_ / "sup", 2);
+  checkpoint::CheckpointPolicy policy;
+  policy.every_rounds = 3;
+
+  CounterEngine engine;
+  checkpoint::RecoveryHooks hooks = hooks_for(engine);
+  hooks.step = [](std::size_t round) {
+    if (round == 4) throw std::runtime_error("deterministic fault");
+  };
+
+  std::vector<std::chrono::milliseconds> waits;
+  const auto outcome = checkpoint::run_supervised(
+      store, policy, 10, hooks, recorded_supervisor(waits, 2));
+  EXPECT_EQ(outcome.exit_code, checkpoint::kSupervisorCrashLoop);
+  EXPECT_EQ(outcome.attempts, 3u);  // first try + max_restarts retries
+  EXPECT_EQ(outcome.crashes, 3u);
+  // Backoff after crashes 1 and 2 only; the final crash exits instead.
+  EXPECT_EQ(waits, (std::vector<std::chrono::milliseconds>{
+                       std::chrono::milliseconds{100},
+                       std::chrono::milliseconds{200}}));
+  EXPECT_EQ(outcome.last_error, "deterministic fault");
+}
+
+TEST_F(CheckpointFileTest, SupervisorFlagsFullyCorruptStoreImmediately) {
+  // All generations dead is operator territory: distinct exit code, no
+  // restart burn (replaying from round 0 would hide the corruption).
+  const checkpoint::CheckpointStore store(dir_ / "sup", 3);
+  checkpoint::CheckpointPolicy policy;
+  policy.every_rounds = 2;
+
+  CounterEngine first;
+  checkpoint::run_with_recovery(store, policy, 5, hooks_for(first));
+  for (const auto& path : store.generations()) {
+    checkpoint::CheckpointWriter writer(0);
+    writer.section(checkpoint::kSectionAux).put_u64(0);
+    writer.write_torn(path, 6);
+  }
+
+  CounterEngine second;
+  std::vector<std::chrono::milliseconds> waits;
+  const auto outcome = checkpoint::run_supervised(
+      store, policy, 5, hooks_for(second), recorded_supervisor(waits, 5));
+  EXPECT_EQ(outcome.exit_code, checkpoint::kSupervisorAllCorrupt);
+  EXPECT_EQ(outcome.attempts, 1u);
+  EXPECT_EQ(outcome.crashes, 0u);
+  EXPECT_TRUE(waits.empty());
+  EXPECT_FALSE(outcome.last_error.empty());
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,469 @@
+// Partition tolerance of the engines' degraded-network transport: the
+// zero-degradation channel path is bit-identical to the synchronous
+// exchange, degraded trajectories are thread-count invariant, a checkpoint
+// taken mid-partition (retransmissions pending, links blind) resumes
+// byte-equal across seeds and lane counts, and snapshots from a
+// differently-configured network are rejected, never silently adopted.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "common/serial.h"
+#include "core/fds.h"
+#include "core/fleet_stream.h"
+#include "faults/fault_model.h"
+#include "net/link_model.h"
+#include "roadnet/builders.h"
+#include "service/service_engine.h"
+#include "system/fleet_engine.h"
+#include "system/system.h"
+#include "test_support.h"
+
+namespace avcp {
+namespace {
+
+using core::testing::make_chain_game;
+using service::ServiceEngine;
+using service::ServiceParams;
+
+constexpr std::size_t kWarmRounds = 6;   // rounds before the snapshot
+constexpr std::size_t kResumeRounds = 4; // rounds after it
+
+/// A network bad enough to exercise every fate: losses with retries
+/// pending, multi-round delays, duplicates, reordering, and a partition
+/// window covering rounds [3, 8) — kWarmRounds lands the snapshot inside
+/// it, with messages in flight.
+net::NetParams degraded_net() {
+  net::NetParams net;
+  net.drop_rate = 0.3;
+  net.delay_rate = 0.25;
+  net.max_delay_rounds = 2;
+  net.duplicate_rate = 0.15;
+  net.reorder_rate = 0.15;
+  net.max_retries = 2;
+  net.backoff_base = 1;
+  net.max_staleness = 3;
+  net.seed = 29;
+  net::PartitionWindow w;
+  w.first_round = 3;
+  w.duration = 5;
+  w.num_components = 2;
+  w.salt = 4;
+  net.partitions.push_back(w);
+  return net;
+}
+
+// ---------------------------------------------------------------------------
+// CooperativePerceptionSystem
+// ---------------------------------------------------------------------------
+
+system::SystemParams system_params(std::uint64_t seed, std::size_t threads) {
+  system::SystemParams params;
+  params.vehicles_per_region = 24;
+  params.cells_per_region = 2;
+  params.seed = seed;
+  params.num_threads = threads;
+  return params;
+}
+
+core::DesiredFields chain_fields(const core::MultiRegionGame& game) {
+  core::DesiredFields fields(game.num_regions(), game.num_decisions());
+  for (core::RegionId i = 0; i < game.num_regions(); ++i) {
+    fields.set_target(i, 0, Interval{0.6, 1.0});
+  }
+  return fields;
+}
+
+struct SystemObs {
+  std::vector<std::vector<double>> p;
+  std::vector<double> x;
+  faults::FaultCounters counters;
+  std::size_t round = 0;
+};
+
+SystemObs observe(const system::CooperativePerceptionSystem& plant) {
+  return SystemObs{plant.empirical_state().p, plant.current_x(),
+                   plant.fault_counters(), plant.round()};
+}
+
+void expect_equal(const SystemObs& a, const SystemObs& b) {
+  EXPECT_EQ(a.p, b.p);  // exact: bit-identical, not approximately
+  EXPECT_EQ(a.x, b.x);
+  EXPECT_TRUE(a.counters == b.counters);
+  EXPECT_EQ(a.round, b.round);
+}
+
+TEST(SystemTransport, ZeroDegradationPathIsBitIdentical) {
+  // The acceptance anchor: routing the inter-region exchange through the
+  // channel with an inert LinkModel must not move a single bit, even with
+  // fault-layer losses and outages active (their semantics are preserved
+  // on both paths, not papered over by held payloads).
+  const auto game = make_chain_game(3, 3.0, 4.0);
+  const auto fields = chain_fields(game);
+  faults::FaultParams fparams;
+  fparams.upload_loss_rate = 0.15;
+  fparams.outage_rate = 0.1;
+  fparams.seed = 5;
+  const faults::FaultModel faults(fparams);
+
+  auto sync_params = system_params(11, 2);
+  auto wire_params = sync_params;
+  wire_params.net.model_transport = true;
+
+  core::FdsController ctrl_a(game, fields);
+  system::CooperativePerceptionSystem sync(game, sync_params, &faults);
+  sync.init_from(game.uniform_state());
+  core::FdsController ctrl_b(game, fields);
+  system::CooperativePerceptionSystem wired(game, wire_params, &faults);
+  wired.init_from(game.uniform_state());
+
+  for (std::size_t t = 0; t < 8; ++t) {
+    const auto ra = sync.run_round(ctrl_a);
+    const auto rb = wired.run_round(ctrl_b);
+    ASSERT_EQ(ra.x, rb.x) << "round " << t;
+    ASSERT_EQ(ra.state.p, rb.state.p) << "round " << t;
+    EXPECT_FALSE(ra.net.active);
+    EXPECT_TRUE(rb.net.active);
+    // An inert model never degrades: nothing dropped, nothing held stale.
+    EXPECT_EQ(rb.net.dropped, 0u);
+    EXPECT_EQ(rb.net.stale_links, 0u);
+  }
+  expect_equal(observe(sync), observe(wired));
+}
+
+TEST(SystemTransport, DegradedTrajectoryIsThreadCountInvariant) {
+  // Fate resolution runs serially between the parallel stages, so a fully
+  // degraded schedule (drops + delays + duplicates + reorders + an open
+  // partition) must replay bit-identically at every lane count.
+  const auto game = make_chain_game(3, 3.0, 4.0);
+  const auto fields = chain_fields(game);
+
+  auto run = [&](std::size_t threads) {
+    auto params = system_params(29, threads);
+    params.net = degraded_net();
+    core::FdsController controller(game, fields);
+    system::CooperativePerceptionSystem plant(game, params, nullptr);
+    plant.init_from(game.uniform_state());
+    std::vector<std::vector<double>> xs;
+    std::size_t dropped = 0;
+    std::size_t blind = 0;
+    for (std::size_t t = 0; t < 10; ++t) {
+      const auto report = plant.run_round(controller);
+      xs.push_back(report.x);
+      dropped += report.net.dropped;
+      blind += report.net.blind_links;
+    }
+    return std::tuple(xs, observe(plant), dropped, blind);
+  };
+
+  const auto [base_xs, base_obs, base_dropped, base_blind] = run(1);
+  EXPECT_GT(base_dropped, 0u);  // the degradation is real, not a no-op
+  for (const std::size_t threads : {2ul, 8ul}) {
+    const auto [xs, obs, dropped, blind] = run(threads);
+    ASSERT_EQ(xs, base_xs) << "threads " << threads;
+    expect_equal(obs, base_obs);
+    EXPECT_EQ(dropped, base_dropped);
+    EXPECT_EQ(blind, base_blind);
+  }
+}
+
+TEST(SystemTransport, MidPartitionResumeIsByteEqual) {
+  // The resume-equivalence contract under the worst transport state: the
+  // snapshot lands inside the partition window with retransmissions and
+  // delayed copies in flight. The restored plant must replay the remaining
+  // rounds bit-identically AND re-serialize to the exact same bytes.
+  const auto game = make_chain_game(3, 3.0, 4.0);
+  const auto fields = chain_fields(game);
+  faults::FaultParams fparams;
+  fparams.upload_loss_rate = 0.1;
+  fparams.seed = 5;
+  const faults::FaultModel faults(fparams);
+
+  for (const std::uint64_t seed : {11ull, 77ull}) {
+    for (const std::size_t threads : {1ul, 2ul, 8ul}) {
+      SCOPED_TRACE(::testing::Message()
+                   << "seed=" << seed << " threads=" << threads);
+      auto params = system_params(seed, threads);
+      params.net = degraded_net();
+
+      core::FdsController ctrl_a(game, fields);
+      system::CooperativePerceptionSystem straight(game, params, &faults);
+      straight.init_from(game.uniform_state());
+      for (std::size_t t = 0; t < kWarmRounds; ++t) {
+        straight.run_round(ctrl_a);
+      }
+      Serializer snapshot;
+      straight.save_state(snapshot);
+      for (std::size_t t = 0; t < kResumeRounds; ++t) {
+        straight.run_round(ctrl_a);
+      }
+
+      core::FdsController ctrl_b(game, fields);
+      system::CooperativePerceptionSystem resumed(game, params, &faults);
+      Deserializer d(snapshot.bytes());
+      resumed.load_state(d);
+      EXPECT_TRUE(d.exhausted());
+      EXPECT_EQ(resumed.round(), kWarmRounds);
+      for (std::size_t t = 0; t < kResumeRounds; ++t) {
+        resumed.run_round(ctrl_b);
+      }
+
+      expect_equal(observe(straight), observe(resumed));
+      Serializer sa;
+      straight.save_state(sa);
+      Serializer sb;
+      resumed.save_state(sb);
+      ASSERT_EQ(sa.bytes().size(), sb.bytes().size());
+      EXPECT_TRUE(std::equal(sa.bytes().begin(), sa.bytes().end(),
+                             sb.bytes().begin()));
+    }
+  }
+}
+
+TEST(SystemTransport, NetWiringMismatchRejected) {
+  const auto game = make_chain_game(3, 3.0, 4.0);
+  auto with_net = system_params(11, 1);
+  with_net.net = degraded_net();
+  system::CooperativePerceptionSystem source(game, with_net, nullptr);
+  source.init_from(game.uniform_state());
+  Serializer snapshot;
+  source.save_state(snapshot);
+
+  {
+    // Transport on in the snapshot, off in the target.
+    system::CooperativePerceptionSystem target(game, system_params(11, 1),
+                                               nullptr);
+    Deserializer d(snapshot.bytes());
+    EXPECT_THROW(target.load_state(d), SerialError);
+  }
+  {
+    // Different fate schedule.
+    auto other = with_net;
+    other.net.drop_rate = 0.5;
+    system::CooperativePerceptionSystem target(game, other, nullptr);
+    Deserializer d(snapshot.bytes());
+    EXPECT_THROW(target.load_state(d), SerialError);
+  }
+  {
+    // Different staleness policy (changes the consumable window AND the
+    // payload-ring depth).
+    auto other = with_net;
+    other.net.max_staleness = 7;
+    system::CooperativePerceptionSystem target(game, other, nullptr);
+    Deserializer d(snapshot.bytes());
+    EXPECT_THROW(target.load_state(d), SerialError);
+  }
+  {
+    // Transport off in the snapshot, on in the target.
+    system::CooperativePerceptionSystem plain(game, system_params(11, 1),
+                                              nullptr);
+    plain.init_from(game.uniform_state());
+    Serializer plain_snap;
+    plain.save_state(plain_snap);
+    system::CooperativePerceptionSystem target(game, with_net, nullptr);
+    Deserializer d(plain_snap.bytes());
+    EXPECT_THROW(target.load_state(d), SerialError);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ServiceEngine (star backhaul: region -> cloud report links)
+// ---------------------------------------------------------------------------
+
+ServiceParams service_params(std::uint64_t seed) {
+  ServiceParams params;
+  params.vehicles_per_region = 12;
+  params.seed = seed;
+  params.num_threads = 2;
+  return params;
+}
+
+TEST(ServiceTransport, ZeroDegradationEpochLoopIsBitIdentical) {
+  // Same anchor at the service layer: an inert channel on the report
+  // backhaul feeds the controller the exact rows the synchronous path
+  // does, with fault-layer report loss keeping its DegradedController
+  // semantics (a lost report means a blind region, not a ring substitute).
+  const auto game = make_chain_game(4);
+  const auto graph = roadnet::make_grid(6, 6);
+  faults::FaultParams fp;
+  fp.report_loss_rate = 0.2;
+  fp.outage_rate = 0.05;
+  fp.seed = 7;
+  const faults::FaultModel faults(fp);
+  const core::GameState initial = game.uniform_state();
+  const std::vector<double> x0(game.num_regions(), 0.5);
+
+  core::FixedRatioController inner_a(0.7);
+  ServiceEngine sync(game, inner_a, &graph, service_params(41), &faults);
+  sync.init(initial, x0);
+
+  auto wired_params = service_params(41);
+  wired_params.net.model_transport = true;
+  core::FixedRatioController inner_b(0.7);
+  ServiceEngine wired(game, inner_b, &graph, wired_params, &faults);
+  wired.init(initial, x0);
+
+  EXPECT_EQ(sync.channel(), nullptr);
+  ASSERT_NE(wired.channel(), nullptr);
+  for (std::size_t t = 0; t < 20; ++t) {
+    sync.run_epoch();
+    wired.run_epoch();
+    ASSERT_EQ(sync.x(), wired.x()) << "epoch " << t;
+  }
+  EXPECT_EQ(sync.true_state().p, wired.true_state().p);
+  EXPECT_EQ(sync.observed_state().p, wired.observed_state().p);
+  EXPECT_TRUE(sync.counters() == wired.counters());
+  EXPECT_EQ(wired.channel()->counters().dropped, 0u);
+  EXPECT_GT(wired.channel()->counters().delivered, 0u);
+}
+
+TEST(ServiceTransport, ResumeUnderLinkFaultsIsBitIdentical) {
+  const auto game = make_chain_game(4);
+  const auto graph = roadnet::make_grid(6, 6);
+  faults::FaultParams fp;
+  fp.report_loss_rate = 0.1;
+  fp.seed = 7;
+  const faults::FaultModel faults(fp);
+  const core::GameState initial = game.uniform_state();
+  const std::vector<double> x0(game.num_regions(), 0.5);
+  auto params = service_params(41);
+  params.net = degraded_net();
+
+  core::FixedRatioController inner_a(0.7);
+  ServiceEngine a(game, inner_a, &graph, params, &faults);
+  a.init(initial, x0);
+  for (std::size_t t = 0; t < 12; ++t) a.run_epoch();
+
+  core::FixedRatioController inner_b(0.7);
+  ServiceEngine b(game, inner_b, &graph, params, &faults);
+  b.init(initial, x0);
+  for (std::size_t t = 0; t < kWarmRounds; ++t) b.run_epoch();
+  Serializer snap;
+  b.save_state(snap);
+
+  core::FixedRatioController inner_c(0.7);
+  ServiceEngine c(game, inner_c, &graph, params, &faults);
+  Deserializer d(snap.bytes());
+  c.load_state(d);
+  EXPECT_TRUE(d.exhausted());
+  EXPECT_EQ(c.epoch(), kWarmRounds);
+  for (std::size_t t = kWarmRounds; t < 12; ++t) c.run_epoch();
+
+  EXPECT_EQ(a.x(), c.x());
+  EXPECT_EQ(a.true_state().p, c.true_state().p);
+  EXPECT_EQ(a.observed_state().p, c.observed_state().p);
+  EXPECT_EQ(a.staleness(), c.staleness());
+  EXPECT_TRUE(a.counters() == c.counters());
+  ASSERT_NE(a.channel(), nullptr);
+  ASSERT_NE(c.channel(), nullptr);
+  EXPECT_TRUE(a.channel()->counters() == c.channel()->counters());
+}
+
+TEST(ServiceTransport, NetWiringMismatchRejected) {
+  const auto game = make_chain_game(4);
+  const auto graph = roadnet::make_grid(6, 6);
+  auto params = service_params(41);
+  params.net = degraded_net();
+  core::FixedRatioController inner(0.7);
+  ServiceEngine source(game, inner, &graph, params);
+  source.init(game.uniform_state(), std::vector<double>(4, 0.5));
+  for (std::size_t t = 0; t < 3; ++t) source.run_epoch();
+  Serializer snap;
+  source.save_state(snap);
+
+  {
+    // Transport on in the snapshot, off in the target.
+    core::FixedRatioController inner_b(0.7);
+    ServiceEngine target(game, inner_b, &graph, service_params(41));
+    Deserializer d(snap.bytes());
+    EXPECT_THROW(target.load_state(d), SerialError);
+  }
+  {
+    // Same wiring, different link-fault schedule.
+    auto other = params;
+    other.net.seed = 30;
+    core::FixedRatioController inner_b(0.7);
+    ServiceEngine target(game, inner_b, &graph, other);
+    Deserializer d(snap.bytes());
+    EXPECT_THROW(target.load_state(d), SerialError);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ShardedFleetEngine (ring topology: shard s -> its successor)
+// ---------------------------------------------------------------------------
+
+system::FleetEngineParams fleet_params(std::size_t lanes) {
+  system::FleetEngineParams params;
+  params.num_shards = 5;
+  params.num_threads = lanes;
+  params.clamp_lanes = false;  // real oversubscription even on 1 core
+  params.seed = 905;
+  params.inter_shard_exchange = true;
+  params.exchange_fraction = 0.2;
+  params.exchange_sample_cap = 64;
+  return params;
+}
+
+TEST(FleetTransport, DegradedExchangeIsLaneCountInvariant) {
+  // The serial transport step between the two dispatch stages is the whole
+  // thread-invariance argument at fleet scale; lock it at 1/2/8 lanes under
+  // the full degradation schedule.
+  auto run = [&](std::size_t lanes) {
+    auto params = fleet_params(lanes);
+    params.net = degraded_net();
+    system::ShardedFleetEngine engine(params);
+    core::SyntheticFleetSource source(2000, 8, 905);
+    engine.ingest(source);
+    std::vector<std::uint64_t> hashes;
+    std::size_t dropped = 0;
+    std::size_t blind = 0;
+    double cross = 0.0;
+    system::FleetRoundStats round;
+    for (std::size_t r = 0; r < 8; ++r) {
+      engine.run_round_into(0.6, round);
+      hashes.push_back(engine.state_hash());
+      dropped += round.net_dropped;
+      blind += round.net_blind;
+      cross += round.cross_utility;
+    }
+    return std::tuple(hashes, dropped, blind, cross);
+  };
+
+  const auto [base_hashes, base_dropped, base_blind, base_cross] = run(1);
+  EXPECT_GT(base_dropped, 0u);  // schedule actually bites
+  EXPECT_GT(base_cross, 0.0);   // and samples still get through
+  for (const std::size_t lanes : {2ul, 8ul}) {
+    const auto [hashes, dropped, blind, cross] = run(lanes);
+    ASSERT_EQ(hashes, base_hashes) << "lanes " << lanes;
+    EXPECT_EQ(dropped, base_dropped) << "lanes " << lanes;
+    EXPECT_EQ(blind, base_blind) << "lanes " << lanes;
+    EXPECT_EQ(cross, base_cross) << "lanes " << lanes;
+  }
+}
+
+TEST(FleetTransport, InertChannelDeliversEveryRound) {
+  // With no degradation every shard's sample lands in its own round: no
+  // shard is ever blind, and the channel accounts one delivery per link.
+  auto params = fleet_params(2);
+  system::ShardedFleetEngine engine(params);
+  core::SyntheticFleetSource source(1000, 8, 77);
+  engine.ingest(source);
+  ASSERT_NE(engine.channel(), nullptr);
+  system::FleetRoundStats round;
+  for (std::size_t r = 0; r < 4; ++r) {
+    engine.run_round_into(0.6, round);
+    EXPECT_EQ(round.net_delivered, params.num_shards) << "round " << r;
+    EXPECT_EQ(round.net_dropped, 0u) << "round " << r;
+    EXPECT_EQ(round.net_blind, 0u) << "round " << r;
+    EXPECT_GT(round.cross_utility, 0.0) << "round " << r;
+  }
+  EXPECT_EQ(engine.channel()->counters().sent,
+            engine.channel()->counters().delivered);
+}
+
+}  // namespace
+}  // namespace avcp
